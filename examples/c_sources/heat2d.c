@@ -1,0 +1,61 @@
+/* 2D Jacobi heat diffusion with a convergence loop: input to the
+ * mini-C frontend (the paper's source-to-source analysis engine).
+ *
+ *   skope import examples/c_sources/heat2d.c
+ *   skope analyze -f <generated.skope> -i n=512 -m bgq
+ */
+
+param int n;
+param int maxiter;
+
+double t_old[n][n];
+double t_new[n][n];
+double resid[n];
+
+void sweep() {
+  for (int i = 1; i < n - 1; i++) {
+    for (int j = 1; j < n - 1; j++) {
+      t_new[i][j] = 0.25 * (t_old[i + 1][j] + t_old[i - 1][j]
+                            + t_old[i][j + 1] + t_old[i][j - 1]);
+    }
+  }
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j < n; j++) {
+      t_old[i][j] = t_new[i][j];
+    }
+  }
+}
+
+void residual() {
+  double acc;
+  acc = 0.0;
+  for (int i = 1; i < n - 1; i++) {
+    double rowsum;
+    rowsum = 0.0;
+    for (int j = 1; j < n - 1; j++) {
+      rowsum = rowsum + (t_new[i][j] - t_old[i][j]) * (t_new[i][j] - t_old[i][j]);
+    }
+    resid[i] = rowsum;
+  }
+}
+
+void main() {
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j < n; j++) {
+      t_old[i][j] = 0.0;
+    }
+  }
+  int it;
+  it = 0;
+  double err;
+  err = 1.0;
+  while (err > 0.0001) {
+    sweep();
+    residual();
+    err = err * 0.9;  /* data-dependent in reality; the profiler learns it */
+    it = it + 1;
+    if (it >= maxiter) {
+      break;
+    }
+  }
+}

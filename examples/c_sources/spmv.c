@@ -1,0 +1,32 @@
+/* CSR sparse matrix-vector product: exercises the frontend's
+ * indirection handling — the column index loaded from memory cannot
+ * be tracked statically, so its use as a subscript becomes a
+ * pseudo-random surrogate access (and the row-length loop falls back
+ * to profiled trip counts).
+ */
+
+param int nrows;
+param int nnz;
+
+double val[nnz];
+int colidx[nnz];
+int rowptr[nrows];
+double x[nrows];
+double y[nrows];
+
+void main() {
+  for (int i = 0; i < nrows; i++) {
+    double sum;
+    sum = 0.0;
+    int start;
+    int stop;
+    start = rowptr[i];
+    stop = rowptr[i];
+    for (int k = start; k < stop; k++) {
+      int c;
+      c = colidx[k];
+      sum = sum + val[k] * x[c];
+    }
+    y[i] = sum;
+  }
+}
