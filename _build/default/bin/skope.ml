@@ -1,0 +1,627 @@
+(** skope — command line interface to the co-design analysis
+    framework.
+
+    Subcommands:
+    - [workloads], [machines]: list what is bundled;
+    - [show]: print a workload's skeleton in the DSL syntax;
+    - [parse]: parse and validate a [.skope] file;
+    - [analyze]: analytic projection of hot spots for a machine
+      (no execution on the target — the paper's use case); works on
+      bundled workloads or on a [.skope] file with [--input] bindings;
+    - [validate]: run the ground-truth simulator too and compare;
+    - [hints]: show the branch/trip statistics one profiling run yields;
+    - [miniapp]: generate a mini-application from the hot path;
+    - [sweep]: explore one hardware design axis;
+    - [nodes]: multi-node strong-scaling projection. *)
+
+open Cmdliner
+module P = Core.Pipeline
+module Hotspot = Core.Analysis.Hotspot
+module Blockstat = Core.Analysis.Blockstat
+module Quality = Core.Analysis.Quality
+module Table = Core.Report.Table
+
+let machine_arg =
+  let doc = "Target machine (bgq, xeon, future)." in
+  Arg.(value & opt string "bgq" & info [ "m"; "machine" ] ~docv:"MACHINE" ~doc)
+
+let workload_arg =
+  let doc = "Workload name (see `skope workloads')." in
+  Arg.(value & opt string "sord" & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
+
+let file_arg =
+  let doc = "Analyze this .skope file instead of a bundled workload." in
+  Arg.(value & opt (some file) None & info [ "f"; "file" ] ~docv:"FILE" ~doc)
+
+let inputs_arg =
+  let doc = "Input binding NAME=INT for --file skeletons (repeatable)." in
+  Arg.(value & opt_all string [] & info [ "i"; "input" ] ~docv:"NAME=INT" ~doc)
+
+let scale_arg =
+  let doc = "Input scale factor (defaults to the workload's default)." in
+  Arg.(value & opt (some float) None & info [ "s"; "scale" ] ~docv:"S" ~doc)
+
+let top_arg =
+  let doc = "Number of hot spots to display." in
+  Arg.(value & opt int 10 & info [ "k"; "top" ] ~docv:"K" ~doc)
+
+let coverage_arg =
+  let doc = "Time-coverage criterion for hot spot selection." in
+  Arg.(value & opt float 0.90 & info [ "coverage" ] ~docv:"FRAC" ~doc)
+
+let leanness_arg =
+  let doc = "Code-leanness criterion for hot spot selection." in
+  Arg.(value & opt float 0.10 & info [ "leanness" ] ~docv:"FRAC" ~doc)
+
+let lookup_workload name =
+  match Core.Workloads.Registry.find name with
+  | Some w -> w
+  | None ->
+    Fmt.epr "unknown workload %S; try `skope workloads'@." name;
+    exit 2
+
+let lookup_machine name =
+  match Core.Hw.Machines.find name with
+  | Some m -> m
+  | None ->
+    Fmt.epr "unknown machine %S; try `skope machines'@." name;
+    exit 2
+
+let parse_inputs specs =
+  List.map
+    (fun spec ->
+      match String.index_opt spec '=' with
+      | Some i ->
+        let name = String.sub spec 0 i in
+        let v = String.sub spec (i + 1) (String.length spec - i - 1) in
+        (match int_of_string_opt v with
+        | Some n -> (name, Core.Bet.Value.int n)
+        | None -> (
+          match float_of_string_opt v with
+          | Some f -> (name, Core.Bet.Value.float f)
+          | None ->
+            Fmt.epr "invalid input %S (expected NAME=NUMBER)@." spec;
+            exit 2))
+      | None ->
+        Fmt.epr "invalid input %S (expected NAME=NUMBER)@." spec;
+        exit 2)
+    specs
+
+let load_file file inputs =
+  match Core.Skeleton.Parser.parse_file file with
+  | program ->
+    let inputs = parse_inputs inputs in
+    (match
+       Core.Skeleton.Validate.check ~inputs:(List.map fst inputs) program
+     with
+    | [] -> (program, inputs)
+    | issues ->
+      List.iter
+        (fun i -> Fmt.epr "%a@." Core.Skeleton.Validate.pp_issue i)
+        issues;
+      exit 1)
+  | exception Core.Skeleton.Parser.Error (loc, m) ->
+    Fmt.epr "%a: %s@." Core.Skeleton.Loc.pp loc m;
+    exit 1
+  | exception Core.Skeleton.Lexer.Error (loc, m) ->
+    Fmt.epr "%a: %s@." Core.Skeleton.Loc.pp loc m;
+    exit 1
+
+let pct x = Fmt.str "%.1f%%" (100. *. x)
+
+let spot_rows total (blocks : Blockstat.t list) k =
+  List.filteri (fun i _ -> i < k) blocks
+  |> List.mapi (fun i (b : Blockstat.t) ->
+         [
+           string_of_int (i + 1);
+           b.name;
+           Fmt.str "%.4g" (b.time *. 1e3);
+           (if total > 0. then pct (b.time /. total) else "-");
+           Fmt.str "%.3g" b.enr;
+           Fmt.str "%a" Core.Hw.Roofline.pp_bound b.bound;
+         ])
+
+let spots_table title total blocks k =
+  Table.make ~title
+    ~headers:[ "#"; "block"; "ms"; "share"; "execs"; "bound" ]
+    ~aligns:Table.[ Right; Left; Right; Right; Right; Left ]
+    (spot_rows total blocks k)
+
+(* --- commands ------------------------------------------------------ *)
+
+let cmd_workloads =
+  let run () =
+    List.iter
+      (fun (w : Core.Workloads.Registry.t) ->
+        Fmt.pr "%-12s %s@." w.name w.description)
+      Core.Workloads.Registry.all
+  in
+  Cmd.v (Cmd.info "workloads" ~doc:"List bundled workload models")
+    Term.(const run $ const ())
+
+let cmd_machines =
+  let run () =
+    List.iter
+      (fun m -> Fmt.pr "%a@.@." Core.Hw.Machine.pp m)
+      Core.Hw.Machines.all
+  in
+  Cmd.v (Cmd.info "machines" ~doc:"List machine models")
+    Term.(const run $ const ())
+
+let cmd_show =
+  let run workload scale =
+    let w = lookup_workload workload in
+    let scale = Option.value ~default:w.default_scale scale in
+    let program, inputs = w.make ~scale in
+    Fmt.pr "# inputs: %s@."
+      (String.concat ", "
+         (List.map
+            (fun (k, v) -> Fmt.str "%s=%a" k Core.Bet.Value.pp v)
+            inputs));
+    Fmt.pr "%s@." (Core.Skeleton.Pretty.to_string program)
+  in
+  Cmd.v (Cmd.info "show" ~doc:"Print a workload's skeleton (DSL syntax)")
+    Term.(const run $ workload_arg $ scale_arg)
+
+let cmd_parse =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let run file inputs =
+    let program, _ = load_file file inputs in
+    Fmt.pr "%s: OK (%d statements, %d functions, %d static instructions)@."
+      file
+      (Core.Skeleton.Ast.program_size program)
+      (List.length program.funcs)
+      (Core.Skeleton.Ast.instruction_count program)
+  in
+  Cmd.v (Cmd.info "parse" ~doc:"Parse and validate a .skope file")
+    Term.(const run $ file $ inputs_arg)
+
+let print_analysis machine program inputs criteria k =
+  let built =
+    Core.Bet.Build.build
+      ~lib_work:(Core.Hw.Libmix.work_fn Core.Hw.Libmix.default)
+      ~inputs program
+  in
+  let proj = Core.Analysis.Perf.project machine built in
+  Table.print (spots_table "" proj.total_time proj.blocks k);
+  let sel =
+    Hotspot.select ~criteria
+      ~total_instructions:(Core.Bet.Bst.total_instructions built.bst)
+      proj.blocks
+  in
+  Fmt.pr "@.selection: %d spots, coverage %s, leanness %s@."
+    (List.length sel.spots) (pct sel.coverage) (pct sel.leanness);
+  if sel.spots = [] && proj.blocks <> [] then
+    Fmt.pr
+      "hint: no block fits the %s leanness budget — kernels without \
+       cold-code bulk usually need a looser --leanness@."
+      (pct criteria.Hotspot.code_leanness);
+  Fmt.pr "BET: %d nodes (program: %d statements); total projected %.4g ms@."
+    built.node_count
+    (Core.Skeleton.Ast.program_size program)
+    (proj.total_time *. 1e3);
+  List.iter (fun w -> Fmt.pr "warning: %s@." w) built.warnings
+
+let cmd_analyze =
+  let run workload machine scale k file inputs coverage leanness =
+    let m = lookup_machine machine in
+    let criteria =
+      { Hotspot.time_coverage = coverage; code_leanness = leanness }
+    in
+    match file with
+    | Some f ->
+      let program, inputs = load_file f inputs in
+      Fmt.pr "Projected hot spots of %s on %s:@.@." f m.name;
+      print_analysis m program inputs criteria k
+    | None ->
+      let w = lookup_workload workload in
+      let scale = Option.value ~default:w.default_scale scale in
+      let program, winputs = w.make ~scale in
+      Fmt.pr "Projected hot spots of %s on %s (no target execution):@.@."
+        w.name m.name;
+      print_analysis m program winputs criteria k
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Project hot spots analytically for a target machine")
+    Term.(
+      const run $ workload_arg $ machine_arg $ scale_arg $ top_arg $ file_arg
+      $ inputs_arg $ coverage_arg $ leanness_arg)
+
+let cmd_validate =
+  let run workload machine scale k coverage leanness =
+    let w = lookup_workload workload in
+    let m = lookup_machine machine in
+    let criteria =
+      { Hotspot.time_coverage = coverage; code_leanness = leanness }
+    in
+    let r = P.run ~criteria ?scale ~machine:m w in
+    Fmt.pr "=== %s on %s (scale %.3g) ===@.@." w.name m.name r.P.scale;
+    Table.print
+      (spots_table
+         (Fmt.str "Prof: measured (simulated) hot spots, total %.4g ms"
+            (r.P.measured.total_time *. 1e3))
+         (Blockstat.total_time r.P.measured.blocks)
+         r.P.measured.blocks k);
+    Fmt.pr "@.";
+    Table.print
+      (spots_table
+         (Fmt.str "Modl: projected hot spots, total %.4g ms"
+            (r.P.projection.total_time *. 1e3))
+         r.P.projection.total_time r.P.projection.blocks k);
+    Fmt.pr "@.selection quality Q(%d) = %s@." k (pct (P.model_quality r ~k));
+    match P.hot_path r with
+    | Some path ->
+      Fmt.pr "@.Hot path (model selection):@.%a@."
+        (Core.Analysis.Hotpath.pp ~total_time:r.P.projection.total_time)
+        path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Compare the projection against the simulator ground truth")
+    Term.(
+      const run $ workload_arg $ machine_arg $ scale_arg $ top_arg
+      $ coverage_arg $ leanness_arg)
+
+let cmd_spots =
+  let run workload machine scale k =
+    let w = lookup_workload workload in
+    let m = lookup_machine machine in
+    let r = P.run ?scale ~machine:m w in
+    let sel = r.P.model_sel in
+    Fmt.pr
+      "Hot spot invocation contexts for %s on %s (paper SSV-C: \"different \
+       invocations of the same hot spot\"):@."
+      w.name m.name;
+    List.iteri
+      (fun i (stat, invocations) ->
+        if i < k then begin
+          Fmt.pr "@.%d. %s (%.4g ms total, %d invocation site%s)@." (i + 1)
+            stat.Blockstat.name
+            (stat.Blockstat.time *. 1e3)
+            (List.length invocations)
+            (if List.length invocations = 1 then "" else "s");
+          List.iter
+            (fun inv ->
+              Fmt.pr "   %a@." Core.Analysis.Invocations.pp_invocation inv)
+            invocations
+        end)
+      (Core.Analysis.Invocations.of_selection r.P.built r.P.projection sel)
+  in
+  Cmd.v
+    (Cmd.info "spots"
+       ~doc:"Show every invocation context of each hot spot")
+    Term.(const run $ workload_arg $ machine_arg $ scale_arg $ top_arg)
+
+let cmd_path =
+  let dot_arg =
+    let doc = "Write the hot path as Graphviz DOT to this file." in
+    Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE" ~doc)
+  in
+  let run workload machine scale dot =
+    let w = lookup_workload workload in
+    let m = lookup_machine machine in
+    let r = P.run ?scale ~machine:m w in
+    match P.hot_path r with
+    | None ->
+      Fmt.epr "no hot path@.";
+      exit 1
+    | Some path -> (
+      Fmt.pr "%a@."
+        (Core.Analysis.Hotpath.pp ~total_time:r.P.projection.total_time)
+        path;
+      match dot with
+      | Some file ->
+        let oc = open_out file in
+        output_string oc
+          (Core.Report.Render.dot_of_hotpath ~graph_name:w.name path);
+        close_out oc;
+        Fmt.pr "wrote %s@." file
+      | None -> ())
+  in
+  Cmd.v
+    (Cmd.info "path" ~doc:"Print (and optionally export) the hot path")
+    Term.(const run $ workload_arg $ machine_arg $ scale_arg $ dot_arg)
+
+let cmd_compare =
+  let other_arg =
+    let doc = "Second machine to compare against." in
+    Arg.(value & opt string "xeon" & info [ "against" ] ~docv:"MACHINE" ~doc)
+  in
+  let run workload machine other scale k =
+    let w = lookup_workload workload in
+    let ma = lookup_machine machine and mb = lookup_machine other in
+    let scale = Option.value ~default:w.default_scale scale in
+    let blocks m =
+      (P.analyze ~machine:m ~workload:w ~scale ()).P.a_projection.blocks
+    in
+    let ba = blocks ma and bb = blocks mb in
+    let total l = Blockstat.total_time l in
+    let ta = total ba and tb = total bb in
+    let rank l id =
+      let rec go i = function
+        | [] -> "-"
+        | (b : Blockstat.t) :: rest ->
+          if Core.Bet.Block_id.equal b.block id then string_of_int i
+          else go (i + 1) rest
+      in
+      go 1 l
+    in
+    let rows =
+      Hotspot.top_k ~k ba
+      |> List.map (fun (b : Blockstat.t) ->
+             let share l t =
+               match Blockstat.find l b.block with
+               | Some x when t > 0. -> pct (x.Blockstat.time /. t)
+               | _ -> "-"
+             in
+             [ b.name; share ba ta; rank ba b.block; share bb tb;
+               rank bb b.block ])
+    in
+    Table.print
+      (Table.make
+         ~title:
+           (Fmt.str "%s: %s (%.4g ms) vs %s (%.4g ms)" w.name ma.name
+              (ta *. 1e3) mb.name (tb *. 1e3))
+         ~headers:
+           [ "block"; ma.name ^ " share"; "rank"; mb.name ^ " share"; "rank" ]
+         ~aligns:Table.[ Left; Right; Right; Right; Right ]
+         rows);
+    Fmt.pr "@.top-%d overlap: %d; rank agreement: %.2f@." k
+      (Quality.overlap ~a:ba ~b:bb ~k)
+      (Quality.rank_agreement ~a:ba ~b:bb ~k)
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Compare projected hot spots across two machines")
+    Term.(
+      const run $ workload_arg $ machine_arg $ other_arg $ scale_arg $ top_arg)
+
+let cmd_import =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.c") in
+  let out_arg =
+    let doc = "Write the generated skeleton to this file." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let run file out =
+    match Core.Frontend.C_parser.parse_file file with
+    | exception Core.Frontend.C_lexer.Error (line, m) ->
+      Fmt.epr "%s:%d: %s@." file line m;
+      exit 1
+    | exception Core.Frontend.C_parser.Error (line, m) ->
+      Fmt.epr "%s:%d: %s@." file line m;
+      exit 1
+    | cprog -> (
+      match Core.Frontend.Abstract.lower ~name:(Filename.remove_extension (Filename.basename file)) cprog with
+      | exception Core.Frontend.Abstract.Error (line, m) ->
+        Fmt.epr "%s:%d: %s@." file line m;
+        exit 1
+      | r ->
+        List.iter (fun w -> Fmt.epr "warning: %s@." w) r.warnings;
+        let text = Core.Skeleton.Pretty.to_string r.program in
+        (match out with
+        | Some path ->
+          let oc = open_out path in
+          output_string oc text;
+          close_out oc;
+          Fmt.pr "wrote %s (%d statements; bind inputs: %s)@." path
+            (Core.Skeleton.Ast.program_size r.program)
+            (String.concat ", " (List.map fst r.params))
+        | None ->
+          Fmt.pr "# inputs to bind: %s@."
+            (String.concat ", " (List.map fst r.params));
+          Fmt.pr "%s@." text))
+  in
+  Cmd.v
+    (Cmd.info "import"
+       ~doc:
+         "Convert a mini-C source file into a code skeleton (the paper's \
+          source-to-source analysis engine)")
+    Term.(const run $ file $ out_arg)
+
+let cmd_roofline =
+  let run workload machine scale k =
+    let w = lookup_workload workload in
+    let m = lookup_machine machine in
+    let scale = Option.value ~default:w.default_scale scale in
+    let a = P.analyze ~machine:m ~workload:w ~scale () in
+    Table.print
+      (Core.Report.Render.roofline_table m a.P.a_projection.blocks ~k)
+  in
+  Cmd.v
+    (Cmd.info "roofline"
+       ~doc:"Position each hot spot under the machine's roofline")
+    Term.(const run $ workload_arg $ machine_arg $ scale_arg $ top_arg)
+
+let cmd_json =
+  let run workload machine scale =
+    let w = lookup_workload workload in
+    let m = lookup_machine machine in
+    let scale = Option.value ~default:w.default_scale scale in
+    let a = P.analyze ~machine:m ~workload:w ~scale () in
+    let json =
+      Core.Report.Json.Obj
+        [
+          ("workload", Core.Report.Json.String w.name);
+          ("scale", Core.Report.Json.Float scale);
+          ( "projection",
+            Core.Report.Render.json_of_projection a.P.a_projection );
+          ("selection", Core.Report.Render.json_of_selection a.P.a_selection);
+        ]
+    in
+    print_endline (Core.Report.Json.to_string json)
+  in
+  Cmd.v
+    (Cmd.info "json"
+       ~doc:"Emit the analytic projection as JSON for downstream tools")
+    Term.(const run $ workload_arg $ machine_arg $ scale_arg)
+
+let cmd_hints =
+  let run workload scale =
+    let w = lookup_workload workload in
+    let scale = Option.value ~default:w.default_scale scale in
+    let program, inputs = w.make ~scale in
+    let hints = P.profile ~libmix:w.libmix ~inputs program in
+    Fmt.pr "%a@." Core.Bet.Hints.pp hints
+  in
+  Cmd.v
+    (Cmd.info "hints"
+       ~doc:"Show the branch statistics one local profiling run collects")
+    Term.(const run $ workload_arg $ scale_arg)
+
+let cmd_miniapp =
+  let out_arg =
+    let doc = "Write the generated skeleton to this file." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let run workload machine scale out =
+    let w = lookup_workload workload in
+    let m = lookup_machine machine in
+    let r = P.run ?scale ~machine:m w in
+    match P.hot_path r with
+    | None ->
+      Fmt.epr "no hot path@.";
+      exit 1
+    | Some path ->
+      let mini =
+        Core.Analysis.Miniapp.generate ~program:r.P.program ~inputs:r.P.inputs
+          path
+      in
+      let text = Core.Skeleton.Pretty.to_string mini.program in
+      (match out with
+      | Some file ->
+        let oc = open_out file in
+        output_string oc text;
+        close_out oc;
+        Fmt.pr "wrote %s (%d statements, from %d)@." file
+          mini.retained_statements mini.original_statements
+      | None -> Fmt.pr "%s@." text)
+  in
+  Cmd.v
+    (Cmd.info "miniapp"
+       ~doc:"Generate a mini-application skeleton from the hot path")
+    Term.(const run $ workload_arg $ machine_arg $ scale_arg $ out_arg)
+
+let cmd_sweep =
+  let axis_arg =
+    let doc = "Design axis: bw, lat, vec, issue, freq, l2, div." in
+    Arg.(value & opt string "bw" & info [ "axis" ] ~docv:"AXIS" ~doc)
+  in
+  let values_arg =
+    let doc = "Comma-separated values for the axis." in
+    Arg.(value & opt string "1,2,4,8" & info [ "values" ] ~docv:"V1,V2,.." ~doc)
+  in
+  let run workload machine axis values =
+    let w = lookup_workload workload in
+    let base = lookup_machine machine in
+    let floats =
+      String.split_on_char ',' values
+      |> List.filter_map float_of_string_opt
+    in
+    let ints = List.map int_of_float floats in
+    let axis =
+      match axis with
+      | "bw" -> Core.Hw.Designspace.Mem_bandwidth floats
+      | "lat" -> Core.Hw.Designspace.Mem_latency floats
+      | "vec" -> Core.Hw.Designspace.Vector_width ints
+      | "issue" -> Core.Hw.Designspace.Issue_width floats
+      | "freq" -> Core.Hw.Designspace.Frequency floats
+      | "l2" -> Core.Hw.Designspace.L2_size ints
+      | "div" -> Core.Hw.Designspace.Div_latency floats
+      | other ->
+        Fmt.epr "unknown axis %S@." other;
+        exit 2
+    in
+    Fmt.pr "Sweeping %s of %s for %s:@."
+      (Core.Hw.Designspace.axis_name axis)
+      base.name w.name;
+    List.iter
+      (fun (tag, machine) ->
+        let a =
+          P.analyze ~machine ~workload:w ~scale:w.default_scale ()
+        in
+        let top =
+          match a.P.a_projection.blocks with
+          | b :: _ ->
+            Fmt.str "#1 %s (%a)" b.Blockstat.name Core.Hw.Roofline.pp_bound
+              b.Blockstat.bound
+          | [] -> "-"
+        in
+        Fmt.pr "  %8s -> %10.3f ms | %s@." tag
+          (a.P.a_projection.total_time *. 1e3)
+          top)
+      (Core.Hw.Designspace.variants base axis)
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Explore one hardware design axis analytically")
+    Term.(const run $ workload_arg $ machine_arg $ axis_arg $ values_arg)
+
+let cmd_nodes =
+  let ranks_arg =
+    let doc = "Comma-separated rank counts." in
+    Arg.(
+      value
+      & opt string "1,2,4,8,16,32,64,128"
+      & info [ "ranks" ] ~docv:"P1,P2,.." ~doc)
+  in
+  let network_arg =
+    let doc = "Interconnect: torus, infiniband, ethernet." in
+    Arg.(value & opt string "torus" & info [ "network" ] ~docv:"NET" ~doc)
+  in
+  let run machine scale ranks network =
+    let w = lookup_workload "sord" in
+    let m = lookup_machine machine in
+    let scale = Option.value ~default:w.default_scale scale in
+    let network =
+      match String.lowercase_ascii network with
+      | "torus" -> Core.Multinode.Network.bgq_torus
+      | "infiniband" | "ib" -> Core.Multinode.Network.infiniband
+      | "ethernet" | "eth" -> Core.Multinode.Network.ethernet
+      | other ->
+        Fmt.epr "unknown network %S@." other;
+        exit 2
+    in
+    let ranks =
+      String.split_on_char ',' ranks |> List.filter_map int_of_string_opt
+    in
+    let a = P.analyze ~machine:m ~workload:w ~scale () in
+    let _, inputs = w.make ~scale in
+    let dim name =
+      match List.assoc_opt name inputs with
+      | Some v -> int_of_float (Core.Bet.Value.to_float v)
+      | None -> 1
+    in
+    let spec =
+      Core.Multinode.Project.sord_spec ~nx:(dim "nx") ~ny:(dim "ny")
+        ~nz:(dim "nz") ~steps:(dim "nt")
+    in
+    let s =
+      Core.Multinode.Project.strong_scaling ~spec ~network
+        ~t_single:a.P.a_projection.total_time ~ranks_list:ranks ()
+    in
+    Fmt.pr "SORD strong scaling on %s over %a:@." m.name
+      Core.Multinode.Network.pp network;
+    List.iter
+      (fun p -> Fmt.pr "  %a@." Core.Multinode.Project.pp_point p)
+      s.points
+  in
+  Cmd.v
+    (Cmd.info "nodes" ~doc:"Multi-node strong-scaling projection (SORD)")
+    Term.(const run $ machine_arg $ scale_arg $ ranks_arg $ network_arg)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "skope" ~version:"1.0.0"
+      ~doc:"Analytic application-execution modeling for co-design"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            cmd_workloads; cmd_machines; cmd_show; cmd_parse; cmd_analyze;
+            cmd_validate; cmd_hints; cmd_miniapp; cmd_sweep; cmd_nodes;
+            cmd_roofline; cmd_json; cmd_import; cmd_spots; cmd_path;
+            cmd_compare;
+          ]))

@@ -1,0 +1,1 @@
+examples/codesign_sweep.ml: Analysis Core Fmt Hw List Pipeline Workloads

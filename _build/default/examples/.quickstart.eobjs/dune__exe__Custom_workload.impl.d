@@ -1,0 +1,1 @@
+examples/custom_workload.ml: Analysis Bet Core Fmt Hw List Sim Skeleton

@@ -1,0 +1,1 @@
+examples/import_c.ml: Analysis Bet Core Fmt Frontend Hw List Pipeline Skeleton

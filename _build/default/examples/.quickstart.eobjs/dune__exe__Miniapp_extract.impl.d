@@ -1,0 +1,1 @@
+examples/miniapp_extract.ml: Analysis Core Fmt Hw List Pipeline Sim Skeleton Workloads

@@ -1,0 +1,1 @@
+examples/miniapp_extract.mli:

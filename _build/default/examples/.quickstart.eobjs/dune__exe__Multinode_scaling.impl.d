@@ -1,0 +1,1 @@
+examples/multinode_scaling.ml: Bet Core Fmt Hw List Multinode Pipeline Workloads

@@ -1,0 +1,69 @@
+(* Co-design sweep: how do an application's hot spots and bottlenecks
+   move as a conceptual machine's parameters change?
+
+   This is the workflow the paper's title promises: no simulator, no
+   testbed — each design point is a few milliseconds of analysis.
+
+   Run with: dune exec examples/codesign_sweep.exe *)
+
+open Core
+module BS = Analysis.Blockstat
+
+let project ?(opts = Hw.Roofline.default_opts) workload machine =
+  let a = Pipeline.analyze ~opts ~machine ~workload ~scale:1.0 () in
+  a.Pipeline.a_projection
+
+let describe (p : Analysis.Perf.projection) =
+  match p.blocks with
+  | top :: _ ->
+    Fmt.str "%8.1f ms | #1 %-18s (%a)" (p.total_time *. 1e3) top.BS.name
+      Hw.Roofline.pp_bound top.BS.bound
+  | [] -> "(empty)"
+
+let sweep ?opts title workload variants =
+  Fmt.pr "@.%s@." title;
+  List.iter
+    (fun (tag, machine) ->
+      Fmt.pr "  %8s -> %s@." tag (describe (project ?opts workload machine)))
+    variants
+
+let () =
+  let cfd = Workloads.Registry.find_exn "cfd" in
+  let sord = Workloads.Registry.find_exn "sord" in
+  let base = Hw.Machines.future in
+  Fmt.pr "Design-space exploration on the hypothetical '%s' machine@."
+    base.Hw.Machine.name;
+  Fmt.pr "(total projected time and the #1 hot spot at each design point)@.";
+
+  (* Memory bandwidth: where does CFD flip from memory- to
+     compute-bound? *)
+  sweep "CFD vs memory bandwidth:" cfd
+    (Hw.Designspace.variants base
+       (Hw.Designspace.Mem_bandwidth [ 0.25; 0.5; 1.; 2.; 4.; 8. ]));
+
+  (* Vector width: diminishing returns once memory dominates.  The
+     baseline model is deliberately vector-blind (paper SSVII-B), so
+     this sweep uses the vector-aware refinement. *)
+  sweep
+    ~opts:{ Hw.Roofline.default_opts with Hw.Roofline.vector_aware = true }
+    "SORD vs vector width (vector-aware model):" sord
+    (Hw.Designspace.variants base (Hw.Designspace.Vector_width [ 1; 2; 4; 8; 16 ]));
+
+  (* Memory latency: the sensitivity of gather-heavy codes. *)
+  sweep "SORD vs memory latency:" sord
+    (Hw.Designspace.variants base
+       (Hw.Designspace.Mem_latency [ 100.; 200.; 400.; 800. ]));
+
+  (* A classic co-design question: with a fixed transistor budget,
+     spend it on frequency or width? *)
+  Fmt.pr "@.Frequency vs issue width at iso-'budget' (CFD):@.";
+  let designs =
+    [
+      ("3.2GHz narrow", { base with Hw.Machine.freq_ghz = 3.2; issue_width = 2. });
+      ("2.4GHz medium", { base with Hw.Machine.freq_ghz = 2.4; issue_width = 4. });
+      ("1.6GHz wide", { base with Hw.Machine.freq_ghz = 1.6; issue_width = 8. });
+    ]
+  in
+  List.iter
+    (fun (tag, m) -> Fmt.pr "  %14s -> %s@." tag (describe (project cfd m)))
+    designs

@@ -1,0 +1,44 @@
+(* Multi-node strong-scaling projection (the paper's SSVIII future
+   work): combine the single-rank analytic projection with a domain
+   decomposition and an interconnect model to ask, before the machine
+   exists, where communication starts to dominate.
+
+   Run with: dune exec examples/multinode_scaling.exe *)
+
+open Core
+module MN = Multinode
+
+let () =
+  let workload = Workloads.Registry.find_exn "sord" in
+  let machine = Hw.Machines.bgq in
+  let scale = 0.5 in
+
+  (* Single-rank projected time (pure analysis, no execution). *)
+  let a = Pipeline.analyze ~machine ~workload ~scale () in
+  let t_single = a.a_projection.total_time in
+  let program_inputs = snd (workload.make ~scale) in
+  let dim name =
+    match List.assoc_opt name program_inputs with
+    | Some v -> int_of_float (Bet.Value.to_float v)
+    | None -> 1
+  in
+  let nt = dim "nt" in
+  let spec =
+    MN.Project.sord_spec ~nx:(dim "nx") ~ny:(dim "ny") ~nz:(dim "nz") ~steps:nt
+  in
+  Fmt.pr "SORD single-rank projection on %s: %.2f ms (%dx%dx%d grid, %d steps)@."
+    machine.name (t_single *. 1e3) spec.grid.nx spec.grid.ny spec.grid.nz nt;
+
+  let ranks = [ 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024 ] in
+  List.iter
+    (fun network ->
+      let s =
+        MN.Project.strong_scaling ~spec ~network ~t_single ~ranks_list:ranks ()
+      in
+      Fmt.pr "@.%a@." MN.Network.pp network;
+      List.iter (fun p -> Fmt.pr "  %a@." MN.Project.pp_point p) s.points;
+      match MN.Project.comm_crossover s with
+      | Some r ->
+        Fmt.pr "  -> communication exceeds half the step time at %d ranks@." r
+      | None -> Fmt.pr "  -> compute-dominated over the whole sweep@.")
+    MN.Network.all

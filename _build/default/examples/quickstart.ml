@@ -1,0 +1,38 @@
+(* Quickstart: project the hot spots of a bundled workload on a
+   machine that does not need to exist, then validate the projection
+   against the ground-truth simulator.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. Pick a workload model and a target machine. *)
+  let workload = Core.Workloads.Registry.find_exn "sord" in
+  let machine = Core.Hw.Machines.bgq in
+
+  (* 2. Analytic projection only — this is all a co-designer needs,
+     and it never executes anything on the target. *)
+  let analysis =
+    Core.Pipeline.analyze ~machine ~workload ~scale:1.0 ()
+  in
+  Fmt.pr "Projected hot spots of %s on %s:@." workload.name machine.name;
+  List.iteri
+    (fun i (b : Core.Analysis.Blockstat.t) ->
+      if i < 5 then
+        Fmt.pr "  %d. %-20s %5.1f%%  (%a-bound)@." (i + 1) b.name
+          (100. *. b.time /. analysis.a_projection.total_time)
+          Core.Hw.Roofline.pp_bound b.bound)
+    analysis.a_projection.blocks;
+
+  (* 3. Full validation run: also simulates the workload as ground
+     truth and scores the selection quality (paper SSVI). *)
+  let r = Core.Pipeline.run ~machine workload in
+  Fmt.pr "@.Selection quality against simulated ground truth: Q(10) = %.1f%%@."
+    (100. *. Core.Pipeline.model_quality r ~k:10);
+
+  (* 4. The hot path: how control flow reaches the hot spots. *)
+  match Core.Pipeline.hot_path r with
+  | Some path ->
+    Fmt.pr "@.Hot path:@.%a@."
+      (Core.Analysis.Hotpath.pp ~total_time:r.projection.total_time)
+      path
+  | None -> Fmt.pr "no hot path@."

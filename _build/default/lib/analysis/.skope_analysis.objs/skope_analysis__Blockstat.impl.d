@@ -1,0 +1,1 @@
+lib/analysis/blockstat.ml: Block_id Float Fmt List Roofline Skope_bet Skope_hw Work

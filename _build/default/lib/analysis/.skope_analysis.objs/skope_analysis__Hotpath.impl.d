@@ -1,0 +1,1 @@
+lib/analysis/hotpath.ml: Block_id Fmt Hashtbl List Node Option Skope_bet String

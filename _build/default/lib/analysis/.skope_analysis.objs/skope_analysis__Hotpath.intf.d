@@ -1,0 +1,1 @@
+lib/analysis/hotpath.mli: Block_id Fmt Hashtbl Node Skope_bet

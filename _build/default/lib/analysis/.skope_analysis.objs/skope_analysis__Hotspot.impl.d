@@ -1,0 +1,1 @@
+lib/analysis/hotspot.ml: Block_id Blockstat List Skope_bet

@@ -1,0 +1,1 @@
+lib/analysis/hotspot.mli: Block_id Blockstat Skope_bet

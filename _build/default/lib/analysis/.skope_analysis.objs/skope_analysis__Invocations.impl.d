@@ -1,0 +1,1 @@
+lib/analysis/invocations.ml: Block_id Blockstat Bst Build Float Fmt Hashtbl Hotspot List Node Option Perf Skope_bet String

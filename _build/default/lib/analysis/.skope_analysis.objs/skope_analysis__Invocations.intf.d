@@ -1,0 +1,1 @@
+lib/analysis/invocations.mli: Block_id Blockstat Build Fmt Hotspot Perf Skope_bet

@@ -1,0 +1,1 @@
+lib/analysis/miniapp.ml: Ast Block_id Builder Float Fmt Hotpath List Map Node Skope_bet Skope_skeleton String Value

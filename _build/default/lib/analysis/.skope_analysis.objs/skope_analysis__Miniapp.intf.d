@@ -1,0 +1,1 @@
+lib/analysis/miniapp.mli: Ast Hotpath Skope_bet Skope_skeleton Value

@@ -1,0 +1,1 @@
+lib/analysis/perf.ml: Block_id Blockstat Bst Build Hashtbl List Machine Node Roofline Skope_bet Skope_hw Work

@@ -1,0 +1,1 @@
+lib/analysis/perf.mli: Blockstat Build Hashtbl Machine Node Roofline Skope_bet Skope_hw

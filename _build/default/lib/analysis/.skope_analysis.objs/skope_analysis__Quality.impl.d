@@ -1,0 +1,1 @@
+lib/analysis/quality.ml: Block_id Blockstat Hotspot List Option Skope_bet

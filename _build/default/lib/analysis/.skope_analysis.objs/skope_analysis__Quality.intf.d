@@ -1,0 +1,1 @@
+lib/analysis/quality.mli: Block_id Blockstat Skope_bet

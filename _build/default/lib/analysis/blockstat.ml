@@ -1,0 +1,49 @@
+(** Per-static-block performance statistics.
+
+    Both the analytic projection (lib/analysis {!Perf}) and the
+    ground-truth simulator (lib/sim) produce values of this type, so
+    hot-spot selection and the quality metric can consume either
+    interchangeably.  [time] is {e exclusive}: seconds attributed to
+    the block's direct statements only, so coverages of disjoint
+    blocks sum cleanly. *)
+
+open Skope_bet
+open Skope_hw
+
+type t = {
+  block : Block_id.t;
+  name : string;
+  time : float;  (** exclusive seconds over the whole execution *)
+  tc : float;  (** computation component (zero for simulator output) *)
+  tm : float;  (** memory component *)
+  t_overlap : float;  (** overlapped component *)
+  enr : float;  (** expected/observed number of executions *)
+  static_size : int;  (** exclusive static instruction statements *)
+  bound : Roofline.bound;
+  work : Work.t;  (** total dynamic work of the block *)
+  note : string;  (** representative invocation context *)
+}
+
+let make ?(tc = 0.) ?(tm = 0.) ?(t_overlap = 0.) ?(enr = 0.)
+    ?(bound = Roofline.Balanced) ?(work = Work.zero) ?(note = "") ~block ~name
+    ~time ~static_size () =
+  { block; name; time; tc; tm; t_overlap; enr; static_size; bound; work; note }
+
+(** Sort by decreasing time; ties broken by block id for
+    determinism. *)
+let rank (l : t list) : t list =
+  List.sort
+    (fun a b ->
+      match Float.compare b.time a.time with
+      | 0 -> Block_id.compare a.block b.block
+      | c -> c)
+    l
+
+let total_time (l : t list) = List.fold_left (fun acc b -> acc +. b.time) 0. l
+
+let find (l : t list) id =
+  List.find_opt (fun b -> Block_id.equal b.block id) l
+
+let pp ppf (b : t) =
+  Fmt.pf ppf "%-28s %10.4gs x%-10.4g [%a]" b.name b.time b.enr
+    Roofline.pp_bound b.bound

@@ -1,0 +1,85 @@
+(** Hot-path extraction (paper §V-C).
+
+    Each hot spot corresponds to one or more BET nodes; back-tracing a
+    node's ancestors to the root yields the control-flow path leading
+    to that invocation.  Merging the paths of all hot spots — shared
+    prefixes collapse, distinct suffixes branch — produces the hot
+    path: a stripped-down skeleton of the workload containing only the
+    hot spots and the control flow reaching them, annotated with
+    iteration counts, probabilities and invocation contexts.  It is
+    the starting point for mini-application construction. *)
+
+open Skope_bet
+
+type t = {
+  node : Node.t;
+  enr : float;
+  time : float;  (** projected/measured exclusive seconds of this node *)
+  is_hot : bool;  (** this node is an invocation of a selected hot spot *)
+  children : t list;
+}
+
+(** [extract ~selection ~node_time ~node_enr root] prunes the BET to
+    the paths reaching blocks in [selection].  Returns [None] when no
+    node matches (empty selection or cold tree). *)
+let extract ~(selection : Block_id.Set.t) ~node_time ~node_enr
+    (root : Node.t) : t option =
+  let time_of (n : Node.t) =
+    Option.value ~default:0. (Hashtbl.find_opt node_time n.Node.id)
+  in
+  let enr_of (n : Node.t) =
+    Option.value ~default:0. (Hashtbl.find_opt node_enr n.Node.id)
+  in
+  let rec prune (n : Node.t) : t option =
+    let kids = List.filter_map prune n.Node.children in
+    let hot = Block_id.Set.mem n.Node.block selection in
+    if hot || kids <> [] then
+      Some
+        {
+          node = n;
+          enr = enr_of n;
+          time = time_of n;
+          is_hot = hot;
+          children = kids;
+        }
+    else None
+  in
+  prune root
+
+(** Number of nodes on the hot path. *)
+let rec size t = List.fold_left (fun acc c -> acc + size c) 1 t.children
+
+(** Distinct hot spot invocations (hot nodes) on the path. *)
+let rec hot_invocations t =
+  List.fold_left
+    (fun acc c -> acc + hot_invocations c)
+    (if t.is_hot then 1 else 0)
+    t.children
+
+(** All root-to-hot-spot paths as lists of nodes (for tests and
+    mini-app generation). *)
+let paths t =
+  let rec go prefix t acc =
+    let prefix = t :: prefix in
+    let acc = if t.is_hot then List.rev prefix :: acc else acc in
+    List.fold_left (fun acc c -> go prefix c acc) acc t.children
+  in
+  List.rev (go [] t [])
+
+let pp ?(total_time = 0.) ppf t =
+  let rec go indent t =
+    let pct =
+      if total_time > 0. then Fmt.str " %4.1f%%" (100. *. t.time /. total_time)
+      else ""
+    in
+    Fmt.pf ppf "%s%s%a [%a] x%.4g p=%.3g%s%s@,"
+      (String.make indent ' ')
+      (if t.is_hot then "* " else "")
+      Node.pp_kind t.node.Node.kind Block_id.pp t.node.Node.block t.enr
+      t.node.Node.prob pct
+      (if t.node.Node.note = "" then "" else " (" ^ t.node.Node.note ^ ")");
+    List.iter (go (indent + 2)) t.children
+  in
+  Fmt.pf ppf "@[<v>";
+  go 0 t;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,34 @@
+(** Hot-path extraction (paper §V-C).
+
+    Back-traces every hot spot's BET nodes to the root and merges the
+    paths: shared prefixes collapse, distinct suffixes branch.  The
+    result is a stripped-down view of the workload annotated with
+    expected repetitions, probabilities and contexts — the starting
+    point for mini-application construction. *)
+
+open Skope_bet
+
+type t = {
+  node : Node.t;
+  enr : float;
+  time : float;  (** projected/measured exclusive seconds *)
+  is_hot : bool;  (** an invocation of a selected hot spot *)
+  children : t list;
+}
+
+(** Prune the BET to the paths reaching blocks in [selection]; [None]
+    when nothing matches. *)
+val extract :
+  selection:Block_id.Set.t ->
+  node_time:(int, float) Hashtbl.t ->
+  node_enr:(int, float) Hashtbl.t ->
+  Node.t ->
+  t option
+
+val size : t -> int
+val hot_invocations : t -> int
+
+(** All root-to-hot-spot chains. *)
+val paths : t -> t list list
+
+val pp : ?total_time:float -> t Fmt.t

@@ -1,0 +1,117 @@
+(** Hot-spot identification (paper §V-B).
+
+    Two user criteria drive the selection:
+
+    - {b time coverage}: the selected spots should together account for
+      at least this fraction of total run time (default 0.90);
+    - {b code leanness}: the selected spots may contain at most this
+      fraction of the program's static instructions (default 0.10).
+
+    Leanness takes precedence: when both cannot be met, coverage is
+    maximized subject to the leanness bound.  The underlying problem is
+    a knapsack; like the paper we use a greedy algorithm, walking
+    blocks in decreasing time order and skipping any block whose static
+    size would exceed the leanness budget. *)
+
+open Skope_bet
+
+type criteria = { time_coverage : float; code_leanness : float }
+
+let default_criteria = { time_coverage = 0.90; code_leanness = 0.10 }
+
+type spot = {
+  stat : Blockstat.t;
+  rank : int;  (** 1-based rank by time among selected spots *)
+  coverage : float;  (** this spot's share of total time *)
+  cum_coverage : float;  (** cumulative share up to and including it *)
+}
+
+type selection = {
+  spots : spot list;  (** selected, in rank order *)
+  ranked : Blockstat.t list;  (** all candidates by decreasing time *)
+  coverage : float;  (** total coverage achieved *)
+  leanness : float;  (** fraction of static instructions selected *)
+  total_time : float;
+  total_instructions : int;
+  criteria : criteria;
+}
+
+let spot_blocks sel = List.map (fun s -> s.stat.Blockstat.block) sel.spots
+
+let spot_set sel = Block_id.Set.of_list (spot_blocks sel)
+
+(** Select hot spots among [blocks].
+
+    [total_instructions] is the program's static instruction count (the
+    leanness denominator).  Blocks with negligible time are not
+    candidates. *)
+let select ?(criteria = default_criteria) ~total_instructions
+    (blocks : Blockstat.t list) : selection =
+  let ranked = Blockstat.rank blocks in
+  let total_time = Blockstat.total_time ranked in
+  let budget =
+    criteria.code_leanness *. float_of_int (max 1 total_instructions)
+  in
+  let eligible (b : Blockstat.t) = b.time > total_time *. 1e-9 in
+  let selected, size_used, time_used =
+    List.fold_left
+      (fun ((sel, size, time) as acc) (b : Blockstat.t) ->
+        let coverage_met =
+          total_time > 0. && time /. total_time >= criteria.time_coverage
+        in
+        if coverage_met || not (eligible b) then acc
+        else if float_of_int (size + b.static_size) <= budget then
+          (b :: sel, size + b.static_size, time +. b.time)
+        else acc)
+      ([], 0, 0.) ranked
+  in
+  let selected = List.rev selected in
+  let spots =
+    List.mapi
+      (fun i (b : Blockstat.t) ->
+        {
+          stat = b;
+          rank = i + 1;
+          coverage = (if total_time > 0. then b.time /. total_time else 0.);
+          cum_coverage = 0.;
+        })
+      selected
+  in
+  (* Fill cumulative coverages. *)
+  let _, spots =
+    List.fold_left_map
+      (fun cum (s : spot) ->
+        let cum = cum +. s.coverage in
+        (cum, { s with cum_coverage = cum }))
+      0. spots
+  in
+  {
+    spots;
+    ranked;
+    coverage = (if total_time > 0. then time_used /. total_time else 0.);
+    leanness = float_of_int size_used /. float_of_int (max 1 total_instructions);
+    total_time;
+    total_instructions;
+    criteria;
+  }
+
+(** Cumulative-coverage curve of the first [k] ranked blocks
+    (ignoring selection criteria) — the y-values of the paper's
+    figures 5 and 10–13. *)
+let coverage_curve ?(k = 10) (blocks : Blockstat.t list) : float list =
+  let ranked = Blockstat.rank blocks in
+  let total = Blockstat.total_time ranked in
+  let rec go i cum = function
+    | [] -> []
+    | (b : Blockstat.t) :: rest ->
+      if i >= k then []
+      else
+        let cum = cum +. (if total > 0. then b.time /. total else 0.) in
+        cum :: go (i + 1) cum rest
+  in
+  go 0 0. ranked
+
+(** Top-[k] blocks by time. *)
+let top_k ~k blocks =
+  let ranked = Blockstat.rank blocks in
+  List.filteri (fun i _ -> i < k) ranked

@@ -1,0 +1,42 @@
+(** Hot-spot identification (paper §V-B).
+
+    Greedy knapsack under two user criteria: minimum time coverage
+    (default 90%) and maximum code leanness (default 10% of static
+    instructions), leanness taking precedence. *)
+
+open Skope_bet
+
+type criteria = { time_coverage : float; code_leanness : float }
+
+val default_criteria : criteria
+
+type spot = {
+  stat : Blockstat.t;
+  rank : int;  (** 1-based among selected spots *)
+  coverage : float;  (** share of total time *)
+  cum_coverage : float;
+}
+
+type selection = {
+  spots : spot list;  (** selected, in rank order *)
+  ranked : Blockstat.t list;  (** all candidates by decreasing time *)
+  coverage : float;
+  leanness : float;
+  total_time : float;
+  total_instructions : int;
+  criteria : criteria;
+}
+
+val spot_blocks : selection -> Block_id.t list
+val spot_set : selection -> Block_id.Set.t
+
+(** Select hot spots; [total_instructions] is the static instruction
+    weight of the whole program (the leanness denominator). *)
+val select :
+  ?criteria:criteria -> total_instructions:int -> Blockstat.t list -> selection
+
+(** Cumulative-coverage curve of the first [k] ranked blocks (the
+    y-values of the paper's Figs. 5, 10-13). *)
+val coverage_curve : ?k:int -> Blockstat.t list -> float list
+
+val top_k : k:int -> Blockstat.t list -> Blockstat.t list

@@ -1,0 +1,65 @@
+(** Per-invocation contexts of a hot spot (paper §V-C, §VII-A).
+
+    The same hot spot can be reached along several control-flow paths,
+    each invocation operating in a different runtime context and
+    consuming a different amount of time; the paper highlights being
+    able to "further distinguish different invocations of the same hot
+    spot" and report each one's repetitions, probability, and data
+    sizes.  Because the BET keeps one node per (block, context), this
+    is a read-out: collect the nodes of a block with their ancestor
+    chains. *)
+
+open Skope_bet
+
+type invocation = {
+  call_path : string list;
+      (** block names from the root to (excluding) the invocation *)
+  enr : float;  (** expected repetitions of this invocation *)
+  prob : float;  (** conditional probability at the invocation site *)
+  trips : float;
+  time : float;  (** projected exclusive seconds of this invocation *)
+  note : string;  (** context annotation (bounds, argument values) *)
+}
+
+(** All invocations of [block] in the BET, most expensive first. *)
+let of_block (built : Build.result) (projection : Perf.projection)
+    (block : Block_id.t) : invocation list =
+  let time_of id =
+    Option.value ~default:0. (Hashtbl.find_opt projection.Perf.node_time id)
+  in
+  let rec go (node : Node.t) ~parent_enr ~path acc =
+    let enr = node.Node.trips *. node.Node.prob *. parent_enr in
+    let acc =
+      if Block_id.equal node.Node.block block then
+        {
+          call_path = List.rev path;
+          enr;
+          prob = node.Node.prob;
+          trips = node.Node.trips;
+          time = time_of node.Node.id;
+          note = node.Node.note;
+        }
+        :: acc
+      else acc
+    in
+    let name = Bst.block_name built.Build.bst node.Node.block in
+    List.fold_left
+      (fun acc c -> go c ~parent_enr:enr ~path:(name :: path) acc)
+      acc node.Node.children
+  in
+  go built.Build.root ~parent_enr:1. ~path:[] []
+  |> List.sort (fun a b -> Float.compare b.time a.time)
+
+(** Invocation summaries for every selected hot spot. *)
+let of_selection (built : Build.result) (projection : Perf.projection)
+    (selection : Hotspot.selection) : (Blockstat.t * invocation list) list =
+  List.map
+    (fun (s : Hotspot.spot) ->
+      (s.Hotspot.stat, of_block built projection s.Hotspot.stat.Blockstat.block))
+    selection.Hotspot.spots
+
+let pp_invocation ppf i =
+  Fmt.pf ppf "%s  x%.4g p=%.3g trips=%.4g %.3gms%s"
+    (String.concat " > " i.call_path)
+    i.enr i.prob i.trips (i.time *. 1e3)
+    (if i.note = "" then "" else " (" ^ i.note ^ ")")

@@ -1,0 +1,28 @@
+(** Per-invocation contexts of a hot spot (paper §V-C, §VII-A): the
+    same block reached along different control-flow paths, each with
+    its own repetition count, probability and context annotation. *)
+
+open Skope_bet
+
+type invocation = {
+  call_path : string list;
+      (** block names from the root to (excluding) the invocation *)
+  enr : float;  (** expected repetitions of this invocation *)
+  prob : float;  (** conditional probability at the invocation site *)
+  trips : float;
+  time : float;  (** projected exclusive seconds of this invocation *)
+  note : string;  (** context annotation (bounds, argument values) *)
+}
+
+(** All invocations of a block, most expensive first. *)
+val of_block :
+  Build.result -> Perf.projection -> Block_id.t -> invocation list
+
+(** Invocation lists for every selected hot spot. *)
+val of_selection :
+  Build.result ->
+  Perf.projection ->
+  Hotspot.selection ->
+  (Blockstat.t * invocation list) list
+
+val pp_invocation : invocation Fmt.t

@@ -1,0 +1,245 @@
+(** Mini-application generation from hot paths (paper §I, §V-C).
+
+    The paper motivates hot-path extraction with mini-app
+    construction: "a hot path is conceptually a stripped-down version
+    of the workload with only hot spots and the control flows that
+    lead to them ... Hot paths can also be used for constructing
+    mini-applications."  This module closes that loop: it turns a hot
+    path back into a {e runnable} skeleton program —
+
+    - loops on the path become loops with their {e expected} trip
+      counts baked in (so the mini-app needs no input model);
+    - branch arms become data-dependent branches with the path's
+      reaching probabilities;
+    - function mounts are inlined;
+    - hot blocks keep their exclusive instruction statements (compute,
+      memory and library calls) from the original skeleton; cold
+      intermediate blocks keep only their control structure;
+    - every array the retained statements touch is re-declared.
+
+    The generated program can be pretty-printed to the DSL, analyzed,
+    or simulated; the integration tests check that its simulated time
+    approximates the hot spots' share of the full application. *)
+
+open Skope_skeleton
+open Skope_bet
+
+module Smap = Map.Make (String)
+
+type t = {
+  program : Ast.program;  (** the generated mini-app *)
+  inputs : (string * Value.t) list;  (** bindings it needs *)
+  retained_statements : int;
+  original_statements : int;
+}
+
+(* Direct instruction statements of a block body (nested blocks are
+   represented by the hot path's children, not copied; [lib] calls are
+   their own blocks and are emitted by their own path nodes). *)
+let exclusive_stmts (b : Ast.block) =
+  List.filter
+    (fun (s : Ast.stmt) ->
+      match s.Ast.kind with
+      | Ast.Lib _ -> false
+      | _ -> Ast.is_instruction s)
+    b
+
+let body_of_block (p : Ast.program) (id : Block_id.t) : Ast.block =
+  let find_stmt sid =
+    Ast.fold_program
+      (fun acc s -> if s.Ast.sid = sid then Some s else acc)
+      None p
+  in
+  match id with
+  | Block_id.Fn name -> (
+    match Ast.find_func p name with f -> f.Ast.body | exception Not_found -> [])
+  | Block_id.Loop sid -> (
+    match find_stmt sid with
+    | Some { Ast.kind = Ast.For { body; _ }; _ }
+    | Some { Ast.kind = Ast.While { body; _ }; _ } ->
+      body
+    | _ -> [])
+  | Block_id.Arm (sid, which) -> (
+    match find_stmt sid with
+    | Some { Ast.kind = Ast.If { then_; else_; _ }; _ } ->
+      if which then then_ else else_
+    | _ -> [])
+  | Block_id.Libc sid -> (
+    match find_stmt sid with Some s -> [ s ] | None -> [])
+
+(* Collect array names accessed in retained statements. *)
+let rec arrays_of_stmts acc (stmts : Ast.stmt list) =
+  List.fold_left
+    (fun acc (s : Ast.stmt) ->
+      match s.Ast.kind with
+      | Ast.Mem { loads; stores } ->
+        List.fold_left
+          (fun acc (a : Ast.access) -> Smap.add a.Ast.array () acc)
+          acc (loads @ stores)
+      | Ast.If { then_; else_; _ } ->
+        arrays_of_stmts (arrays_of_stmts acc then_) else_
+      | Ast.For { body; _ } | Ast.While { body; _ } -> arrays_of_stmts acc body
+      | _ -> acc)
+    acc stmts
+
+(* Variables referenced by retained statements that are not bound
+   within the mini-app itself (loop variables are re-bound by the
+   regenerated loops). *)
+let rec free_vars_stmts bound acc (stmts : Ast.stmt list) =
+  let expr_vars acc e =
+    let rec go acc = function
+      | Ast.Var v -> if List.mem v bound then acc else Smap.add v () acc
+      | Ast.Int _ | Ast.Float _ | Ast.Bool _ -> acc
+      | Ast.Binop (_, a, b) | Ast.Cmp (_, a, b) | Ast.And (a, b) | Ast.Or (a, b)
+        ->
+        go (go acc a) b
+      | Ast.Unop (_, a) -> go acc a
+    in
+    go acc e
+  in
+  List.fold_left
+    (fun acc (s : Ast.stmt) ->
+      match s.Ast.kind with
+      | Ast.Comp { flops; iops; divs; _ } ->
+        expr_vars (expr_vars (expr_vars acc flops) iops) divs
+      | Ast.Mem { loads; stores } ->
+        List.fold_left
+          (fun acc (a : Ast.access) ->
+            List.fold_left expr_vars acc a.Ast.index)
+          acc (loads @ stores)
+      | Ast.Let (_, e) -> expr_vars acc e
+      | Ast.Lib { scale; _ } -> expr_vars acc scale
+      | Ast.For { body; var; _ } -> free_vars_stmts (var :: bound) acc body
+      | Ast.While { body; _ } -> free_vars_stmts bound acc body
+      | Ast.If { then_; else_; _ } ->
+        free_vars_stmts bound (free_vars_stmts bound acc then_) else_
+      | _ -> acc)
+    acc stmts
+
+(** Generate a mini-app from [path] (built over [program]).
+
+    [inputs] are the original input bindings; the subset the mini-app
+    still references is re-exported.  The loop trip counts baked into
+    the mini-app are per-invocation expectations ([trips] of each path
+    node), so the mini-app reproduces one pass over the hot path with
+    the original expected repetition structure. *)
+let generate ~(program : Ast.program) ~(inputs : (string * Value.t) list)
+    (path : Hotpath.t) : t =
+  let fresh =
+    let n = ref 0 in
+    fun prefix ->
+      incr n;
+      Fmt.str "%s%d" prefix !n
+  in
+  let rec convert (node : Hotpath.t) : Ast.stmt list =
+    let kids = List.concat_map convert node.Hotpath.children in
+    let own =
+      if node.Hotpath.is_hot then
+        exclusive_stmts (body_of_block program node.Hotpath.node.Node.block)
+      else []
+    in
+    let body = own @ kids in
+    match node.Hotpath.node.Node.kind with
+    | Node.Func _ ->
+      (* Inline the mounted function: just its contents. *)
+      body
+    | Node.Libcall _ ->
+      (* The lib statement itself was retained by [exclusive_stmts]
+         of its parent if hot; emit it directly from the block. *)
+      body_of_block program node.Hotpath.node.Node.block
+    | Node.Loop ->
+      let trips =
+        max 1 (int_of_float (Float.round node.Hotpath.node.Node.trips))
+      in
+      (* Keep the original loop variable so retained accesses like
+         [A[c]] stay bound. *)
+      let var =
+        let find_stmt sid =
+          Ast.fold_program
+            (fun acc s -> if s.Ast.sid = sid then Some s else acc)
+            None program
+        in
+        match node.Hotpath.node.Node.block with
+        | Block_id.Loop sid -> (
+          match find_stmt sid with
+          | Some { Ast.kind = Ast.For { var; _ }; _ } -> var
+          | _ -> "i__")
+        | _ -> "i__"
+      in
+      if body = [] then []
+      else
+        [
+          Builder.for_
+            ~label:(fresh "mini_loop")
+            var (Builder.int 1) (Builder.int trips) body;
+        ]
+    | Node.Arm which ->
+      if body = [] then []
+      else begin
+        let p = node.Hotpath.node.Node.prob in
+        let p = if which then p else 1. -. p in
+        if p >= 0.999 then body
+        else
+          [
+            Builder.if_data (fresh "mini_branch") (Builder.float p) body [];
+          ]
+      end
+  in
+  (* The root is the entry function mount. *)
+  let body = convert path in
+  let arrays = arrays_of_stmts Smap.empty body in
+  let original_arrays =
+    List.fold_left
+      (fun m (a : Ast.array_decl) -> Smap.add a.Ast.aname a m)
+      Smap.empty program.Ast.globals
+  in
+  let func_arrays =
+    List.fold_left
+      (fun m (f : Ast.func) ->
+        List.fold_left
+          (fun m (a : Ast.array_decl) -> Smap.add a.Ast.aname a m)
+          m f.Ast.arrays)
+      original_arrays program.Ast.funcs
+  in
+  let globals =
+    Smap.fold
+      (fun name () acc ->
+        match Smap.find_opt name func_arrays with
+        | Some decl -> decl :: acc
+        | None ->
+          { Ast.aname = name; dims = [ Ast.Int 4096 ]; elem_bytes = 8 } :: acc)
+      arrays []
+  in
+  (* Keep only the inputs the mini-app (statements or array dims)
+     still references. *)
+  let referenced =
+    let acc = free_vars_stmts [] Smap.empty body in
+    List.fold_left
+      (fun acc (d : Ast.array_decl) ->
+        List.fold_left
+          (fun acc e ->
+            let rec go acc = function
+              | Ast.Var v -> Smap.add v () acc
+              | Ast.Binop (_, a, b) -> go (go acc a) b
+              | Ast.Unop (_, a) -> go acc a
+              | _ -> acc
+            in
+            go acc e)
+          acc d.Ast.dims)
+      acc globals
+  in
+  let inputs =
+    List.filter (fun (name, _) -> Smap.mem name referenced) inputs
+  in
+  let mini =
+    Builder.program
+      (program.Ast.pname ^ "_mini")
+      ~globals
+      [ Builder.func "main" body ]
+  in
+  {
+    program = mini;
+    inputs;
+    retained_statements = Ast.program_size mini;
+    original_statements = Ast.program_size program;
+  }

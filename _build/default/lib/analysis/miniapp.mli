@@ -1,0 +1,23 @@
+(** Mini-application generation from hot paths (paper §I, §V-C).
+
+    Turns a hot path back into a runnable skeleton: loops carry their
+    expected trip counts, branch arms their reaching probabilities,
+    function mounts are inlined, hot blocks keep their instruction
+    statements, and every touched array is re-declared.  The result
+    can be pretty-printed, analyzed or simulated like any skeleton. *)
+
+open Skope_skeleton
+open Skope_bet
+
+type t = {
+  program : Ast.program;  (** the generated mini-app *)
+  inputs : (string * Value.t) list;  (** bindings it still needs *)
+  retained_statements : int;
+  original_statements : int;
+}
+
+val generate :
+  program:Ast.program ->
+  inputs:(string * Value.t) list ->
+  Hotpath.t ->
+  t

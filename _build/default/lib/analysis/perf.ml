@@ -1,0 +1,146 @@
+(** Analytic performance projection over a BET (paper §V-A).
+
+    Every BET node's exclusive work is priced once with the roofline
+    model; the node's total contribution is [t * ENR] where the
+    expected number of repetitions is [trips * prob * ENR(parent)].
+    Contributions are aggregated per static block, which is the
+    granularity at which hot spots are reported. *)
+
+open Skope_bet
+open Skope_hw
+
+type projection = {
+  machine : Machine.t;
+  blocks : Blockstat.t list;  (** ranked by decreasing projected time *)
+  total_time : float;
+  node_time : (int, float) Hashtbl.t;
+      (** BET node id -> total projected seconds (exclusive),
+          for hot-path annotation *)
+  node_enr : (int, float) Hashtbl.t;
+}
+
+type acc = {
+  mutable time : float;
+  mutable tc : float;
+  mutable tm : float;
+  mutable t_overlap : float;
+  mutable enr : float;
+  mutable work : Work.t;
+  mutable note : string;
+}
+
+(** Cache-ratio model for the projection.
+
+    [Constant] is the paper's first-order assumption (fixed hit ratios
+    from {!Roofline.opts}).  [Footprint] is the refinement the paper
+    leaves to future work (§VIII): per BET node, estimate the data
+    footprint of the innermost enclosing loop's full execution and
+    derive the hit ratio of each level from whether that working set
+    fits — a streaming sweep larger than the cache only keeps spatial
+    (within-line) reuse. *)
+type cache_model = Constant | Footprint
+
+(* Expected bytes touched by one execution of [node], children
+   included (no cross-iteration reuse assumed). *)
+let rec bytes_per_exec (node : Node.t) =
+  List.fold_left
+    (fun acc (c : Node.t) ->
+      acc +. (c.Node.prob *. c.Node.trips *. bytes_per_exec c))
+    (Work.bytes node.Node.work)
+    node.Node.children
+
+let footprint_hits (machine : Machine.t) ~footprint ~(base : Roofline.opts) =
+  let spatial (level : Machine.cache_level) =
+    (* Streaming beyond the cache: only within-line reuse survives
+       (8-byte elements in [line_bytes] lines). *)
+    1. -. (8. /. float_of_int level.Machine.line_bytes)
+  in
+  let hit (level : Machine.cache_level) =
+    if footprint <= float_of_int level.Machine.size_bytes then 0.95
+    else spatial level
+  in
+  { base with Roofline.hit_l1 = hit machine.Machine.l1;
+    hit_l2 = hit machine.Machine.l2 }
+
+(** Project the execution of [built] onto [machine].  [opts] selects
+    roofline refinements and [cache] the hit-ratio model (default:
+    the paper's baseline — constant ratios, flop-uniform, scalar). *)
+let project ?(opts = Roofline.default_opts) ?(cache = Constant)
+    (machine : Machine.t) (built : Build.result) : projection =
+  let per_block : (Block_id.t, acc) Hashtbl.t = Hashtbl.create 64 in
+  let node_time = Hashtbl.create 256 in
+  let node_enr = Hashtbl.create 256 in
+  let visit (node : Node.t) ~enr ~footprint =
+      let opts =
+        match cache with
+        | Constant -> opts
+        | Footprint -> footprint_hits machine ~footprint ~base:opts
+      in
+      let breakdown = Roofline.estimate ~opts machine node.Node.work in
+      let t = breakdown.Roofline.total *. enr in
+      Hashtbl.replace node_time node.Node.id t;
+      Hashtbl.replace node_enr node.Node.id enr;
+      let acc =
+        match Hashtbl.find_opt per_block node.Node.block with
+        | Some a -> a
+        | None ->
+          let a =
+            {
+              time = 0.;
+              tc = 0.;
+              tm = 0.;
+              t_overlap = 0.;
+              enr = 0.;
+              work = Work.zero;
+              note = "";
+            }
+          in
+          Hashtbl.add per_block node.Node.block a;
+          a
+      in
+      acc.time <- acc.time +. t;
+      acc.tc <- acc.tc +. (breakdown.Roofline.tc *. enr);
+      acc.tm <- acc.tm +. (breakdown.Roofline.tm *. enr);
+      acc.t_overlap <- acc.t_overlap +. (breakdown.Roofline.t_overlap *. enr);
+      acc.enr <- acc.enr +. enr;
+      acc.work <- Work.add acc.work (Work.scale enr node.Node.work);
+      if acc.note = "" then acc.note <- node.Node.note
+  in
+  (* Walk the BET computing ENR top-down and, for the footprint cache
+     model, the working set of the innermost enclosing loop. *)
+  let rec go (node : Node.t) ~parent_enr ~footprint =
+    let enr = node.Node.trips *. node.Node.prob *. parent_enr in
+    let footprint =
+      match node.Node.kind with
+      | Node.Loop -> node.Node.trips *. bytes_per_exec node
+      | _ -> footprint
+    in
+    visit node ~enr ~footprint;
+    List.iter (fun c -> go c ~parent_enr:enr ~footprint) node.Node.children
+  in
+  go built.Build.root ~parent_enr:1.
+    ~footprint:(bytes_per_exec built.Build.root);
+  let blocks =
+    Hashtbl.fold
+      (fun block (a : acc) l ->
+        let bound =
+          if a.tc > a.tm *. 1.25 then Roofline.Compute_bound
+          else if a.tm > a.tc *. 1.25 then Roofline.Memory_bound
+          else Roofline.Balanced
+        in
+        Blockstat.make ~block
+          ~name:(Bst.block_name built.Build.bst block)
+          ~time:a.time ~tc:a.tc ~tm:a.tm ~t_overlap:a.t_overlap ~enr:a.enr
+          ~static_size:(Bst.block_size built.Build.bst block)
+          ~bound ~work:a.work ~note:a.note ()
+        :: l)
+      per_block []
+    |> Blockstat.rank
+  in
+  {
+    machine;
+    blocks;
+    total_time = Blockstat.total_time blocks;
+    node_time;
+    node_enr;
+  }

@@ -1,0 +1,74 @@
+(** Selection-quality metric (paper §VI).
+
+    The developer cares about the {e measured} run-time coverage a hot
+    spot selection achieves.  For a selection size [k]:
+
+    [Q(k) = measured coverage of the top-k candidate selection
+            / measured coverage of the top-k measured selection]
+
+    so [Q = 1] when the candidate selection (e.g. the model's
+    projection, or a profile imported from another machine) captures as
+    much real run time as the best possible selection of the same
+    size.  The paper reports an average quality of 95.8 % and a worst
+    case above 80 %. *)
+
+open Skope_bet
+
+let time_of (measured : Blockstat.t list) id =
+  match Blockstat.find measured id with
+  | Some b -> b.Blockstat.time
+  | None -> 0.
+
+(** Measured time captured by the top-[k] blocks of [candidate]. *)
+let captured ~measured ~candidate ~k =
+  Hotspot.top_k ~k candidate
+  |> List.fold_left
+       (fun acc (b : Blockstat.t) -> acc +. time_of measured b.block)
+       0.
+
+(** Quality of [candidate]'s top-[k] selection against the [measured]
+    profile. *)
+let quality ~measured ~candidate ~k =
+  let best = captured ~measured ~candidate:measured ~k in
+  if best <= 0. then 1. else captured ~measured ~candidate ~k /. best
+
+(** Quality for every selection size 1..k. *)
+let curve ~measured ~candidate ~k =
+  List.init k (fun i -> quality ~measured ~candidate ~k:(i + 1))
+
+(** Number of blocks common to the top-[k] of both rankings — the
+    paper's portability observation (§VII-A: only 4 of the top 10 SORD
+    hot spots are shared between Xeon and BG/Q). *)
+let overlap ~a ~b ~k =
+  let ids l =
+    Hotspot.top_k ~k l
+    |> List.map (fun (s : Blockstat.t) -> s.block)
+    |> Block_id.Set.of_list
+  in
+  Block_id.Set.cardinal (Block_id.Set.inter (ids a) (ids b))
+
+(** Kendall-style pairwise rank agreement of the top-[k] of [a] within
+    [b]'s ranking; 1.0 means identical order.  Used to compare hot
+    spot orderings across machines. *)
+let rank_agreement ~a ~b ~k =
+  let pos l =
+    let ranked = Hotspot.top_k ~k:max_int l in
+    List.mapi (fun i (s : Blockstat.t) -> (s.block, i)) ranked
+  in
+  let pa = pos a and pb = pos b in
+  let top = Hotspot.top_k ~k a |> List.map (fun (s : Blockstat.t) -> s.block) in
+  let find l id = Option.map snd (List.find_opt (fun (b, _) -> Block_id.equal b id) l) in
+  let pairs = ref 0 and agree = ref 0 in
+  List.iteri
+    (fun i x ->
+      List.iteri
+        (fun j y ->
+          if i < j then
+            match (find pa x, find pa y, find pb x, find pb y) with
+            | Some ax, Some ay, Some bx, Some by ->
+              incr pairs;
+              if compare ax ay = compare bx by then incr agree
+            | _ -> ())
+        top)
+    top;
+  if !pairs = 0 then 1. else float_of_int !agree /. float_of_int !pairs

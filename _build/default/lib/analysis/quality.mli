@@ -1,0 +1,36 @@
+(** Selection-quality metric (paper §VI).
+
+    [quality ~measured ~candidate ~k] is the measured run time
+    captured by [candidate]'s top-k blocks relative to the best
+    possible top-k selection: 1.0 means the candidate selection is as
+    good as profiling the real machine. *)
+
+open Skope_bet
+
+(** Measured time captured by the top-[k] blocks of [candidate]. *)
+val captured :
+  measured:Blockstat.t list -> candidate:Blockstat.t list -> k:int -> float
+
+val quality :
+  measured:Blockstat.t list -> candidate:Blockstat.t list -> k:int -> float
+
+(** Quality for every selection size 1..k. *)
+val curve :
+  measured:Blockstat.t list ->
+  candidate:Blockstat.t list ->
+  k:int ->
+  float list
+
+(** Blocks common to the top-[k] of both rankings (the paper's
+    portability observation: SORD shares only 4 of 10 across
+    machines). *)
+val overlap : a:Blockstat.t list -> b:Blockstat.t list -> k:int -> int
+
+(** Pairwise rank agreement of [a]'s top-[k] within [b]'s ranking;
+    1.0 means identical order, 0.0 fully reversed. *)
+val rank_agreement :
+  a:Blockstat.t list -> b:Blockstat.t list -> k:int -> float
+
+(**/**)
+
+val time_of : Blockstat.t list -> Block_id.t -> float

@@ -1,0 +1,1 @@
+lib/bet/block_id.ml: Fmt Map Set Stdlib

@@ -1,0 +1,1 @@
+lib/bet/block_id.mli: Fmt Map Set

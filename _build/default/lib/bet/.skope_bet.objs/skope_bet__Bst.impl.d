@@ -1,0 +1,1 @@
+lib/bet/bst.ml: Ast Block_id Fmt List Loc Skope_skeleton

@@ -1,0 +1,1 @@
+lib/bet/bst.mli: Ast Block_id Loc Skope_skeleton

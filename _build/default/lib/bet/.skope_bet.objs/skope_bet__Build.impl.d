@@ -1,0 +1,1 @@
+lib/bet/build.ml: Ast Block_id Bst Context Eval Float Fmt Hints List Loc Node Pretty Skope_skeleton String Value Work

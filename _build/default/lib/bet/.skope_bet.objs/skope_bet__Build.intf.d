@@ -1,0 +1,1 @@
+lib/bet/build.mli: Ast Bst Hints Node Skope_skeleton Value Work

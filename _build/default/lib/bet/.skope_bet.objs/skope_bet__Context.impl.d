@@ -1,0 +1,1 @@
+lib/bet/context.ml: Eval Float Fmt List Value

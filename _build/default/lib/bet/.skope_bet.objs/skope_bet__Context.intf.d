@@ -1,0 +1,1 @@
+lib/bet/context.mli: Eval Fmt Skope_skeleton Value

@@ -1,0 +1,1 @@
+lib/bet/eval.ml: Ast Float List Map Option Skope_skeleton String Value

@@ -1,0 +1,1 @@
+lib/bet/eval.mli: Ast Map Skope_skeleton Value

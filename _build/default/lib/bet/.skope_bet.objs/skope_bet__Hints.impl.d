@@ -1,0 +1,1 @@
+lib/bet/hints.ml: Fmt Map String

@@ -1,0 +1,1 @@
+lib/bet/hints.mli: Fmt Map

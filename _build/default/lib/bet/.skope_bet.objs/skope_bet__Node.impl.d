@@ -1,0 +1,1 @@
+lib/bet/node.ml: Block_id Fmt List String Work

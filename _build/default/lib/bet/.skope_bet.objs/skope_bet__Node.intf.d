@@ -1,0 +1,1 @@
+lib/bet/node.mli: Block_id Fmt Work

@@ -1,0 +1,1 @@
+lib/bet/value.ml: Bool Float Fmt Int

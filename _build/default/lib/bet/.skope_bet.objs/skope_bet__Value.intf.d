@@ -1,0 +1,1 @@
+lib/bet/value.mli: Fmt

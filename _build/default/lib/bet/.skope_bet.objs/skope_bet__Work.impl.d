@@ -1,0 +1,1 @@
+lib/bet/work.ml: Float Fmt

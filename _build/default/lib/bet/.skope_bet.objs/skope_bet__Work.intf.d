@@ -1,0 +1,1 @@
+lib/bet/work.mli: Fmt

@@ -1,0 +1,37 @@
+(** Static identity of code blocks.
+
+    Hot spots in the paper are {e source} code blocks — a loop, a
+    branch arm, a function body, or an opaque library call (§V-A).
+    Many BET nodes (dynamic invocations) can map to the same static
+    block; analysis aggregates time per block id.  Ids are comparable
+    so they can key maps. *)
+
+type t =
+  | Fn of string  (** straight-line statements of a function body *)
+  | Loop of int  (** body of the [for]/[while] with this statement id *)
+  | Arm of int * bool  (** then/else arm of the [if] with this id *)
+  | Libc of int  (** the [lib] call with this statement id *)
+
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+let equal a b = compare a b = 0
+
+let pp ppf = function
+  | Fn f -> Fmt.pf ppf "fn:%s" f
+  | Loop sid -> Fmt.pf ppf "loop#%d" sid
+  | Arm (sid, arm) -> Fmt.pf ppf "arm#%d:%s" sid (if arm then "then" else "else")
+  | Libc sid -> Fmt.pf ppf "lib#%d" sid
+
+let to_string t = Fmt.str "%a" pp t
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

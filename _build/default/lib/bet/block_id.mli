@@ -1,0 +1,19 @@
+(** Static identity of code blocks.
+
+    Hot spots are {e source} code blocks — a loop, a branch arm, a
+    function body, or a library call site (§V-A); many BET nodes can
+    map to the same static block. *)
+
+type t =
+  | Fn of string  (** straight-line statements of a function body *)
+  | Loop of int  (** body of the [for]/[while] with this statement id *)
+  | Arm of int * bool  (** then/else arm of the [if] with this id *)
+  | Libc of int  (** the [lib] call with this statement id *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : t Fmt.t
+val to_string : t -> string
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

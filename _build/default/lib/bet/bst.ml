@@ -1,0 +1,139 @@
+(** Block Skeleton Tree: static tables derived from a parsed skeleton
+    (paper §III-A).
+
+    The BST is the hardware- and input-independent view of the
+    program: for every static code block it records a human-readable
+    name, the source location, the exclusive static instruction count
+    (used by the code-leanness criterion), and the nesting
+    relationships.  BET construction conceptually traverses this tree
+    mounting callee trees at call sites (§IV-B). *)
+
+open Skope_skeleton
+
+type block_info = {
+  id : Block_id.t;
+  name : string;  (** label if present, else derived from kind and location *)
+  loc : Loc.t;
+  func : string;  (** enclosing function *)
+  size : int;  (** exclusive static instruction statements *)
+  parent : Block_id.t option;
+}
+
+type t = {
+  program : Ast.program;
+  blocks : block_info Block_id.Map.t;
+  total_instructions : int;
+}
+
+let block_info t id = Block_id.Map.find_opt id t.blocks
+
+let block_name t id =
+  match block_info t id with
+  | Some b -> b.name
+  | None -> Block_id.to_string id
+
+let block_size t id =
+  match block_info t id with Some b -> b.size | None -> 0
+
+let blocks t = List.map snd (Block_id.Map.bindings t.blocks)
+
+let total_instructions t = t.total_instructions
+
+let program t = t.program
+
+(* Exclusive size: static instruction weight of the statements
+   directly inside a block, not nested within an inner block.  [lib]
+   statements form their own block, so their weight is excluded
+   here. *)
+let exclusive_size (b : Ast.block) =
+  List.fold_left
+    (fun n (s : Ast.stmt) ->
+      match s.kind with Ast.Lib _ -> n | _ -> n + Ast.stmt_weight s)
+    0 b
+
+let derive_name (s : Ast.stmt) (func : string) =
+  match s.label with
+  | Some l -> l
+  | None -> (
+    let at =
+      if Loc.equal s.loc Loc.none then Fmt.str "%s#%d" func s.sid
+      else Fmt.str "%s@%s" func (Loc.to_string s.loc)
+    in
+    match s.kind with
+    | Ast.For _ -> "for:" ^ at
+    | Ast.While _ -> "while:" ^ at
+    | Ast.If _ -> "if:" ^ at
+    | Ast.Lib { name; _ } -> Fmt.str "lib:%s:%s" name at
+    | Ast.Comp _ | Ast.Mem _ | Ast.Let _ | Ast.Call _ | Ast.Return
+    | Ast.Break _ | Ast.Continue _ ->
+      at)
+
+let build (p : Ast.program) : t =
+  let blocks = ref Block_id.Map.empty in
+  let add info = blocks := Block_id.Map.add info.id info !blocks in
+  let rec walk_block func parent (b : Ast.block) =
+    List.iter (walk_stmt func parent) b
+  and walk_stmt func parent (s : Ast.stmt) =
+    match s.kind with
+    | Ast.Comp _ | Ast.Mem _ | Ast.Let _ | Ast.Call _ | Ast.Return
+    | Ast.Break _ | Ast.Continue _ ->
+      ()
+    | Ast.Lib _ ->
+      let id = Block_id.Libc s.sid in
+      add
+        {
+          id;
+          name = derive_name s func;
+          loc = s.loc;
+          func;
+          size = Ast.stmt_weight s;
+          parent;
+        }
+    | Ast.For { body; _ } | Ast.While { body; _ } ->
+      let id = Block_id.Loop s.sid in
+      add
+        {
+          id;
+          name = derive_name s func;
+          loc = s.loc;
+          func;
+          size = exclusive_size body;
+          parent;
+        };
+      walk_block func (Some id) body
+    | Ast.If { then_; else_; _ } ->
+      let arm which body =
+        let id = Block_id.Arm (s.sid, which) in
+        let suffix = if which then "/then" else "/else" in
+        add
+          {
+            id;
+            name = derive_name s func ^ suffix;
+            loc = s.loc;
+            func;
+            size = exclusive_size body;
+            parent;
+          };
+        walk_block func (Some id) body
+      in
+      arm true then_;
+      if else_ <> [] then arm false else_
+  in
+  List.iter
+    (fun (f : Ast.func) ->
+      let id = Block_id.Fn f.fname in
+      let loc =
+        match f.body with s :: _ -> s.loc | [] -> Loc.none
+      in
+      add
+        {
+          id;
+          name = f.fname;
+          loc;
+          func = f.fname;
+          size = exclusive_size f.body;
+          parent = None;
+        };
+      walk_block f.fname (Some id) f.body)
+    p.funcs;
+  { program = p; blocks = !blocks; total_instructions = Ast.instruction_count p }

@@ -1,0 +1,32 @@
+(** Block Skeleton Tree: static tables derived from a parsed skeleton
+    (paper §III-A).
+
+    The hardware- and input-independent view of the program: for every
+    static code block, a human-readable name, the source location, the
+    exclusive static instruction weight (the code-leanness unit), and
+    nesting relationships. *)
+
+open Skope_skeleton
+
+type block_info = {
+  id : Block_id.t;
+  name : string;  (** label if present, else derived from kind/location *)
+  loc : Loc.t;
+  func : string;  (** enclosing function *)
+  size : int;  (** exclusive static instruction weight *)
+  parent : Block_id.t option;
+}
+
+type t
+
+val build : Ast.program -> t
+val block_info : t -> Block_id.t -> block_info option
+val block_name : t -> Block_id.t -> string
+val block_size : t -> Block_id.t -> int
+val blocks : t -> block_info list
+
+(** Total static instruction weight of the program (the leanness
+    denominator). *)
+val total_instructions : t -> int
+
+val program : t -> Ast.program

@@ -1,0 +1,42 @@
+(** Bayesian Execution Tree construction (paper §IV-B).
+
+    Traverses the BST from the entry function, threading weighted
+    contexts: function calls mount the callee in place, loops become
+    single nodes carrying expected trip counts, branches split context
+    mass, and [return]/[break]/[continue] promote their probabilities
+    to the right ancestor.  Construction cost is independent of the
+    input size. *)
+
+open Skope_skeleton
+
+type result = {
+  root : Node.t;
+  bst : Bst.t;
+  node_count : int;
+  warnings : string list;
+}
+
+(** Expected trips of a loop over at most [n] iterations when each
+    iteration exits early with probability [p]:
+    [(1 - (1-p)^n) / p], clamped to [\[0, n\]]. *)
+val truncated_geometric : p:float -> n:float -> float
+
+(** Expected trips of a [while] loop continuing with probability [p]
+    per iteration, capped at [n] (the first iteration always runs). *)
+val while_trips : p:float -> n:float -> float
+
+(** Build the BET for a program.
+
+    [inputs] supplies the entry parameters and global constants (the
+    paper's "hint file"), visible in every function.  [hints] carries
+    profiled branch statistics, which override declared probabilities.
+    [lib_work] maps a library function name to its per-unit-scale
+    instruction mix (§IV-C).  [max_contexts] caps the number of
+    simultaneously tracked contexts per program point. *)
+val build :
+  ?hints:Hints.t ->
+  ?lib_work:(string -> Work.t option) ->
+  ?max_contexts:int ->
+  ?inputs:(string * Value.t) list ->
+  Ast.program ->
+  result

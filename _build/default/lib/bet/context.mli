@@ -1,0 +1,33 @@
+(** Weighted execution contexts (paper §IV-A).
+
+    A context is a probability-carrying snapshot of the variables that
+    influence control flow.  BET construction threads a small set of
+    contexts through each block; data-dependent branches split mass,
+    diverging [let] bindings fork contexts, and value-identical
+    contexts re-merge. *)
+
+type t = { env : Eval.env; mass : float }
+
+val make : ?mass:float -> (string * Value.t) list -> t
+
+(** Total probability mass of a context set. *)
+val mass_of : t list -> float
+
+val bind : t -> string -> Value.t -> t
+val unbind : t -> string -> t
+val scale : t -> float -> t
+val lookup : t -> string -> Value.t option
+val env_equal : Eval.env -> Eval.env -> bool
+val pp : t Fmt.t
+
+(** Merge value-identical contexts (summing mass), drop negligible
+    mass, and enforce [cap] by folding the lightest contexts into the
+    heaviest.  Total mass is preserved; the result is sorted by
+    decreasing mass. *)
+val normalize : ?cap:int -> t list -> t list
+
+(** Mass-weighted mean value of an expression over live contexts. *)
+val expect : ?default:float -> t list -> Skope_skeleton.Ast.expr -> float
+
+(** Mass-weighted mean probability, clamped to [0, 1]. *)
+val expect_prob : ?default:float -> t list -> Skope_skeleton.Ast.expr -> float

@@ -1,0 +1,109 @@
+(** Evaluation of skeleton expressions over a variable environment.
+
+    Evaluation is partial: an expression mentioning an unbound variable
+    yields [None], which BET construction treats as "statistically
+    unknown" and resolves with declared probabilities or defaults. *)
+
+open Skope_skeleton
+
+module Smap = Map.Make (String)
+
+type env = Value.t Smap.t
+
+let env_of_list l : env =
+  List.fold_left (fun m (k, v) -> Smap.add k v m) Smap.empty l
+
+let ( let* ) = Option.bind
+
+let arith op a b =
+  let open Value in
+  match (op, a, b) with
+  | Ast.Add, I a, I b -> Some (I (a + b))
+  | Ast.Sub, I a, I b -> Some (I (a - b))
+  | Ast.Mul, I a, I b -> Some (I (a * b))
+  | Ast.Div, I a, I b when b <> 0 -> Some (I (a / b))
+  | Ast.Mod, I a, I b when b <> 0 -> Some (I (a mod b))
+  | Ast.Min, I a, I b -> Some (I (min a b))
+  | Ast.Max, I a, I b -> Some (I (max a b))
+  | Ast.Pow, I a, I b when b >= 0 ->
+    let rec go acc n = if n = 0 then acc else go (acc * a) (n - 1) in
+    Some (I (go 1 b))
+  | op, a, b -> (
+    let a = to_float a and b = to_float b in
+    match op with
+    | Ast.Add -> Some (F (a +. b))
+    | Ast.Sub -> Some (F (a -. b))
+    | Ast.Mul -> Some (F (a *. b))
+    | Ast.Div -> if b = 0. then None else Some (F (a /. b))
+    | Ast.Mod -> if b = 0. then None else Some (F (Float.rem a b))
+    | Ast.Min -> Some (F (Float.min a b))
+    | Ast.Max -> Some (F (Float.max a b))
+    | Ast.Pow -> Some (F (a ** b)))
+
+let rec eval (env : env) (e : Ast.expr) : Value.t option =
+  match e with
+  | Ast.Int i -> Some (Value.I i)
+  | Ast.Float f -> Some (Value.F f)
+  | Ast.Bool b -> Some (Value.B b)
+  | Ast.Var v -> Smap.find_opt v env
+  | Ast.Binop (op, a, b) ->
+    let* a = eval env a in
+    let* b = eval env b in
+    arith op a b
+  | Ast.Cmp (op, a, b) ->
+    let* a = eval env a in
+    let* b = eval env b in
+    let c = Value.compare a b in
+    let r =
+      match op with
+      | Ast.Lt -> c < 0
+      | Ast.Le -> c <= 0
+      | Ast.Gt -> c > 0
+      | Ast.Ge -> c >= 0
+      | Ast.Eq -> c = 0
+      | Ast.Ne -> c <> 0
+    in
+    Some (Value.B r)
+  | Ast.And (a, b) -> (
+    let* a = eval env a in
+    if not (Value.truthy a) then Some (Value.B false)
+    else
+      let* b = eval env b in
+      Some (Value.B (Value.truthy b)))
+  | Ast.Or (a, b) -> (
+    let* a = eval env a in
+    if Value.truthy a then Some (Value.B true)
+    else
+      let* b = eval env b in
+      Some (Value.B (Value.truthy b)))
+  | Ast.Unop (op, a) -> (
+    let* a = eval env a in
+    match op with
+    | Ast.Neg -> (
+      match a with
+      | Value.I i -> Some (Value.I (-i))
+      | v -> Some (Value.F (-.Value.to_float v)))
+    | Ast.Not -> Some (Value.B (not (Value.truthy a)))
+    | Ast.Floor -> Some (Value.I (int_of_float (Float.floor (Value.to_float a))))
+    | Ast.Ceil -> Some (Value.I (int_of_float (Float.ceil (Value.to_float a))))
+    | Ast.Sqrt ->
+      let f = Value.to_float a in
+      if f < 0. then None else Some (Value.F (Float.sqrt f))
+    | Ast.Log2 ->
+      let f = Value.to_float a in
+      if f <= 0. then None else Some (Value.F (Float.log f /. Float.log 2.))
+    | Ast.Abs -> (
+      match a with
+      | Value.I i -> Some (Value.I (abs i))
+      | v -> Some (Value.F (Float.abs (Value.to_float v)))))
+
+(** Evaluate to a float, with a fallback default. *)
+let eval_float ?(default = 0.) env e =
+  match eval env e with Some v -> Value.to_float v | None -> default
+
+(** Evaluate to a non-negative count (clamped at 0). *)
+let eval_count ?(default = 0.) env e = Float.max 0. (eval_float ~default env e)
+
+(** Evaluate a probability expression, clamped to [0,1]. *)
+let eval_prob ?(default = 0.5) env e =
+  Float.min 1. (Float.max 0. (eval_float ~default env e))

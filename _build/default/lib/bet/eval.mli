@@ -1,0 +1,28 @@
+(** Evaluation of skeleton expressions over a variable environment.
+
+    Evaluation is partial: an expression mentioning an unbound
+    variable (or dividing by zero) yields [None], which BET
+    construction treats as "statistically unknown". *)
+
+open Skope_skeleton
+
+module Smap : Map.S with type key = string
+
+type env = Value.t Smap.t
+
+val env_of_list : (string * Value.t) list -> env
+
+(** Arithmetic on values; [None] on division/modulo by zero.
+    Integer operands stay integral where possible. *)
+val arith : Ast.binop -> Value.t -> Value.t -> Value.t option
+
+val eval : env -> Ast.expr -> Value.t option
+
+(** Evaluate to a float, with a fallback default. *)
+val eval_float : ?default:float -> env -> Ast.expr -> float
+
+(** Evaluate to a non-negative count (clamped at 0). *)
+val eval_count : ?default:float -> env -> Ast.expr -> float
+
+(** Evaluate a probability, clamped to [0, 1]. *)
+val eval_prob : ?default:float -> env -> Ast.expr -> float

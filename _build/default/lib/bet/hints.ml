@@ -1,0 +1,89 @@
+(** Profiling hints: branch outcome statistics and loop trip counts.
+
+    The paper gathers these once on a local machine with gcov
+    (§III-B); here they come from one profiling run of the skeleton
+    interpreter (lib/sim).  Hints are hardware-independent, so a single
+    profile serves projections for every target architecture. *)
+
+module Smap = Map.Make (String)
+
+type branch_stat = { taken : int; total : int }
+
+type loop_stat = { iters : int; entries : int }
+
+type t = { branches : branch_stat Smap.t; loops : loop_stat Smap.t }
+
+let empty = { branches = Smap.empty; loops = Smap.empty }
+
+let is_empty t = Smap.is_empty t.branches && Smap.is_empty t.loops
+
+(** Record one observed outcome of data-dependent branch [name]. *)
+let observe_branch t name ~taken =
+  let s =
+    match Smap.find_opt name t.branches with
+    | Some s -> s
+    | None -> { taken = 0; total = 0 }
+  in
+  let s =
+    { taken = (s.taken + if taken then 1 else 0); total = s.total + 1 }
+  in
+  { t with branches = Smap.add name s t.branches }
+
+(** Record one completed execution of loop [name] with [iters]
+    iterations. *)
+let observe_loop t name ~iters =
+  let s =
+    match Smap.find_opt name t.loops with
+    | Some s -> s
+    | None -> { iters = 0; entries = 0 }
+  in
+  let s = { iters = s.iters + iters; entries = s.entries + 1 } in
+  { t with loops = Smap.add name s t.loops }
+
+(** Empirical fall-through probability of branch [name], or [default]
+    when the branch was never observed. *)
+let branch_prob t name ~default =
+  match Smap.find_opt name t.branches with
+  | Some { total; _ } when total = 0 -> default
+  | Some { taken; total } -> float_of_int taken /. float_of_int total
+  | None -> default
+
+(** Mean trip count of loop [name], or [default] when unobserved. *)
+let loop_trips t name ~default =
+  match Smap.find_opt name t.loops with
+  | Some { entries; _ } when entries = 0 -> default
+  | Some { iters; entries } -> float_of_int iters /. float_of_int entries
+  | None -> default
+
+let merge a b =
+  let merge_branch _ x y =
+    match (x, y) with
+    | Some x, Some y ->
+      Some { taken = x.taken + y.taken; total = x.total + y.total }
+    | (Some _ as s), None | None, (Some _ as s) -> s
+    | None, None -> None
+  in
+  let merge_loop _ x y =
+    match (x, y) with
+    | Some x, Some y ->
+      Some { iters = x.iters + y.iters; entries = x.entries + y.entries }
+    | (Some _ as s), None | None, (Some _ as s) -> s
+    | None, None -> None
+  in
+  {
+    branches = Smap.merge merge_branch a.branches b.branches;
+    loops = Smap.merge merge_loop a.loops b.loops;
+  }
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>branches:@,";
+  Smap.iter
+    (fun name { taken; total } ->
+      Fmt.pf ppf "  %s: %d/%d@," name taken total)
+    t.branches;
+  Fmt.pf ppf "loops:@,";
+  Smap.iter
+    (fun name { iters; entries } ->
+      Fmt.pf ppf "  %s: %d iters over %d entries@," name iters entries)
+    t.loops;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,32 @@
+(** Profiling hints: branch outcome statistics and loop trip counts
+    (paper §III-B).
+
+    Gathered by one local profiling run (lib/sim plays gcov's role);
+    hardware-independent, so a single profile serves projections for
+    every target architecture. *)
+
+module Smap : Map.S with type key = string
+
+type branch_stat = { taken : int; total : int }
+type loop_stat = { iters : int; entries : int }
+type t = { branches : branch_stat Smap.t; loops : loop_stat Smap.t }
+
+val empty : t
+val is_empty : t -> bool
+
+(** Record one observed outcome of a data-dependent branch. *)
+val observe_branch : t -> string -> taken:bool -> t
+
+(** Record one completed loop execution with its iteration count. *)
+val observe_loop : t -> string -> iters:int -> t
+
+(** Empirical fall-through probability, or [default] if unobserved. *)
+val branch_prob : t -> string -> default:float -> float
+
+(** Mean trip count, or [default] if unobserved. *)
+val loop_trips : t -> string -> default:float -> float
+
+(** Pointwise sum of two sets of observations. *)
+val merge : t -> t -> t
+
+val pp : t Fmt.t

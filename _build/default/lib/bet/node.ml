@@ -1,0 +1,64 @@
+(** Bayesian Execution Tree nodes (paper §IV-A).
+
+    A node is the dynamic execution of a code block under a given
+    context: a mounted function call, a loop (a single node regardless
+    of trip count), a branch arm, or an opaque library call.  Each node
+    carries the conditional probability of reaching it given one
+    execution of its parent, its expected trip count, and the expected
+    work of one execution of its {e direct} statements. *)
+
+type kind =
+  | Func of string  (** function mounted at a call site (or the root) *)
+  | Loop  (** [for]/[while]; [trips] is the expected iteration count *)
+  | Arm of bool  (** branch arm *)
+  | Libcall of string  (** opaque library function (§IV-C) *)
+
+type t = {
+  id : int;
+  block : Block_id.t;  (** static block this invocation executes *)
+  kind : kind;
+  prob : float;
+      (** conditional probability of executing, given one execution of
+          the parent *)
+  trips : float;  (** expected iterations; 1.0 for non-loops *)
+  work : Work.t;
+      (** expected work of one execution of the node's direct
+          statements (children excluded) *)
+  note : string;  (** context annotation for reports (bounds, sizes) *)
+  mutable children : t list;  (** in execution order *)
+}
+
+let pp_kind ppf = function
+  | Func f -> Fmt.pf ppf "func %s" f
+  | Loop -> Fmt.string ppf "loop"
+  | Arm true -> Fmt.string ppf "then"
+  | Arm false -> Fmt.string ppf "else"
+  | Libcall l -> Fmt.pf ppf "lib %s" l
+
+(** Number of nodes in the (sub)tree. *)
+let rec size t = List.fold_left (fun n c -> n + size c) 1 t.children
+
+(** Pre-order fold over the tree.  [f] receives the accumulator, the
+    node, and the node's expected number of repetitions (ENR), computed
+    as [trips * prob * ENR(parent)] with ENR(root) = trips(root)
+    (paper §V-A). *)
+let fold_enr f acc t =
+  let rec go acc node parent_enr =
+    let enr = node.trips *. node.prob *. parent_enr in
+    let acc = f acc node ~enr in
+    List.fold_left (fun acc c -> go acc c enr) acc node.children
+  in
+  go acc t 1.
+
+let iter_enr f t = fold_enr (fun () node ~enr -> f node ~enr) () t
+
+(** Depth-first listing of nodes with their ENR. *)
+let to_list_enr t =
+  List.rev (fold_enr (fun acc n ~enr -> (n, enr) :: acc) [] t)
+
+let rec pp ?(indent = 0) ppf t =
+  Fmt.pf ppf "%s[%d] %a %a p=%.3g trips=%.6g%s@,"
+    (String.make indent ' ')
+    t.id Block_id.pp t.block pp_kind t.kind t.prob t.trips
+    (if t.note = "" then "" else " (" ^ t.note ^ ")");
+  List.iter (pp ~indent:(indent + 2) ppf) t.children

@@ -1,0 +1,41 @@
+(** Bayesian Execution Tree nodes (paper §IV-A).
+
+    A node is the dynamic execution of a code block under a given
+    context: a mounted function call, a loop (a single node regardless
+    of trip count), a branch arm, or an opaque library call. *)
+
+type kind =
+  | Func of string  (** function mounted at a call site (or the root) *)
+  | Loop  (** [for]/[while]; [trips] holds the expected iterations *)
+  | Arm of bool  (** branch arm *)
+  | Libcall of string  (** opaque library function (§IV-C) *)
+
+type t = {
+  id : int;
+  block : Block_id.t;  (** static block this invocation executes *)
+  kind : kind;
+  prob : float;
+      (** conditional probability given one execution of the parent *)
+  trips : float;  (** expected iterations; 1.0 for non-loops *)
+  work : Work.t;
+      (** expected work of one execution of the node's direct
+          statements (children excluded) *)
+  note : string;  (** context annotation for reports *)
+  mutable children : t list;  (** in execution order *)
+}
+
+val pp_kind : kind Fmt.t
+
+(** Number of nodes in the (sub)tree. *)
+val size : t -> int
+
+(** Pre-order fold; [f] receives each node's expected number of
+    repetitions [ENR = trips * prob * ENR(parent)] (paper §V-A). *)
+val fold_enr : ('a -> t -> enr:float -> 'a) -> 'a -> t -> 'a
+
+val iter_enr : (t -> enr:float -> unit) -> t -> unit
+
+(** Depth-first listing of nodes with their ENR. *)
+val to_list_enr : t -> (t * float) list
+
+val pp : ?indent:int -> t Fmt.t

@@ -1,0 +1,48 @@
+(** Runtime values of context variables.
+
+    Context variables are the small set of scalars that influence
+    control flow and data sizes (paper §IV).  Integer/float distinction
+    is preserved so loop bounds stay exact. *)
+
+type t = I of int | F of float | B of bool
+
+let pp ppf = function
+  | I i -> Fmt.int ppf i
+  | F f -> Fmt.pf ppf "%g" f
+  | B b -> Fmt.bool ppf b
+
+let to_string v = Fmt.str "%a" pp v
+
+let equal a b =
+  match (a, b) with
+  | I a, I b -> a = b
+  | F a, F b -> Float.equal a b
+  | B a, B b -> a = b
+  | I a, F b | F b, I a -> Float.equal (float_of_int a) b
+  | (I _ | F _ | B _), _ -> false
+
+let compare a b =
+  match (a, b) with
+  | B a, B b -> Bool.compare a b
+  | B _, _ -> -1
+  | _, B _ -> 1
+  | I a, I b -> Int.compare a b
+  | (I _ | F _), (I _ | F _) ->
+    let f = function I i -> float_of_int i | F f -> f | B _ -> assert false in
+    Float.compare (f a) (f b)
+
+let to_float = function
+  | I i -> float_of_int i
+  | F f -> f
+  | B true -> 1.
+  | B false -> 0.
+
+let truthy = function B b -> b | I i -> i <> 0 | F f -> f <> 0.
+
+(** Wrap a float as an [I] when it is integral (within 1 ulp-ish), so
+    arithmetic on integers stays integral. *)
+let of_float f = if Float.is_integer f then I (int_of_float f) else F f
+
+let int i = I i
+let float f = F f
+let bool b = B b

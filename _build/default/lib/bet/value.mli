@@ -1,0 +1,29 @@
+(** Runtime values of context variables.
+
+    Context variables are the small set of scalars that influence
+    control flow and data sizes (paper §IV); the integer/float
+    distinction is preserved so loop bounds stay exact. *)
+
+type t = I of int | F of float | B of bool
+
+val pp : t Fmt.t
+val to_string : t -> string
+
+(** Numeric equality crosses the int/float divide:
+    [equal (I 3) (F 3.) = true]. *)
+val equal : t -> t -> bool
+
+(** Total order: booleans first, then numerics by value. *)
+val compare : t -> t -> int
+
+val to_float : t -> float
+
+(** C-style truthiness: zero and [false] are false. *)
+val truthy : t -> bool
+
+(** Wrap a float, returning [I] when it is integral. *)
+val of_float : float -> t
+
+val int : int -> t
+val float : float -> t
+val bool : bool -> t

@@ -1,0 +1,92 @@
+(** Work vectors: performance characteristics of one execution of a
+    code region (paper §V-A).
+
+    Counts are floats because they are statistical expectations over
+    contexts.  [divs] and the [vec_*] fields record information the
+    baseline analytic model deliberately ignores (all flops priced
+    alike, no SIMD); they exist so the ablation benches can switch the
+    refinements on and quantify their effect. *)
+
+type t = {
+  flops : float;  (** floating point operations (includes [divs]) *)
+  iops : float;  (** fixed point / integer operations *)
+  divs : float;  (** floating point divisions, a subset of [flops] *)
+  vec_flops : float;
+      (** flops issued in statements the compiler can vectorize *)
+  vec_issue : float;
+      (** the same flops counted as vector issues, i.e. Σ flops/vec *)
+  loads : float;  (** data elements read *)
+  stores : float;  (** data elements written *)
+  lbytes : float;  (** bytes read *)
+  sbytes : float;  (** bytes written *)
+}
+
+let zero =
+  {
+    flops = 0.;
+    iops = 0.;
+    divs = 0.;
+    vec_flops = 0.;
+    vec_issue = 0.;
+    loads = 0.;
+    stores = 0.;
+    lbytes = 0.;
+    sbytes = 0.;
+  }
+
+let add a b =
+  {
+    flops = a.flops +. b.flops;
+    iops = a.iops +. b.iops;
+    divs = a.divs +. b.divs;
+    vec_flops = a.vec_flops +. b.vec_flops;
+    vec_issue = a.vec_issue +. b.vec_issue;
+    loads = a.loads +. b.loads;
+    stores = a.stores +. b.stores;
+    lbytes = a.lbytes +. b.lbytes;
+    sbytes = a.sbytes +. b.sbytes;
+  }
+
+let scale k a =
+  {
+    flops = k *. a.flops;
+    iops = k *. a.iops;
+    divs = k *. a.divs;
+    vec_flops = k *. a.vec_flops;
+    vec_issue = k *. a.vec_issue;
+    loads = k *. a.loads;
+    stores = k *. a.stores;
+    lbytes = k *. a.lbytes;
+    sbytes = k *. a.sbytes;
+  }
+
+let is_zero w = w = zero
+
+(** Total dynamic operations: computation plus memory instructions. *)
+let ops w = w.flops +. w.iops +. w.loads +. w.stores
+
+let mem_accesses w = w.loads +. w.stores
+
+let bytes w = w.lbytes +. w.sbytes
+
+(** Operational intensity: flops per byte moved (the roofline x-axis).
+    [infinity] for compute-only regions, [0.] for pure data movement
+    and empty work. *)
+let intensity w =
+  let b = bytes w in
+  if b > 0. then w.flops /. b else if w.flops > 0. then Float.infinity else 0.
+
+let of_comp ~flops ~iops ~divs ~vec =
+  let vec = max 1 vec in
+  let vec_flops = if vec > 1 then flops else 0. in
+  let vec_issue = if vec > 1 then flops /. float_of_int vec else 0. in
+  { zero with flops; iops; divs; vec_flops; vec_issue }
+
+let of_mem ~loads ~stores ~lbytes ~sbytes = { zero with loads; stores; lbytes; sbytes }
+
+let equal a b = a = b
+
+let pp ppf w =
+  Fmt.pf ppf
+    "@[<h>{flops=%.6g iops=%.6g divs=%.6g ld=%.6g st=%.6g lB=%.6g sB=%.6g}@]"
+    w.flops w.iops w.divs w.loads w.stores w.lbytes w.sbytes

@@ -1,0 +1,43 @@
+(** Work vectors: performance characteristics of one execution of a
+    code region (paper §V-A).
+
+    Counts are floats because they are statistical expectations over
+    contexts.  [divs] and the [vec_*] fields record information the
+    baseline analytic model deliberately ignores; the ablation benches
+    switch those refinements on. *)
+
+type t = {
+  flops : float;  (** floating point operations (includes [divs]) *)
+  iops : float;  (** fixed point / integer operations *)
+  divs : float;  (** floating point divisions, a subset of [flops] *)
+  vec_flops : float;  (** flops in statements the compiler vectorizes *)
+  vec_issue : float;  (** the same flops counted as vector issues *)
+  loads : float;  (** data elements read *)
+  stores : float;  (** data elements written *)
+  lbytes : float;  (** bytes read *)
+  sbytes : float;  (** bytes written *)
+}
+
+val zero : t
+val add : t -> t -> t
+val scale : float -> t -> t
+val is_zero : t -> bool
+
+(** Total dynamic operations: computation plus memory instructions. *)
+val ops : t -> float
+
+val mem_accesses : t -> float
+val bytes : t -> float
+
+(** Operational intensity (flops per byte moved): the roofline
+    x-axis.  [infinity] for compute-only work, [0.] for pure data
+    movement and for [zero]. *)
+val intensity : t -> float
+
+val of_comp : flops:float -> iops:float -> divs:float -> vec:int -> t
+
+val of_mem :
+  loads:float -> stores:float -> lbytes:float -> sbytes:float -> t
+
+val equal : t -> t -> bool
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/core/core.ml: Pipeline Skope_analysis Skope_bet Skope_frontend Skope_hw Skope_multinode Skope_report Skope_sim Skope_skeleton Skope_workloads

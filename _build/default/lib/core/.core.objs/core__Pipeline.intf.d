@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Ast Build Hints Hotpath Hotspot Interp Libmix Machine Perf Registry Roofline Skope_analysis Skope_bet Skope_hw Skope_sim Skope_skeleton Skope_workloads Value

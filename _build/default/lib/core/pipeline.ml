@@ -1,0 +1,152 @@
+(** End-to-end analysis pipeline (paper Fig. 1).
+
+    For a workload and a target machine the pipeline:
+
+    + builds the skeleton program and its input bindings,
+    + profiles it {e once} on a local machine to obtain the
+      hardware-independent branch statistics (gcov stand-in, §III-B),
+    + constructs the Bayesian Execution Tree (§IV),
+    + projects per-block performance on the target with the roofline
+      model (§V-A) — no execution on the target is needed,
+    + selects hot spots under the coverage/leanness criteria (§V-B),
+
+    and, for validation only, also runs the ground-truth simulator on
+    the target to obtain the "measured" profile the paper compares
+    against (§VI). *)
+
+open Skope_skeleton
+open Skope_bet
+open Skope_hw
+open Skope_analysis
+open Skope_sim
+open Skope_workloads
+
+type run = {
+  workload : Registry.t;
+  machine : Machine.t;
+  scale : float;
+  program : Ast.program;
+  inputs : (string * Value.t) list;
+  hints : Hints.t;
+  built : Build.result;  (** the BET *)
+  projection : Perf.projection;  (** Modl: analytic per-block times *)
+  measured : Interp.result;  (** Prof: simulator ground truth *)
+  model_sel : Hotspot.selection;
+  measured_sel : Hotspot.selection;
+}
+
+(** Analytic-only result: what a user studying a not-yet-built machine
+    would have (no ground truth available). *)
+type analysis = {
+  a_program : Ast.program;
+  a_built : Build.result;
+  a_projection : Perf.projection;
+  a_selection : Hotspot.selection;
+}
+
+let local_machine = Machines.xeon
+
+(** Profile the skeleton once on the local machine to gather branch
+    outcome statistics and while-loop trip counts. *)
+let profile ?(seed = 42L) ~libmix ~inputs program : Hints.t =
+  let config = Interp.default_config ~machine:local_machine ~libmix ~seed () in
+  (Interp.run ~config ~inputs program).Interp.hints
+
+(** Analytic projection only — no execution on [machine] at all. *)
+let analyze ?(criteria = Hotspot.default_criteria)
+    ?(opts = Roofline.default_opts) ?(cache = Perf.Constant)
+    ?(hints = Hints.empty) ~machine ~(workload : Registry.t) ~scale () :
+    analysis =
+  let program, inputs = workload.Registry.make ~scale in
+  Validate.check_exn ~inputs:(List.map fst inputs) program;
+  let built =
+    Build.build ~hints ~lib_work:(Libmix.work_fn workload.Registry.libmix)
+      ~inputs program
+  in
+  let projection = Perf.project ~opts ~cache machine built in
+  let selection =
+    Hotspot.select ~criteria
+      ~total_instructions:(Bst.total_instructions built.Build.bst)
+      projection.Perf.blocks
+  in
+  { a_program = program; a_built = built; a_projection = projection;
+    a_selection = selection }
+
+(** Full validation run: profile locally, project analytically, and
+    simulate on the target as ground truth. *)
+let run ?(criteria = Hotspot.default_criteria) ?(opts = Roofline.default_opts)
+    ?(seed = 42L) ?scale ~machine (workload : Registry.t) : run =
+  let scale =
+    match scale with Some s -> s | None -> workload.Registry.default_scale
+  in
+  let program, inputs = workload.Registry.make ~scale in
+  Validate.check_exn ~inputs:(List.map fst inputs) program;
+  let libmix = workload.Registry.libmix in
+  let hints = profile ~seed ~libmix ~inputs program in
+  let built =
+    Build.build ~hints ~lib_work:(Libmix.work_fn libmix) ~inputs program
+  in
+  let projection = Perf.project ~opts machine built in
+  let config = Interp.default_config ~machine ~libmix ~seed () in
+  let measured = Interp.run ~config ~inputs program in
+  let total_instructions = Bst.total_instructions built.Build.bst in
+  let model_sel =
+    Hotspot.select ~criteria ~total_instructions projection.Perf.blocks
+  in
+  let measured_sel =
+    Hotspot.select ~criteria ~total_instructions measured.Interp.blocks
+  in
+  {
+    workload;
+    machine;
+    scale;
+    program;
+    inputs;
+    hints;
+    built;
+    projection;
+    measured;
+    model_sel;
+    measured_sel;
+  }
+
+(** Selection quality of the model's projection against the simulator
+    ground truth, for top-[k] spots (§VI). *)
+let model_quality (r : run) ~k =
+  Quality.quality ~measured:r.measured.Interp.blocks
+    ~candidate:r.projection.Perf.blocks ~k
+
+(** Hot path of the model-selected spots through the BET (§V-C). *)
+let hot_path (r : run) : Hotpath.t option =
+  Hotpath.extract
+    ~selection:(Hotspot.spot_set r.model_sel)
+    ~node_time:r.projection.Perf.node_time
+    ~node_enr:r.projection.Perf.node_enr r.built.Build.root
+
+(** Measured coverage (fraction of simulated time) captured by the
+    model's top-[k] selection — the Modl(m) curve of Figs. 5/10-13. *)
+let modl_measured_coverage (r : run) ~k =
+  let total = Blockstat.total_time r.measured.Interp.blocks in
+  if total <= 0. then 0.
+  else
+    Quality.captured ~measured:r.measured.Interp.blocks
+      ~candidate:r.projection.Perf.blocks ~k
+    /. total
+
+(** Projected coverage of the model's top-[k] selection — Modl(p). *)
+let modl_projected_coverage (r : run) ~k =
+  let total = r.projection.Perf.total_time in
+  if total <= 0. then 0.
+  else
+    Quality.captured ~measured:r.projection.Perf.blocks
+      ~candidate:r.projection.Perf.blocks ~k
+    /. total
+
+(** Measured coverage of the measured top-[k] selection — Prof. *)
+let prof_coverage (r : run) ~k =
+  let total = Blockstat.total_time r.measured.Interp.blocks in
+  if total <= 0. then 0.
+  else
+    Quality.captured ~measured:r.measured.Interp.blocks
+      ~candidate:r.measured.Interp.blocks ~k
+    /. total

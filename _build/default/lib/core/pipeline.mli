@@ -1,0 +1,87 @@
+(** End-to-end analysis pipeline (paper Fig. 1): skeleton -> one local
+    profiling run -> BET -> roofline projection -> hot regions, plus a
+    ground-truth simulation for validation. *)
+
+open Skope_skeleton
+open Skope_bet
+open Skope_hw
+open Skope_analysis
+open Skope_sim
+open Skope_workloads
+
+(** A full validation run: the analytic projection (Modl) next to the
+    simulator ground truth (Prof). *)
+type run = {
+  workload : Registry.t;
+  machine : Machine.t;
+  scale : float;
+  program : Ast.program;
+  inputs : (string * Value.t) list;
+  hints : Hints.t;
+  built : Build.result;  (** the BET *)
+  projection : Perf.projection;  (** Modl: analytic per-block times *)
+  measured : Interp.result;  (** Prof: simulator ground truth *)
+  model_sel : Hotspot.selection;
+  measured_sel : Hotspot.selection;
+}
+
+(** Analytic-only result: what a user studying a not-yet-built machine
+    has (no ground truth available). *)
+type analysis = {
+  a_program : Ast.program;
+  a_built : Build.result;
+  a_projection : Perf.projection;
+  a_selection : Hotspot.selection;
+}
+
+(** The machine that plays "local host" for profiling runs. *)
+val local_machine : Machine.t
+
+(** One local profiling run: branch statistics and while-loop trip
+    counts (the gcov step, §III-B); hardware-independent. *)
+val profile :
+  ?seed:int64 ->
+  libmix:Libmix.t ->
+  inputs:(string * Value.t) list ->
+  Ast.program ->
+  Hints.t
+
+(** Analytic projection only — nothing executes on [machine]. *)
+val analyze :
+  ?criteria:Hotspot.criteria ->
+  ?opts:Roofline.opts ->
+  ?cache:Perf.cache_model ->
+  ?hints:Hints.t ->
+  machine:Machine.t ->
+  workload:Registry.t ->
+  scale:float ->
+  unit ->
+  analysis
+
+(** Full validation run: profile locally, project analytically,
+    simulate on the target as ground truth. *)
+val run :
+  ?criteria:Hotspot.criteria ->
+  ?opts:Roofline.opts ->
+  ?seed:int64 ->
+  ?scale:float ->
+  machine:Machine.t ->
+  Registry.t ->
+  run
+
+(** Selection quality of the projection against the ground truth at
+    top-[k] (§VI). *)
+val model_quality : run -> k:int -> float
+
+(** Hot path of the model-selected spots through the BET (§V-C). *)
+val hot_path : run -> Hotpath.t option
+
+(** Measured coverage captured by the model's top-[k] selection — the
+    Modl(m) curve of Figs. 5/10-13. *)
+val modl_measured_coverage : run -> k:int -> float
+
+(** Projected coverage of the model's top-[k] selection — Modl(p). *)
+val modl_projected_coverage : run -> k:int -> float
+
+(** Measured coverage of the measured top-[k] selection — Prof. *)
+val prof_coverage : run -> k:int -> float

@@ -1,0 +1,1 @@
+lib/frontend/abstract.ml: C_ast Fmt List Map Option Set Skope_skeleton String

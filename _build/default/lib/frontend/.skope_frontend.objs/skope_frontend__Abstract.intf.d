@@ -1,0 +1,1 @@
+lib/frontend/abstract.mli: Ast C_ast Skope_skeleton

@@ -1,0 +1,1 @@
+lib/frontend/c_ast.ml: Fmt List String

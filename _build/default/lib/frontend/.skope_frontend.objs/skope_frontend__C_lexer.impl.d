@@ -1,0 +1,1 @@
+lib/frontend/c_lexer.ml: Fmt List String

@@ -1,0 +1,1 @@
+lib/frontend/c_parser.ml: C_ast C_lexer Fmt List Option

@@ -1,0 +1,1 @@
+lib/frontend/c_parser.mli: C_ast

@@ -1,0 +1,546 @@
+(** Abstraction: mini-C -> code skeleton (the paper's application
+    analysis engine, Fig. 1 / §III-B).
+
+    The pass performs what the paper's ROSE-based source-to-source
+    translator does:
+
+    - {b instruction-mix counting}: typed walks over each statement
+      count floating point operations (divisions separately), integer
+      operations, and array loads/stores;
+    - {b control-flow abstraction}: canonical [for] loops become
+      skeleton loops; conditions that only involve input parameters
+      and tracked integer scalars stay analyzable; anything
+      data-dependent becomes a [data] branch (line-keyed name) whose
+      probability one profiling run will supply;
+    - {b unknown values}: an integer scalar assigned from memory (an
+      indirection index) can no longer be tracked — its uses in array
+      subscripts are replaced by a pseudo-random surrogate within the
+      array, preserving the access's cache behaviour class, and loops
+      bounded by such values fall back to profiled trip counts;
+    - {b library calls}: [exp]/[log]/[sqrt]/[rand]/[sincos] lower to
+      [lib] statements for semi-analytic modeling (§IV-C);
+    - {b vectorizability}: innermost loops whose accesses are all
+      unit-stride in the induction variable and whose bodies are
+      branch- and call-free are marked [vec=4], mimicking the native
+      compiler's vectorizer. *)
+
+open C_ast
+module A = Skope_skeleton.Ast
+module B = Skope_skeleton.Builder
+
+type result = {
+  program : A.program;
+  params : (string * ty) list;
+      (** the input variables a hint file must bind *)
+  warnings : string list;
+}
+
+exception Error of int * string
+
+let error line fmt = Fmt.kstr (fun m -> raise (Error (line, m))) fmt
+
+(* ------------------------------------------------------------------ *)
+
+module Sset = Set.Make (String)
+module Smap = Map.Make (String)
+
+type env = {
+  params : ty Smap.t;
+  arrays : (ty * expr list) Smap.t;  (** element type and dim exprs *)
+  funcs : Sset.t;
+  mutable locals : ty Smap.t;  (** per-function scalar types *)
+  mutable tracked : Sset.t;
+      (** int scalars whose value the skeleton still models *)
+  mutable loop_vars : string list;  (** innermost first *)
+  mutable fresh : int;
+  mutable warnings : string list;
+}
+
+let warn env fmt =
+  Fmt.kstr
+    (fun m -> if not (List.mem m env.warnings) then env.warnings <- m :: env.warnings)
+    fmt
+
+let fresh env prefix =
+  env.fresh <- env.fresh + 1;
+  Fmt.str "%s_%d" prefix env.fresh
+
+let var_ty env v =
+  match Smap.find_opt v env.locals with
+  | Some ty -> Some ty
+  | None -> Smap.find_opt v env.params
+
+let rec expr_ty env = function
+  | Int_lit _ -> Tint
+  | Float_lit _ -> Tfloat
+  | Var v -> Option.value ~default:Tint (var_ty env v)
+  | Index (a, _) -> (
+    match Smap.find_opt a env.arrays with
+    | Some (ty, _) -> ty
+    | None -> Tfloat)
+  | Bin ((Lt | Le | Gt | Ge | Eq | Ne | And | Or), _, _) -> Tint
+  | Bin (_, a, b) ->
+    if expr_ty env a = Tfloat || expr_ty env b = Tfloat then Tfloat else Tint
+  | Un (Not, _) -> Tint
+  | Un (Neg, a) -> expr_ty env a
+  | Call _ -> Tfloat
+
+(* An expression is analyzable when the skeleton can evaluate it:
+   literals, parameters, tracked integer scalars, and arithmetic over
+   them. *)
+let rec analyzable env = function
+  | Int_lit _ | Float_lit _ -> true
+  | Var v ->
+    Smap.mem v env.params
+    || Sset.mem v env.tracked
+    || List.mem v env.loop_vars
+  | Index _ | Call _ -> false
+  | Bin (_, a, b) -> analyzable env a && analyzable env b
+  | Un (_, a) -> analyzable env a
+
+(* Translate an analyzable expression to a skeleton expression. *)
+let rec trans env (e : expr) : A.expr =
+  match e with
+  | Int_lit i -> A.Int i
+  | Float_lit f -> A.Float f
+  | Var v -> A.Var v
+  | Bin (op, a, b) -> (
+    let a = trans env a and b = trans env b in
+    match op with
+    | Add -> A.Binop (A.Add, a, b)
+    | Sub -> A.Binop (A.Sub, a, b)
+    | Mul -> A.Binop (A.Mul, a, b)
+    | Div -> A.Binop (A.Div, a, b)
+    | Mod -> A.Binop (A.Mod, a, b)
+    | Lt -> A.Cmp (A.Lt, a, b)
+    | Le -> A.Cmp (A.Le, a, b)
+    | Gt -> A.Cmp (A.Gt, a, b)
+    | Ge -> A.Cmp (A.Ge, a, b)
+    | Eq -> A.Cmp (A.Eq, a, b)
+    | Ne -> A.Cmp (A.Ne, a, b)
+    | And -> A.And (a, b)
+    | Or -> A.Or (a, b))
+  | Un (Neg, a) -> A.Unop (A.Neg, trans env a)
+  | Un (Not, a) -> A.Unop (A.Not, trans env a)
+  | Index _ | Call _ -> assert false
+
+(* Subscript translation: analyzable subscripts translate directly;
+   unknown ones (indirection through data) become a pseudo-random
+   surrogate within the dimension, keyed to the innermost loop
+   variable so the access stream varies per iteration. *)
+let trans_subscript env ~array dim_expr (e : expr) : A.expr =
+  if analyzable env e then trans env e
+  else begin
+    let dim =
+      if analyzable env dim_expr then trans env dim_expr else A.Int 4096
+    in
+    warn env
+      "subscript of %s at an unknown value; modeled as a pseudo-random \
+       access within the dimension"
+      array;
+    match env.loop_vars with
+    | v :: _ -> A.Binop (A.Mod, A.Binop (A.Mul, A.Var v, A.Int 7919), dim)
+    | [] -> A.Int 0
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Instruction-mix measurement of one expression. *)
+
+type mix = {
+  mutable flops : int;
+  mutable iops : int;
+  mutable divs : int;
+  mutable loads : A.access list;  (** reverse order *)
+  mutable libs : string list;
+}
+
+let new_mix () = { flops = 0; iops = 0; divs = 0; loads = []; libs = [] }
+
+let access_of env ~line name (idx : expr list) : A.access =
+  match Smap.find_opt name env.arrays with
+  | None -> error line "use of undeclared array %s" name
+  | Some (_, dims) ->
+    if List.length dims <> List.length idx then
+      error line "array %s has %d dimensions, subscripted with %d" name
+        (List.length dims) (List.length idx);
+    {
+      A.array = name;
+      index = List.map2 (fun d e -> trans_subscript env ~array:name d e) dims idx;
+    }
+
+let rec measure env ~line (m : mix) (e : expr) : unit =
+  match e with
+  | Int_lit _ | Float_lit _ | Var _ -> ()
+  | Index (a, idx) ->
+    List.iter (measure env ~line m) idx;
+    (* subscript arithmetic *)
+    m.iops <- m.iops + List.length idx;
+    m.loads <- access_of env ~line a idx :: m.loads
+  | Bin (op, a, b) ->
+    measure env ~line m a;
+    measure env ~line m b;
+    let float_ctx = expr_ty env a = Tfloat || expr_ty env b = Tfloat in
+    (match op with
+    | Add | Sub | Mul ->
+      if float_ctx then m.flops <- m.flops + 1 else m.iops <- m.iops + 1
+    | Div ->
+      if float_ctx then begin
+        m.flops <- m.flops + 1;
+        m.divs <- m.divs + 1
+      end
+      else m.iops <- m.iops + 1
+    | Mod -> m.iops <- m.iops + 1
+    | Lt | Le | Gt | Ge | Eq | Ne | And | Or -> m.iops <- m.iops + 1)
+  | Un (Neg, a) ->
+    measure env ~line m a;
+    if expr_ty env a = Tfloat then m.flops <- m.flops + 1
+    else m.iops <- m.iops + 1
+  | Un (Not, a) ->
+    measure env ~line m a;
+    m.iops <- m.iops + 1
+  | Call ("__prob", args) ->
+    (* probability annotation: only the condition costs anything *)
+    (match args with c :: _ -> measure env ~line m c | [] -> ())
+  | Call (f, args) ->
+    List.iter (measure env ~line m) args;
+    if not (is_libm f) then
+      warn env "unknown function %s in expression treated as a library call" f;
+    m.libs <- f :: m.libs
+
+(* Emit skeleton statements realizing a measured mix plus an optional
+   store target; [vec] marks vectorizability. *)
+let emit_mix ?(vec = 1) env ~line (m : mix) ~(stores : A.access list) :
+    A.stmt list =
+  ignore env;
+  ignore line;
+  (* A compiler keeps repeated reads of the same element in a
+     register: dedupe structurally identical accesses. *)
+  let dedupe accesses =
+    List.fold_left
+      (fun acc a -> if List.mem a acc then acc else a :: acc)
+      [] accesses
+    |> List.rev
+  in
+  let loads = dedupe (List.rev m.loads) in
+  let stmts = ref [] in
+  if loads <> [] then stmts := B.load loads :: !stmts;
+  List.iter (fun l -> stmts := B.lib l :: !stmts) (List.rev m.libs);
+  if m.flops > 0 || m.iops > 0 then
+    stmts :=
+      B.comp ~flops:(A.Int m.flops) ~iops:(A.Int m.iops) ~divs:(A.Int m.divs)
+        ~vec ()
+      :: !stmts;
+  if stores <> [] then stmts := B.store stores :: !stmts;
+  List.rev !stmts
+
+(* ------------------------------------------------------------------ *)
+(* Statement lowering. *)
+
+let rec lower_block env (b : block) : A.stmt list =
+  List.concat_map (lower_stmt env) b
+
+and lower_stmt env (s : stmt) : A.stmt list =
+  let line = s.sloc in
+  match s.skind with
+  | Decl (ty, name, init) -> (
+    env.locals <- Smap.add name ty env.locals;
+    match init with
+    | Some e when ty = Tint && analyzable env e ->
+      env.tracked <- Sset.add name env.tracked;
+      [ B.let_ name (trans env e) ]
+    | Some e ->
+      env.tracked <- Sset.remove name env.tracked;
+      let m = new_mix () in
+      measure env ~line m e;
+      emit_mix env ~line m ~stores:[]
+    | None -> [])
+  | Assign (Lvar name, rhs) ->
+    let ty = Option.value ~default:Tint (var_ty env name) in
+    if ty = Tint && analyzable env rhs then begin
+      env.tracked <- Sset.add name env.tracked;
+      [ B.let_ name (trans env rhs) ]
+    end
+    else begin
+      if Sset.mem name env.tracked then begin
+        warn env
+          "value of %s becomes data-dependent at line %d; no longer tracked"
+          name line;
+        env.tracked <- Sset.remove name env.tracked
+      end;
+      let m = new_mix () in
+      measure env ~line m rhs;
+      (* scalar write itself *)
+      m.iops <- m.iops + 1;
+      emit_mix env ~line m ~stores:[]
+    end
+  | Assign (Lindex (a, idx), rhs) ->
+    let m = new_mix () in
+    measure env ~line m rhs;
+    List.iter (measure env ~line m) idx;
+    m.iops <- m.iops + List.length idx;
+    let store = access_of env ~line a idx in
+    emit_mix env ~line m ~stores:[ store ]
+  | If (cond, then_, else_) ->
+    (* Developer annotation [__prob(cond, p)] declares the
+       fall-through probability of a data-dependent branch (the
+       paper's developer-supplied hints, refined by profiling). *)
+    let cond, declared_p =
+      match cond with
+      | C_ast.Call ("__prob", [ c; Float_lit p ]) -> (c, Some p)
+      | C_ast.Call ("__prob", [ c; Int_lit p ]) -> (c, Some (float_of_int p))
+      | c -> (c, None)
+    in
+    (* Decide analyzability before the arms run (they may untrack the
+       very scalars the condition reads). *)
+    let cond_static =
+      if declared_p = None && analyzable env cond then Some (trans env cond)
+      else None
+    in
+    let m = new_mix () in
+    measure env ~line m cond;
+    let prefix =
+      if m.loads <> [] || m.flops > 0 then emit_mix env ~line m ~stores:[]
+      else []
+    in
+    let saved = env.tracked in
+    let then_l = lower_block env then_ in
+    env.tracked <- saved;
+    let else_l = lower_block env else_ in
+    (* Conservatively stop tracking scalars assigned in either arm. *)
+    env.tracked <- saved;
+    let assigned = assigned_ints then_ @ assigned_ints else_ in
+    List.iter
+      (fun v -> env.tracked <- Sset.remove v env.tracked)
+      assigned;
+    let branch =
+      match cond_static with
+      | Some c -> B.if_ c then_l else_l
+      | None ->
+        B.if_data
+          (fresh env (Fmt.str "branch_l%d" line))
+          (A.Float (Option.value ~default:0.5 declared_p))
+          then_l else_l
+    in
+    prefix @ [ branch ]
+  | For { var; init; limit_incl; limit; step; body } ->
+    let bounds_known =
+      analyzable env init && analyzable env limit && analyzable env step
+    in
+    env.locals <- Smap.add var Tint env.locals;
+    if bounds_known then begin
+      env.loop_vars <- var :: env.loop_vars;
+      let vec = if vectorizable env var body then 4 else 1 in
+      let body_l = lower_with_vec env vec body in
+      env.loop_vars <- List.tl env.loop_vars;
+      let hi =
+        if limit_incl then trans env limit
+        else A.Binop (A.Sub, trans env limit, A.Int 1)
+      in
+      [
+        B.for_
+          ~label:(Fmt.str "for_l%d" line)
+          ~step:(trans env step) var (trans env init) hi body_l;
+      ]
+    end
+    else begin
+      (* Data-dependent bounds: the trip count comes from profiling,
+         and the induction variable's value is unknown per iteration,
+         so its uses degrade to surrogate subscripts. *)
+      warn env
+        "loop bounds at line %d are data-dependent; trip count left to \
+         profiling"
+        line;
+      env.tracked <- Sset.remove var env.tracked;
+      let body_l = lower_block env body in
+      [
+        B.while_
+          ~label:(Fmt.str "for_l%d" line)
+          (fresh env (Fmt.str "loop_l%d" line))
+          ~p_continue:(A.Float 0.9) ~max_iter:(A.Int 1_000_000) body_l;
+      ]
+    end
+  | While (cond, body) ->
+    let m = new_mix () in
+    measure env ~line m cond;
+    let prefix =
+      if m.loads <> [] || m.flops > 0 then emit_mix env ~line m ~stores:[]
+      else []
+    in
+    let body_l = lower_block env body in
+    prefix
+    @ [
+        B.while_
+          ~label:(Fmt.str "while_l%d" line)
+          (fresh env (Fmt.str "while_l%d" line))
+          ~p_continue:(A.Float 0.9) ~max_iter:(A.Int 1_000_000) body_l;
+      ]
+  | Call_stmt (f, args) ->
+    if is_libm f then [ B.lib f ]
+    else if Sset.mem f env.funcs then begin
+      let targs =
+        List.map
+          (fun a ->
+            if analyzable env a then trans env a
+            else begin
+              warn env "argument of %s at line %d is data-dependent; passed 0"
+                f line;
+              A.Int 0
+            end)
+          args
+      in
+      [ B.call f targs ]
+    end
+    else begin
+      warn env "call to unknown function %s treated as a library call" f;
+      [ B.lib f ]
+    end
+  | Return -> [ B.return_ () ]
+  | Break -> [ B.break_ (fresh env (Fmt.str "break_l%d" line)) (A.Float 1.0) ]
+  | Continue ->
+    [ B.continue_ (fresh env (Fmt.str "continue_l%d" line)) (A.Float 1.0) ]
+
+(* Integer scalars assigned anywhere in a block (for conservative
+   tracking across branches). *)
+and assigned_ints (b : block) : string list =
+  List.concat_map
+    (fun (s : stmt) ->
+      match s.skind with
+      | Assign (Lvar v, _) | Decl (_, v, Some _) -> [ v ]
+      | If (_, t, e) -> assigned_ints t @ assigned_ints e
+      | For { body; var; _ } -> var :: assigned_ints body
+      | While (_, body) -> assigned_ints body
+      | _ -> [])
+    b
+
+(* A loop is "vectorizable" when its body is straight-line assignments
+   whose array accesses are all unit-stride in the induction variable
+   and which call no functions. *)
+and vectorizable env var (body : block) : bool =
+  let ok = ref (body <> []) in
+  let rec refs_var = function
+    | Var v -> String.equal v var
+    | Int_lit _ | Float_lit _ -> false
+    | Index (_, idx) -> List.exists refs_var idx
+    | Bin (_, a, b) -> refs_var a || refs_var b
+    | Un (_, a) -> refs_var a
+    | Call (_, args) -> List.exists refs_var args
+  in
+  let rec check_expr = function
+    | Call _ -> ok := false
+    | Index (a, idx) -> (
+      List.iter check_expr idx;
+      match Smap.find_opt a env.arrays with
+      | Some (_, dims) when List.length dims = List.length idx -> (
+        match List.rev idx with
+        | last :: _ -> (
+          match last with
+          | Var v when String.equal v var -> ()
+          | Bin ((Add | Sub), Var v, Int_lit _) when String.equal v var -> ()
+          | Bin (Add, Int_lit _, Var v) when String.equal v var -> ()
+          (* loop-invariant last subscript: a broadcast, fine *)
+          | e -> if refs_var e then ok := false)
+        | [] -> ok := false)
+      | _ -> ok := false)
+    | Bin (_, a, b) ->
+      check_expr a;
+      check_expr b
+    | Un (_, a) -> check_expr a
+    | Int_lit _ | Float_lit _ | Var _ -> ()
+  in
+  List.iter
+    (fun (s : stmt) ->
+      match s.skind with
+      | Assign (lhs, rhs) ->
+        check_expr rhs;
+        (match lhs with
+        | Lindex (a, idx) -> check_expr (Index (a, idx))
+        | Lvar _ -> ())
+      | Decl (_, _, Some e) -> check_expr e
+      | Decl (_, _, None) -> ()
+      | If _ | For _ | While _ | Call_stmt _ | Return | Break | Continue ->
+        ok := false)
+    body;
+  !ok
+
+and lower_with_vec env vec (body : block) : A.stmt list =
+  if vec = 1 then lower_block env body
+  else
+    (* Re-tag the comp statements emitted for this straight-line body. *)
+    List.map
+      (fun (st : A.stmt) ->
+        match st.A.kind with
+        | A.Comp c -> { st with A.kind = A.Comp { c with A.vec } }
+        | _ -> st)
+      (lower_block env body)
+
+(* ------------------------------------------------------------------ *)
+
+(** Convert a mini-C program to a code skeleton.
+
+    [name] becomes the skeleton program name.  The result's [params]
+    are the [param] declarations; callers bind them as inputs (the
+    paper's hint file). *)
+let lower ?(name = "imported") (p : program) : result =
+  let params =
+    List.filter_map (function Param (ty, n) -> Some (n, ty) | _ -> None) p
+  in
+  let arrays =
+    List.filter_map
+      (function Array (ty, n, dims) -> Some (n, (ty, dims)) | _ -> None)
+      p
+  in
+  let funcs =
+    List.filter_map (function Func (n, _, _) -> Some n | _ -> None) p
+  in
+  let env =
+    {
+      params = Smap.of_seq (List.to_seq params);
+      arrays = Smap.of_seq (List.to_seq arrays);
+      funcs = Sset.of_list funcs;
+      locals = Smap.empty;
+      tracked = Sset.empty;
+      loop_vars = [];
+      fresh = 0;
+      warnings = [];
+    }
+  in
+  let globals =
+    List.filter_map
+      (function
+        | Array (ty, n, dims) ->
+          let dims =
+            List.map
+              (fun d ->
+                if analyzable env d then trans env d
+                else error 0 "dimension of array %s must be a parameter expression" n)
+              dims
+          in
+          Some
+            (B.array ~elem_bytes:(match ty with Tfloat -> 8 | Tint -> 4) n dims)
+        | _ -> None)
+      p
+  in
+  let funcs =
+    List.filter_map
+      (function
+        | Func (fname, fparams, body) ->
+          env.locals <-
+            List.fold_left
+              (fun m (ty, n) -> Smap.add n ty m)
+              Smap.empty fparams;
+          env.tracked <-
+            List.fold_left
+              (fun s (ty, n) -> if ty = Tint then Sset.add n s else s)
+              Sset.empty fparams;
+          env.loop_vars <- [];
+          Some (B.func ~params:(List.map snd fparams) fname (lower_block env body))
+        | _ -> None)
+      p
+  in
+  if not (List.exists (fun (f : A.func) -> f.A.fname = "main") funcs) then
+    error 0 "the program must define main()";
+  {
+    program = B.program name ~globals funcs;
+    params;
+    warnings = List.rev env.warnings;
+  }

@@ -1,0 +1,24 @@
+(** Abstraction: mini-C -> code skeleton (the paper's source-to-source
+    application analysis engine, Fig. 1 / §III-B).
+
+    Counts instruction mixes per statement, keeps analyzable control
+    flow symbolic, turns data-dependent conditions into profiled
+    [data] branches, replaces untrackable subscripts with
+    pseudo-random surrogates, lowers math-library calls to [lib]
+    statements, and marks unit-stride straight-line loops
+    vectorizable. *)
+
+open Skope_skeleton
+
+type result = {
+  program : Ast.program;  (** the generated skeleton *)
+  params : (string * C_ast.ty) list;
+      (** input variables a hint file must bind *)
+  warnings : string list;
+}
+
+exception Error of int * string
+
+(** @raise Error when the program has no [main] or uses unsupported
+    constructs. *)
+val lower : ?name:string -> C_ast.program -> result

@@ -1,0 +1,85 @@
+(** Abstract syntax of the mini-C input language.
+
+    The paper's application analysis engine converts Fortran/C into
+    code skeletons with the ROSE compiler (§III-B); this frontend
+    plays that role for a C subset rich enough for the array-based
+    scientific kernels the paper targets: scalar and array
+    declarations, canonical [for] loops, [while], [if]/[else],
+    assignments, math-library calls, and [param] declarations that
+    mark the input variables of the paper's "hint file". *)
+
+type ty = Tint | Tfloat
+
+let pp_ty ppf = function
+  | Tint -> Fmt.string ppf "int"
+  | Tfloat -> Fmt.string ppf "double"
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | And
+  | Or
+
+type unop = Neg | Not
+
+type expr =
+  | Int_lit of int
+  | Float_lit of float
+  | Var of string
+  | Index of string * expr list  (** array element access *)
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+  | Call of string * expr list  (** math intrinsic, e.g. [exp(x)] *)
+
+type lhs = Lvar of string | Lindex of string * expr list
+
+type stmt = { sloc : int  (** source line *); skind : skind }
+
+and skind =
+  | Decl of ty * string * expr option  (** local scalar declaration *)
+  | Assign of lhs * expr
+  | If of expr * block * block
+  | For of {
+      var : string;
+      init : expr;
+      limit_incl : bool;  (** [<=] vs [<] *)
+      limit : expr;
+      step : expr;  (** from [i++] / [i += c] *)
+      body : block;
+    }
+  | While of expr * block
+  | Call_stmt of string * expr list  (** user function call *)
+  | Return
+  | Break
+  | Continue
+
+and block = stmt list
+
+type decl =
+  | Param of ty * string  (** input variable (the paper's hint file) *)
+  | Array of ty * string * expr list  (** global array with expr dims *)
+  | Func of string * (ty * string) list * block
+
+type program = decl list
+
+(** Math-library functions lowered to [lib] skeleton statements
+    (semi-analytic modeling, §IV-C). *)
+let libm_functions = [ "exp"; "log"; "sqrt"; "rand"; "sincos" ]
+
+let is_libm name = List.mem name libm_functions
+
+let find_func (p : program) name =
+  List.find_map
+    (function
+      | Func (n, params, body) when String.equal n name -> Some (params, body)
+      | _ -> None)
+    p

@@ -1,0 +1,250 @@
+(** Lexer for the mini-C subset: C-style comments, compound operators
+    ([++], [+=], [<=], [&&] ...), integer and floating literals. *)
+
+type token =
+  | IDENT of string
+  | INT_LIT of int
+  | FLOAT_LIT of float
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | PLUSPLUS
+  | MINUSMINUS
+  | PLUSEQ
+  | MINUSEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQ
+  | NE
+  | ANDAND
+  | OROR
+  | BANG
+  | EOF
+
+let pp_token ppf = function
+  | IDENT s -> Fmt.pf ppf "identifier %S" s
+  | INT_LIT i -> Fmt.pf ppf "integer %d" i
+  | FLOAT_LIT f -> Fmt.pf ppf "float %g" f
+  | LPAREN -> Fmt.string ppf "'('"
+  | RPAREN -> Fmt.string ppf "')'"
+  | LBRACE -> Fmt.string ppf "'{'"
+  | RBRACE -> Fmt.string ppf "'}'"
+  | LBRACKET -> Fmt.string ppf "'['"
+  | RBRACKET -> Fmt.string ppf "']'"
+  | SEMI -> Fmt.string ppf "';'"
+  | COMMA -> Fmt.string ppf "','"
+  | ASSIGN -> Fmt.string ppf "'='"
+  | PLUS -> Fmt.string ppf "'+'"
+  | MINUS -> Fmt.string ppf "'-'"
+  | STAR -> Fmt.string ppf "'*'"
+  | SLASH -> Fmt.string ppf "'/'"
+  | PERCENT -> Fmt.string ppf "'%'"
+  | PLUSPLUS -> Fmt.string ppf "'++'"
+  | MINUSMINUS -> Fmt.string ppf "'--'"
+  | PLUSEQ -> Fmt.string ppf "'+='"
+  | MINUSEQ -> Fmt.string ppf "'-='"
+  | LT -> Fmt.string ppf "'<'"
+  | LE -> Fmt.string ppf "'<='"
+  | GT -> Fmt.string ppf "'>'"
+  | GE -> Fmt.string ppf "'>='"
+  | EQ -> Fmt.string ppf "'=='"
+  | NE -> Fmt.string ppf "'!='"
+  | ANDAND -> Fmt.string ppf "'&&'"
+  | OROR -> Fmt.string ppf "'||'"
+  | BANG -> Fmt.string ppf "'!'"
+  | EOF -> Fmt.string ppf "end of input"
+
+exception Error of int * string
+(** line, message *)
+
+type lexed = { tok : token; line : int }
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let tokenize (src : string) : lexed list =
+  let n = String.length src in
+  let line = ref 1 in
+  let toks = ref [] in
+  let push tok = toks := { tok; line = !line } :: !toks in
+  let i = ref 0 in
+  let peek () = if !i + 1 < n then Some src.[!i + 1] else None in
+  while !i < n do
+    let c = src.[!i] in
+    (match c with
+    | '\n' ->
+      incr line;
+      incr i
+    | ' ' | '\t' | '\r' -> incr i
+    | '/' when peek () = Some '/' ->
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    | '/' when peek () = Some '*' ->
+      i := !i + 2;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '\n' then incr line;
+        if src.[!i] = '*' && !i + 1 < n && src.[!i + 1] = '/' then begin
+          closed := true;
+          i := !i + 2
+        end
+        else incr i
+      done;
+      if not !closed then raise (Error (!line, "unterminated comment"))
+    | '(' ->
+      push LPAREN;
+      incr i
+    | ')' ->
+      push RPAREN;
+      incr i
+    | '{' ->
+      push LBRACE;
+      incr i
+    | '}' ->
+      push RBRACE;
+      incr i
+    | '[' ->
+      push LBRACKET;
+      incr i
+    | ']' ->
+      push RBRACKET;
+      incr i
+    | ';' ->
+      push SEMI;
+      incr i
+    | ',' ->
+      push COMMA;
+      incr i
+    | '+' -> (
+      match peek () with
+      | Some '+' ->
+        push PLUSPLUS;
+        i := !i + 2
+      | Some '=' ->
+        push PLUSEQ;
+        i := !i + 2
+      | _ ->
+        push PLUS;
+        incr i)
+    | '-' -> (
+      match peek () with
+      | Some '-' ->
+        push MINUSMINUS;
+        i := !i + 2
+      | Some '=' ->
+        push MINUSEQ;
+        i := !i + 2
+      | _ ->
+        push MINUS;
+        incr i)
+    | '*' ->
+      push STAR;
+      incr i
+    | '/' ->
+      push SLASH;
+      incr i
+    | '%' ->
+      push PERCENT;
+      incr i
+    | '<' ->
+      if peek () = Some '=' then (
+        push LE;
+        i := !i + 2)
+      else (
+        push LT;
+        incr i)
+    | '>' ->
+      if peek () = Some '=' then (
+        push GE;
+        i := !i + 2)
+      else (
+        push GT;
+        incr i)
+    | '=' ->
+      if peek () = Some '=' then (
+        push EQ;
+        i := !i + 2)
+      else (
+        push ASSIGN;
+        incr i)
+    | '!' ->
+      if peek () = Some '=' then (
+        push NE;
+        i := !i + 2)
+      else (
+        push BANG;
+        incr i)
+    | '&' ->
+      if peek () = Some '&' then (
+        push ANDAND;
+        i := !i + 2)
+      else raise (Error (!line, "bitwise '&' is not supported"))
+    | '|' ->
+      if peek () = Some '|' then (
+        push OROR;
+        i := !i + 2)
+      else raise (Error (!line, "bitwise '|' is not supported"))
+    | c when is_digit c ->
+      let start = !i in
+      let j = ref !i in
+      while !j < n && is_digit src.[!j] do
+        incr j
+      done;
+      let is_float = ref false in
+      if !j < n && src.[!j] = '.' then begin
+        is_float := true;
+        incr j;
+        while !j < n && is_digit src.[!j] do
+          incr j
+        done
+      end;
+      if !j < n && (src.[!j] = 'e' || src.[!j] = 'E') then begin
+        is_float := true;
+        incr j;
+        if !j < n && (src.[!j] = '+' || src.[!j] = '-') then incr j;
+        while !j < n && is_digit src.[!j] do
+          incr j
+        done
+      end;
+      (* Trailing f/F suffix. *)
+      if !j < n && (src.[!j] = 'f' || src.[!j] = 'F') then begin
+        is_float := true;
+        incr j
+      end;
+      let text = String.sub src start (!j - start) in
+      let text =
+        if String.length text > 0 && (text.[String.length text - 1] = 'f' || text.[String.length text - 1] = 'F')
+        then String.sub text 0 (String.length text - 1)
+        else text
+      in
+      if !is_float then push (FLOAT_LIT (float_of_string text))
+      else push (INT_LIT (int_of_string text));
+      i := !j
+    | c when is_ident_start c ->
+      let start = !i in
+      let j = ref !i in
+      while !j < n && is_ident_char src.[!j] do
+        incr j
+      done;
+      push (IDENT (String.sub src start (!j - start)));
+      i := !j
+    | c -> raise (Error (!line, Fmt.str "unexpected character %C" c)));
+    ()
+  done;
+  push EOF;
+  List.rev !toks

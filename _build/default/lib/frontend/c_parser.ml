@@ -1,0 +1,420 @@
+(** Recursive-descent parser for the mini-C subset.
+
+    Grammar sketch:
+
+    {v
+    program  ::= top*
+    top      ::= "param" type IDENT ";"
+               | type IDENT ("[" expr "]")+ ";"          # global array
+               | ("void" | type) IDENT "(" params ")" "{" stmt* "}"
+    stmt     ::= type IDENT ("=" expr)? ";"              # local scalar
+               | lhs ("=" | "+=" | "-=") expr ";"
+               | lhs ("++" | "--") ";"
+               | "if" "(" expr ")" block ("else" block)?
+               | "for" "(" simple ";" expr ";" update ")" block
+               | "while" "(" expr ")" block
+               | IDENT "(" args ")" ";"
+               | "return" ";" | "break" ";" | "continue" ";"
+    v}
+
+    Canonical [for] loops only: the induction variable must be
+    initialized, compared with [<] or [<=], and advanced with [++] or
+    [+= constant]. *)
+
+open C_ast
+
+exception Error of int * string
+
+let error line fmt = Fmt.kstr (fun m -> raise (Error (line, m))) fmt
+
+type state = { mutable toks : C_lexer.lexed list }
+
+let peek st =
+  match st.toks with t :: _ -> t | [] -> { C_lexer.tok = C_lexer.EOF; line = 0 }
+
+let peek2 st =
+  match st.toks with
+  | _ :: t :: _ -> Some t.C_lexer.tok
+  | _ -> None
+
+let advance st = match st.toks with _ :: r -> st.toks <- r | [] -> ()
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let expect st tok =
+  let t = next st in
+  if t.C_lexer.tok <> tok then
+    error t.C_lexer.line "expected %a, found %a" C_lexer.pp_token tok
+      C_lexer.pp_token t.C_lexer.tok
+
+let expect_ident st =
+  let t = next st in
+  match t.C_lexer.tok with
+  | C_lexer.IDENT s -> (s, t.C_lexer.line)
+  | tok -> error t.C_lexer.line "expected identifier, found %a" C_lexer.pp_token tok
+
+let accept st tok =
+  if (peek st).C_lexer.tok = tok then (
+    advance st;
+    true)
+  else false
+
+let type_of_ident = function
+  | "int" -> Some Tint
+  | "double" | "float" -> Some Tfloat
+  | _ -> None
+
+let is_type_kw st =
+  match (peek st).C_lexer.tok with
+  | C_lexer.IDENT s -> type_of_ident s <> None
+  | _ -> false
+
+(* --- expressions ---------------------------------------------------- *)
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let lhs = ref (parse_and st) in
+  while (peek st).C_lexer.tok = C_lexer.OROR do
+    advance st;
+    lhs := Bin (Or, !lhs, parse_and st)
+  done;
+  !lhs
+
+and parse_and st =
+  let lhs = ref (parse_cmp st) in
+  while (peek st).C_lexer.tok = C_lexer.ANDAND do
+    advance st;
+    lhs := Bin (And, !lhs, parse_cmp st)
+  done;
+  !lhs
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  let op =
+    match (peek st).C_lexer.tok with
+    | C_lexer.LT -> Some Lt
+    | C_lexer.LE -> Some Le
+    | C_lexer.GT -> Some Gt
+    | C_lexer.GE -> Some Ge
+    | C_lexer.EQ -> Some Eq
+    | C_lexer.NE -> Some Ne
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+    advance st;
+    Bin (op, lhs, parse_add st)
+
+and parse_add st =
+  let lhs = ref (parse_mul st) in
+  let continue = ref true in
+  while !continue do
+    match (peek st).C_lexer.tok with
+    | C_lexer.PLUS ->
+      advance st;
+      lhs := Bin (Add, !lhs, parse_mul st)
+    | C_lexer.MINUS ->
+      advance st;
+      lhs := Bin (Sub, !lhs, parse_mul st)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_mul st =
+  let lhs = ref (parse_unary st) in
+  let continue = ref true in
+  while !continue do
+    match (peek st).C_lexer.tok with
+    | C_lexer.STAR ->
+      advance st;
+      lhs := Bin (Mul, !lhs, parse_unary st)
+    | C_lexer.SLASH ->
+      advance st;
+      lhs := Bin (Div, !lhs, parse_unary st)
+    | C_lexer.PERCENT ->
+      advance st;
+      lhs := Bin (Mod, !lhs, parse_unary st)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_unary st =
+  match (peek st).C_lexer.tok with
+  | C_lexer.MINUS ->
+    advance st;
+    Un (Neg, parse_unary st)
+  | C_lexer.BANG ->
+    advance st;
+    Un (Not, parse_unary st)
+  | _ -> parse_atom st
+
+and parse_atom st =
+  let t = next st in
+  match t.C_lexer.tok with
+  | C_lexer.INT_LIT i -> Int_lit i
+  | C_lexer.FLOAT_LIT f -> Float_lit f
+  | C_lexer.LPAREN ->
+    let e = parse_expr st in
+    expect st C_lexer.RPAREN;
+    e
+  | C_lexer.IDENT name -> (
+    match (peek st).C_lexer.tok with
+    | C_lexer.LPAREN ->
+      advance st;
+      let args = parse_args st in
+      Call (name, args)
+    | C_lexer.LBRACKET ->
+      let index = ref [] in
+      while accept st C_lexer.LBRACKET do
+        index := parse_expr st :: !index;
+        expect st C_lexer.RBRACKET
+      done;
+      Index (name, List.rev !index)
+    | _ -> Var name)
+  | tok -> error t.C_lexer.line "expected expression, found %a" C_lexer.pp_token tok
+
+and parse_args st =
+  if accept st C_lexer.RPAREN then []
+  else begin
+    let first = parse_expr st in
+    let rest = ref [] in
+    while accept st C_lexer.COMMA do
+      rest := parse_expr st :: !rest
+    done;
+    expect st C_lexer.RPAREN;
+    first :: List.rev !rest
+  end
+
+(* --- statements ------------------------------------------------------ *)
+
+let parse_lhs st =
+  let name, line = expect_ident st in
+  if (peek st).C_lexer.tok = C_lexer.LBRACKET then begin
+    let index = ref [] in
+    while accept st C_lexer.LBRACKET do
+      index := parse_expr st :: !index;
+      expect st C_lexer.RBRACKET
+    done;
+    (Lindex (name, List.rev !index), line)
+  end
+  else (Lvar name, line)
+
+let lhs_to_expr = function
+  | Lvar v -> Var v
+  | Lindex (a, idx) -> Index (a, idx)
+
+let rec parse_block st : block =
+  expect st C_lexer.LBRACE;
+  let stmts = ref [] in
+  while (peek st).C_lexer.tok <> C_lexer.RBRACE do
+    stmts := parse_stmt st :: !stmts
+  done;
+  expect st C_lexer.RBRACE;
+  List.rev !stmts
+
+and parse_stmt st : stmt =
+  let t = peek st in
+  let line = t.C_lexer.line in
+  let mk skind = { sloc = line; skind } in
+  match t.C_lexer.tok with
+  | C_lexer.IDENT "if" ->
+    advance st;
+    expect st C_lexer.LPAREN;
+    let cond = parse_expr st in
+    expect st C_lexer.RPAREN;
+    let then_ = parse_block st in
+    let else_ =
+      if
+        match (peek st).C_lexer.tok with
+        | C_lexer.IDENT "else" -> true
+        | _ -> false
+      then begin
+        advance st;
+        parse_block st
+      end
+      else []
+    in
+    mk (If (cond, then_, else_))
+  | C_lexer.IDENT "for" ->
+    advance st;
+    expect st C_lexer.LPAREN;
+    (* init: [int i = e] or [i = e] *)
+    let var, init =
+      if is_type_kw st then begin
+        advance st;
+        let v, _ = expect_ident st in
+        expect st C_lexer.ASSIGN;
+        (v, parse_expr st)
+      end
+      else begin
+        let v, _ = expect_ident st in
+        expect st C_lexer.ASSIGN;
+        (v, parse_expr st)
+      end
+    in
+    expect st C_lexer.SEMI;
+    (* cond: [var < e] or [var <= e] *)
+    let cv, cline = expect_ident st in
+    if cv <> var then error cline "for condition must test %s" var;
+    let limit_incl =
+      match (next st).C_lexer.tok with
+      | C_lexer.LT -> false
+      | C_lexer.LE -> true
+      | tok -> error cline "for condition must use < or <=, found %a" C_lexer.pp_token tok
+    in
+    let limit = parse_expr st in
+    expect st C_lexer.SEMI;
+    (* update: [var++] or [var += c] *)
+    let uv, uline = expect_ident st in
+    if uv <> var then error uline "for update must advance %s" var;
+    let step =
+      match (next st).C_lexer.tok with
+      | C_lexer.PLUSPLUS -> Int_lit 1
+      | C_lexer.PLUSEQ -> parse_expr st
+      | tok -> error uline "for update must be ++ or +=, found %a" C_lexer.pp_token tok
+    in
+    expect st C_lexer.RPAREN;
+    mk (For { var; init; limit_incl; limit; step; body = parse_block st })
+  | C_lexer.IDENT "while" ->
+    advance st;
+    expect st C_lexer.LPAREN;
+    let cond = parse_expr st in
+    expect st C_lexer.RPAREN;
+    mk (While (cond, parse_block st))
+  | C_lexer.IDENT "return" ->
+    advance st;
+    expect st C_lexer.SEMI;
+    mk Return
+  | C_lexer.IDENT "break" ->
+    advance st;
+    expect st C_lexer.SEMI;
+    mk Break
+  | C_lexer.IDENT "continue" ->
+    advance st;
+    expect st C_lexer.SEMI;
+    mk Continue
+  | C_lexer.IDENT kw when type_of_ident kw <> None ->
+    (* local scalar declaration *)
+    advance st;
+    let ty = Option.get (type_of_ident kw) in
+    let name, _ = expect_ident st in
+    let init =
+      if accept st C_lexer.ASSIGN then Some (parse_expr st) else None
+    in
+    expect st C_lexer.SEMI;
+    mk (Decl (ty, name, init))
+  | C_lexer.IDENT name when peek2 st = Some C_lexer.LPAREN -> (
+    (* call statement OR assignment to name(...) — only calls make
+       sense here *)
+    advance st;
+    advance st;
+    let args = parse_args st in
+    expect st C_lexer.SEMI;
+    ignore name;
+    mk (Call_stmt (name, args)))
+  | C_lexer.IDENT _ -> (
+    let lhs, lline = parse_lhs st in
+    match (next st).C_lexer.tok with
+    | C_lexer.ASSIGN ->
+      let rhs = parse_expr st in
+      expect st C_lexer.SEMI;
+      mk (Assign (lhs, rhs))
+    | C_lexer.PLUSEQ ->
+      let rhs = parse_expr st in
+      expect st C_lexer.SEMI;
+      mk (Assign (lhs, Bin (Add, lhs_to_expr lhs, rhs)))
+    | C_lexer.MINUSEQ ->
+      let rhs = parse_expr st in
+      expect st C_lexer.SEMI;
+      mk (Assign (lhs, Bin (Sub, lhs_to_expr lhs, rhs)))
+    | C_lexer.PLUSPLUS ->
+      expect st C_lexer.SEMI;
+      mk (Assign (lhs, Bin (Add, lhs_to_expr lhs, Int_lit 1)))
+    | C_lexer.MINUSMINUS ->
+      expect st C_lexer.SEMI;
+      mk (Assign (lhs, Bin (Sub, lhs_to_expr lhs, Int_lit 1)))
+    | tok -> error lline "expected assignment operator, found %a" C_lexer.pp_token tok)
+  | tok -> error line "expected a statement, found %a" C_lexer.pp_token tok
+
+(* --- top level -------------------------------------------------------- *)
+
+let parse_top st : decl =
+  let t = peek st in
+  let line = t.C_lexer.line in
+  match t.C_lexer.tok with
+  | C_lexer.IDENT "param" ->
+    advance st;
+    let ty_name, tline = expect_ident st in
+    let ty =
+      match type_of_ident ty_name with
+      | Some ty -> ty
+      | None -> error tline "param needs a type"
+    in
+    let name, _ = expect_ident st in
+    expect st C_lexer.SEMI;
+    Param (ty, name)
+  | C_lexer.IDENT "void" ->
+    advance st;
+    let name, _ = expect_ident st in
+    expect st C_lexer.LPAREN;
+    let params =
+      if accept st C_lexer.RPAREN then []
+      else begin
+        let parse_param () =
+          let ty_name, tline = expect_ident st in
+          let ty =
+            match type_of_ident ty_name with
+            | Some ty -> ty
+            | None -> error tline "parameter needs a type"
+          in
+          let pname, _ = expect_ident st in
+          (ty, pname)
+        in
+        let first = parse_param () in
+        let rest = ref [] in
+        while accept st C_lexer.COMMA do
+          rest := parse_param () :: !rest
+        done;
+        expect st C_lexer.RPAREN;
+        first :: List.rev !rest
+      end
+    in
+    Func (name, params, parse_block st)
+  | C_lexer.IDENT kw when type_of_ident kw <> None -> (
+    advance st;
+    let ty = Option.get (type_of_ident kw) in
+    let name, _ = expect_ident st in
+    match (peek st).C_lexer.tok with
+    | C_lexer.LBRACKET ->
+      let dims = ref [] in
+      while accept st C_lexer.LBRACKET do
+        dims := parse_expr st :: !dims;
+        expect st C_lexer.RBRACKET
+      done;
+      expect st C_lexer.SEMI;
+      Array (ty, name, List.rev !dims)
+    | tok ->
+      error line "global %s must be an array or use 'param', found %a" name
+        C_lexer.pp_token tok)
+  | tok -> error line "expected a declaration, found %a" C_lexer.pp_token tok
+
+(** Parse a mini-C translation unit. *)
+let parse (src : string) : program =
+  let st = { toks = C_lexer.tokenize src } in
+  let decls = ref [] in
+  while (peek st).C_lexer.tok <> C_lexer.EOF do
+    decls := parse_top st :: !decls
+  done;
+  List.rev !decls
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  parse src

@@ -1,0 +1,10 @@
+(** Recursive-descent parser for the mini-C subset (see the
+    implementation header for the grammar).  [for] loops must be
+    canonical: initialized induction variable, [<]/[<=] limit,
+    [++]/[+= c] update. *)
+
+exception Error of int * string
+(** line, message *)
+
+val parse : string -> C_ast.program
+val parse_file : string -> C_ast.program

@@ -1,0 +1,1 @@
+lib/hw/designspace.ml: Fmt List Machine

@@ -1,0 +1,1 @@
+lib/hw/libmix.ml: List Map Option Skope_bet String Work

@@ -1,0 +1,1 @@
+lib/hw/libmix.mli: Skope_bet Work

@@ -1,0 +1,1 @@
+lib/hw/machines.ml: Fmt List Machine Seq String

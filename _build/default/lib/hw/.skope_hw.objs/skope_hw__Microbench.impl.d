@@ -1,0 +1,1 @@
+lib/hw/microbench.ml: Ast Builder Fmt Machine Skope_bet Skope_skeleton Value

@@ -1,0 +1,1 @@
+lib/hw/microbench.mli: Ast Fmt Machine Skope_bet Skope_skeleton Value

@@ -1,0 +1,1 @@
+lib/hw/roofline.ml: Float Fmt Machine Skope_bet Work

@@ -1,0 +1,1 @@
+lib/hw/roofline.mli: Fmt Machine Skope_bet Work

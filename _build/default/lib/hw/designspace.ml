@@ -1,0 +1,90 @@
+(** Hardware design-space exploration.
+
+    The point of the paper's title: because projection needs no
+    execution on the target, a designer can sweep architecture
+    parameters of a {e conceptual} machine and watch how the
+    application's hot spots and bottlenecks move.  This module builds
+    machine variants along one design axis; the examples and benches
+    combine it with the pipeline to produce sensitivity tables. *)
+
+type axis =
+  | Mem_bandwidth of float list  (** GB/s per core *)
+  | Mem_latency of float list  (** cycles *)
+  | Vector_width of int list
+  | Issue_width of float list
+  | Frequency of float list  (** GHz *)
+  | L2_size of int list  (** bytes *)
+  | Div_latency of float list
+
+let axis_name = function
+  | Mem_bandwidth _ -> "memory bandwidth (GB/s)"
+  | Mem_latency _ -> "memory latency (cycles)"
+  | Vector_width _ -> "vector width (DP lanes)"
+  | Issue_width _ -> "issue width"
+  | Frequency _ -> "frequency (GHz)"
+  | L2_size _ -> "L2 size (bytes)"
+  | Div_latency _ -> "division latency (cycles)"
+
+(** Machine variants along [axis], each tagged with the swept value
+    rendered as a string. *)
+let variants (base : Machine.t) (axis : axis) : (string * Machine.t) list =
+  let tag fmt v = Fmt.str fmt v in
+  match axis with
+  | Mem_bandwidth vs ->
+    List.map
+      (fun v ->
+        ( tag "%.1f" v,
+          { base with Machine.name = Fmt.str "%s/bw=%.1f" base.Machine.name v;
+            mem_bw_gbs = v } ))
+      vs
+  | Mem_latency vs ->
+    List.map
+      (fun v ->
+        ( tag "%.0f" v,
+          { base with Machine.name = Fmt.str "%s/lat=%.0f" base.Machine.name v;
+            mem_latency_cycles = v } ))
+      vs
+  | Vector_width vs ->
+    List.map
+      (fun v ->
+        ( tag "%d" v,
+          { base with Machine.name = Fmt.str "%s/vw=%d" base.Machine.name v;
+            vector_width = v } ))
+      vs
+  | Issue_width vs ->
+    List.map
+      (fun v ->
+        ( tag "%.0f" v,
+          { base with Machine.name = Fmt.str "%s/iw=%.0f" base.Machine.name v;
+            issue_width = v } ))
+      vs
+  | Frequency vs ->
+    List.map
+      (fun v ->
+        ( tag "%.1f" v,
+          { base with Machine.name = Fmt.str "%s/f=%.1f" base.Machine.name v;
+            freq_ghz = v } ))
+      vs
+  | L2_size vs ->
+    List.map
+      (fun v ->
+        ( tag "%dK" (v / 1024),
+          {
+            base with
+            Machine.name = Fmt.str "%s/l2=%dK" base.Machine.name (v / 1024);
+            l2 = { base.Machine.l2 with Machine.size_bytes = v };
+          } ))
+      vs
+  | Div_latency vs ->
+    List.map
+      (fun v ->
+        ( tag "%.0f" v,
+          { base with Machine.name = Fmt.str "%s/div=%.0f" base.Machine.name v;
+            div_latency = v } ))
+      vs
+
+(** A balanced sweep around [base] for quick exploration: halve and
+    double the memory bandwidth. *)
+let default_bandwidth_sweep (base : Machine.t) =
+  let bw = base.Machine.mem_bw_gbs in
+  variants base (Mem_bandwidth [ bw /. 4.; bw /. 2.; bw; bw *. 2.; bw *. 4. ])

@@ -1,0 +1,20 @@
+(** Hardware design-space exploration: machine variants along one
+    design axis, for sweeping conceptual architectures without any
+    target execution (the point of the paper's title). *)
+
+type axis =
+  | Mem_bandwidth of float list  (** GB/s per core *)
+  | Mem_latency of float list  (** cycles *)
+  | Vector_width of int list
+  | Issue_width of float list
+  | Frequency of float list  (** GHz *)
+  | L2_size of int list  (** bytes *)
+  | Div_latency of float list
+
+val axis_name : axis -> string
+
+(** Machine variants along [axis], tagged with the swept value. *)
+val variants : Machine.t -> axis -> (string * Machine.t) list
+
+(** Quarter to quadruple the base machine's memory bandwidth. *)
+val default_bandwidth_sweep : Machine.t -> (string * Machine.t) list

@@ -1,0 +1,88 @@
+(** Semi-analytical modeling of opaque library functions (paper
+    §IV-C).
+
+    Library source is unavailable, but for a given input the dynamic
+    instruction count is assumed stable across hardware.  The paper
+    obtains each function's dynamic instruction mixture from hardware
+    counters on a local machine and feeds it to the roofline model.
+    Here the registry plays the role of those counter measurements:
+    each profile is the per-call instruction mix (for [scale = 1]); the
+    [measure] helper averages several randomized "runs" the way the
+    paper averages over random input instances, and is exercised by the
+    SRAD workload whose top hot spots are libm's [exp] and [rand]. *)
+
+open Skope_bet
+
+module Smap = Map.Make (String)
+
+type profile = { name : string; per_call : Work.t; description : string }
+
+let mk name ?(description = "") ~flops ~iops ~divs ~loads ~stores ~lbytes
+    ~sbytes () =
+  {
+    name;
+    description;
+    per_call =
+      {
+        Work.flops;
+        iops;
+        divs;
+        vec_flops = 0.;
+        vec_issue = 0.;
+        loads;
+        stores;
+        lbytes;
+        sbytes;
+      };
+  }
+
+(* Default mixes for the math-library calls the paper's benchmarks
+   exercise.  Counts approximate one scalar call of a table-driven
+   libm implementation: polynomial evaluation flops, table lookups,
+   and integer range reduction. *)
+let defaults =
+  [
+    mk "exp" ~description:"scalar libm exp: range reduction + degree-10 poly"
+      ~flops:36. ~iops:16. ~divs:0. ~loads:2. ~stores:1. ~lbytes:16. ~sbytes:8.
+      ();
+    mk "log" ~description:"scalar libm log" ~flops:26. ~iops:12. ~divs:1.
+      ~loads:3. ~stores:1. ~lbytes:24. ~sbytes:8. ();
+    mk "rand"
+      ~description:
+        "libc rand: LCG state update, integer dominated; state stays \
+         register/L1 resident"
+      ~flops:0. ~iops:12. ~divs:0. ~loads:0.25 ~stores:0.25 ~lbytes:2.
+      ~sbytes:2. ();
+    mk "sqrt" ~description:"scalar libm sqrt (Newton refinement)" ~flops:14.
+      ~iops:4. ~divs:2. ~loads:1. ~stores:1. ~lbytes:8. ~sbytes:8. ();
+    mk "sincos" ~description:"scalar libm sin/cos pair" ~flops:30. ~iops:16.
+      ~divs:0. ~loads:4. ~stores:2. ~lbytes:32. ~sbytes:16. ();
+    mk "memcpy_elem" ~description:"per-element bulk copy" ~flops:0. ~iops:1.
+      ~divs:0. ~loads:1. ~stores:1. ~lbytes:8. ~sbytes:8. ();
+  ]
+
+type t = profile Smap.t
+
+let default : t =
+  List.fold_left (fun m p -> Smap.add p.name p m) Smap.empty defaults
+
+let register t p = Smap.add p.name p t
+
+let find (t : t) name = Smap.find_opt name t
+
+(** Lookup function in the shape BET construction expects. *)
+let work_fn (t : t) : string -> Work.t option =
+ fun name -> Option.map (fun p -> p.per_call) (find t name)
+
+(** Average the instruction mixes observed over [runs] randomized
+    input instances of a library call (paper §IV-C: "randomly generate
+    a sufficient number of input instances ... and average the
+    statistics").  [sample] maps a pseudo-random seed to the observed
+    work of one call. *)
+let measure ~name ?(description = "measured") ~runs sample : profile =
+  if runs <= 0 then invalid_arg "Libmix.measure: runs must be positive";
+  let acc = ref Work.zero in
+  for i = 1 to runs do
+    acc := Work.add !acc (sample i)
+  done;
+  { name; description; per_call = Work.scale (1. /. float_of_int runs) !acc }

@@ -1,0 +1,46 @@
+(** Semi-analytical modeling of opaque library functions (paper
+    §IV-C).
+
+    Each profile is the per-call dynamic instruction mix a local
+    hardware-counter measurement would yield; the BET prices library
+    calls by scaling these mixes. *)
+
+open Skope_bet
+
+type profile = { name : string; per_call : Work.t; description : string }
+
+val mk :
+  string ->
+  ?description:string ->
+  flops:float ->
+  iops:float ->
+  divs:float ->
+  loads:float ->
+  stores:float ->
+  lbytes:float ->
+  sbytes:float ->
+  unit ->
+  profile
+
+type t
+
+(** Profiles for the math-library calls the paper's benchmarks
+    exercise: [exp], [log], [rand], [sqrt], [sincos],
+    [memcpy_elem]. *)
+val default : t
+
+val register : t -> profile -> t
+val find : t -> string -> profile option
+
+(** Lookup in the shape {!Skope_bet.Build.build} expects. *)
+val work_fn : t -> string -> Work.t option
+
+(** Average the mixes observed over [runs] randomized input instances
+    (§IV-C); [sample i] is the observed work of the [i]-th call.
+    @raise Invalid_argument if [runs <= 0]. *)
+val measure :
+  name:string ->
+  ?description:string ->
+  runs:int ->
+  (int -> Work.t) ->
+  profile

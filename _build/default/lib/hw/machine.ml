@@ -1,0 +1,60 @@
+(** Parameterized hardware descriptions (paper §V-A, §VI).
+
+    One record captures everything both the analytic roofline model and
+    the ground-truth simulator need about a core and its memory
+    hierarchy.  The analytic model uses only the "key hardware
+    parameters" the paper lists — peak flop rate, frequency,
+    instruction latency, issue width, vector width, cache and memory
+    latencies, peak memory bandwidth; the simulator additionally uses
+    the structural cache fields and the division latency. *)
+
+type cache_level = {
+  size_bytes : int;
+  line_bytes : int;
+  assoc : int;  (** ways; the simulator builds [size/(line*assoc)] sets *)
+  latency_cycles : float;  (** load-to-use *)
+}
+
+type t = {
+  name : string;
+  freq_ghz : float;
+  issue_width : float;  (** instructions sustained per cycle *)
+  vector_width : int;  (** double-precision SIMD lanes *)
+  fma : bool;  (** fused multiply-add doubles peak flops per issue *)
+  flop_issue_per_cycle : float;
+      (** scalar floating point instructions issued per cycle *)
+  div_latency : float;
+      (** unpipelined cycles per FP division (simulator only) *)
+  vec_efficiency : float;
+      (** fraction of the declared SIMD lanes the native compiler
+          actually exploits (simulator only): effective lanes are
+          [1 + (min(vec, vector_width) - 1) * vec_efficiency].  The
+          paper observes gfortran on Xeon vectorizing aggressively
+          while XL on BG/Q vectorizes selectively (§VII-A/B). *)
+  l1 : cache_level;
+  l2 : cache_level;
+  mem_latency_cycles : float;
+  mem_bw_gbs : float;  (** achievable per-core DRAM bandwidth, GB/s *)
+  mlp : float;
+      (** memory-level parallelism: outstanding misses that overlap *)
+}
+
+let cycles_per_sec m = m.freq_ghz *. 1e9
+
+(** Peak scalar flops/second: issue rate x (2 if FMA). *)
+let scalar_flops m =
+  m.flop_issue_per_cycle *. (if m.fma then 2. else 1.) *. cycles_per_sec m
+
+(** Peak vector flops/second (the roofline "peak" line). *)
+let peak_flops m = scalar_flops m *. float_of_int m.vector_width
+
+let pp ppf m =
+  Fmt.pf ppf
+    "@[<v>%s: %.2f GHz, issue %.1f/cyc, %d-wide SIMD%s@,\
+     L1 %dKB/%dB/%d-way @%.0fcyc; L2 %dKB/%dB/%d-way @%.0fcyc@,\
+     mem %.0f cyc, %.1f GB/s, MLP %.1f@]"
+    m.name m.freq_ghz m.issue_width m.vector_width
+    (if m.fma then "+FMA" else "")
+    (m.l1.size_bytes / 1024) m.l1.line_bytes m.l1.assoc m.l1.latency_cycles
+    (m.l2.size_bytes / 1024) m.l2.line_bytes m.l2.assoc m.l2.latency_cycles
+    m.mem_latency_cycles m.mem_bw_gbs m.mlp

@@ -1,0 +1,46 @@
+(** Parameterized hardware descriptions (paper §V-A, §VI).
+
+    One record captures what both the analytic roofline model and the
+    ground-truth simulator need about a core and its memory hierarchy.
+    The analytic model uses only the paper's "key hardware
+    parameters"; the structural cache fields, division latency and
+    vectorization efficiency feed the simulator. *)
+
+type cache_level = {
+  size_bytes : int;
+  line_bytes : int;
+  assoc : int;  (** ways; the simulator builds [size/(line*assoc)] sets *)
+  latency_cycles : float;  (** load-to-use *)
+}
+
+type t = {
+  name : string;
+  freq_ghz : float;
+  issue_width : float;  (** instructions sustained per cycle *)
+  vector_width : int;  (** double-precision SIMD lanes *)
+  fma : bool;  (** fused multiply-add doubles peak flops per issue *)
+  flop_issue_per_cycle : float;
+      (** scalar floating point instructions issued per cycle *)
+  div_latency : float;
+      (** unpipelined cycles per FP division (simulator only) *)
+  vec_efficiency : float;
+      (** fraction of declared SIMD lanes the native compiler actually
+          exploits (simulator only); effective lanes are
+          [1 + (min(vec, vector_width) - 1) * vec_efficiency] *)
+  l1 : cache_level;
+  l2 : cache_level;
+  mem_latency_cycles : float;
+  mem_bw_gbs : float;  (** achievable per-core DRAM bandwidth, GB/s *)
+  mlp : float;
+      (** memory-level parallelism: outstanding misses that overlap *)
+}
+
+val cycles_per_sec : t -> float
+
+(** Peak scalar flops/second: issue rate x (2 if FMA). *)
+val scalar_flops : t -> float
+
+(** Peak vector flops/second (the roofline "peak" line). *)
+val peak_flops : t -> float
+
+val pp : t Fmt.t

@@ -1,0 +1,127 @@
+(** Machine catalog (paper §VI).
+
+    Parameters follow the paper's experimental methodology where
+    stated: the BG/Q Power A2 core runs at 1.6 GHz with 16 KB L1
+    caches, a 32 MB shared L2 measured at 51 cycles and DRAM at 180
+    cycles; the Xeon E5-2420 runs at 1.9 GHz with wider SIMD, a smaller
+    effective shared cache slice and a larger (in cycles) memory
+    latency but faster processing.  Remaining microarchitectural
+    details (associativities, bandwidth shares, division latencies) use
+    public specifications of the two processors.
+
+    [future] is a hypothetical co-design target used by the examples:
+    plentiful flops, relatively starved memory — the kind of
+    conceptual machine the paper motivates studying before it can be
+    simulated. *)
+
+let bgq : Machine.t =
+  {
+    name = "BG/Q";
+    freq_ghz = 1.6;
+    issue_width = 2.;
+    vector_width = 4;
+    (* QPX *)
+    fma = true;
+    flop_issue_per_cycle = 1.;
+    div_latency = 32.;
+    vec_efficiency = 0.4;
+    l1 =
+      {
+        size_bytes = 16 * 1024;
+        line_bytes = 64;
+        assoc = 8;
+        latency_cycles = 6.;
+      };
+    l2 =
+      {
+        size_bytes = 32 * 1024 * 1024;
+        line_bytes = 128;
+        assoc = 16;
+        latency_cycles = 51.;
+      };
+    mem_latency_cycles = 180.;
+    mem_bw_gbs = 1.8;
+    (* ~28.5 GB/s per node / 16 cores *)
+    mlp = 4.;
+  }
+
+let xeon : Machine.t =
+  {
+    name = "Xeon";
+    freq_ghz = 1.9;
+    issue_width = 4.;
+    vector_width = 4;
+    (* AVX, 256-bit DP *)
+    fma = false;
+    flop_issue_per_cycle = 2.;
+    div_latency = 14.;
+    vec_efficiency = 1.0;
+    l1 =
+      {
+        size_bytes = 32 * 1024;
+        line_bytes = 64;
+        assoc = 8;
+        latency_cycles = 4.;
+      };
+    l2 =
+      {
+        size_bytes = 1280 * 1024;
+        (* 256KB private L2 + LLC slice, folded into one level *)
+        line_bytes = 64;
+        assoc = 16;
+        latency_cycles = 30.;
+      };
+    mem_latency_cycles = 220.;
+    mem_bw_gbs = 3.5;
+    mlp = 8.;
+  }
+
+let future : Machine.t =
+  {
+    name = "Future";
+    freq_ghz = 2.4;
+    issue_width = 6.;
+    vector_width = 8;
+    fma = true;
+    flop_issue_per_cycle = 2.;
+    div_latency = 18.;
+    vec_efficiency = 1.0;
+    l1 =
+      {
+        size_bytes = 64 * 1024;
+        line_bytes = 64;
+        assoc = 8;
+        latency_cycles = 5.;
+      };
+    l2 =
+      {
+        size_bytes = 4 * 1024 * 1024;
+        line_bytes = 64;
+        assoc = 16;
+        latency_cycles = 40.;
+      };
+    mem_latency_cycles = 300.;
+    mem_bw_gbs = 4.0;
+    mlp = 10.;
+  }
+
+let all = [ bgq; xeon; future ]
+
+let find name =
+  (* Accept "BG/Q", "bgq", "Xeon", ... *)
+  let norm s =
+    String.lowercase_ascii s
+    |> String.to_seq
+    |> Seq.filter (fun c -> c <> '/' && c <> '-' && c <> ' ')
+    |> String.of_seq
+  in
+  let n = norm name in
+  List.find_opt (fun (m : Machine.t) -> norm m.name = n) all
+
+let find_exn name =
+  match find name with
+  | Some m -> m
+  | None ->
+    invalid_arg
+      (Fmt.str "unknown machine %S (expected one of: %s)" name
+         (String.concat ", " (List.map (fun (m : Machine.t) -> m.name) all)))

@@ -1,0 +1,26 @@
+(** Machine catalog (paper §VI).
+
+    Parameters follow the paper's experimental methodology where
+    stated; remaining microarchitectural details use public
+    specifications of the two processors. *)
+
+(** IBM Blue Gene/Q node: 1.6 GHz in-order Power A2 core, 4-wide QPX
+    FMA, 16 KB L1, 32 MB shared L2 at 51 cycles, DRAM at 180 cycles. *)
+val bgq : Machine.t
+
+(** Intel Xeon E5-2420 core: 1.9 GHz, AVX, aggressive compiler
+    vectorization, small shared LLC slice. *)
+val xeon : Machine.t
+
+(** A hypothetical co-design target: plentiful flops, relatively
+    starved memory. *)
+val future : Machine.t
+
+val all : Machine.t list
+
+(** Lookup by name, tolerant of case and punctuation
+    ("bgq" = "BG/Q"). *)
+val find : string -> Machine.t option
+
+(** @raise Invalid_argument when unknown. *)
+val find_exn : string -> Machine.t

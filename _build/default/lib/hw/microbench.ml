@@ -1,0 +1,126 @@
+(** Machine-characterization microbenchmarks (paper §VI).
+
+    The paper derives its hardware parameters "with a series of in
+    house micro benchmarks" — e.g. BG/Q's 51-cycle L2 and 180-cycle
+    DRAM latencies.  This module builds those microbenchmarks as
+    skeleton programs so the same methodology runs against any
+    executor: a pointer-chase-style dependent gather sized to each
+    cache level measures effective access latency, and a streaming
+    triad measures effective bandwidth.  The benches use them (via the
+    simulator) to cross-check that the machine models round-trip their
+    own parameters. *)
+
+open Skope_skeleton
+open Skope_bet
+
+type kind =
+  | Latency of { footprint_bytes : int }
+      (** random dependent gather over a working set of this size *)
+  | Bandwidth  (** stream triad over a DRAM-sized working set *)
+
+type t = {
+  name : string;
+  kind : kind;
+  program : Ast.program;
+  inputs : (string * Value.t) list;
+  accesses : float;  (** memory accesses the kernel performs *)
+  bytes : float;  (** bytes it moves *)
+}
+
+(** Dependent random gather: [iters] accesses at stride-defeating
+    pseudo-random indices within [footprint_bytes] of 8-byte data. *)
+let latency_probe ~name ~footprint_bytes ~iters : t =
+  let elems = max 64 (footprint_bytes / 8) in
+  let open Builder in
+  let program =
+    program ("ubench_" ^ name)
+      ~globals:[ array "chase" [ var "elems" ] ]
+      [
+        func "main"
+          [
+            for_ ~label:"probe" "i" (int 0) (var "iters" - int 1)
+              [
+                load [ a_ "chase" [ var "i" * int 7919 % var "elems" ] ];
+                comp ~iops:(int 1) ();
+              ];
+          ];
+      ]
+  in
+  {
+    name;
+    kind = Latency { footprint_bytes };
+    program;
+    inputs = [ ("elems", Value.int elems); ("iters", Value.int iters) ];
+    accesses = float_of_int iters;
+    bytes = 8. *. float_of_int iters;
+  }
+
+(** Stream triad [a(i) = b(i) + s*c(i)] over a working set far larger
+    than the last-level cache. *)
+let stream_probe ~name ~elems : t =
+  let open Builder in
+  let program =
+    program ("ubench_" ^ name)
+      ~globals:
+        [
+          array "sa" [ var "elems" ]; array "sb" [ var "elems" ];
+          array "sc" [ var "elems" ];
+        ]
+      [
+        func "main"
+          [
+            for_ ~label:"triad" "i" (int 0) (var "elems" - int 1)
+              [
+                load [ a_ "sb" [ var "i" ]; a_ "sc" [ var "i" ] ];
+                comp ~flops:(int 2) ~vec:4 ();
+                store [ a_ "sa" [ var "i" ] ];
+              ];
+          ];
+      ]
+  in
+  {
+    name;
+    kind = Bandwidth;
+    program;
+    inputs = [ ("elems", Value.int elems) ];
+    accesses = 3. *. float_of_int elems;
+    bytes = 24. *. float_of_int elems;
+  }
+
+(** The standard characterization suite for a machine: L1-, L2- and
+    DRAM-resident latency probes plus a bandwidth stream. *)
+let suite (m : Machine.t) : t list =
+  [
+    latency_probe ~name:"l1_latency"
+      ~footprint_bytes:(m.Machine.l1.Machine.size_bytes / 2)
+      ~iters:200_000;
+    latency_probe ~name:"l2_latency"
+      ~footprint_bytes:(min (m.Machine.l2.Machine.size_bytes / 2) (8 * 1024 * 1024))
+      ~iters:200_000;
+    latency_probe ~name:"mem_latency"
+      ~footprint_bytes:(4 * m.Machine.l2.Machine.size_bytes)
+      ~iters:100_000;
+    stream_probe ~name:"stream_triad" ~elems:2_000_000;
+  ]
+
+type measurement = {
+  bench : t;
+  cycles_per_access : float;
+  gb_per_sec : float;
+}
+
+(** Derive the characterization numbers from a run's total cycle
+    count (produced by any executor of the probe program). *)
+let measure (bench : t) ~total_cycles ~freq_ghz : measurement =
+  let cycles_per_access = total_cycles /. bench.accesses in
+  let seconds = total_cycles /. (freq_ghz *. 1e9) in
+  let gb_per_sec = bench.bytes /. seconds /. 1e9 in
+  { bench; cycles_per_access; gb_per_sec }
+
+let pp_measurement ppf m =
+  match m.bench.kind with
+  | Latency { footprint_bytes } ->
+    Fmt.pf ppf "%-14s %8d B footprint: %6.1f cycles/access" m.bench.name
+      footprint_bytes m.cycles_per_access
+  | Bandwidth ->
+    Fmt.pf ppf "%-14s %27s %6.2f GB/s" m.bench.name "" m.gb_per_sec

@@ -1,0 +1,38 @@
+(** Machine-characterization microbenchmarks (paper §VI methodology):
+    cache-level latency probes (random gather sized to each level) and
+    a stream-triad bandwidth probe, expressed as skeleton programs so
+    any executor can run them. *)
+
+open Skope_skeleton
+open Skope_bet
+
+type kind =
+  | Latency of { footprint_bytes : int }
+  | Bandwidth
+
+type t = {
+  name : string;
+  kind : kind;
+  program : Ast.program;
+  inputs : (string * Value.t) list;
+  accesses : float;  (** memory accesses the kernel performs *)
+  bytes : float;  (** bytes it moves *)
+}
+
+val latency_probe : name:string -> footprint_bytes:int -> iters:int -> t
+val stream_probe : name:string -> elems:int -> t
+
+(** L1-, L2- and DRAM-resident latency probes plus a bandwidth
+    stream, sized from the machine's cache geometry. *)
+val suite : Machine.t -> t list
+
+type measurement = {
+  bench : t;
+  cycles_per_access : float;
+  gb_per_sec : float;
+}
+
+(** Derive characterization numbers from a probe run's cycle count. *)
+val measure : t -> total_cycles:float -> freq_ghz:float -> measurement
+
+val pp_measurement : measurement Fmt.t

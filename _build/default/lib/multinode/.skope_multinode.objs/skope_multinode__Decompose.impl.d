@@ -1,0 +1,1 @@
+lib/multinode/decompose.ml: Fmt List

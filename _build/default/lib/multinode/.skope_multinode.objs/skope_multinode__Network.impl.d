@@ -1,0 +1,1 @@
+lib/multinode/network.ml: Fmt

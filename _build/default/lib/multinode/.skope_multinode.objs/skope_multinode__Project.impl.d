@@ -1,0 +1,1 @@
+lib/multinode/project.ml: Decompose Fmt List Network Option

@@ -1,0 +1,1 @@
+lib/multinode/project.mli: Decompose Fmt Network

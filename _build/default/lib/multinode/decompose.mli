@@ -1,0 +1,27 @@
+(** Domain decomposition for structured grids.
+
+    Chooses the rank factorization minimizing each subdomain's halo
+    surface (tie-broken toward balanced subdomains, like
+    [MPI_Dims_create]). *)
+
+type grid = { nx : int; ny : int; nz : int }
+
+type t = {
+  grid : grid;
+  ranks : int;
+  px : int;
+  py : int;
+  pz : int;
+  cells_per_rank : float;
+  halo_elems : float;  (** elements exchanged per halo swap per rank *)
+  neighbors : int;  (** messages per exchange per rank *)
+}
+
+(** Surface elements of one subdomain under the given factorization,
+    counting only faces with neighbors. *)
+val surface : px:int -> py:int -> pz:int -> grid:grid -> float
+
+(** @raise Invalid_argument when [ranks <= 0]. *)
+val best : grid:grid -> ranks:int -> t
+
+val pp : t Fmt.t

@@ -1,0 +1,42 @@
+(** Interconnect models for multi-node projection.
+
+    The paper lists extending the framework "to project hot regions
+    and performance bottlenecks for multi-node execution" as future
+    work (§VIII); this library implements a first-order version using
+    the same philosophy as the roofline: a latency/bandwidth model per
+    message, no contention simulation. *)
+
+type t = {
+  name : string;
+  latency_us : float;  (** per-message one-way latency *)
+  bandwidth_gbs : float;  (** per-link sustained bandwidth *)
+  overlap : float;
+      (** fraction of communication hidden behind computation
+          (0 = fully exposed, 1 = fully overlapped) *)
+}
+
+(** BG/Q 5D torus: low latency, solid bandwidth, good overlap through
+    the messaging unit. *)
+let bgq_torus =
+  { name = "BG/Q torus"; latency_us = 2.5; bandwidth_gbs = 1.8; overlap = 0.7 }
+
+(** Commodity InfiniBand QDR cluster. *)
+let infiniband =
+  { name = "InfiniBand"; latency_us = 1.5; bandwidth_gbs = 4.0; overlap = 0.3 }
+
+(** 10G Ethernet: high latency, modest bandwidth. *)
+let ethernet =
+  { name = "10G Ethernet"; latency_us = 20.; bandwidth_gbs = 1.2; overlap = 0.1 }
+
+let all = [ bgq_torus; infiniband; ethernet ]
+
+(** Time for one neighbor exchange of [bytes] per message over
+    [messages] concurrent messages (serialized bandwidth, parallel
+    latency). *)
+let exchange_time t ~messages ~bytes =
+  (t.latency_us *. 1e-6)
+  +. (float_of_int messages *. bytes /. (t.bandwidth_gbs *. 1e9))
+
+let pp ppf t =
+  Fmt.pf ppf "%s: %.1f us, %.1f GB/s, overlap %.0f%%" t.name t.latency_us
+    t.bandwidth_gbs (100. *. t.overlap)

@@ -1,0 +1,21 @@
+(** Interconnect models for multi-node projection: first-order
+    latency/bandwidth per message, plus an overlap factor for
+    communication hidden behind computation. *)
+
+type t = {
+  name : string;
+  latency_us : float;  (** per-message one-way latency *)
+  bandwidth_gbs : float;  (** per-link sustained bandwidth *)
+  overlap : float;  (** fraction of communication hidden (0..1) *)
+}
+
+val bgq_torus : t
+val infiniband : t
+val ethernet : t
+val all : t list
+
+(** Time for one neighbor exchange: parallel latency, serialized
+    bandwidth over [messages] of [bytes] each. *)
+val exchange_time : t -> messages:int -> bytes:float -> float
+
+val pp : t Fmt.t

@@ -1,0 +1,101 @@
+(** Multi-node strong-scaling projection (paper §VIII future work).
+
+    Combines the single-rank analytic projection with the domain
+    decomposition and network models: per step,
+
+    [T(p) = T_compute(1 rank, cells/p) + (1 - overlap) * T_halo(p)]
+
+    where the compute term comes from the BET/roofline projection —
+    loops over distributed cells scale with the per-rank cell count
+    because their trip counts are cell-proportional, while
+    serial/replicated work does not shrink.  The projection therefore
+    also reports which hot spots {e become} hot at scale: halo
+    exchange and the non-distributed regions — the multi-node analogue
+    of the paper's "hot spots do not port across machines". *)
+
+type spec = {
+  grid : Decompose.grid;  (** the distributed 3D grid *)
+  fields : int;  (** fields exchanged per halo swap *)
+  elem_bytes : int;
+  steps : int;  (** halo exchanges over the run *)
+  distributed_share : float;
+      (** fraction of single-rank time that scales with cells/rank;
+          the rest is replicated on every rank *)
+}
+
+type point = {
+  ranks : int;
+  decomposition : Decompose.t;
+  t_compute : float;
+  t_comm : float;
+  t_total : float;
+  speedup : float;
+  efficiency : float;
+  comm_fraction : float;
+}
+
+type scaling = {
+  spec : spec;
+  network : Network.t;
+  t_single : float;
+  points : point list;
+}
+
+(** Strong-scaling projection of a workload whose single-rank
+    projected time is [t_single] seconds. *)
+let strong_scaling ~(spec : spec) ~(network : Network.t) ~t_single ~ranks_list
+    () : scaling =
+  let points =
+    List.map
+      (fun ranks ->
+        let d = Decompose.best ~grid:spec.grid ~ranks in
+        let distributed = t_single *. spec.distributed_share in
+        let replicated = t_single *. (1. -. spec.distributed_share) in
+        let t_compute = (distributed /. float_of_int ranks) +. replicated in
+        let halo_bytes =
+          d.Decompose.halo_elems *. float_of_int (spec.fields * spec.elem_bytes)
+        in
+        let per_exchange =
+          Network.exchange_time network ~messages:d.Decompose.neighbors
+            ~bytes:(halo_bytes /. float_of_int (max 1 d.Decompose.neighbors))
+        in
+        let t_comm_raw = float_of_int spec.steps *. per_exchange in
+        let t_comm =
+          if ranks = 1 then 0. else t_comm_raw *. (1. -. network.Network.overlap)
+        in
+        let t_total = t_compute +. t_comm in
+        {
+          ranks;
+          decomposition = d;
+          t_compute;
+          t_comm;
+          t_total;
+          speedup = t_single /. t_total;
+          efficiency = t_single /. t_total /. float_of_int ranks;
+          comm_fraction = (if t_total > 0. then t_comm /. t_total else 0.);
+        })
+      ranks_list
+  in
+  { spec; network; t_single; points }
+
+(** First rank count at which communication exceeds [threshold] of the
+    step time — the co-design "crossover" the examples look for. *)
+let comm_crossover ?(threshold = 0.5) (s : scaling) =
+  List.find_opt (fun p -> p.comm_fraction > threshold) s.points
+  |> Option.map (fun p -> p.ranks)
+
+(** SORD's distribution spec (§VI: one rank processes 50x400x400
+    cells; velocity-stress codes exchange ~9 fields per step). *)
+let sord_spec ~nx ~ny ~nz ~steps =
+  {
+    grid = { Decompose.nx; ny; nz };
+    fields = 9;
+    elem_bytes = 8;
+    steps;
+    distributed_share = 0.97;
+  }
+
+let pp_point ppf p =
+  Fmt.pf ppf "p=%4d compute %8.2f ms, comm %7.2f ms, speedup %7.1fx, eff %5.1f%%"
+    p.ranks (p.t_compute *. 1e3) (p.t_comm *. 1e3) p.speedup
+    (100. *. p.efficiency)

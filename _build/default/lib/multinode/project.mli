@@ -1,0 +1,49 @@
+(** Multi-node strong-scaling projection (paper §VIII future work).
+
+    Combines the single-rank analytic projection with the
+    decomposition and network models:
+    [T(p) = distributed/p + replicated + (1-overlap) * T_halo(p)]. *)
+
+type spec = {
+  grid : Decompose.grid;
+  fields : int;  (** fields exchanged per halo swap *)
+  elem_bytes : int;
+  steps : int;  (** halo exchanges over the run *)
+  distributed_share : float;
+      (** fraction of single-rank time that scales with cells/rank *)
+}
+
+type point = {
+  ranks : int;
+  decomposition : Decompose.t;
+  t_compute : float;
+  t_comm : float;
+  t_total : float;
+  speedup : float;
+  efficiency : float;
+  comm_fraction : float;
+}
+
+type scaling = {
+  spec : spec;
+  network : Network.t;
+  t_single : float;
+  points : point list;
+}
+
+val strong_scaling :
+  spec:spec ->
+  network:Network.t ->
+  t_single:float ->
+  ranks_list:int list ->
+  unit ->
+  scaling
+
+(** First rank count whose communication share exceeds [threshold]
+    (default 0.5). *)
+val comm_crossover : ?threshold:float -> scaling -> int option
+
+(** SORD's distribution spec: 9 exchanged fields, 8-byte elements. *)
+val sord_spec : nx:int -> ny:int -> nz:int -> steps:int -> spec
+
+val pp_point : point Fmt.t

@@ -1,0 +1,1 @@
+lib/report/render.ml: Block_id Blockstat Buffer Float Fmt Hotpath Hotspot Json List Machine Node Perf Roofline Skope_analysis Skope_bet Skope_hw String Table Work

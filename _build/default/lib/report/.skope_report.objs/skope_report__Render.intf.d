@@ -1,0 +1,1 @@
+lib/report/render.mli: Blockstat Hotpath Hotspot Json Machine Perf Roofline Skope_analysis Skope_bet Skope_hw Table Work

@@ -1,0 +1,113 @@
+(** ASCII charts for the paper's figures.
+
+    [bars] renders one horizontal bar per labeled value (Figs. 6-8
+    breakdowns); [stacked_bars] splits each bar into segments
+    (compute / overlap / memory); [curves] renders several series
+    against a shared integer x-axis as aligned columns plus a coarse
+    plot (the coverage and quality curves of Figs. 4-5, 10-13). *)
+
+let bar_width = 40
+
+let bar ~max_value v =
+  if max_value <= 0. then ""
+  else
+    let n =
+      int_of_float (Float.round (float_of_int bar_width *. v /. max_value))
+    in
+    String.make (max 0 (min bar_width n)) '#'
+
+(** [bars ~title ~unit items] where items are [(label, value)]. *)
+let bars ?(title = "") ?(unit = "") items : string =
+  let buf = Buffer.create 256 in
+  if title <> "" then (
+    Buffer.add_string buf title;
+    Buffer.add_char buf '\n');
+  let max_value = List.fold_left (fun a (_, v) -> Float.max a v) 0. items in
+  let lwidth =
+    List.fold_left (fun a (l, _) -> max a (String.length l)) 0 items
+  in
+  List.iter
+    (fun (label, v) ->
+      Buffer.add_string buf
+        (Fmt.str "  %-*s %10.4g%s |%s\n" lwidth label v unit
+           (bar ~max_value v)))
+    items;
+  Buffer.contents buf
+
+(** Stacked horizontal bars: each item is
+    [(label, segments)] with [(segment_char, value)] pairs. *)
+let stacked_bars ?(title = "") items : string =
+  let buf = Buffer.create 256 in
+  if title <> "" then (
+    Buffer.add_string buf title;
+    Buffer.add_char buf '\n');
+  let total (segs : (char * float) list) =
+    List.fold_left (fun a (_, v) -> a +. v) 0. segs
+  in
+  let max_value = List.fold_left (fun a (_, s) -> Float.max a (total s)) 0. items in
+  let lwidth =
+    List.fold_left (fun a (l, _) -> max a (String.length l)) 0 items
+  in
+  List.iter
+    (fun (label, segs) ->
+      let render_segs =
+        String.concat ""
+          (List.map
+             (fun (c, v) ->
+               if max_value <= 0. then ""
+               else
+                 let n =
+                   int_of_float
+                     (Float.round (float_of_int bar_width *. v /. max_value))
+                 in
+                 String.make (max 0 n) c)
+             segs)
+      in
+      Buffer.add_string buf
+        (Fmt.str "  %-*s %10.4g |%s\n" lwidth label (total segs) render_segs))
+    items;
+  Buffer.contents buf
+
+(** Multi-series curves over x = 1..n.  [series] are
+    [(name, values)] — shorter series are padded with blanks. *)
+let curves ?(title = "") ?(ylabel = "") ~(series : (string * float list) list)
+    () : string =
+  let buf = Buffer.create 256 in
+  if title <> "" then (
+    Buffer.add_string buf title;
+    Buffer.add_char buf '\n');
+  if ylabel <> "" then Buffer.add_string buf (Fmt.str "  (%s)\n" ylabel);
+  let n = List.fold_left (fun a (_, v) -> max a (List.length v)) 0 series in
+  let headers =
+    "k" :: List.map fst series
+  in
+  let cell v = Fmt.str "%.3f" v in
+  let rows =
+    List.init n (fun i ->
+        string_of_int (i + 1)
+        :: List.map
+             (fun (_, vals) ->
+               match List.nth_opt vals i with
+               | Some v -> cell v
+               | None -> "")
+             series)
+  in
+  let t =
+    Table.make ~headers
+      ~aligns:(Table.Right :: List.map (fun _ -> Table.Right) series)
+      rows
+  in
+  Buffer.add_string buf (Table.render t);
+  (* Coarse plot: one row per series, one glyph per x. *)
+  let glyph v =
+    let ticks = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#'; '%'; '@' |] in
+    let i = int_of_float (Float.round (v *. 9.)) in
+    ticks.(max 0 (min 9 i))
+  in
+  List.iter
+    (fun (name, vals) ->
+      let maxv = List.fold_left Float.max 1e-30 vals in
+      let s = String.init (List.length vals) (fun i -> glyph (List.nth vals i /. maxv)) in
+      Buffer.add_string buf (Fmt.str "  %-12s [%s]\n" name s))
+    series;
+  Buffer.contents buf

@@ -1,0 +1,18 @@
+(** ASCII charts for the paper's figures. *)
+
+(** Horizontal bars, one per [(label, value)]. *)
+val bars : ?title:string -> ?unit:string -> (string * float) list -> string
+
+(** Stacked horizontal bars; each item is
+    [(label, \[(segment_glyph, value); ...\])]. *)
+val stacked_bars :
+  ?title:string -> (string * (char * float) list) list -> string
+
+(** Multi-series curves over x = 1..n, rendered as an aligned table
+    plus a coarse glyph plot; shorter series pad with blanks. *)
+val curves :
+  ?title:string ->
+  ?ylabel:string ->
+  series:(string * float list) list ->
+  unit ->
+  string

@@ -1,0 +1,15 @@
+(** Minimal JSON emitter (no external dependencies).
+
+    Non-finite floats serialize as [null] (NaN) or out-of-range
+    literals; strings are escaped per RFC 8259. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string

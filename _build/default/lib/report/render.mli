@@ -1,0 +1,29 @@
+(** Serializers from analysis results to JSON and roofline-position
+    tables. *)
+
+open Skope_bet
+open Skope_hw
+open Skope_analysis
+
+val json_of_work : Work.t -> Json.t
+val json_of_blockstat : total_time:float -> Blockstat.t -> Json.t
+val json_of_projection : Perf.projection -> Json.t
+val json_of_selection : Hotspot.selection -> Json.t
+val json_of_hotpath : Hotpath.t -> Json.t
+
+(** Graphviz DOT rendering of a hot path (the paper's Fig. 9 diagram):
+    hot spots are filled boxes, edges carry reaching probabilities. *)
+val dot_of_hotpath : ?graph_name:string -> Hotpath.t -> string
+
+(** Rows: block, flops/byte, achieved GF/s, attainable GF/s, fraction
+    of roof, bound.  The bandwidth leg uses DRAM line traffic under
+    the model's cache ratios, so fractions stay within 100%. *)
+val roofline_rows :
+  ?opts:Roofline.opts ->
+  Machine.t ->
+  Blockstat.t list ->
+  k:int ->
+  string list list
+
+val roofline_table :
+  ?opts:Roofline.opts -> Machine.t -> Blockstat.t list -> k:int -> Table.t

@@ -1,0 +1,82 @@
+(** Plain-text table rendering with column alignment.
+
+    Used by the bench harness to print the paper's tables and by the
+    CLI for hot-spot listings. *)
+
+type align = Left | Right
+
+type t = {
+  title : string;
+  headers : string list;
+  aligns : align list;
+  rows : string list list;
+}
+
+let make ?(title = "") ~headers ?(aligns = []) rows =
+  let aligns =
+    if aligns <> [] then aligns else List.map (fun _ -> Left) headers
+  in
+  { title; headers; aligns; rows }
+
+let widths t =
+  let ncols = List.length t.headers in
+  let w = Array.make ncols 0 in
+  let measure row =
+    List.iteri
+      (fun i cell ->
+        if i < ncols then w.(i) <- max w.(i) (String.length cell))
+      row
+  in
+  measure t.headers;
+  List.iter measure t.rows;
+  w
+
+let pad align width s =
+  let n = width - String.length s in
+  if n <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make n ' '
+    | Right -> String.make n ' ' ^ s
+
+let render t : string =
+  let w = widths t in
+  let aligns = Array.of_list t.aligns in
+  let line row =
+    String.concat "  "
+      (List.mapi
+         (fun i cell ->
+           let a = if i < Array.length aligns then aligns.(i) else Left in
+           pad a w.(i) cell)
+         row)
+  in
+  let sep =
+    String.concat "  "
+      (Array.to_list (Array.map (fun n -> String.make n '-') w))
+  in
+  let buf = Buffer.create 256 in
+  if t.title <> "" then (
+    Buffer.add_string buf t.title;
+    Buffer.add_char buf '\n');
+  Buffer.add_string buf (line t.headers);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf sep;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (line row);
+      Buffer.add_char buf '\n')
+    t.rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+(** Render rows as comma-separated values (headers included). *)
+let to_csv t : string =
+  let quote s =
+    if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+      "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+    else s
+  in
+  let line row = String.concat "," (List.map quote row) in
+  String.concat "\n" (line t.headers :: List.map line t.rows) ^ "\n"

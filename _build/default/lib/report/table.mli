@@ -1,0 +1,24 @@
+(** Plain-text tables with column alignment. *)
+
+type align = Left | Right
+
+type t = {
+  title : string;
+  headers : string list;
+  aligns : align list;
+  rows : string list list;
+}
+
+(** [aligns] defaults to all-[Left]. *)
+val make :
+  ?title:string ->
+  headers:string list ->
+  ?aligns:align list ->
+  string list list ->
+  t
+
+val render : t -> string
+val print : t -> unit
+
+(** Comma-separated values with RFC-4180 quoting (headers included). *)
+val to_csv : t -> string

@@ -1,0 +1,1 @@
+lib/sim/counters.ml: Block_id Float Hashtbl Skope_bet

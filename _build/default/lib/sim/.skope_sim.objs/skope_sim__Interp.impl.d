@@ -1,0 +1,1 @@
+lib/sim/interp.ml: Array Ast Block_id Bst Cache Counters Eval Float Hashtbl Hints Lazy Libmix List Loc Machine Machines Rng Skope_analysis Skope_bet Skope_hw Skope_skeleton String Value Work

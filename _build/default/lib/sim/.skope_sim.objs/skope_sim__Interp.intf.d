@@ -1,0 +1,1 @@
+lib/sim/interp.mli: Ast Counters Hints Libmix Loc Machine Skope_analysis Skope_bet Skope_hw Skope_skeleton Value

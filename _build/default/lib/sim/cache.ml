@@ -1,0 +1,84 @@
+(** Set-associative LRU cache simulator.
+
+    One instance per level.  Tag arrays are flat [int array]s indexed
+    by [set * assoc + way]; recency is tracked with a global access
+    stamp per way, which implements exact LRU without list
+    manipulation. *)
+
+open Skope_hw
+
+type t = {
+  level : Machine.cache_level;
+  sets : int;
+  line_shift : int;
+  tags : int array;  (** -1 = invalid *)
+  stamps : int array;
+  mutable clock : int;
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+let log2_int n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let create (level : Machine.cache_level) : t =
+  if level.size_bytes <= 0 || level.line_bytes <= 0 || level.assoc <= 0 then
+    invalid_arg "Cache.create: non-positive geometry";
+  if level.line_bytes land (level.line_bytes - 1) <> 0 then
+    invalid_arg "Cache.create: line size must be a power of two";
+  let sets = max 1 (level.size_bytes / (level.line_bytes * level.assoc)) in
+  {
+    level;
+    sets;
+    line_shift = log2_int level.line_bytes;
+    tags = Array.make (sets * level.assoc) (-1);
+    stamps = Array.make (sets * level.assoc) 0;
+    clock = 0;
+    accesses = 0;
+    misses = 0;
+  }
+
+(** Probe the cache with a byte address.  Returns [true] on hit;
+    misses allocate (write-allocate, no distinction between loads and
+    stores — victim writeback time is folded into miss latency). *)
+let access t ~addr : bool =
+  t.accesses <- t.accesses + 1;
+  t.clock <- t.clock + 1;
+  let line = addr lsr t.line_shift in
+  let set = line mod t.sets in
+  let base = set * t.level.assoc in
+  let tag = line in
+  let rec find i =
+    if i >= t.level.assoc then None
+    else if t.tags.(base + i) = tag then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some way ->
+    t.stamps.(base + way) <- t.clock;
+    true
+  | None ->
+    t.misses <- t.misses + 1;
+    (* Evict the LRU way. *)
+    let victim = ref 0 in
+    for i = 1 to t.level.assoc - 1 do
+      if t.stamps.(base + i) < t.stamps.(base + !victim) then victim := i
+    done;
+    t.tags.(base + !victim) <- tag;
+    t.stamps.(base + !victim) <- t.clock;
+    false
+
+let reset t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.stamps 0 (Array.length t.stamps) 0;
+  t.clock <- 0;
+  t.accesses <- 0;
+  t.misses <- 0
+
+let accesses t = t.accesses
+let misses t = t.misses
+let hits t = t.accesses - t.misses
+
+let miss_rate t =
+  if t.accesses = 0 then 0. else float_of_int t.misses /. float_of_int t.accesses

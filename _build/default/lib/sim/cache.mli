@@ -1,0 +1,29 @@
+(** Set-associative LRU cache simulator (one instance per level). *)
+
+open Skope_hw
+
+type t = {
+  level : Machine.cache_level;
+  sets : int;
+  line_shift : int;
+  tags : int array;
+  stamps : int array;
+  mutable clock : int;
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+(** @raise Invalid_argument on non-positive geometry or a line size
+    that is not a power of two. *)
+val create : Machine.cache_level -> t
+
+(** Probe with a byte address; [true] on hit.  Misses allocate
+    (write-allocate; victim write-back time is folded into the miss
+    latency). *)
+val access : t -> addr:int -> bool
+
+val reset : t -> unit
+val accesses : t -> int
+val misses : t -> int
+val hits : t -> int
+val miss_rate : t -> float

@@ -1,0 +1,66 @@
+(** Per-block hardware counters collected during simulation.
+
+    These play the role of the paper's profiled measurements: exclusive
+    cycles per source block (the "gprof + manual timers" baseline of
+    §VI) and the counter-derived metrics of Fig. 8 — issue rate and
+    instructions per L1 miss. *)
+
+open Skope_bet
+
+type entry = {
+  block : Block_id.t;
+  mutable cycles : float;
+  mutable comp_cycles : float;
+  mutable mem_cycles : float;
+  mutable instrs : float;
+  mutable flops : float;
+  mutable loads : int;
+  mutable stores : int;
+  mutable l1_misses : int;
+  mutable l2_misses : int;
+  mutable bytes : float;
+  mutable execs : int;
+}
+
+type t = (Block_id.t, entry) Hashtbl.t
+
+let create () : t = Hashtbl.create 64
+
+let entry (t : t) block =
+  match Hashtbl.find_opt t block with
+  | Some e -> e
+  | None ->
+    let e =
+      {
+        block;
+        cycles = 0.;
+        comp_cycles = 0.;
+        mem_cycles = 0.;
+        instrs = 0.;
+        flops = 0.;
+        loads = 0;
+        stores = 0;
+        l1_misses = 0;
+        l2_misses = 0;
+        bytes = 0.;
+        execs = 0;
+      }
+    in
+    Hashtbl.add t block e;
+    e
+
+let entries (t : t) = Hashtbl.fold (fun _ e l -> e :: l) t []
+
+let total_cycles (t : t) =
+  Hashtbl.fold (fun _ e acc -> acc +. e.cycles) t 0.
+
+(** Instructions issued per cycle within the block. *)
+let issue_rate e = if e.cycles > 0. then e.instrs /. e.cycles else 0.
+
+(** Instructions retired per L1 miss — the paper's computation
+    intensity proxy in Fig. 8. *)
+let instrs_per_l1_miss e =
+  if e.l1_misses > 0 then e.instrs /. float_of_int e.l1_misses
+  else Float.infinity
+
+let find (t : t) block = Hashtbl.find_opt t block

@@ -1,0 +1,38 @@
+(** Per-block hardware counters collected during simulation — the
+    stand-in for the paper's profiled measurements (§VI) and the
+    source of Fig. 8's issue-rate / instructions-per-L1-miss data. *)
+
+open Skope_bet
+
+type entry = {
+  block : Block_id.t;
+  mutable cycles : float;
+  mutable comp_cycles : float;
+  mutable mem_cycles : float;
+  mutable instrs : float;
+  mutable flops : float;
+  mutable loads : int;
+  mutable stores : int;
+  mutable l1_misses : int;
+  mutable l2_misses : int;
+  mutable bytes : float;
+  mutable execs : int;
+}
+
+type t
+
+val create : unit -> t
+
+(** Find or create the entry for a block. *)
+val entry : t -> Block_id.t -> entry
+
+val entries : t -> entry list
+val total_cycles : t -> float
+
+(** Instructions issued per cycle within the block. *)
+val issue_rate : entry -> float
+
+(** Instructions retired per L1 miss ([infinity] with no misses). *)
+val instrs_per_l1_miss : entry -> float
+
+val find : t -> Block_id.t -> entry option

@@ -1,0 +1,652 @@
+(** Concrete skeleton interpreter with a cycle-level cost model — the
+    repo's ground truth.
+
+    This substrate stands in for the paper's real machines and their
+    native profilers (§VI): it executes the skeleton program with real
+    loop iteration and pseudo-random data-dependent branch outcomes,
+    attributes exclusive cycles to every source block, and models
+    precisely the effects the paper's analytic model ignores —
+    set-associative caches with actual reuse, expensive floating point
+    division, and SIMD throughput.  It also doubles as the gcov-style
+    branch profiler (§III-B): every run returns the empirical branch
+    and trip-count statistics as {!Skope_bet.Hints.t}.
+
+    For speed the program is {e compiled} once into closures: variables
+    resolve to array slots instead of hash lookups, and constant
+    expressions (the common case for operation counts) are folded at
+    compile time.  Simulated executions routinely run hundreds of
+    millions of statement instances, so this matters.
+
+    The core model is in-order: computation, scalar bookkeeping and
+    memory penalties accumulate additively; pipelined L1 hits cost one
+    issue slot while misses pay the level's latency divided by the
+    machine's memory-level parallelism. *)
+
+open Skope_skeleton
+open Skope_bet
+open Skope_hw
+
+exception Brk
+exception Cont
+exception Ret
+exception Unbound of string * Loc.t
+
+type config = { machine : Machine.t; libmix : Libmix.t; seed : int64 }
+
+let default_config ?(machine = Machines.bgq) ?(libmix = Libmix.default)
+    ?(seed = 42L) () =
+  { machine; libmix; seed }
+
+type result = {
+  machine : Machine.t;
+  blocks : Skope_analysis.Blockstat.t list;
+      (** measured exclusive time per block, ranked by time *)
+  total_cycles : float;
+  total_time : float;  (** seconds *)
+  hints : Hints.t;  (** branch/trip statistics for BET construction *)
+  counters : Counters.t;  (** per-block counter detail (Fig. 8) *)
+}
+
+(* ------------------------------------------------------------------ *)
+
+type array_info = { base : int; dims : int array; elem : int }
+
+type state = {
+  cfg : config;
+  program : Ast.program;
+  globals : Value.t array;
+  global_index : (string, int) Hashtbl.t;
+  l1 : Cache.t;
+  l2 : Cache.t;
+  rng : Rng.t;
+  counters : Counters.t;
+  layouts : (string * string, array_info option ref) Hashtbl.t;
+  mutable cursor : int;  (** next free byte address *)
+  branch_tally : (string, (int * int) ref) Hashtbl.t;  (** taken, total *)
+  loop_tally : (string, (int * int) ref) Hashtbl.t;  (** iters, entries *)
+  (* cost model constants *)
+  flop_cycles : float;  (** cycles per scalar non-division flop *)
+  iop_cycles : float;
+  load_base : float;  (** issue cost of a pipelined L1 hit *)
+  l2_penalty : float;
+  mem_penalty : float;
+}
+
+type frame = Value.t array
+
+(* --- compilation -------------------------------------------------- *)
+
+(* Per-function variable slots: parameters, [let] targets and loop
+   variables get dense indices; everything else resolves to the global
+   input bindings. *)
+type scope = { func : string; slots : (string, int) Hashtbl.t; st : state }
+
+let slot_count scope = Hashtbl.length scope.slots
+
+let local_vars (f : Ast.func) : string list =
+  let add acc v = if List.mem v acc then acc else v :: acc in
+  let acc =
+    Ast.fold_block
+      (fun acc (s : Ast.stmt) ->
+        match s.Ast.kind with
+        | Ast.Let (v, _) -> add acc v
+        | Ast.For { var; _ } -> add acc var
+        | _ -> acc)
+      (List.rev f.Ast.params) f.Ast.body
+  in
+  List.rev acc
+
+type cexpr = frame -> Value.t
+
+let rec compile_expr (scope : scope) (e : Ast.expr) : cexpr =
+  match compile_const scope e with
+  | Some v -> fun _ -> v
+  | None -> compile_dyn scope e
+
+and compile_const scope (e : Ast.expr) : Value.t option =
+  (* Fold expressions that only reference constants and global inputs
+     (immutable during execution). *)
+  let rec refs_local = function
+    | Ast.Var v -> Hashtbl.mem scope.slots v
+    | Ast.Int _ | Ast.Float _ | Ast.Bool _ -> false
+    | Ast.Binop (_, a, b) | Ast.Cmp (_, a, b) | Ast.And (a, b) | Ast.Or (a, b)
+      ->
+      refs_local a || refs_local b
+    | Ast.Unop (_, a) -> refs_local a
+  in
+  if refs_local e then None
+  else begin
+    (* Evaluate once against globals only. *)
+    let scope_frame = [||] in
+    match compile_dyn scope e scope_frame with
+    | v -> Some v
+    | exception Unbound _ -> None
+  end
+
+and compile_dyn (scope : scope) (e : Ast.expr) : cexpr =
+  match e with
+  | Ast.Int i ->
+    let v = Value.I i in
+    fun _ -> v
+  | Ast.Float f ->
+    let v = Value.F f in
+    fun _ -> v
+  | Ast.Bool b ->
+    let v = Value.B b in
+    fun _ -> v
+  | Ast.Var name -> (
+    match Hashtbl.find_opt scope.slots name with
+    | Some slot -> fun frame -> Array.unsafe_get frame slot
+    | None -> (
+      match Hashtbl.find_opt scope.st.global_index name with
+      | Some gi ->
+        let globals = scope.st.globals in
+        fun _ -> Array.unsafe_get globals gi
+      | None -> raise (Unbound (name, Loc.none))))
+  | Ast.Binop (op, a, b) ->
+    let ca = compile_expr scope a and cb = compile_expr scope b in
+    fun frame ->
+      (match Eval.arith op (ca frame) (cb frame) with
+      | Some v -> v
+      | None -> Value.F 0.)
+  | Ast.Cmp (op, a, b) ->
+    let ca = compile_expr scope a and cb = compile_expr scope b in
+    let test =
+      match op with
+      | Ast.Lt -> fun c -> c < 0
+      | Ast.Le -> fun c -> c <= 0
+      | Ast.Gt -> fun c -> c > 0
+      | Ast.Ge -> fun c -> c >= 0
+      | Ast.Eq -> fun c -> c = 0
+      | Ast.Ne -> fun c -> c <> 0
+    in
+    fun frame -> Value.B (test (Value.compare (ca frame) (cb frame)))
+  | Ast.And (a, b) ->
+    let ca = compile_expr scope a and cb = compile_expr scope b in
+    fun frame ->
+      Value.B (Value.truthy (ca frame) && Value.truthy (cb frame))
+  | Ast.Or (a, b) ->
+    let ca = compile_expr scope a and cb = compile_expr scope b in
+    fun frame ->
+      Value.B (Value.truthy (ca frame) || Value.truthy (cb frame))
+  | Ast.Unop (op, a) -> (
+    let ca = compile_expr scope a in
+    match op with
+    | Ast.Neg -> (
+      fun frame ->
+        match ca frame with
+        | Value.I i -> Value.I (-i)
+        | v -> Value.F (-.Value.to_float v))
+    | Ast.Not -> fun frame -> Value.B (not (Value.truthy (ca frame)))
+    | Ast.Floor ->
+      fun frame ->
+        Value.I (int_of_float (Float.floor (Value.to_float (ca frame))))
+    | Ast.Ceil ->
+      fun frame ->
+        Value.I (int_of_float (Float.ceil (Value.to_float (ca frame))))
+    | Ast.Sqrt ->
+      fun frame ->
+        Value.F (Float.sqrt (Float.max 0. (Value.to_float (ca frame))))
+    | Ast.Log2 ->
+      fun frame ->
+        let f = Value.to_float (ca frame) in
+        Value.F (if f <= 0. then 0. else Float.log f /. Float.log 2.)
+    | Ast.Abs -> (
+      fun frame ->
+        match ca frame with
+        | Value.I i -> Value.I (abs i)
+        | v -> Value.F (Float.abs (Value.to_float v))))
+
+let compile_float scope e : frame -> float =
+  match compile_const scope e with
+  | Some v ->
+    let f = Value.to_float v in
+    fun _ -> f
+  | None ->
+    let c = compile_dyn scope e in
+    fun frame -> Value.to_float (c frame)
+
+let compile_int scope e : frame -> int =
+  let cf = compile_float scope e in
+  fun frame -> int_of_float (Float.round (cf frame))
+
+let compile_prob scope e : frame -> float =
+  let cf = compile_float scope e in
+  fun frame -> Float.min 1. (Float.max 0. (cf frame))
+
+(* --- tallies ------------------------------------------------------- *)
+
+let branch_cell st name =
+  match Hashtbl.find_opt st.branch_tally name with
+  | Some c -> c
+  | None ->
+    let c = ref (0, 0) in
+    Hashtbl.add st.branch_tally name c;
+    c
+
+let loop_cell st name =
+  match Hashtbl.find_opt st.loop_tally name with
+  | Some c -> c
+  | None ->
+    let c = ref (0, 0) in
+    Hashtbl.add st.loop_tally name c;
+    c
+
+let tally_branch cell taken =
+  let t, n = !cell in
+  cell := ((t + if taken then 1 else 0), n + 1)
+
+(* --- memory layout -------------------------------------------------- *)
+
+let layout_cell st ~func name =
+  let key = (func, name) in
+  match Hashtbl.find_opt st.layouts key with
+  | Some c -> c
+  | None ->
+    let c = ref None in
+    Hashtbl.add st.layouts key c;
+    c
+
+(* Resolution order mirrors scoping: function-local declaration first,
+   then global. *)
+let find_array_cell st ~func ~(declared : Ast.array_decl list) name =
+  let is_local =
+    List.exists (fun (d : Ast.array_decl) -> String.equal d.Ast.aname name) declared
+  in
+  if is_local then Some (layout_cell st ~func name)
+  else if Hashtbl.mem st.layouts ("", name) then Some (layout_cell st ~func:"" name)
+  else None
+
+let do_layout st ~func frame (decls : Ast.array_decl list) scope =
+  List.iter
+    (fun (d : Ast.array_decl) ->
+      let cell = layout_cell st ~func d.Ast.aname in
+      if !cell = None then begin
+        let dims =
+          Array.of_list
+            (List.map
+               (fun e -> max 1 (compile_int scope e frame))
+               d.Ast.dims)
+        in
+        let total = Array.fold_left ( * ) 1 dims * d.Ast.elem_bytes in
+        let align = max st.l1.Cache.level.line_bytes 64 in
+        let base = (st.cursor + align - 1) / align * align in
+        st.cursor <- base + total;
+        cell := Some { base; dims; elem = d.Ast.elem_bytes }
+      end)
+    decls
+
+(* --- cost charging --------------------------------------------------- *)
+
+let charge_access st (e : Counters.entry) ~is_store addr bytes =
+  let c = ref st.load_base in
+  if not (Cache.access st.l1 ~addr) then begin
+    e.Counters.l1_misses <- e.Counters.l1_misses + 1;
+    if Cache.access st.l2 ~addr then c := !c +. st.l2_penalty
+    else begin
+      e.Counters.l2_misses <- e.Counters.l2_misses + 1;
+      c := !c +. st.mem_penalty
+    end
+  end;
+  e.Counters.cycles <- e.Counters.cycles +. !c;
+  e.Counters.mem_cycles <- e.Counters.mem_cycles +. !c;
+  e.Counters.instrs <- e.Counters.instrs +. 1.;
+  e.Counters.bytes <- e.Counters.bytes +. float_of_int bytes;
+  if is_store then e.Counters.stores <- e.Counters.stores + 1
+  else e.Counters.loads <- e.Counters.loads + 1
+
+let charge_lib st (e : Counters.entry) (w : Work.t) =
+  let m = st.cfg.machine in
+  let comp =
+    (Float.max 0. (w.Work.flops -. w.Work.divs) *. st.flop_cycles)
+    +. (w.Work.divs *. m.Machine.div_latency)
+    +. (w.Work.iops *. st.iop_cycles)
+  in
+  (* Library working sets are small; accesses are L1-resident. *)
+  let mem = Work.mem_accesses w *. st.load_base in
+  e.Counters.cycles <- e.Counters.cycles +. comp +. mem;
+  e.Counters.comp_cycles <- e.Counters.comp_cycles +. comp;
+  e.Counters.mem_cycles <- e.Counters.mem_cycles +. mem;
+  e.Counters.instrs <- e.Counters.instrs +. Work.ops w;
+  e.Counters.flops <- e.Counters.flops +. w.Work.flops;
+  e.Counters.bytes <- e.Counters.bytes +. Work.bytes w
+
+(* --- statement compilation -------------------------------------------- *)
+
+(* A compiled statement runs against a frame, charging its costs to the
+   counters entry it was compiled under. *)
+type cstmt = frame -> unit
+
+let rec compile_block (scope : scope) ~(declared : Ast.array_decl list)
+    ~(entry : Counters.entry) (b : Ast.block) : cstmt =
+  let stmts =
+    Array.of_list (List.map (compile_stmt scope ~declared ~entry) b)
+  in
+  let n = Array.length stmts in
+  fun frame ->
+    for i = 0 to n - 1 do
+      (Array.unsafe_get stmts i) frame
+    done
+
+and compile_stmt (scope : scope) ~declared ~(entry : Counters.entry)
+    (s : Ast.stmt) : cstmt =
+  let st = scope.st in
+  match s.Ast.kind with
+  | Ast.Comp { flops; iops; divs; vec } ->
+    let m = st.cfg.machine in
+    let lanes = float_of_int (max 1 (min vec m.Machine.vector_width)) in
+    let vec_eff = 1. +. ((lanes -. 1.) *. m.Machine.vec_efficiency) in
+    let cflops = compile_float scope flops
+    and ciops = compile_float scope iops
+    and cdivs = compile_float scope divs in
+    fun frame ->
+      let fl = cflops frame and io = ciops frame and dv = cdivs frame in
+      let c =
+        (Float.max 0. (fl -. dv) *. st.flop_cycles /. vec_eff)
+        +. (dv *. m.Machine.div_latency)
+        +. (io *. st.iop_cycles)
+      in
+      entry.Counters.cycles <- entry.Counters.cycles +. c;
+      entry.Counters.comp_cycles <- entry.Counters.comp_cycles +. c;
+      entry.Counters.instrs <- entry.Counters.instrs +. fl +. io;
+      entry.Counters.flops <- entry.Counters.flops +. fl
+  | Ast.Mem { loads; stores } ->
+    let compile_access is_store (a : Ast.access) : cstmt =
+      match find_array_cell st ~func:scope.func ~declared a.Ast.array with
+      | None ->
+        (* Undeclared array: pessimistic memory access. *)
+        fun _ ->
+          entry.Counters.cycles <- entry.Counters.cycles +. st.mem_penalty;
+          entry.Counters.mem_cycles <-
+            entry.Counters.mem_cycles +. st.mem_penalty;
+          entry.Counters.instrs <- entry.Counters.instrs +. 1.
+      | Some cell ->
+        let idx = Array.of_list (List.map (compile_int scope) a.Ast.index) in
+        let n = Array.length idx in
+        fun frame ->
+          (match !cell with
+          | None -> ()
+          | Some info ->
+            let flat = ref 0 in
+            for k = 0 to n - 1 do
+              if k < Array.length info.dims then begin
+                let d = Array.unsafe_get info.dims k in
+                let i = (Array.unsafe_get idx k) frame in
+                let i = if i >= 0 && i < d then i else ((i mod d) + d) mod d in
+                flat := (!flat * d) + i
+              end
+            done;
+            charge_access st entry ~is_store
+              (info.base + (!flat * info.elem))
+              info.elem)
+    in
+    let all =
+      Array.of_list
+        (List.map (compile_access false) loads
+        @ List.map (compile_access true) stores)
+    in
+    let n = Array.length all in
+    fun frame ->
+      for i = 0 to n - 1 do
+        (Array.unsafe_get all i) frame
+      done
+  | Ast.Let (v, e) ->
+    let slot = Hashtbl.find scope.slots v in
+    let ce = compile_expr scope e in
+    fun frame ->
+      entry.Counters.cycles <- entry.Counters.cycles +. st.iop_cycles;
+      entry.Counters.comp_cycles <-
+        entry.Counters.comp_cycles +. st.iop_cycles;
+      entry.Counters.instrs <- entry.Counters.instrs +. 1.;
+      Array.unsafe_set frame slot (ce frame)
+  | Ast.If { cond; then_; else_ } ->
+    let arm which body =
+      if body = [] then None
+      else begin
+        let e = Counters.entry st.counters (Block_id.Arm (s.Ast.sid, which)) in
+        let cb = compile_block scope ~declared ~entry:e body in
+        Some
+          (fun frame ->
+            e.Counters.execs <- e.Counters.execs + 1;
+            cb frame)
+      end
+    in
+    let cthen = arm true then_ and celse = arm false else_ in
+    let ctaken : frame -> bool =
+      match cond with
+      | Ast.Cexpr e ->
+        let ce = compile_expr scope e in
+        fun frame -> Value.truthy (ce frame)
+      | Ast.Cdata { name; p } ->
+        let cp = compile_prob scope p in
+        let cell = branch_cell st name in
+        fun frame ->
+          let outcome = Rng.bernoulli st.rng (cp frame) in
+          tally_branch cell outcome;
+          outcome
+    in
+    fun frame ->
+      entry.Counters.cycles <- entry.Counters.cycles +. st.iop_cycles;
+      entry.Counters.instrs <- entry.Counters.instrs +. 1.;
+      let branch = if ctaken frame then cthen else celse in
+      (match branch with Some run -> run frame | None -> ())
+  | Ast.For { var; lo; hi; step; body } ->
+    let slot = Hashtbl.find scope.slots var in
+    let clo = compile_float scope lo
+    and chi = compile_float scope hi
+    and cstep = compile_float scope step in
+    let e = Counters.entry st.counters (Block_id.Loop s.Ast.sid) in
+    let cb = compile_block scope ~declared ~entry:e body in
+    let overhead = 2. *. st.iop_cycles in
+    fun frame ->
+      let lo_v = clo frame and hi_v = chi frame and st_v = cstep frame in
+      if st_v > 0. then begin
+        let integral = Float.is_integer lo_v && Float.is_integer st_v in
+        try
+          let x = ref lo_v in
+          while !x <= hi_v +. 1e-12 do
+            Array.unsafe_set frame slot
+              (if integral then Value.I (int_of_float !x) else Value.F !x);
+            e.Counters.execs <- e.Counters.execs + 1;
+            e.Counters.cycles <- e.Counters.cycles +. overhead;
+            e.Counters.instrs <- e.Counters.instrs +. 2.;
+            (try cb frame with Cont -> ());
+            x := !x +. st_v
+          done
+        with Brk -> ()
+      end
+  | Ast.While { name; p_continue; max_iter; body } ->
+    let cp = compile_prob scope p_continue in
+    let cmax = compile_int scope max_iter in
+    let e = Counters.entry st.counters (Block_id.Loop s.Ast.sid) in
+    let cb = compile_block scope ~declared ~entry:e body in
+    let cell = loop_cell st name in
+    let overhead = 2. *. st.iop_cycles in
+    fun frame ->
+      let nmax = cmax frame in
+      let iters = ref 0 in
+      (try
+         let continue = ref (nmax > 0) in
+         while !continue do
+           incr iters;
+           e.Counters.execs <- e.Counters.execs + 1;
+           e.Counters.cycles <- e.Counters.cycles +. overhead;
+           e.Counters.instrs <- e.Counters.instrs +. 2.;
+           (try cb frame with Cont -> ());
+           if !iters >= nmax then continue := false
+           else continue := Rng.bernoulli st.rng (cp frame)
+         done
+       with Brk -> ());
+      let i, n = !cell in
+      cell := (i + !iters, n + 1)
+  | Ast.Call (fname, args) -> (
+    match Ast.find_func st.program fname with
+    | exception Not_found -> fun _ -> ()
+    | callee ->
+      let cargs = Array.of_list (List.map (compile_expr scope) args) in
+      (* The callee is compiled lazily (and memoized per call site) to
+         keep recursion in the compiler simple; skeleton call graphs
+         are acyclic (validated). *)
+      let compiled = lazy (compile_func st callee) in
+      let e = Counters.entry st.counters (Block_id.Fn fname) in
+      let overhead = 4. *. st.iop_cycles in
+      fun frame ->
+        let nslots, run = Lazy.force compiled in
+        let callee_frame = Array.make nslots (Value.I 0) in
+        Array.iteri
+          (fun i c -> if i < nslots then callee_frame.(i) <- c frame)
+          cargs;
+        e.Counters.execs <- e.Counters.execs + 1;
+        e.Counters.cycles <- e.Counters.cycles +. overhead;
+        e.Counters.instrs <- e.Counters.instrs +. 4.;
+        (try run callee_frame with Ret -> ()))
+  | Ast.Lib { name; args = _; scale } ->
+    let e = Counters.entry st.counters (Block_id.Libc s.Ast.sid) in
+    let cscale = compile_float scope scale in
+    let per_call =
+      match Libmix.find st.cfg.libmix name with
+      | Some p -> p.Libmix.per_call
+      | None -> Work.zero
+    in
+    fun frame ->
+      e.Counters.execs <- e.Counters.execs + 1;
+      let s_v = Float.max 0. (cscale frame) in
+      charge_lib st e (Work.scale s_v per_call)
+  | Ast.Return -> fun _ -> raise Ret
+  | Ast.Break { name; p } ->
+    let cp = compile_prob scope p in
+    let cell = branch_cell st name in
+    fun frame ->
+      let outcome = Rng.bernoulli st.rng (cp frame) in
+      tally_branch cell outcome;
+      entry.Counters.cycles <- entry.Counters.cycles +. st.iop_cycles;
+      entry.Counters.instrs <- entry.Counters.instrs +. 1.;
+      if outcome then raise Brk
+  | Ast.Continue { name; p } ->
+    let cp = compile_prob scope p in
+    let cell = branch_cell st name in
+    fun frame ->
+      let outcome = Rng.bernoulli st.rng (cp frame) in
+      tally_branch cell outcome;
+      entry.Counters.cycles <- entry.Counters.cycles +. st.iop_cycles;
+      entry.Counters.instrs <- entry.Counters.instrs +. 1.;
+      if outcome then raise Cont
+
+(* Returns the frame size and the compiled body (which also lays out
+   the function's arrays on first execution). *)
+and compile_func (st : state) (f : Ast.func) : int * cstmt =
+  let slots = Hashtbl.create 16 in
+  List.iteri (fun i v -> Hashtbl.replace slots v i) (local_vars f);
+  let scope = { func = f.Ast.fname; slots; st } in
+  let entry = Counters.entry st.counters (Block_id.Fn f.Ast.fname) in
+  let body = compile_block scope ~declared:f.Ast.arrays ~entry f.Ast.body in
+  let nslots = max 1 (slot_count scope) in
+  ( nslots,
+    fun frame ->
+      do_layout st ~func:f.Ast.fname frame f.Ast.arrays scope;
+      body frame )
+
+(* --- results --------------------------------------------------------- *)
+
+let hints_of st =
+  let h = ref Hints.empty in
+  Hashtbl.iter
+    (fun name cell ->
+      let taken, total = !cell in
+      let stat = { Hints.taken; total } in
+      h :=
+        { !h with Hints.branches = Hints.Smap.add name stat !h.Hints.branches })
+    st.branch_tally;
+  Hashtbl.iter
+    (fun name cell ->
+      let iters, entries = !cell in
+      let stat = { Hints.iters; entries } in
+      h := { !h with Hints.loops = Hints.Smap.add name stat !h.Hints.loops })
+    st.loop_tally;
+  !h
+
+let blockstats_of st (bst : Bst.t) =
+  let cps = Machine.cycles_per_sec st.cfg.machine in
+  Counters.entries st.counters
+  |> List.filter (fun (e : Counters.entry) -> e.Counters.execs > 0)
+  |> List.map (fun (e : Counters.entry) ->
+         let time = e.Counters.cycles /. cps in
+         let tc = e.Counters.comp_cycles /. cps in
+         let tm = e.Counters.mem_cycles /. cps in
+         let bound =
+           if tc > tm *. 1.25 then Skope_hw.Roofline.Compute_bound
+           else if tm > tc *. 1.25 then Skope_hw.Roofline.Memory_bound
+           else Skope_hw.Roofline.Balanced
+         in
+         let loads = float_of_int e.Counters.loads
+         and stores = float_of_int e.Counters.stores in
+         let work =
+           {
+             Work.zero with
+             Work.flops = e.Counters.flops;
+             loads;
+             stores;
+             lbytes = e.Counters.bytes;
+             iops =
+               Float.max 0.
+                 (e.Counters.instrs -. e.Counters.flops -. loads -. stores);
+           }
+         in
+         Skope_analysis.Blockstat.make ~block:e.Counters.block
+           ~name:(Bst.block_name bst e.Counters.block)
+           ~time ~tc ~tm
+           ~enr:(float_of_int e.Counters.execs)
+           ~static_size:(Bst.block_size bst e.Counters.block)
+           ~bound ~work ())
+  |> Skope_analysis.Blockstat.rank
+
+(** Execute [program] with the given [inputs] bound as global
+    constants.  Returns the measured per-block profile, total time, and
+    the hardware-independent profiling hints. *)
+let run ?(config = default_config ()) ~inputs (program : Ast.program) : result
+    =
+  let m = config.machine in
+  let globals = Array.of_list (List.map snd inputs) in
+  let global_index = Hashtbl.create 16 in
+  List.iteri (fun i (name, _) -> Hashtbl.replace global_index name i) inputs;
+  let st =
+    {
+      cfg = config;
+      program;
+      globals;
+      global_index;
+      l1 = Cache.create m.Machine.l1;
+      l2 = Cache.create m.Machine.l2;
+      rng = Rng.create config.seed;
+      counters = Counters.create ();
+      layouts = Hashtbl.create 16;
+      cursor = 4096;
+      branch_tally = Hashtbl.create 16;
+      loop_tally = Hashtbl.create 16;
+      flop_cycles =
+        1.
+        /. (m.Machine.flop_issue_per_cycle *. if m.Machine.fma then 2. else 1.);
+      iop_cycles = 1. /. m.Machine.issue_width;
+      load_base = 1. /. m.Machine.issue_width;
+      l2_penalty = m.Machine.l2.latency_cycles /. m.Machine.mlp;
+      mem_penalty = m.Machine.mem_latency_cycles /. m.Machine.mlp;
+    }
+  in
+  let entry_fn = Ast.entry_func program in
+  (* Lay out the global arrays using the input bindings. *)
+  let global_scope = { func = ""; slots = Hashtbl.create 1; st } in
+  do_layout st ~func:"" [||] program.Ast.globals global_scope;
+  let nslots, run_entry = compile_func st entry_fn in
+  let e = Counters.entry st.counters (Block_id.Fn entry_fn.Ast.fname) in
+  e.Counters.execs <- e.Counters.execs + 1;
+  (try run_entry (Array.make nslots (Value.I 0)) with Ret -> ());
+  let bst = Bst.build program in
+  let total_cycles = Counters.total_cycles st.counters in
+  {
+    machine = m;
+    blocks = blockstats_of st bst;
+    total_cycles;
+    total_time = total_cycles /. Machine.cycles_per_sec m;
+    hints = hints_of st;
+    counters = st.counters;
+  }

@@ -1,0 +1,40 @@
+(** Concrete skeleton interpreter with a cycle-level cost model — the
+    repo's ground truth, standing in for the paper's real machines and
+    native profilers (§VI), and doubling as the gcov-style branch
+    profiler (§III-B).
+
+    Programs are compiled once into closures (slot-resolved variables,
+    folded constants), then executed with real loop iteration,
+    set-associative cache simulation, division latency and SIMD
+    throughput — exactly the effects the analytic model ignores. *)
+
+open Skope_skeleton
+open Skope_bet
+open Skope_hw
+
+exception Brk
+exception Cont
+exception Ret
+
+(** Raised at compile time for a variable that is neither local nor a
+    global input. *)
+exception Unbound of string * Loc.t
+
+type config = { machine : Machine.t; libmix : Libmix.t; seed : int64 }
+
+val default_config :
+  ?machine:Machine.t -> ?libmix:Libmix.t -> ?seed:int64 -> unit -> config
+
+type result = {
+  machine : Machine.t;
+  blocks : Skope_analysis.Blockstat.t list;
+      (** measured exclusive time per executed block, ranked *)
+  total_cycles : float;
+  total_time : float;  (** seconds *)
+  hints : Hints.t;  (** branch/trip statistics for BET construction *)
+  counters : Counters.t;  (** per-block counter detail (Fig. 8) *)
+}
+
+(** Execute [program] with [inputs] bound as global constants. *)
+val run :
+  ?config:config -> inputs:(string * Value.t) list -> Ast.program -> result

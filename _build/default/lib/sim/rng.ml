@@ -1,0 +1,32 @@
+(** Deterministic pseudo-random stream (SplitMix64).
+
+    The simulator uses it to draw the outcomes of data-dependent
+    branches — the stand-in for the paper's input data sets.  A fixed
+    seed makes every simulation, and hence every "measured" profile,
+    reproducible. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** Uniform float in [0, 1). *)
+let float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. (1. /. 9007199254740992.)
+
+(** Bernoulli draw: [true] with probability [p]. *)
+let bernoulli t p = float t < p
+
+(** Uniform int in [0, bound). *)
+let int t bound =
+  if bound <= 0 then 0
+  else Int64.to_int (Int64.rem (Int64.shift_right_logical (next_int64 t) 1) (Int64.of_int bound))

@@ -1,0 +1,19 @@
+(** Deterministic pseudo-random stream (SplitMix64).
+
+    Draws the outcomes of data-dependent branches — the stand-in for
+    the paper's input data sets.  A fixed seed makes every simulation
+    reproducible. *)
+
+type t
+
+val create : int64 -> t
+val next_int64 : t -> int64
+
+(** Uniform float in [0, 1). *)
+val float : t -> float
+
+(** [true] with probability [p]. *)
+val bernoulli : t -> float -> bool
+
+(** Uniform int in [0, bound); 0 when [bound <= 0]. *)
+val int : t -> int -> int

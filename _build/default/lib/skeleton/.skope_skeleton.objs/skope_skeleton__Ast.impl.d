@@ -1,0 +1,1 @@
+lib/skeleton/ast.ml: List Loc String

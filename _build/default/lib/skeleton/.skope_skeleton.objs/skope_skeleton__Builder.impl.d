@@ -1,0 +1,1 @@
+lib/skeleton/builder.ml: Ast Loc

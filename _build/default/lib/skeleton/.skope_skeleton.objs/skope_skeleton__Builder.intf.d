@@ -1,0 +1,1 @@
+lib/skeleton/builder.mli: Ast Loc

@@ -1,0 +1,1 @@
+lib/skeleton/lexer.ml: Fmt List Loc String

@@ -1,0 +1,1 @@
+lib/skeleton/lexer.mli: Fmt Loc

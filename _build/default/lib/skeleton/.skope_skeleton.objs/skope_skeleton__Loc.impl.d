@@ -1,0 +1,1 @@
+lib/skeleton/loc.ml: Fmt String

@@ -1,0 +1,1 @@
+lib/skeleton/loc.mli: Fmt

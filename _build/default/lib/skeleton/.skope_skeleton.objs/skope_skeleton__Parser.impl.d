@@ -1,0 +1,1 @@
+lib/skeleton/parser.ml: Ast Filename Fmt Lexer List Loc String

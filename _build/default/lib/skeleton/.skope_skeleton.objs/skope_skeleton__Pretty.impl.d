@@ -1,0 +1,1 @@
+lib/skeleton/pretty.ml: Ast Fmt List String

@@ -1,0 +1,1 @@
+lib/skeleton/pretty.mli: Ast Fmt

@@ -1,0 +1,1 @@
+lib/skeleton/validate.ml: Ast Fmt Hashtbl List Loc Map Set Stdlib String

@@ -1,0 +1,1 @@
+lib/skeleton/validate.mli: Ast Fmt Loc

@@ -1,0 +1,185 @@
+(** Abstract syntax of the SKOPE-like code skeleton language.
+
+    A skeleton preserves the control-flow structure of the original
+    application (functions, loops, branches) but replaces instruction
+    sequences with performance characteristics: operation counts,
+    memory access patterns, and data-dependent branch statistics
+    (paper §III-A).  Expressions range over the {e context} — the small
+    set of variables that influence control flow and data sizes. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Min
+  | Max
+  | Pow
+
+type cmpop = Lt | Le | Gt | Ge | Eq | Ne
+
+type unop = Neg | Not | Floor | Ceil | Sqrt | Log2 | Abs
+
+type expr =
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Var of string
+  | Binop of binop * expr * expr
+  | Cmp of cmpop * expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Unop of unop * expr
+
+(** A single access to a named array; [index] has one expression per
+    dimension.  The element size comes from the array declaration. *)
+type access = { array : string; index : expr list }
+
+(** Branch conditions.
+
+    [Cexpr e] is a condition over context variables that the model can
+    evaluate analytically.  [Cdata] is a data-dependent condition whose
+    outcome is unknowable statically: [name] keys the branch in the
+    profiler's hint table, and [p] is the developer-declared
+    fall-through (true) probability used when no profile is available.
+    The simulator draws the outcome pseudo-randomly with probability
+    [p], standing in for the input data (DESIGN.md §2). *)
+type cond =
+  | Cexpr of expr
+  | Cdata of { name : string; p : expr }
+
+(** Computation characteristics of a straight-line region, per single
+    execution.  [divs] is the subset of [flops] that are divisions and
+    [vec] the SIMD width the native compiler would achieve — both are
+    honoured by the ground-truth simulator but deliberately ignored by
+    the analytic roofline model, reproducing the paper's two dominant
+    error sources (§VII-B/§VII-C). *)
+type comp = { flops : expr; iops : expr; divs : expr; vec : int }
+
+type stmt = { sid : int; loc : Loc.t; label : string option; kind : kind }
+
+and kind =
+  | Comp of comp
+  | Mem of { loads : access list; stores : access list }
+  | Let of string * expr
+  | If of { cond : cond; then_ : block; else_ : block }
+  | For of { var : string; lo : expr; hi : expr; step : expr; body : block }
+      (** Iterates [var] over [lo, lo+step, ...] while [var <= hi]
+          (inclusive; [step] must evaluate > 0). *)
+  | While of { name : string; p_continue : expr; max_iter : expr; body : block }
+      (** A data-dependent loop: each iteration continues with
+          probability [p_continue], capped at [max_iter] iterations.
+          [name] keys the loop in the profiler's hint table. *)
+  | Call of string * expr list
+  | Lib of { name : string; args : expr list; scale : expr }
+      (** Opaque library call modeled semi-analytically (§IV-C):
+          [scale] multiplies the per-call instruction-mix profile
+          registered for [name]. *)
+  | Return
+  | Break of { name : string; p : expr }
+      (** Data-dependent early exit: executed with probability [p] per
+          reaching execution; promoted to the enclosing loop (§IV-B). *)
+  | Continue of { name : string; p : expr }
+
+and block = stmt list
+
+type array_decl = { aname : string; dims : expr list; elem_bytes : int }
+
+type func = {
+  fname : string;
+  params : string list;
+  arrays : array_decl list;
+  body : block;
+}
+
+type program = {
+  pname : string;
+  globals : array_decl list;
+  funcs : func list;
+  entry : string;
+}
+
+let comp_zero = { flops = Int 0; iops = Int 0; divs = Int 0; vec = 1 }
+
+(** [find_func p name] returns the function named [name].
+    @raise Not_found if absent. *)
+let find_func p name = List.find (fun f -> String.equal f.fname name) p.funcs
+
+let entry_func p = find_func p p.entry
+
+(** Fold over every statement of a block, depth first, pre-order. *)
+let rec fold_block f acc (b : block) = List.fold_left (fold_stmt f) acc b
+
+and fold_stmt f acc s =
+  let acc = f acc s in
+  match s.kind with
+  | Comp _ | Mem _ | Let _ | Call _ | Lib _ | Return | Break _ | Continue _ ->
+    acc
+  | If { then_; else_; _ } -> fold_block f (fold_block f acc then_) else_
+  | For { body; _ } | While { body; _ } -> fold_block f acc body
+
+let fold_program f acc p =
+  List.fold_left (fun acc fn -> fold_block f acc fn.body) acc p.funcs
+
+(** Number of statements in a program (all functions, all nesting). *)
+let program_size p = fold_program (fun n _ -> n + 1) 0 p
+
+(** Statements that stand for machine instructions when computing the
+    code-leanness criterion (§V-B): computation, memory, scalar
+    bookkeeping and opaque library calls.  Structural statements
+    (loops, branches, calls) carry no instruction weight themselves. *)
+let is_instruction s =
+  match s.kind with
+  | Comp _ | Mem _ | Let _ | Lib _ -> true
+  | If _ | For _ | While _ | Call _ | Return | Break _ | Continue _ -> false
+
+(* A [comp flops=15] statement summarizes ~15 static instructions of
+   the original source; count expressions that are not literals (rare)
+   at a nominal 4. *)
+let expr_weight = function
+  | Int n when n >= 0 -> n
+  | Int _ -> 0
+  | Float f when f >= 0. -> int_of_float f
+  | _ -> 4
+
+(** Static instruction weight of a statement: how many machine
+    instructions of the original program it stands for.  This is the
+    unit of the code-leanness criterion. *)
+let stmt_weight s =
+  match s.kind with
+  | Comp { flops; iops; divs; _ } ->
+    1 + expr_weight flops + expr_weight iops + expr_weight divs
+  | Mem { loads; stores } -> List.length loads + List.length stores
+  | Let _ -> 1
+  | Lib _ -> 8
+  | If _ | For _ | While _ | Call _ | Return | Break _ | Continue _ -> 0
+
+let instruction_count p = fold_program (fun n s -> n + stmt_weight s) 0 p
+
+(** Renumber every statement with a fresh dense id (pre-order over
+    functions in declaration order).  Parsers and builders call this so
+    that statement ids are stable identities for profiling and
+    hot-spot naming. *)
+let renumber (p : program) : program =
+  let next = ref 0 in
+  let fresh () =
+    let i = !next in
+    incr next;
+    i
+  in
+  let rec stmt s =
+    let sid = fresh () in
+    let kind =
+      match s.kind with
+      | (Comp _ | Mem _ | Let _ | Call _ | Lib _ | Return | Break _ | Continue _)
+        as k ->
+        k
+      | If r -> If { r with then_ = block r.then_; else_ = block r.else_ }
+      | For r -> For { r with body = block r.body }
+      | While r -> While { r with body = block r.body }
+    in
+    { s with sid; kind }
+  and block b = List.map stmt b in
+  let funcs = List.map (fun f -> { f with body = block f.body }) p.funcs in
+  { p with funcs }

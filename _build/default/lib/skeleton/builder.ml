@@ -1,0 +1,96 @@
+(** Combinator API for constructing skeleton programs directly in
+    OCaml.
+
+    The bundled workload models (lib/workloads) are written with these
+    combinators rather than parsed from text, mirroring how the paper's
+    analysis engine emits skeletons from ROSE.  All expression helpers
+    are re-exported so a workload file reads close to the DSL:
+
+    {[
+      let open Builder in
+      func "main" [ "n" ]
+        [
+          for_ "i" (int 1) (var "n")
+            [ comp ~flops:(int 4) (); load [ a_ "x" [ var "i" ] ] ];
+        ]
+    ]} *)
+
+open Ast
+
+(* Expressions ------------------------------------------------------- *)
+
+let int i = Int i
+let float f = Float f
+let bool b = Bool b
+let var v = Var v
+let ( + ) a b = Binop (Add, a, b)
+let ( - ) a b = Binop (Sub, a, b)
+let ( * ) a b = Binop (Mul, a, b)
+let ( / ) a b = Binop (Div, a, b)
+let ( % ) a b = Binop (Mod, a, b)
+let min_ a b = Binop (Min, a, b)
+let max_ a b = Binop (Max, a, b)
+let pow a b = Binop (Pow, a, b)
+let ( < ) a b = Cmp (Lt, a, b)
+let ( <= ) a b = Cmp (Le, a, b)
+let ( > ) a b = Cmp (Gt, a, b)
+let ( >= ) a b = Cmp (Ge, a, b)
+let ( == ) a b = Cmp (Eq, a, b)
+let ( != ) a b = Cmp (Ne, a, b)
+let ( && ) a b = And (a, b)
+let ( || ) a b = Or (a, b)
+let neg a = Unop (Neg, a)
+let not_ a = Unop (Not, a)
+let floor_ a = Unop (Floor, a)
+let ceil_ a = Unop (Ceil, a)
+let sqrt_ a = Unop (Sqrt, a)
+let log2_ a = Unop (Log2, a)
+let abs_ a = Unop (Abs, a)
+
+(* Statements -------------------------------------------------------- *)
+
+let stmt ?label ?(loc = Loc.none) kind = { sid = -1; loc; label; kind }
+
+let comp ?label ?(flops = Int 0) ?(iops = Int 0) ?(divs = Int 0) ?(vec = 1) ()
+    =
+  stmt ?label (Comp { flops; iops; divs; vec })
+
+(** [a_ name idx] is an array access. *)
+let a_ array index = { array; index }
+
+let load ?label accesses = stmt ?label (Mem { loads = accesses; stores = [] })
+let store ?label accesses = stmt ?label (Mem { loads = []; stores = accesses })
+let let_ ?label v e = stmt ?label (Let (v, e))
+
+let if_ ?label cond then_ else_ =
+  stmt ?label (If { cond = Cexpr cond; then_; else_ })
+
+(** Data-dependent branch taken with probability [p]. *)
+let if_data ?label name p then_ else_ =
+  stmt ?label (If { cond = Cdata { name; p }; then_; else_ })
+
+let for_ ?label ?(step = Int 1) v lo hi body =
+  stmt ?label (For { var = v; lo; hi; step; body })
+
+let while_ ?label name ~p_continue ~max_iter body =
+  stmt ?label (While { name; p_continue; max_iter; body })
+
+let call ?label f args = stmt ?label (Call (f, args))
+
+let lib ?label ?(args = []) ?(scale = Int 1) name =
+  stmt ?label (Lib { name; args; scale })
+
+let return_ ?label () = stmt ?label Return
+let break_ ?label name p = stmt ?label (Break { name; p })
+let continue_ ?label name p = stmt ?label (Continue { name; p })
+
+(* Declarations ------------------------------------------------------ *)
+
+let array ?(elem_bytes = 8) aname dims = { aname; dims; elem_bytes }
+
+let func ?(params = []) ?(arrays = []) fname body =
+  { fname; params; arrays; body }
+
+(** Assemble and renumber a program. *)
+let program ?(globals = []) ?(entry = "main") pname funcs =
+  Ast.renumber { pname; globals; funcs; entry }

@@ -1,0 +1,116 @@
+(** Combinator API for constructing skeleton programs directly in
+    OCaml, mirroring what the paper's source-to-source engine emits.
+
+    The arithmetic and comparison operators are shadowed to build
+    {!Ast.expr} values, so open this module locally:
+
+    {[
+      let open Builder in
+      for_ "i" (int 1) (var "n") [ comp ~flops:(int 4) () ]
+    ]} *)
+
+(** {1 Expressions} *)
+
+val int : int -> Ast.expr
+val float : float -> Ast.expr
+val bool : bool -> Ast.expr
+val var : string -> Ast.expr
+val ( + ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( - ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( * ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( / ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( % ) : Ast.expr -> Ast.expr -> Ast.expr
+val min_ : Ast.expr -> Ast.expr -> Ast.expr
+val max_ : Ast.expr -> Ast.expr -> Ast.expr
+val pow : Ast.expr -> Ast.expr -> Ast.expr
+val ( < ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( <= ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( > ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( >= ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( == ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( != ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( && ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( || ) : Ast.expr -> Ast.expr -> Ast.expr
+val neg : Ast.expr -> Ast.expr
+val not_ : Ast.expr -> Ast.expr
+val floor_ : Ast.expr -> Ast.expr
+val ceil_ : Ast.expr -> Ast.expr
+val sqrt_ : Ast.expr -> Ast.expr
+val log2_ : Ast.expr -> Ast.expr
+val abs_ : Ast.expr -> Ast.expr
+
+(** {1 Statements} *)
+
+val stmt : ?label:string -> ?loc:Loc.t -> Ast.kind -> Ast.stmt
+
+(** Computation characteristics per execution; [vec] is the SIMD width
+    the native compiler would achieve (simulator-only, see
+    {!Ast.comp}). *)
+val comp :
+  ?label:string ->
+  ?flops:Ast.expr ->
+  ?iops:Ast.expr ->
+  ?divs:Ast.expr ->
+  ?vec:int ->
+  unit ->
+  Ast.stmt
+
+(** [a_ name idx] is an array access. *)
+val a_ : string -> Ast.expr list -> Ast.access
+
+val load : ?label:string -> Ast.access list -> Ast.stmt
+val store : ?label:string -> Ast.access list -> Ast.stmt
+val let_ : ?label:string -> string -> Ast.expr -> Ast.stmt
+
+(** Branch with a condition over context variables. *)
+val if_ : ?label:string -> Ast.expr -> Ast.block -> Ast.block -> Ast.stmt
+
+(** Data-dependent branch taken with probability [p]; the name keys
+    the branch in the profiler's hint table. *)
+val if_data :
+  ?label:string -> string -> Ast.expr -> Ast.block -> Ast.block -> Ast.stmt
+
+val for_ :
+  ?label:string ->
+  ?step:Ast.expr ->
+  string ->
+  Ast.expr ->
+  Ast.expr ->
+  Ast.block ->
+  Ast.stmt
+
+val while_ :
+  ?label:string ->
+  string ->
+  p_continue:Ast.expr ->
+  max_iter:Ast.expr ->
+  Ast.block ->
+  Ast.stmt
+
+val call : ?label:string -> string -> Ast.expr list -> Ast.stmt
+
+val lib :
+  ?label:string -> ?args:Ast.expr list -> ?scale:Ast.expr -> string -> Ast.stmt
+
+val return_ : ?label:string -> unit -> Ast.stmt
+val break_ : ?label:string -> string -> Ast.expr -> Ast.stmt
+val continue_ : ?label:string -> string -> Ast.expr -> Ast.stmt
+
+(** {1 Declarations} *)
+
+val array : ?elem_bytes:int -> string -> Ast.expr list -> Ast.array_decl
+
+val func :
+  ?params:string list ->
+  ?arrays:Ast.array_decl list ->
+  string ->
+  Ast.block ->
+  Ast.func
+
+(** Assemble and renumber a program. *)
+val program :
+  ?globals:Ast.array_decl list ->
+  ?entry:string ->
+  string ->
+  Ast.func list ->
+  Ast.program

@@ -1,0 +1,238 @@
+(** Hand-written lexer for the skeleton DSL.
+
+    The language is newline-insensitive; every statement begins with a
+    keyword, so no statement terminator is needed.  Comments run from
+    [#] to end of line. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | COLON
+  | SEMI
+  | AT
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | CARET
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQ
+  | NE
+  | ANDAND
+  | OROR
+  | BANG
+  | EOF
+
+let pp_token ppf = function
+  | IDENT s -> Fmt.pf ppf "identifier %S" s
+  | INT i -> Fmt.pf ppf "integer %d" i
+  | FLOAT f -> Fmt.pf ppf "float %g" f
+  | STRING s -> Fmt.pf ppf "string %S" s
+  | LPAREN -> Fmt.string ppf "'('"
+  | RPAREN -> Fmt.string ppf "')'"
+  | LBRACE -> Fmt.string ppf "'{'"
+  | RBRACE -> Fmt.string ppf "'}'"
+  | LBRACKET -> Fmt.string ppf "'['"
+  | RBRACKET -> Fmt.string ppf "']'"
+  | COMMA -> Fmt.string ppf "','"
+  | COLON -> Fmt.string ppf "':'"
+  | SEMI -> Fmt.string ppf "';'"
+  | AT -> Fmt.string ppf "'@'"
+  | ASSIGN -> Fmt.string ppf "'='"
+  | PLUS -> Fmt.string ppf "'+'"
+  | MINUS -> Fmt.string ppf "'-'"
+  | STAR -> Fmt.string ppf "'*'"
+  | SLASH -> Fmt.string ppf "'/'"
+  | PERCENT -> Fmt.string ppf "'%'"
+  | CARET -> Fmt.string ppf "'^'"
+  | LT -> Fmt.string ppf "'<'"
+  | LE -> Fmt.string ppf "'<='"
+  | GT -> Fmt.string ppf "'>'"
+  | GE -> Fmt.string ppf "'>='"
+  | EQ -> Fmt.string ppf "'=='"
+  | NE -> Fmt.string ppf "'!='"
+  | ANDAND -> Fmt.string ppf "'&&'"
+  | OROR -> Fmt.string ppf "'||'"
+  | BANG -> Fmt.string ppf "'!'"
+  | EOF -> Fmt.string ppf "end of input"
+
+exception Error of Loc.t * string
+
+let error loc fmt = Fmt.kstr (fun m -> raise (Error (loc, m))) fmt
+
+type lexed = { tok : token; tloc : Loc.t }
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || is_digit c || c = '.'
+
+(** Tokenize [src]; [file] is used for locations only. *)
+let tokenize ~file src : lexed list =
+  let n = String.length src in
+  let line = ref 1 in
+  let toks = ref [] in
+  let loc () = Loc.make ~file ~line:!line in
+  let push tok = toks := { tok; tloc = loc () } :: !toks in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    let peek () = if !i + 1 < n then Some src.[!i + 1] else None in
+    (match c with
+    | '\n' ->
+      incr line;
+      incr i
+    | ' ' | '\t' | '\r' -> incr i
+    | '#' ->
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    | '(' ->
+      push LPAREN;
+      incr i
+    | ')' ->
+      push RPAREN;
+      incr i
+    | '{' ->
+      push LBRACE;
+      incr i
+    | '}' ->
+      push RBRACE;
+      incr i
+    | '[' ->
+      push LBRACKET;
+      incr i
+    | ']' ->
+      push RBRACKET;
+      incr i
+    | ',' ->
+      push COMMA;
+      incr i
+    | ':' ->
+      push COLON;
+      incr i
+    | ';' ->
+      push SEMI;
+      incr i
+    | '@' ->
+      push AT;
+      incr i
+    | '+' ->
+      push PLUS;
+      incr i
+    | '-' ->
+      push MINUS;
+      incr i
+    | '*' ->
+      push STAR;
+      incr i
+    | '/' ->
+      push SLASH;
+      incr i
+    | '%' ->
+      push PERCENT;
+      incr i
+    | '^' ->
+      push CARET;
+      incr i
+    | '<' ->
+      if peek () = Some '=' then (
+        push LE;
+        i := !i + 2)
+      else (
+        push LT;
+        incr i)
+    | '>' ->
+      if peek () = Some '=' then (
+        push GE;
+        i := !i + 2)
+      else (
+        push GT;
+        incr i)
+    | '=' ->
+      if peek () = Some '=' then (
+        push EQ;
+        i := !i + 2)
+      else (
+        push ASSIGN;
+        incr i)
+    | '!' ->
+      if peek () = Some '=' then (
+        push NE;
+        i := !i + 2)
+      else (
+        push BANG;
+        incr i)
+    | '&' ->
+      if peek () = Some '&' then (
+        push ANDAND;
+        i := !i + 2)
+      else error (loc ()) "stray '&'"
+    | '|' ->
+      if peek () = Some '|' then (
+        push OROR;
+        i := !i + 2)
+      else error (loc ()) "stray '|'"
+    | '"' ->
+      let start = !i + 1 in
+      let j = ref start in
+      while !j < n && src.[!j] <> '"' do
+        if src.[!j] = '\n' then incr line;
+        incr j
+      done;
+      if !j >= n then error (loc ()) "unterminated string literal";
+      push (STRING (String.sub src start (!j - start)));
+      i := !j + 1
+    | c when is_digit c ->
+      let start = !i in
+      let j = ref !i in
+      while !j < n && is_digit src.[!j] do
+        incr j
+      done;
+      let is_float = ref false in
+      if !j < n && src.[!j] = '.' && !j + 1 < n && is_digit src.[!j + 1] then (
+        is_float := true;
+        incr j;
+        while !j < n && is_digit src.[!j] do
+          incr j
+        done);
+      if !j < n && (src.[!j] = 'e' || src.[!j] = 'E') then (
+        is_float := true;
+        incr j;
+        if !j < n && (src.[!j] = '+' || src.[!j] = '-') then incr j;
+        while !j < n && is_digit src.[!j] do
+          incr j
+        done);
+      let text = String.sub src start (!j - start) in
+      if !is_float then push (FLOAT (float_of_string text))
+      else push (INT (int_of_string text));
+      i := !j
+    | c when is_ident_start c ->
+      let start = !i in
+      let j = ref !i in
+      while !j < n && is_ident_char src.[!j] do
+        incr j
+      done;
+      push (IDENT (String.sub src start (!j - start)));
+      i := !j
+    | c -> error (loc ()) "unexpected character %C" c);
+    ()
+  done;
+  push EOF;
+  List.rev !toks

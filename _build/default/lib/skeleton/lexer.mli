@@ -1,0 +1,46 @@
+(** Lexer for the skeleton DSL. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | COLON
+  | SEMI
+  | AT
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | CARET
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQ
+  | NE
+  | ANDAND
+  | OROR
+  | BANG
+  | EOF
+
+val pp_token : token Fmt.t
+
+exception Error of Loc.t * string
+
+type lexed = { tok : token; tloc : Loc.t }
+
+(** Tokenize [src]; [file] is used for locations only.  Comments run
+    from ['#'] to end of line; the token stream always ends with
+    {!EOF}.
+    @raise Error on malformed input. *)
+val tokenize : file:string -> string -> lexed list

@@ -1,0 +1,17 @@
+(** Source locations for skeleton statements.
+
+    Skeletons are small, so a location is just a file name and a line
+    number; it is used to give hot spots human-readable names and to
+    report parse errors. *)
+
+type t = { file : string; line : int }
+
+let none = { file = "<builtin>"; line = 0 }
+
+let make ~file ~line = { file; line }
+
+let pp ppf { file; line } = Fmt.pf ppf "%s:%d" file line
+
+let to_string t = Fmt.str "%a" pp t
+
+let equal a b = String.equal a.file b.file && a.line = b.line

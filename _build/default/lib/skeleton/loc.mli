@@ -1,0 +1,11 @@
+(** Source locations for skeleton statements. *)
+
+type t = { file : string; line : int }
+
+(** Placeholder location for programs built with {!Builder}. *)
+val none : t
+
+val make : file:string -> line:int -> t
+val pp : t Fmt.t
+val to_string : t -> string
+val equal : t -> t -> bool

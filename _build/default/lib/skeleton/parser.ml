@@ -1,0 +1,446 @@
+(** Recursive-descent parser for the skeleton DSL.
+
+    Grammar sketch (statements are self-delimiting; no terminators):
+
+    {v
+    program  ::= "program" IDENT decl*
+    decl     ::= array_decl | func
+    array_decl ::= "array" IDENT ("[" expr "]")+ (":" IDENT)?   # f64|f32|i64|i32|i8
+    func     ::= "def" IDENT "(" params ")" "{" stmt* "}"
+    stmt     ::= ("@" IDENT ":")? core
+    core     ::= "let" IDENT "=" expr
+               | "comp" comp_attr ("," comp_attr)*
+               | "load" access ("," access)*
+               | "store" access ("," access)*
+               | "if" cond block ("else" block)?
+               | "for" IDENT "=" expr "to" expr ("step" expr)? block
+               | "while" IDENT "prob" expr "max" expr block
+               | "call" IDENT "(" args ")"
+               | "lib" IDENT ("(" args ")")? ("scale" expr)?
+               | "return" | "break" IDENT "prob" expr
+               | "continue" IDENT "prob" expr
+    cond     ::= "(" expr ")" | "data" IDENT "prob" expr
+    comp_attr ::= ("flops"|"iops"|"divs") "=" expr | "vec" "=" INT
+    access   ::= IDENT ("[" expr "]")*
+    v}
+
+    Expressions use conventional precedence; [min], [max], [floor],
+    [ceil], [sqrt], [log2], [abs] and [pow] are builtin function calls. *)
+
+open Ast
+
+exception Error of Loc.t * string
+
+let error loc fmt = Fmt.kstr (fun m -> raise (Error (loc, m))) fmt
+
+type state = { mutable toks : Lexer.lexed list }
+
+let peek st =
+  match st.toks with
+  | t :: _ -> t
+  | [] -> { Lexer.tok = Lexer.EOF; tloc = Loc.none }
+
+let advance st = match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let expect st tok =
+  let t = next st in
+  if t.Lexer.tok <> tok then
+    error t.Lexer.tloc "expected %a but found %a" Lexer.pp_token tok
+      Lexer.pp_token t.Lexer.tok
+
+let expect_ident st =
+  let t = next st in
+  match t.Lexer.tok with
+  | Lexer.IDENT s -> (s, t.Lexer.tloc)
+  | tok -> error t.Lexer.tloc "expected identifier, found %a" Lexer.pp_token tok
+
+let expect_keyword st kw =
+  let t = next st in
+  match t.Lexer.tok with
+  | Lexer.IDENT s when String.equal s kw -> ()
+  | tok ->
+    error t.Lexer.tloc "expected keyword %S, found %a" kw Lexer.pp_token tok
+
+let accept st tok =
+  if (peek st).Lexer.tok = tok then (
+    advance st;
+    true)
+  else false
+
+let accept_keyword st kw =
+  match (peek st).Lexer.tok with
+  | Lexer.IDENT s when String.equal s kw ->
+    advance st;
+    true
+  | _ -> false
+
+(* --- Expressions -------------------------------------------------- *)
+
+let builtin_unops =
+  [
+    ("floor", Floor); ("ceil", Ceil); ("sqrt", Sqrt); ("log2", Log2);
+    ("abs", Abs);
+  ]
+
+let builtin_binops = [ ("min", Min); ("max", Max); ("pow", Pow) ]
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let lhs = ref (parse_and st) in
+  while (peek st).Lexer.tok = Lexer.OROR do
+    advance st;
+    lhs := Or (!lhs, parse_and st)
+  done;
+  !lhs
+
+and parse_and st =
+  let lhs = ref (parse_cmp st) in
+  while (peek st).Lexer.tok = Lexer.ANDAND do
+    advance st;
+    lhs := And (!lhs, parse_cmp st)
+  done;
+  !lhs
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  let op =
+    match (peek st).Lexer.tok with
+    | Lexer.LT -> Some Lt
+    | Lexer.LE -> Some Le
+    | Lexer.GT -> Some Gt
+    | Lexer.GE -> Some Ge
+    | Lexer.EQ -> Some Eq
+    | Lexer.NE -> Some Ne
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+    advance st;
+    Cmp (op, lhs, parse_add st)
+
+and parse_add st =
+  let lhs = ref (parse_mul st) in
+  let continue = ref true in
+  while !continue do
+    match (peek st).Lexer.tok with
+    | Lexer.PLUS ->
+      advance st;
+      lhs := Binop (Add, !lhs, parse_mul st)
+    | Lexer.MINUS ->
+      advance st;
+      lhs := Binop (Sub, !lhs, parse_mul st)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_mul st =
+  let lhs = ref (parse_pow st) in
+  let continue = ref true in
+  while !continue do
+    match (peek st).Lexer.tok with
+    | Lexer.STAR ->
+      advance st;
+      lhs := Binop (Mul, !lhs, parse_pow st)
+    | Lexer.SLASH ->
+      advance st;
+      lhs := Binop (Div, !lhs, parse_pow st)
+    | Lexer.PERCENT ->
+      advance st;
+      lhs := Binop (Mod, !lhs, parse_pow st)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_pow st =
+  let lhs = parse_unary st in
+  if (peek st).Lexer.tok = Lexer.CARET then (
+    advance st;
+    (* right associative *)
+    Binop (Pow, lhs, parse_pow st))
+  else lhs
+
+and parse_unary st =
+  match (peek st).Lexer.tok with
+  | Lexer.MINUS ->
+    advance st;
+    Unop (Neg, parse_unary st)
+  | Lexer.BANG ->
+    advance st;
+    Unop (Not, parse_unary st)
+  | _ -> parse_atom st
+
+and parse_atom st =
+  let t = next st in
+  match t.Lexer.tok with
+  | Lexer.INT i -> Int i
+  | Lexer.FLOAT f -> Float f
+  | Lexer.LPAREN ->
+    let e = parse_expr st in
+    expect st Lexer.RPAREN;
+    e
+  | Lexer.IDENT "true" -> Bool true
+  | Lexer.IDENT "false" -> Bool false
+  | Lexer.IDENT name when List.mem_assoc name builtin_unops ->
+    let op = List.assoc name builtin_unops in
+    expect st Lexer.LPAREN;
+    let e = parse_expr st in
+    expect st Lexer.RPAREN;
+    Unop (op, e)
+  | Lexer.IDENT name when List.mem_assoc name builtin_binops ->
+    let op = List.assoc name builtin_binops in
+    expect st Lexer.LPAREN;
+    let a = parse_expr st in
+    expect st Lexer.COMMA;
+    let b = parse_expr st in
+    expect st Lexer.RPAREN;
+    Binop (op, a, b)
+  | Lexer.IDENT name -> Var name
+  | tok -> error t.Lexer.tloc "expected expression, found %a" Lexer.pp_token tok
+
+(* --- Statements --------------------------------------------------- *)
+
+let parse_access st =
+  let array, _ = expect_ident st in
+  let index = ref [] in
+  while accept st Lexer.LBRACKET do
+    index := parse_expr st :: !index;
+    expect st Lexer.RBRACKET
+  done;
+  { array; index = List.rev !index }
+
+let parse_access_list st =
+  let first = parse_access st in
+  let rest = ref [] in
+  while accept st Lexer.COMMA do
+    rest := parse_access st :: !rest
+  done;
+  first :: List.rev !rest
+
+let parse_comp_attrs st loc =
+  let c = ref comp_zero in
+  let parse_one () =
+    let name, nloc = expect_ident st in
+    expect st Lexer.ASSIGN;
+    match name with
+    | "flops" -> c := { !c with flops = parse_expr st }
+    | "iops" -> c := { !c with iops = parse_expr st }
+    | "divs" -> c := { !c with divs = parse_expr st }
+    | "vec" -> (
+      match (next st).Lexer.tok with
+      | Lexer.INT v -> c := { !c with vec = v }
+      | _ -> error nloc "vec expects an integer literal")
+    | other -> error nloc "unknown comp attribute %S" other
+  in
+  (match (peek st).Lexer.tok with
+  | Lexer.IDENT _ -> parse_one ()
+  | _ -> error loc "comp requires at least one attribute");
+  while accept st Lexer.COMMA do
+    parse_one ()
+  done;
+  !c
+
+let rec parse_block st =
+  expect st Lexer.LBRACE;
+  let stmts = ref [] in
+  while (peek st).Lexer.tok <> Lexer.RBRACE do
+    stmts := parse_stmt st :: !stmts
+  done;
+  expect st Lexer.RBRACE;
+  List.rev !stmts
+
+and parse_stmt st =
+  let label =
+    if accept st Lexer.AT then (
+      let name, _ = expect_ident st in
+      expect st Lexer.COLON;
+      Some name)
+    else None
+  in
+  let t = peek st in
+  let loc = t.Lexer.tloc in
+  let kind =
+    match t.Lexer.tok with
+    | Lexer.IDENT "let" ->
+      advance st;
+      let name, _ = expect_ident st in
+      expect st Lexer.ASSIGN;
+      Let (name, parse_expr st)
+    | Lexer.IDENT "comp" ->
+      advance st;
+      Comp (parse_comp_attrs st loc)
+    | Lexer.IDENT "load" ->
+      advance st;
+      Mem { loads = parse_access_list st; stores = [] }
+    | Lexer.IDENT "store" ->
+      advance st;
+      Mem { loads = []; stores = parse_access_list st }
+    | Lexer.IDENT "if" ->
+      advance st;
+      let cond =
+        if accept_keyword st "data" then (
+          let name, _ = expect_ident st in
+          expect_keyword st "prob";
+          Cdata { name; p = parse_expr st })
+        else (
+          expect st Lexer.LPAREN;
+          let e = parse_expr st in
+          expect st Lexer.RPAREN;
+          Cexpr e)
+      in
+      let then_ = parse_block st in
+      let else_ = if accept_keyword st "else" then parse_block st else [] in
+      If { cond; then_; else_ }
+    | Lexer.IDENT "for" ->
+      advance st;
+      let var, _ = expect_ident st in
+      expect st Lexer.ASSIGN;
+      let lo = parse_expr st in
+      expect_keyword st "to";
+      let hi = parse_expr st in
+      let step = if accept_keyword st "step" then parse_expr st else Int 1 in
+      For { var; lo; hi; step; body = parse_block st }
+    | Lexer.IDENT "while" ->
+      advance st;
+      let name, _ = expect_ident st in
+      expect_keyword st "prob";
+      let p_continue = parse_expr st in
+      expect_keyword st "max";
+      let max_iter = parse_expr st in
+      While { name; p_continue; max_iter; body = parse_block st }
+    | Lexer.IDENT "call" ->
+      advance st;
+      let name, _ = expect_ident st in
+      expect st Lexer.LPAREN;
+      let args = parse_args st in
+      Call (name, args)
+    | Lexer.IDENT "lib" ->
+      advance st;
+      let name, _ = expect_ident st in
+      let args =
+        if accept st Lexer.LPAREN then parse_args st else []
+      in
+      let scale = if accept_keyword st "scale" then parse_expr st else Int 1 in
+      Lib { name; args; scale }
+    | Lexer.IDENT "return" ->
+      advance st;
+      Return
+    | Lexer.IDENT "break" ->
+      advance st;
+      let name, _ = expect_ident st in
+      expect_keyword st "prob";
+      Break { name; p = parse_expr st }
+    | Lexer.IDENT "continue" ->
+      advance st;
+      let name, _ = expect_ident st in
+      expect_keyword st "prob";
+      Continue { name; p = parse_expr st }
+    | tok -> error loc "expected a statement, found %a" Lexer.pp_token tok
+  in
+  { sid = -1; loc; label; kind }
+
+and parse_args st =
+  if accept st Lexer.RPAREN then []
+  else (
+    let first = parse_expr st in
+    let rest = ref [] in
+    while accept st Lexer.COMMA do
+      rest := parse_expr st :: !rest
+    done;
+    expect st Lexer.RPAREN;
+    first :: List.rev !rest)
+
+(* --- Declarations -------------------------------------------------- *)
+
+let elem_bytes_of_type loc = function
+  | "f64" -> 8
+  | "f32" -> 4
+  | "i64" -> 8
+  | "i32" -> 4
+  | "i8" -> 1
+  | other -> error loc "unknown element type %S (use f64|f32|i64|i32|i8)" other
+
+let parse_array_decl st =
+  let aname, loc = expect_ident st in
+  let dims = ref [] in
+  while accept st Lexer.LBRACKET do
+    dims := parse_expr st :: !dims;
+    expect st Lexer.RBRACKET
+  done;
+  if !dims = [] then error loc "array %s needs at least one dimension" aname;
+  let elem_bytes =
+    if accept st Lexer.COLON then (
+      let ty, tloc = expect_ident st in
+      elem_bytes_of_type tloc ty)
+    else 8
+  in
+  { aname; dims = List.rev !dims; elem_bytes }
+
+let parse_func st =
+  let fname, _ = expect_ident st in
+  expect st Lexer.LPAREN;
+  let params =
+    if accept st Lexer.RPAREN then []
+    else (
+      let first, _ = expect_ident st in
+      let rest = ref [] in
+      while accept st Lexer.COMMA do
+        rest := fst (expect_ident st) :: !rest
+      done;
+      expect st Lexer.RPAREN;
+      first :: List.rev !rest)
+  in
+  let arrays = ref [] in
+  while accept_keyword st "array" do
+    arrays := parse_array_decl st :: !arrays
+  done;
+  let body = parse_block st in
+  { fname; params; arrays = List.rev !arrays; body }
+
+(** Parse a complete skeleton program from source text.
+    @raise Error on syntax errors. *)
+let parse ~file src : program =
+  let st = { toks = Lexer.tokenize ~file src } in
+  expect_keyword st "program";
+  let pname, _ = expect_ident st in
+  let globals = ref [] in
+  let funcs = ref [] in
+  let entry = ref "main" in
+  let continue = ref true in
+  while !continue do
+    let t = peek st in
+    match t.Lexer.tok with
+    | Lexer.IDENT "array" ->
+      advance st;
+      globals := parse_array_decl st :: !globals
+    | Lexer.IDENT "def" ->
+      advance st;
+      funcs := parse_func st :: !funcs
+    | Lexer.IDENT "entry" ->
+      advance st;
+      entry := fst (expect_ident st)
+    | Lexer.EOF -> continue := false
+    | tok ->
+      error t.Lexer.tloc "expected 'array', 'def' or 'entry', found %a"
+        Lexer.pp_token tok
+  done;
+  Ast.renumber
+    {
+      pname;
+      globals = List.rev !globals;
+      funcs = List.rev !funcs;
+      entry = !entry;
+    }
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  parse ~file:(Filename.basename path) src

@@ -1,0 +1,14 @@
+(** Recursive-descent parser for the skeleton DSL.
+
+    See the module implementation header for the grammar.  Parsed
+    programs are renumbered with dense pre-order statement ids. *)
+
+exception Error of Loc.t * string
+
+(** Parse a complete skeleton program from source text.
+    @raise Error on syntax errors.
+    @raise Lexer.Error on lexical errors. *)
+val parse : file:string -> string -> Ast.program
+
+(** Parse a skeleton program from a file on disk. *)
+val parse_file : string -> Ast.program

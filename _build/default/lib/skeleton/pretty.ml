@@ -1,0 +1,200 @@
+(** Pretty-printer for skeleton programs.
+
+    Emits the concrete DSL syntax accepted by {!Parser}; the
+    round-trip [Parser.parse (Pretty.to_string p)] reproduces [p] up to
+    statement ids and source locations (checked by property tests). *)
+
+open Ast
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Min -> "min"
+  | Max -> "max"
+  | Pow -> "pow"
+
+let cmpop_name = function
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+
+let unop_name = function
+  | Neg -> "-"
+  | Not -> "!"
+  | Floor -> "floor"
+  | Ceil -> "ceil"
+  | Sqrt -> "sqrt"
+  | Log2 -> "log2"
+  | Abs -> "abs"
+
+(* Precedence levels, higher binds tighter; used to parenthesize
+   minimally. *)
+let prec_or = 1
+let prec_and = 2
+let prec_cmp = 3
+let prec_add = 4
+let prec_mul = 5
+let prec_unary = 7
+let prec_atom = 8
+
+let rec pp_prec level ppf e =
+  let prec, doc =
+    match e with
+    | Int i -> (prec_atom, fun ppf -> Fmt.int ppf i)
+    | Float f ->
+      (* Shortest representation that round-trips, with a decimal
+         point so the lexer reads it back as a float. *)
+      let rec shortest p =
+        if p >= 17 then Fmt.str "%.17g" f
+        else
+          let s = Fmt.str "%.*g" p f in
+          if float_of_string s = f then s else shortest (p + 1)
+      in
+      let s = shortest 1 in
+      let s =
+        if String.contains s '.' || String.contains s 'e' then s else s ^ ".0"
+      in
+      (prec_atom, fun ppf -> Fmt.string ppf s)
+    | Bool b -> (prec_atom, fun ppf -> Fmt.string ppf (string_of_bool b))
+    | Var v -> (prec_atom, fun ppf -> Fmt.string ppf v)
+    | Binop (((Min | Max | Pow) as op), a, b) ->
+      ( prec_atom,
+        fun ppf ->
+          Fmt.pf ppf "%s(%a, %a)" (binop_name op) (pp_prec 0) a (pp_prec 0) b )
+    | Binop (((Add | Sub) as op), a, b) ->
+      ( prec_add,
+        fun ppf ->
+          Fmt.pf ppf "%a %s %a" (pp_prec prec_add) a (binop_name op)
+            (pp_prec (prec_add + 1))
+            b )
+    | Binop (((Mul | Div | Mod) as op), a, b) ->
+      ( prec_mul,
+        fun ppf ->
+          Fmt.pf ppf "%a %s %a" (pp_prec prec_mul) a (binop_name op)
+            (pp_prec (prec_mul + 1))
+            b )
+    | Cmp (op, a, b) ->
+      ( prec_cmp,
+        fun ppf ->
+          Fmt.pf ppf "%a %s %a"
+            (pp_prec (prec_cmp + 1))
+            a (cmpop_name op)
+            (pp_prec (prec_cmp + 1))
+            b )
+    | And (a, b) ->
+      ( prec_and,
+        fun ppf ->
+          Fmt.pf ppf "%a && %a" (pp_prec prec_and) a
+            (pp_prec (prec_and + 1))
+            b )
+    | Or (a, b) ->
+      ( prec_or,
+        fun ppf ->
+          Fmt.pf ppf "%a || %a" (pp_prec prec_or) a (pp_prec (prec_or + 1)) b )
+    | Unop (((Neg | Not) as op), a) ->
+      ( prec_unary,
+        fun ppf -> Fmt.pf ppf "%s%a" (unop_name op) (pp_prec prec_unary) a )
+    | Unop (op, a) ->
+      (prec_atom, fun ppf -> Fmt.pf ppf "%s(%a)" (unop_name op) (pp_prec 0) a)
+  in
+  if prec < level then Fmt.pf ppf "(%t)" doc else doc ppf
+
+let pp_expr ppf e = pp_prec 0 ppf e
+
+let pp_access ppf { array; index } =
+  Fmt.pf ppf "%s%a" array
+    (Fmt.list ~sep:Fmt.nop (fun ppf e -> Fmt.pf ppf "[%a]" pp_expr e))
+    index
+
+let pp_cond ppf = function
+  | Cexpr e -> Fmt.pf ppf "(%a)" pp_expr e
+  | Cdata { name; p } -> Fmt.pf ppf "data %s prob %a" name pp_expr p
+
+let pp_comp ppf { flops; iops; divs; vec } =
+  let parts = ref [] in
+  let add fmt = parts := fmt :: !parts in
+  if vec <> 1 then add (Fmt.str "vec=%d" vec);
+  if divs <> Int 0 then add (Fmt.str "divs=%a" pp_expr divs);
+  if iops <> Int 0 then add (Fmt.str "iops=%a" pp_expr iops);
+  (* Always emit flops so a zero-comp statement still parses. *)
+  add (Fmt.str "flops=%a" pp_expr flops);
+  Fmt.string ppf (String.concat ", " !parts)
+
+let rec pp_stmt indent ppf (s : stmt) =
+  let pad = String.make indent ' ' in
+  let lbl = match s.label with None -> "" | Some l -> "@" ^ l ^ ": " in
+  Fmt.pf ppf "%s%s" pad lbl;
+  match s.kind with
+  | Comp c -> Fmt.pf ppf "comp %a@," pp_comp c
+  | Mem { loads; stores } ->
+    if loads <> [] then
+      Fmt.pf ppf "load %a" (Fmt.list ~sep:(Fmt.any ", ") pp_access) loads;
+    if loads <> [] && stores <> [] then Fmt.pf ppf "@,%s%s" pad lbl;
+    if stores <> [] then
+      Fmt.pf ppf "store %a" (Fmt.list ~sep:(Fmt.any ", ") pp_access) stores;
+    if loads = [] && stores = [] then Fmt.pf ppf "comp flops=0";
+    Fmt.pf ppf "@,"
+  | Let (v, e) -> Fmt.pf ppf "let %s = %a@," v pp_expr e
+  | If { cond; then_; else_ } ->
+    Fmt.pf ppf "if %a {@,%a%s}" pp_cond cond (pp_block (indent + 2)) then_ pad;
+    if else_ <> [] then
+      Fmt.pf ppf " else {@,%a%s}" (pp_block (indent + 2)) else_ pad;
+    Fmt.pf ppf "@,"
+  | For { var; lo; hi; step; body } ->
+    Fmt.pf ppf "for %s = %a to %a" var pp_expr lo pp_expr hi;
+    if step <> Int 1 then Fmt.pf ppf " step %a" pp_expr step;
+    Fmt.pf ppf " {@,%a%s}@," (pp_block (indent + 2)) body pad
+  | While { name; p_continue; max_iter; body } ->
+    Fmt.pf ppf "while %s prob %a max %a {@,%a%s}@," name pp_expr p_continue
+      pp_expr max_iter
+      (pp_block (indent + 2))
+      body pad
+  | Call (f, args) ->
+    Fmt.pf ppf "call %s(%a)@," f (Fmt.list ~sep:(Fmt.any ", ") pp_expr) args
+  | Lib { name; args; scale } ->
+    Fmt.pf ppf "lib %s" name;
+    if args <> [] then
+      Fmt.pf ppf "(%a)" (Fmt.list ~sep:(Fmt.any ", ") pp_expr) args;
+    if scale <> Int 1 then Fmt.pf ppf " scale %a" pp_expr scale;
+    Fmt.pf ppf "@,"
+  | Return -> Fmt.pf ppf "return@,"
+  | Break { name; p } -> Fmt.pf ppf "break %s prob %a@," name pp_expr p
+  | Continue { name; p } -> Fmt.pf ppf "continue %s prob %a@," name pp_expr p
+
+and pp_block indent ppf (b : block) =
+  List.iter (fun s -> pp_stmt indent ppf s) b
+
+let pp_array_decl ppf { aname; dims; elem_bytes } =
+  let ty =
+    match elem_bytes with
+    | 8 -> "f64"
+    | 4 -> "f32"
+    | 1 -> "i8"
+    | n -> Fmt.str "f%d" (n * 8)
+  in
+  Fmt.pf ppf "array %s%a : %s@," aname
+    (Fmt.list ~sep:Fmt.nop (fun ppf e -> Fmt.pf ppf "[%a]" pp_expr e))
+    dims ty
+
+let pp_func ppf (f : func) =
+  Fmt.pf ppf "def %s(%a)@," f.fname
+    (Fmt.list ~sep:(Fmt.any ", ") Fmt.string)
+    f.params;
+  List.iter (fun a -> Fmt.pf ppf "  %a" pp_array_decl a) f.arrays;
+  Fmt.pf ppf "{@,%a}@,@," (pp_block 2) f.body
+
+let pp_program ppf (p : program) =
+  Fmt.pf ppf "@[<v>program %s@,@," p.pname;
+  List.iter (pp_array_decl ppf) p.globals;
+  if p.globals <> [] then Fmt.pf ppf "@,";
+  List.iter (pp_func ppf) p.funcs;
+  if not (String.equal p.entry "main") then Fmt.pf ppf "entry %s@," p.entry;
+  Fmt.pf ppf "@]"
+
+let to_string p = Fmt.str "%a" pp_program p

@@ -1,0 +1,11 @@
+(** Pretty-printer for skeleton programs.
+
+    Emits the concrete DSL syntax accepted by {!Parser}; the round
+    trip [Parser.parse (Pretty.to_string p)] reproduces [p] up to
+    statement ids and source locations (checked by property tests). *)
+
+val pp_expr : Ast.expr Fmt.t
+val pp_access : Ast.access Fmt.t
+val pp_cond : Ast.cond Fmt.t
+val pp_program : Ast.program Fmt.t
+val to_string : Ast.program -> string

@@ -1,0 +1,202 @@
+(** Semantic validation of skeleton programs.
+
+    Catches the mistakes that would otherwise surface as confusing
+    failures deep inside BET construction or simulation: references to
+    undefined functions or arrays, arity mismatches on calls and array
+    accesses, unbound variables, recursion (the BET mounts callee trees
+    in place, so call graphs must be acyclic), and non-positive literal
+    loop steps. *)
+
+open Ast
+
+type issue = { where : Loc.t; what : string }
+
+let pp_issue ppf { where; what } = Fmt.pf ppf "%a: %s" Loc.pp where what
+
+module Smap = Map.Make (String)
+module Sset = Set.Make (String)
+
+let issue where fmt = Fmt.kstr (fun what -> { where; what }) fmt
+
+let rec expr_vars acc = function
+  | Int _ | Float _ | Bool _ -> acc
+  | Var v -> Sset.add v acc
+  | Binop (_, a, b) | Cmp (_, a, b) | And (a, b) | Or (a, b) ->
+    expr_vars (expr_vars acc a) b
+  | Unop (_, a) -> expr_vars acc a
+
+(** [check ?inputs p] returns the list of issues found in [p]; empty
+    means valid.  [inputs] are externally supplied variables (the
+    "hint file" of input sizes) considered bound in the entry
+    function. *)
+let check ?(inputs = []) (p : program) : issue list =
+  let issues = ref [] in
+  let add i = issues := i :: !issues in
+  let funcs =
+    List.fold_left (fun m f -> Smap.add f.fname f m) Smap.empty p.funcs
+  in
+  (* Duplicate detection. *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (f : func) ->
+      if Hashtbl.mem seen f.fname then
+        add (issue Loc.none "duplicate function %s" f.fname)
+      else Hashtbl.add seen f.fname ())
+    p.funcs;
+  if not (Smap.mem p.entry funcs) then
+    add (issue Loc.none "entry function %s is not defined" p.entry);
+  (* Per-function checks. *)
+  let global_arrays =
+    List.fold_left (fun m a -> Smap.add a.aname a m) Smap.empty p.globals
+  in
+  let check_func (f : func) =
+    let arrays =
+      List.fold_left (fun m a -> Smap.add a.aname a m) global_arrays f.arrays
+    in
+    let check_access loc { array; index } =
+      match Smap.find_opt array arrays with
+      | None -> add (issue loc "access to undeclared array %s" array)
+      | Some decl ->
+        if List.length index <> List.length decl.dims then
+          add
+            (issue loc "array %s has %d dims but is accessed with %d indices"
+               array (List.length decl.dims) (List.length index))
+    in
+    let check_vars loc bound e =
+      Sset.iter
+        (fun v ->
+          if not (Sset.mem v bound) then
+            add (issue loc "unbound variable %s" v))
+        (expr_vars Sset.empty e)
+    in
+    (* Input bindings are global constants, visible in every
+       function (mirroring Bet.Build). *)
+    let initially_bound =
+      Sset.union (Sset.of_list f.params) (Sset.of_list inputs)
+    in
+    let rec check_block bound b = List.fold_left check_stmt bound b
+    and check_stmt bound s =
+      match s.kind with
+      | Comp { flops; iops; divs; vec } ->
+        check_vars s.loc bound flops;
+        check_vars s.loc bound iops;
+        check_vars s.loc bound divs;
+        if Stdlib.(vec < 1) then add (issue s.loc "vec must be >= 1");
+        bound
+      | Mem { loads; stores } ->
+        List.iter (check_access s.loc) loads;
+        List.iter (check_access s.loc) stores;
+        List.iter
+          (fun a -> List.iter (check_vars s.loc bound) a.index)
+          (loads @ stores);
+        bound
+      | Let (v, e) ->
+        check_vars s.loc bound e;
+        Sset.add v bound
+      | If { cond; then_; else_ } ->
+        (match cond with
+        | Cexpr e -> check_vars s.loc bound e
+        | Cdata { p; _ } -> check_vars s.loc bound p);
+        let _ = check_block bound then_ in
+        let _ = check_block bound else_ in
+        bound
+      | For { var; lo; hi; step; body } ->
+        check_vars s.loc bound lo;
+        check_vars s.loc bound hi;
+        check_vars s.loc bound step;
+        (match step with
+        | Int i when Stdlib.(i <= 0) ->
+          add (issue s.loc "loop step must be positive")
+        | Float x when Stdlib.(x <= 0.) ->
+          add (issue s.loc "loop step must be positive")
+        | _ -> ());
+        let _ = check_block (Sset.add var bound) body in
+        bound
+      | While { p_continue; max_iter; body; _ } ->
+        check_vars s.loc bound p_continue;
+        check_vars s.loc bound max_iter;
+        let _ = check_block bound body in
+        bound
+      | Call (name, args) ->
+        (match Smap.find_opt name funcs with
+        | None -> add (issue s.loc "call to undefined function %s" name)
+        | Some callee ->
+          if List.length callee.params <> List.length args then
+            add
+              (issue s.loc "%s expects %d arguments, got %d" name
+                 (List.length callee.params)
+                 (List.length args)));
+        List.iter (check_vars s.loc bound) args;
+        bound
+      | Lib { args; scale; _ } ->
+        List.iter (check_vars s.loc bound) args;
+        check_vars s.loc bound scale;
+        bound
+      | Return -> bound
+      | Break { p; _ } | Continue { p; _ } ->
+        check_vars s.loc bound p;
+        bound
+    in
+    ignore (check_block initially_bound f.body)
+  in
+  List.iter check_func p.funcs;
+  (* Data-dependent branches, loops and early exits are keyed by name
+     in the profiler's hint table; a name used at two different sites
+     pools their statistics, which silently corrupts the model.  Flag
+     duplicates. *)
+  let stat_names = Hashtbl.create 16 in
+  let flag_dup loc kind name =
+    match Hashtbl.find_opt stat_names name with
+    | Some first ->
+      add
+        (issue loc
+           "%s %S reuses a statistics name first used at %s; profiled \
+            probabilities would be pooled across both sites"
+           kind name (Loc.to_string first))
+    | None -> Hashtbl.add stat_names name loc
+  in
+  List.iter
+    (fun (f : func) ->
+      ignore
+        (fold_block
+           (fun () s ->
+             match s.kind with
+             | If { cond = Cdata { name; _ }; _ } ->
+               flag_dup s.loc "data branch" name
+             | While { name; _ } -> flag_dup s.loc "while loop" name
+             | Break { name; _ } -> flag_dup s.loc "break" name
+             | Continue { name; _ } -> flag_dup s.loc "continue" name
+             | _ -> ())
+           () f.body))
+    p.funcs;
+  (* Recursion check: DFS over the static call graph. *)
+  let calls_of f =
+    fold_block
+      (fun acc s ->
+        match s.kind with Call (n, _) -> Sset.add n acc | _ -> acc)
+      Sset.empty f.body
+  in
+  let call_graph = Smap.map calls_of funcs in
+  let rec dfs path name =
+    if List.mem name path then
+      add
+        (issue Loc.none "recursive call cycle: %s"
+           (String.concat " -> " (List.rev (name :: path))))
+    else
+      match Smap.find_opt name call_graph with
+      | None -> ()
+      | Some callees -> Sset.iter (dfs (name :: path)) callees
+  in
+  if Smap.mem p.entry funcs then dfs [] p.entry;
+  List.rev !issues
+
+(** Raise [Invalid_argument] with a readable message if [p] is not
+    valid. *)
+let check_exn ?inputs p =
+  match check ?inputs p with
+  | [] -> ()
+  | issues ->
+    invalid_arg
+      (Fmt.str "invalid skeleton %s:@ %a" p.pname
+         (Fmt.list ~sep:Fmt.semi pp_issue)
+         issues)

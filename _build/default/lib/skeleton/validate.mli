@@ -1,0 +1,18 @@
+(** Semantic validation of skeleton programs.
+
+    Checks for undefined functions and arrays, call and access arity
+    mismatches, unbound variables, recursion (BET construction mounts
+    callee trees in place, so call graphs must be acyclic) and
+    non-positive literal loop steps. *)
+
+type issue = { where : Loc.t; what : string }
+
+val pp_issue : issue Fmt.t
+
+(** [check ?inputs p] returns the issues found in [p]; empty means
+    valid.  [inputs] are externally supplied global bindings (the
+    paper's "hint file" of input sizes), visible in every function. *)
+val check : ?inputs:string list -> Ast.program -> issue list
+
+(** @raise Invalid_argument with a readable message when invalid. *)
+val check_exn : ?inputs:string list -> Ast.program -> unit

@@ -1,0 +1,1 @@
+lib/workloads/cfd.ml: Builder Coldcode Float Skope_bet Skope_skeleton Value

@@ -1,0 +1,1 @@
+lib/workloads/chargei.ml: Builder Coldcode Float Skope_bet Skope_skeleton Value

@@ -1,0 +1,1 @@
+lib/workloads/coldcode.ml: Ast Builder Skope_skeleton

@@ -1,0 +1,1 @@
+lib/workloads/coldcode.mli: Ast Skope_skeleton

@@ -1,0 +1,1 @@
+lib/workloads/pedagogical.ml: Builder Skope_bet Skope_skeleton Value

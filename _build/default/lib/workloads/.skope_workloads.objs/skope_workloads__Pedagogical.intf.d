@@ -1,0 +1,1 @@
+lib/workloads/pedagogical.mli: Ast Skope_bet Skope_skeleton Value

@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Ast Cfd Chargei Fmt Libmix List Pedagogical Skope_bet Skope_hw Skope_skeleton Sord Srad Stassuij String Value

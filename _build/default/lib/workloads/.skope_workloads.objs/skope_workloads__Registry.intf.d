@@ -1,0 +1,1 @@
+lib/workloads/registry.mli: Ast Libmix Skope_bet Skope_hw Skope_skeleton Value

@@ -1,0 +1,1 @@
+lib/workloads/srad.ml: Builder Coldcode Float Skope_bet Skope_skeleton Value

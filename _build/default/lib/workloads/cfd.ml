@@ -1,0 +1,198 @@
+(** CFD — unstructured-grid finite-volume Euler solver (paper §VI,
+    Rodinia-style miniapp).
+
+    A main time-stepping loop iterates a 3-stage Runge–Kutta scheme;
+    each stage computes per-cell step factors, per-face fluxes through
+    an indirection array (the unstructured connectivity), and advances
+    pressure, momentum and density.
+
+    The skeleton deliberately includes the paper's §VII-B anecdote: the
+    [compute_velocity] block derives velocity from density and momentum
+    with a series of floating point {e divisions}.  The analytic model
+    prices all flops alike, so it projects under 3 % of run time for
+    this block, while on BG/Q — where division expands into a long
+    reciprocal-refinement sequence — it actually takes a much larger
+    share.  The simulator charges real division latency, reproducing
+    the underestimation. *)
+
+open Skope_skeleton
+open Skope_bet
+
+let make ~scale =
+  let ncell = max 512 (int_of_float (Float.round (97000. *. scale))) in
+  let nt = max 2 (int_of_float (Float.round (32. *. scale))) in
+  let nface = 3 * ncell in
+  let nbound = max 16 (ncell / 16) in
+  let open Builder in
+  let cells ?label body = for_ ?label "c" (int 0) (var "ncell" - int 1) body in
+  let faces ?label body = for_ ?label "f" (int 0) (var "nface" - int 1) body in
+  let step_factor =
+    func "step_factor"
+      [
+        cells ~label:"compute_step_factor"
+          [
+            comp ~flops:(int 11) ~iops:(int 2) ~divs:(int 1) ~vec:4 ();
+            load
+              [
+                a_ "density" [ var "c" ]; a_ "momx" [ var "c" ];
+                a_ "momy" [ var "c" ]; a_ "energy" [ var "c" ];
+                a_ "areas" [ var "c" ];
+              ];
+            store [ a_ "stepf" [ var "c" ] ];
+          ];
+      ]
+  in
+  let flux =
+    func "flux"
+      [
+        (* Per-face flux with indirect neighbor access through the
+           connectivity array: a load of the neighbor index, then
+           gathers at an effectively random cell.  Heavy flops, not
+           vectorized due to the gathers. *)
+        faces ~label:"compute_flux"
+          [
+            load [ a_ "neigh" [ var "f" ] ];
+            comp ~flops:(int 2) ~iops:(int 6) ();
+            load
+              [
+                a_ "density" [ var "f" * int 1103 % var "ncell" ];
+                a_ "momx" [ var "f" * int 1103 % var "ncell" ];
+                a_ "momy" [ var "f" * int 1103 % var "ncell" ];
+                a_ "energy" [ var "f" * int 1103 % var "ncell" ];
+                a_ "normals" [ var "f" ];
+              ];
+            comp ~flops:(int 42) ~iops:(int 4) ~vec:1 ();
+            store [ a_ "fluxes" [ var "f" ] ];
+          ];
+      ]
+  in
+  let velocity =
+    func "velocity"
+      [
+        (* v = momentum / density, speed of sound, pressure ratio —
+           division-dominated (§VII-B). *)
+        cells ~label:"compute_velocity"
+          [
+            comp ~flops:(int 9) ~iops:(int 1) ~divs:(int 2) ~vec:1 ();
+            load
+              [
+                a_ "density" [ var "c" ]; a_ "momx" [ var "c" ];
+                a_ "momy" [ var "c" ];
+              ];
+            store [ a_ "velx" [ var "c" ]; a_ "vely" [ var "c" ] ];
+          ];
+      ]
+  in
+  let time_step =
+    func "advance"
+      [
+        cells ~label:"time_step"
+          [
+            comp ~flops:(int 13) ~iops:(int 2) ~vec:4 ();
+            load
+              [
+                a_ "fluxes" [ var "c" ]; a_ "stepf" [ var "c" ];
+                a_ "old_density" [ var "c" ];
+              ];
+            store [ a_ "density" [ var "c" ] ];
+          ];
+        cells ~label:"momentum_update"
+          [
+            comp ~flops:(int 8) ~iops:(int 2) ~vec:4 ();
+            load [ a_ "fluxes" [ var "c" ]; a_ "old_momx" [ var "c" ] ];
+            store [ a_ "momx" [ var "c" ]; a_ "momy" [ var "c" ] ];
+          ];
+        cells ~label:"pressure_update"
+          [
+            comp ~flops:(int 7) ~iops:(int 1) ~vec:4 ();
+            load [ a_ "density" [ var "c" ]; a_ "energy" [ var "c" ] ];
+            store [ a_ "pressure" [ var "c" ] ];
+          ];
+      ]
+  in
+  let copy_state =
+    func "copy_state"
+      [
+        cells ~label:"copy_state"
+          [
+            comp ~flops:(int 0) ~iops:(int 2) ~vec:4 ();
+            load [ a_ "density" [ var "c" ]; a_ "momx" [ var "c" ] ];
+            store [ a_ "old_density" [ var "c" ]; a_ "old_momx" [ var "c" ] ];
+          ];
+      ]
+  in
+  let boundary =
+    func "boundary"
+      [
+        for_ ~label:"boundary_flux" "f" (int 0) (var "nbound" - int 1)
+          [
+            comp ~flops:(int 18) ~iops:(int 3) ~vec:1 ();
+            load [ a_ "normals" [ var "f" ]; a_ "density" [ var "f" ] ];
+            store [ a_ "fluxes" [ var "f" ] ];
+          ];
+      ]
+  in
+  let reduce =
+    func "reduce"
+      [
+        cells ~label:"reduce_rms"
+          [
+            comp ~flops:(int 3) ~iops:(int 1) ~vec:4 ();
+            load [ a_ "density" [ var "c" ] ];
+          ];
+      ]
+  in
+  let cold_funcs, cold_calls = Coldcode.funcs ~prefix:"cfd" ~weight:2400 in
+  let main =
+    func "main"
+      (cold_calls
+      @ [
+        cells ~label:"initialize"
+          [
+            comp ~flops:(int 5) ~iops:(int 2) ~vec:4 ();
+            store
+              [
+                a_ "density" [ var "c" ]; a_ "momx" [ var "c" ];
+                a_ "momy" [ var "c" ]; a_ "energy" [ var "c" ];
+              ];
+          ];
+        for_ ~label:"time_loop" "it" (int 1) (var "nt")
+          [
+            call "copy_state" [];
+            for_ ~label:"rk_loop" "rk" (int 1) (int 3)
+              [
+                call "step_factor" [];
+                call "velocity" [];
+                call "flux" [];
+                call "boundary" [];
+                call "advance" [];
+              ];
+            call "reduce" [];
+          ];
+      ])
+  in
+  let g name = array name [ var "ncell" ] in
+  let gf name = array name [ var "nface" ] in
+  let program =
+    program "cfd"
+      ~globals:
+        [
+          g "density"; g "momx"; g "momy"; g "energy"; g "pressure";
+          g "velx"; g "vely"; g "stepf"; g "areas"; g "old_density";
+          g "old_momx";
+          gf "fluxes"; gf "normals";
+          array ~elem_bytes:4 "neigh" [ var "nface" ];
+        ]
+      ([
+         main; step_factor; flux; velocity; time_step; copy_state; boundary;
+         reduce;
+       ]
+      @ cold_funcs)
+  in
+  ( program,
+    [
+      ("ncell", Value.int ncell);
+      ("nface", Value.int nface);
+      ("nbound", Value.int nbound);
+      ("nt", Value.int nt);
+    ] )

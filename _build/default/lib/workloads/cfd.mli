@@ -1,0 +1,8 @@
+(** CFD — unstructured finite-volume Euler solver (paper §VI), with
+    the division-heavy [compute_velocity] kernel of the §VII-B
+    anecdote. *)
+
+open Skope_skeleton
+open Skope_bet
+
+val make : scale:float -> Ast.program * (string * Value.t) list

@@ -1,0 +1,143 @@
+(** CHARGEI — ion density deposition from the Gyrokinetic Toroidal
+    Code (paper §VI).
+
+    GTC is a 3D particle-in-cell code studying turbulent transport in
+    magnetic fusion; [chargei] computes total ion density for a given
+    ion distribution.  The paper notes eight loop structures, some
+    producing arrays consumed by later loops, with two dominating hot
+    spots measured at 44 % and 38 % of run time.
+
+    The skeleton models the classic PIC deposition pipeline: a 4-point
+    gyro-averaging gather over particles (dominant), the
+    charge-scatter back to the grid (second), then grid-sized loops —
+    field smoothing, Poisson-like iteration (a [while] loop whose trip
+    count comes from profiling), boundary correction and
+    normalization — each a few percent, matching the long flat tail of
+    Fig. 12. *)
+
+open Skope_skeleton
+open Skope_bet
+
+let make ~scale =
+  let ngrid = max 256 (int_of_float (Float.round (64000. *. scale))) in
+  let npart = 8 * ngrid in
+  let open Builder in
+  let particles ?label body =
+    for_ ?label "p" (int 0) (var "npart" - int 1) body
+  in
+  let grid ?label body = for_ ?label "g" (int 0) (var "ngrid" - int 1) body in
+  let deposit =
+    func "deposit"
+      [
+        (* Dominant spot: 4-point gyroaverage gather; indirect grid
+           accesses through the particle position. *)
+        particles ~label:"gyro_average"
+          [
+            load [ a_ "xpos" [ var "p" ]; a_ "weight" [ var "p" ] ];
+            comp ~flops:(int 14) ~iops:(int 8) ~vec:1 ();
+            load
+              [
+                a_ "phi" [ var "p" * int 769 % var "ngrid" ];
+                a_ "phi" [ (var "p" * int 769 + int 1) % var "ngrid" ];
+                a_ "phi" [ var "p" * int 3571 % var "ngrid" ];
+                a_ "phi" [ (var "p" * int 3571 + int 1) % var "ngrid" ];
+              ];
+            comp ~flops:(int 12) ~iops:(int 2) ~vec:1 ();
+            store [ a_ "avg" [ var "p" ] ];
+          ];
+        (* Second spot: 4-point scatter of the charge to grid points
+           (read-modify-write at each deposition point). *)
+        particles ~label:"charge_scatter"
+          [
+            load [ a_ "avg" [ var "p" ]; a_ "weight" [ var "p" ] ];
+            comp ~flops:(int 16) ~iops:(int 6) ~vec:1 ();
+            load
+              [
+                a_ "dens" [ var "p" * int 769 % var "ngrid" ];
+                a_ "dens" [ (var "p" * int 769 + int 1) % var "ngrid" ];
+                a_ "dens" [ var "p" * int 3571 % var "ngrid" ];
+                a_ "dens" [ (var "p" * int 3571 + int 1) % var "ngrid" ];
+              ];
+            store
+              [
+                a_ "dens" [ var "p" * int 769 % var "ngrid" ];
+                a_ "dens" [ (var "p" * int 769 + int 1) % var "ngrid" ];
+                a_ "dens" [ var "p" * int 3571 % var "ngrid" ];
+                a_ "dens" [ (var "p" * int 3571 + int 1) % var "ngrid" ];
+              ];
+          ];
+      ]
+  in
+  let field =
+    func "field"
+      [
+        grid ~label:"zero_density"
+          [ comp ~iops:(int 1) ~vec:4 (); store [ a_ "tmp" [ var "g" ] ] ];
+        grid ~label:"smooth_field"
+          [
+            load
+              [
+                a_ "dens" [ var "g" ]; a_ "dens" [ var "g" + int 1 ];
+                a_ "dens" [ var "g" - int 1 ];
+              ];
+            comp ~flops:(int 6) ~iops:(int 1) ~vec:4 ();
+            store [ a_ "tmp" [ var "g" ] ];
+          ];
+        while_ ~label:"poisson_iter" "poisson" ~p_continue:(float 0.75)
+          ~max_iter:(int 12)
+          [
+            grid ~label:"poisson_sweep"
+              [
+                load [ a_ "tmp" [ var "g" ]; a_ "tmp" [ var "g" + int 1 ] ];
+                comp ~flops:(int 5) ~iops:(int 1) ~vec:4 ();
+                store [ a_ "phi" [ var "g" ] ];
+              ];
+          ];
+        grid ~label:"boundary_correct"
+          [
+            if_ (var "g" % (var "ngrid" / int 16) == int 0)
+              [ comp ~label:"flux_surface_avg" ~flops:(int 24) ~iops:(int 4) () ]
+              [];
+            comp ~flops:(int 1) ~iops:(int 1) ~vec:4 ();
+            load [ a_ "phi" [ var "g" ] ];
+          ];
+        grid ~label:"normalize"
+          [
+            load [ a_ "phi" [ var "g" ] ];
+            comp ~flops:(int 2) ~iops:(int 1) ~divs:(int 1) ~vec:4 ();
+            store [ a_ "phi" [ var "g" ] ];
+          ];
+      ]
+  in
+  let cold_funcs, cold_calls = Coldcode.funcs ~prefix:"gtc" ~weight:1600 in
+  let main =
+    func "main"
+      (cold_calls
+      @ [
+        grid ~label:"init_grid"
+          [ comp ~flops:(int 1) ~iops:(int 1) ~vec:4 (); store [ a_ "phi" [ var "g" ]; a_ "dens" [ var "g" ] ] ];
+        particles ~label:"init_particles"
+          [ comp ~flops:(int 3) ~iops:(int 2) ~vec:4 (); store [ a_ "xpos" [ var "p" ]; a_ "weight" [ var "p" ] ] ];
+        for_ ~label:"pic_step" "it" (int 1) (var "nsteps")
+          [ call "deposit" []; call "field" [] ];
+      ])
+  in
+  let program =
+    program "chargei"
+      ~globals:
+        [
+          array "xpos" [ var "npart" ];
+          array "weight" [ var "npart" ];
+          array "avg" [ var "npart" ];
+          array "phi" [ var "ngrid" ];
+          array "dens" [ var "ngrid" ];
+          array "tmp" [ var "ngrid" ];
+        ]
+      ([ main; deposit; field ] @ cold_funcs)
+  in
+  ( program,
+    [
+      ("ngrid", Value.int ngrid);
+      ("npart", Value.int npart);
+      ("nsteps", Value.int 4);
+    ] )

@@ -1,0 +1,8 @@
+(** CHARGEI — GTC ion-density deposition (paper §VI): particle-in-cell
+    gather/scatter with two dominating hot spots (44%/38% in the
+    paper). *)
+
+open Skope_skeleton
+open Skope_bet
+
+val make : scale:float -> Ast.program * (string * Value.t) list

@@ -1,0 +1,11 @@
+(** Cold-code mass for workload models: setup, configuration parsing,
+    checkpointing and never-taken error handling, so the 10%
+    code-leanness criterion is meaningful (production applications are
+    mostly cold code). *)
+
+open Skope_skeleton
+
+(** [funcs ~prefix ~weight] returns cold functions totalling roughly
+    [weight] static instructions plus the calls to splice into
+    [main]. *)
+val funcs : prefix:string -> weight:int -> Ast.func list * Ast.stmt list

@@ -1,0 +1,59 @@
+(** The paper's pedagogical example (Fig. 2).
+
+    [main] initializes a knob under a data-dependent branch, runs a
+    grid loop, and calls [foo] twice under contexts with different
+    [knob] values — exactly the situation whose BET the paper draws:
+    the branch at the top affects a branch deep inside [foo], so the
+    function mount appears under two contexts with different
+    probabilities. *)
+
+open Skope_skeleton
+open Skope_bet
+
+let make ~scale =
+  let n = max 8 (int_of_float (64. *. scale)) in
+  let open Builder in
+  let foo =
+    func "foo" ~params:[ "x"; "knob" ]
+      [
+        if_
+          (var "knob" == int 1)
+          [
+            for_ ~label:"foo_heavy" "j" (int 1) (var "x")
+              [
+                comp ~flops:(int 16) ~iops:(int 2) ();
+                load [ a_ "data" [ var "j" ] ];
+                store [ a_ "data" [ var "j" ] ];
+              ];
+          ]
+          [
+            for_ ~label:"foo_light" "j" (int 1) (var "x" / int 4)
+              [ comp ~flops:(int 2) ~iops:(int 1) () ];
+          ];
+      ]
+  in
+  let main =
+    func "main"
+      [
+        let_ "knob" (int 0);
+        if_data "calibrate" (float 0.3) [ let_ "knob" (int 1) ] [];
+        for_ ~label:"init" "i" (int 0) (var "n" - int 1)
+          [ comp ~flops:(int 1) ~iops:(int 1) (); store [ a_ "data" [ var "i" ] ] ];
+        for_ ~label:"main_loop" "i" (int 1) (var "n")
+          [
+            comp ~flops:(int 4) ~iops:(int 2) ();
+            load [ a_ "data" [ var "i" ] ];
+            if_data "refine" (float 0.1)
+              [ comp ~label:"refine_step" ~flops:(int 32) ~divs:(int 2) () ]
+              [];
+          ];
+        call "foo" [ var "n"; var "knob" ];
+        call "foo" [ var "n" / int 2; int 0 ];
+      ]
+  in
+  let program =
+    program "pedagogical"
+      ~globals:[ array "data" [ var "n" ] ]
+      [ main; foo ]
+  in
+  (program, [ ("n", Value.int n) ])

@@ -1,0 +1,7 @@
+(** The paper's pedagogical example (Fig. 2): a data-dependent knob
+    set in [main] steers a branch inside a twice-mounted callee. *)
+
+open Skope_skeleton
+open Skope_bet
+
+val make : scale:float -> Ast.program * (string * Value.t) list

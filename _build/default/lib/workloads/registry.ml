@@ -1,0 +1,97 @@
+(** Catalog of bundled workload models.
+
+    Every workload provides a scalable skeleton program and its input
+    bindings (the paper's "hint file" of input sizes).  [default_scale]
+    is tuned so the ground-truth simulation of one workload finishes in
+    a couple of seconds; the analytic projection is input-size
+    independent, so scale only matters for simulation. *)
+
+open Skope_skeleton
+open Skope_bet
+open Skope_hw
+
+type t = {
+  name : string;
+  description : string;
+  make : scale:float -> Ast.program * (string * Value.t) list;
+  default_scale : float;
+  libmix : Libmix.t;
+  paper_top_k : int;
+      (** how many hot spots the paper reports for this workload *)
+}
+
+let all : t list =
+  [
+    {
+      name = "pedagogical";
+      description = "the paper's Fig. 2 example (branch-dependent contexts)";
+      make = Pedagogical.make;
+      default_scale = 1.0;
+      libmix = Libmix.default;
+      paper_top_k = 4;
+    };
+    {
+      name = "sord";
+      description =
+        "Support Operator Rupture Dynamics: 3D viscoelastic earthquake \
+         simulation on a structured grid";
+      make = Sord.make;
+      default_scale = 0.22;
+      libmix = Libmix.default;
+      paper_top_k = 10;
+    };
+    {
+      name = "chargei";
+      description =
+        "GTC chargei: particle-in-cell ion density deposition (gather, \
+         scatter, field solve)";
+      make = Chargei.make;
+      default_scale = 0.35;
+      libmix = Libmix.default;
+      paper_top_k = 5;
+    };
+    {
+      name = "srad";
+      description =
+        "speckle-reducing anisotropic diffusion for ultrasound images \
+         (exp/rand library hot spots)";
+      make = Srad.make;
+      default_scale = 0.25;
+      libmix = Libmix.default;
+      paper_top_k = 3;
+    };
+    {
+      name = "cfd";
+      description =
+        "unstructured finite-volume 3D Euler solver (division-heavy \
+         velocity kernel)";
+      make = Cfd.make;
+      default_scale = 0.25;
+      libmix = Libmix.default;
+      paper_top_k = 10;
+    };
+    {
+      name = "stassuij";
+      description =
+        "GFMC two-body correlation kernel: sparse x dense-complex multiply \
+         + butterfly exchange";
+      make = Stassuij.make;
+      default_scale = 0.5;
+      libmix = Libmix.default;
+      paper_top_k = 2;
+    };
+  ]
+
+let names = List.map (fun w -> w.name) all
+
+let find name =
+  let l = String.lowercase_ascii name in
+  List.find_opt (fun w -> String.equal w.name l) all
+
+let find_exn name =
+  match find name with
+  | Some w -> w
+  | None ->
+    invalid_arg
+      (Fmt.str "unknown workload %S (expected one of: %s)" name
+         (String.concat ", " names))

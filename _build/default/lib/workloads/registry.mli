@@ -1,0 +1,27 @@
+(** Catalog of bundled workload models (the paper's five benchmarks
+    plus the pedagogical example of Fig. 2). *)
+
+open Skope_skeleton
+open Skope_bet
+open Skope_hw
+
+type t = {
+  name : string;
+  description : string;
+  make : scale:float -> Ast.program * (string * Value.t) list;
+      (** scalable skeleton + input bindings (the paper's "hint file") *)
+  default_scale : float;
+      (** tuned so one ground-truth simulation takes a few seconds *)
+  libmix : Libmix.t;
+  paper_top_k : int;
+      (** how many hot spots the paper reports for this workload *)
+}
+
+val all : t list
+val names : string list
+
+(** Case-insensitive lookup. *)
+val find : string -> t option
+
+(** @raise Invalid_argument when unknown. *)
+val find_exn : string -> t

@@ -1,0 +1,11 @@
+(** SORD — Support Operator Rupture Dynamics (paper §VI): 3D
+    viscoelastic earthquake simulation over a structured grid,
+    modeled as ~20 labeled phases with distinct compute / memory /
+    vectorization / cache-capacity profiles. *)
+
+open Skope_skeleton
+open Skope_bet
+
+(** [make ~scale] returns the skeleton and its input bindings; [scale]
+    multiplies the grid dimensions and time steps. *)
+val make : scale:float -> Ast.program * (string * Value.t) list

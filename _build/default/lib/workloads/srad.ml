@@ -1,0 +1,108 @@
+(** SRAD — speckle-reducing anisotropic diffusion (paper §VI).
+
+    Removes speckle noise from ultrasound/radar images: each iteration
+    (1) estimates the speckle signature from a sample window by random
+    sampling, (2) computes per-pixel gradients and a diffusion
+    coefficient through libm's [exp], and (3) diffuses the image.
+
+    The paper's measured profile on BG/Q puts 37 % of run time in
+    [exp], 28 % in the diffusion loop and 25 % in [rand] — the first
+    and third hot spots are {e library} functions, exercising the
+    semi-analytical modeling path of §IV-C (instruction-mix profiles
+    from {!Skope_hw.Libmix}). *)
+
+open Skope_skeleton
+open Skope_bet
+
+let make ~scale =
+  let n = max 64 (int_of_float (Float.round (2048. *. scale))) in
+  let npix = n * n in
+  (* Monte-Carlo signature estimation resamples the window with
+     replacement, one draw per image pixel and iteration. *)
+  let nsample = npix in
+  let niter = 4 in
+  let open Builder in
+  let pixels ?label body =
+    for_ ?label "p" (int 0) (var "npix" - int 1) body
+  in
+  let sample =
+    func "sample_stats"
+      [
+        (* Monte-Carlo speckle signature: draws over the sample
+           window dominate; each draw is two LCG advances plus light
+           statistics. *)
+        for_ ~label:"extract_sample" "s" (int 0) (var "nsample" - int 1)
+          [
+            lib "rand" ~scale:(int 3);
+            comp ~flops:(int 4) ~iops:(int 3) ();
+            load [ a_ "window" [ var "s" % var "nwin" ] ];
+          ];
+        comp ~label:"signature_reduce" ~flops:(int 200) ~iops:(int 40) ();
+      ]
+  in
+  let gradient =
+    func "gradient"
+      [
+        (* 4-neighbor gradient, normalized contrast, then the
+           exponential diffusion coefficient. *)
+        pixels ~label:"grad_coef"
+          [
+            load
+              [
+                a_ "img" [ var "p" ]; a_ "img" [ var "p" + int 1 ];
+                a_ "img" [ var "p" + var "n" ];
+              ];
+            comp ~flops:(int 6) ~iops:(int 2) ~vec:1 ();
+            lib "exp" ~scale:(int 1);
+            store [ a_ "coef" [ var "p" ] ];
+          ];
+      ]
+  in
+  let diffuse =
+    func "diffuse"
+      [
+        pixels ~label:"diffusion_update"
+          [
+            load
+              [
+                a_ "coef" [ var "p" ]; a_ "coef" [ var "p" + int 1 ];
+                a_ "coef" [ var "p" + var "n" ]; a_ "img" [ var "p" ];
+              ];
+            comp ~flops:(int 34) ~iops:(int 3) ~vec:1 ();
+            store [ a_ "img" [ var "p" ] ];
+          ];
+      ]
+  in
+  let cold_funcs, cold_calls = Coldcode.funcs ~prefix:"srad" ~weight:1500 in
+  let main =
+    func "main"
+      (cold_calls
+      @ [
+        pixels ~label:"img_init"
+          [ comp ~flops:(int 2) ~iops:(int 1) ~vec:4 (); store [ a_ "img" [ var "p" ] ] ];
+        for_ ~label:"srad_iter" "it" (int 1) (var "niter")
+          [
+            call "sample_stats" [];
+            call "gradient" [];
+            call "diffuse" [];
+          ];
+      ])
+  in
+  let program =
+    program "srad"
+      ~globals:
+        [
+          array "img" [ var "npix" ];
+          array "coef" [ var "npix" ];
+          array "window" [ var "nwin" ];
+        ]
+      ([ main; sample; gradient; diffuse ] @ cold_funcs)
+  in
+  ( program,
+    [
+      ("n", Value.int n);
+      ("npix", Value.int npix);
+      ("nwin", Value.int 16384);
+      ("nsample", Value.int nsample);
+      ("niter", Value.int niter);
+    ] )

@@ -1,0 +1,8 @@
+(** SRAD — speckle-reducing anisotropic diffusion (paper §VI); its top
+    hot spots are the libm [exp] and [rand] calls, exercising the
+    semi-analytic library modeling of §IV-C. *)
+
+open Skope_skeleton
+open Skope_bet
+
+val make : scale:float -> Ast.program * (string * Value.t) list

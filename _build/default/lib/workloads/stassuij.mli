@@ -1,0 +1,8 @@
+(** STASSUIJ — GFMC two-body correlation kernel (paper §VI): sparse x
+    dense-complex multiply (68%) plus a butterfly exchange (23%); the
+    AXPY is the XL-vectorized loop the baseline model overestimates. *)
+
+open Skope_skeleton
+open Skope_bet
+
+val make : scale:float -> Ast.program * (string * Value.t) list

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Block_id Blockstat Build Core Float Hotpath Hotspot Invocations Libmix List Machines Parser Perf Quality String Value Work

@@ -1,0 +1,1 @@
+test/test_bet.ml: Alcotest Ast Block_id Bst Build Context Core Eval Float Hints List Node Parser String Value Work

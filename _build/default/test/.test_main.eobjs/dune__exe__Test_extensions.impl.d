@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Analysis Core Fmt Hw List Multinode Option Pipeline Sim Skeleton Workloads

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Abstract Alcotest Ast C_ast C_lexer C_parser Core List Parser Pretty String Validate

@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Core Float Fmt Libmix Machine Machines Roofline String Work

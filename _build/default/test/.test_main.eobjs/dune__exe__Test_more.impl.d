@@ -1,0 +1,1 @@
+test/test_more.ml: Alcotest Blockstat Build Core Float Fmt Hints Libmix List Machine Machines Microbench Node Parser Perf String Value Work

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Analysis Bet Core Fmt Hw List Pipeline Sim Skeleton Workloads

@@ -1,0 +1,1 @@
+test/test_props.ml: Array Ast Block_id Blockstat Build Builder Context Core Eval Float Fmt Hashtbl Hotspot List Node Option Parser Pretty QCheck QCheck_alcotest Quality Validate Value Work

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Chart Core Float Fmt Json List Render String Table

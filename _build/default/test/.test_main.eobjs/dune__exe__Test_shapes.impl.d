@@ -1,0 +1,1 @@
+test/test_shapes.ml: Alcotest Analysis Bet Core Float Fmt Hashtbl Hw List Pipeline Skeleton String Workloads

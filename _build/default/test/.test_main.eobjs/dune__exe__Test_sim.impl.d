@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Cache Core Counters Float Hints Interp List Machine Machines Parser Rng String Value

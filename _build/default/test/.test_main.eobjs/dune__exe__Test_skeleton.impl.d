@@ -1,0 +1,1 @@
+test/test_skeleton.ml: Alcotest Ast Builder Core Fmt Lexer List Loc Parser Pretty Validate

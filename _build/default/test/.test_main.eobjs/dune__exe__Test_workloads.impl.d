@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Ast Core Fmt List Loc Parser Pretty Registry String Validate

@@ -1,0 +1,394 @@
+(* Unit tests for performance projection, hot-spot selection, quality
+   metric and hot-path extraction. *)
+
+open Core.Skeleton
+open Core.Bet
+open Core.Analysis
+open Core.Hw
+
+let parse src = Parser.parse ~file:"t.skope" src
+
+let build ?inputs src =
+  Build.build ~lib_work:(Libmix.work_fn Libmix.default) ?inputs (parse src)
+
+let mkstat ?(size = 10) name time =
+  Blockstat.make
+    ~block:(Block_id.Fn name)
+    ~name ~time ~static_size:size ()
+
+(* --- Perf ------------------------------------------------------------- *)
+
+let test_perf_totals () =
+  let b =
+    build "program t\ndef main() { for i = 1 to 100 { comp flops=10 } }"
+  in
+  let proj = Perf.project Machines.bgq b in
+  Alcotest.(check bool) "positive total" true (proj.Perf.total_time > 0.);
+  Alcotest.(check (float 1e-12)) "total = sum of blocks"
+    proj.Perf.total_time
+    (Blockstat.total_time proj.Perf.blocks)
+
+let test_perf_loop_scaling () =
+  (* 10x the iterations => 10x the projected time (analysis is linear
+     in ENR, not re-simulated). *)
+  let time n =
+    let b =
+      build
+        ~inputs:[ ("n", Value.I n) ]
+        "program t\ndef main() { for i = 1 to n { comp flops=10 } }"
+    in
+    (Perf.project Machines.bgq b).Perf.total_time
+  in
+  Alcotest.(check (float 1e-9))
+    "linear in trips"
+    (10. *. time 1000)
+    (time 10000)
+
+let test_perf_exclusive_attribution () =
+  let b =
+    build
+      "program t\n\
+       def main() { for i = 1 to 10 { comp flops=5\n\
+       for j = 1 to 10 { comp flops=7 } } }"
+  in
+  let proj = Perf.project Machines.bgq b in
+  let outer, inner =
+    match
+      List.sort
+        (fun (a : Blockstat.t) b -> compare a.block b.block)
+        (List.filter
+           (fun (b : Blockstat.t) ->
+             match b.Blockstat.block with
+             | Block_id.Loop _ -> true
+             | _ -> false)
+           proj.Perf.blocks)
+    with
+    | [ a; b ] -> (a, b)
+    | _ -> Alcotest.fail "expected two loops"
+  in
+  Alcotest.(check (float 1e-9)) "outer flops exclusive" 50.
+    outer.Blockstat.work.Work.flops;
+  Alcotest.(check (float 1e-9)) "inner flops" 700.
+    inner.Blockstat.work.Work.flops
+
+let test_perf_ranked () =
+  let b =
+    build
+      "program t\n\
+       def main() { for i = 1 to 10 { comp flops=1 }\n\
+       for i = 1 to 1000 { comp flops=1 } }"
+  in
+  let proj = Perf.project Machines.bgq b in
+  match proj.Perf.blocks with
+  | first :: second :: _ ->
+    Alcotest.(check bool) "descending" true
+      (first.Blockstat.time >= second.Blockstat.time)
+  | _ -> Alcotest.fail "blocks"
+
+(* --- Hotspot ----------------------------------------------------------- *)
+
+let test_hotspot_selects_top () =
+  let blocks =
+    [ mkstat "a" 10.; mkstat "b" 5.; mkstat "c" 1.; mkstat "d" 0.1 ]
+  in
+  let sel = Hotspot.select ~total_instructions:1000 blocks in
+  match sel.Hotspot.spots with
+  | s1 :: _ ->
+    Alcotest.(check string) "top block first" "a" s1.Hotspot.stat.Blockstat.name
+  | [] -> Alcotest.fail "no spots selected"
+
+let test_hotspot_leanness_binds () =
+  (* Budget of 10% of 100 instructions = 10; each block is 10, so at
+     most one is selected even though coverage is unmet. *)
+  let blocks = [ mkstat "a" 10.; mkstat "b" 9.; mkstat "c" 8. ] in
+  let sel = Hotspot.select ~total_instructions:100 blocks in
+  Alcotest.(check int) "one spot fits" 1 (List.length sel.Hotspot.spots);
+  Alcotest.(check bool) "leanness respected" true
+    (sel.Hotspot.leanness <= 0.1 +. 1e-9)
+
+let test_hotspot_skips_oversized () =
+  (* A huge block that would blow the budget is skipped in favour of
+     smaller later blocks. *)
+  let blocks =
+    [ mkstat ~size:500 "huge" 10.; mkstat ~size:5 "small" 8.;
+      mkstat ~size:5 "tiny" 6. ]
+  in
+  let sel = Hotspot.select ~total_instructions:1000 blocks in
+  let names =
+    List.map (fun s -> s.Hotspot.stat.Blockstat.name) sel.Hotspot.spots
+  in
+  Alcotest.(check (list string)) "greedy skips" [ "small"; "tiny" ] names
+
+let test_hotspot_coverage_target_stops () =
+  let blocks =
+    [ mkstat ~size:1 "a" 95.; mkstat ~size:1 "b" 4.; mkstat ~size:1 "c" 1. ]
+  in
+  let sel = Hotspot.select ~total_instructions:1000 blocks in
+  Alcotest.(check int) "stops at 95% >= 90%" 1 (List.length sel.Hotspot.spots)
+
+let test_hotspot_custom_criteria () =
+  let blocks = [ mkstat ~size:1 "a" 50.; mkstat ~size:1 "b" 50. ] in
+  let sel =
+    Hotspot.select
+      ~criteria:{ Hotspot.time_coverage = 1.0; code_leanness = 1.0 }
+      ~total_instructions:10 blocks
+  in
+  Alcotest.(check int) "both selected" 2 (List.length sel.Hotspot.spots);
+  Alcotest.(check (float 1e-9)) "full coverage" 1.0 sel.Hotspot.coverage
+
+let test_hotspot_cumulative_coverage () =
+  let blocks = [ mkstat ~size:1 "a" 60.; mkstat ~size:1 "b" 40. ] in
+  let sel =
+    Hotspot.select
+      ~criteria:{ Hotspot.time_coverage = 1.0; code_leanness = 1.0 }
+      ~total_instructions:100 blocks
+  in
+  let cums = List.map (fun s -> s.Hotspot.cum_coverage) sel.Hotspot.spots in
+  Alcotest.(check (list (float 1e-9))) "cumulative" [ 0.6; 1.0 ] cums
+
+let test_hotspot_coverage_curve () =
+  let blocks = [ mkstat "a" 50.; mkstat "b" 30.; mkstat "c" 20. ] in
+  let curve = Hotspot.coverage_curve ~k:3 blocks in
+  Alcotest.(check (list (float 1e-9))) "curve" [ 0.5; 0.8; 1.0 ] curve
+
+let test_hotspot_empty () =
+  let sel = Hotspot.select ~total_instructions:100 [] in
+  Alcotest.(check int) "no spots" 0 (List.length sel.Hotspot.spots);
+  Alcotest.(check (float 0.)) "no coverage" 0. sel.Hotspot.coverage
+
+(* --- Quality ------------------------------------------------------------ *)
+
+let measured = [ mkstat "a" 50.; mkstat "b" 30.; mkstat "c" 15.; mkstat "d" 5. ]
+
+let test_quality_perfect () =
+  Alcotest.(check (float 1e-9)) "self quality" 1.
+    (Quality.quality ~measured ~candidate:measured ~k:3)
+
+let test_quality_reordered_top_k_equal () =
+  (* Same top-2 set in different order: quality over k=2 is still 1. *)
+  let candidate = [ mkstat "b" 99.; mkstat "a" 98.; mkstat "c" 1. ] in
+  Alcotest.(check (float 1e-9)) "set equality" 1.
+    (Quality.quality ~measured ~candidate ~k:2)
+
+let test_quality_miss_costs () =
+  (* The candidate's #1 is the measured #4: captured 5+50 vs best 50+30. *)
+  let candidate = [ mkstat "d" 99.; mkstat "a" 98. ] in
+  Alcotest.(check (float 1e-9)) "partial" (55. /. 80.)
+    (Quality.quality ~measured ~candidate ~k:2)
+
+let test_quality_unknown_block_zero () =
+  let candidate = [ mkstat "zz" 100. ] in
+  Alcotest.(check (float 1e-9)) "unknown captures nothing" 0.
+    (Quality.quality ~measured ~candidate ~k:1)
+
+let test_quality_curve_monotone_domain () =
+  let candidate = [ mkstat "b" 9.; mkstat "a" 8.; mkstat "d" 7.; mkstat "c" 6. ] in
+  let curve = Quality.curve ~measured ~candidate ~k:4 in
+  Alcotest.(check int) "length" 4 (List.length curve);
+  List.iter
+    (fun q -> Alcotest.(check bool) "in [0,1]" true (q >= 0. && q <= 1. +. 1e-9))
+    curve;
+  Alcotest.(check (float 1e-9)) "full k is 1" 1. (List.nth curve 3)
+
+let test_overlap () =
+  let a = [ mkstat "a" 9.; mkstat "b" 8.; mkstat "c" 7. ] in
+  let b = [ mkstat "c" 9.; mkstat "d" 8.; mkstat "a" 7. ] in
+  Alcotest.(check int) "2 of 3 shared" 2 (Quality.overlap ~a ~b ~k:3)
+
+let test_rank_agreement () =
+  let a = [ mkstat "a" 9.; mkstat "b" 8.; mkstat "c" 7. ] in
+  Alcotest.(check (float 1e-9)) "identical" 1.
+    (Quality.rank_agreement ~a ~b:a ~k:3);
+  let rev = [ mkstat "c" 9.; mkstat "b" 8.; mkstat "a" 7. ] in
+  Alcotest.(check (float 1e-9)) "reversed" 0.
+    (Quality.rank_agreement ~a ~b:rev ~k:3)
+
+(* --- Hotpath ------------------------------------------------------------- *)
+
+let hotpath_fixture () =
+  let b =
+    build
+      "program t\n\
+       def kernel() { @hot: for j = 1 to 100 { comp flops=50 } }\n\
+       def main() { for i = 1 to 10 { call kernel()\ncomp flops=1 } }"
+  in
+  let proj = Perf.project Machines.bgq b in
+  (b, proj)
+
+let test_hotpath_reaches_hot_spot () =
+  let b, proj = hotpath_fixture () in
+  let hot_block =
+    (List.hd proj.Perf.blocks).Blockstat.block
+  in
+  match
+    Hotpath.extract
+      ~selection:(Block_id.Set.singleton hot_block)
+      ~node_time:proj.Perf.node_time ~node_enr:proj.Perf.node_enr
+      b.Build.root
+  with
+  | None -> Alcotest.fail "no hot path"
+  | Some path ->
+    Alcotest.(check int) "one hot invocation" 1 (Hotpath.hot_invocations path);
+    (* Path: main -> loop -> kernel -> hot loop. *)
+    Alcotest.(check int) "path length" 4 (Hotpath.size path);
+    let chains = Hotpath.paths path in
+    Alcotest.(check int) "one chain" 1 (List.length chains);
+    Alcotest.(check int) "chain depth" 4 (List.length (List.hd chains))
+
+let test_hotpath_merges_shared_prefix () =
+  let b =
+    build
+      "program t\n\
+       def main() { for i = 1 to 10 { @h1: for a = 1 to 50 { comp flops=9 }\n\
+       @h2: for z = 1 to 50 { comp flops=9 } } }"
+  in
+  let proj = Perf.project Machines.bgq b in
+  let sel =
+    proj.Perf.blocks
+    |> List.filter (fun (s : Blockstat.t) ->
+           s.Blockstat.name = "h1" || s.Blockstat.name = "h2")
+    |> List.map (fun (s : Blockstat.t) -> s.Blockstat.block)
+    |> Block_id.Set.of_list
+  in
+  match
+    Hotpath.extract ~selection:sel ~node_time:proj.Perf.node_time
+      ~node_enr:proj.Perf.node_enr b.Build.root
+  with
+  | None -> Alcotest.fail "no hot path"
+  | Some path ->
+    (* main, outer loop shared; two hot leaves. *)
+    Alcotest.(check int) "merged size" 4 (Hotpath.size path);
+    Alcotest.(check int) "two hot spots" 2 (Hotpath.hot_invocations path)
+
+let test_hotpath_empty_selection () =
+  let b, proj = hotpath_fixture () in
+  Alcotest.(check bool) "none" true
+    (Hotpath.extract ~selection:Block_id.Set.empty
+       ~node_time:proj.Perf.node_time ~node_enr:proj.Perf.node_enr
+       b.Build.root
+    = None)
+
+(* --- Invocations --------------------------------------------------------- *)
+
+let test_invocations_two_sites () =
+  (* A kernel called from two places: the hot block must report two
+     invocation contexts with different repetition counts. *)
+  let b =
+    build
+      "program t\n\
+       def k(m) { @hot: for j = 1 to m { comp flops=5 } }\n\
+       def main() { call k(100)\nfor i = 1 to 10 { call k(20) } }"
+  in
+  let proj = Perf.project Machines.bgq b in
+  let hot =
+    List.find
+      (fun (s : Blockstat.t) -> String.equal s.Blockstat.name "hot")
+      proj.Perf.blocks
+  in
+  let invs = Invocations.of_block b proj hot.Blockstat.block in
+  Alcotest.(check int) "two invocation sites" 2 (List.length invs);
+  let enrs =
+    List.sort compare (List.map (fun i -> i.Invocations.enr) invs)
+  in
+  Alcotest.(check (list (float 1e-6))) "ENRs 100 and 200" [ 100.; 200. ] enrs;
+  List.iter
+    (fun (i : Invocations.invocation) ->
+      Alcotest.(check bool) "path starts at main" true
+        (match i.Invocations.call_path with
+        | "main" :: _ -> true
+        | _ -> false))
+    invs
+
+let test_invocations_times_sum () =
+  let b =
+    build
+      "program t\n\
+       def k() { @hot: for j = 1 to 50 { comp flops=5 } }\n\
+       def main() { call k()\ncall k() }"
+  in
+  let proj = Perf.project Machines.bgq b in
+  let hot =
+    List.find
+      (fun (s : Blockstat.t) -> String.equal s.Blockstat.name "hot")
+      proj.Perf.blocks
+  in
+  let invs = Invocations.of_block b proj hot.Blockstat.block in
+  let total = List.fold_left (fun a i -> a +. i.Invocations.time) 0. invs in
+  Alcotest.(check bool) "invocation times sum to the block's time" true
+    (Float.abs (total -. hot.Blockstat.time) < 1e-12)
+
+(* --- DOT export ----------------------------------------------------------- *)
+
+let test_dot_export () =
+  let b, proj = hotpath_fixture () in
+  let hot_block = (List.hd proj.Perf.blocks).Blockstat.block in
+  match
+    Hotpath.extract
+      ~selection:(Block_id.Set.singleton hot_block)
+      ~node_time:proj.Perf.node_time ~node_enr:proj.Perf.node_enr b.Build.root
+  with
+  | None -> Alcotest.fail "no hot path"
+  | Some path ->
+    let dot = Core.Report.Render.dot_of_hotpath ~graph_name:"t" path in
+    let contains needle =
+      let nh = String.length dot and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub dot i nn = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "digraph header" true (contains "digraph t {");
+    Alcotest.(check bool) "hot node filled" true (contains "fillcolor");
+    Alcotest.(check bool) "edges labeled with p" true (contains "p=");
+    Alcotest.(check bool) "closed" true (contains "}")
+
+let suite =
+  [
+    ( "analysis.invocations",
+      [
+        Alcotest.test_case "two call sites" `Quick test_invocations_two_sites;
+        Alcotest.test_case "times sum to block" `Quick
+          test_invocations_times_sum;
+        Alcotest.test_case "DOT export" `Quick test_dot_export;
+      ] );
+    ( "analysis.perf",
+      [
+        Alcotest.test_case "totals consistent" `Quick test_perf_totals;
+        Alcotest.test_case "linear in iterations" `Quick test_perf_loop_scaling;
+        Alcotest.test_case "exclusive attribution" `Quick
+          test_perf_exclusive_attribution;
+        Alcotest.test_case "ranked output" `Quick test_perf_ranked;
+      ] );
+    ( "analysis.hotspot",
+      [
+        Alcotest.test_case "selects top blocks" `Quick test_hotspot_selects_top;
+        Alcotest.test_case "leanness binds" `Quick test_hotspot_leanness_binds;
+        Alcotest.test_case "greedy skips oversized" `Quick
+          test_hotspot_skips_oversized;
+        Alcotest.test_case "stops at coverage target" `Quick
+          test_hotspot_coverage_target_stops;
+        Alcotest.test_case "custom criteria" `Quick test_hotspot_custom_criteria;
+        Alcotest.test_case "cumulative coverage" `Quick
+          test_hotspot_cumulative_coverage;
+        Alcotest.test_case "coverage curve" `Quick test_hotspot_coverage_curve;
+        Alcotest.test_case "empty input" `Quick test_hotspot_empty;
+      ] );
+    ( "analysis.quality",
+      [
+        Alcotest.test_case "perfect selection" `Quick test_quality_perfect;
+        Alcotest.test_case "set equality beats order" `Quick
+          test_quality_reordered_top_k_equal;
+        Alcotest.test_case "misses cost" `Quick test_quality_miss_costs;
+        Alcotest.test_case "unknown block" `Quick test_quality_unknown_block_zero;
+        Alcotest.test_case "quality curve" `Quick
+          test_quality_curve_monotone_domain;
+        Alcotest.test_case "top-k overlap" `Quick test_overlap;
+        Alcotest.test_case "rank agreement" `Quick test_rank_agreement;
+      ] );
+    ( "analysis.hotpath",
+      [
+        Alcotest.test_case "back-trace to root" `Quick
+          test_hotpath_reaches_hot_spot;
+        Alcotest.test_case "merge shared prefix" `Quick
+          test_hotpath_merges_shared_prefix;
+        Alcotest.test_case "empty selection" `Quick test_hotpath_empty_selection;
+      ] );
+  ]

@@ -1,0 +1,259 @@
+(* Tests for the extension modules: mini-app generation, multi-node
+   projection, and design-space exploration. *)
+
+open Core
+
+let bgq = Hw.Machines.bgq
+
+(* --- miniapp ---------------------------------------------------------- *)
+
+let mini_of ?(name = "cfd") ?(scale = 0.05) () =
+  let w = Workloads.Registry.find_exn name in
+  let r = Pipeline.run ~scale ~machine:bgq w in
+  let path = Option.get (Pipeline.hot_path r) in
+  (r, Analysis.Miniapp.generate ~program:r.Pipeline.program
+        ~inputs:r.Pipeline.inputs path)
+
+let test_miniapp_valid () =
+  let _, mini = mini_of () in
+  match
+    Skeleton.Validate.check
+      ~inputs:(List.map fst mini.Analysis.Miniapp.inputs)
+      mini.Analysis.Miniapp.program
+  with
+  | [] -> ()
+  | issues ->
+    Alcotest.failf "invalid mini-app: %a"
+      (Fmt.list ~sep:Fmt.semi Skeleton.Validate.pp_issue)
+      issues
+
+let test_miniapp_smaller () =
+  let _, mini = mini_of () in
+  Alcotest.(check bool) "strictly smaller" true
+    (mini.Analysis.Miniapp.retained_statements
+    < mini.Analysis.Miniapp.original_statements)
+
+let test_miniapp_roundtrips () =
+  let _, mini = mini_of () in
+  let text = Skeleton.Pretty.to_string mini.Analysis.Miniapp.program in
+  let p2 = Skeleton.Parser.parse ~file:"mini.skope" text in
+  Alcotest.(check int) "parses back"
+    (Skeleton.Ast.program_size mini.Analysis.Miniapp.program)
+    (Skeleton.Ast.program_size p2)
+
+let test_miniapp_time_representative () =
+  (* The mini-app's simulated time must approximate the hot spots'
+     share of the full application. *)
+  let r, mini = mini_of ~name:"cfd" ~scale:0.05 () in
+  let config = Sim.Interp.default_config ~machine:bgq () in
+  let mini_run =
+    Sim.Interp.run ~config ~inputs:mini.Analysis.Miniapp.inputs
+      mini.Analysis.Miniapp.program
+  in
+  let hot_share =
+    Pipeline.modl_measured_coverage r
+      ~k:(List.length r.Pipeline.model_sel.Analysis.Hotspot.spots)
+  in
+  let target = r.Pipeline.measured.total_time *. hot_share in
+  let ratio = mini_run.Sim.Interp.total_time /. target in
+  Alcotest.(check bool)
+    (Fmt.str "within 2x of hot share (ratio %.2f)" ratio)
+    true
+    (ratio > 0.5 && ratio < 2.)
+
+let test_miniapp_simulable_for_all_workloads () =
+  List.iter
+    (fun name ->
+      let _, mini = mini_of ~name () in
+      let config = Sim.Interp.default_config ~machine:bgq () in
+      let run =
+        Sim.Interp.run ~config ~inputs:mini.Analysis.Miniapp.inputs
+          mini.Analysis.Miniapp.program
+      in
+      Alcotest.(check bool)
+        (name ^ " mini-app runs")
+        true
+        (run.Sim.Interp.total_time > 0.))
+    [ "sord"; "cfd"; "srad"; "chargei"; "stassuij" ]
+
+(* --- multinode --------------------------------------------------------- *)
+
+let grid = { Multinode.Decompose.nx = 64; ny = 128; nz = 128 }
+
+let test_decompose_exact_cells () =
+  List.iter
+    (fun ranks ->
+      let d = Multinode.Decompose.best ~grid ~ranks in
+      Alcotest.(check int) "px*py*pz = ranks" ranks
+        Multinode.Decompose.(d.px * d.py * d.pz);
+      Alcotest.(check (float 1e-6)) "cells partitioned"
+        (float_of_int (64 * 128 * 128) /. float_of_int ranks)
+        d.Multinode.Decompose.cells_per_rank)
+    [ 1; 2; 4; 8; 16; 64; 128 ]
+
+let test_decompose_minimizes_surface () =
+  (* For a cubic-ish grid and 8 ranks, 2x2x2 beats 8x1x1. *)
+  let g = { Multinode.Decompose.nx = 128; ny = 128; nz = 128 } in
+  let d = Multinode.Decompose.best ~grid:g ~ranks:8 in
+  Alcotest.(check (list int)) "2x2x2" [ 2; 2; 2 ]
+    (List.sort compare Multinode.Decompose.[ d.px; d.py; d.pz ])
+
+let test_decompose_single_rank_no_halo () =
+  let d = Multinode.Decompose.best ~grid ~ranks:1 in
+  Alcotest.(check (float 0.)) "no halo" 0. d.Multinode.Decompose.halo_elems;
+  Alcotest.(check int) "no neighbors" 0 d.Multinode.Decompose.neighbors
+
+let test_decompose_rejects_zero () =
+  match Multinode.Decompose.best ~grid ~ranks:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let scaling_fixture network =
+  let spec = Multinode.Project.sord_spec ~nx:64 ~ny:128 ~nz:128 ~steps:10 in
+  Multinode.Project.strong_scaling ~spec ~network ~t_single:1.0
+    ~ranks_list:[ 1; 2; 4; 8; 16; 64; 256; 1024 ]
+    ()
+
+let test_scaling_monotone_compute () =
+  let s = scaling_fixture Multinode.Network.bgq_torus in
+  let rec check = function
+    | (a : Multinode.Project.point) :: (b :: _ as rest) ->
+      Alcotest.(check bool) "compute time shrinks" true
+        (b.Multinode.Project.t_compute <= a.Multinode.Project.t_compute +. 1e-12);
+      check rest
+    | _ -> ()
+  in
+  check s.Multinode.Project.points
+
+let test_scaling_efficiency_degrades () =
+  let s = scaling_fixture Multinode.Network.ethernet in
+  let first = List.hd s.Multinode.Project.points in
+  let last = List.nth s.Multinode.Project.points 7 in
+  Alcotest.(check (float 1e-9)) "eff(1) = 1" 1. first.Multinode.Project.efficiency;
+  Alcotest.(check bool) "eff decays" true
+    (last.Multinode.Project.efficiency < first.Multinode.Project.efficiency)
+
+let test_scaling_speedup_bounded () =
+  let s = scaling_fixture Multinode.Network.infiniband in
+  List.iter
+    (fun (p : Multinode.Project.point) ->
+      Alcotest.(check bool) "speedup <= ranks" true
+        (p.Multinode.Project.speedup
+        <= float_of_int p.Multinode.Project.ranks +. 1e-9))
+    s.Multinode.Project.points
+
+let test_crossover_network_dependence () =
+  (* A slower network must cross over no later than a faster one. *)
+  let co n =
+    Option.value ~default:max_int
+      (Multinode.Project.comm_crossover ~threshold:0.3 (scaling_fixture n))
+  in
+  Alcotest.(check bool) "ethernet crosses earlier or equal" true
+    (co Multinode.Network.ethernet <= co Multinode.Network.bgq_torus)
+
+let test_exchange_time_monotone () =
+  let n = Multinode.Network.infiniband in
+  Alcotest.(check bool) "more bytes, more time" true
+    (Multinode.Network.exchange_time n ~messages:6 ~bytes:1e6
+    > Multinode.Network.exchange_time n ~messages:6 ~bytes:1e3)
+
+(* --- designspace -------------------------------------------------------- *)
+
+let test_variants_change_machine () =
+  let vs =
+    Hw.Designspace.variants bgq (Hw.Designspace.Mem_bandwidth [ 1.; 2. ])
+  in
+  Alcotest.(check int) "two variants" 2 (List.length vs);
+  List.iter2
+    (fun (_, (m : Hw.Machine.t)) v ->
+      Alcotest.(check (float 1e-9)) "bandwidth set" v m.Hw.Machine.mem_bw_gbs)
+    vs [ 1.; 2. ]
+
+let test_bandwidth_sweep_moves_projection () =
+  let w = Workloads.Registry.find_exn "cfd" in
+  let time m =
+    (Pipeline.analyze ~machine:m ~workload:w ~scale:0.1 ()).Pipeline
+      .a_projection.Analysis.Perf.total_time
+  in
+  let vs =
+    Hw.Designspace.variants bgq (Hw.Designspace.Mem_bandwidth [ 0.1; 10. ])
+  in
+  match List.map (fun (_, m) -> time m) vs with
+  | [ slow; fast ] ->
+    Alcotest.(check bool) "starved bandwidth is slower" true (slow > fast)
+  | _ -> Alcotest.fail "unexpected"
+
+let test_latency_sweep_monotone () =
+  let w = Workloads.Registry.find_exn "sord" in
+  let times =
+    Hw.Designspace.variants bgq
+      (Hw.Designspace.Mem_latency [ 90.; 180.; 360. ])
+    |> List.map (fun (_, m) ->
+           (Pipeline.analyze ~machine:m ~workload:w ~scale:0.1 ()).Pipeline
+             .a_projection.Analysis.Perf.total_time)
+  in
+  let rec mono = function
+    | a :: (b :: _ as rest) -> a <= b +. 1e-12 && mono rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone in latency" true (mono times)
+
+let test_frequency_speeds_compute () =
+  let w = Workloads.Registry.find_exn "stassuij" in
+  let vs = Hw.Designspace.variants bgq (Hw.Designspace.Frequency [ 0.8; 3.2 ]) in
+  let t =
+    List.map
+      (fun (_, m) ->
+        (Pipeline.analyze ~machine:m ~workload:w ~scale:0.2 ()).Pipeline
+          .a_projection.Analysis.Perf.total_time)
+      vs
+  in
+  match t with
+  | [ slow; fast ] -> Alcotest.(check bool) "higher clock faster" true (slow > fast)
+  | _ -> Alcotest.fail "unexpected"
+
+let suite =
+  [
+    ( "miniapp",
+      [
+        Alcotest.test_case "generated program validates" `Quick
+          test_miniapp_valid;
+        Alcotest.test_case "smaller than original" `Quick test_miniapp_smaller;
+        Alcotest.test_case "DSL round trip" `Quick test_miniapp_roundtrips;
+        Alcotest.test_case "time representative" `Quick
+          test_miniapp_time_representative;
+        Alcotest.test_case "all workloads simulable" `Slow
+          test_miniapp_simulable_for_all_workloads;
+      ] );
+    ( "multinode",
+      [
+        Alcotest.test_case "decomposition partitions cells" `Quick
+          test_decompose_exact_cells;
+        Alcotest.test_case "surface minimized" `Quick
+          test_decompose_minimizes_surface;
+        Alcotest.test_case "single rank no halo" `Quick
+          test_decompose_single_rank_no_halo;
+        Alcotest.test_case "rejects zero ranks" `Quick
+          test_decompose_rejects_zero;
+        Alcotest.test_case "compute time shrinks" `Quick
+          test_scaling_monotone_compute;
+        Alcotest.test_case "efficiency degrades" `Quick
+          test_scaling_efficiency_degrades;
+        Alcotest.test_case "speedup bounded by ranks" `Quick
+          test_scaling_speedup_bounded;
+        Alcotest.test_case "crossover network dependence" `Quick
+          test_crossover_network_dependence;
+        Alcotest.test_case "exchange time monotone" `Quick
+          test_exchange_time_monotone;
+      ] );
+    ( "designspace",
+      [
+        Alcotest.test_case "variants set the parameter" `Quick
+          test_variants_change_machine;
+        Alcotest.test_case "bandwidth moves projection" `Quick
+          test_bandwidth_sweep_moves_projection;
+        Alcotest.test_case "latency monotone" `Quick test_latency_sweep_monotone;
+        Alcotest.test_case "frequency speeds compute" `Quick
+          test_frequency_speeds_compute;
+      ] );
+  ]

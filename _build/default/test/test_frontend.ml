@@ -1,0 +1,341 @@
+(* Tests for the mini-C frontend: lexer, parser, and the abstraction
+   pass (the paper's source-to-source application analysis engine). *)
+
+open Core.Frontend
+open Core.Skeleton
+
+let parse_c src = C_parser.parse src
+let lower src = Abstract.lower (parse_c src)
+
+(* Find the first skeleton statement satisfying [pred]. *)
+let find_stmt (p : Ast.program) pred =
+  Ast.fold_program
+    (fun acc s -> match acc with Some _ -> acc | None -> if pred s then Some s else None)
+    None p
+
+let comp_counts (p : Ast.program) =
+  Ast.fold_program
+    (fun (f, i, d) s ->
+      match s.Ast.kind with
+      | Ast.Comp { flops = Ast.Int fl; iops = Ast.Int io; divs = Ast.Int dv; _ }
+        ->
+        (f + fl, i + io, d + dv)
+      | _ -> (f, i, d))
+    (0, 0, 0) p
+
+(* --- lexer -------------------------------------------------------------- *)
+
+let test_clex_comments () =
+  let toks = C_lexer.tokenize "a /* multi\nline */ b // trailing\nc" in
+  Alcotest.(check int) "3 idents + eof" 4 (List.length toks)
+
+let test_clex_compound_ops () =
+  let kinds = List.map (fun t -> t.C_lexer.tok) (C_lexer.tokenize "++ += <= == && !=") in
+  Alcotest.(check bool) "ops" true
+    (kinds
+    = C_lexer.[ PLUSPLUS; PLUSEQ; LE; EQ; ANDAND; NE; EOF ])
+
+let test_clex_float_suffix () =
+  match C_lexer.tokenize "1.5f 2e3 7" |> List.map (fun t -> t.C_lexer.tok) with
+  | [ C_lexer.FLOAT_LIT a; C_lexer.FLOAT_LIT b; C_lexer.INT_LIT 7; C_lexer.EOF ]
+    ->
+    Alcotest.(check (float 1e-9)) "1.5f" 1.5 a;
+    Alcotest.(check (float 1e-9)) "2e3" 2000. b
+  | _ -> Alcotest.fail "literals"
+
+let test_clex_rejects_bitand () =
+  match C_lexer.tokenize "a & b" with
+  | exception C_lexer.Error (_, _) -> ()
+  | _ -> Alcotest.fail "expected error"
+
+(* --- parser ------------------------------------------------------------- *)
+
+let test_cparse_shapes () =
+  let p =
+    parse_c
+      "param int n;\n\
+       double a[n];\n\
+       void main() { for (int i = 0; i < n; i++) { a[i] = 1.0; } }"
+  in
+  Alcotest.(check int) "three declarations" 3 (List.length p)
+
+let test_cparse_for_canonical_only () =
+  match parse_c "void main() { for (int i = 0; i > 10; i++) { } }" with
+  | exception C_parser.Error (_, _) -> ()
+  | _ -> Alcotest.fail "descending loops must be rejected"
+
+let test_cparse_compound_assign () =
+  let p = parse_c "param int n;\ndouble a[n];\nvoid main() { a[0] += 2.0; }" in
+  match C_ast.find_func p "main" with
+  | Some (_, [ { C_ast.skind = C_ast.Assign (_, C_ast.Bin (C_ast.Add, _, _)); _ } ])
+    ->
+    ()
+  | _ -> Alcotest.fail "+= desugars to assignment"
+
+let test_cparse_error_line () =
+  match parse_c "void main() {\n  int x = ;\n}" with
+  | exception C_parser.Error (line, _) -> Alcotest.(check int) "line" 2 line
+  | _ -> Alcotest.fail "expected parse error"
+
+(* --- abstraction: counting ---------------------------------------------- *)
+
+let test_abs_flop_counting () =
+  (* 0.25 * (a+b+c+d): 3 float adds + 1 mul = 4 flops. *)
+  let r =
+    lower
+      "param int n;\n\
+       double a[n];\n\
+       void main() { for (int i = 1; i < n - 1; i++) {\n\
+       a[i] = 0.25 * (a[i+1] + a[i-1] + a[i] + a[i]); } }"
+  in
+  let f, _, d = comp_counts r.Abstract.program in
+  Alcotest.(check int) "4 flops" 4 f;
+  Alcotest.(check int) "0 divs" 0 d
+
+let test_abs_div_counting () =
+  let r =
+    lower
+      "param int n;\ndouble a[n];\n\
+       void main() { for (int i = 0; i < n; i++) { a[i] = a[i] / 3.0; } }"
+  in
+  let f, _, d = comp_counts r.Abstract.program in
+  Alcotest.(check int) "1 flop" 1 f;
+  Alcotest.(check int) "1 div" 1 d
+
+let test_abs_int_ops_not_flops () =
+  let r =
+    lower "param int n;\nvoid main() { int x;\nx = (n + 3) * 2 % 5; }"
+  in
+  let f, _, _ = comp_counts r.Abstract.program in
+  Alcotest.(check int) "no flops in integer code" 0 f
+
+let test_abs_load_dedupe () =
+  (* (a[i]-b[i])*(a[i]-b[i]) reads each element once after CSE. *)
+  let r =
+    lower
+      "param int n;\ndouble a[n];\ndouble b[n];\ndouble c[n];\n\
+       void main() { for (int i = 0; i < n; i++) {\n\
+       c[i] = (a[i] - b[i]) * (a[i] - b[i]); } }"
+  in
+  let loads =
+    Ast.fold_program
+      (fun acc s ->
+        match s.Ast.kind with
+        | Ast.Mem { loads; _ } -> acc + List.length loads
+        | _ -> acc)
+      0 r.Abstract.program
+  in
+  Alcotest.(check int) "two distinct loads" 2 loads
+
+let test_abs_libm_lowering () =
+  let r =
+    lower
+      "param int n;\ndouble a[n];\n\
+       void main() { for (int i = 0; i < n; i++) { a[i] = exp(a[i]); } }"
+  in
+  let libs =
+    Ast.fold_program
+      (fun acc s ->
+        match s.Ast.kind with Ast.Lib { name; _ } -> name :: acc | _ -> acc)
+      [] r.Abstract.program
+  in
+  Alcotest.(check (list string)) "exp lowered to lib" [ "exp" ] libs
+
+(* --- abstraction: control flow ------------------------------------------ *)
+
+let test_abs_analyzable_branch_stays_static () =
+  let r =
+    lower
+      "param int n;\nvoid main() { int x;\nx = 3;\n\
+       if (x < n) { x = 4; } }"
+  in
+  match
+    find_stmt r.Abstract.program (fun s ->
+        match s.Ast.kind with Ast.If _ -> true | _ -> false)
+  with
+  | Some { Ast.kind = Ast.If { cond = Ast.Cexpr _; _ }; _ } -> ()
+  | _ -> Alcotest.fail "tracked condition must remain analyzable"
+
+let test_abs_data_branch_detected () =
+  let r =
+    lower
+      "param int n;\ndouble a[n];\n\
+       void main() { for (int i = 0; i < n; i++) {\n\
+       if (a[i] > 0.5) { a[i] = 0.0; } } }"
+  in
+  match
+    find_stmt r.Abstract.program (fun s ->
+        match s.Ast.kind with Ast.If _ -> true | _ -> false)
+  with
+  | Some { Ast.kind = Ast.If { cond = Ast.Cdata _; _ }; _ } -> ()
+  | _ -> Alcotest.fail "memory-dependent condition must become a data branch"
+
+let test_abs_prob_annotation () =
+  let r =
+    lower
+      "param int n;\ndouble a[n];\n\
+       void main() { for (int i = 0; i < n; i++) {\n\
+       if (__prob(a[i] > 0.5, 0.07)) { a[i] = 0.0; } } }"
+  in
+  match
+    find_stmt r.Abstract.program (fun s ->
+        match s.Ast.kind with Ast.If _ -> true | _ -> false)
+  with
+  | Some { Ast.kind = Ast.If { cond = Ast.Cdata { p = Ast.Float p; _ }; _ }; _ }
+    ->
+    Alcotest.(check (float 1e-9)) "declared probability" 0.07 p
+  | _ -> Alcotest.fail "__prob must produce a data branch with declared p"
+
+let test_abs_while_profiled () =
+  let r =
+    lower
+      "void main() { double e;\ne = 1.0;\nwhile (e > 0.1) { e = e * 0.5; } }"
+  in
+  match
+    find_stmt r.Abstract.program (fun s ->
+        match s.Ast.kind with Ast.While _ -> true | _ -> false)
+  with
+  | Some _ -> ()
+  | None -> Alcotest.fail "while must lower to a profiled loop"
+
+let test_abs_indirection_surrogate () =
+  let r =
+    lower
+      "param int n;\ndouble x[n];\nint idx[n];\ndouble y[n];\n\
+       void main() { for (int i = 0; i < n; i++) { int c;\n\
+       c = idx[i];\ny[i] = x[c]; } }"
+  in
+  Alcotest.(check bool) "warned about surrogate" true
+    (List.exists
+       (fun w ->
+         let has =
+           let n = String.length w in
+           n >= 13 &&
+           let rec go i = i + 13 <= n && (String.sub w i 13 = "pseudo-random" || go (i+1)) in
+           go 0
+         in
+         has)
+       r.Abstract.warnings);
+  (* The generated program must still validate with only the params
+     bound. *)
+  Alcotest.(check int) "validates" 0
+    (List.length
+       (Validate.check ~inputs:(List.map fst r.Abstract.params)
+          r.Abstract.program))
+
+let test_abs_vectorization_heuristic () =
+  let vec_of src =
+    let r = lower src in
+    Ast.fold_program
+      (fun acc s ->
+        match s.Ast.kind with
+        | Ast.Comp { vec; _ } -> max acc vec
+        | _ -> acc)
+      1 r.Abstract.program
+  in
+  Alcotest.(check int) "unit stride vectorizes" 4
+    (vec_of
+       "param int n;\ndouble a[n];\ndouble b[n];\n\
+        void main() { for (int i = 0; i < n; i++) { a[i] = b[i] + 1.0; } }");
+  Alcotest.(check int) "branchy body stays scalar" 1
+    (vec_of
+       "param int n;\ndouble a[n];\n\
+        void main() { for (int i = 0; i < n; i++) {\n\
+        if (a[i] > 0.0) { a[i] = 0.0; } } }");
+  Alcotest.(check int) "strided access stays scalar" 1
+    (vec_of
+       "param int n;\ndouble a[n];\n\
+        void main() { for (int i = 0; i < n; i++) { a[i * 8 % n] = 1.0; } }")
+
+(* --- end to end ---------------------------------------------------------- *)
+
+let heat2d_src =
+  "param int n;\nparam int maxiter;\n\
+   double t_old[n][n];\ndouble t_new[n][n];\n\
+   void sweep() {\n\
+   for (int i = 1; i < n - 1; i++) {\n\
+   for (int j = 1; j < n - 1; j++) {\n\
+   t_new[i][j] = 0.25 * (t_old[i+1][j] + t_old[i-1][j] + t_old[i][j+1] + t_old[i][j-1]);\n\
+   } } }\n\
+   void main() { int it;\nit = 0;\n\
+   while (it < maxiter) { sweep();\nit = it + 1; } }"
+
+let test_abs_end_to_end_pipeline () =
+  let r = lower heat2d_src in
+  let inputs =
+    [ ("n", Core.Bet.Value.int 64); ("maxiter", Core.Bet.Value.int 8) ]
+  in
+  Validate.check_exn ~inputs:(List.map fst inputs) r.Abstract.program;
+  (* Profile, build the BET with the profile, project, and check the
+     hot spot is the stencil loop. *)
+  let config = Core.Sim.Interp.default_config ~machine:Core.Hw.Machines.bgq () in
+  let sim = Core.Sim.Interp.run ~config ~inputs r.Abstract.program in
+  Alcotest.(check bool) "simulates" true (sim.Core.Sim.Interp.total_time > 0.);
+  let built =
+    Core.Bet.Build.build ~hints:sim.Core.Sim.Interp.hints
+      ~lib_work:(Core.Hw.Libmix.work_fn Core.Hw.Libmix.default)
+      ~inputs r.Abstract.program
+  in
+  let proj = Core.Analysis.Perf.project Core.Hw.Machines.bgq built in
+  match proj.Core.Analysis.Perf.blocks with
+  | top :: _ ->
+    Alcotest.(check bool) "stencil loop is the hot spot" true
+      (String.length top.Core.Analysis.Blockstat.name >= 3
+      && String.sub top.Core.Analysis.Blockstat.name 0 3 = "for")
+  | [] -> Alcotest.fail "no blocks"
+
+let test_abs_skeleton_roundtrips () =
+  let r = lower heat2d_src in
+  let text = Pretty.to_string r.Abstract.program in
+  let p2 = Parser.parse ~file:"gen.skope" text in
+  Alcotest.(check int) "pretty/parse round trip"
+    (Ast.program_size r.Abstract.program)
+    (Ast.program_size p2)
+
+let test_abs_requires_main () =
+  match lower "param int n;\nvoid helper() { return; }" with
+  | exception Abstract.Error (_, _) -> ()
+  | _ -> Alcotest.fail "missing main must be an error"
+
+let suite =
+  [
+    ( "frontend.lexer",
+      [
+        Alcotest.test_case "comments" `Quick test_clex_comments;
+        Alcotest.test_case "compound operators" `Quick test_clex_compound_ops;
+        Alcotest.test_case "float literals" `Quick test_clex_float_suffix;
+        Alcotest.test_case "rejects bitwise and" `Quick test_clex_rejects_bitand;
+      ] );
+    ( "frontend.parser",
+      [
+        Alcotest.test_case "declaration shapes" `Quick test_cparse_shapes;
+        Alcotest.test_case "canonical for only" `Quick
+          test_cparse_for_canonical_only;
+        Alcotest.test_case "compound assignment" `Quick
+          test_cparse_compound_assign;
+        Alcotest.test_case "error line numbers" `Quick test_cparse_error_line;
+      ] );
+    ( "frontend.abstract",
+      [
+        Alcotest.test_case "flop counting" `Quick test_abs_flop_counting;
+        Alcotest.test_case "division counting" `Quick test_abs_div_counting;
+        Alcotest.test_case "integer ops" `Quick test_abs_int_ops_not_flops;
+        Alcotest.test_case "load dedupe (CSE)" `Quick test_abs_load_dedupe;
+        Alcotest.test_case "libm lowering" `Quick test_abs_libm_lowering;
+        Alcotest.test_case "analyzable branch" `Quick
+          test_abs_analyzable_branch_stays_static;
+        Alcotest.test_case "data branch detection" `Quick
+          test_abs_data_branch_detected;
+        Alcotest.test_case "__prob annotation" `Quick test_abs_prob_annotation;
+        Alcotest.test_case "while profiled" `Quick test_abs_while_profiled;
+        Alcotest.test_case "indirection surrogate" `Quick
+          test_abs_indirection_surrogate;
+        Alcotest.test_case "vectorization heuristic" `Quick
+          test_abs_vectorization_heuristic;
+        Alcotest.test_case "end-to-end pipeline" `Quick
+          test_abs_end_to_end_pipeline;
+        Alcotest.test_case "generated skeleton round trips" `Quick
+          test_abs_skeleton_roundtrips;
+        Alcotest.test_case "requires main" `Quick test_abs_requires_main;
+      ] );
+  ]

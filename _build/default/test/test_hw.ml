@@ -1,0 +1,223 @@
+(* Unit tests for machine models, the extended roofline, and library
+   instruction mixes. *)
+
+open Core.Hw
+open Core.Bet
+
+let bgq = Machines.bgq
+let xeon = Machines.xeon
+
+let compute_work = Work.of_comp ~flops:1000. ~iops:100. ~divs:0. ~vec:1
+
+let memory_work =
+  Work.of_mem ~loads:1000. ~stores:500. ~lbytes:8000. ~sbytes:4000.
+
+(* --- machines -------------------------------------------------------- *)
+
+let test_machine_peaks () =
+  (* BG/Q: 1.6 GHz, FMA, 4-wide QPX -> 12.8 GF peak per core. *)
+  Alcotest.(check (float 1e6)) "BG/Q peak" 12.8e9 (Machine.peak_flops bgq);
+  Alcotest.(check (float 1e6)) "BG/Q scalar" 3.2e9 (Machine.scalar_flops bgq)
+
+let test_machine_find_aliases () =
+  Alcotest.(check bool) "bgq alias" true (Machines.find "bgq" <> None);
+  Alcotest.(check bool) "BG/Q exact" true (Machines.find "BG/Q" <> None);
+  Alcotest.(check bool) "xeon" true (Machines.find "Xeon" <> None);
+  Alcotest.(check bool) "unknown" true (Machines.find "cray" = None)
+
+let test_machine_find_exn () =
+  match Machines.find_exn "nope" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+(* --- roofline --------------------------------------------------------- *)
+
+let test_roofline_zero_work () =
+  let b = Roofline.estimate bgq Work.zero in
+  Alcotest.(check (float 0.)) "zero time" 0. b.Roofline.total
+
+let test_roofline_compute_bound () =
+  let b = Roofline.estimate bgq compute_work in
+  Alcotest.(check bool) "compute bound" true (b.Roofline.bound = Roofline.Compute_bound);
+  Alcotest.(check bool) "tc dominates" true (b.Roofline.tc > b.Roofline.tm)
+
+let test_roofline_memory_bound () =
+  let b = Roofline.estimate bgq memory_work in
+  Alcotest.(check bool) "memory bound" true
+    (b.Roofline.bound = Roofline.Memory_bound)
+
+let test_roofline_total_identity () =
+  let w = Work.add compute_work memory_work in
+  let b = Roofline.estimate bgq w in
+  Alcotest.(check (float 1e-15)) "T = Tc + Tm - To" b.Roofline.total
+    (b.Roofline.tc +. b.Roofline.tm -. b.Roofline.t_overlap);
+  Alcotest.(check bool) "overlap bounded" true
+    (b.Roofline.t_overlap <= Float.min b.Roofline.tc b.Roofline.tm +. 1e-18)
+
+let test_roofline_overlap_grows_with_flops () =
+  (* delta = 1 - 1/flops: small blocks cannot overlap. *)
+  Alcotest.(check (float 1e-12)) "1 flop, no overlap" 0.
+    (Roofline.overlap_degree ~flops:1.);
+  Alcotest.(check bool) "monotone" true
+    (Roofline.overlap_degree ~flops:10. < Roofline.overlap_degree ~flops:100.)
+
+let test_roofline_div_awareness () =
+  let w = Work.of_comp ~flops:100. ~iops:0. ~divs:100. ~vec:1 in
+  let base = Roofline.estimate bgq w in
+  let aware =
+    Roofline.estimate ~opts:{ Roofline.default_opts with div_aware = true } bgq
+      w
+  in
+  Alcotest.(check bool) "divisions cost more when modeled" true
+    (aware.Roofline.tc > base.Roofline.tc *. 5.)
+
+let test_roofline_vector_awareness () =
+  let w = Work.of_comp ~flops:1000. ~iops:0. ~divs:0. ~vec:4 in
+  let base = Roofline.estimate bgq w in
+  let aware =
+    Roofline.estimate
+      ~opts:{ Roofline.default_opts with vector_aware = true }
+      bgq w
+  in
+  Alcotest.(check bool) "vectorization reduces projected time" true
+    (aware.Roofline.tc < base.Roofline.tc)
+
+let test_roofline_hit_ratio_effect () =
+  let cold =
+    Roofline.estimate
+      ~opts:{ Roofline.default_opts with hit_l1 = 0.5; hit_l2 = 0.5 }
+      bgq memory_work
+  in
+  let warm =
+    Roofline.estimate
+      ~opts:{ Roofline.default_opts with hit_l1 = 0.99; hit_l2 = 0.99 }
+      bgq memory_work
+  in
+  Alcotest.(check bool) "lower hit ratio costs more" true
+    (cold.Roofline.tm > warm.Roofline.tm)
+
+let test_roofline_attainable () =
+  (* Below the ridge point performance is bandwidth-limited. *)
+  let low = Roofline.attainable bgq ~oi:0.1 in
+  Alcotest.(check (float 1.)) "bw limited"
+    (0.1 *. bgq.Machine.mem_bw_gbs *. 1e9)
+    low;
+  let high = Roofline.attainable bgq ~oi:1e6 in
+  Alcotest.(check (float 1.)) "peak limited" (Machine.peak_flops bgq) high
+
+let test_roofline_machines_differ () =
+  let w = Work.add compute_work memory_work in
+  let b1 = (Roofline.estimate bgq w).Roofline.total in
+  let b2 = (Roofline.estimate xeon w).Roofline.total in
+  Alcotest.(check bool) "different projections" true
+    (Float.abs (b1 -. b2) > 1e-12)
+
+let test_roofline_ilp () =
+  let w = Work.of_comp ~flops:10. ~iops:1000. ~divs:0. ~vec:1 in
+  let perfect = Roofline.estimate bgq w in
+  let realistic =
+    Roofline.estimate ~opts:{ Roofline.default_opts with ilp = 0.5 } bgq w
+  in
+  Alcotest.(check bool) "lower ILP is slower" true
+    (realistic.Roofline.tc > perfect.Roofline.tc *. 1.5);
+  (* ilp is clamped away from zero. *)
+  let degenerate =
+    Roofline.estimate ~opts:{ Roofline.default_opts with ilp = 0. } bgq w
+  in
+  Alcotest.(check bool) "clamped" true
+    (Float.is_finite degenerate.Roofline.total)
+
+let test_roofline_bound_classification () =
+  let b m w = (Roofline.estimate m w).Roofline.bound in
+  Alcotest.(check bool) "pure flops compute-bound" true
+    (b bgq (Work.of_comp ~flops:1e6 ~iops:0. ~divs:0. ~vec:1)
+    = Roofline.Compute_bound);
+  Alcotest.(check bool) "pure streaming memory-bound" true
+    (b bgq (Work.of_mem ~loads:1e6 ~stores:0. ~lbytes:8e6 ~sbytes:0.)
+    = Roofline.Memory_bound)
+
+let test_machine_pp () =
+  let s = Fmt.str "%a" Machine.pp bgq in
+  Alcotest.(check bool) "mentions name" true
+    (let n = String.length s in
+     let rec go i = i + 4 <= n && (String.sub s i 4 = "BG/Q" || go (i + 1)) in
+     go 0)
+
+(* --- libmix ------------------------------------------------------------ *)
+
+let test_libmix_defaults () =
+  Alcotest.(check bool) "exp registered" true (Libmix.find Libmix.default "exp" <> None);
+  Alcotest.(check bool) "rand registered" true
+    (Libmix.find Libmix.default "rand" <> None);
+  Alcotest.(check bool) "unknown absent" true
+    (Libmix.find Libmix.default "fft" = None)
+
+let test_libmix_work_fn () =
+  match Libmix.work_fn Libmix.default "exp" with
+  | Some w -> Alcotest.(check bool) "exp has flops" true (w.Work.flops > 0.)
+  | None -> Alcotest.fail "exp profile"
+
+let test_libmix_register () =
+  let p =
+    Libmix.mk "fft" ~flops:100. ~iops:50. ~divs:0. ~loads:10. ~stores:10.
+      ~lbytes:80. ~sbytes:80. ()
+  in
+  let t = Libmix.register Libmix.default p in
+  Alcotest.(check bool) "registered" true (Libmix.find t "fft" <> None)
+
+let test_libmix_measure_averages () =
+  (* Averaging randomized instances (paper §IV-C). *)
+  let sample i =
+    Work.of_comp ~flops:(float_of_int (10 + (i mod 3))) ~iops:0. ~divs:0.
+      ~vec:1
+  in
+  let p = Libmix.measure ~name:"var" ~runs:300 sample in
+  Alcotest.(check (float 0.1)) "mean flops ~11" 11. p.Libmix.per_call.Work.flops
+
+let test_libmix_measure_invalid () =
+  match Libmix.measure ~name:"x" ~runs:0 (fun _ -> Work.zero) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let suite =
+  [
+    ( "hw.machine",
+      [
+        Alcotest.test_case "peak flops" `Quick test_machine_peaks;
+        Alcotest.test_case "find aliases" `Quick test_machine_find_aliases;
+        Alcotest.test_case "find_exn" `Quick test_machine_find_exn;
+      ] );
+    ( "hw.roofline",
+      [
+        Alcotest.test_case "zero work" `Quick test_roofline_zero_work;
+        Alcotest.test_case "compute bound" `Quick test_roofline_compute_bound;
+        Alcotest.test_case "memory bound" `Quick test_roofline_memory_bound;
+        Alcotest.test_case "T identity" `Quick test_roofline_total_identity;
+        Alcotest.test_case "overlap degree" `Quick
+          test_roofline_overlap_grows_with_flops;
+        Alcotest.test_case "division awareness" `Quick
+          test_roofline_div_awareness;
+        Alcotest.test_case "vector awareness" `Quick
+          test_roofline_vector_awareness;
+        Alcotest.test_case "hit ratio effect" `Quick
+          test_roofline_hit_ratio_effect;
+        Alcotest.test_case "attainable roofline" `Quick
+          test_roofline_attainable;
+        Alcotest.test_case "machines differ" `Quick
+          test_roofline_machines_differ;
+        Alcotest.test_case "ILP refinement" `Quick test_roofline_ilp;
+        Alcotest.test_case "bound classification" `Quick
+          test_roofline_bound_classification;
+        Alcotest.test_case "machine pretty-print" `Quick test_machine_pp;
+      ] );
+    ( "hw.libmix",
+      [
+        Alcotest.test_case "defaults" `Quick test_libmix_defaults;
+        Alcotest.test_case "work_fn" `Quick test_libmix_work_fn;
+        Alcotest.test_case "register" `Quick test_libmix_register;
+        Alcotest.test_case "measure averages" `Quick
+          test_libmix_measure_averages;
+        Alcotest.test_case "measure rejects zero runs" `Quick
+          test_libmix_measure_invalid;
+      ] );
+  ]

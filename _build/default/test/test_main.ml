@@ -1,0 +1,20 @@
+(* Aggregated alcotest entry point; suites live in the test_* modules. *)
+
+let () =
+  Alcotest.run "skope"
+    (List.concat
+       [
+         Test_skeleton.suite;
+         Test_bet.suite;
+         Test_hw.suite;
+         Test_analysis.suite;
+         Test_sim.suite;
+         Test_workloads.suite;
+         Test_frontend.suite;
+         Test_pipeline.suite;
+         Test_extensions.suite;
+         Test_report.suite;
+         Test_more.suite;
+         Test_shapes.suite;
+         Test_props.suite;
+       ])

@@ -1,0 +1,375 @@
+(* Additional depth tests: the footprint cache model, interpreter
+   cost-model details, and BET edge cases not covered by the basic
+   suites. *)
+
+open Core.Skeleton
+open Core.Bet
+open Core.Analysis
+open Core.Hw
+
+let bgq = Machines.bgq
+let xeon = Machines.xeon
+
+let parse src = Parser.parse ~file:"t.skope" src
+
+let build ?inputs src =
+  Build.build ~lib_work:(Libmix.work_fn Libmix.default) ?inputs (parse src)
+
+let project ?cache ?(machine = bgq) b = Perf.project ?cache machine b
+
+let block_time (p : Perf.projection) name =
+  match
+    List.find_opt (fun (b : Blockstat.t) -> String.equal b.Blockstat.name name) p.Perf.blocks
+  with
+  | Some b -> b.Blockstat.time
+  | None -> 0.
+
+(* --- footprint cache model -------------------------------------------- *)
+
+let test_bytes_per_exec () =
+  let b =
+    build
+      "program t\narray A[1000]\n\
+       def main() { @l: for i = 0 to 999 { load A[i]\nstore A[i] } }"
+  in
+  (* One loop child: per root execution = trips * per-iteration bytes. *)
+  let per_exec = Perf.bytes_per_exec b.Build.root in
+  Alcotest.(check (float 1.)) "1000 iters x 16 bytes" 16000. per_exec
+
+let footprint_fixture n =
+  build
+    ~inputs:[ ("n", Value.I n) ]
+    "program t\narray A[n]\n\
+     def main() { for r = 1 to 50 { @sweep: for i = 0 to n - 1 { load A[i]\n\
+     comp flops=1 } } }"
+
+(* Per-access time of the sweep for a working set of [n] 8-byte
+   elements. *)
+let per_access cache machine n =
+  let b = footprint_fixture n in
+  block_time (project ~cache ~machine b) "sweep" /. float_of_int n
+
+let test_footprint_resident_cheaper () =
+  (* The footprint model prices an L1-resident sweep cheaper per
+     access than a DRAM-sized streaming sweep; the constant-ratio
+     model cannot tell them apart. *)
+  let resident = per_access Perf.Footprint bgq 512 in
+  let streaming = per_access Perf.Footprint bgq 8_000_000 in
+  Alcotest.(check bool)
+    (Fmt.str "resident %.3g < streaming %.3g" resident streaming)
+    true
+    (resident < streaming *. 0.9);
+  let c_res = per_access Perf.Constant bgq 512 in
+  let c_str = per_access Perf.Constant bgq 8_000_000 in
+  Alcotest.(check bool) "constant model is size-blind" true
+    (Float.abs (c_res -. c_str) /. c_str < 0.05)
+
+let test_footprint_distinguishes_machines () =
+  (* A ~2 MB working set fits BG/Q's 32 MB L2 but not Xeon's 1.25 MB.
+     Normalize each machine by its own L1-resident cost: the capacity
+     penalty factor must be larger on Xeon, and only under the
+     footprint model. *)
+  let penalty cache machine =
+    per_access cache machine 262_144 /. per_access cache machine 512
+  in
+  let pb = penalty Perf.Footprint bgq and px = penalty Perf.Footprint xeon in
+  Alcotest.(check bool)
+    (Fmt.str "Xeon penalty %.2f > BG/Q penalty %.2f" px pb)
+    true (px > pb);
+  let cb = penalty Perf.Constant bgq and cx = penalty Perf.Constant xeon in
+  Alcotest.(check (float 0.05)) "constant model: no BG/Q penalty" 1. cb;
+  Alcotest.(check (float 0.05)) "constant model: no Xeon penalty" 1. cx
+
+let test_footprint_hits_bounds () =
+  (* The footprint model must yield finite, non-negative projections
+     across working sets spanning registers to DRAM. *)
+  List.iter
+    (fun elems ->
+      let b = footprint_fixture elems in
+      let t = (project ~cache:Perf.Footprint b).Perf.total_time in
+      Alcotest.(check bool) "finite, non-negative" true
+        (Float.is_finite t && t >= 0.))
+    [ 8; 12_500; 6_250_000 ]
+
+(* --- interpreter cost model details ------------------------------------ *)
+
+let run ?(machine = bgq) ?(inputs = []) src =
+  let config = Core.Sim.Interp.default_config ~machine ~seed:5L () in
+  Core.Sim.Interp.run ~config ~inputs (parse src)
+
+let test_interp_lib_scale_linear () =
+  let t s =
+    (run
+       (Fmt.str
+          "program t\ndef main() { for i = 1 to 100 { lib exp scale %d } }" s))
+      .Core.Sim.Interp.total_cycles
+  in
+  let t1 = t 1 and t10 = t 10 in
+  Alcotest.(check bool)
+    (Fmt.str "10x scale ~10x cycles (%.0f vs %.0f)" t10 t1)
+    true
+    (t10 > t1 *. 8. && t10 < t1 *. 12.)
+
+let test_interp_elem_bytes_affect_locality () =
+  (* f32 packs twice as many elements per line as f64: streaming the
+     same element count misses half as often. *)
+  let t ty =
+    (run ~inputs:[ ("n", Value.I 100_000) ]
+       (Fmt.str
+          "program t\narray A[n] : %s\n\
+           def main() { for i = 0 to n - 1 { load A[i] } }"
+          ty))
+      .Core.Sim.Interp.total_cycles
+  in
+  Alcotest.(check bool) "f32 streaming cheaper" true (t "f32" < t "f64")
+
+let test_interp_function_local_arrays () =
+  (* A function-local array is laid out per declaration and reachable
+     only inside that function. *)
+  let r =
+    run
+      "program t\n\
+       def worker(m)\n\
+       array scratch[m]\n\
+       { @w: for i = 0 to m - 1 { store scratch[i] } }\n\
+       def main() { call worker(64)\ncall worker(64) }"
+  in
+  let b =
+    List.find
+      (fun (b : Blockstat.t) -> b.Blockstat.name = "w")
+      r.Core.Sim.Interp.blocks
+  in
+  Alcotest.(check (float 0.)) "both calls execute" 128. b.Blockstat.enr
+
+let test_interp_while_zero_max () =
+  let r =
+    run "program t\ndef main() { while w prob 0.9 max 0 { comp flops=1 } }"
+  in
+  Alcotest.(check (float 0.1)) "zero max, zero iterations" 0.
+    (Hints.loop_trips r.Core.Sim.Interp.hints "w" ~default:0.)
+
+let test_interp_nested_break_scopes () =
+  (* break exits only the innermost loop. *)
+  let r =
+    run
+      "program t\n\
+       def main() { @outer: for i = 1 to 10 {\n\
+       @inner: for j = 1 to 100 { break b prob 1.0\ncomp flops=1 } } }"
+  in
+  let enr name =
+    match
+      List.find_opt
+        (fun (b : Blockstat.t) -> b.Blockstat.name = name)
+        r.Core.Sim.Interp.blocks
+    with
+    | Some b -> b.Blockstat.enr
+    | None -> 0.
+  in
+  Alcotest.(check (float 0.)) "outer runs all 10" 10. (enr "outer");
+  Alcotest.(check (float 0.)) "inner breaks immediately" 10. (enr "inner")
+
+let test_interp_prob_expression () =
+  (* Branch probability can be an expression over context variables. *)
+  let r =
+    run ~inputs:[ ("p", Value.F 0.75) ]
+      "program t\n\
+       def main() { for i = 1 to 4000 { if data d prob p { comp flops=1 } } }"
+  in
+  Alcotest.(check (float 0.05)) "expression probability honored" 0.75
+    (Hints.branch_prob r.Core.Sim.Interp.hints "d" ~default:0.)
+
+(* --- BET edge cases ----------------------------------------------------- *)
+
+let test_bet_continue_probability () =
+  (* continue skips the rest of the iteration with probability p: the
+     trailing statement's expected work scales by (1-p). *)
+  let b =
+    build
+      "program t\n\
+       def main() { for i = 1 to 100 { continue c prob 0.4\ncomp flops=10 } }"
+  in
+  let loops =
+    List.filter
+      (fun ((n : Node.t), _) -> n.Node.kind = Node.Loop)
+      (Node.to_list_enr b.Build.root)
+  in
+  match loops with
+  | [ (n, _) ] ->
+    Alcotest.(check (float 1e-9)) "work scaled by survivors" 6.
+      n.Node.work.Work.flops
+  | _ -> Alcotest.fail "expected one loop"
+
+let test_bet_else_only_branch () =
+  let b =
+    build
+      "program t\n\
+       def main() { if data d prob 0.9 { comp flops=1 } else { comp flops=7 } }"
+  in
+  let arms =
+    List.filter_map
+      (fun ((n : Node.t), enr) ->
+        match n.Node.kind with
+        | Node.Arm which -> Some (which, n.Node.prob, enr)
+        | _ -> None)
+      (Node.to_list_enr b.Build.root)
+  in
+  Alcotest.(check int) "two arms" 2 (List.length arms);
+  List.iter
+    (fun (which, prob, enr) ->
+      Alcotest.(check (float 1e-9))
+        (Fmt.str "arm %b prob = enr" which)
+        prob enr)
+    arms
+
+let test_bet_deep_context_chain_capped () =
+  (* A chain of data branches each assigning a distinct variable would
+     explode contexts; the cap must keep construction linear while
+     conserving mass. *)
+  let stmts =
+    String.concat "\n"
+      (List.init 24 (fun i ->
+           Fmt.str "if data d%d prob 0.5 { let v%d = 1 }" i i))
+  in
+  let b = build (Fmt.str "program t\ndef main() { %s\ncomp flops=10 }" stmts) in
+  Alcotest.(check bool) "bounded BET" true (b.Build.node_count < 200);
+  Alcotest.(check (float 1e-6)) "root work mass conserved" 10.
+    b.Build.root.Node.work.Work.flops
+
+let test_bet_call_in_branch_context () =
+  (* A call under a data branch must carry the branch probability into
+     the mounted function's ENR. *)
+  let b =
+    build
+      "program t\n\
+       def k() { @kk: for j = 1 to 10 { comp flops=1 } }\n\
+       def main() { if data d prob 0.25 { call k() } }"
+  in
+  let kk =
+    List.find
+      (fun ((n : Node.t), _) -> n.Node.kind = Node.Loop)
+      (Node.to_list_enr b.Build.root)
+  in
+  Alcotest.(check (float 1e-9)) "ENR includes branch probability" 2.5 (snd kk)
+
+let test_bet_while_break_combination () =
+  (* A while loop whose body breaks: effective trips below the
+     geometric expectation. *)
+  let b =
+    build
+      "program t\n\
+       def main() { while w prob 0.9 max 100 { break b prob 0.5\ncomp flops=1 } }"
+  in
+  match
+    List.find_opt
+      (fun ((n : Node.t), _) -> n.Node.kind = Node.Loop)
+      (Node.to_list_enr b.Build.root)
+  with
+  | Some (n, _) ->
+    Alcotest.(check bool)
+      (Fmt.str "trips %.2f < 3" n.Node.trips)
+      true (n.Node.trips < 3.)
+  | None -> Alcotest.fail "loop node"
+
+let test_bet_warning_on_unknown_lib () =
+  let b = build "program t\ndef main() { lib fft_unknown }" in
+  Alcotest.(check bool) "warning emitted" true (b.Build.warnings <> [])
+
+(* --- machine microbenchmarks ------------------------------------------- *)
+
+let test_microbench_latency_ordering () =
+  List.iter
+    (fun machine ->
+      let cycles_of (bench : Microbench.t) =
+        let config = Core.Sim.Interp.default_config ~machine ~seed:3L () in
+        let r =
+          Core.Sim.Interp.run ~config ~inputs:bench.Microbench.inputs
+            bench.Microbench.program
+        in
+        (Microbench.measure bench ~total_cycles:r.Core.Sim.Interp.total_cycles
+           ~freq_ghz:machine.Machine.freq_ghz)
+          .Microbench.cycles_per_access
+      in
+      match Microbench.suite machine with
+      | [ l1; l2; mem; _stream ] ->
+        let c1 = cycles_of l1 and c2 = cycles_of l2 and cm = cycles_of mem in
+        Alcotest.(check bool)
+          (Fmt.str "%s: L1 %.1f < L2 %.1f < mem %.1f" machine.Machine.name c1
+             c2 cm)
+          true
+          (c1 < c2 && c2 < cm)
+      | _ -> Alcotest.fail "unexpected suite shape")
+    [ bgq; xeon ]
+
+let test_microbench_stream_plausible () =
+  let machine = bgq in
+  match List.rev (Microbench.suite machine) with
+  | stream :: _ ->
+    let config = Core.Sim.Interp.default_config ~machine ~seed:3L () in
+    let r =
+      Core.Sim.Interp.run ~config ~inputs:stream.Microbench.inputs
+        stream.Microbench.program
+    in
+    let m =
+      Microbench.measure stream ~total_cycles:r.Core.Sim.Interp.total_cycles
+        ~freq_ghz:machine.Machine.freq_ghz
+    in
+    (* The simulator has no explicit bandwidth throttle; the measured
+       stream rate should land within a small factor of the configured
+       figure. *)
+    Alcotest.(check bool)
+      (Fmt.str "stream %.2f GB/s within 4x of %.2f" m.Microbench.gb_per_sec
+         machine.Machine.mem_bw_gbs)
+      true
+      (m.Microbench.gb_per_sec > machine.Machine.mem_bw_gbs /. 4.
+      && m.Microbench.gb_per_sec < machine.Machine.mem_bw_gbs *. 4.)
+  | [] -> Alcotest.fail "empty suite"
+
+let suite =
+  [
+    ( "hw.microbench",
+      [
+        Alcotest.test_case "latency ordering" `Quick
+          test_microbench_latency_ordering;
+        Alcotest.test_case "stream bandwidth plausible" `Quick
+          test_microbench_stream_plausible;
+      ] );
+    ( "perf.footprint",
+      [
+        Alcotest.test_case "bytes per exec" `Quick test_bytes_per_exec;
+        Alcotest.test_case "residency pricing" `Quick
+          test_footprint_resident_cheaper;
+        Alcotest.test_case "machine differentiation" `Quick
+          test_footprint_distinguishes_machines;
+        Alcotest.test_case "stability across footprints" `Quick
+          test_footprint_hits_bounds;
+      ] );
+    ( "sim.details",
+      [
+        Alcotest.test_case "lib scale linear" `Quick
+          test_interp_lib_scale_linear;
+        Alcotest.test_case "element size locality" `Quick
+          test_interp_elem_bytes_affect_locality;
+        Alcotest.test_case "function-local arrays" `Quick
+          test_interp_function_local_arrays;
+        Alcotest.test_case "while max 0" `Quick test_interp_while_zero_max;
+        Alcotest.test_case "nested break scopes" `Quick
+          test_interp_nested_break_scopes;
+        Alcotest.test_case "probability expressions" `Quick
+          test_interp_prob_expression;
+      ] );
+    ( "bet.edge",
+      [
+        Alcotest.test_case "continue scales work" `Quick
+          test_bet_continue_probability;
+        Alcotest.test_case "arm probabilities equal ENR" `Quick
+          test_bet_else_only_branch;
+        Alcotest.test_case "context cap bounds the tree" `Quick
+          test_bet_deep_context_chain_capped;
+        Alcotest.test_case "call under branch" `Quick
+          test_bet_call_in_branch_context;
+        Alcotest.test_case "while + break" `Quick
+          test_bet_while_break_combination;
+        Alcotest.test_case "unknown lib warns" `Quick
+          test_bet_warning_on_unknown_lib;
+      ] );
+  ]

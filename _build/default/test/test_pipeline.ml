@@ -1,0 +1,193 @@
+(* Integration tests: the full paper workflow end to end. *)
+
+open Core
+
+let bgq = Hw.Machines.bgq
+let xeon = Hw.Machines.xeon
+
+let small_run ?(machine = bgq) name scale =
+  Pipeline.run ~scale ~machine (Workloads.Registry.find_exn name)
+
+let test_pedagogical_end_to_end () =
+  let r = small_run "pedagogical" 1.0 in
+  Alcotest.(check bool) "measured time > 0" true
+    (r.Pipeline.measured.total_time > 0.);
+  Alcotest.(check bool) "projected time > 0" true
+    (r.Pipeline.projection.total_time > 0.);
+  Alcotest.(check bool) "hints collected" true
+    (not (Bet.Hints.is_empty r.Pipeline.hints))
+
+let test_quality_in_range () =
+  List.iter
+    (fun name ->
+      let r = small_run name 0.05 in
+      let q = Pipeline.model_quality r ~k:5 in
+      Alcotest.(check bool)
+        (Fmt.str "%s quality %.3f in [0,1]" name q)
+        true
+        (q >= 0. && q <= 1. +. 1e-9))
+    [ "sord"; "cfd"; "srad"; "chargei"; "stassuij" ]
+
+let test_top_spot_agreement () =
+  (* The model must at least find the simulator's #1 hot spot within
+     its top 3 on the small configs. *)
+  List.iter
+    (fun name ->
+      let r = small_run name 0.08 in
+      let top_measured =
+        match r.Pipeline.measured.blocks with
+        | b :: _ -> b.Analysis.Blockstat.block
+        | [] -> Alcotest.fail "no measured blocks"
+      in
+      let top3_model =
+        Analysis.Hotspot.top_k ~k:3 r.Pipeline.projection.blocks
+        |> List.map (fun (b : Analysis.Blockstat.t) -> b.Analysis.Blockstat.block)
+      in
+      Alcotest.(check bool)
+        (Fmt.str "%s: measured #1 in model top-3" name)
+        true
+        (List.exists (Bet.Block_id.equal top_measured) top3_model))
+    [ "sord"; "cfd"; "chargei"; "stassuij" ]
+
+let test_projection_input_size_independent () =
+  (* Same workload at very different scales: the BET has the same
+     size; only trip counts change. *)
+  let w = Workloads.Registry.find_exn "cfd" in
+  let a1 = Pipeline.analyze ~machine:bgq ~workload:w ~scale:0.05 () in
+  let a2 = Pipeline.analyze ~machine:bgq ~workload:w ~scale:5.0 () in
+  Alcotest.(check int) "same BET size" a1.Pipeline.a_built.node_count
+    a2.Pipeline.a_built.node_count;
+  Alcotest.(check bool) "bigger input, more projected time" true
+    (a2.Pipeline.a_projection.total_time > a1.Pipeline.a_projection.total_time)
+
+let test_hints_are_hardware_independent () =
+  (* Profiling on different machines yields identical statistics: the
+     hints depend only on the seeded input draws. *)
+  let w = Workloads.Registry.find_exn "sord" in
+  let program, inputs = w.Workloads.Registry.make ~scale:0.05 in
+  let hints_on machine =
+    let config =
+      Sim.Interp.default_config ~machine ~libmix:w.Workloads.Registry.libmix
+        ~seed:42L ()
+    in
+    (Sim.Interp.run ~config ~inputs program).Sim.Interp.hints
+  in
+  let hb = hints_on bgq and hx = hints_on xeon in
+  Alcotest.(check (float 1e-12))
+    "same rupture probability"
+    (Bet.Hints.branch_prob hb "rupturing" ~default:(-1.))
+    (Bet.Hints.branch_prob hx "rupturing" ~default:(-2.))
+
+let test_hot_path_exists () =
+  let r = small_run "sord" 0.05 in
+  match Pipeline.hot_path r with
+  | None -> Alcotest.fail "expected a hot path"
+  | Some path ->
+    Alcotest.(check bool) "has hot invocations" true
+      (Analysis.Hotpath.hot_invocations path > 0);
+    (* The root of the hot path is main. *)
+    Alcotest.(check bool) "rooted at main" true
+      (match path.Analysis.Hotpath.node.Bet.Node.kind with
+      | Bet.Node.Func "main" -> true
+      | _ -> false)
+
+let test_coverage_curves_monotone () =
+  let r = small_run "cfd" 0.05 in
+  let ks = [ 1; 2; 3; 5; 8 ] in
+  let check_monotone name f =
+    let vals = List.map (fun k -> f ~k) ks in
+    let rec mono = function
+      | a :: (b :: _ as rest) -> a <= b +. 1e-9 && mono rest
+      | _ -> true
+    in
+    Alcotest.(check bool) (name ^ " monotone") true (mono vals);
+    List.iter
+      (fun v ->
+        Alcotest.(check bool) (name ^ " in [0,1]") true (v >= 0. && v <= 1.01))
+      vals
+  in
+  check_monotone "Prof" (Pipeline.prof_coverage r);
+  check_monotone "Modl(p)" (Pipeline.modl_projected_coverage r);
+  check_monotone "Modl(m)" (Pipeline.modl_measured_coverage r)
+
+let test_prof_dominates_modl_measured () =
+  (* By construction the measured-profile-driven selection captures at
+     least as much measured time as the model-driven one. *)
+  let r = small_run "chargei" 0.05 in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Fmt.str "Prof >= Modl(m) at k=%d" k)
+        true
+        (Pipeline.prof_coverage r ~k
+        >= Pipeline.modl_measured_coverage r ~k -. 1e-9))
+    [ 1; 2; 3; 5; 10 ]
+
+let test_bet_size_vs_source () =
+  (* Paper §IV-B: BET size stays within 2x the source statements. *)
+  List.iter
+    (fun name ->
+      let w = Workloads.Registry.find_exn name in
+      let a = Pipeline.analyze ~machine:bgq ~workload:w ~scale:0.05 () in
+      let src_size = Skeleton.Ast.program_size a.Pipeline.a_program in
+      let ratio =
+        float_of_int a.Pipeline.a_built.node_count /. float_of_int src_size
+      in
+      Alcotest.(check bool)
+        (Fmt.str "%s BET/source = %.2f <= 2" name ratio)
+        true (ratio <= 2.))
+    [ "pedagogical"; "sord"; "cfd"; "srad"; "chargei"; "stassuij" ]
+
+let test_selection_respects_criteria () =
+  let r = small_run "sord" 0.05 in
+  let sel = r.Pipeline.model_sel in
+  Alcotest.(check bool) "leanness <= 10%" true
+    (sel.Analysis.Hotspot.leanness <= 0.10 +. 1e-9)
+
+let test_analyze_hypothetical_machine () =
+  (* The whole point of the paper: analysis works for machines that
+     cannot run anything. *)
+  let w = Workloads.Registry.find_exn "srad" in
+  let a = Pipeline.analyze ~machine:Hw.Machines.future ~workload:w ~scale:1.0 () in
+  Alcotest.(check bool) "spots found" true
+    (a.Pipeline.a_selection.Analysis.Hotspot.spots <> [])
+
+let test_no_warnings_on_workloads () =
+  List.iter
+    (fun name ->
+      let w = Workloads.Registry.find_exn name in
+      let a = Pipeline.analyze ~machine:bgq ~workload:w ~scale:0.1 () in
+      Alcotest.(check (list string))
+        (name ^ " builds without warnings")
+        []
+        a.Pipeline.a_built.warnings)
+    [ "pedagogical"; "sord"; "cfd"; "srad"; "chargei"; "stassuij" ]
+
+let suite =
+  [
+    ( "pipeline",
+      [
+        Alcotest.test_case "pedagogical end-to-end" `Quick
+          test_pedagogical_end_to_end;
+        Alcotest.test_case "quality in range (all workloads)" `Slow
+          test_quality_in_range;
+        Alcotest.test_case "top spot agreement" `Slow test_top_spot_agreement;
+        Alcotest.test_case "input-size independence" `Quick
+          test_projection_input_size_independent;
+        Alcotest.test_case "hints hardware-independent" `Slow
+          test_hints_are_hardware_independent;
+        Alcotest.test_case "hot path exists" `Quick test_hot_path_exists;
+        Alcotest.test_case "coverage curves monotone" `Quick
+          test_coverage_curves_monotone;
+        Alcotest.test_case "Prof dominates Modl(m)" `Quick
+          test_prof_dominates_modl_measured;
+        Alcotest.test_case "BET size <= 2x source" `Quick
+          test_bet_size_vs_source;
+        Alcotest.test_case "selection criteria respected" `Quick
+          test_selection_respects_criteria;
+        Alcotest.test_case "hypothetical machine" `Quick
+          test_analyze_hypothetical_machine;
+        Alcotest.test_case "no build warnings" `Quick
+          test_no_warnings_on_workloads;
+      ] );
+  ]

@@ -1,0 +1,216 @@
+(* Shape-regression tests: encode the paper's evaluation findings as
+   assertions over the calibrated workload models, so recalibration
+   cannot silently lose the reproduced phenomena (EXPERIMENTS.md).
+
+   These run full pipelines at the default scales and are tagged
+   `Slow. *)
+
+open Core
+module BS = Analysis.Blockstat
+module HS = Analysis.Hotspot
+
+let bgq = Hw.Machines.bgq
+let xeon = Hw.Machines.xeon
+
+(* One cached run per workload/machine used below. *)
+let cache : (string, Pipeline.run) Hashtbl.t = Hashtbl.create 8
+
+let run name machine =
+  let key = name ^ "/" ^ machine.Hw.Machine.name in
+  match Hashtbl.find_opt cache key with
+  | Some r -> r
+  | None ->
+    let r = Pipeline.run ~machine (Workloads.Registry.find_exn name) in
+    Hashtbl.add cache key r;
+    r
+
+let share blocks name =
+  let total = BS.total_time blocks in
+  match List.find_opt (fun (b : BS.t) -> String.equal b.BS.name name) blocks with
+  | Some b -> b.BS.time /. total
+  | None -> 0.
+
+let top_names blocks k =
+  HS.top_k ~k blocks |> List.map (fun (b : BS.t) -> b.BS.name)
+
+let check_range what lo hi v =
+  Alcotest.(check bool)
+    (Fmt.str "%s = %.3f within [%.2f, %.2f]" what v lo hi)
+    true
+    (v >= lo && v <= hi)
+
+(* --- SRAD: top-3 are exp, diffusion, rand (paper 37/28/25%) --------- *)
+
+let test_srad_order () =
+  let r = run "srad" bgq in
+  match top_names r.Pipeline.measured.blocks 3 with
+  | [ first; second; third ] ->
+    Alcotest.(check bool) "1st is libm exp" true
+      (String.length first >= 7 && String.sub first 0 7 = "lib:exp");
+    Alcotest.(check string) "2nd is the diffusion loop" "diffusion_update"
+      second;
+    Alcotest.(check bool) "3rd is rand" true
+      (String.length third >= 8 && String.sub third 0 8 = "lib:rand")
+  | _ -> Alcotest.fail "missing top 3"
+
+let test_srad_coverages () =
+  let r = run "srad" bgq in
+  let b = r.Pipeline.measured.blocks in
+  check_range "exp share" 0.25 0.45 (share b "lib:exp:gradient#18");
+  check_range "diffusion share" 0.20 0.36 (share b "diffusion_update")
+
+(* --- CHARGEI: two dominating spots (paper 44/38%) -------------------- *)
+
+let test_chargei_dominant_pair () =
+  let r = run "chargei" bgq in
+  let b = r.Pipeline.measured.blocks in
+  (match top_names b 2 with
+  | [ "gyro_average"; "charge_scatter" ] -> ()
+  | other -> Alcotest.failf "top-2 = %a" Fmt.(list string) other);
+  check_range "gyro share" 0.38 0.55 (share b "gyro_average");
+  check_range "scatter share" 0.30 0.48 (share b "charge_scatter")
+
+(* --- STASSUIJ: 68/23 split; model overestimates the AXPY ------------- *)
+
+let test_stassuij_split () =
+  let r = run "stassuij" bgq in
+  let b = r.Pipeline.measured.blocks in
+  check_range "axpy share" 0.60 0.85 (share b "sparse_axpy");
+  check_range "butterfly share" 0.12 0.32 (share b "butterfly_exchange")
+
+let test_stassuij_model_overestimates_vectorized_spot () =
+  let r = run "stassuij" bgq in
+  Alcotest.(check bool) "projected > measured for the XL-vectorized loop" true
+    (share r.Pipeline.projection.blocks "sparse_axpy"
+    > share r.Pipeline.measured.blocks "sparse_axpy")
+
+(* --- CFD: division anecdote (paper SSVII-B) --------------------------- *)
+
+let test_cfd_velocity_underestimated () =
+  let r = run "cfd" bgq in
+  let proj = share r.Pipeline.projection.blocks "compute_velocity" in
+  let meas = share r.Pipeline.measured.blocks "compute_velocity" in
+  Alcotest.(check bool)
+    (Fmt.str "projected %.3f clearly below measured %.3f" proj meas)
+    true
+    (proj < meas *. 0.8);
+  check_range "measured velocity share" 0.10 0.30 meas
+
+let test_cfd_all_top10_found () =
+  let r = run "cfd" bgq in
+  let prof = top_names r.Pipeline.measured.blocks 10 in
+  let modl = top_names r.Pipeline.projection.blocks 10 in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " in model top-10") true
+        (List.mem name modl))
+    prof
+
+let test_cfd_division_ablation_direction () =
+  (* Making the model division-aware must raise the projected share of
+     the division-heavy kernel. *)
+  let w = Workloads.Registry.find_exn "cfd" in
+  let p opts =
+    let a = Pipeline.analyze ~opts ~machine:bgq ~workload:w ~scale:0.1 () in
+    share a.Pipeline.a_projection.Analysis.Perf.blocks "compute_velocity"
+  in
+  Alcotest.(check bool) "div-aware raises the share" true
+    (p { Hw.Roofline.default_opts with div_aware = true }
+    > p Hw.Roofline.default_opts)
+
+(* --- SORD: portability (paper SSI/SSVII-A) ----------------------------- *)
+
+let test_sord_machines_disagree () =
+  let rb = run "sord" bgq and rx = run "sord" xeon in
+  let overlap =
+    Analysis.Quality.overlap ~a:rb.Pipeline.measured.blocks
+      ~b:rx.Pipeline.measured.blocks ~k:10
+  in
+  Alcotest.(check bool)
+    (Fmt.str "top-10 overlap %d < 10" overlap)
+    true
+    (overlap < 10);
+  let agreement =
+    Analysis.Quality.rank_agreement ~a:rb.Pipeline.measured.blocks
+      ~b:rx.Pipeline.measured.blocks ~k:10
+  in
+  Alcotest.(check bool)
+    (Fmt.str "rank agreement %.2f < 1" agreement)
+    true (agreement < 0.999)
+
+let test_sord_machine_specific_spots () =
+  (* The cache-capacity-driven spots must flip between machines:
+     the 2MB table gather is hot on Xeon (spills its small L2), the
+     small-array convolution is hot on BG/Q (thrashes its 16KB L1). *)
+  let rb = run "sord" bgq and rx = run "sord" xeon in
+  let b = rb.Pipeline.measured.blocks and x = rx.Pipeline.measured.blocks in
+  Alcotest.(check bool) "material_lookup hotter on Xeon" true
+    (share x "material_lookup" > share b "material_lookup");
+  Alcotest.(check bool) "stf_convolve hotter on BG/Q" true
+    (share b "stf_convolve" > share x "stf_convolve")
+
+(* --- quality thresholds (paper: mean 95.8%, min >= 80%) ---------------- *)
+
+let test_quality_thresholds () =
+  let qs =
+    List.concat_map
+      (fun name ->
+        let k =
+          (Workloads.Registry.find_exn name).Workloads.Registry.paper_top_k
+        in
+        List.map
+          (fun m -> Pipeline.model_quality (run name m) ~k)
+          [ bgq; xeon ])
+      [ "sord"; "cfd"; "srad"; "chargei"; "stassuij" ]
+  in
+  let mean = List.fold_left ( +. ) 0. qs /. float_of_int (List.length qs) in
+  let min_q = List.fold_left Float.min 1. qs in
+  Alcotest.(check bool)
+    (Fmt.str "mean quality %.3f >= 0.90" mean)
+    true (mean >= 0.90);
+  Alcotest.(check bool)
+    (Fmt.str "min quality %.3f >= 0.80" min_q)
+    true (min_q >= 0.80)
+
+(* --- BET size claim (paper SSIV-B) -------------------------------------- *)
+
+let test_bet_never_exceeds_2x () =
+  List.iter
+    (fun name ->
+      let w = Workloads.Registry.find_exn name in
+      let a = Pipeline.analyze ~machine:bgq ~workload:w ~scale:0.1 () in
+      let ratio =
+        float_of_int a.Pipeline.a_built.Bet.Build.node_count
+        /. float_of_int (Skeleton.Ast.program_size a.Pipeline.a_program)
+      in
+      Alcotest.(check bool)
+        (Fmt.str "%s ratio %.2f <= 2" name ratio)
+        true (ratio <= 2.))
+    Workloads.Registry.names
+
+let suite =
+  [
+    ( "shapes",
+      [
+        Alcotest.test_case "srad hot spot order" `Slow test_srad_order;
+        Alcotest.test_case "srad coverages" `Slow test_srad_coverages;
+        Alcotest.test_case "chargei dominant pair" `Slow
+          test_chargei_dominant_pair;
+        Alcotest.test_case "stassuij 68/23 split" `Slow test_stassuij_split;
+        Alcotest.test_case "stassuij vectorization overestimate" `Slow
+          test_stassuij_model_overestimates_vectorized_spot;
+        Alcotest.test_case "cfd velocity underestimated" `Slow
+          test_cfd_velocity_underestimated;
+        Alcotest.test_case "cfd all top-10 found" `Slow
+          test_cfd_all_top10_found;
+        Alcotest.test_case "cfd division ablation direction" `Slow
+          test_cfd_division_ablation_direction;
+        Alcotest.test_case "sord machines disagree" `Slow
+          test_sord_machines_disagree;
+        Alcotest.test_case "sord machine-specific spots" `Slow
+          test_sord_machine_specific_spots;
+        Alcotest.test_case "quality thresholds" `Slow test_quality_thresholds;
+        Alcotest.test_case "BET within 2x of source" `Quick
+          test_bet_never_exceeds_2x;
+      ] );
+  ]

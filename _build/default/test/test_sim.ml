@@ -1,0 +1,371 @@
+(* Unit tests for the ground-truth simulator: RNG, cache, interpreter
+   semantics, counters and profiling output. *)
+
+open Core.Skeleton
+open Core.Bet
+open Core.Sim
+open Core.Hw
+
+let parse src = Parser.parse ~file:"t.skope" src
+
+let run ?(machine = Machines.bgq) ?(seed = 7L) ?(inputs = []) src =
+  let config = Interp.default_config ~machine ~seed () in
+  Interp.run ~config ~inputs (parse src)
+
+let block_named (r : Interp.result) name =
+  List.find_opt
+    (fun (b : Core.Analysis.Blockstat.t) ->
+      String.equal b.Core.Analysis.Blockstat.name name)
+    r.Interp.blocks
+
+let enr_of r name =
+  match block_named r name with
+  | Some b -> b.Core.Analysis.Blockstat.enr
+  | None -> 0.
+
+(* --- rng --------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 1L and b = Rng.create 1L in
+  for _ = 1 to 100 do
+    Alcotest.(check (float 0.)) "same stream" (Rng.float a) (Rng.float b)
+  done
+
+let test_rng_uniform_mean () =
+  let r = Rng.create 99L in
+  let n = 20000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Rng.float r
+  done;
+  Alcotest.(check (float 0.02)) "mean ~0.5" 0.5 (!sum /. float_of_int n)
+
+let test_rng_bernoulli () =
+  let r = Rng.create 123L in
+  let n = 20000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Rng.bernoulli r 0.3 then incr hits
+  done;
+  Alcotest.(check (float 0.02)) "p ~0.3" 0.3
+    (float_of_int !hits /. float_of_int n)
+
+let test_rng_int_bounds () =
+  let r = Rng.create 5L in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+(* --- cache --------------------------------------------------------------- *)
+
+let level : Machine.cache_level =
+  { size_bytes = 1024; line_bytes = 64; assoc = 2; latency_cycles = 1. }
+
+let test_cache_cold_miss_then_hit () =
+  let c = Cache.create level in
+  Alcotest.(check bool) "cold miss" false (Cache.access c ~addr:0);
+  Alcotest.(check bool) "hit" true (Cache.access c ~addr:8);
+  Alcotest.(check int) "one miss" 1 (Cache.misses c);
+  Alcotest.(check int) "two accesses" 2 (Cache.accesses c)
+
+let test_cache_line_granularity () =
+  let c = Cache.create level in
+  ignore (Cache.access c ~addr:0);
+  Alcotest.(check bool) "same line hits" true (Cache.access c ~addr:63);
+  Alcotest.(check bool) "next line misses" false (Cache.access c ~addr:64)
+
+let test_cache_lru_eviction () =
+  (* 1024B / 64B / 2-way = 8 sets; addresses 0, 8*64, 16*64 all map to
+     set 0.  With 2 ways, accessing a third conflicting line evicts the
+     least recently used. *)
+  let c = Cache.create level in
+  let l0 = 0 and l1 = 8 * 64 and l2 = 16 * 64 in
+  ignore (Cache.access c ~addr:l0);
+  ignore (Cache.access c ~addr:l1);
+  ignore (Cache.access c ~addr:l0);
+  (* l1 is now LRU *)
+  ignore (Cache.access c ~addr:l2);
+  (* evicts l1 *)
+  Alcotest.(check bool) "l0 still resident" true (Cache.access c ~addr:l0);
+  Alcotest.(check bool) "l1 evicted" false (Cache.access c ~addr:l1)
+
+let test_cache_working_set () =
+  (* A working set that fits is all hits after the first pass. *)
+  let c = Cache.create level in
+  let lines = 8 in
+  for pass = 1 to 3 do
+    for i = 0 to lines - 1 do
+      let hit = Cache.access c ~addr:(i * 64) in
+      if pass > 1 then Alcotest.(check bool) "warm hit" true hit
+    done
+  done;
+  Alcotest.(check int) "only cold misses" lines (Cache.misses c)
+
+let test_cache_reset () =
+  let c = Cache.create level in
+  ignore (Cache.access c ~addr:0);
+  Cache.reset c;
+  Alcotest.(check int) "zeroed" 0 (Cache.accesses c);
+  Alcotest.(check bool) "cold again" false (Cache.access c ~addr:0)
+
+let test_cache_invalid_geometry () =
+  match Cache.create { level with line_bytes = 48 } with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected invalid geometry"
+
+(* --- interpreter: semantics ----------------------------------------------- *)
+
+let test_interp_loop_count () =
+  let r = run "program t\ndef main() { @l: for i = 1 to 10 { comp flops=1 } }" in
+  Alcotest.(check (float 0.)) "10 iterations" 10. (enr_of r "l")
+
+let test_interp_nested_counts () =
+  let r =
+    run
+      "program t\n\
+       def main() { @o: for i = 1 to 4 { @n: for j = 1 to i { comp flops=1 } } }"
+  in
+  Alcotest.(check (float 0.)) "triangular 1+2+3+4" 10. (enr_of r "n")
+
+let test_interp_step () =
+  let r =
+    run "program t\ndef main() { @l: for i = 0 to 9 step 3 { comp flops=1 } }"
+  in
+  Alcotest.(check (float 0.)) "0,3,6,9" 4. (enr_of r "l")
+
+let test_interp_branch_statistics () =
+  let r =
+    run
+      "program t\n\
+       def main() { for i = 1 to 2000 { if data d prob 0.25 { comp flops=1 } } }"
+  in
+  Alcotest.(check (float 0.03)) "observed ~0.25" 0.25
+    (Hints.branch_prob r.Interp.hints "d" ~default:0.)
+
+let test_interp_static_branch () =
+  let r =
+    run ~inputs:[ ("n", Value.I 5) ]
+      "program t\n\
+       def main() { if (n > 3) { @t: for i = 1 to 2 { comp flops=1 } } else {\n\
+       @e: for i = 1 to 2 { comp flops=1 } } }"
+  in
+  Alcotest.(check (float 0.)) "then taken" 2. (enr_of r "t");
+  Alcotest.(check (float 0.)) "else not taken" 0. (enr_of r "e")
+
+let test_interp_while_profiles_trips () =
+  let r =
+    run
+      "program t\n\
+       def main() { for i = 1 to 500 { while w prob 0.5 max 100 { comp flops=1 } } }"
+  in
+  let mean = Hints.loop_trips r.Interp.hints "w" ~default:0. in
+  (* E[trips] = 1/(1-0.5) = 2 *)
+  Alcotest.(check (float 0.2)) "geometric mean trips" 2. mean
+
+let test_interp_break () =
+  let r =
+    run
+      "program t\n\
+       def main() { @l: for i = 1 to 1000000 { break b prob 1.0\ncomp flops=1 } }"
+  in
+  Alcotest.(check (float 0.)) "break exits first iteration" 1. (enr_of r "l")
+
+let test_interp_continue () =
+  let r =
+    run
+      "program t\n\
+       def main() { @l: for i = 1 to 100 { continue c prob 1.0\n\
+       @after: for j = 1 to 1 { comp flops=1 } } }"
+  in
+  Alcotest.(check (float 0.)) "loop runs all iterations" 100. (enr_of r "l");
+  Alcotest.(check (float 0.)) "tail never runs" 0. (enr_of r "after")
+
+let test_interp_return () =
+  let r =
+    run
+      "program t\n\
+       def f() { return\n@dead: for i = 1 to 5 { comp flops=1 } }\n\
+       def main() { call f() }"
+  in
+  Alcotest.(check (float 0.)) "code after return dead" 0. (enr_of r "dead")
+
+let test_interp_call_args () =
+  let r =
+    run
+      "program t\n\
+       def k(m) { @body: for j = 1 to m { comp flops=1 } }\n\
+       def main() { call k(3)\ncall k(7) }"
+  in
+  Alcotest.(check (float 0.)) "3 + 7 iterations" 10. (enr_of r "body")
+
+let test_interp_let_updates () =
+  let r =
+    run
+      "program t\n\
+       def main() { let n = 2\nlet n = n * 5\n@l: for i = 1 to n { comp flops=1 } }"
+  in
+  Alcotest.(check (float 0.)) "n = 10" 10. (enr_of r "l")
+
+let test_interp_deterministic () =
+  let src =
+    "program t\n\
+     def main() { for i = 1 to 100 { if data d prob 0.5 { comp flops=3 } } }"
+  in
+  let a = run ~seed:11L src and b = run ~seed:11L src in
+  Alcotest.(check (float 0.)) "same cycles" a.Interp.total_cycles
+    b.Interp.total_cycles
+
+let test_interp_seed_changes_draws () =
+  let src =
+    "program t\n\
+     def main() { for i = 1 to 1001 { if data d prob 0.5 { comp flops=3 } } }"
+  in
+  let a = run ~seed:1L src and b = run ~seed:2L src in
+  Alcotest.(check bool) "different outcomes" true
+    (a.Interp.total_cycles <> b.Interp.total_cycles)
+
+(* --- interpreter: cost model ----------------------------------------------- *)
+
+let test_interp_flops_cost () =
+  let r1 = run "program t\ndef main() { for i = 1 to 1000 { comp flops=1 } }" in
+  let r8 = run "program t\ndef main() { for i = 1 to 1000 { comp flops=8 } }" in
+  Alcotest.(check bool) "more flops, more cycles" true
+    (r8.Interp.total_cycles > r1.Interp.total_cycles)
+
+let test_interp_division_expensive () =
+  let plain =
+    run "program t\ndef main() { for i = 1 to 1000 { comp flops=4 } }"
+  in
+  let divs =
+    run "program t\ndef main() { for i = 1 to 1000 { comp flops=4, divs=4 } }"
+  in
+  Alcotest.(check bool) "divisions much slower (BG/Q)" true
+    (divs.Interp.total_cycles > plain.Interp.total_cycles *. 5.)
+
+let test_interp_vectorization_speedup () =
+  let scalar =
+    run "program t\ndef main() { for i = 1 to 1000 { comp flops=64 } }"
+  in
+  let vector =
+    run "program t\ndef main() { for i = 1 to 1000 { comp flops=64, vec=4 } }"
+  in
+  Alcotest.(check bool) "vec=4 faster" true
+    (vector.Interp.total_cycles < scalar.Interp.total_cycles /. 2.)
+
+let test_interp_cache_locality_matters () =
+  (* Streaming over a small array (fits L1) vs a large strided walk. *)
+  let small =
+    run ~inputs:[ ("n", Value.I 100_000 ) ]
+      "program t\narray A[512]\n\
+       def main() { for i = 1 to n { load A[i % 512] } }"
+  in
+  let large =
+    run ~inputs:[ ("n", Value.I 100_000) ]
+      "program t\narray A[8000000]\n\
+       def main() { for i = 1 to n { load A[i * 1023 % 8000000] } }"
+  in
+  Alcotest.(check bool) "locality is cheaper" true
+    (small.Interp.total_cycles *. 2. < large.Interp.total_cycles)
+
+let test_interp_counters_l1_misses () =
+  let r =
+    run ~inputs:[ ("n", Value.I 10_000) ]
+      "program t\narray A[10000]\n\
+       def main() { @l: for i = 0 to n - 1 { load A[i] } }"
+  in
+  match block_named r "l" with
+  | None -> Alcotest.fail "block missing"
+  | Some _ ->
+    let entry =
+      Counters.entries r.Interp.counters
+      |> List.find (fun (e : Counters.entry) -> e.Counters.loads > 0)
+    in
+    (* Sequential 8B loads: one miss per 64B/128B line. *)
+    Alcotest.(check bool) "miss rate ~ 1/8 .. 1/16" true
+      (entry.Counters.l1_misses > 10_000 / 20
+      && entry.Counters.l1_misses < 10_000 / 4)
+
+let test_interp_machine_changes_time () =
+  let src =
+    "program t\narray A[100000]\n\
+     def main() { for i = 0 to 99999 { load A[i]\ncomp flops=2 } }"
+  in
+  let a = run ~machine:Machines.bgq src in
+  let b = run ~machine:Machines.xeon src in
+  Alcotest.(check bool) "different machines differ" true
+    (Float.abs (a.Interp.total_time -. b.Interp.total_time) > 1e-9)
+
+let test_interp_total_equals_block_sum () =
+  let r =
+    run
+      "program t\n\
+       def main() { for i = 1 to 100 { comp flops=5 }\ncomp flops=100 }"
+  in
+  let sum =
+    List.fold_left
+      (fun acc (b : Core.Analysis.Blockstat.t) ->
+        acc +. b.Core.Analysis.Blockstat.time)
+      0. r.Interp.blocks
+  in
+  Alcotest.(check (float 1e-12)) "exclusive sums to total" r.Interp.total_time
+    sum
+
+let suite =
+  [
+    ( "sim.rng",
+      [
+        Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+        Alcotest.test_case "uniform mean" `Quick test_rng_uniform_mean;
+        Alcotest.test_case "bernoulli" `Quick test_rng_bernoulli;
+        Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+      ] );
+    ( "sim.cache",
+      [
+        Alcotest.test_case "cold miss then hit" `Quick
+          test_cache_cold_miss_then_hit;
+        Alcotest.test_case "line granularity" `Quick
+          test_cache_line_granularity;
+        Alcotest.test_case "LRU eviction" `Quick test_cache_lru_eviction;
+        Alcotest.test_case "resident working set" `Quick
+          test_cache_working_set;
+        Alcotest.test_case "reset" `Quick test_cache_reset;
+        Alcotest.test_case "invalid geometry" `Quick
+          test_cache_invalid_geometry;
+      ] );
+    ( "sim.interp.semantics",
+      [
+        Alcotest.test_case "loop count" `Quick test_interp_loop_count;
+        Alcotest.test_case "nested triangular" `Quick test_interp_nested_counts;
+        Alcotest.test_case "loop step" `Quick test_interp_step;
+        Alcotest.test_case "branch statistics" `Quick
+          test_interp_branch_statistics;
+        Alcotest.test_case "static branch" `Quick test_interp_static_branch;
+        Alcotest.test_case "while trip profile" `Quick
+          test_interp_while_profiles_trips;
+        Alcotest.test_case "break" `Quick test_interp_break;
+        Alcotest.test_case "continue" `Quick test_interp_continue;
+        Alcotest.test_case "return" `Quick test_interp_return;
+        Alcotest.test_case "call arguments" `Quick test_interp_call_args;
+        Alcotest.test_case "let rebinding" `Quick test_interp_let_updates;
+        Alcotest.test_case "deterministic" `Quick test_interp_deterministic;
+        Alcotest.test_case "seed sensitivity" `Quick
+          test_interp_seed_changes_draws;
+      ] );
+    ( "sim.interp.cost",
+      [
+        Alcotest.test_case "flops cost" `Quick test_interp_flops_cost;
+        Alcotest.test_case "division latency" `Quick
+          test_interp_division_expensive;
+        Alcotest.test_case "vectorization" `Quick
+          test_interp_vectorization_speedup;
+        Alcotest.test_case "cache locality" `Quick
+          test_interp_cache_locality_matters;
+        Alcotest.test_case "L1 miss counters" `Quick
+          test_interp_counters_l1_misses;
+        Alcotest.test_case "machine dependence" `Quick
+          test_interp_machine_changes_time;
+        Alcotest.test_case "block times sum to total" `Quick
+          test_interp_total_equals_block_sum;
+      ] );
+  ]

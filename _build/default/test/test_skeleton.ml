@@ -1,0 +1,533 @@
+(* Unit tests for the skeleton DSL: lexer, parser, pretty-printer,
+   validator, builder. *)
+
+open Core.Skeleton
+
+let parse src = Parser.parse ~file:"test.skope" src
+
+let minimal = "program t\ndef main() { comp flops=1 }"
+
+(* --- lexer --------------------------------------------------------- *)
+
+let tok_kinds src =
+  Lexer.tokenize ~file:"t" src |> List.map (fun l -> l.Lexer.tok)
+
+let test_lex_punct () =
+  Alcotest.(check int)
+    "token count" 11
+    (List.length (tok_kinds "( ) { } [ ] , : ; @"))
+
+let test_lex_numbers () =
+  match tok_kinds "42 3.5 1e3 2.5e-2" with
+  | [ Lexer.INT 42; Lexer.FLOAT a; Lexer.FLOAT b; Lexer.FLOAT c; Lexer.EOF ] ->
+    Alcotest.(check (float 1e-9)) "3.5" 3.5 a;
+    Alcotest.(check (float 1e-9)) "1e3" 1000. b;
+    Alcotest.(check (float 1e-9)) "2.5e-2" 0.025 c
+  | _ -> Alcotest.fail "unexpected token stream"
+
+let test_lex_operators () =
+  match tok_kinds "<= >= == != && || < >" with
+  | [
+   Lexer.LE; Lexer.GE; Lexer.EQ; Lexer.NE; Lexer.ANDAND; Lexer.OROR;
+   Lexer.LT; Lexer.GT; Lexer.EOF;
+  ] ->
+    ()
+  | _ -> Alcotest.fail "unexpected operator tokens"
+
+let test_lex_comment () =
+  Alcotest.(check int)
+    "comment skipped" 2
+    (List.length (tok_kinds "# a comment line\nfoo"))
+
+let test_lex_line_numbers () =
+  let toks = Lexer.tokenize ~file:"t" "a\nb\nc" in
+  let lines = List.map (fun l -> l.Lexer.tloc.Loc.line) toks in
+  Alcotest.(check (list int)) "lines" [ 1; 2; 3; 3 ] lines
+
+let test_lex_error () =
+  match tok_kinds "a $ b" with
+  | exception Lexer.Error (_, _) -> ()
+  | _ -> Alcotest.fail "expected lexer error on '$'"
+
+let test_lex_string () =
+  match tok_kinds {|"hello world"|} with
+  | [ Lexer.STRING "hello world"; Lexer.EOF ] -> ()
+  | _ -> Alcotest.fail "string literal"
+
+(* --- parser -------------------------------------------------------- *)
+
+let test_parse_minimal () =
+  let p = parse minimal in
+  Alcotest.(check string) "name" "t" p.Ast.pname;
+  Alcotest.(check int) "one function" 1 (List.length p.Ast.funcs)
+
+let test_parse_for_loop () =
+  let p = parse "program t\ndef main() { for i = 1 to 10 step 2 { comp flops=3 } }" in
+  match (List.hd p.Ast.funcs).Ast.body with
+  | [ { Ast.kind = Ast.For { var = "i"; step = Ast.Int 2; body = [ _ ]; _ }; _ } ]
+    ->
+    ()
+  | _ -> Alcotest.fail "for loop shape"
+
+let test_parse_if_else () =
+  let p =
+    parse
+      "program t\n\
+       def main() { if (1 < 2) { comp flops=1 } else { comp flops=2 } }"
+  in
+  match (List.hd p.Ast.funcs).Ast.body with
+  | [ { Ast.kind = Ast.If { cond = Ast.Cexpr _; then_ = [ _ ]; else_ = [ _ ] }; _ } ]
+    ->
+    ()
+  | _ -> Alcotest.fail "if/else shape"
+
+let test_parse_data_branch () =
+  let p =
+    parse "program t\ndef main() { if data conv prob 0.25 { comp flops=1 } }"
+  in
+  match (List.hd p.Ast.funcs).Ast.body with
+  | [
+   {
+     Ast.kind =
+       Ast.If { cond = Ast.Cdata { name = "conv"; p = Ast.Float 0.25 }; _ };
+     _;
+   };
+  ] ->
+    ()
+  | _ -> Alcotest.fail "data branch shape"
+
+let test_parse_while () =
+  let p =
+    parse "program t\ndef main() { while conv prob 0.9 max 50 { comp flops=1 } }"
+  in
+  match (List.hd p.Ast.funcs).Ast.body with
+  | [ { Ast.kind = Ast.While { name = "conv"; max_iter = Ast.Int 50; _ }; _ } ]
+    ->
+    ()
+  | _ -> Alcotest.fail "while shape"
+
+let test_parse_mem () =
+  let p =
+    parse
+      "program t\n\
+       array A[100][10] : f32\n\
+       def main() { load A[1][2], A[3][4]\n store A[5][6] }"
+  in
+  (match p.Ast.globals with
+  | [ { Ast.aname = "A"; elem_bytes = 4; dims = [ Ast.Int 100; Ast.Int 10 ] } ]
+    ->
+    ()
+  | _ -> Alcotest.fail "array decl");
+  match (List.hd p.Ast.funcs).Ast.body with
+  | [
+   { Ast.kind = Ast.Mem { loads = [ _; _ ]; stores = [] }; _ };
+   { Ast.kind = Ast.Mem { loads = []; stores = [ _ ] }; _ };
+  ] ->
+    ()
+  | _ -> Alcotest.fail "mem shape"
+
+let test_parse_call_lib () =
+  let p =
+    parse
+      "program t\n\
+       def f(x, y) { comp flops=x }\n\
+       def main() { call f(1, 2)\n lib exp scale 100\n return }"
+  in
+  match (Ast.find_func p "main").Ast.body with
+  | [
+   { Ast.kind = Ast.Call ("f", [ Ast.Int 1; Ast.Int 2 ]); _ };
+   { Ast.kind = Ast.Lib { name = "exp"; scale = Ast.Int 100; _ }; _ };
+   { Ast.kind = Ast.Return; _ };
+  ] ->
+    ()
+  | _ -> Alcotest.fail "call/lib shape"
+
+let test_parse_break_continue () =
+  let p =
+    parse
+      "program t\n\
+       def main() { for i = 1 to 9 { break early prob 0.1\n\
+       continue skip prob 0.2 } }"
+  in
+  match (List.hd p.Ast.funcs).Ast.body with
+  | [ { Ast.kind = Ast.For { body = [ b; c ]; _ }; _ } ] -> (
+    match (b.Ast.kind, c.Ast.kind) with
+    | Ast.Break { name = "early"; _ }, Ast.Continue { name = "skip"; _ } -> ()
+    | _ -> Alcotest.fail "break/continue kinds")
+  | _ -> Alcotest.fail "loop shape"
+
+let test_parse_labels () =
+  let p = parse "program t\ndef main() { @hot: for i = 1 to 2 { comp flops=1 } }" in
+  match (List.hd p.Ast.funcs).Ast.body with
+  | [ { Ast.label = Some "hot"; _ } ] -> ()
+  | _ -> Alcotest.fail "label"
+
+let test_parse_precedence () =
+  let p = parse "program t\ndef main() { let x = 1 + 2 * 3 }" in
+  match (List.hd p.Ast.funcs).Ast.body with
+  | [
+   {
+     Ast.kind =
+       Ast.Let
+         ( "x",
+           Ast.Binop
+             (Ast.Add, Ast.Int 1, Ast.Binop (Ast.Mul, Ast.Int 2, Ast.Int 3)) );
+     _;
+   };
+  ] ->
+    ()
+  | _ -> Alcotest.fail "precedence 1+2*3"
+
+let test_parse_cmp_binds_looser_than_add () =
+  let p = parse "program t\ndef main() { let x = 1 + 2 < 4 }" in
+  match (List.hd p.Ast.funcs).Ast.body with
+  | [ { Ast.kind = Ast.Let ("x", Ast.Cmp (Ast.Lt, Ast.Binop _, Ast.Int 4)); _ } ]
+    ->
+    ()
+  | _ -> Alcotest.fail "comparison precedence"
+
+let test_parse_builtins () =
+  let p = parse "program t\ndef main() { let x = min(1, 2) + floor(3.7) }" in
+  match (List.hd p.Ast.funcs).Ast.body with
+  | [
+   {
+     Ast.kind =
+       Ast.Let
+         ( "x",
+           Ast.Binop
+             ( Ast.Add,
+               Ast.Binop (Ast.Min, Ast.Int 1, Ast.Int 2),
+               Ast.Unop (Ast.Floor, Ast.Float 3.7) ) );
+     _;
+   };
+  ] ->
+    ()
+  | _ -> Alcotest.fail "builtin calls"
+
+let test_parse_entry () =
+  let p = parse "program t\ndef start() { comp flops=1 }\nentry start" in
+  Alcotest.(check string) "entry" "start" p.Ast.entry
+
+let test_parse_error_reports_location () =
+  match parse "program t\ndef main() {\n  bogus_kw thing\n}" with
+  | exception Parser.Error (loc, _) ->
+    Alcotest.(check int) "error line" 3 loc.Loc.line
+  | _ -> Alcotest.fail "expected parse error"
+
+let test_parse_sids_unique () =
+  let p =
+    parse
+      "program t\n\
+       def f() { comp flops=1 }\n\
+       def main() { for i = 1 to 3 { call f() } comp flops=2 }"
+  in
+  let sids = Ast.fold_program (fun acc s -> s.Ast.sid :: acc) [] p in
+  let sorted = List.sort_uniq compare sids in
+  Alcotest.(check int) "all unique" (List.length sids) (List.length sorted);
+  Alcotest.(check bool) "non-negative" true (List.for_all (fun s -> s >= 0) sids)
+
+let test_parse_step_loop_semantics () =
+  let p =
+    parse "program t\ndef main() { for i = 0 to 20 step 5 { comp flops=1 } }"
+  in
+  match (List.hd p.Ast.funcs).Ast.body with
+  | [ { Ast.kind = Ast.For { step = Ast.Int 5; lo = Ast.Int 0; hi = Ast.Int 20; _ }; _ } ]
+    ->
+    ()
+  | _ -> Alcotest.fail "step loop shape"
+
+let test_parse_function_arrays () =
+  let p =
+    parse
+      "program t\n\
+       def f(m)\n\
+       array scratch[m] : f32\n\
+       array tmp[m][2]\n\
+       { load scratch[0]\nstore tmp[1][0] }\n\
+       def main() { call f(8) }"
+  in
+  let f = Ast.find_func p "f" in
+  Alcotest.(check int) "two local arrays" 2 (List.length f.Ast.arrays)
+
+(* --- pretty-printer round trip ------------------------------------- *)
+
+let strip_ids p =
+  (* Compare programs modulo statement ids and locations. *)
+  let rec stmt (s : Ast.stmt) =
+    let kind =
+      match s.Ast.kind with
+      | Ast.If r -> Ast.If { r with then_ = block r.then_; else_ = block r.else_ }
+      | Ast.For r -> Ast.For { r with body = block r.body }
+      | Ast.While r -> Ast.While { r with body = block r.body }
+      | k -> k
+    in
+    { s with Ast.sid = 0; loc = Loc.none; kind }
+  and block b = List.map stmt b in
+  {
+    p with
+    Ast.funcs = List.map (fun f -> { f with Ast.body = block f.Ast.body }) p.Ast.funcs;
+  }
+
+let roundtrip src =
+  let p = parse src in
+  let printed = Pretty.to_string p in
+  let p2 =
+    try parse printed
+    with Parser.Error (loc, m) ->
+      Alcotest.failf "reparse failed at %a: %s@.--- printed:@.%s" Loc.pp loc m
+        printed
+  in
+  Alcotest.(check bool)
+    (Fmt.str "round trip stable for:@.%s" printed)
+    true
+    (strip_ids p = strip_ids p2)
+
+let test_roundtrip_rich () =
+  roundtrip
+    "program rich\n\
+     array A[100] : f64\n\
+     array B[10][20] : f32\n\
+     def helper(n) { comp flops=n, iops=2\n return }\n\
+     def main() {\n\
+     let x = 3 + 4 * 2\n\
+     @outer: for i = 1 to 100 step 2 {\n\
+     load A[i], B[i][2]\n\
+     if data d1 prob 0.5 { store A[i] } else { comp flops=1 }\n\
+     break b prob 0.01\n\
+     }\n\
+     while w prob 0.8 max 10 { comp flops=2, divs=1, vec=4 }\n\
+     call helper(5)\n\
+     lib exp scale 3\n\
+     }"
+
+let test_roundtrip_ops () =
+  roundtrip
+    "program ops\n\
+     def main() { let a = 1 - 2 - 3\n let b = 2 ^ 3 ^ 2\n\
+     let c = -a + abs(b) % 7\n let d = (1 + 2) * 3\n\
+     let e = a < b && c >= d || a != e0 }\n\
+     entry main"
+
+(* --- validator ------------------------------------------------------ *)
+
+let issues src = Validate.check (parse src)
+
+let test_validate_clean () =
+  Alcotest.(check int) "no issues" 0 (List.length (issues minimal))
+
+let test_validate_undefined_call () =
+  Alcotest.(check bool)
+    "undefined function flagged" true
+    (issues "program t\ndef main() { call nope() }" <> [])
+
+let test_validate_arity () =
+  Alcotest.(check bool)
+    "arity flagged" true
+    (issues "program t\ndef f(a, b) { comp flops=1 }\ndef main() { call f(1) }"
+    <> [])
+
+let test_validate_unbound_var () =
+  Alcotest.(check bool)
+    "unbound variable flagged" true
+    (issues "program t\ndef main() { comp flops=zzz }" <> [])
+
+let test_validate_inputs_bound_everywhere () =
+  let p =
+    parse "program t\ndef f() { comp flops=n }\ndef main() { call f() }"
+  in
+  Alcotest.(check int)
+    "input visible in callee" 0
+    (List.length (Validate.check ~inputs:[ "n" ] p))
+
+let test_validate_undeclared_array () =
+  Alcotest.(check bool)
+    "undeclared array flagged" true
+    (issues "program t\ndef main() { load X[1] }" <> [])
+
+let test_validate_array_rank () =
+  Alcotest.(check bool)
+    "wrong rank flagged" true
+    (issues "program t\narray A[4][4]\ndef main() { load A[1] }" <> [])
+
+let test_validate_recursion () =
+  Alcotest.(check bool)
+    "recursion flagged" true
+    (issues "program t\ndef main() { call main() }" <> [])
+
+let test_validate_mutual_recursion () =
+  Alcotest.(check bool)
+    "mutual recursion flagged" true
+    (issues
+       "program t\n\
+        def a() { call b() }\n\
+        def b() { call a() }\n\
+        def main() { call a() }"
+    <> [])
+
+let test_validate_missing_entry () =
+  Alcotest.(check bool)
+    "missing entry flagged" true
+    (issues "program t\ndef foo() { comp flops=1 }" <> [])
+
+let test_validate_loop_var_scoped () =
+  Alcotest.(check int)
+    "loop var bound in body" 0
+    (List.length
+       (issues "program t\ndef main() { for i = 1 to 3 { comp flops=i } }"))
+
+let test_validate_duplicate_stat_names () =
+  Alcotest.(check bool)
+    "pooled statistics name flagged" true
+    (issues
+       "program t\n\
+        def main() { if data d prob 0.2 { comp flops=1 }\n\
+        if data d prob 0.9 { comp flops=2 } }"
+    <> []);
+  Alcotest.(check int)
+    "distinct names fine" 0
+    (List.length
+       (issues
+          "program t\n\
+           def main() { if data d1 prob 0.2 { comp flops=1 }\n\
+           if data d2 prob 0.9 { comp flops=2 } }"))
+
+let test_validate_exn () =
+  match Validate.check_exn (parse "program t\ndef main() { call nope() }") with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "expected Invalid_argument"
+
+(* --- AST helpers ---------------------------------------------------- *)
+
+let test_program_size () =
+  let p =
+    parse "program t\ndef main() { for i = 1 to 2 { comp flops=1 } return }"
+  in
+  Alcotest.(check int) "size counts all statements" 3 (Ast.program_size p)
+
+let test_stmt_weight () =
+  let p =
+    parse
+      "program t\n\
+       array A[8]\n\
+       def main() { comp flops=10, iops=5, divs=2\n load A[1], A[2]\n\
+       let x = 1\n lib exp }"
+  in
+  let weights =
+    List.map Ast.stmt_weight (Ast.entry_func p).Ast.body
+  in
+  Alcotest.(check (list int)) "weights" [ 18; 2; 1; 8 ] weights
+
+let test_instruction_count_excludes_control () =
+  let p =
+    parse "program t\ndef main() { for i = 1 to 2 { comp flops=3 } return }"
+  in
+  Alcotest.(check int) "only the comp counts" 4 (Ast.instruction_count p)
+
+(* --- builder --------------------------------------------------------- *)
+
+let test_builder_renumbers () =
+  let open Builder in
+  let p =
+    program "b"
+      [
+        func "main"
+          [ for_ "i" (int 0) (int 9) [ comp ~flops:(int 1) () ]; return_ () ];
+      ]
+  in
+  let sids = Ast.fold_program (fun acc s -> s.Ast.sid :: acc) [] p in
+  Alcotest.(check (list int)) "dense pre-order ids" [ 2; 1; 0 ] sids
+
+let test_builder_matches_parser () =
+  let built =
+    let open Builder in
+    program "t"
+      [
+        func "main"
+          [
+            let_ "x" (int 1 + (int 2 * int 3));
+            if_ (var "x" > int 5) [ comp ~flops:(int 1) () ] [];
+          ];
+      ]
+  in
+  let parsed =
+    parse
+      "program t\ndef main() { let x = 1 + 2 * 3\nif (x > 5) { comp flops=1 } }"
+  in
+  Alcotest.(check bool) "same AST" true (strip_ids built = strip_ids parsed)
+
+let suite =
+  [
+    ( "skeleton.lexer",
+      [
+        Alcotest.test_case "punctuation" `Quick test_lex_punct;
+        Alcotest.test_case "numbers" `Quick test_lex_numbers;
+        Alcotest.test_case "operators" `Quick test_lex_operators;
+        Alcotest.test_case "comments" `Quick test_lex_comment;
+        Alcotest.test_case "line numbers" `Quick test_lex_line_numbers;
+        Alcotest.test_case "error on stray char" `Quick test_lex_error;
+        Alcotest.test_case "string literal" `Quick test_lex_string;
+      ] );
+    ( "skeleton.parser",
+      [
+        Alcotest.test_case "minimal program" `Quick test_parse_minimal;
+        Alcotest.test_case "for loop" `Quick test_parse_for_loop;
+        Alcotest.test_case "if/else" `Quick test_parse_if_else;
+        Alcotest.test_case "data branch" `Quick test_parse_data_branch;
+        Alcotest.test_case "while" `Quick test_parse_while;
+        Alcotest.test_case "arrays and mem" `Quick test_parse_mem;
+        Alcotest.test_case "call and lib" `Quick test_parse_call_lib;
+        Alcotest.test_case "break/continue" `Quick test_parse_break_continue;
+        Alcotest.test_case "labels" `Quick test_parse_labels;
+        Alcotest.test_case "precedence mul over add" `Quick
+          test_parse_precedence;
+        Alcotest.test_case "precedence cmp under add" `Quick
+          test_parse_cmp_binds_looser_than_add;
+        Alcotest.test_case "builtin functions" `Quick test_parse_builtins;
+        Alcotest.test_case "entry declaration" `Quick test_parse_entry;
+        Alcotest.test_case "error location" `Quick
+          test_parse_error_reports_location;
+        Alcotest.test_case "statement ids unique" `Quick test_parse_sids_unique;
+        Alcotest.test_case "step loop semantics" `Quick
+          test_parse_step_loop_semantics;
+        Alcotest.test_case "function-local arrays" `Quick
+          test_parse_function_arrays;
+      ] );
+    ( "skeleton.pretty",
+      [
+        Alcotest.test_case "round trip rich program" `Quick test_roundtrip_rich;
+        Alcotest.test_case "round trip operators" `Quick test_roundtrip_ops;
+      ] );
+    ( "skeleton.validate",
+      [
+        Alcotest.test_case "clean program" `Quick test_validate_clean;
+        Alcotest.test_case "undefined call" `Quick test_validate_undefined_call;
+        Alcotest.test_case "arity mismatch" `Quick test_validate_arity;
+        Alcotest.test_case "unbound variable" `Quick test_validate_unbound_var;
+        Alcotest.test_case "inputs bound everywhere" `Quick
+          test_validate_inputs_bound_everywhere;
+        Alcotest.test_case "undeclared array" `Quick
+          test_validate_undeclared_array;
+        Alcotest.test_case "array rank" `Quick test_validate_array_rank;
+        Alcotest.test_case "self recursion" `Quick test_validate_recursion;
+        Alcotest.test_case "mutual recursion" `Quick
+          test_validate_mutual_recursion;
+        Alcotest.test_case "missing entry" `Quick test_validate_missing_entry;
+        Alcotest.test_case "loop variable scoping" `Quick
+          test_validate_loop_var_scoped;
+        Alcotest.test_case "duplicate statistics names" `Quick
+          test_validate_duplicate_stat_names;
+        Alcotest.test_case "check_exn raises" `Quick test_validate_exn;
+      ] );
+    ( "skeleton.ast",
+      [
+        Alcotest.test_case "program size" `Quick test_program_size;
+        Alcotest.test_case "statement weights" `Quick test_stmt_weight;
+        Alcotest.test_case "instruction count" `Quick
+          test_instruction_count_excludes_control;
+      ] );
+    ( "skeleton.builder",
+      [
+        Alcotest.test_case "renumbering" `Quick test_builder_renumbers;
+        Alcotest.test_case "builder = parser" `Quick test_builder_matches_parser;
+      ] );
+  ]

@@ -1,0 +1,225 @@
+(* Tests for the bundled workload models: every skeleton must be
+   valid, scalable, and structurally faithful to the paper's
+   description. *)
+
+open Core.Skeleton
+open Core.Workloads
+
+let labels p =
+  Ast.fold_program
+    (fun acc s -> match s.Ast.label with Some l -> l :: acc | None -> acc)
+    [] p
+
+let test_all_validate () =
+  List.iter
+    (fun (w : Registry.t) ->
+      let program, inputs = w.Registry.make ~scale:w.Registry.default_scale in
+      match Validate.check ~inputs:(List.map fst inputs) program with
+      | [] -> ()
+      | issues ->
+        Alcotest.failf "%s invalid: %a" w.Registry.name
+          (Fmt.list ~sep:Fmt.semi Validate.pp_issue)
+          issues)
+    Registry.all
+
+let test_all_pretty_roundtrip () =
+  (* Every workload skeleton must survive print -> parse. *)
+  List.iter
+    (fun (w : Registry.t) ->
+      let program, _ = w.Registry.make ~scale:0.1 in
+      let src = Pretty.to_string program in
+      match Parser.parse ~file:(w.Registry.name ^ ".skope") src with
+      | p2 ->
+        Alcotest.(check int)
+          (w.Registry.name ^ " same size")
+          (Ast.program_size program) (Ast.program_size p2)
+      | exception Parser.Error (loc, m) ->
+        Alcotest.failf "%s reparse failed at %a: %s" w.Registry.name Loc.pp loc
+          m)
+    Registry.all
+
+let test_scaling_changes_inputs () =
+  List.iter
+    (fun (w : Registry.t) ->
+      if w.Registry.name <> "pedagogical" then begin
+        let _, small = w.Registry.make ~scale:0.1 in
+        let _, large = w.Registry.make ~scale:1.0 in
+        let total l =
+          List.fold_left
+            (fun acc (_, v) -> acc +. Core.Bet.Value.to_float v)
+            0. l
+        in
+        Alcotest.(check bool)
+          (w.Registry.name ^ " scales")
+          true
+          (total large > total small)
+      end)
+    Registry.all
+
+let test_registry_lookup () =
+  Alcotest.(check bool) "sord present" true (Registry.find "sord" <> None);
+  Alcotest.(check bool) "SORD case-insensitive" true
+    (Registry.find "SORD" <> None);
+  Alcotest.(check bool) "unknown" true (Registry.find "doom" = None);
+  match Registry.find_exn "nope" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let has_label name p = List.mem name (labels p)
+
+let test_sord_structure () =
+  let p, inputs = (Registry.find_exn "sord").Registry.make ~scale:0.1 in
+  (* The paper's SORD phases must be present. *)
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) ("has " ^ l) true (has_label l p))
+    [
+      "stress_diag"; "hourglass_gather"; "momentum_acc"; "fault_plane";
+      "halo_pack"; "viscosity"; "timestep";
+    ];
+  Alcotest.(check bool) "3D grid input" true (List.mem_assoc "ncell" inputs);
+  Alcotest.(check bool) "multiple functions" true (List.length p.Ast.funcs > 8)
+
+let test_sord_has_data_branch () =
+  let p, _ = (Registry.find_exn "sord").Registry.make ~scale:0.1 in
+  let has_rupture =
+    Ast.fold_program
+      (fun acc s ->
+        acc
+        ||
+        match s.Ast.kind with
+        | Ast.If { cond = Ast.Cdata { name = "rupturing"; _ }; _ } -> true
+        | _ -> false)
+      false p
+  in
+  Alcotest.(check bool) "rupture branch" true has_rupture
+
+let test_cfd_structure () =
+  let p, inputs = (Registry.find_exn "cfd").Registry.make ~scale:0.1 in
+  List.iter
+    (fun l -> Alcotest.(check bool) ("has " ^ l) true (has_label l p))
+    [
+      "compute_flux"; "compute_velocity"; "compute_step_factor"; "time_step";
+      "rk_loop"; "time_loop";
+    ];
+  (* The velocity kernel must carry divisions (the §VII-B anecdote). *)
+  let divs =
+    Ast.fold_program
+      (fun acc s ->
+        match (s.Ast.label, s.Ast.kind) with
+        | _, Ast.For { body; _ }
+          when List.exists
+                 (fun (x : Ast.stmt) ->
+                   match x.Ast.kind with
+                   | Ast.Comp { divs = Ast.Int d; _ } -> d >= 2
+                   | _ -> false)
+                 body ->
+          acc || true
+        | _ -> acc)
+      false p
+  in
+  Alcotest.(check bool) "division-heavy kernel present" true divs;
+  Alcotest.(check bool) "grid size input" true (List.mem_assoc "ncell" inputs)
+
+let test_srad_uses_libraries () =
+  let p, _ = (Registry.find_exn "srad").Registry.make ~scale:0.1 in
+  let libs =
+    Ast.fold_program
+      (fun acc s ->
+        match s.Ast.kind with Ast.Lib { name; _ } -> name :: acc | _ -> acc)
+      [] p
+  in
+  Alcotest.(check bool) "exp called" true (List.mem "exp" libs);
+  Alcotest.(check bool) "rand called" true (List.mem "rand" libs)
+
+let test_chargei_structure () =
+  let p, inputs = (Registry.find_exn "chargei").Registry.make ~scale:0.1 in
+  List.iter
+    (fun l -> Alcotest.(check bool) ("has " ^ l) true (has_label l p))
+    [ "gyro_average"; "charge_scatter"; "smooth_field"; "poisson_sweep" ];
+  (* Paper: ~8 loop structures. *)
+  let loops =
+    Ast.fold_program
+      (fun n s ->
+        match s.Ast.kind with
+        | Ast.For _ | Ast.While _ -> n + 1
+        | _ -> n)
+      0 p
+  in
+  Alcotest.(check bool) "at least 8 loops" true (loops >= 8);
+  let np = List.assoc "npart" inputs and ng = List.assoc "ngrid" inputs in
+  Alcotest.(check bool) "more particles than grid" true
+    (Core.Bet.Value.to_float np > Core.Bet.Value.to_float ng)
+
+let test_stassuij_structure () =
+  let p, inputs = (Registry.find_exn "stassuij").Registry.make ~scale:1.0 in
+  List.iter
+    (fun l -> Alcotest.(check bool) ("has " ^ l) true (has_label l p))
+    [ "sparse_axpy"; "butterfly_exchange" ];
+  (* 132 rows as in the paper. *)
+  Alcotest.(check bool) "132 rows" true
+    (Core.Bet.Value.equal (List.assoc "nrows" inputs) (Core.Bet.Value.I 132));
+  (* The AXPY must be marked vectorizable (vec>1), the butterfly not. *)
+  let vec_of label =
+    Ast.fold_program
+      (fun acc s ->
+        match (s.Ast.label, s.Ast.kind) with
+        | Some l, Ast.For { body; _ } when String.equal l label ->
+          List.fold_left
+            (fun a (x : Ast.stmt) ->
+              match x.Ast.kind with Ast.Comp { vec; _ } -> max a vec | _ -> a)
+            acc body
+        | _ -> acc)
+      1 p
+  in
+  Alcotest.(check bool) "axpy vectorized" true (vec_of "sparse_axpy" > 1);
+  Alcotest.(check int) "butterfly scalar" 1 (vec_of "butterfly_exchange")
+
+let test_cold_code_present () =
+  (* Each production workload carries cold-code mass so the leanness
+     criterion is meaningful: the hot loops must be a small fraction of
+     static instructions. *)
+  List.iter
+    (fun name ->
+      let w = Registry.find_exn name in
+      let p, _ = w.Registry.make ~scale:0.1 in
+      let total = Ast.instruction_count p in
+      Alcotest.(check bool)
+        (Fmt.str "%s has >= 1000 static instructions (got %d)" name total)
+        true (total >= 1000))
+    [ "sord"; "cfd"; "srad"; "chargei" ]
+
+let test_pedagogical_shape () =
+  let p, _ = (Registry.find_exn "pedagogical").Registry.make ~scale:1.0 in
+  Alcotest.(check int) "two functions" 2 (List.length p.Ast.funcs);
+  (* foo is called twice (the Fig. 2 double mount). *)
+  let calls =
+    Ast.fold_program
+      (fun n s ->
+        match s.Ast.kind with Ast.Call ("foo", _) -> n + 1 | _ -> n)
+      0 p
+  in
+  Alcotest.(check int) "foo called twice" 2 calls
+
+let suite =
+  [
+    ( "workloads",
+      [
+        Alcotest.test_case "all validate" `Quick test_all_validate;
+        Alcotest.test_case "all pretty-print round trip" `Quick
+          test_all_pretty_roundtrip;
+        Alcotest.test_case "scaling changes inputs" `Quick
+          test_scaling_changes_inputs;
+        Alcotest.test_case "registry lookup" `Quick test_registry_lookup;
+        Alcotest.test_case "sord structure" `Quick test_sord_structure;
+        Alcotest.test_case "sord rupture branch" `Quick
+          test_sord_has_data_branch;
+        Alcotest.test_case "cfd structure" `Quick test_cfd_structure;
+        Alcotest.test_case "srad library hot spots" `Quick
+          test_srad_uses_libraries;
+        Alcotest.test_case "chargei structure" `Quick test_chargei_structure;
+        Alcotest.test_case "stassuij structure" `Quick test_stassuij_structure;
+        Alcotest.test_case "cold code mass" `Quick test_cold_code_present;
+        Alcotest.test_case "pedagogical shape" `Quick test_pedagogical_shape;
+      ] );
+  ]
