@@ -12,7 +12,9 @@
     - [hints]: show the branch/trip statistics one profiling run yields;
     - [miniapp]: generate a mini-application from the hot path;
     - [sweep]: explore one hardware design axis;
-    - [nodes]: multi-node strong-scaling projection. *)
+    - [nodes]: multi-node strong-scaling projection;
+    - [serve]: run `skoped`, the concurrent projection service;
+    - [query]: query a running `skoped` (and generate load). *)
 
 open Cmdliner
 module P = Core.Pipeline
@@ -610,6 +612,180 @@ let cmd_nodes =
     (Cmd.info "nodes" ~doc:"Multi-node strong-scaling projection (SORD)")
     Term.(const run $ machine_arg $ scale_arg $ ranks_arg $ network_arg)
 
+let cmd_serve =
+  let port_arg =
+    let doc = "TCP port to listen on (0 picks an ephemeral port)." in
+    Arg.(value & opt int 7777 & info [ "p"; "port" ] ~docv:"PORT" ~doc)
+  in
+  let host_arg =
+    let doc = "Address to bind." in
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc)
+  in
+  let pool_arg =
+    let doc = "Worker domains (default: cores - 1)." in
+    Arg.(value & opt (some int) None & info [ "pool" ] ~docv:"N" ~doc)
+  in
+  let queue_arg =
+    let doc = "Bounded work-queue capacity." in
+    Arg.(value & opt int 128 & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let cache_arg =
+    let doc = "Projection-cache capacity (LRU entries)." in
+    Arg.(value & opt int 4096 & info [ "cache" ] ~docv:"N" ~doc)
+  in
+  let run port host pool queue cache =
+    let module S = Skope_service.Server in
+    let config =
+      {
+        S.port;
+        host;
+        queue_capacity = queue;
+        pool = Option.value ~default:S.default_config.S.pool pool;
+        dispatch =
+          { Skope_service.Dispatch.default_config with cache_capacity = cache };
+      }
+    in
+    try S.run config
+    with Unix.Unix_error (e, fn, _) ->
+      Fmt.epr "skope serve: %s (%s %s:%d)@." (Unix.error_message e) fn host
+        port;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run skoped: serve analyze/sweep/catalog/stats queries over \
+          JSON-over-TCP with a domain worker pool and a projection cache")
+    Term.(const run $ port_arg $ host_arg $ pool_arg $ queue_arg $ cache_arg)
+
+let cmd_query =
+  let module J = Core.Report.Json in
+  let port_arg =
+    let doc = "Server port." in
+    Arg.(value & opt int 7777 & info [ "p"; "port" ] ~docv:"PORT" ~doc)
+  in
+  let host_arg =
+    let doc = "Server address." in
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc)
+  in
+  let kind_arg =
+    let doc = "Request kind: analyze, sweep, workloads, machines, stats." in
+    Arg.(value & opt string "analyze" & info [ "kind" ] ~docv:"KIND" ~doc)
+  in
+  let axis_arg =
+    let doc = "Sweep axis: bw, lat, vec, issue, freq, l2, div." in
+    Arg.(value & opt string "bw" & info [ "axis" ] ~docv:"AXIS" ~doc)
+  in
+  let values_arg =
+    let doc = "Comma-separated sweep values." in
+    Arg.(value & opt string "1,2,4,8" & info [ "values" ] ~docv:"V1,V2,.." ~doc)
+  in
+  let override_arg =
+    let doc = "Machine-parameter override KEY=VALUE (repeatable)." in
+    Arg.(value & opt_all string [] & info [ "O"; "override" ] ~docv:"K=V" ~doc)
+  in
+  let timeout_arg =
+    let doc = "Per-request deadline in milliseconds." in
+    Arg.(value & opt (some float) None & info [ "timeout-ms" ] ~docv:"MS" ~doc)
+  in
+  let body_arg =
+    let doc = "Send this raw JSON body instead of building one from flags." in
+    Arg.(value & opt (some string) None & info [ "body" ] ~docv:"JSON" ~doc)
+  in
+  let repeat_arg =
+    let doc = "Send the request N times (load-generator mode when > 1)." in
+    Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N" ~doc)
+  in
+  let concurrency_arg =
+    let doc = "Client threads for load-generator mode." in
+    Arg.(value & opt int 1 & info [ "concurrency" ] ~docv:"K" ~doc)
+  in
+  let build_body kind workload machine scale top coverage leanness axis values
+      overrides timeout_ms =
+    let overrides =
+      List.map
+        (fun spec ->
+          match String.index_opt spec '=' with
+          | Some i -> (
+            let k = String.sub spec 0 i in
+            let v = String.sub spec (i + 1) (String.length spec - i - 1) in
+            match float_of_string_opt v with
+            | Some f -> (k, J.Float f)
+            | None ->
+              Fmt.epr "invalid override %S (expected KEY=NUMBER)@." spec;
+              exit 2)
+          | None ->
+            Fmt.epr "invalid override %S (expected KEY=NUMBER)@." spec;
+            exit 2)
+        overrides
+    in
+    let base =
+      [ ("kind", J.String kind) ]
+      @ (match timeout_ms with
+        | Some t -> [ ("timeout_ms", J.Float t) ]
+        | None -> [])
+    in
+    let query =
+      [ ("workload", J.String workload); ("machine", J.String machine) ]
+      @ (match scale with Some s -> [ ("scale", J.Float s) ] | None -> [])
+      @ [
+          ("top", J.Int top);
+          ("coverage", J.Float coverage);
+          ("leanness", J.Float leanness);
+        ]
+      @ if overrides = [] then [] else [ ("overrides", J.Obj overrides) ]
+    in
+    let fields =
+      match kind with
+      | "analyze" -> base @ query
+      | "sweep" ->
+        let vs =
+          String.split_on_char ',' values
+          |> List.filter_map float_of_string_opt
+          |> List.map (fun f -> J.Float f)
+        in
+        base @ query @ [ ("axis", J.String axis); ("values", J.List vs) ]
+      | _ -> base
+    in
+    J.to_string (J.Obj fields)
+  in
+  let run host port kind workload machine scale top coverage leanness axis
+      values overrides timeout_ms body repeat concurrency =
+    let body =
+      match body with
+      | Some b -> b
+      | None ->
+        build_body kind workload machine scale top coverage leanness axis
+          values overrides timeout_ms
+    in
+    let module C = Skope_service.Client in
+    if repeat <= 1 then
+      match C.roundtrip ~host ~port body with
+      | Error msg ->
+        Fmt.epr "skope query: %s@." msg;
+        exit 1
+      | Ok response ->
+        Fmt.pr "%s@." response;
+        (match J.of_string response with
+        | Ok r when J.member "ok" r = Some (J.Bool true) -> ()
+        | _ -> exit 1)
+    else begin
+      let report = C.load ~host ~port ~repeat ~concurrency body in
+      Fmt.pr "%a@." C.pp_load_report report;
+      if report.C.failures > 0 then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Query a running skoped; with --repeat N --concurrency K, act as a \
+          load generator and report throughput and latency percentiles")
+    Term.(
+      const run $ host_arg $ port_arg $ kind_arg $ workload_arg $ machine_arg
+      $ scale_arg $ top_arg $ coverage_arg $ leanness_arg $ axis_arg
+      $ values_arg $ override_arg $ timeout_arg $ body_arg $ repeat_arg
+      $ concurrency_arg)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =
@@ -623,5 +799,5 @@ let () =
             cmd_workloads; cmd_machines; cmd_show; cmd_parse; cmd_analyze;
             cmd_validate; cmd_hints; cmd_miniapp; cmd_sweep; cmd_nodes;
             cmd_roofline; cmd_json; cmd_import; cmd_spots; cmd_path;
-            cmd_compare;
+            cmd_compare; cmd_serve; cmd_query;
           ]))

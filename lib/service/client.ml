@@ -1,0 +1,112 @@
+let connect ~host ~port =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  try
+    Unix.setsockopt_float sock Unix.SO_RCVTIMEO 30.;
+    Unix.setsockopt_float sock Unix.SO_SNDTIMEO 30.;
+    Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+    Ok sock
+  with Unix.Unix_error (e, _, _) ->
+    (try Unix.close sock with Unix.Unix_error _ -> ());
+    Error (Unix.error_message e)
+
+let rec write_all fd bytes pos len =
+  if len > 0 then begin
+    let n = Unix.write fd bytes pos len in
+    write_all fd bytes (pos + n) (len - n)
+  end
+
+let read_response fd =
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> Buffer.contents buf
+    | n -> (
+      match Bytes.index_from_opt chunk 0 '\n' with
+      | Some i when i < n ->
+        Buffer.add_subbytes buf chunk 0 i;
+        Buffer.contents buf
+      | _ ->
+        Buffer.add_subbytes buf chunk 0 n;
+        go ())
+  in
+  go ()
+
+let roundtrip ~host ~port body =
+  match connect ~host ~port with
+  | Error _ as e -> e
+  | Ok sock ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+      (fun () ->
+        try
+          let line = Bytes.of_string (body ^ "\n") in
+          write_all sock line 0 (Bytes.length line);
+          match read_response sock with
+          | "" -> Error "empty response (server closed the connection)"
+          | r -> Ok r
+        with Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
+
+type load_report = {
+  requests : int;
+  failures : int;
+  elapsed : float;
+  throughput : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else begin
+    let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+    sorted.(min (n - 1) (max 0 (rank - 1)))
+  end
+
+let load ~host ~port ~repeat ~concurrency body =
+  let repeat = max 1 repeat and concurrency = max 1 concurrency in
+  let lock = Mutex.create () in
+  let latencies = ref [] and failures = ref 0 in
+  let record dt ok =
+    Mutex.lock lock;
+    if ok then latencies := dt :: !latencies else incr failures;
+    Mutex.unlock lock
+  in
+  (* Thread [i] owns requests i, i+K, i+2K, ... so shares sum to
+     [repeat] exactly. *)
+  let share i = (repeat - i + concurrency - 1) / concurrency in
+  let run_thread i () =
+    for _ = 1 to share i do
+      let t0 = Unix.gettimeofday () in
+      match roundtrip ~host ~port body with
+      | Ok _ -> record (Unix.gettimeofday () -. t0) true
+      | Error _ -> record 0. false
+    done
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    List.init concurrency (fun i -> Thread.create (run_thread i) ())
+  in
+  List.iter Thread.join threads;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let sorted = Array.of_list !latencies in
+  Array.sort Float.compare sorted;
+  let requests = Array.length sorted in
+  {
+    requests;
+    failures = !failures;
+    elapsed;
+    throughput = (if elapsed > 0. then float_of_int requests /. elapsed else 0.);
+    p50 = percentile sorted 0.50;
+    p95 = percentile sorted 0.95;
+    p99 = percentile sorted 0.99;
+  }
+
+let pp_load_report ppf r =
+  Fmt.pf ppf
+    "%d requests (%d failed) in %.2fs: %.0f req/s; latency p50 %.3f ms, p95 \
+     %.3f ms, p99 %.3f ms"
+    r.requests r.failures r.elapsed r.throughput (r.p50 *. 1e3) (r.p95 *. 1e3)
+    (r.p99 *. 1e3)

@@ -1,0 +1,30 @@
+(** `skope query` — client for a running `skoped`, doubling as a load
+    generator. *)
+
+(** One request/response round trip (a fresh connection per request,
+    mirroring the server's one-request-per-connection protocol).
+    [Error] carries a transport-level message; protocol-level errors
+    come back as [Ok] response bodies with ["ok":false]. *)
+val roundtrip : host:string -> port:int -> string -> (string, string) result
+
+type load_report = {
+  requests : int;  (** completed *)
+  failures : int;  (** transport errors *)
+  elapsed : float;  (** wall seconds *)
+  throughput : float;  (** completed requests per second *)
+  p50 : float;  (** seconds *)
+  p95 : float;
+  p99 : float;
+}
+
+(** Fire [repeat] copies of [body] from [concurrency] client threads
+    and report throughput plus client-observed latency percentiles. *)
+val load :
+  host:string ->
+  port:int ->
+  repeat:int ->
+  concurrency:int ->
+  string ->
+  load_report
+
+val pp_load_report : load_report Fmt.t

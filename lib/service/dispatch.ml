@@ -1,0 +1,237 @@
+module Json = Skope_report.Json
+module P = Core.Pipeline
+module Registry = Core.Workloads.Registry
+module Machine = Core.Hw.Machine
+module Machines = Core.Hw.Machines
+module Designspace = Core.Hw.Designspace
+module Hotspot = Core.Analysis.Hotspot
+module Blockstat = Core.Analysis.Blockstat
+module Roofline = Core.Hw.Roofline
+
+type config = { max_request_bytes : int; cache_capacity : int }
+
+let default_config = { max_request_bytes = 1 lsl 20; cache_capacity = 4096 }
+
+type t = { config : config; cache : Json.t Lru.t; metrics : Metrics.t }
+
+let create ?(config = default_config) () =
+  {
+    config;
+    cache = Lru.create ~capacity:config.cache_capacity;
+    metrics = Metrics.create ();
+  }
+
+exception Reject of Protocol.error_code * string
+
+let reject code msg = raise (Reject (code, msg))
+
+(* --- result rendering ---------------------------------------------- *)
+
+let json_of_spot rank total (b : Blockstat.t) =
+  Json.Obj
+    [
+      ("rank", Json.Int rank);
+      ("block", Json.String b.name);
+      ("ms", Json.Float (b.time *. 1e3));
+      ("share", Json.Float (if total > 0. then b.time /. total else 0.));
+      ("enr", Json.Float b.enr);
+      ("bound", Json.String (Fmt.str "%a" Roofline.pp_bound b.bound));
+    ]
+
+let analysis_result ~(workload : Registry.t) ~(machine : Machine.t) ~scale
+    ~criteria ~top =
+  let a = P.analyze ~criteria ~machine ~workload ~scale () in
+  let total = a.P.a_projection.total_time in
+  let spots =
+    List.filteri (fun i _ -> i < top) a.P.a_projection.blocks
+    |> List.mapi (fun i b -> json_of_spot (i + 1) total b)
+  in
+  let sel = a.P.a_selection in
+  Json.Obj
+    [
+      ("workload", Json.String workload.Registry.name);
+      ("machine", Json.String machine.Machine.name);
+      ("scale", Json.Float scale);
+      ("total_ms", Json.Float (total *. 1e3));
+      ("bet_nodes", Json.Int a.P.a_built.node_count);
+      ("spots", Json.List spots);
+      ( "selection",
+        Json.Obj
+          [
+            ("count", Json.Int (List.length sel.Hotspot.spots));
+            ("coverage", Json.Float sel.Hotspot.coverage);
+            ("leanness", Json.Float sel.Hotspot.leanness);
+          ] );
+    ]
+
+(* --- cached projection --------------------------------------------- *)
+
+let lookup_workload name =
+  match Registry.find name with
+  | Some w -> w
+  | None ->
+    reject Protocol.Unknown_workload
+      (Printf.sprintf "unknown workload %S (try the workloads request)" name)
+
+(* One projection, through the cache.  The fingerprint covers every
+   machine parameter (but the response embeds the machine's catalog
+   name), so an [analyze] with overrides and a [sweep] variant with
+   the same parameters share a slot. *)
+let cached_analysis t ~(workload : Registry.t) ~(machine : Machine.t) ~scale
+    ~criteria ~top =
+  let key =
+    Fingerprint.of_query ~workload:workload.Registry.name ~machine ~scale
+      ~criteria ~top
+  in
+  match Lru.find t.cache key with
+  | Some json ->
+    Metrics.cache_hit t.metrics;
+    json
+  | None ->
+    Metrics.cache_miss t.metrics;
+    let json = analysis_result ~workload ~machine ~scale ~criteria ~top in
+    Lru.add t.cache key json;
+    json
+
+let resolve q =
+  match Protocol.resolve_machine q with
+  | Ok m -> m
+  | Error (code, msg) -> reject code msg
+
+let query_parts (q : Protocol.query) =
+  let workload = lookup_workload q.Protocol.workload in
+  let machine = resolve q in
+  let scale =
+    Option.value ~default:workload.Registry.default_scale q.Protocol.scale
+  in
+  let criteria =
+    {
+      Hotspot.time_coverage = q.Protocol.coverage;
+      code_leanness = q.Protocol.leanness;
+    }
+  in
+  (workload, machine, scale, criteria)
+
+(* --- request kinds ------------------------------------------------- *)
+
+let run_analyze t (q : Protocol.query) =
+  let workload, machine, scale, criteria = query_parts q in
+  cached_analysis t ~workload ~machine ~scale ~criteria ~top:q.Protocol.top
+
+let run_sweep t (q : Protocol.query) axis ~check_deadline =
+  let workload, base, scale, criteria = query_parts q in
+  let points =
+    Designspace.variants base axis
+    |> List.map (fun (tag, variant) ->
+           (* Cooperative cancellation between fan-out points. *)
+           check_deadline ();
+           (* Re-normalize the variant's name so its fingerprint (and
+              rendered result) match an equivalent override query. *)
+           let machine = { variant with Machine.name = base.Machine.name } in
+           let analysis =
+             cached_analysis t ~workload ~machine ~scale ~criteria
+               ~top:q.Protocol.top
+           in
+           Json.Obj [ ("tag", Json.String tag); ("analysis", analysis) ])
+  in
+  Json.Obj
+    [
+      ("workload", Json.String workload.Registry.name);
+      ("machine", Json.String base.Machine.name);
+      ("axis", Json.String (Designspace.axis_name axis));
+      ("points", Json.List points);
+    ]
+
+let run_workloads () =
+  Json.List
+    (List.map
+       (fun (w : Registry.t) ->
+         Json.Obj
+           [
+             ("name", Json.String w.name);
+             ("description", Json.String w.description);
+             ("default_scale", Json.Float w.default_scale);
+             ("paper_top_k", Json.Int w.paper_top_k);
+           ])
+       Registry.all)
+
+let run_machines () =
+  Json.List
+    (List.map
+       (fun (m : Machine.t) ->
+         Json.Obj
+           [
+             ("name", Json.String m.name);
+             ("freq_ghz", Json.Float m.freq_ghz);
+             ("issue_width", Json.Float m.issue_width);
+             ("vector_width", Json.Int m.vector_width);
+             ("fma", Json.Bool m.fma);
+             ("mem_bw_gbs", Json.Float m.mem_bw_gbs);
+             ("mem_latency_cycles", Json.Float m.mem_latency_cycles);
+             ("l2_size_bytes", Json.Int m.l2.size_bytes);
+             ( "peak_gflops",
+               Json.Float (Machine.peak_flops m /. 1e9) );
+           ])
+       Machines.all)
+
+let run_stats t =
+  let v = Metrics.view t.metrics in
+  Json.Obj
+    [
+      ("metrics", Metrics.to_json v);
+      ( "cache",
+        Json.Obj
+          [
+            ("entries", Json.Int (Lru.length t.cache));
+            ("capacity", Json.Int (Lru.capacity t.cache));
+          ] );
+    ]
+
+(* --- entry point --------------------------------------------------- *)
+
+let handle ?received_at t body =
+  let received_at =
+    match received_at with Some x -> x | None -> Unix.gettimeofday ()
+  in
+  let kind = ref "?" in
+  let outcome = ref "ok" in
+  let response =
+    try
+      if String.length body > t.config.max_request_bytes then
+        reject Protocol.Oversized
+          (Printf.sprintf "request body exceeds %d bytes"
+             t.config.max_request_bytes);
+      let request, timeout_ms =
+        match Protocol.parse_request body with
+        | Ok x -> x
+        | Error (code, msg) -> reject code msg
+      in
+      kind := Protocol.kind_label request;
+      let check_deadline () =
+        match timeout_ms with
+        | Some ms when Unix.gettimeofday () -. received_at > ms /. 1e3 ->
+          reject Protocol.Deadline_exceeded
+            (Printf.sprintf "deadline of %g ms exceeded" ms)
+        | _ -> ()
+      in
+      check_deadline ();
+      let result =
+        match request with
+        | Protocol.Analyze q -> run_analyze t q
+        | Protocol.Sweep (q, axis) -> run_sweep t q axis ~check_deadline
+        | Protocol.Workloads -> run_workloads ()
+        | Protocol.Machines -> run_machines ()
+        | Protocol.Stats -> run_stats t
+      in
+      Protocol.ok_response result
+    with
+    | Reject (code, msg) ->
+      outcome := Protocol.error_code_to_string code;
+      Protocol.error_response code msg
+    | exn ->
+      outcome := Protocol.error_code_to_string Protocol.Internal;
+      Protocol.error_response Protocol.Internal (Printexc.to_string exn)
+  in
+  Metrics.incr_request t.metrics ~kind:!kind ~outcome:!outcome;
+  Metrics.observe_latency t.metrics (Unix.gettimeofday () -. received_at);
+  response

@@ -1,0 +1,28 @@
+(** Request execution: validation, catalog lookup, the projection
+    cache, and metrics accounting.  Pure with respect to I/O — the
+    server hands it a request body and writes back the returned
+    string — so the whole protocol is testable without sockets. *)
+
+module Json = Skope_report.Json
+
+type config = {
+  max_request_bytes : int;  (** larger bodies get an [oversized] error *)
+  cache_capacity : int;  (** LRU slots for projection results *)
+}
+
+val default_config : config
+
+type t = {
+  config : config;
+  cache : Json.t Lru.t;  (** fingerprint -> analyze result object *)
+  metrics : Metrics.t;
+}
+
+val create : ?config:config -> unit -> t
+
+(** Handle one request body, returning the response body (always a
+    single-line JSON string, never raising).  [received_at] is when
+    the request entered the system (defaults to now): queue wait
+    counts toward both the request's [timeout_ms] deadline and its
+    recorded latency. *)
+val handle : ?received_at:float -> t -> string -> string

@@ -1,0 +1,96 @@
+type 'a node = {
+  key : string;
+  mutable value : 'a;
+  mutable prev : 'a node option;  (** toward MRU *)
+  mutable next : 'a node option;  (** toward LRU *)
+}
+
+type 'a t = {
+  capacity : int;
+  table : (string, 'a node) Hashtbl.t;
+  mutable head : 'a node option;  (** most recently used *)
+  mutable tail : 'a node option;  (** least recently used *)
+  lock : Mutex.t;
+}
+
+let create ~capacity =
+  let capacity = max 1 capacity in
+  {
+    capacity;
+    table = Hashtbl.create (2 * capacity);
+    head = None;
+    tail = None;
+    lock = Mutex.create ();
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* List surgery below assumes the lock is held. *)
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let promote t node =
+  if t.head != Some node then begin
+    unlink t node;
+    push_front t node
+  end
+
+let find t key =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | None -> None
+      | Some node ->
+        promote t node;
+        Some node.value)
+
+let mem t key = with_lock t (fun () -> Hashtbl.mem t.table key)
+
+let add t key value =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some node ->
+        node.value <- value;
+        promote t node
+      | None ->
+        let node = { key; value; prev = None; next = None } in
+        Hashtbl.replace t.table key node;
+        push_front t node;
+        if Hashtbl.length t.table > t.capacity then
+          match t.tail with
+          | Some lru ->
+            unlink t lru;
+            Hashtbl.remove t.table lru.key
+          | None -> ())
+
+let length t = with_lock t (fun () -> Hashtbl.length t.table)
+let capacity t = t.capacity
+
+let clear t =
+  with_lock t (fun () ->
+      Hashtbl.reset t.table;
+      t.head <- None;
+      t.tail <- None)
+
+let keys t =
+  with_lock t (fun () ->
+      let rec go acc = function
+        | None -> List.rev acc
+        | Some node -> go (node.key :: acc) node.next
+      in
+      go [] t.head)

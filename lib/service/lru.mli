@@ -1,0 +1,25 @@
+(** Thread-safe LRU cache with string keys.
+
+    O(1) lookup, insert and eviction (hash table + intrusive doubly
+    linked recency list), guarded by one mutex so `skoped` worker
+    domains can share it. *)
+
+type 'a t
+
+(** [create ~capacity] holds at most [capacity] entries (at least 1). *)
+val create : capacity:int -> 'a t
+
+(** Lookup; a hit promotes the entry to most-recently-used. *)
+val find : 'a t -> string -> 'a option
+
+(** Insert or replace; evicts the least-recently-used entry when over
+    capacity. *)
+val add : 'a t -> string -> 'a -> unit
+
+val mem : 'a t -> string -> bool
+val length : 'a t -> int
+val capacity : 'a t -> int
+val clear : 'a t -> unit
+
+(** Keys from most- to least-recently used (for tests/debugging). *)
+val keys : 'a t -> string list

@@ -1,0 +1,115 @@
+module Json = Skope_report.Json
+
+(* Latencies land in a fixed ring so memory stays bounded under
+   sustained traffic; percentiles are computed over the ring's
+   retained window (the most recent [reservoir_size] samples). *)
+let reservoir_size = 65536
+
+type t = {
+  lock : Mutex.t;
+  requests : (string * string, int) Hashtbl.t;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  samples : float array;
+  mutable sample_count : int;  (** total observed, may exceed ring size *)
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    requests = Hashtbl.create 16;
+    cache_hits = 0;
+    cache_misses = 0;
+    samples = Array.make reservoir_size 0.;
+    sample_count = 0;
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let incr_request t ~kind ~outcome =
+  with_lock t (fun () ->
+      let key = (kind, outcome) in
+      let n = Option.value ~default:0 (Hashtbl.find_opt t.requests key) in
+      Hashtbl.replace t.requests key (n + 1))
+
+let cache_hit t = with_lock t (fun () -> t.cache_hits <- t.cache_hits + 1)
+let cache_miss t = with_lock t (fun () -> t.cache_misses <- t.cache_misses + 1)
+
+let observe_latency t secs =
+  with_lock t (fun () ->
+      t.samples.(t.sample_count mod reservoir_size) <- secs;
+      t.sample_count <- t.sample_count + 1)
+
+type view = {
+  requests : ((string * string) * int) list;
+  total_requests : int;
+  cache_hits : int;
+  cache_misses : int;
+  hit_rate : float;
+  latency_count : int;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+(* Nearest-rank percentile over a sorted array. *)
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else begin
+    let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+    sorted.(min (n - 1) (max 0 (rank - 1)))
+  end
+
+let view t =
+  with_lock t (fun () ->
+      let requests =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.requests []
+        |> List.sort compare
+      in
+      let total_requests = List.fold_left (fun a (_, n) -> a + n) 0 requests in
+      let lookups = t.cache_hits + t.cache_misses in
+      let hit_rate =
+        if lookups = 0 then 0.
+        else float_of_int t.cache_hits /. float_of_int lookups
+      in
+      let retained = min t.sample_count reservoir_size in
+      let sorted = Array.sub t.samples 0 retained in
+      Array.sort Float.compare sorted;
+      {
+        requests;
+        total_requests;
+        cache_hits = t.cache_hits;
+        cache_misses = t.cache_misses;
+        hit_rate;
+        latency_count = t.sample_count;
+        p50 = percentile sorted 0.50;
+        p95 = percentile sorted 0.95;
+        p99 = percentile sorted 0.99;
+      })
+
+let to_json (v : view) =
+  Json.Obj
+    [
+      ( "requests",
+        Json.List
+          (List.map
+             (fun ((kind, outcome), n) ->
+               Json.Obj
+                 [
+                   ("kind", Json.String kind);
+                   ("outcome", Json.String outcome);
+                   ("count", Json.Int n);
+                 ])
+             v.requests) );
+      ("total_requests", Json.Int v.total_requests);
+      ("cache_hits", Json.Int v.cache_hits);
+      ("cache_misses", Json.Int v.cache_misses);
+      ("cache_hit_rate", Json.Float v.hit_rate);
+      ("latency_count", Json.Int v.latency_count);
+      ("latency_p50_ms", Json.Float (v.p50 *. 1e3));
+      ("latency_p95_ms", Json.Float (v.p95 *. 1e3));
+      ("latency_p99_ms", Json.Float (v.p99 *. 1e3));
+    ]

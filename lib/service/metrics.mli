@@ -1,0 +1,34 @@
+(** Service metrics registry: request counters by (kind, outcome),
+    cache hit/miss counters, and a latency reservoir with percentile
+    estimates.  All operations are thread-safe. *)
+
+type t
+
+val create : unit -> t
+
+(** Count one finished request, e.g. [~kind:"analyze" ~outcome:"ok"]
+    or [~kind:"sweep" ~outcome:"deadline_exceeded"]. *)
+val incr_request : t -> kind:string -> outcome:string -> unit
+
+val cache_hit : t -> unit
+val cache_miss : t -> unit
+
+(** Record one request's service latency in seconds. *)
+val observe_latency : t -> float -> unit
+
+(** Immutable snapshot for the [stats] response and for tests. *)
+type view = {
+  requests : ((string * string) * int) list;
+      (** (kind, outcome) -> count, sorted by key *)
+  total_requests : int;
+  cache_hits : int;
+  cache_misses : int;
+  hit_rate : float;  (** hits / (hits + misses); 0 when no lookups *)
+  latency_count : int;
+  p50 : float;  (** seconds *)
+  p95 : float;
+  p99 : float;
+}
+
+val view : t -> view
+val to_json : view -> Skope_report.Json.t

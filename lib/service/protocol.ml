@@ -1,0 +1,265 @@
+open Skope_hw
+module Json = Skope_report.Json
+
+type query = {
+  workload : string;
+  machine : string;
+  overrides : (string * float) list;
+  scale : float option;
+  coverage : float;
+  leanness : float;
+  top : int;
+}
+
+type request =
+  | Analyze of query
+  | Sweep of query * Designspace.axis
+  | Workloads
+  | Machines
+  | Stats
+
+type error_code =
+  | Parse_error
+  | Invalid_request
+  | Unknown_workload
+  | Unknown_machine
+  | Oversized
+  | Deadline_exceeded
+  | Internal
+
+let error_code_to_string = function
+  | Parse_error -> "parse_error"
+  | Invalid_request -> "invalid_request"
+  | Unknown_workload -> "unknown_workload"
+  | Unknown_machine -> "unknown_machine"
+  | Oversized -> "oversized"
+  | Deadline_exceeded -> "deadline_exceeded"
+  | Internal -> "internal"
+
+let kind_label = function
+  | Analyze _ -> "analyze"
+  | Sweep _ -> "sweep"
+  | Workloads -> "workloads"
+  | Machines -> "machines"
+  | Stats -> "stats"
+
+(* --- request parsing ---------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let invalid msg = Error (Invalid_request, msg)
+
+let string_field json key =
+  match Json.member key json with
+  | Some (Json.String s) -> Ok s
+  | Some _ -> invalid (Printf.sprintf "field %S must be a string" key)
+  | None -> invalid (Printf.sprintf "missing required field %S" key)
+
+let opt_number json key =
+  match Json.member key json with
+  | None | Some Json.Null -> Ok None
+  | Some v -> (
+    match Json.to_float_opt v with
+    | Some f -> Ok (Some f)
+    | None -> invalid (Printf.sprintf "field %S must be a number" key))
+
+let opt_int json key ~default =
+  match Json.member key json with
+  | None | Some Json.Null -> Ok default
+  | Some v -> (
+    match Json.to_int_opt v with
+    | Some i -> Ok i
+    | None -> invalid (Printf.sprintf "field %S must be an integer" key))
+
+let parse_overrides json =
+  match Json.member "overrides" json with
+  | None | Some Json.Null -> Ok []
+  | Some (Json.Obj fields) ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | (k, v) :: rest -> (
+        match Json.to_float_opt v with
+        | Some f -> go ((k, f) :: acc) rest
+        | None ->
+          invalid (Printf.sprintf "override %S must be a number" k))
+    in
+    go [] fields
+  | Some _ -> invalid "field \"overrides\" must be an object"
+
+let parse_query json =
+  let* workload = string_field json "workload" in
+  let* machine = string_field json "machine" in
+  let* overrides = parse_overrides json in
+  let* scale = opt_number json "scale" in
+  let* () =
+    match scale with
+    | Some s when s <= 0. || not (Float.is_finite s) ->
+      invalid "field \"scale\" must be positive and finite"
+    | _ -> Ok ()
+  in
+  let* coverage = opt_number json "coverage" in
+  let coverage = Option.value ~default:0.90 coverage in
+  let* () =
+    if coverage <= 0. || coverage > 1. then
+      invalid "field \"coverage\" must be in (0, 1]"
+    else Ok ()
+  in
+  let* leanness = opt_number json "leanness" in
+  let leanness = Option.value ~default:0.10 leanness in
+  let* () =
+    if leanness <= 0. || leanness > 1. then
+      invalid "field \"leanness\" must be in (0, 1]"
+    else Ok ()
+  in
+  let* top = opt_int json "top" ~default:10 in
+  let* () =
+    if top < 1 || top > 1000 then invalid "field \"top\" must be in [1, 1000]"
+    else Ok ()
+  in
+  Ok { workload; machine; overrides; scale; coverage; leanness; top }
+
+let parse_axis json =
+  let* name = string_field json "axis" in
+  let* values =
+    match Json.member "values" json with
+    | Some (Json.List vs) ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | v :: rest -> (
+          match Json.to_float_opt v with
+          | Some f when Float.is_finite f -> go (f :: acc) rest
+          | _ -> invalid "field \"values\" must be a list of finite numbers")
+      in
+      go [] vs
+    | Some _ -> invalid "field \"values\" must be a list"
+    | None -> invalid "missing required field \"values\""
+  in
+  let* () =
+    if values = [] then invalid "field \"values\" must be non-empty"
+    else if List.length values > 256 then
+      invalid "field \"values\" is limited to 256 points"
+    else Ok ()
+  in
+  let ints () = List.map int_of_float values in
+  match String.lowercase_ascii name with
+  | "bw" -> Ok (Designspace.Mem_bandwidth values)
+  | "lat" -> Ok (Designspace.Mem_latency values)
+  | "vec" -> Ok (Designspace.Vector_width (ints ()))
+  | "issue" -> Ok (Designspace.Issue_width values)
+  | "freq" -> Ok (Designspace.Frequency values)
+  | "l2" -> Ok (Designspace.L2_size (ints ()))
+  | "div" -> Ok (Designspace.Div_latency values)
+  | other ->
+    invalid
+      (Printf.sprintf
+         "unknown axis %S (expected bw|lat|vec|issue|freq|l2|div)" other)
+
+let parse_request body =
+  match Json.of_string body with
+  | Error msg -> Error (Parse_error, msg)
+  | Ok json ->
+    let* () =
+      match json with
+      | Json.Obj _ -> Ok ()
+      | _ -> invalid "request must be a JSON object"
+    in
+    let* timeout_ms = opt_number json "timeout_ms" in
+    let* () =
+      match timeout_ms with
+      | Some t when t <= 0. || not (Float.is_finite t) ->
+        invalid "field \"timeout_ms\" must be positive and finite"
+      | _ -> Ok ()
+    in
+    let* kind = string_field json "kind" in
+    let* request =
+      match kind with
+      | "analyze" ->
+        let* q = parse_query json in
+        Ok (Analyze q)
+      | "sweep" ->
+        let* q = parse_query json in
+        let* axis = parse_axis json in
+        Ok (Sweep (q, axis))
+      | "workloads" -> Ok Workloads
+      | "machines" -> Ok Machines
+      | "stats" -> Ok Stats
+      | other -> invalid (Printf.sprintf "unknown request kind %S" other)
+    in
+    Ok (request, timeout_ms)
+
+(* --- machine resolution ------------------------------------------- *)
+
+let apply_override (m : Machine.t) key value =
+  let pos name =
+    if value > 0. then Ok ()
+    else invalid (Printf.sprintf "override %S must be positive" name)
+  in
+  match key with
+  | "freq_ghz" ->
+    let* () = pos key in
+    Ok { m with Machine.freq_ghz = value }
+  | "issue_width" ->
+    let* () = pos key in
+    Ok { m with Machine.issue_width = value }
+  | "vector_width" ->
+    let* () = pos key in
+    Ok { m with Machine.vector_width = int_of_float value }
+  | "flop_issue_per_cycle" ->
+    let* () = pos key in
+    Ok { m with Machine.flop_issue_per_cycle = value }
+  | "div_latency" ->
+    let* () = pos key in
+    Ok { m with Machine.div_latency = value }
+  | "vec_efficiency" ->
+    if value < 0. || value > 1. then
+      invalid "override \"vec_efficiency\" must be in [0, 1]"
+    else Ok { m with Machine.vec_efficiency = value }
+  | "mem_latency_cycles" ->
+    let* () = pos key in
+    Ok { m with Machine.mem_latency_cycles = value }
+  | "mem_bw_gbs" ->
+    let* () = pos key in
+    Ok { m with Machine.mem_bw_gbs = value }
+  | "mlp" ->
+    let* () = pos key in
+    Ok { m with Machine.mlp = value }
+  | "l2_size_bytes" ->
+    let* () = pos key in
+    Ok
+      {
+        m with
+        Machine.l2 = { m.Machine.l2 with Machine.size_bytes = int_of_float value };
+      }
+  | other -> invalid (Printf.sprintf "unknown machine override %S" other)
+
+let resolve_machine (q : query) =
+  match Machines.find q.machine with
+  | None ->
+    Error
+      ( Unknown_machine,
+        Printf.sprintf "unknown machine %S (try the machines request)"
+          q.machine )
+  | Some base ->
+    List.fold_left
+      (fun acc (k, v) ->
+        let* m = acc in
+        apply_override m k v)
+      (Ok base) q.overrides
+
+(* --- responses ----------------------------------------------------- *)
+
+let ok_response result =
+  Json.to_string (Json.Obj [ ("ok", Json.Bool true); ("result", result) ])
+
+let error_response code message =
+  Json.to_string
+    (Json.Obj
+       [
+         ("ok", Json.Bool false);
+         ( "error",
+           Json.Obj
+             [
+               ("code", Json.String (error_code_to_string code));
+               ("message", Json.String message);
+             ] );
+       ])

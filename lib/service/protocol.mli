@@ -1,0 +1,71 @@
+(** `skoped` wire protocol: newline-delimited JSON over TCP, one
+    request per connection.
+
+    Requests are JSON objects with a ["kind"] field:
+
+    - [{"kind":"analyze","workload":W,"machine":M, ...}] — analytic
+      projection; optional ["scale"], ["top"], ["coverage"],
+      ["leanness"], and ["overrides"] (an object of machine-parameter
+      overrides, e.g. [{"mem_bw_gbs": 50.0}]);
+    - [{"kind":"sweep", ...,"axis":A,"values":[...]}] — the same
+      query fanned out server-side along one design axis
+      (bw | lat | vec | issue | freq | l2 | div);
+    - [{"kind":"workloads"}], [{"kind":"machines"}] — catalogs;
+    - [{"kind":"stats"}] — metrics snapshot.
+
+    Any request may carry ["timeout_ms"]: the server refuses to start
+    (or continue fanning out) work past the deadline.
+
+    Responses are [{"ok":true,"result":...}] or
+    [{"ok":false,"error":{"code":C,"message":M}}]. *)
+
+open Skope_hw
+module Json = Skope_report.Json
+
+type query = {
+  workload : string;
+  machine : string;
+  overrides : (string * float) list;  (** machine-parameter overrides *)
+  scale : float option;  (** [None]: the workload's default scale *)
+  coverage : float;
+  leanness : float;
+  top : int;  (** hot spots to return *)
+}
+
+type request =
+  | Analyze of query
+  | Sweep of query * Designspace.axis
+  | Workloads
+  | Machines
+  | Stats
+
+type error_code =
+  | Parse_error  (** body is not valid JSON *)
+  | Invalid_request  (** valid JSON, invalid shape/kind/field *)
+  | Unknown_workload
+  | Unknown_machine
+  | Oversized
+  | Deadline_exceeded
+  | Internal
+
+val error_code_to_string : error_code -> string
+
+(** Kind label for metrics, even for invalid requests ("?" when the
+    kind cannot be determined). *)
+val kind_label : request -> string
+
+(** Parse and validate a request body.  Returns the request plus its
+    optional [timeout_ms].  Catalog existence of workload/machine
+    names is NOT checked here (the dispatcher owns the catalogs). *)
+val parse_request :
+  string -> (request * float option, error_code * string) result
+
+(** Build the machine for [q]: catalog lookup plus overrides.
+    Recognized override keys: freq_ghz, issue_width, vector_width,
+    flop_issue_per_cycle, div_latency, vec_efficiency,
+    mem_latency_cycles, mem_bw_gbs, mlp, l2_size_bytes. *)
+val resolve_machine :
+  query -> (Machine.t, error_code * string) result
+
+val ok_response : Json.t -> string
+val error_response : error_code -> string -> string

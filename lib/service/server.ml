@@ -1,0 +1,136 @@
+type config = {
+  host : string;
+  port : int;
+  pool : int;
+  queue_capacity : int;
+  dispatch : Dispatch.config;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 7777;
+    pool = max 2 (Domain.recommended_domain_count () - 1);
+    queue_capacity = 128;
+    dispatch = Dispatch.default_config;
+  }
+
+(* A job is an accepted connection plus its accept timestamp (queue
+   wait counts toward the request's deadline and latency). *)
+type job = Conn of Unix.file_descr * float | Quit
+
+let rec write_all fd bytes pos len =
+  if len > 0 then begin
+    let n = Unix.write fd bytes pos len in
+    write_all fd bytes (pos + n) (len - n)
+  end
+
+(* Read up to (and including) one '\n', or EOF; [limit] bounds the
+   total bytes buffered so an oversized body cannot exhaust memory —
+   we keep one byte past the limit so the dispatcher sees "too big",
+   not a truncated-but-valid body. *)
+let read_line fd ~limit =
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    if Buffer.length buf > limit then Buffer.contents buf
+    else
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> Buffer.contents buf
+      | n -> (
+        match Bytes.index_from_opt chunk 0 '\n' with
+        | Some i when i < n ->
+          Buffer.add_subbytes buf chunk 0 i;
+          Buffer.contents buf
+        | _ ->
+          Buffer.add_subbytes buf chunk 0 n;
+          go ())
+  in
+  go ()
+
+let handle_connection dispatch fd accepted_at =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      try
+        (* A dead or stalled client must not pin a worker forever. *)
+        Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.;
+        Unix.setsockopt_float fd Unix.SO_SNDTIMEO 10.;
+        let body =
+          read_line fd ~limit:dispatch.Dispatch.config.max_request_bytes
+        in
+        let response = Dispatch.handle ~received_at:accepted_at dispatch body in
+        let line = Bytes.of_string (response ^ "\n") in
+        write_all fd line 0 (Bytes.length line)
+      with Unix.Unix_error _ -> ())
+
+let worker dispatch queue =
+  let rec loop () =
+    match Workqueue.pop queue with
+    | Quit -> ()
+    | Conn (fd, accepted_at) ->
+      handle_connection dispatch fd accepted_at;
+      loop ()
+  in
+  loop ()
+
+let run ?on_ready config =
+  let stop = Atomic.make false in
+  let request_stop _ = Atomic.set stop true in
+  let prev_int = Sys.signal Sys.sigint (Sys.Signal_handle request_stop) in
+  let prev_term = Sys.signal Sys.sigterm (Sys.Signal_handle request_stop) in
+  let prev_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let restore_signals () =
+    Sys.set_signal Sys.sigint prev_int;
+    Sys.set_signal Sys.sigterm prev_term;
+    Sys.set_signal Sys.sigpipe prev_pipe
+  in
+  let dispatch = Dispatch.create ~config:config.dispatch () in
+  let queue = Workqueue.create ~capacity:config.queue_capacity in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:restore_signals @@ fun () ->
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  let addr = Unix.inet_addr_of_string config.host in
+  Unix.bind sock (Unix.ADDR_INET (addr, config.port));
+  Unix.listen sock 64;
+  let port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> config.port
+  in
+  (match on_ready with
+  | Some f -> f port
+  | None ->
+    Fmt.pr "skoped listening on %s:%d (%d workers, cache %d)@." config.host
+      port config.pool dispatch.Dispatch.config.cache_capacity;
+    (* Scripts wait for this line before issuing queries. *)
+    Format.pp_print_flush Format.std_formatter ());
+  let workers =
+    List.init config.pool (fun _ -> Domain.spawn (fun () -> worker dispatch queue))
+  in
+  let rec accept_loop () =
+    if not (Atomic.get stop) then begin
+      (match Unix.select [ sock ] [] [] 0.2 with
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+        match Unix.accept sock with
+        | fd, _ -> Workqueue.push queue (Conn (fd, Unix.gettimeofday ()))
+        | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      accept_loop ()
+    end
+  in
+  accept_loop ();
+  (* Graceful shutdown: no new connections; queued requests drain,
+     then each worker sees one Quit and exits. *)
+  List.iter (fun _ -> Workqueue.push queue Quit) workers;
+  List.iter Domain.join workers;
+  let v = Metrics.view dispatch.Dispatch.metrics in
+  Fmt.epr
+    "skoped: served %d requests (cache hit rate %.1f%%, p50 %.2f ms); bye@."
+    v.Metrics.total_requests
+    (100. *. v.Metrics.hit_rate)
+    (v.Metrics.p50 *. 1e3)

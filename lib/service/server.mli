@@ -1,0 +1,23 @@
+(** `skoped` — the TCP server.
+
+    One accept loop feeds a bounded {!Workqueue} drained by a fixed
+    pool of OCaml 5 [Domain] workers; each worker reads one
+    newline-terminated JSON request from its connection, runs it
+    through {!Dispatch} (shared cache + metrics), writes the response
+    line and closes.  SIGINT/SIGTERM stop the accept loop, drain the
+    queue, join every worker and print a final stats line. *)
+
+type config = {
+  host : string;
+  port : int;  (** 0 picks an ephemeral port *)
+  pool : int;  (** worker domains *)
+  queue_capacity : int;
+  dispatch : Dispatch.config;
+}
+
+val default_config : config
+
+(** Serve until SIGINT/SIGTERM.  [on_ready] (default: prints a
+    "listening" line) receives the bound port — useful with
+    [port = 0]. *)
+val run : ?on_ready:(int -> unit) -> config -> unit

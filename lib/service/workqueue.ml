@@ -1,0 +1,51 @@
+type 'a t = {
+  capacity : int;
+  items : 'a Queue.t;
+  lock : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+}
+
+let create ~capacity =
+  {
+    capacity = max 1 capacity;
+    items = Queue.create ();
+    lock = Mutex.create ();
+    not_empty = Condition.create ();
+    not_full = Condition.create ();
+  }
+
+let push t x =
+  Mutex.lock t.lock;
+  while Queue.length t.items >= t.capacity do
+    Condition.wait t.not_full t.lock
+  done;
+  Queue.push x t.items;
+  Condition.signal t.not_empty;
+  Mutex.unlock t.lock
+
+let try_push t x =
+  Mutex.lock t.lock;
+  let ok = Queue.length t.items < t.capacity in
+  if ok then begin
+    Queue.push x t.items;
+    Condition.signal t.not_empty
+  end;
+  Mutex.unlock t.lock;
+  ok
+
+let pop t =
+  Mutex.lock t.lock;
+  while Queue.is_empty t.items do
+    Condition.wait t.not_empty t.lock
+  done;
+  let x = Queue.pop t.items in
+  Condition.signal t.not_full;
+  Mutex.unlock t.lock;
+  x
+
+let length t =
+  Mutex.lock t.lock;
+  let n = Queue.length t.items in
+  Mutex.unlock t.lock;
+  n

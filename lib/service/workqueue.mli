@@ -1,0 +1,18 @@
+(** Bounded blocking FIFO connecting the accept loop to the worker
+    pool.  [push] blocks when full (backpressure on accept), [pop]
+    blocks when empty. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+
+(** Blocks while the queue is at capacity. *)
+val push : 'a t -> 'a -> unit
+
+(** Non-blocking push; [false] when the queue is at capacity. *)
+val try_push : 'a t -> 'a -> bool
+
+(** Blocks while the queue is empty. *)
+val pop : 'a t -> 'a
+
+val length : 'a t -> int

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Pre-PR smoke check for the skoped service layer: build, start the
+# server on a random port, run a client query against every registered
+# workload (plus the catalogs, a sweep, and a small load burst), check
+# exit codes, and shut the server down with SIGINT.
+set -u
+
+cd "$(dirname "$0")/.."
+
+fail() { echo "smoke: FAIL: $*" >&2; exit 1; }
+
+echo "smoke: building..."
+dune build bin test || fail "dune build"
+
+SKOPE=_build/default/bin/skope.exe
+PORT=$(( (RANDOM % 20000) + 20000 ))
+LOG=$(mktemp /tmp/skoped-smoke.XXXXXX.log)
+
+echo "smoke: starting skoped on port $PORT"
+"$SKOPE" serve --port "$PORT" >"$LOG" 2>&1 &
+SERVER_PID=$!
+trap 'kill -9 $SERVER_PID 2>/dev/null; rm -f "$LOG"' EXIT
+
+# Wait for the listening line.
+for _ in $(seq 1 50); do
+    grep -q "listening" "$LOG" 2>/dev/null && break
+    kill -0 "$SERVER_PID" 2>/dev/null || { cat "$LOG" >&2; fail "server died on startup"; }
+    sleep 0.1
+done
+grep -q "listening" "$LOG" || fail "server never became ready"
+
+q() { "$SKOPE" query --port "$PORT" "$@"; }
+
+echo "smoke: catalogs"
+q --kind workloads >/dev/null || fail "workloads request"
+q --kind machines  >/dev/null || fail "machines request"
+
+WORKLOADS=$(q --kind workloads \
+    | tr ',' '\n' | sed -n 's/.*"name":"\([^"]*\)".*/\1/p')
+[ -n "$WORKLOADS" ] || fail "could not list workloads"
+
+for w in $WORKLOADS; do
+    for m in bgq xeon future; do
+        echo "smoke: analyze $w on $m"
+        q -w "$w" -m "$m" >/dev/null || fail "analyze $w on $m"
+    done
+done
+
+echo "smoke: sweep + cache-warm repeat"
+q --kind sweep -w sord -m bgq --axis bw --values 7,14,28,56 >/dev/null \
+    || fail "sweep"
+q --kind sweep -w sord -m bgq --axis bw --values 7,14,28,56 >/dev/null \
+    || fail "re-sweep"
+
+echo "smoke: error paths return structured errors (and nonzero exit)"
+q -w no-such-workload >/dev/null 2>&1 && fail "unknown workload accepted"
+q --body 'not json'   >/dev/null 2>&1 && fail "malformed body accepted"
+
+echo "smoke: load burst"
+q -w srad -m bgq --repeat 200 --concurrency 4 || fail "load burst"
+
+q --kind stats | grep -q '"cache_hits"' || fail "stats request"
+
+echo "smoke: shutting down (SIGINT)"
+kill -INT "$SERVER_PID" || fail "server already gone"
+for _ in $(seq 1 50); do
+    kill -0 "$SERVER_PID" 2>/dev/null || break
+    sleep 0.1
+done
+kill -0 "$SERVER_PID" 2>/dev/null && fail "server did not exit on SIGINT"
+trap 'rm -f "$LOG"' EXIT
+
+grep -q "bye" "$LOG" || fail "missing shutdown stats line"
+echo "smoke: OK"

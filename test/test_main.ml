@@ -17,4 +17,5 @@ let () =
          Test_more.suite;
          Test_shapes.suite;
          Test_props.suite;
+         Test_service.suite;
        ])

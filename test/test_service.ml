@@ -1,0 +1,421 @@
+(* Tests for the service layer: the JSON parser round trip, the
+   skoped protocol (through Dispatch, no sockets needed), the
+   projection cache, and the small concurrent primitives. *)
+
+module Json = Core.Report.Json
+module Service = Skope_service
+
+let to_alcotest = QCheck_alcotest.to_alcotest
+
+(* --- Json.of_string ------------------------------------------------ *)
+
+let json = Alcotest.testable (Fmt.of_to_string Json.to_string) ( = )
+
+let parse_ok s =
+  match Json.of_string s with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "parse %S failed: %s" s e
+
+let parse_err s =
+  match Json.of_string s with
+  | Ok _ -> Alcotest.failf "parse %S unexpectedly succeeded" s
+  | Error e -> e
+
+let test_parse_scalars () =
+  Alcotest.check json "null" Json.Null (parse_ok "null");
+  Alcotest.check json "true" (Json.Bool true) (parse_ok " true ");
+  Alcotest.check json "int" (Json.Int (-42)) (parse_ok "-42");
+  Alcotest.check json "float" (Json.Float 2.5) (parse_ok "2.5");
+  Alcotest.check json "exponent" (Json.Float 1500.) (parse_ok "1.5e3");
+  Alcotest.check json "huge literal is infinite" (Json.Float infinity)
+    (parse_ok "1e999");
+  Alcotest.check json "zero" (Json.Int 0) (parse_ok "0")
+
+let test_parse_structures () =
+  Alcotest.check json "empty array" (Json.List []) (parse_ok "[]");
+  Alcotest.check json "empty object" (Json.Obj []) (parse_ok "{ }");
+  Alcotest.check json "nested"
+    (Json.Obj
+       [
+         ("a", Json.List [ Json.Int 1; Json.Null ]);
+         ("b", Json.Obj [ ("c", Json.Bool false) ]);
+       ])
+    (parse_ok {|{"a": [1, null], "b": {"c": false}}|})
+
+let test_parse_string_escapes () =
+  Alcotest.check json "basic escapes"
+    (Json.String "a\"b\\c\nd\te")
+    (parse_ok {|"a\"b\\c\nd\te"|});
+  Alcotest.check json "solidus" (Json.String "/") (parse_ok {|"\/"|});
+  Alcotest.check json "unicode escape" (Json.String "\xc3\xa9")
+    (parse_ok {|"\u00e9"|});
+  Alcotest.check json "control escape" (Json.String "\x01")
+    (parse_ok {|"\u0001"|});
+  (* surrogate pair: U+1D11E (musical G clef) in UTF-8 *)
+  Alcotest.check json "surrogate pair"
+    (Json.String "\xf0\x9d\x84\x9e")
+    (parse_ok {|"\ud834\udd1e"|})
+
+let test_parse_errors () =
+  List.iter
+    (fun s -> ignore (parse_err s))
+    [
+      "";
+      "nul";
+      "{";
+      "[1,]";
+      "{\"a\":}";
+      "{\"a\" 1}";
+      "\"unterminated";
+      "\"bad \\x escape\"";
+      "\"unpaired \\ud834\"";
+      "01";
+      "1.";
+      "+1";
+      "[1] trailing";
+      "\"ctrl \x01 raw\"";
+    ];
+  (* error messages carry a byte offset *)
+  Alcotest.(check bool) "offset in message" true
+    (String.length (parse_err "[1,]") > 0
+    && String.sub (parse_err "[1,]") 0 4 = "byte")
+
+(* Round trip: any emitted tree (NaN-free — NaN serializes as null by
+   design) parses back to an equal tree. *)
+let gen_json : Json.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun i -> Json.Int i) int;
+        map (fun f -> Json.Float f)
+          (oneof [ float; return infinity; return neg_infinity ]);
+        map (fun s -> Json.String s) string_printable;
+        map (fun s -> Json.String s) string;
+      ]
+  in
+  sized @@ fix (fun self n ->
+      if n <= 0 then scalar
+      else
+        oneof
+          [
+            scalar;
+            map (fun l -> Json.List l) (list_size (0 -- 4) (self (n / 2)));
+            map
+              (fun kvs -> Json.Obj kvs)
+              (list_size (0 -- 4)
+                 (pair string_printable (self (n / 2))));
+          ])
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"emit/parse round trip" ~count:500
+    (QCheck.make ~print:Json.to_string gen_json)
+    (fun t ->
+      match Json.of_string (Json.to_string t) with
+      | Ok t' -> t = t'
+      | Error e -> QCheck.Test.fail_reportf "reparse failed: %s" e)
+
+(* --- protocol / dispatch ------------------------------------------- *)
+
+let handle ?received_at ?(dispatch = Service.Dispatch.create ()) body =
+  Service.Dispatch.handle ?received_at dispatch body
+
+let error_code response =
+  match Json.of_string response with
+  | Error e -> Alcotest.failf "response is not JSON (%s): %s" e response
+  | Ok r -> (
+    match Json.member "ok" r with
+    | Some (Json.Bool true) -> Alcotest.failf "expected error: %s" response
+    | _ -> (
+      match Option.bind (Json.member "error" r) (Json.member "code") with
+      | Some (Json.String c) -> c
+      | _ -> Alcotest.failf "error without code: %s" response))
+
+let is_ok response =
+  match Json.of_string response with
+  | Ok r -> Json.member "ok" r = Some (Json.Bool true)
+  | Error _ -> false
+
+let check_error name expected body =
+  Alcotest.(check string) name expected (error_code (handle body))
+
+let test_protocol_errors () =
+  check_error "malformed JSON" "parse_error" "{\"kind\":";
+  check_error "not an object" "invalid_request" "[1,2]";
+  check_error "missing kind" "invalid_request" "{}";
+  check_error "unknown kind" "invalid_request" {|{"kind":"frobnicate"}|};
+  check_error "unknown workload" "unknown_workload"
+    {|{"kind":"analyze","workload":"nope","machine":"bgq"}|};
+  check_error "unknown machine" "unknown_machine"
+    {|{"kind":"analyze","workload":"sord","machine":"cray"}|};
+  check_error "bad coverage" "invalid_request"
+    {|{"kind":"analyze","workload":"sord","machine":"bgq","coverage":2.0}|};
+  check_error "bad scale" "invalid_request"
+    {|{"kind":"analyze","workload":"sord","machine":"bgq","scale":-1}|};
+  check_error "bad axis" "invalid_request"
+    {|{"kind":"sweep","workload":"sord","machine":"bgq","axis":"warp","values":[1]}|};
+  check_error "empty sweep" "invalid_request"
+    {|{"kind":"sweep","workload":"sord","machine":"bgq","axis":"bw","values":[]}|};
+  check_error "unknown override" "invalid_request"
+    {|{"kind":"analyze","workload":"sord","machine":"bgq","overrides":{"warp_speed":9}}|};
+  check_error "bad timeout" "invalid_request"
+    {|{"kind":"analyze","workload":"sord","machine":"bgq","timeout_ms":0}|}
+
+let test_oversized () =
+  let dispatch =
+    Service.Dispatch.create
+      ~config:{ Service.Dispatch.max_request_bytes = 64; cache_capacity = 4 }
+      ()
+  in
+  let body =
+    Printf.sprintf {|{"kind":"stats","pad":%S}|} (String.make 200 'x')
+  in
+  Alcotest.(check string) "oversized" "oversized"
+    (error_code (handle ~dispatch body));
+  Alcotest.(check bool) "small body still fine" true
+    (is_ok (handle ~dispatch {|{"kind":"stats"}|}))
+
+let test_deadline_exceeded () =
+  let body =
+    {|{"kind":"analyze","workload":"pedagogical","machine":"bgq","timeout_ms":5}|}
+  in
+  let stale = Unix.gettimeofday () -. 1.0 in
+  Alcotest.(check string) "deadline" "deadline_exceeded"
+    (error_code (handle ~received_at:stale body));
+  (* a generous deadline passes *)
+  Alcotest.(check bool) "fresh deadline ok" true
+    (is_ok
+       (handle
+          {|{"kind":"analyze","workload":"pedagogical","machine":"bgq","timeout_ms":60000}|}))
+
+let test_catalogs_and_stats () =
+  Alcotest.(check bool) "workloads" true (is_ok (handle {|{"kind":"workloads"}|}));
+  Alcotest.(check bool) "machines" true (is_ok (handle {|{"kind":"machines"}|}));
+  let dispatch = Service.Dispatch.create () in
+  let resp = handle ~dispatch {|{"kind":"stats"}|} in
+  Alcotest.(check bool) "stats ok" true (is_ok resp);
+  let v = Service.Metrics.view dispatch.Service.Dispatch.metrics in
+  Alcotest.(check int) "stats counted" 1 v.Service.Metrics.total_requests
+
+let test_worker_never_crashes () =
+  (* A grab bag of hostile bodies must all produce JSON envelopes. *)
+  let dispatch = Service.Dispatch.create () in
+  List.iter
+    (fun body ->
+      let resp = handle ~dispatch body in
+      match Json.of_string resp with
+      | Ok (Json.Obj fields) ->
+        Alcotest.(check bool) "has ok field" true (List.mem_assoc "ok" fields)
+      | Ok _ | Error _ -> Alcotest.failf "bad envelope for %S: %s" body resp)
+    [
+      "";
+      "\x00\x01\x02";
+      "{\"kind\":\"analyze\"}";
+      "{\"kind\":123}";
+      "[{}]";
+      "{\"kind\":\"sweep\",\"workload\":\"sord\",\"machine\":\"bgq\",\"axis\":\"bw\",\"values\":[1e999]}";
+      String.concat "" (List.init 100 (fun _ -> "["));
+      {|{"kind":"analyze","workload":"sord","machine":"bgq","top":0}|};
+    ]
+
+(* --- cache behaviour ----------------------------------------------- *)
+
+let analyze_body =
+  {|{"kind":"analyze","workload":"pedagogical","machine":"bgq","top":5}|}
+
+let sweep_body =
+  {|{"kind":"sweep","workload":"pedagogical","machine":"bgq","axis":"bw","values":[1,2,4]}|}
+
+let view d = Service.Metrics.view d.Service.Dispatch.metrics
+
+let test_analyze_cache_hit () =
+  let dispatch = Service.Dispatch.create () in
+  let r1 = handle ~dispatch analyze_body in
+  let v1 = view dispatch in
+  Alcotest.(check int) "first is a miss" 1 v1.Service.Metrics.cache_misses;
+  Alcotest.(check int) "no hit yet" 0 v1.Service.Metrics.cache_hits;
+  let r2 = handle ~dispatch analyze_body in
+  let v2 = view dispatch in
+  Alcotest.(check string) "byte-identical responses" r1 r2;
+  Alcotest.(check int) "second is a hit" 1 v2.Service.Metrics.cache_hits;
+  Alcotest.(check int) "no new miss" 1 v2.Service.Metrics.cache_misses
+
+let test_sweep_cache () =
+  let dispatch = Service.Dispatch.create () in
+  let r1 = handle ~dispatch sweep_body in
+  let v1 = view dispatch in
+  Alcotest.(check bool) "sweep ok" true (is_ok r1);
+  Alcotest.(check int) "one miss per point" 3 v1.Service.Metrics.cache_misses;
+  let r2 = handle ~dispatch sweep_body in
+  let v2 = view dispatch in
+  Alcotest.(check string) "re-sweep byte-identical" r1 r2;
+  Alcotest.(check int) "re-sweep fully cache-served" 3
+    v2.Service.Metrics.cache_hits;
+  Alcotest.(check int) "re-sweep adds no misses" 3
+    v2.Service.Metrics.cache_misses
+
+let test_override_shares_sweep_slot () =
+  (* A sweep point and an equivalent parameter-override analyze have
+     the same fingerprint, so the second is served from the first's
+     cache slot. *)
+  let dispatch = Service.Dispatch.create () in
+  ignore (handle ~dispatch sweep_body);
+  let misses_after_sweep = (view dispatch).Service.Metrics.cache_misses in
+  let resp =
+    handle ~dispatch
+      {|{"kind":"analyze","workload":"pedagogical","machine":"bgq","overrides":{"mem_bw_gbs":2.0}}|}
+  in
+  Alcotest.(check bool) "override analyze ok" true (is_ok resp);
+  let v = view dispatch in
+  Alcotest.(check int) "no recompute" misses_after_sweep
+    v.Service.Metrics.cache_misses;
+  Alcotest.(check int) "served from sweep's slot" 1 v.Service.Metrics.cache_hits
+
+let test_different_queries_different_results () =
+  let dispatch = Service.Dispatch.create () in
+  let r1 = handle ~dispatch analyze_body in
+  let r2 =
+    handle ~dispatch
+      {|{"kind":"analyze","workload":"pedagogical","machine":"bgq","top":5,"overrides":{"mem_bw_gbs":0.5}}|}
+  in
+  Alcotest.(check bool) "distinct machines, distinct responses" true (r1 <> r2);
+  let v = view dispatch in
+  Alcotest.(check int) "both computed" 2 v.Service.Metrics.cache_misses
+
+(* --- fingerprint --------------------------------------------------- *)
+
+let fp ?(scale = 1.0) ?(bw = 28.5) () =
+  let machine = { Core.Hw.Machines.bgq with Core.Hw.Machine.mem_bw_gbs = bw } in
+  Service.Fingerprint.of_query ~workload:"sord" ~machine ~scale
+    ~criteria:Core.Analysis.Hotspot.default_criteria ~top:10
+
+let test_fingerprint () =
+  Alcotest.(check string) "deterministic" (fp ()) (fp ());
+  Alcotest.(check bool) "scale matters" true (fp () <> fp ~scale:2.0 ());
+  Alcotest.(check bool) "machine parameter matters" true
+    (fp () <> fp ~bw:28.6 ());
+  Alcotest.(check int) "hex digest" 32 (String.length (fp ()))
+
+(* --- lru ----------------------------------------------------------- *)
+
+let test_lru_eviction () =
+  let c = Service.Lru.create ~capacity:2 in
+  Service.Lru.add c "a" 1;
+  Service.Lru.add c "b" 2;
+  ignore (Service.Lru.find c "a");
+  (* "a" is now MRU, so adding "c" evicts "b" *)
+  Service.Lru.add c "c" 3;
+  Alcotest.(check (list string)) "recency order" [ "c"; "a" ]
+    (Service.Lru.keys c);
+  Alcotest.(check bool) "b evicted" false (Service.Lru.mem c "b");
+  Alcotest.(check (option int)) "a survives" (Some 1) (Service.Lru.find c "a");
+  Service.Lru.add c "a" 10;
+  Alcotest.(check (option int)) "replace updates" (Some 10)
+    (Service.Lru.find c "a");
+  Alcotest.(check int) "replace keeps length" 2 (Service.Lru.length c);
+  Service.Lru.clear c;
+  Alcotest.(check int) "clear empties" 0 (Service.Lru.length c)
+
+(* --- metrics ------------------------------------------------------- *)
+
+let test_metrics_percentiles () =
+  let m = Service.Metrics.create () in
+  for i = 1 to 100 do
+    Service.Metrics.observe_latency m (float_of_int i /. 1e3)
+  done;
+  let v = Service.Metrics.view m in
+  Alcotest.(check (float 1e-9)) "p50" 0.050 v.Service.Metrics.p50;
+  Alcotest.(check (float 1e-9)) "p95" 0.095 v.Service.Metrics.p95;
+  Alcotest.(check (float 1e-9)) "p99" 0.099 v.Service.Metrics.p99;
+  Alcotest.(check int) "count" 100 v.Service.Metrics.latency_count
+
+let test_metrics_counters () =
+  let m = Service.Metrics.create () in
+  Service.Metrics.incr_request m ~kind:"analyze" ~outcome:"ok";
+  Service.Metrics.incr_request m ~kind:"analyze" ~outcome:"ok";
+  Service.Metrics.incr_request m ~kind:"sweep" ~outcome:"deadline_exceeded";
+  Service.Metrics.cache_hit m;
+  Service.Metrics.cache_hit m;
+  Service.Metrics.cache_hit m;
+  Service.Metrics.cache_miss m;
+  let v = Service.Metrics.view m in
+  Alcotest.(check int) "total" 3 v.Service.Metrics.total_requests;
+  Alcotest.(check (float 1e-9)) "hit rate" 0.75 v.Service.Metrics.hit_rate;
+  Alcotest.(check int) "by kind/outcome" 2
+    (List.assoc ("analyze", "ok") v.Service.Metrics.requests)
+
+(* --- workqueue ----------------------------------------------------- *)
+
+let test_workqueue_fifo () =
+  let q = Service.Workqueue.create ~capacity:3 in
+  Alcotest.(check bool) "push 1" true (Service.Workqueue.try_push q 1);
+  Alcotest.(check bool) "push 2" true (Service.Workqueue.try_push q 2);
+  Alcotest.(check bool) "push 3" true (Service.Workqueue.try_push q 3);
+  Alcotest.(check bool) "bounded" false (Service.Workqueue.try_push q 4);
+  Alcotest.(check int) "fifo 1" 1 (Service.Workqueue.pop q);
+  Alcotest.(check int) "fifo 2" 2 (Service.Workqueue.pop q);
+  Alcotest.(check bool) "room again" true (Service.Workqueue.try_push q 5);
+  Alcotest.(check int) "fifo 3" 3 (Service.Workqueue.pop q);
+  Alcotest.(check int) "fifo 5" 5 (Service.Workqueue.pop q);
+  Alcotest.(check int) "empty" 0 (Service.Workqueue.length q)
+
+let test_workqueue_threads () =
+  (* One producer, one consumer, values arrive exactly once in order. *)
+  let q = Service.Workqueue.create ~capacity:4 in
+  let n = 200 in
+  let received = ref [] in
+  let consumer =
+    Thread.create
+      (fun () ->
+        for _ = 1 to n do
+          received := Service.Workqueue.pop q :: !received
+        done)
+      ()
+  in
+  for i = 1 to n do
+    Service.Workqueue.push q i
+  done;
+  Thread.join consumer;
+  Alcotest.(check (list int)) "all values in order" (List.init n (fun i -> i + 1))
+    (List.rev !received)
+
+let suite =
+  [
+    ( "service.json",
+      [
+        Alcotest.test_case "scalars" `Quick test_parse_scalars;
+        Alcotest.test_case "structures" `Quick test_parse_structures;
+        Alcotest.test_case "string escapes" `Quick test_parse_string_escapes;
+        Alcotest.test_case "errors" `Quick test_parse_errors;
+        to_alcotest prop_roundtrip;
+      ] );
+    ( "service.protocol",
+      [
+        Alcotest.test_case "structured errors" `Quick test_protocol_errors;
+        Alcotest.test_case "oversized" `Quick test_oversized;
+        Alcotest.test_case "deadline" `Quick test_deadline_exceeded;
+        Alcotest.test_case "catalogs and stats" `Quick test_catalogs_and_stats;
+        Alcotest.test_case "hostile bodies" `Quick test_worker_never_crashes;
+      ] );
+    ( "service.cache",
+      [
+        Alcotest.test_case "analyze hits" `Quick test_analyze_cache_hit;
+        Alcotest.test_case "sweep fully served" `Quick test_sweep_cache;
+        Alcotest.test_case "override shares slot" `Quick
+          test_override_shares_sweep_slot;
+        Alcotest.test_case "distinct queries distinct" `Quick
+          test_different_queries_different_results;
+        Alcotest.test_case "fingerprint" `Quick test_fingerprint;
+      ] );
+    ( "service.primitives",
+      [
+        Alcotest.test_case "lru eviction" `Quick test_lru_eviction;
+        Alcotest.test_case "metrics percentiles" `Quick
+          test_metrics_percentiles;
+        Alcotest.test_case "metrics counters" `Quick test_metrics_counters;
+        Alcotest.test_case "workqueue fifo" `Quick test_workqueue_fifo;
+        Alcotest.test_case "workqueue threads" `Quick test_workqueue_threads;
+      ] );
+  ]
