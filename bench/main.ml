@@ -733,6 +733,29 @@ let service_section () =
     (pct v.Skope_service.Metrics.hit_rate)
     (v.Skope_service.Metrics.cache_hits + v.Skope_service.Metrics.cache_misses)
 
+(* ------------------------------------------------------------------ *)
+(* Lint throughput: the interval-domain pass runs before every
+   projection, so it must be cheap relative to a BET evaluation. *)
+
+let lint_section () =
+  section "lint_throughput"
+    "skope lint: interval-domain abstract interpretation throughput";
+  let reps = 100 in
+  List.iter
+    (fun (w : Workloads.Registry.t) ->
+      let program, inputs = w.make ~scale:w.default_scale in
+      let n_diags = List.length (Lint.Engine.run ~inputs program) in
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to reps do
+        ignore (Lint.Engine.run ~inputs program)
+      done;
+      let per = (Unix.gettimeofday () -. t0) /. float_of_int reps in
+      Fmt.pr "  %-12s %8.3f ms/run  %6.0f runs/s  (%d diagnostics)@." w.name
+        (per *. 1e3)
+        (1. /. per)
+        n_diags)
+    Workloads.Registry.all
+
 let () =
   (match Array.to_list Sys.argv with
   | _ :: "--csv" :: dir :: _ -> csv_dir := Some dir
@@ -762,4 +785,5 @@ let () =
   machine_microbench ();
   bechamel_section ();
   service_section ();
+  lint_section ();
   Fmt.pr "@.[bench] total wall time %.1fs@." (Unix.gettimeofday () -. t0)

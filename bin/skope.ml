@@ -5,6 +5,7 @@
     - [workloads], [machines]: list what is bundled;
     - [show]: print a workload's skeleton in the DSL syntax;
     - [parse]: parse and validate a [.skope] file;
+    - [lint]: interval-domain static analysis (rules L001..L010);
     - [analyze]: analytic projection of hot spots for a machine
       (no execution on the target — the paper's use case); works on
       bundled workloads or on a [.skope] file with [--input] bindings;
@@ -89,24 +90,54 @@ let parse_inputs specs =
         exit 2)
     specs
 
+let read_source file =
+  let ic = open_in_bin file in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+module Diag = Core.Lint.Diagnostic
+
+(* Parse + validate [file], rendering any issue as a diagnostic.
+   Returns the source text alongside so callers can render excerpts. *)
+let parse_with_diagnostics ?(inputs = []) file =
+  let source = try read_source file with Sys_error _ -> "" in
+  match Core.Skeleton.Parser.parse_file file with
+  | program ->
+    let issues = Core.Skeleton.Validate.check ~inputs program in
+    (Some program, source, List.map Diag.of_validate issues)
+  | exception Core.Skeleton.Parser.Error (loc, m) ->
+    (None, source, [ Diag.of_parse_error loc m ])
+  | exception Core.Skeleton.Lexer.Error (loc, m) ->
+    (None, source, [ Diag.of_lex_error loc m ])
+
+(* Load a skeleton for projection: any validation or lint *error*
+   aborts (warnings and infos are `skope lint`'s business). *)
 let load_file file inputs =
+  let source = try read_source file with Sys_error _ -> "" in
   match Core.Skeleton.Parser.parse_file file with
   | program ->
     let inputs = parse_inputs inputs in
     (match
        Core.Skeleton.Validate.check ~inputs:(List.map fst inputs) program
      with
-    | [] -> (program, inputs)
+    | [] -> (
+      match Core.Lint.Engine.check_exn ~inputs program with
+      | () -> (program, inputs)
+      | exception Core.Lint.Engine.Rejected errors ->
+        Fmt.epr "%a" (Diag.render_all ~source ()) errors;
+        exit 1)
     | issues ->
-      List.iter
-        (fun i -> Fmt.epr "%a@." Core.Skeleton.Validate.pp_issue i)
-        issues;
+      Fmt.epr "%a"
+        (Diag.render_all ~source ())
+        (List.map Diag.of_validate issues);
       exit 1)
   | exception Core.Skeleton.Parser.Error (loc, m) ->
-    Fmt.epr "%a: %s@." Core.Skeleton.Loc.pp loc m;
+    Fmt.epr "%a" (Diag.render ~source ()) (Diag.of_parse_error loc m);
     exit 1
   | exception Core.Skeleton.Lexer.Error (loc, m) ->
-    Fmt.epr "%a: %s@." Core.Skeleton.Loc.pp loc m;
+    Fmt.epr "%a" (Diag.render ~source ()) (Diag.of_lex_error loc m);
     exit 1
 
 let pct x = Fmt.str "%.1f%%" (100. *. x)
@@ -165,18 +196,200 @@ let cmd_show =
   Cmd.v (Cmd.info "show" ~doc:"Print a workload's skeleton (DSL syntax)")
     Term.(const run $ workload_arg $ scale_arg)
 
+let format_arg =
+  let doc = "Output format." in
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+    & info [ "format" ] ~docv:"text|json" ~doc)
+
 let cmd_parse =
+  let module J = Core.Report.Json in
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
-  let run file inputs =
-    let program, _ = load_file file inputs in
-    Fmt.pr "%s: OK (%d statements, %d functions, %d static instructions)@."
-      file
-      (Core.Skeleton.Ast.program_size program)
-      (List.length program.funcs)
-      (Core.Skeleton.Ast.instruction_count program)
+  let run file inputs format =
+    let inputs = parse_inputs inputs in
+    let program, source, diags =
+      parse_with_diagnostics ~inputs:(List.map fst inputs) file
+    in
+    (match format with
+    | `Json ->
+      let stats =
+        match program with
+        | Some p ->
+          [
+            ("statements", J.Int (Core.Skeleton.Ast.program_size p));
+            ("functions", J.Int (List.length p.Core.Skeleton.Ast.funcs));
+            ( "static_instructions",
+              J.Int (Core.Skeleton.Ast.instruction_count p) );
+          ]
+        | None -> []
+      in
+      print_endline
+        (J.to_string
+           (J.Obj
+              ([
+                 ("file", J.String file);
+                 ("ok", J.Bool (diags = []));
+                 ("diagnostics", Diag.list_to_json diags);
+               ]
+              @ stats)))
+    | `Text -> (
+      if diags <> [] then Fmt.epr "%a" (Diag.render_all ~source ()) diags;
+      match program with
+      | Some p when diags = [] ->
+        Fmt.pr "%s: OK (%d statements, %d functions, %d static instructions)@."
+          file
+          (Core.Skeleton.Ast.program_size p)
+          (List.length p.Core.Skeleton.Ast.funcs)
+          (Core.Skeleton.Ast.instruction_count p)
+      | _ -> ()));
+    if diags <> [] then exit 1
   in
-  Cmd.v (Cmd.info "parse" ~doc:"Parse and validate a .skope file")
-    Term.(const run $ file $ inputs_arg)
+  Cmd.v
+    (Cmd.info "parse"
+       ~doc:
+         "Parse and validate a .skope file; issues carry stable codes \
+          (P001/P002 syntax, V001..V011 semantics)")
+    Term.(const run $ file $ inputs_arg $ format_arg)
+
+let cmd_lint =
+  let module J = Core.Report.Json in
+  let files_arg =
+    let doc = "Skeleton files to lint." in
+    Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc)
+  in
+  let lint_workloads_arg =
+    let doc = "Lint this bundled workload (repeatable)." in
+    Arg.(value & opt_all string [] & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
+  in
+  let all_workloads_arg =
+    let doc = "Lint every bundled workload." in
+    Arg.(value & flag & info [ "workloads" ] ~doc)
+  in
+  let deny_arg =
+    let doc = "Fail on this class of findings; only `warnings' is recognized." in
+    Arg.(value & opt_all string [] & info [ "deny" ] ~docv:"WHAT" ~doc)
+  in
+  let disable_arg =
+    let doc = "Disable a rule by code, e.g. L008 (repeatable)." in
+    Arg.(value & opt_all string [] & info [ "disable" ] ~docv:"CODE" ~doc)
+  in
+  let only_arg =
+    let doc = "Enable only these rule codes (repeatable)." in
+    Arg.(value & opt_all string [] & info [ "only" ] ~docv:"CODE" ~doc)
+  in
+  let rules_flag =
+    let doc = "List the lint rules and exit." in
+    Arg.(value & flag & info [ "rules" ] ~doc)
+  in
+  let run files workloads all_workloads scale inputs format deny disable only
+      rules =
+    if rules then begin
+      List.iter (fun (c, d) -> Fmt.pr "%s  %s@." c d) Core.Lint.Engine.rules;
+      exit 0
+    end;
+    List.iter
+      (fun d ->
+        if d <> "warnings" then begin
+          Fmt.epr "unknown --deny %S (only `warnings' is recognized)@." d;
+          exit 2
+        end)
+      deny;
+    let deny_warnings = List.mem "warnings" deny in
+    let disabled =
+      if only = [] then disable
+      else
+        disable
+        @ (Core.Lint.Engine.rules
+          |> List.filter (fun (c, _) -> not (List.mem c only))
+          |> List.map fst)
+    in
+    let config = { Core.Lint.Engine.disabled; hints = [] } in
+    let workloads =
+      if all_workloads then
+        List.map
+          (fun (w : Core.Workloads.Registry.t) -> w.name)
+          Core.Workloads.Registry.all
+      else workloads
+    in
+    if files = [] && workloads = [] then begin
+      Fmt.epr "nothing to lint: give FILEs, --workload or --workloads@.";
+      exit 2
+    end;
+    let cli_inputs = parse_inputs inputs in
+    let file_targets =
+      List.map
+        (fun file ->
+          let program, source, diags =
+            parse_with_diagnostics ~inputs:(List.map fst cli_inputs) file
+          in
+          let diags =
+            match program with
+            | Some p ->
+              diags @ Core.Lint.Engine.run ~config ~inputs:cli_inputs p
+            | None -> diags
+          in
+          (file, Some source, Diag.normalize diags))
+        files
+    in
+    let workload_targets =
+      List.map
+        (fun name ->
+          let w = lookup_workload name in
+          let scale = Option.value ~default:w.default_scale scale in
+          let program, winputs = w.make ~scale in
+          let diags =
+            List.map Diag.of_validate
+              (Core.Skeleton.Validate.check
+                 ~inputs:(List.map fst winputs) program)
+            @ Core.Lint.Engine.run ~config ~inputs:winputs program
+          in
+          (name, None, Diag.normalize diags))
+        workloads
+    in
+    let targets = file_targets @ workload_targets in
+    let all_diags = List.concat_map (fun (_, _, ds) -> ds) targets in
+    (match format with
+    | `Json ->
+      let jtargets =
+        List.map
+          (fun (target, _, ds) ->
+            let errors, warnings, infos = Diag.counts ds in
+            J.Obj
+              [
+                ("target", J.String target);
+                ("diagnostics", Diag.list_to_json ds);
+                ("errors", J.Int errors);
+                ("warnings", J.Int warnings);
+                ("infos", J.Int infos);
+              ])
+          targets
+      in
+      print_endline
+        (J.to_string
+           (J.Obj
+              [
+                ("ok", J.Bool (not (Diag.fails ~deny_warnings all_diags)));
+                ("targets", J.List jtargets);
+              ]))
+    | `Text ->
+      List.iter
+        (fun (target, source, ds) ->
+          List.iter (fun d -> Fmt.pr "%a@." (Diag.render ?source ()) d) ds;
+          Fmt.pr "%s: %s@." target
+            (if ds = [] then "clean" else Diag.summary ds))
+        targets);
+    if Diag.fails ~deny_warnings all_diags then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Lint skeletons with the interval-domain static analyzer (rules \
+          L001..L010; see --rules)")
+    Term.(
+      const run $ files_arg $ lint_workloads_arg $ all_workloads_arg
+      $ scale_arg $ inputs_arg $ format_arg $ deny_arg $ disable_arg
+      $ only_arg $ rules_flag)
 
 let print_analysis machine program inputs criteria k =
   let built =
@@ -669,7 +882,7 @@ let cmd_query =
     Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc)
   in
   let kind_arg =
-    let doc = "Request kind: analyze, sweep, workloads, machines, stats." in
+    let doc = "Request kind: analyze, sweep, lint, workloads, machines, stats." in
     Arg.(value & opt string "analyze" & info [ "kind" ] ~docv:"KIND" ~doc)
   in
   let axis_arg =
@@ -738,6 +951,7 @@ let cmd_query =
     let fields =
       match kind with
       | "analyze" -> base @ query
+      | "lint" -> base @ [ ("workload", J.String workload) ]
       | "sweep" ->
         let vs =
           String.split_on_char ',' values
@@ -796,8 +1010,8 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [
-            cmd_workloads; cmd_machines; cmd_show; cmd_parse; cmd_analyze;
-            cmd_validate; cmd_hints; cmd_miniapp; cmd_sweep; cmd_nodes;
-            cmd_roofline; cmd_json; cmd_import; cmd_spots; cmd_path;
-            cmd_compare; cmd_serve; cmd_query;
+            cmd_workloads; cmd_machines; cmd_show; cmd_parse; cmd_lint;
+            cmd_analyze; cmd_validate; cmd_hints; cmd_miniapp; cmd_sweep;
+            cmd_nodes; cmd_roofline; cmd_json; cmd_import; cmd_spots;
+            cmd_path; cmd_compare; cmd_serve; cmd_query;
           ]))

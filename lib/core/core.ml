@@ -16,6 +16,8 @@
     - {!Workloads} — the paper's five benchmarks plus the pedagogical
       example;
     - {!Report} — plain-text tables and charts;
+    - {!Lint} — interval-domain static analysis with rustc-style
+      diagnostics ([L001]..[L010]);
     - {!Pipeline} — the end-to-end workflow of the paper's Fig. 1.
 
     Quickstart:
@@ -36,6 +38,7 @@ module Analysis = Skope_analysis
 module Sim = Skope_sim
 module Workloads = Skope_workloads
 module Report = Skope_report
+module Lint = Skope_lint
 module Multinode = Skope_multinode
 module Frontend = Skope_frontend
 module Pipeline = Pipeline

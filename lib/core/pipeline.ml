@@ -59,6 +59,7 @@ let analyze ?(criteria = Hotspot.default_criteria)
     analysis =
   let program, inputs = workload.Registry.make ~scale in
   Validate.check_exn ~inputs:(List.map fst inputs) program;
+  Skope_lint.Engine.check_exn ~inputs program;
   let built =
     Build.build ~hints ~lib_work:(Libmix.work_fn workload.Registry.libmix)
       ~inputs program
@@ -81,6 +82,7 @@ let run ?(criteria = Hotspot.default_criteria) ?(opts = Roofline.default_opts)
   in
   let program, inputs = workload.Registry.make ~scale in
   Validate.check_exn ~inputs:(List.map fst inputs) program;
+  Skope_lint.Engine.check_exn ~inputs program;
   let libmix = workload.Registry.libmix in
   let hints = profile ~seed ~libmix ~inputs program in
   let built =

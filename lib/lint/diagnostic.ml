@@ -1,0 +1,135 @@
+open Skope_skeleton
+module Json = Skope_report.Json
+
+type severity = Info | Warning | Error
+
+let severity_label = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let severity_rank = function Info -> 0 | Warning -> 1 | Error -> 2
+let compare_severity a b = compare (severity_rank a) (severity_rank b)
+
+type t = {
+  code : string;
+  severity : severity;
+  loc : Loc.t;
+  message : string;
+  notes : string list;
+}
+
+let make ?(notes = []) ~code ~severity ~loc message =
+  { code; severity; loc; message; notes }
+
+let of_validate (i : Validate.issue) =
+  make ~code:i.Validate.code ~severity:Error ~loc:i.Validate.where
+    i.Validate.what
+
+let of_lex_error loc message = make ~code:"P001" ~severity:Error ~loc message
+let of_parse_error loc message = make ~code:"P002" ~severity:Error ~loc message
+
+let order a b =
+  let c = String.compare a.loc.Loc.file b.loc.Loc.file in
+  if c <> 0 then c
+  else
+    let c = compare a.loc.Loc.line b.loc.Loc.line in
+    if c <> 0 then c
+    else
+      let c = compare a.loc.Loc.col b.loc.Loc.col in
+      if c <> 0 then c
+      else
+        let c = String.compare a.code b.code in
+        if c <> 0 then c
+        else
+          let c = String.compare a.message b.message in
+          if c <> 0 then c else compare a.notes b.notes
+
+(* sort_uniq's order treats equal-keyed duplicates as one; notes join
+   the key because distinct findings can share a message when every
+   statement carries the same (or no) source location. *)
+let normalize ds = List.sort_uniq order ds
+
+let counts ds =
+  List.fold_left
+    (fun (e, w, i) d ->
+      match d.severity with
+      | Error -> (e + 1, w, i)
+      | Warning -> (e, w + 1, i)
+      | Info -> (e, w, i + 1))
+    (0, 0, 0) ds
+
+let max_severity = function
+  | [] -> None
+  | d :: ds ->
+    Some
+      (List.fold_left
+         (fun acc x ->
+           if compare_severity x.severity acc > 0 then x.severity else acc)
+         d.severity ds)
+
+let fails ?(deny_warnings = false) ds =
+  List.exists
+    (fun d ->
+      match d.severity with
+      | Error -> true
+      | Warning -> deny_warnings
+      | Info -> false)
+    ds
+
+(* --- text rendering ------------------------------------------------ *)
+
+let source_line source n =
+  if n < 1 then None
+  else
+    let rec go lines n =
+      match (lines, n) with
+      | l :: _, 1 -> Some l
+      | _ :: rest, n -> go rest (n - 1)
+      | [], _ -> None
+    in
+    go (String.split_on_char '\n' source) n
+
+let render ?source () ppf d =
+  Fmt.pf ppf "%s[%s]: %s@." (severity_label d.severity) d.code d.message;
+  if not (Loc.equal d.loc Loc.none) then begin
+    Fmt.pf ppf "  --> %a@." Loc.pp_full d.loc;
+    match Option.bind source (fun s -> source_line s d.loc.Loc.line) with
+    | Some line ->
+      let gutter = String.length (string_of_int d.loc.Loc.line) in
+      Fmt.pf ppf "  %*s |@." gutter "";
+      Fmt.pf ppf "  %d | %s@." d.loc.Loc.line line;
+      let col = max 1 d.loc.Loc.col in
+      Fmt.pf ppf "  %*s | %*s^@." gutter "" (col - 1) ""
+    | None -> ()
+  end;
+  List.iter (fun n -> Fmt.pf ppf "  = note: %s@." n) d.notes
+
+let summary ds =
+  let e, w, i = counts ds in
+  let part n what = Fmt.str "%d %s%s" n what (if n = 1 then "" else "s") in
+  Fmt.str "%s, %s, %s" (part e "error") (part w "warning") (part i "info")
+
+let render_all ?source () ppf ds =
+  List.iter
+    (fun d ->
+      render ?source () ppf d;
+      Fmt.pf ppf "@.")
+    ds;
+  if ds <> [] then Fmt.pf ppf "%s@." (summary ds)
+
+(* --- JSON ----------------------------------------------------------- *)
+
+let to_json d =
+  Json.Obj
+    [
+      ("code", Json.String d.code);
+      ("severity", Json.String (severity_label d.severity));
+      ("file", Json.String d.loc.Loc.file);
+      ("line", Json.Int d.loc.Loc.line);
+      ("col", Json.Int d.loc.Loc.col);
+      ("message", Json.String d.message);
+      ("notes", Json.List (List.map (fun n -> Json.String n) d.notes));
+    ]
+
+let list_to_json ds = Json.List (List.map to_json ds)

@@ -1,0 +1,55 @@
+(** Abstract-interpretation lint pass over skeleton programs.
+
+    Walks the program from its entry function with an {!Interval}
+    environment seeded from the supplied inputs, inlining calls (the
+    BET mounts callee trees in place, so this mirrors projection),
+    and emits {!Diagnostic.t}s with stable rule codes:
+
+    {ul
+    {- [L001] zero-or-negative-trip loop / non-positive step}
+    {- [L002] possible division by zero}
+    {- [L003] probability outside [\[0, 1\]]}
+    {- [L004] array index possibly out of bounds}
+    {- [L005] statically dead branch}
+    {- [L006] comp statement modeling zero work}
+    {- [L007] function unreachable from the entry point}
+    {- [L008] data-dependent construct without a profile hint (info)}
+    {- [L009] unbounded while loop ([p_continue] = 1 and no finite cap)}
+    {- [L010] send/recv volume asymmetry}}
+
+    The pass subsumes {!Validate.check}'s literal-only loop-step and
+    vec checks by evaluating expressions symbolically; it assumes the
+    program already passed validation and degrades gracefully (skips,
+    never raises) when it has not.  Soundness caveats are documented
+    in DESIGN.md §9. *)
+
+open Skope_skeleton
+
+type config = {
+  disabled : string list;  (** rule codes to suppress, e.g. [["L008"]] *)
+  hints : string list;
+      (** statistics names with profile data; named constructs
+          outside this set trigger [L008] *)
+}
+
+val default_config : config
+
+(** [code, one-line summary] for every rule, in code order; drives
+    [skope lint --rules] and the README table. *)
+val rules : (string * string) list
+
+(** Run the pass.  [inputs] seed the environment exactly as they seed
+    {!Skope_bet.Build}; unlisted context variables start at top.
+    Result is {!Diagnostic.normalize}d. *)
+val run :
+  ?config:config ->
+  ?inputs:(string * Skope_bet.Value.t) list ->
+  Ast.program ->
+  Diagnostic.t list
+
+exception Rejected of Diagnostic.t list
+
+(** [check_exn ?inputs p] raises {!Rejected} when [run] finds at
+    least one [Error]-severity diagnostic (warnings and infos pass).
+    Used by the projection pipeline to refuse meaningless models. *)
+val check_exn : ?inputs:(string * Skope_bet.Value.t) list -> Ast.program -> unit

@@ -1,0 +1,144 @@
+(** Interval domain over the reals (see the interface for the
+    contract).  All operations over-approximate the image of the
+    concrete operation, with two documented exceptions noted inline
+    and in DESIGN.md §9. *)
+
+type t = { lo : float; hi : float }
+
+let top = { lo = neg_infinity; hi = infinity }
+
+let make a b = if a <= b then { lo = a; hi = b } else { lo = b; hi = a }
+
+let of_float f = { lo = f; hi = f }
+let of_int i = of_float (float_of_int i)
+let of_bool b = of_float (if b then 1. else 0.)
+
+let const i = if i.lo = i.hi && Float.is_finite i.lo then Some i.lo else None
+
+let is_top i = i.lo = neg_infinity && i.hi = infinity
+let bounded i = Float.is_finite i.lo && Float.is_finite i.hi
+let contains i x = i.lo <= x && x <= i.hi
+
+let join a b = { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+
+let meet a b =
+  let lo = Float.max a.lo b.lo and hi = Float.min a.hi b.hi in
+  if lo <= hi then Some { lo; hi } else None
+
+let clamp_nonneg i =
+  if i.hi < 0. then of_float 0. else { lo = Float.max 0. i.lo; hi = i.hi }
+
+(* Hull of candidate bounds; NaNs (0 * inf and friends) collapse to 0,
+   the standard interval-arithmetic convention. *)
+let hull cands =
+  let clean = List.map (fun x -> if Float.is_nan x then 0. else x) cands in
+  {
+    lo = List.fold_left Float.min infinity clean;
+    hi = List.fold_left Float.max neg_infinity clean;
+  }
+
+let neg i = { lo = -.i.hi; hi = -.i.lo }
+let add a b = hull [ a.lo +. b.lo; a.hi +. b.hi ]
+let sub a b = hull [ a.lo -. b.hi; a.hi -. b.lo ]
+
+let mul a b =
+  hull [ a.lo *. b.lo; a.lo *. b.hi; a.hi *. b.lo; a.hi *. b.hi ]
+
+let div a b =
+  if b.lo > 0. || b.hi < 0. then
+    hull [ a.lo /. b.lo; a.lo /. b.hi; a.hi /. b.lo; a.hi /. b.hi ]
+  else top
+
+let rem a b =
+  if b.lo > 0. then begin
+    (* For a positive integer-constant divisor k, the result of
+       integral operands lies in [0, k-1]; index arithmetic is assumed
+       integral here (DESIGN.md §9). *)
+    let upper =
+      match const b with
+      | Some k when Float.is_integer k -> k -. 1.
+      | _ -> b.hi
+    in
+    if a.lo >= 0. then { lo = 0.; hi = Float.min a.hi upper }
+    else { lo = Float.max a.lo (-.upper); hi = Float.min a.hi upper }
+  end
+  else top
+
+let min_ a b = { lo = Float.min a.lo b.lo; hi = Float.min a.hi b.hi }
+let max_ a b = { lo = Float.max a.lo b.lo; hi = Float.max a.hi b.hi }
+
+let pow a b =
+  match const b with
+  | Some k when Float.is_integer k && k >= 0. ->
+    let corners = [ a.lo ** k; a.hi ** k ] in
+    (* Even powers reach their minimum at 0 inside the interval. *)
+    let corners = if contains a 0. then 0. :: corners else corners in
+    hull corners
+  | _ ->
+    if a.lo >= 0. && b.lo >= 0. then
+      hull [ a.lo ** b.lo; a.lo ** b.hi; a.hi ** b.lo; a.hi ** b.hi ]
+    else top
+
+let floor_ i = { lo = Float.floor i.lo; hi = Float.floor i.hi }
+let ceil_ i = { lo = Float.ceil i.lo; hi = Float.ceil i.hi }
+
+let sqrt_ i =
+  let c = clamp_nonneg i in
+  { lo = Float.sqrt c.lo; hi = Float.sqrt c.hi }
+
+let log2_ i =
+  if i.lo > 0. then
+    let l = Float.log i.lo /. Float.log 2. in
+    let h = Float.log i.hi /. Float.log 2. in
+    { lo = l; hi = h }
+  else top
+
+let abs_ i =
+  if i.lo >= 0. then i
+  else if i.hi <= 0. then neg i
+  else { lo = 0.; hi = Float.max (-.i.lo) i.hi }
+
+type tri = True | False | Unknown
+
+let tri_not = function True -> False | False -> True | Unknown -> Unknown
+
+let tri_and a b =
+  match (a, b) with
+  | False, _ | _, False -> False
+  | True, True -> True
+  | _ -> Unknown
+
+let tri_or a b =
+  match (a, b) with
+  | True, _ | _, True -> True
+  | False, False -> False
+  | _ -> Unknown
+
+let lt a b = if a.hi < b.lo then True else if a.lo >= b.hi then False else Unknown
+let le a b = if a.hi <= b.lo then True else if a.lo > b.hi then False else Unknown
+let gt a b = lt b a
+let ge a b = le b a
+
+let eq a b =
+  match (const a, const b) with
+  | Some x, Some y when x = y -> True
+  | _ -> ( match meet a b with None -> False | Some _ -> Unknown)
+
+let ne a b = tri_not (eq a b)
+
+let truthy i =
+  if not (contains i 0.) then True
+  else if i.lo = 0. && i.hi = 0. then False
+  else Unknown
+
+let pp_bound ppf x =
+  if x = infinity then Fmt.string ppf "+inf"
+  else if x = neg_infinity then Fmt.string ppf "-inf"
+  else Fmt.pf ppf "%g" x
+
+let pp ppf i =
+  match const i with
+  | Some x -> Fmt.pf ppf "%g" x
+  | None -> Fmt.pf ppf "[%a, %a]" pp_bound i.lo pp_bound i.hi
+
+let to_string i = Fmt.str "%a" pp i

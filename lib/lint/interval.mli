@@ -1,0 +1,82 @@
+(** Interval domain over the reals, used by the lint engine to
+    abstract context-variable values.
+
+    An interval is a closed range [\[lo, hi\]] with infinite bounds
+    allowed; {!top} is [\[-inf, +inf\]] and stands for "nothing
+    known".  There is no bottom element: operations whose result set
+    would be empty (e.g. division by the constant zero) widen to
+    {!top} — the engine reports the defect separately, so precision
+    there does not matter. *)
+
+type t = private { lo : float; hi : float }
+
+val top : t
+val make : float -> float -> t
+
+val of_int : int -> t
+val of_float : float -> t
+val of_bool : bool -> t
+
+(** [const i] is [Some x] when [i] is the singleton [x]. *)
+val const : t -> float option
+
+val is_top : t -> bool
+
+(** Both bounds finite. *)
+val bounded : t -> bool
+
+val contains : t -> float -> bool
+
+(** Convex hull of the union. *)
+val join : t -> t -> t
+
+(** Intersection; [None] when disjoint. *)
+val meet : t -> t -> t option
+
+(** Intersection with [\[0, +inf)]; empty meets clamp to [\[0, 0\]]. *)
+val clamp_nonneg : t -> t
+
+(** {1 Arithmetic} — sound over-approximations of the image. *)
+
+val neg : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** Division widens to {!top} when the divisor may be zero. *)
+val div : t -> t -> t
+
+(** Remainder; assumes integral operands when the divisor is a
+    positive integer constant (see DESIGN.md §9 for the caveat). *)
+val rem : t -> t -> t
+
+val min_ : t -> t -> t
+val max_ : t -> t -> t
+val pow : t -> t -> t
+val floor_ : t -> t
+val ceil_ : t -> t
+val sqrt_ : t -> t
+val log2_ : t -> t
+val abs_ : t -> t
+
+(** {1 Three-valued comparisons} *)
+
+type tri = True | False | Unknown
+
+val tri_not : tri -> tri
+val tri_and : tri -> tri -> tri
+val tri_or : tri -> tri -> tri
+
+val lt : t -> t -> tri
+val le : t -> t -> tri
+val gt : t -> t -> tri
+val ge : t -> t -> tri
+val eq : t -> t -> tri
+val ne : t -> t -> tri
+
+(** Truthiness of a numeric interval: [True] when 0 is excluded,
+    [False] for the singleton 0. *)
+val truthy : t -> tri
+
+val pp : t Fmt.t
+val to_string : t -> string

@@ -142,6 +142,58 @@ let run_sweep t (q : Protocol.query) axis ~check_deadline =
       ("points", Json.List points);
     ]
 
+(* Lint requests are cheap (no projection) and parameterized by
+   free-form source, so they bypass the cache. *)
+let run_lint (q : Protocol.lint_query) =
+  let module L = Core.Lint in
+  let config =
+    { L.Engine.default_config with L.Engine.disabled = q.Protocol.l_disabled }
+  in
+  let target, diags =
+    match (q.Protocol.l_workload, q.Protocol.l_source) with
+    | Some name, _ ->
+      let w = lookup_workload name in
+      let scale =
+        Option.value ~default:w.Registry.default_scale q.Protocol.l_scale
+      in
+      let program, inputs = w.Registry.make ~scale in
+      let validation =
+        Core.Skeleton.Validate.check ~inputs:(List.map fst inputs) program
+      in
+      ( w.Registry.name,
+        List.map L.Diagnostic.of_validate validation
+        @ L.Engine.run ~config ~inputs program )
+    | None, Some source -> (
+      let file = "<request>" in
+      match Core.Skeleton.Parser.parse ~file source with
+      | exception Core.Skeleton.Lexer.Error (loc, m) ->
+        (file, [ L.Diagnostic.of_lex_error loc m ])
+      | exception Core.Skeleton.Parser.Error (loc, m) ->
+        (file, [ L.Diagnostic.of_parse_error loc m ])
+      | program ->
+        let validation = Core.Skeleton.Validate.check program in
+        ( file,
+          List.map L.Diagnostic.of_validate validation
+          @ L.Engine.run ~config program ))
+    | None, None ->
+      (* unreachable: Protocol.parse_lint requires one of the two *)
+      reject Protocol.Invalid_request "lint request has no target"
+  in
+  let diags = L.Diagnostic.normalize diags in
+  let errors, warnings, infos = L.Diagnostic.counts diags in
+  Json.Obj
+    [
+      ("target", Json.String target);
+      ("diagnostics", L.Diagnostic.list_to_json diags);
+      ("errors", Json.Int errors);
+      ("warnings", Json.Int warnings);
+      ("infos", Json.Int infos);
+      ( "clean",
+        Json.Bool
+          (not (L.Diagnostic.fails ~deny_warnings:q.Protocol.l_deny_warnings diags))
+      );
+    ]
+
 let run_workloads () =
   Json.List
     (List.map
@@ -219,6 +271,7 @@ let handle ?received_at t body =
         match request with
         | Protocol.Analyze q -> run_analyze t q
         | Protocol.Sweep (q, axis) -> run_sweep t q axis ~check_deadline
+        | Protocol.Lint q -> run_lint q
         | Protocol.Workloads -> run_workloads ()
         | Protocol.Machines -> run_machines ()
         | Protocol.Stats -> run_stats t

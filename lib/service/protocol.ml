@@ -11,9 +11,20 @@ type query = {
   top : int;
 }
 
+(** Lint either a bundled workload (by name) or an inline DSL source
+    string — exactly one of the two. *)
+type lint_query = {
+  l_workload : string option;
+  l_source : string option;
+  l_scale : float option;
+  l_deny_warnings : bool;
+  l_disabled : string list;
+}
+
 type request =
   | Analyze of query
   | Sweep of query * Designspace.axis
+  | Lint of lint_query
   | Workloads
   | Machines
   | Stats
@@ -39,6 +50,7 @@ let error_code_to_string = function
 let kind_label = function
   | Analyze _ -> "analyze"
   | Sweep _ -> "sweep"
+  | Lint _ -> "lint"
   | Workloads -> "workloads"
   | Machines -> "machines"
   | Stats -> "stats"
@@ -85,6 +97,51 @@ let parse_overrides json =
     in
     go [] fields
   | Some _ -> invalid "field \"overrides\" must be an object"
+
+let opt_string json key =
+  match Json.member key json with
+  | None | Some Json.Null -> Ok None
+  | Some (Json.String s) -> Ok (Some s)
+  | Some _ -> invalid (Printf.sprintf "field %S must be a string" key)
+
+let opt_bool json key ~default =
+  match Json.member key json with
+  | None | Some Json.Null -> Ok default
+  | Some (Json.Bool b) -> Ok b
+  | Some _ -> invalid (Printf.sprintf "field %S must be a boolean" key)
+
+let opt_string_list json key =
+  match Json.member key json with
+  | None | Some Json.Null -> Ok []
+  | Some (Json.List vs) ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | Json.String s :: rest -> go (s :: acc) rest
+      | _ -> invalid (Printf.sprintf "field %S must be a list of strings" key)
+    in
+    go [] vs
+  | Some _ -> invalid (Printf.sprintf "field %S must be a list of strings" key)
+
+let parse_lint json =
+  let* l_workload = opt_string json "workload" in
+  let* l_source = opt_string json "source" in
+  let* () =
+    match (l_workload, l_source) with
+    | Some _, Some _ ->
+      invalid "fields \"workload\" and \"source\" are mutually exclusive"
+    | None, None -> invalid "one of \"workload\" or \"source\" is required"
+    | _ -> Ok ()
+  in
+  let* l_scale = opt_number json "scale" in
+  let* () =
+    match l_scale with
+    | Some s when s <= 0. || not (Float.is_finite s) ->
+      invalid "field \"scale\" must be positive and finite"
+    | _ -> Ok ()
+  in
+  let* l_deny_warnings = opt_bool json "deny_warnings" ~default:false in
+  let* l_disabled = opt_string_list json "disable" in
+  Ok { l_workload; l_source; l_scale; l_deny_warnings; l_disabled }
 
 let parse_query json =
   let* workload = string_field json "workload" in
@@ -180,6 +237,9 @@ let parse_request body =
         let* q = parse_query json in
         let* axis = parse_axis json in
         Ok (Sweep (q, axis))
+      | "lint" ->
+        let* q = parse_lint json in
+        Ok (Lint q)
       | "workloads" -> Ok Workloads
       | "machines" -> Ok Machines
       | "stats" -> Ok Stats

@@ -10,6 +10,10 @@
     - [{"kind":"sweep", ...,"axis":A,"values":[...]}] — the same
       query fanned out server-side along one design axis
       (bw | lat | vec | issue | freq | l2 | div);
+    - [{"kind":"lint","workload":W}] or
+      [{"kind":"lint","source":"skeleton p { ... }"}] — run the
+      interval-domain linter; optional ["scale"],
+      ["deny_warnings"] (bool) and ["disable"] (list of rule codes);
     - [{"kind":"workloads"}], [{"kind":"machines"}] — catalogs;
     - [{"kind":"stats"}] — metrics snapshot.
 
@@ -32,9 +36,18 @@ type query = {
   top : int;  (** hot spots to return *)
 }
 
+type lint_query = {
+  l_workload : string option;  (** bundled workload name … *)
+  l_source : string option;  (** … or inline DSL source (exactly one) *)
+  l_scale : float option;  (** workload scale; [None]: its default *)
+  l_deny_warnings : bool;
+  l_disabled : string list;  (** rule codes to suppress *)
+}
+
 type request =
   | Analyze of query
   | Sweep of query * Designspace.axis
+  | Lint of lint_query
   | Workloads
   | Machines
   | Stats

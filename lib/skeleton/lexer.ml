@@ -87,16 +87,22 @@ let is_ident_char c = is_ident_start c || is_digit c || c = '.'
 let tokenize ~file src : lexed list =
   let n = String.length src in
   let line = ref 1 in
+  let bol = ref 0 in
+  (* byte offset of the current line's first character *)
   let toks = ref [] in
-  let loc () = Loc.make ~file ~line:!line in
-  let push tok = toks := { tok; tloc = loc () } :: !toks in
   let i = ref 0 in
+  let loc () = Loc.make_col ~file ~line:!line ~col:(!i - !bol + 1) in
+  let push tok = toks := { tok; tloc = loc () } :: !toks in
+  let newline_at pos =
+    incr line;
+    bol := pos + 1
+  in
   while !i < n do
     let c = src.[!i] in
     let peek () = if !i + 1 < n then Some src.[!i + 1] else None in
     (match c with
     | '\n' ->
-      incr line;
+      newline_at !i;
       incr i
     | ' ' | '\t' | '\r' -> incr i
     | '#' ->
@@ -190,14 +196,17 @@ let tokenize ~file src : lexed list =
         i := !i + 2)
       else error (loc ()) "stray '|'"
     | '"' ->
+      let opening = loc () in
       let start = !i + 1 in
       let j = ref start in
       while !j < n && src.[!j] <> '"' do
-        if src.[!j] = '\n' then incr line;
+        if src.[!j] = '\n' then newline_at !j;
         incr j
       done;
-      if !j >= n then error (loc ()) "unterminated string literal";
-      push (STRING (String.sub src start (!j - start)));
+      if !j >= n then error opening "unterminated string literal";
+      toks :=
+        { tok = STRING (String.sub src start (!j - start)); tloc = opening }
+        :: !toks;
       i := !j + 1
     | c when is_digit c ->
       let start = !i in

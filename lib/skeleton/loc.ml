@@ -1,17 +1,28 @@
 (** Source locations for skeleton statements.
 
-    Skeletons are small, so a location is just a file name and a line
-    number; it is used to give hot spots human-readable names and to
-    report parse errors. *)
+    A location is a file name, a 1-based line and a 1-based column.
+    [col = 0] means "column unknown" (builder-made programs, legacy
+    callers); {!pp} deliberately prints only [file:line] so that
+    hot-spot names derived from locations stay stable, while
+    {!pp_full} adds the column for diagnostics. *)
 
-type t = { file : string; line : int }
+type t = { file : string; line : int; col : int }
 
-let none = { file = "<builtin>"; line = 0 }
+let none = { file = "<builtin>"; line = 0; col = 0 }
 
-let make ~file ~line = { file; line }
+let make ~file ~line = { file; line; col = 0 }
 
-let pp ppf { file; line } = Fmt.pf ppf "%s:%d" file line
+(** [make_col] additionally records the 1-based column. *)
+let make_col ~file ~line ~col = { file; line; col }
+
+let pp ppf { file; line; _ } = Fmt.pf ppf "%s:%d" file line
+
+(** Like {!pp} but with the column when one is known
+    ([file:line:col]) — the form diagnostics point at. *)
+let pp_full ppf ({ file; line; col } as t) =
+  if col > 0 then Fmt.pf ppf "%s:%d:%d" file line col else pp ppf t
 
 let to_string t = Fmt.str "%a" pp t
 
-let equal a b = String.equal a.file b.file && a.line = b.line
+let equal a b =
+  String.equal a.file b.file && a.line = b.line && a.col = b.col

@@ -1,11 +1,23 @@
 (** Source locations for skeleton statements. *)
 
-type t = { file : string; line : int }
+type t = { file : string; line : int; col : int }
 
 (** Placeholder location for programs built with {!Builder}. *)
 val none : t
 
+(** [make ~file ~line] builds a location with an unknown column. *)
 val make : file:string -> line:int -> t
+
+(** [make_col ~file ~line ~col] additionally records the 1-based
+    column. *)
+val make_col : file:string -> line:int -> col:int -> t
+
+(** Prints [file:line] (column elided so location-derived block names
+    stay stable). *)
 val pp : t Fmt.t
+
+(** Prints [file:line:col] when the column is known. *)
+val pp_full : t Fmt.t
+
 val to_string : t -> string
 val equal : t -> t -> bool

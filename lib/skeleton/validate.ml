@@ -9,14 +9,23 @@
 
 open Ast
 
-type issue = { where : Loc.t; what : string }
+type issue = { where : Loc.t; code : string; what : string }
 
-let pp_issue ppf { where; what } = Fmt.pf ppf "%a: %s" Loc.pp where what
+let pp_issue ppf { where; code; what } =
+  Fmt.pf ppf "%a: %s [%s]" Loc.pp_full where what code
 
 module Smap = Map.Make (String)
 module Sset = Set.Make (String)
 
-let issue where fmt = Fmt.kstr (fun what -> { where; what }) fmt
+(* Stable machine-readable issue codes (shared with the lint
+   diagnostics renderer and the JSON outputs of `skope parse`):
+   V001 duplicate-function        V002 undefined-entry
+   V003 undeclared-array          V004 array-arity-mismatch
+   V005 unbound-variable          V006 invalid-vec-width
+   V007 non-positive-loop-step    V008 undefined-function
+   V009 call-arity-mismatch       V010 duplicate-statistics-name
+   V011 recursive-call-cycle *)
+let issue where code fmt = Fmt.kstr (fun what -> { where; code; what }) fmt
 
 let rec expr_vars acc = function
   | Int _ | Float _ | Bool _ -> acc
@@ -40,11 +49,11 @@ let check ?(inputs = []) (p : program) : issue list =
   List.iter
     (fun (f : func) ->
       if Hashtbl.mem seen f.fname then
-        add (issue Loc.none "duplicate function %s" f.fname)
+        add (issue Loc.none "V001" "duplicate function %s" f.fname)
       else Hashtbl.add seen f.fname ())
     p.funcs;
   if not (Smap.mem p.entry funcs) then
-    add (issue Loc.none "entry function %s is not defined" p.entry);
+    add (issue Loc.none "V002" "entry function %s is not defined" p.entry);
   (* Per-function checks. *)
   let global_arrays =
     List.fold_left (fun m a -> Smap.add a.aname a m) Smap.empty p.globals
@@ -55,18 +64,18 @@ let check ?(inputs = []) (p : program) : issue list =
     in
     let check_access loc { array; index } =
       match Smap.find_opt array arrays with
-      | None -> add (issue loc "access to undeclared array %s" array)
+      | None -> add (issue loc "V003" "access to undeclared array %s" array)
       | Some decl ->
         if List.length index <> List.length decl.dims then
           add
-            (issue loc "array %s has %d dims but is accessed with %d indices"
+            (issue loc "V004" "array %s has %d dims but is accessed with %d indices"
                array (List.length decl.dims) (List.length index))
     in
     let check_vars loc bound e =
       Sset.iter
         (fun v ->
           if not (Sset.mem v bound) then
-            add (issue loc "unbound variable %s" v))
+            add (issue loc "V005" "unbound variable %s" v))
         (expr_vars Sset.empty e)
     in
     (* Input bindings are global constants, visible in every
@@ -81,7 +90,7 @@ let check ?(inputs = []) (p : program) : issue list =
         check_vars s.loc bound flops;
         check_vars s.loc bound iops;
         check_vars s.loc bound divs;
-        if Stdlib.(vec < 1) then add (issue s.loc "vec must be >= 1");
+        if Stdlib.(vec < 1) then add (issue s.loc "V006" "vec must be >= 1");
         bound
       | Mem { loads; stores } ->
         List.iter (check_access s.loc) loads;
@@ -106,9 +115,9 @@ let check ?(inputs = []) (p : program) : issue list =
         check_vars s.loc bound step;
         (match step with
         | Int i when Stdlib.(i <= 0) ->
-          add (issue s.loc "loop step must be positive")
+          add (issue s.loc "V007" "loop step must be positive")
         | Float x when Stdlib.(x <= 0.) ->
-          add (issue s.loc "loop step must be positive")
+          add (issue s.loc "V007" "loop step must be positive")
         | _ -> ());
         let _ = check_block (Sset.add var bound) body in
         bound
@@ -119,11 +128,11 @@ let check ?(inputs = []) (p : program) : issue list =
         bound
       | Call (name, args) ->
         (match Smap.find_opt name funcs with
-        | None -> add (issue s.loc "call to undefined function %s" name)
+        | None -> add (issue s.loc "V008" "call to undefined function %s" name)
         | Some callee ->
           if List.length callee.params <> List.length args then
             add
-              (issue s.loc "%s expects %d arguments, got %d" name
+              (issue s.loc "V009" "%s expects %d arguments, got %d" name
                  (List.length callee.params)
                  (List.length args)));
         List.iter (check_vars s.loc bound) args;
@@ -149,7 +158,7 @@ let check ?(inputs = []) (p : program) : issue list =
     match Hashtbl.find_opt stat_names name with
     | Some first ->
       add
-        (issue loc
+        (issue loc "V010"
            "%s %S reuses a statistics name first used at %s; profiled \
             probabilities would be pooled across both sites"
            kind name (Loc.to_string first))
@@ -180,7 +189,7 @@ let check ?(inputs = []) (p : program) : issue list =
   let rec dfs path name =
     if List.mem name path then
       add
-        (issue Loc.none "recursive call cycle: %s"
+        (issue Loc.none "V011" "recursive call cycle: %s"
            (String.concat " -> " (List.rev (name :: path))))
     else
       match Smap.find_opt name call_graph with

@@ -5,7 +5,9 @@
     callee trees in place, so call graphs must be acyclic) and
     non-positive literal loop steps. *)
 
-type issue = { where : Loc.t; what : string }
+(** An issue with a stable machine-readable [code] (V001..V011), used
+    by the diagnostics renderer and the JSON output of [skope parse]. *)
+type issue = { where : Loc.t; code : string; what : string }
 
 val pp_issue : issue Fmt.t
 

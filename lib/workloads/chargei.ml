@@ -26,6 +26,11 @@ let make ~scale =
     for_ ?label "p" (int 0) (var "npart" - int 1) body
   in
   let grid ?label body = for_ ?label "g" (int 0) (var "ngrid" - int 1) body in
+  (* Stencil sweeps touch [g-1]/[g+1]: iterate the interior points
+     only, as the original smoothing and Poisson loops do. *)
+  let interior ?label body =
+    for_ ?label "g" (int 1) (var "ngrid" - int 2) body
+  in
   let deposit =
     func "deposit"
       [
@@ -73,7 +78,7 @@ let make ~scale =
       [
         grid ~label:"zero_density"
           [ comp ~iops:(int 1) ~vec:4 (); store [ a_ "tmp" [ var "g" ] ] ];
-        grid ~label:"smooth_field"
+        interior ~label:"smooth_field"
           [
             load
               [
@@ -86,7 +91,7 @@ let make ~scale =
         while_ ~label:"poisson_iter" "poisson" ~p_continue:(float 0.75)
           ~max_iter:(int 12)
           [
-            grid ~label:"poisson_sweep"
+            interior ~label:"poisson_sweep"
               [
                 load [ a_ "tmp" [ var "g" ]; a_ "tmp" [ var "g" + int 1 ] ];
                 comp ~flops:(int 5) ~iops:(int 1) ~vec:4 ();

@@ -44,9 +44,9 @@ let funcs ~prefix ~weight : Ast.func list * Ast.stmt list =
   let diagnostics =
     func (prefix ^ "_diagnostics")
       [
-        if_ (int 0 == int 1)
+        if_data (prefix ^ "_error") (float 0.0)
           [
-            (* Unreachable error handling: pure static mass. *)
+            (* Never-taken error handling: pure static mass. *)
             comp ~label:(prefix ^ "_error_recovery") ~iops:(int u2) ();
             comp ~label:(prefix ^ "_abort_path") ~iops:(int u) ();
           ]

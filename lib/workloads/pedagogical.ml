@@ -19,7 +19,7 @@ let make ~scale =
         if_
           (var "knob" == int 1)
           [
-            for_ ~label:"foo_heavy" "j" (int 1) (var "x")
+            for_ ~label:"foo_heavy" "j" (int 0) (var "x" - int 1)
               [
                 comp ~flops:(int 16) ~iops:(int 2) ();
                 load [ a_ "data" [ var "j" ] ];
@@ -39,7 +39,7 @@ let make ~scale =
         if_data "calibrate" (float 0.3) [ let_ "knob" (int 1) ] [];
         for_ ~label:"init" "i" (int 0) (var "n" - int 1)
           [ comp ~flops:(int 1) ~iops:(int 1) (); store [ a_ "data" [ var "i" ] ] ];
-        for_ ~label:"main_loop" "i" (int 1) (var "n")
+        for_ ~label:"main_loop" "i" (int 0) (var "n" - int 1)
           [
             comp ~flops:(int 4) ~iops:(int 2) ();
             load [ a_ "data" [ var "i" ] ];

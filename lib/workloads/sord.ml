@@ -183,8 +183,7 @@ let make ~scale =
               [
                 comp ~flops:(int 0) ~iops:(int 3) ~vec:4 ();
                 load [ a_ "buf" [ var "c" ] ];
-                store
-                  [ a_ "u1" [ var "c" * var "nx" + var "ncell" - var "nsurf" ] ];
+                store [ a_ "u1" [ (var "c" * var "nx") + var "nx" - int 1 ] ];
               ];
           ];
       ]
@@ -291,8 +290,14 @@ let make ~scale =
     program "sord"
       ~globals:
         [
-          g "u1"; g "w1"; g "vx"; g "ax"; g "dx"; g "dy"; g "dz"; g "lam";
-          g "mu"; g "rho"; g "eta"; g "sxx"; g "syy"; g "szz"; g "sxy";
+          (* The displacement grid carries a ghost plane (plus one row
+             and one cell) so the [c+1], [c+nx] and [c+nx*ny] stencil
+             neighbors stay in bounds at the domain edge; the shear
+             stress is read one cell ahead in the momentum update. *)
+          array "u1" [ var "ncell" + (var "nx" * var "ny") + int 1 ];
+          array "sxy" [ var "ncell" + int 1 ];
+          g "w1"; g "vx"; g "ax"; g "dx"; g "dy"; g "dz"; g "lam";
+          g "mu"; g "rho"; g "eta"; g "sxx"; g "syy"; g "szz";
           g "hg";
           array "tn" [ var "nfault" ];
           array "ts" [ var "nfault" ];

@@ -92,8 +92,11 @@ let make ~scale =
     program "srad"
       ~globals:
         [
-          array "img" [ var "npix" ];
-          array "coef" [ var "npix" ];
+          (* One ghost row plus one cell pads the forward-difference
+             neighbors [p+1] and [p+n], as the original allocates a
+             bordered image. *)
+          array "img" [ var "npix" + var "n" + int 1 ];
+          array "coef" [ var "npix" + var "n" + int 1 ];
           array "window" [ var "nwin" ];
         ]
       ([ main; sample; gradient; diffuse ] @ cold_funcs)

@@ -13,6 +13,27 @@ echo "smoke: building..."
 dune build bin test || fail "dune build"
 
 SKOPE=_build/default/bin/skope.exe
+
+echo "smoke: lint gate (all bundled workloads + examples, deny warnings)"
+"$SKOPE" lint --workloads --deny warnings >/dev/null \
+    || fail "bundled workloads do not lint clean"
+"$SKOPE" lint examples/skeletons/heat2d.skope -i n=512 -i maxiter=100 \
+    --deny warnings >/dev/null || fail "heat2d.skope does not lint clean"
+"$SKOPE" lint examples/skeletons/nbody.skope -i nbody=4096 -i nsteps=10 \
+    --deny warnings >/dev/null || fail "nbody.skope does not lint clean"
+
+echo "smoke: lint failure path exits nonzero with structured output"
+BROKEN=$(mktemp /tmp/skoped-smoke.XXXXXX.skope)
+printf 'program broken\ndef main()\n{\n  let z = 2 - 2\n  comp flops=1/z\n}\n' \
+    >"$BROKEN"
+if "$SKOPE" lint "$BROKEN" >/dev/null 2>&1; then
+    rm -f "$BROKEN"
+    fail "lint accepted a division by zero"
+fi
+"$SKOPE" lint "$BROKEN" --format json 2>/dev/null \
+    | grep -q '"code":"L002"' || { rm -f "$BROKEN"; fail "lint json missing L002"; }
+rm -f "$BROKEN"
+
 PORT=$(( (RANDOM % 20000) + 20000 ))
 LOG=$(mktemp /tmp/skoped-smoke.XXXXXX.log)
 
@@ -51,6 +72,9 @@ q --kind sweep -w sord -m bgq --axis bw --values 7,14,28,56 >/dev/null \
     || fail "sweep"
 q --kind sweep -w sord -m bgq --axis bw --values 7,14,28,56 >/dev/null \
     || fail "re-sweep"
+
+echo "smoke: lint request kind"
+q --kind lint -w sord >/dev/null || fail "lint request"
 
 echo "smoke: error paths return structured errors (and nonzero exit)"
 q -w no-such-workload >/dev/null 2>&1 && fail "unknown workload accepted"

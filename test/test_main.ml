@@ -15,6 +15,7 @@ let () =
          Test_extensions.suite;
          Test_report.suite;
          Test_more.suite;
+         Test_lint.suite;
          Test_shapes.suite;
          Test_props.suite;
          Test_service.suite;

@@ -220,6 +220,84 @@ let test_worker_never_crashes () =
       {|{"kind":"analyze","workload":"sord","machine":"bgq","top":0}|};
     ]
 
+(* --- lint requests -------------------------------------------------- *)
+
+let result_of resp =
+  match Json.of_string resp with
+  | Ok j -> (
+    match Json.member "result" j with
+    | Some r -> r
+    | None -> Alcotest.failf "no result in %s" resp)
+  | Error e -> Alcotest.failf "response is not JSON (%s): %s" e resp
+
+let test_lint_workload () =
+  let dispatch = Service.Dispatch.create () in
+  let r = result_of (handle ~dispatch {|{"kind":"lint","workload":"sord"}|}) in
+  Alcotest.(check bool) "sord is clean" true
+    (Json.member "clean" r = Some (Json.Bool true));
+  Alcotest.(check bool) "no errors" true
+    (Json.member "errors" r = Some (Json.Int 0));
+  (match Json.member "diagnostics" r with
+  | Some (Json.List _) -> ()
+  | _ -> Alcotest.fail "diagnostics is not a list");
+  (* lint requests are counted in the metrics like analyze/sweep *)
+  let v = Service.Metrics.view dispatch.Service.Dispatch.metrics in
+  Alcotest.(check int) "lint counted by kind" 1
+    (try List.assoc ("lint", "ok") v.Service.Metrics.requests
+     with Not_found -> 0)
+
+let test_lint_source () =
+  (* An inline source with a certain division by zero: the response is
+     still ok:true (the lint ran), but not clean. *)
+  let body =
+    Json.to_string
+      (Json.Obj
+         [
+           ("kind", Json.String "lint");
+           ( "source",
+             Json.String
+               "program p\ndef main()\n{\n  let z = 2 - 2\n  comp flops=1/z\n}\n"
+           );
+         ])
+  in
+  let r = result_of (handle body) in
+  Alcotest.(check bool) "not clean" true
+    (Json.member "clean" r = Some (Json.Bool false));
+  (match Json.member "diagnostics" r with
+  | Some (Json.List (d :: _)) ->
+    Alcotest.(check bool) "carries the L002 code" true
+      (Json.member "code" d = Some (Json.String "L002"))
+  | _ -> Alcotest.fail "expected at least one diagnostic");
+  (* A syntax error also arrives as a diagnostic, not an envelope
+     error. *)
+  let r =
+    result_of
+      (handle {|{"kind":"lint","source":"program p\ndef main( {"}|})
+  in
+  Alcotest.(check bool) "syntax errors are diagnostics" true
+    (match Json.member "diagnostics" r with
+    | Some (Json.List [ d ]) ->
+      Json.member "code" d = Some (Json.String "P002")
+    | _ -> false)
+
+let test_lint_request_validation () =
+  check_error "lint without target" "invalid_request" {|{"kind":"lint"}|};
+  check_error "lint with both targets" "invalid_request"
+    {|{"kind":"lint","workload":"sord","source":"program p"}|};
+  check_error "lint unknown workload" "unknown_workload"
+    {|{"kind":"lint","workload":"nope"}|};
+  check_error "lint bad scale" "invalid_request"
+    {|{"kind":"lint","workload":"sord","scale":0}|};
+  check_error "lint bad disable list" "invalid_request"
+    {|{"kind":"lint","workload":"sord","disable":[1]}|};
+  (* deny_warnings only flips the clean verdict (infos never fail) *)
+  let r =
+    result_of
+      (handle {|{"kind":"lint","workload":"sord","deny_warnings":true}|})
+  in
+  Alcotest.(check bool) "clean under deny_warnings" true
+    (Json.member "clean" r = Some (Json.Bool true))
+
 (* --- cache behaviour ----------------------------------------------- *)
 
 let analyze_body =
@@ -398,6 +476,13 @@ let suite =
         Alcotest.test_case "deadline" `Quick test_deadline_exceeded;
         Alcotest.test_case "catalogs and stats" `Quick test_catalogs_and_stats;
         Alcotest.test_case "hostile bodies" `Quick test_worker_never_crashes;
+      ] );
+    ( "service.lint",
+      [
+        Alcotest.test_case "workload request" `Quick test_lint_workload;
+        Alcotest.test_case "inline source request" `Quick test_lint_source;
+        Alcotest.test_case "request validation" `Quick
+          test_lint_request_validation;
       ] );
     ( "service.cache",
       [
