@@ -756,6 +756,71 @@ let lint_section () =
         n_diags)
     Workloads.Registry.all
 
+(* ------------------------------------------------------------------ *)
+(* Telemetry overhead: the tracer must be free when disabled and
+   cheap when collecting — instrumented phases run once per request,
+   so even the enabled cost only has to beat a projection (~ms). *)
+
+let telemetry_section () =
+  section "telemetry_overhead"
+    "span tracing: disabled fast path vs Chrome-sink collection";
+  let module Span = Telemetry.Span in
+  let module Chrome = Telemetry.Chrome in
+  let reps = 1_000_000 in
+  let bench f =
+    let t0 = Unix.gettimeofday () in
+    let acc = ref 0 in
+    for i = 1 to reps do
+      acc := f i
+    done;
+    ignore !acc;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps
+  in
+  let baseline = bench (fun i -> i + 1) in
+  Span.clear_sinks ();
+  let disabled = bench (fun i -> Span.with_ ~name:"noop" (fun () -> i + 1)) in
+  let collector = Chrome.create () in
+  let sink = Chrome.sink collector in
+  Span.add_sink sink;
+  let enabled_reps = 100_000 in
+  let t0 = Unix.gettimeofday () in
+  let acc = ref 0 in
+  for i = 1 to enabled_reps do
+    acc := Span.with_ ~name:"collected" (fun () -> i + 1)
+  done;
+  ignore !acc;
+  let enabled = (Unix.gettimeofday () -. t0) /. float_of_int enabled_reps in
+  Span.remove_sink sink;
+  Fmt.pr "  bare closure call        %8.1f ns@." (baseline *. 1e9);
+  Fmt.pr "  span, no sink            %8.1f ns  (overhead %.1f ns)@."
+    (disabled *. 1e9)
+    ((disabled -. baseline) *. 1e9);
+  Fmt.pr "  span, chrome sink        %8.1f ns  (%d spans collected)@."
+    (enabled *. 1e9) (Chrome.length collector);
+  let w = Workloads.Registry.find_exn "pedagogical" in
+  let run () =
+    ignore (P.analyze ~machine:bgq ~workload:w ~scale:w.default_scale ())
+  in
+  let pipeline_reps = 50 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to pipeline_reps do
+      f ()
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int pipeline_reps
+  in
+  let untraced = time run in
+  let c2 = Chrome.create () in
+  let sink2 = Chrome.sink c2 in
+  Span.add_sink sink2;
+  let traced = time run in
+  Span.remove_sink sink2;
+  Fmt.pr "  pipeline untraced        %8.3f ms/run@." (untraced *. 1e3);
+  Fmt.pr "  pipeline traced          %8.3f ms/run  (+%.1f%%, %d spans)@."
+    (traced *. 1e3)
+    (100. *. ((traced /. Float.max 1e-12 untraced) -. 1.))
+    (Chrome.length c2)
+
 let () =
   (match Array.to_list Sys.argv with
   | _ :: "--csv" :: dir :: _ -> csv_dir := Some dir
@@ -786,4 +851,5 @@ let () =
   bechamel_section ();
   service_section ();
   lint_section ();
+  telemetry_section ();
   Fmt.pr "@.[bench] total wall time %.1fs@." (Unix.gettimeofday () -. t0)

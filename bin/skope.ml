@@ -23,6 +23,32 @@ module Hotspot = Core.Analysis.Hotspot
 module Blockstat = Core.Analysis.Blockstat
 module Quality = Core.Analysis.Quality
 module Table = Core.Report.Table
+module Span = Core.Telemetry.Span
+module Chrome = Core.Telemetry.Chrome
+
+let trace_arg =
+  let doc =
+    "Write a Chrome trace_event JSON trace of this run to $(docv) \
+     (load it in chrome://tracing or Perfetto)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+(* Collect spans for the duration of [f] and write them out.  The root
+   span is named after the subcommand so nested phase spans have a
+   common ancestor in the trace view. *)
+let with_trace trace ~root f =
+  match trace with
+  | None -> f ()
+  | Some file ->
+    let collector = Chrome.create () in
+    let sink = Chrome.sink collector in
+    Span.add_sink sink;
+    Fun.protect
+      ~finally:(fun () ->
+        Span.remove_sink sink;
+        Chrome.write_file collector file;
+        Fmt.epr "wrote %d spans to %s@." (Chrome.length collector) file)
+      (fun () -> Span.with_ ~name:root f)
 
 let machine_arg =
   let doc = "Target machine (bgq, xeon, future)." in
@@ -103,7 +129,10 @@ module Diag = Core.Lint.Diagnostic
    Returns the source text alongside so callers can render excerpts. *)
 let parse_with_diagnostics ?(inputs = []) file =
   let source = try read_source file with Sys_error _ -> "" in
-  match Core.Skeleton.Parser.parse_file file with
+  match
+    Span.with_ ~name:"parse" ~attrs:[ ("file", file) ] (fun () ->
+        Core.Skeleton.Parser.parse_file file)
+  with
   | program ->
     let issues = Core.Skeleton.Validate.check ~inputs program in
     (Some program, source, List.map Diag.of_validate issues)
@@ -116,11 +145,15 @@ let parse_with_diagnostics ?(inputs = []) file =
    aborts (warnings and infos are `skope lint`'s business). *)
 let load_file file inputs =
   let source = try read_source file with Sys_error _ -> "" in
-  match Core.Skeleton.Parser.parse_file file with
+  match
+    Span.with_ ~name:"parse" ~attrs:[ ("file", file) ] (fun () ->
+        Core.Skeleton.Parser.parse_file file)
+  with
   | program ->
     let inputs = parse_inputs inputs in
     (match
-       Core.Skeleton.Validate.check ~inputs:(List.map fst inputs) program
+       Span.with_ ~name:"validate" (fun () ->
+           Core.Skeleton.Validate.check ~inputs:(List.map fst inputs) program)
      with
     | [] -> (
       match Core.Lint.Engine.check_exn ~inputs program with
@@ -283,7 +316,8 @@ let cmd_lint =
     Arg.(value & flag & info [ "rules" ] ~doc)
   in
   let run files workloads all_workloads scale inputs format deny disable only
-      rules =
+      rules trace =
+    with_trace trace ~root:"lint" @@ fun () ->
     if rules then begin
       List.iter (fun (c, d) -> Fmt.pr "%s  %s@." c d) Core.Lint.Engine.rules;
       exit 0
@@ -389,7 +423,7 @@ let cmd_lint =
     Term.(
       const run $ files_arg $ lint_workloads_arg $ all_workloads_arg
       $ scale_arg $ inputs_arg $ format_arg $ deny_arg $ disable_arg
-      $ only_arg $ rules_flag)
+      $ only_arg $ rules_flag $ trace_arg)
 
 let print_analysis machine program inputs criteria k =
   let built =
@@ -398,11 +432,13 @@ let print_analysis machine program inputs criteria k =
       ~inputs program
   in
   let proj = Core.Analysis.Perf.project machine built in
-  Table.print (spots_table "" proj.total_time proj.blocks k);
+  Span.with_ ~name:"report" (fun () ->
+      Table.print (spots_table "" proj.total_time proj.blocks k));
   let sel =
-    Hotspot.select ~criteria
-      ~total_instructions:(Core.Bet.Bst.total_instructions built.bst)
-      proj.blocks
+    Span.with_ ~name:"hotspot" (fun () ->
+        Hotspot.select ~criteria
+          ~total_instructions:(Core.Bet.Bst.total_instructions built.bst)
+          proj.blocks)
   in
   Fmt.pr "@.selection: %d spots, coverage %s, leanness %s@."
     (List.length sel.spots) (pct sel.coverage) (pct sel.leanness);
@@ -418,11 +454,12 @@ let print_analysis machine program inputs criteria k =
   List.iter (fun w -> Fmt.pr "warning: %s@." w) built.warnings
 
 let cmd_analyze =
-  let run workload machine scale k file inputs coverage leanness =
+  let run workload machine scale k file inputs coverage leanness trace =
     let m = lookup_machine machine in
     let criteria =
       { Hotspot.time_coverage = coverage; code_leanness = leanness }
     in
+    with_trace trace ~root:"analyze" @@ fun () ->
     match file with
     | Some f ->
       let program, inputs = load_file f inputs in
@@ -431,7 +468,10 @@ let cmd_analyze =
     | None ->
       let w = lookup_workload workload in
       let scale = Option.value ~default:w.default_scale scale in
-      let program, winputs = w.make ~scale in
+      let program, winputs =
+        Span.with_ ~name:"workload_make" ~attrs:[ ("workload", w.name) ]
+          (fun () -> w.make ~scale)
+      in
       Fmt.pr "Projected hot spots of %s on %s (no target execution):@.@."
         w.name m.name;
       print_analysis m program winputs criteria k
@@ -441,15 +481,16 @@ let cmd_analyze =
        ~doc:"Project hot spots analytically for a target machine")
     Term.(
       const run $ workload_arg $ machine_arg $ scale_arg $ top_arg $ file_arg
-      $ inputs_arg $ coverage_arg $ leanness_arg)
+      $ inputs_arg $ coverage_arg $ leanness_arg $ trace_arg)
 
 let cmd_validate =
-  let run workload machine scale k coverage leanness =
+  let run workload machine scale k coverage leanness trace =
     let w = lookup_workload workload in
     let m = lookup_machine machine in
     let criteria =
       { Hotspot.time_coverage = coverage; code_leanness = leanness }
     in
+    with_trace trace ~root:"validate" @@ fun () ->
     let r = P.run ~criteria ?scale ~machine:m w in
     Fmt.pr "=== %s on %s (scale %.3g) ===@.@." w.name m.name r.P.scale;
     Table.print
@@ -477,7 +518,7 @@ let cmd_validate =
        ~doc:"Compare the projection against the simulator ground truth")
     Term.(
       const run $ workload_arg $ machine_arg $ scale_arg $ top_arg
-      $ coverage_arg $ leanness_arg)
+      $ coverage_arg $ leanness_arg $ trace_arg)
 
 let cmd_spots =
   let run workload machine scale k =
@@ -727,7 +768,8 @@ let cmd_sweep =
     let doc = "Comma-separated values for the axis." in
     Arg.(value & opt string "1,2,4,8" & info [ "values" ] ~docv:"V1,V2,.." ~doc)
   in
-  let run workload machine axis values =
+  let run workload machine axis values trace =
+    with_trace trace ~root:"sweep" @@ fun () ->
     let w = lookup_workload workload in
     let base = lookup_machine machine in
     let floats =
@@ -770,7 +812,9 @@ let cmd_sweep =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Explore one hardware design axis analytically")
-    Term.(const run $ workload_arg $ machine_arg $ axis_arg $ values_arg)
+    Term.(
+      const run $ workload_arg $ machine_arg $ axis_arg $ values_arg
+      $ trace_arg)
 
 let cmd_nodes =
   let ranks_arg =
@@ -882,8 +926,18 @@ let cmd_query =
     Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc)
   in
   let kind_arg =
-    let doc = "Request kind: analyze, sweep, lint, workloads, machines, stats." in
+    let doc =
+      "Request kind: analyze, sweep, lint, workloads, machines, stats, \
+       metrics_prom, version."
+    in
     Arg.(value & opt string "analyze" & info [ "kind" ] ~docv:"KIND" ~doc)
+  in
+  let stats_flag =
+    let doc =
+      "Fetch server stats and render the per-phase latency breakdown as a \
+       table (shorthand for --kind stats plus formatting)."
+    in
+    Arg.(value & flag & info [ "stats" ] ~doc)
   in
   let axis_arg =
     let doc = "Sweep axis: bw, lat, vec, issue, freq, l2, div." in
@@ -963,8 +1017,71 @@ let cmd_query =
     in
     J.to_string (J.Obj fields)
   in
+  (* Render the stats response's per-phase histograms as a table. *)
+  let print_stats response =
+    match J.of_string response with
+    | Ok r when J.member "ok" r = Some (J.Bool true) ->
+      let result = Option.value ~default:(J.Obj []) (J.member "result" r) in
+      let metrics = Option.value ~default:(J.Obj []) (J.member "metrics" result) in
+      let int_of key json =
+        Option.bind (J.member key json) J.to_int_opt |> Option.value ~default:0
+      in
+      let num_of key json =
+        Option.bind (J.member key json) J.to_float_opt
+        |> Option.value ~default:0.
+      in
+      let phases =
+        match J.member "phases" metrics with
+        | Some (J.List ps) -> ps
+        | _ -> []
+      in
+      let rows =
+        List.map
+          (fun p ->
+            let str key =
+              Option.bind (J.member key p) J.to_string_opt
+              |> Option.value ~default:"?"
+            in
+            let ms key = Fmt.str "%.3f" (num_of key p) in
+            [
+              str "phase"; string_of_int (int_of "count" p); ms "total_ms";
+              ms "p50_ms"; ms "p95_ms"; ms "p99_ms";
+            ])
+          phases
+      in
+      Table.print
+        (Table.make ~title:"Per-phase latency (ms)"
+           ~headers:[ "phase"; "count"; "total"; "p50"; "p95"; "p99" ]
+           ~aligns:Table.[ Left; Right; Right; Right; Right; Right ]
+           rows);
+      Fmt.pr "@.requests: %d | cache hit rate: %.1f%% | request p95: %.3f ms@."
+        (int_of "total_requests" metrics)
+        (100. *. num_of "cache_hit_rate" metrics)
+        (num_of "latency_p95_ms" metrics)
+    | _ ->
+      Fmt.pr "%s@." response;
+      exit 1
+  in
+  (* metrics_prom wraps the exposition in JSON transport; print the
+     decoded body so the output pipes straight into promtool. *)
+  let print_metrics_prom response =
+    match J.of_string response with
+    | Ok r when J.member "ok" r = Some (J.Bool true) ->
+      (match
+         Option.bind (J.member "result" r) (J.member "body")
+         |> Fun.flip Option.bind J.to_string_opt
+       with
+      | Some prom_body -> print_string prom_body
+      | None ->
+        Fmt.pr "%s@." response;
+        exit 1)
+    | _ ->
+      Fmt.pr "%s@." response;
+      exit 1
+  in
   let run host port kind workload machine scale top coverage leanness axis
-      values overrides timeout_ms body repeat concurrency =
+      values overrides timeout_ms body repeat concurrency stats =
+    let kind = if stats then "stats" else kind in
     let body =
       match body with
       | Some b -> b
@@ -978,6 +1095,8 @@ let cmd_query =
       | Error msg ->
         Fmt.epr "skope query: %s@." msg;
         exit 1
+      | Ok response when stats -> print_stats response
+      | Ok response when kind = "metrics_prom" -> print_metrics_prom response
       | Ok response ->
         Fmt.pr "%s@." response;
         (match J.of_string response with
@@ -998,12 +1117,28 @@ let cmd_query =
       const run $ host_arg $ port_arg $ kind_arg $ workload_arg $ machine_arg
       $ scale_arg $ top_arg $ coverage_arg $ leanness_arg $ axis_arg
       $ values_arg $ override_arg $ timeout_arg $ body_arg $ repeat_arg
-      $ concurrency_arg)
+      $ concurrency_arg $ stats_flag)
+
+let cmd_json_check =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let run file =
+    match Core.Report.Json.of_string (read_source file) with
+    | Ok _ -> Fmt.pr "%s: valid JSON@." file
+    | Error msg ->
+      Fmt.epr "%s: %s@." file msg;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "json-check"
+       ~doc:
+         "Validate that a file is well-formed JSON (e.g. an exported \
+          --trace file)")
+    Term.(const run $ file)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =
-    Cmd.info "skope" ~version:"1.0.0"
+    Cmd.info "skope" ~version:Core.Version.describe
       ~doc:"Analytic application-execution modeling for co-design"
   in
   exit
@@ -1013,5 +1148,5 @@ let () =
             cmd_workloads; cmd_machines; cmd_show; cmd_parse; cmd_lint;
             cmd_analyze; cmd_validate; cmd_hints; cmd_miniapp; cmd_sweep;
             cmd_nodes; cmd_roofline; cmd_json; cmd_import; cmd_spots;
-            cmd_path; cmd_compare; cmd_serve; cmd_query;
+            cmd_path; cmd_compare; cmd_serve; cmd_query; cmd_json_check;
           ]))

@@ -67,10 +67,15 @@ let footprint_hits (machine : Machine.t) ~footprint ~(base : Roofline.opts) =
     the paper's baseline — constant ratios, flop-uniform, scalar). *)
 let project ?(opts = Roofline.default_opts) ?(cache = Constant)
     (machine : Machine.t) (built : Build.result) : projection =
+  Skope_telemetry.Span.with_ ~name:"eval"
+    ~attrs:[ ("machine", machine.Machine.name) ]
+    (fun () ->
+  let visited = ref 0 in
   let per_block : (Block_id.t, acc) Hashtbl.t = Hashtbl.create 64 in
   let node_time = Hashtbl.create 256 in
   let node_enr = Hashtbl.create 256 in
   let visit (node : Node.t) ~enr ~footprint =
+      incr visited;
       let opts =
         match cache with
         | Constant -> opts
@@ -137,10 +142,11 @@ let project ?(opts = Roofline.default_opts) ?(cache = Constant)
       per_block []
     |> Blockstat.rank
   in
+  Skope_telemetry.Span.count "bet_nodes_evaluated" (float_of_int !visited);
   {
     machine;
     blocks;
     total_time = Blockstat.total_time blocks;
     node_time;
     node_enr;
-  }
+  })

@@ -428,6 +428,7 @@ and split_cond st (live : Context.t list) (cond : Ast.cond) :
     number of simultaneously tracked contexts per program point. *)
 let build ?(hints = Hints.empty) ?(lib_work = fun _ -> None)
     ?(max_contexts = 64) ?(inputs = []) (program : Ast.program) : result =
+  Skope_telemetry.Span.with_ ~name:"bet_build" (fun () ->
   let global_abytes =
     List.fold_left
       (fun m (a : Ast.array_decl) -> Smap.add a.aname a.elem_bytes m)
@@ -453,9 +454,11 @@ let build ?(hints = Hints.empty) ?(lib_work = fun _ -> None)
       ~abytes:(abytes_of st entry.arrays)
       ~ctxs ~stmts:entry.body
   in
+  let node_count = Node.size root in
+  Skope_telemetry.Span.count "bet_nodes_built" (float_of_int node_count);
   {
     root;
     bst = Bst.build program;
-    node_count = Node.size root;
+    node_count;
     warnings = List.rev st.warnings;
-  }
+  })

@@ -18,6 +18,8 @@
     - {!Report} — plain-text tables and charts;
     - {!Lint} — interval-domain static analysis with rustc-style
       diagnostics ([L001]..[L010]);
+    - {!Telemetry} — phase-level tracing spans, counters and
+      Prometheus-style exposition;
     - {!Pipeline} — the end-to-end workflow of the paper's Fig. 1.
 
     Quickstart:
@@ -41,4 +43,6 @@ module Report = Skope_report
 module Lint = Skope_lint
 module Multinode = Skope_multinode
 module Frontend = Skope_frontend
+module Telemetry = Skope_telemetry
+module Version = Version
 module Pipeline = Pipeline

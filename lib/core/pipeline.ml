@@ -46,29 +46,41 @@ type analysis = {
 
 let local_machine = Machines.xeon
 
+module Span = Skope_telemetry.Span
+
 (** Profile the skeleton once on the local machine to gather branch
     outcome statistics and while-loop trip counts. *)
 let profile ?(seed = 42L) ~libmix ~inputs program : Hints.t =
-  let config = Interp.default_config ~machine:local_machine ~libmix ~seed () in
-  (Interp.run ~config ~inputs program).Interp.hints
+  Span.with_ ~name:"profile" (fun () ->
+      let config =
+        Interp.default_config ~machine:local_machine ~libmix ~seed ()
+      in
+      (Interp.run ~config ~inputs program).Interp.hints)
 
 (** Analytic projection only — no execution on [machine] at all. *)
 let analyze ?(criteria = Hotspot.default_criteria)
     ?(opts = Roofline.default_opts) ?(cache = Perf.Constant)
     ?(hints = Hints.empty) ~machine ~(workload : Registry.t) ~scale () :
     analysis =
-  let program, inputs = workload.Registry.make ~scale in
-  Validate.check_exn ~inputs:(List.map fst inputs) program;
-  Skope_lint.Engine.check_exn ~inputs program;
+  let program, inputs =
+    Span.with_ ~name:"workload_make"
+      ~attrs:[ ("workload", workload.Registry.name) ]
+      (fun () -> workload.Registry.make ~scale)
+  in
+  Span.with_ ~name:"validate" (fun () ->
+      Validate.check_exn ~inputs:(List.map fst inputs) program);
+  Span.with_ ~name:"lint" (fun () ->
+      Skope_lint.Engine.check_exn ~inputs program);
   let built =
     Build.build ~hints ~lib_work:(Libmix.work_fn workload.Registry.libmix)
       ~inputs program
   in
   let projection = Perf.project ~opts ~cache machine built in
   let selection =
-    Hotspot.select ~criteria
-      ~total_instructions:(Bst.total_instructions built.Build.bst)
-      projection.Perf.blocks
+    Span.with_ ~name:"hotspot" (fun () ->
+        Hotspot.select ~criteria
+          ~total_instructions:(Bst.total_instructions built.Build.bst)
+          projection.Perf.blocks)
   in
   { a_program = program; a_built = built; a_projection = projection;
     a_selection = selection }
@@ -80,9 +92,15 @@ let run ?(criteria = Hotspot.default_criteria) ?(opts = Roofline.default_opts)
   let scale =
     match scale with Some s -> s | None -> workload.Registry.default_scale
   in
-  let program, inputs = workload.Registry.make ~scale in
-  Validate.check_exn ~inputs:(List.map fst inputs) program;
-  Skope_lint.Engine.check_exn ~inputs program;
+  let program, inputs =
+    Span.with_ ~name:"workload_make"
+      ~attrs:[ ("workload", workload.Registry.name) ]
+      (fun () -> workload.Registry.make ~scale)
+  in
+  Span.with_ ~name:"validate" (fun () ->
+      Validate.check_exn ~inputs:(List.map fst inputs) program);
+  Span.with_ ~name:"lint" (fun () ->
+      Skope_lint.Engine.check_exn ~inputs program);
   let libmix = workload.Registry.libmix in
   let hints = profile ~seed ~libmix ~inputs program in
   let built =
@@ -92,11 +110,11 @@ let run ?(criteria = Hotspot.default_criteria) ?(opts = Roofline.default_opts)
   let config = Interp.default_config ~machine ~libmix ~seed () in
   let measured = Interp.run ~config ~inputs program in
   let total_instructions = Bst.total_instructions built.Build.bst in
-  let model_sel =
-    Hotspot.select ~criteria ~total_instructions projection.Perf.blocks
-  in
-  let measured_sel =
-    Hotspot.select ~criteria ~total_instructions measured.Interp.blocks
+  let model_sel, measured_sel =
+    Span.with_ ~name:"hotspot" (fun () ->
+        ( Hotspot.select ~criteria ~total_instructions projection.Perf.blocks,
+          Hotspot.select ~criteria ~total_instructions measured.Interp.blocks
+        ))
   in
   {
     workload;
@@ -120,10 +138,11 @@ let model_quality (r : run) ~k =
 
 (** Hot path of the model-selected spots through the BET (§V-C). *)
 let hot_path (r : run) : Hotpath.t option =
-  Hotpath.extract
-    ~selection:(Hotspot.spot_set r.model_sel)
-    ~node_time:r.projection.Perf.node_time
-    ~node_enr:r.projection.Perf.node_enr r.built.Build.root
+  Span.with_ ~name:"hotpath" (fun () ->
+      Hotpath.extract
+        ~selection:(Hotspot.spot_set r.model_sel)
+        ~node_time:r.projection.Perf.node_time
+        ~node_enr:r.projection.Perf.node_enr r.built.Build.root)
 
 (** Measured coverage (fraction of simulated time) captured by the
     model's top-[k] selection — the Modl(m) curve of Figs. 5/10-13. *)

@@ -1,0 +1,8 @@
+(** Build provenance: semantic version plus the git revision the
+    binary was built from ([unknown] outside a checkout). *)
+
+let version = "1.1.0"
+let git = Version_info.git
+
+let describe =
+  if git = "unknown" then version else Printf.sprintf "%s (%s)" version git

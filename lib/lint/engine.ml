@@ -541,6 +541,7 @@ let interval_of_value = function
   | Value.B b -> I.of_bool b
 
 let run ?(config = default_config) ?(inputs = []) (p : program) =
+  Skope_telemetry.Span.with_ ~name:"lint_run" (fun () ->
   let funcs =
     List.fold_left (fun m f -> Smap.add f.fname f m) Smap.empty p.funcs
   in
@@ -641,7 +642,10 @@ let run ?(config = default_config) ?(inputs = []) (p : program) =
           ~notes:[ Fmt.str "condition `%s` never holds" v.v_expr; fnote ]
           "branch condition is statically false; the then branch is dead")
     st.verdicts;
-  Diagnostic.normalize st.diags
+  let diags = Diagnostic.normalize st.diags in
+  Skope_telemetry.Span.count "lint_diagnostics"
+    (float_of_int (List.length diags));
+  diags)
 
 exception Rejected of Diagnostic.t list
 

@@ -45,6 +45,9 @@ type scaling = {
     projected time is [t_single] seconds. *)
 let strong_scaling ~(spec : spec) ~(network : Network.t) ~t_single ~ranks_list
     () : scaling =
+  Skope_telemetry.Span.with_ ~name:"multinode" (fun () ->
+  Skope_telemetry.Span.count "multinode_points"
+    (float_of_int (List.length ranks_list));
   let points =
     List.map
       (fun ranks ->
@@ -76,7 +79,7 @@ let strong_scaling ~(spec : spec) ~(network : Network.t) ~t_single ~ranks_list
         })
       ranks_list
   in
-  { spec; network; t_single; points }
+  { spec; network; t_single; points })
 
 (** First rank count at which communication exceeds [threshold] of the
     step time — the co-design "crossover" the examples look for. *)

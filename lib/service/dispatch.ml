@@ -1,4 +1,5 @@
 module Json = Skope_report.Json
+module Span = Skope_telemetry.Span
 module P = Core.Pipeline
 module Registry = Core.Workloads.Registry
 module Machine = Core.Hw.Machine
@@ -15,11 +16,20 @@ let default_config = { max_request_bytes = 1 lsl 20; cache_capacity = 4096 }
 type t = { config : config; cache : Json.t Lru.t; metrics : Metrics.t }
 
 let create ?(config = default_config) () =
-  {
-    config;
-    cache = Lru.create ~capacity:config.cache_capacity;
-    metrics = Metrics.create ();
-  }
+  let cache = Lru.create ~capacity:config.cache_capacity in
+  let metrics = Metrics.create () in
+  (* Fold pipeline spans into this dispatcher's per-phase histograms.
+     The sink is process-global, so spans opened by CLI-embedded
+     pipelines also land here — harmless, and it keeps the service
+     path allocation-free when no dispatcher exists. *)
+  Span.add_sink (Metrics.sink metrics);
+  Metrics.register_gauge metrics ~name:"skope_lru_entries"
+    ~help:"Projection cache occupancy." (fun () ->
+      float_of_int (Lru.length cache));
+  Metrics.register_gauge metrics ~name:"skope_lru_capacity"
+    ~help:"Projection cache capacity." (fun () ->
+      float_of_int (Lru.capacity cache));
+  { config; cache; metrics }
 
 exception Reject of Protocol.error_code * string
 
@@ -41,6 +51,7 @@ let json_of_spot rank total (b : Blockstat.t) =
 let analysis_result ~(workload : Registry.t) ~(machine : Machine.t) ~scale
     ~criteria ~top =
   let a = P.analyze ~criteria ~machine ~workload ~scale () in
+  Span.with_ ~name:"report" (fun () ->
   let total = a.P.a_projection.total_time in
   let spots =
     List.filteri (fun i _ -> i < top) a.P.a_projection.blocks
@@ -62,7 +73,7 @@ let analysis_result ~(workload : Registry.t) ~(machine : Machine.t) ~scale
             ("coverage", Json.Float sel.Hotspot.coverage);
             ("leanness", Json.Float sel.Hotspot.leanness);
           ] );
-    ]
+    ])
 
 (* --- cached projection --------------------------------------------- *)
 
@@ -165,7 +176,10 @@ let run_lint (q : Protocol.lint_query) =
         @ L.Engine.run ~config ~inputs program )
     | None, Some source -> (
       let file = "<request>" in
-      match Core.Skeleton.Parser.parse ~file source with
+      match
+        Span.with_ ~name:"parse" (fun () ->
+            Core.Skeleton.Parser.parse ~file source)
+      with
       | exception Core.Skeleton.Lexer.Error (loc, m) ->
         (file, [ L.Diagnostic.of_lex_error loc m ])
       | exception Core.Skeleton.Parser.Error (loc, m) ->
@@ -226,6 +240,21 @@ let run_machines () =
            ])
        Machines.all)
 
+let run_metrics_prom t =
+  Json.Obj
+    [
+      ("content_type", Json.String "text/plain; version=0.0.4");
+      ("body", Json.String (Metrics.prom_metrics t.metrics));
+    ]
+
+let run_version () =
+  Json.Obj
+    [
+      ("version", Json.String Core.Version.version);
+      ("git", Json.String Core.Version.git);
+      ("describe", Json.String Core.Version.describe);
+    ]
+
 let run_stats t =
   let v = Metrics.view t.metrics in
   Json.Obj
@@ -241,13 +270,20 @@ let run_stats t =
 
 (* --- entry point --------------------------------------------------- *)
 
+(* Per-request trace ids, process-wide so concurrent worker domains
+   never collide. *)
+let next_trace = Atomic.make 1
+
 let handle ?received_at t body =
   let received_at =
     match received_at with Some x -> x | None -> Unix.gettimeofday ()
   in
+  let trace_id = Printf.sprintf "req-%06d" (Atomic.fetch_and_add next_trace 1) in
   let kind = ref "?" in
   let outcome = ref "ok" in
   let response =
+    Span.with_context ~attrs:[ ("trace_id", trace_id) ] @@ fun () ->
+    Span.with_ ~name:"request" @@ fun () ->
     try
       if String.length body > t.config.max_request_bytes then
         reject Protocol.Oversized
@@ -259,6 +295,7 @@ let handle ?received_at t body =
         | Error (code, msg) -> reject code msg
       in
       kind := Protocol.kind_label request;
+      Span.set_attr "kind" !kind;
       let check_deadline () =
         match timeout_ms with
         | Some ms when Unix.gettimeofday () -. received_at > ms /. 1e3 ->
@@ -275,6 +312,8 @@ let handle ?received_at t body =
         | Protocol.Workloads -> run_workloads ()
         | Protocol.Machines -> run_machines ()
         | Protocol.Stats -> run_stats t
+        | Protocol.Metrics_prom -> run_metrics_prom t
+        | Protocol.Version -> run_version ()
       in
       Protocol.ok_response result
     with

@@ -75,7 +75,8 @@ let add t key value =
           match t.tail with
           | Some lru ->
             unlink t lru;
-            Hashtbl.remove t.table lru.key
+            Hashtbl.remove t.table lru.key;
+            Skope_telemetry.Span.count "lru_evictions" 1.
           | None -> ())
 
 let length t = with_lock t (fun () -> Hashtbl.length t.table)

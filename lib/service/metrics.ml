@@ -1,17 +1,24 @@
 module Json = Skope_report.Json
+module Hist = Skope_telemetry.Hist
+module Agg = Skope_telemetry.Agg
+module Prom = Skope_telemetry.Prom
+module Span = Skope_telemetry.Span
 
-(* Latencies land in a fixed ring so memory stays bounded under
-   sustained traffic; percentiles are computed over the ring's
-   retained window (the most recent [reservoir_size] samples). *)
-let reservoir_size = 65536
+(* Latencies land in the histogram's bounded sample ring so memory
+   stays bounded under sustained traffic; percentiles are exact
+   nearest-rank over the retained window (the most recent
+   [latency_ring] samples). *)
+let latency_ring = 8192
 
 type t = {
   lock : Mutex.t;
   requests : (string * string, int) Hashtbl.t;
   mutable cache_hits : int;
   mutable cache_misses : int;
-  samples : float array;
-  mutable sample_count : int;  (** total observed, may exceed ring size *)
+  latency : Hist.t;
+  agg : Agg.t;  (** per-phase span durations *)
+  gauges : (string, string * (unit -> float)) Hashtbl.t;
+      (** name -> (help, sampler) *)
 }
 
 let create () =
@@ -20,8 +27,9 @@ let create () =
     requests = Hashtbl.create 16;
     cache_hits = 0;
     cache_misses = 0;
-    samples = Array.make reservoir_size 0.;
-    sample_count = 0;
+    latency = Hist.create ~ring:latency_ring ();
+    agg = Agg.create ();
+    gauges = Hashtbl.create 8;
   }
 
 let with_lock t f =
@@ -36,11 +44,19 @@ let incr_request t ~kind ~outcome =
 
 let cache_hit t = with_lock t (fun () -> t.cache_hits <- t.cache_hits + 1)
 let cache_miss t = with_lock t (fun () -> t.cache_misses <- t.cache_misses + 1)
+let observe_latency t secs = Hist.observe t.latency secs
+let sink t = Agg.sink t.agg
 
-let observe_latency t secs =
+let register_gauge t ~name ~help f =
+  with_lock t (fun () -> Hashtbl.replace t.gauges name (help, f))
+
+let reset t =
   with_lock t (fun () ->
-      t.samples.(t.sample_count mod reservoir_size) <- secs;
-      t.sample_count <- t.sample_count + 1)
+      Hashtbl.reset t.requests;
+      t.cache_hits <- 0;
+      t.cache_misses <- 0);
+  Hist.reset t.latency;
+  Agg.reset t.agg
 
 type view = {
   requests : ((string * string) * int) list;
@@ -52,18 +68,19 @@ type view = {
   p50 : float;
   p95 : float;
   p99 : float;
+  gauges : (string * float) list;
+  phases : (string * Hist.snapshot) list;
 }
 
-(* Nearest-rank percentile over a sorted array. *)
-let percentile sorted q =
-  let n = Array.length sorted in
-  if n = 0 then 0.
-  else begin
-    let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
-    sorted.(min (n - 1) (max 0 (rank - 1)))
-  end
+let sample_gauges t =
+  with_lock t (fun () ->
+      Hashtbl.fold (fun name (_, f) acc -> (name, f ()) :: acc) t.gauges [])
+  |> List.sort compare
 
 let view t =
+  let lat = Hist.snapshot t.latency in
+  let gauges = sample_gauges t in
+  let phases = Agg.snapshot t.agg in
   with_lock t (fun () ->
       let requests =
         Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.requests []
@@ -75,19 +92,18 @@ let view t =
         if lookups = 0 then 0.
         else float_of_int t.cache_hits /. float_of_int lookups
       in
-      let retained = min t.sample_count reservoir_size in
-      let sorted = Array.sub t.samples 0 retained in
-      Array.sort Float.compare sorted;
       {
         requests;
         total_requests;
         cache_hits = t.cache_hits;
         cache_misses = t.cache_misses;
         hit_rate;
-        latency_count = t.sample_count;
-        p50 = percentile sorted 0.50;
-        p95 = percentile sorted 0.95;
-        p99 = percentile sorted 0.99;
+        latency_count = lat.Hist.count;
+        p50 = lat.Hist.p50;
+        p95 = lat.Hist.p95;
+        p99 = lat.Hist.p99;
+        gauges;
+        phases;
       })
 
 let to_json (v : view) =
@@ -112,4 +128,116 @@ let to_json (v : view) =
       ("latency_p50_ms", Json.Float (v.p50 *. 1e3));
       ("latency_p95_ms", Json.Float (v.p95 *. 1e3));
       ("latency_p99_ms", Json.Float (v.p99 *. 1e3));
+      ( "gauges",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) v.gauges) );
+      ( "phases",
+        Json.List
+          (List.map
+             (fun (name, (s : Hist.snapshot)) ->
+               Json.Obj
+                 [
+                   ("phase", Json.String name);
+                   ("count", Json.Int s.Hist.count);
+                   ("total_ms", Json.Float (s.Hist.sum *. 1e3));
+                   ("p50_ms", Json.Float (s.Hist.p50 *. 1e3));
+                   ("p95_ms", Json.Float (s.Hist.p95 *. 1e3));
+                   ("p99_ms", Json.Float (s.Hist.p99 *. 1e3));
+                 ])
+             v.phases) );
     ]
+
+(* Counter names arriving from [Span.count] are already snake_case
+   identifiers; sanitize defensively anyway. *)
+let prom_name s =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    s
+
+let prom_metrics t =
+  let requests =
+    with_lock t (fun () ->
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.requests []
+        |> List.sort compare)
+  in
+  let hits, misses =
+    with_lock t (fun () -> (t.cache_hits, t.cache_misses))
+  in
+  let gauges =
+    with_lock t (fun () ->
+        Hashtbl.fold
+          (fun name (help, f) acc -> (name, help, f ()) :: acc)
+          t.gauges [])
+    |> List.sort compare
+  in
+  let metrics =
+    [
+      Prom.Counter
+        {
+          name = "skope_requests_total";
+          help = "Requests served, by kind and outcome.";
+          values =
+            List.map
+              (fun ((kind, outcome), n) ->
+                ( [ ("kind", kind); ("outcome", outcome) ],
+                  float_of_int n ))
+              requests;
+        };
+      Prom.Counter
+        {
+          name = "skope_projection_cache_hits_total";
+          help = "Projection cache lookups served from cache.";
+          values = [ ([], float_of_int hits) ];
+        };
+      Prom.Counter
+        {
+          name = "skope_projection_cache_misses_total";
+          help = "Projection cache lookups that ran the pipeline.";
+          values = [ ([], float_of_int misses) ];
+        };
+      Prom.Histogram
+        {
+          name = "skope_request_latency_seconds";
+          help = "End-to-end request service latency.";
+          series = [ ([], Hist.snapshot t.latency) ];
+        };
+      Prom.Histogram
+        {
+          name = "skope_phase_duration_seconds";
+          help = "Pipeline phase durations from telemetry spans.";
+          series =
+            List.map
+              (fun (phase, s) -> ([ ("phase", phase) ], s))
+              (Agg.snapshot t.agg);
+        };
+    ]
+    @ List.map
+        (fun (name, help, v) ->
+          Prom.Gauge { name = prom_name name; help; values = [ ([], v) ] })
+        gauges
+    @ List.map
+        (fun (name, v) ->
+          Prom.Counter
+            {
+              name = Printf.sprintf "skope_%s_total" (prom_name name);
+              help = "Process-wide telemetry counter.";
+              values = [ ([], v) ];
+            })
+        (Span.counters ())
+    @ [
+        Prom.Gauge
+          {
+            name = "skope_build_info";
+            help = "Build version and git revision (value is always 1).";
+            values =
+              [
+                ( [ ("version", Core.Version.version);
+                    ("git", Core.Version.git) ],
+                  1. );
+              ];
+          };
+      ]
+  in
+  Prom.render metrics

@@ -1,6 +1,8 @@
 (** Service metrics registry: request counters by (kind, outcome),
-    cache hit/miss counters, and a latency reservoir with percentile
-    estimates.  All operations are thread-safe. *)
+    cache hit/miss counters, a latency histogram with exact
+    small-sample percentiles, per-phase span histograms (fed by the
+    telemetry {!Skope_telemetry.Agg} sink) and pull-style gauges.
+    All operations are thread-safe. *)
 
 type t
 
@@ -16,7 +18,24 @@ val cache_miss : t -> unit
 (** Record one request's service latency in seconds. *)
 val observe_latency : t -> float -> unit
 
-(** Immutable snapshot for the [stats] response and for tests. *)
+val sink : t -> Skope_telemetry.Span.sink
+(** A telemetry sink that folds finished pipeline spans into this
+    registry's per-phase histograms.  Install with
+    [Skope_telemetry.Span.add_sink (Metrics.sink m)]. *)
+
+val register_gauge : t -> name:string -> help:string -> (unit -> float) -> unit
+(** Register a pull-style gauge sampled at [view]/[prom_metrics] time
+    (e.g. work-queue depth, LRU occupancy).  [name] is the full
+    Prometheus metric name ([skope_queue_depth]).  Re-registering a
+    name replaces the previous sampler. *)
+
+val reset : t -> unit
+(** Zero counters, latency and phase histograms (gauges keep their
+    samplers).  For tests. *)
+
+(** Immutable snapshot for the [stats] response and for tests.
+    Percentiles are exact nearest-rank over the retained latency
+    window — the p99 of a single sample is that sample. *)
 type view = {
   requests : ((string * string) * int) list;
       (** (kind, outcome) -> count, sorted by key *)
@@ -28,7 +47,17 @@ type view = {
   p50 : float;  (** seconds *)
   p95 : float;
   p99 : float;
+  gauges : (string * float) list;  (** sampled at snapshot time *)
+  phases : (string * Skope_telemetry.Hist.snapshot) list;
+      (** per-phase duration histograms, sorted by phase name *)
 }
 
 val view : t -> view
 val to_json : view -> Skope_report.Json.t
+
+val prom_metrics : t -> string
+(** The whole registry as Prometheus text exposition: request and
+    cache counters, the request-latency histogram, one
+    [skope_phase_duration_seconds{phase="..."}] histogram per pipeline
+    phase, registered gauges, process-wide telemetry counters
+    ([skope_<counter>_total]) and [skope_build_info]. *)

@@ -28,6 +28,8 @@ type request =
   | Workloads
   | Machines
   | Stats
+  | Metrics_prom
+  | Version
 
 type error_code =
   | Parse_error
@@ -54,6 +56,8 @@ let kind_label = function
   | Workloads -> "workloads"
   | Machines -> "machines"
   | Stats -> "stats"
+  | Metrics_prom -> "metrics_prom"
+  | Version -> "version"
 
 (* --- request parsing ---------------------------------------------- *)
 
@@ -243,6 +247,8 @@ let parse_request body =
       | "workloads" -> Ok Workloads
       | "machines" -> Ok Machines
       | "stats" -> Ok Stats
+      | "metrics_prom" -> Ok Metrics_prom
+      | "version" -> Ok Version
       | other -> invalid (Printf.sprintf "unknown request kind %S" other)
     in
     Ok (request, timeout_ms)

@@ -15,7 +15,10 @@
       interval-domain linter; optional ["scale"],
       ["deny_warnings"] (bool) and ["disable"] (list of rule codes);
     - [{"kind":"workloads"}], [{"kind":"machines"}] — catalogs;
-    - [{"kind":"stats"}] — metrics snapshot.
+    - [{"kind":"stats"}] — metrics snapshot;
+    - [{"kind":"metrics_prom"}] — Prometheus text exposition (the
+      result is [{"content_type":...,"body":...}]);
+    - [{"kind":"version"}] — server version and git revision.
 
     Any request may carry ["timeout_ms"]: the server refuses to start
     (or continue fanning out) work past the deadline.
@@ -51,6 +54,8 @@ type request =
   | Workloads
   | Machines
   | Stats
+  | Metrics_prom
+  | Version
 
 type error_code =
   | Parse_error  (** body is not valid JSON *)

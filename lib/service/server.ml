@@ -87,6 +87,9 @@ let run ?on_ready config =
   in
   let dispatch = Dispatch.create ~config:config.dispatch () in
   let queue = Workqueue.create ~capacity:config.queue_capacity in
+  Metrics.register_gauge dispatch.Dispatch.metrics ~name:"skope_queue_depth"
+    ~help:"Accepted connections waiting for a worker." (fun () ->
+      float_of_int (Workqueue.length queue));
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Fun.protect ~finally:restore_signals @@ fun () ->
   Fun.protect

@@ -605,6 +605,7 @@ let blockstats_of st (bst : Bst.t) =
     the hardware-independent profiling hints. *)
 let run ?(config = default_config ()) ~inputs (program : Ast.program) : result
     =
+  Skope_telemetry.Span.with_ ~name:"simulate" (fun () ->
   let m = config.machine in
   let globals = Array.of_list (List.map snd inputs) in
   let global_index = Hashtbl.create 16 in
@@ -642,6 +643,11 @@ let run ?(config = default_config ()) ~inputs (program : Ast.program) : result
   (try run_entry (Array.make nslots (Value.I 0)) with Ret -> ());
   let bst = Bst.build program in
   let total_cycles = Counters.total_cycles st.counters in
+  let module Span = Skope_telemetry.Span in
+  Span.count "sim_l1_hits" (float_of_int (Cache.hits st.l1));
+  Span.count "sim_l1_misses" (float_of_int (Cache.misses st.l1));
+  Span.count "sim_l2_hits" (float_of_int (Cache.hits st.l2));
+  Span.count "sim_l2_misses" (float_of_int (Cache.misses st.l2));
   {
     machine = m;
     blocks = blockstats_of st bst;
@@ -649,4 +655,4 @@ let run ?(config = default_config ()) ~inputs (program : Ast.program) : result
     total_time = total_cycles /. Machine.cycles_per_sec m;
     hints = hints_of st;
     counters = st.counters;
-  }
+  })

@@ -1,0 +1,34 @@
+type t = { lock : Mutex.t; phases : (string, Hist.t) Hashtbl.t }
+
+let create () = { lock = Mutex.create (); phases = Hashtbl.create 16 }
+
+let hist_for t name =
+  Mutex.lock t.lock;
+  let h =
+    match Hashtbl.find_opt t.phases name with
+    | Some h -> h
+    | None ->
+      let h = Hist.create () in
+      Hashtbl.add t.phases name h;
+      h
+  in
+  Mutex.unlock t.lock;
+  h
+
+let sink t =
+  {
+    Span.sink_name = "agg";
+    on_span = (fun s -> Hist.observe (hist_for t s.Span.name) s.Span.duration);
+  }
+
+let snapshot t =
+  Mutex.lock t.lock;
+  let l = Hashtbl.fold (fun k h acc -> (k, h) :: acc) t.phases [] in
+  Mutex.unlock t.lock;
+  List.map (fun (k, h) -> (k, Hist.snapshot h)) l
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset t =
+  Mutex.lock t.lock;
+  Hashtbl.reset t.phases;
+  Mutex.unlock t.lock

@@ -1,0 +1,14 @@
+(** In-memory aggregating sink: folds finished spans into one
+    duration histogram per span name, giving per-phase p50/p95/p99
+    without retaining individual spans.  This is what backs the
+    service's per-phase metrics and [skope query --stats]. *)
+
+type t
+
+val create : unit -> t
+val sink : t -> Span.sink
+
+val snapshot : t -> (string * Hist.snapshot) list
+(** Per-phase snapshots, sorted by phase name. *)
+
+val reset : t -> unit

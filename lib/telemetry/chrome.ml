@@ -1,0 +1,94 @@
+type t = { lock : Mutex.t; mutable spans : Span.t list }
+
+let create () = { lock = Mutex.create (); spans = [] }
+
+let sink t =
+  {
+    Span.sink_name = "chrome";
+    on_span =
+      (fun s ->
+        Mutex.lock t.lock;
+        t.spans <- s :: t.spans;
+        Mutex.unlock t.lock);
+  }
+
+let length t =
+  Mutex.lock t.lock;
+  let n = List.length t.spans in
+  Mutex.unlock t.lock;
+  n
+
+(* Minimal RFC 8259 string escaping; attribute values are short
+   ASCII-ish identifiers in practice, but be correct anyway. *)
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let float_lit f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.6g" f
+
+let event buf ~t0 (s : Span.t) =
+  let ts_us = (s.start -. t0) *. 1e6 in
+  let dur_us = s.duration *. 1e6 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"name\":\"%s\",\"cat\":\"skope\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d,\"args\":{"
+       (escape s.name) ts_us dur_us s.domain);
+  let first = ref true in
+  let field k v =
+    if not !first then Buffer.add_char buf ',';
+    first := false;
+    Buffer.add_string buf (Printf.sprintf "\"%s\":%s" (escape k) v)
+  in
+  field "span_id" (string_of_int s.id);
+  (match s.parent with
+  | Some p -> field "parent_id" (string_of_int p)
+  | None -> ());
+  List.iter
+    (fun (k, v) -> field k (Printf.sprintf "\"%s\"" (escape v)))
+    s.attrs;
+  List.iter (fun (k, v) -> field k (float_lit v)) s.counters;
+  Buffer.add_string buf "}}"
+
+let to_json t =
+  Mutex.lock t.lock;
+  (* Oldest first, so nested events follow their parents. *)
+  let spans = List.rev t.spans in
+  Mutex.unlock t.lock;
+  let t0 =
+    List.fold_left
+      (fun acc (s : Span.t) -> Float.min acc s.start)
+      infinity spans
+  in
+  let t0 = if t0 = infinity then 0. else t0 in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char buf ',';
+      event buf ~t0 s)
+    spans;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let write_file t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_json t);
+      output_char oc '\n')

@@ -1,0 +1,21 @@
+(** Chrome [trace_event] exporter.
+
+    Collects finished spans and serialises them as "X" (complete)
+    events loadable by chrome://tracing and Perfetto.  Timestamps are
+    microseconds relative to the earliest collected span, thread ids
+    are OCaml domain ids, and span attributes/counters land in
+    [args].  JSON is emitted locally (this library sits below the
+    report layer, so it cannot borrow its printer). *)
+
+type t
+
+val create : unit -> t
+val sink : t -> Span.sink
+val length : t -> int
+(** Number of spans collected so far. *)
+
+val to_json : t -> string
+(** The whole trace as a JSON object:
+    [{"displayTimeUnit":"ms","traceEvents":[...]}]. *)
+
+val write_file : t -> string -> unit

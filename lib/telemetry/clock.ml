@@ -1,0 +1,8 @@
+let last = Atomic.make 0.
+
+let rec clamp t =
+  let l = Atomic.get last in
+  if t >= l then if Atomic.compare_and_set last l t then t else clamp t
+  else l
+
+let now () = clamp (Unix.gettimeofday ())

@@ -1,0 +1,10 @@
+(** Process-wide monotone wall clock.
+
+    [Unix.gettimeofday] can step backwards (NTP slew); span durations
+    must never be negative, so readings are clamped to the largest
+    value any domain has observed.  Resolution is the system clock's
+    (~1 µs), which is plenty for phase-level spans. *)
+
+val now : unit -> float
+(** Current time in seconds.  Successive calls never decrease, across
+    all domains. *)

@@ -1,0 +1,121 @@
+(* 1 µs doubling to ~67 s: 27 bounds, covering everything from a
+   cache-warm dispatch to a full simulated validation run. *)
+let default_bounds = Array.init 27 (fun i -> 1e-6 *. (2. ** float_of_int i))
+
+type t = {
+  bounds : float array;
+  bucket_counts : int array;  (** length bounds + 1; last = overflow *)
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  ring : float array;  (** most recent [Array.length ring] samples *)
+  mutable seen : int;  (** total observed; ring index = seen mod size *)
+  lock : Mutex.t;
+}
+
+let create ?(ring = 1024) ?(bounds = default_bounds) () =
+  Array.iteri
+    (fun i b ->
+      if i > 0 && bounds.(i - 1) >= b then
+        invalid_arg "Hist.create: bounds must be strictly increasing")
+    bounds;
+  {
+    bounds;
+    bucket_counts = Array.make (Array.length bounds + 1) 0;
+    count = 0;
+    sum = 0.;
+    min_v = infinity;
+    max_v = neg_infinity;
+    ring = Array.make (max 1 ring) 0.;
+    seen = 0;
+    lock = Mutex.create ();
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let bucket_of t v =
+  let n = Array.length t.bounds in
+  let rec go i =
+    if i >= n then n else if v <= t.bounds.(i) then i else go (i + 1)
+  in
+  go 0
+
+let observe t v =
+  let v = Float.max 0. v in
+  with_lock t (fun () ->
+      let b = bucket_of t v in
+      t.bucket_counts.(b) <- t.bucket_counts.(b) + 1;
+      t.count <- t.count + 1;
+      t.sum <- t.sum +. v;
+      if v < t.min_v then t.min_v <- v;
+      if v > t.max_v then t.max_v <- v;
+      t.ring.(t.seen mod Array.length t.ring) <- v;
+      t.seen <- t.seen + 1)
+
+let reset t =
+  with_lock t (fun () ->
+      Array.fill t.bucket_counts 0 (Array.length t.bucket_counts) 0;
+      t.count <- 0;
+      t.sum <- 0.;
+      t.min_v <- infinity;
+      t.max_v <- neg_infinity;
+      t.seen <- 0)
+
+type snapshot = {
+  bounds : float array;
+  counts : int array;
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  samples : float array;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+(* Nearest-rank percentile over a sorted array: the smallest sample
+   such that at least a fraction [q] of the samples are <= it.  A
+   1-element window yields that element for every q. *)
+let rank_percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else begin
+    let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+    sorted.(min (n - 1) (max 0 (rank - 1)))
+  end
+
+let snapshot t =
+  with_lock t (fun () ->
+      let retained = min t.seen (Array.length t.ring) in
+      let sorted = Array.sub t.ring 0 retained in
+      Array.sort Float.compare sorted;
+      {
+        bounds = Array.copy t.bounds;
+        counts = Array.copy t.bucket_counts;
+        count = t.count;
+        sum = t.sum;
+        min = (if t.count = 0 then 0. else t.min_v);
+        max = (if t.count = 0 then 0. else t.max_v);
+        samples = sorted;
+        p50 = rank_percentile sorted 0.50;
+        p95 = rank_percentile sorted 0.95;
+        p99 = rank_percentile sorted 0.99;
+      })
+
+let quantile (s : snapshot) q = rank_percentile s.samples q
+
+let cumulative (s : snapshot) =
+  let acc = ref 0 in
+  let buckets =
+    Array.to_list
+      (Array.mapi
+         (fun i b ->
+           acc := !acc + s.counts.(i);
+           (b, !acc))
+         s.bounds)
+  in
+  buckets @ [ (infinity, s.count) ]

@@ -1,0 +1,47 @@
+(** Thread-safe duration histogram.
+
+    Two data structures in one: Prometheus-style cumulative-bucket
+    counts over fixed log-spaced bounds (for exposition and for
+    monitoring systems to aggregate), and a bounded ring of the most
+    recent raw samples for {e exact} nearest-rank percentiles — a
+    bucket-interpolated p99 of three samples is garbage; the ring
+    makes the p99 of a 1-element window equal that element. *)
+
+type t
+
+val create : ?ring:int -> ?bounds:float array -> unit -> t
+(** [ring] bounds the raw-sample window (default 1024, min 1);
+    [bounds] are strictly increasing bucket upper bounds in seconds
+    (default: 1 µs doubling up to ~67 s). *)
+
+val observe : t -> float -> unit
+(** Record one sample (seconds).  Negative samples are clamped to 0. *)
+
+val reset : t -> unit
+
+(** Immutable snapshot.  [counts] has [Array.length bounds + 1]
+    entries: per-bucket (not cumulative) counts, the last being the
+    overflow (+Inf) bucket.  Percentiles are nearest-rank over the
+    retained raw-sample window; 0 when empty. *)
+type snapshot = {
+  bounds : float array;
+  counts : int array;
+  count : int;  (** total observations, may exceed the ring size *)
+  sum : float;
+  min : float;
+  max : float;
+  samples : float array;  (** retained window, sorted ascending *)
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+val snapshot : t -> snapshot
+
+val quantile : snapshot -> float -> float
+(** Exact nearest-rank quantile [q] in [0,1] over the snapshot's
+    retained raw-sample window (the same window p50/p95/p99 use). *)
+
+val cumulative : snapshot -> (float * int) list
+(** Prometheus-style cumulative buckets: [(upper_bound, count <= bound)]
+    pairs ending with [(infinity, count)]. *)

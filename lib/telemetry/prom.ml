@@ -1,0 +1,103 @@
+type metric =
+  | Counter of {
+      name : string;
+      help : string;
+      values : ((string * string) list * float) list;
+    }
+  | Gauge of {
+      name : string;
+      help : string;
+      values : ((string * string) list * float) list;
+    }
+  | Histogram of {
+      name : string;
+      help : string;
+      series : ((string * string) list * Hist.snapshot) list;
+    }
+
+(* Label-value escaping per the exposition format: backslash, double
+   quote and newline. *)
+let escape_label v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let escape_help v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let labels_str = function
+  | [] -> ""
+  | ls ->
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label v))
+           ls)
+    ^ "}"
+
+let number f =
+  if f = infinity then "+Inf"
+  else if f = neg_infinity then "-Inf"
+  else if Float.is_nan f then "NaN"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+let header buf name help kind =
+  Buffer.add_string buf
+    (Printf.sprintf "# HELP %s %s\n# TYPE %s %s\n" name (escape_help help)
+       name kind)
+
+let simple buf name values =
+  List.iter
+    (fun (ls, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s %s\n" name (labels_str ls) (number v)))
+    values
+
+let histogram buf name series =
+  List.iter
+    (fun (ls, (s : Hist.snapshot)) ->
+      List.iter
+        (fun (bound, cum) ->
+          let ls = ls @ [ ("le", number bound) ] in
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket%s %d\n" name (labels_str ls) cum))
+        (Hist.cumulative s);
+      Buffer.add_string buf
+        (Printf.sprintf "%s_sum%s %s\n" name (labels_str ls) (number s.sum));
+      Buffer.add_string buf
+        (Printf.sprintf "%s_count%s %d\n" name (labels_str ls) s.count))
+    series
+
+let render metrics =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun m ->
+      match m with
+      | Counter { name; help; values } ->
+        header buf name help "counter";
+        simple buf name values
+      | Gauge { name; help; values } ->
+        header buf name help "gauge";
+        simple buf name values
+      | Histogram { name; help; series } ->
+        header buf name help "histogram";
+        histogram buf name series)
+    metrics;
+  Buffer.contents buf

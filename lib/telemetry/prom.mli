@@ -1,0 +1,27 @@
+(** Prometheus text exposition (format version 0.0.4).
+
+    Renders counters, gauges and histograms with [# HELP] / [# TYPE]
+    headers, cumulative [_bucket{le="..."}] series ending at
+    [le="+Inf"], plus [_sum] and [_count].  Label values are escaped
+    per the exposition-format rules. *)
+
+type metric =
+  | Counter of {
+      name : string;
+      help : string;
+      values : ((string * string) list * float) list;
+          (** one series per label set *)
+    }
+  | Gauge of {
+      name : string;
+      help : string;
+      values : ((string * string) list * float) list;
+    }
+  | Histogram of {
+      name : string;
+      help : string;
+      series : ((string * string) list * Hist.snapshot) list;
+    }
+
+val render : metric list -> string
+(** Full exposition body; ends with a newline. *)

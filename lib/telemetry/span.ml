@@ -1,0 +1,138 @@
+type t = {
+  id : int;
+  parent : int option;
+  name : string;
+  attrs : (string * string) list;
+  counters : (string * float) list;
+  start : float;
+  duration : float;
+  domain : int;
+}
+
+type sink = { sink_name : string; on_span : t -> unit }
+
+(* An open span under construction; frames live on a domain-local
+   stack so concurrent domains nest independently. *)
+type frame = {
+  f_id : int;
+  f_name : string;
+  mutable f_attrs : (string * string) list;
+  mutable f_counters : (string * float) list;
+  f_start : float;
+}
+
+let sinks : sink list Atomic.t = Atomic.make []
+let next_id = Atomic.make 1
+
+let stack_key : frame list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let ambient_key : (string * string) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let counters_lock = Mutex.create ()
+let counters_tbl : (string, float ref) Hashtbl.t = Hashtbl.create 32
+
+let enabled () = Atomic.get sinks <> []
+
+let rec add_sink s =
+  let cur = Atomic.get sinks in
+  if not (Atomic.compare_and_set sinks cur (s :: cur)) then add_sink s
+
+let rec remove_sink s =
+  let cur = Atomic.get sinks in
+  let next = List.filter (fun x -> x != s) cur in
+  if not (Atomic.compare_and_set sinks cur next) then remove_sink s
+
+let clear_sinks () = Atomic.set sinks []
+
+let bump assoc name v =
+  match List.assoc_opt name assoc with
+  | Some old -> (name, old +. v) :: List.remove_assoc name assoc
+  | None -> (name, v) :: assoc
+
+let count name v =
+  Mutex.lock counters_lock;
+  (match Hashtbl.find_opt counters_tbl name with
+  | Some r -> r := !r +. v
+  | None -> Hashtbl.add counters_tbl name (ref v));
+  Mutex.unlock counters_lock;
+  match !(Domain.DLS.get stack_key) with
+  | [] -> ()
+  | fr :: _ -> fr.f_counters <- bump fr.f_counters name v
+
+let counters () =
+  Mutex.lock counters_lock;
+  let l =
+    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) counters_tbl []
+    |> List.sort compare
+  in
+  Mutex.unlock counters_lock;
+  l
+
+let reset_counters () =
+  Mutex.lock counters_lock;
+  Hashtbl.reset counters_tbl;
+  Mutex.unlock counters_lock
+
+let set_attr key value =
+  match !(Domain.DLS.get stack_key) with
+  | [] -> ()
+  | fr :: _ -> fr.f_attrs <- (key, value) :: List.remove_assoc key fr.f_attrs
+
+let with_context ~attrs f =
+  let amb = Domain.DLS.get ambient_key in
+  let saved = !amb in
+  amb := attrs @ saved;
+  Fun.protect ~finally:(fun () -> amb := saved) f
+
+let with_ ~name ?(attrs = []) f =
+  if Atomic.get sinks = [] then f ()
+  else begin
+    let stack = Domain.DLS.get stack_key in
+    let parent =
+      match !stack with [] -> None | fr :: _ -> Some fr.f_id
+    in
+    let fr =
+      {
+        f_id = Atomic.fetch_and_add next_id 1;
+        f_name = name;
+        f_attrs = attrs;
+        f_counters = [];
+        f_start = Clock.now ();
+      }
+    in
+    stack := fr :: !stack;
+    let finish ok =
+      let duration = Clock.now () -. fr.f_start in
+      (match !stack with
+      | top :: rest when top == fr -> stack := rest
+      | _ -> () (* unbalanced: a sink raised out of band; drop silently *));
+      let attrs =
+        (if ok then fr.f_attrs else ("error", "true") :: fr.f_attrs)
+        @ !(Domain.DLS.get ambient_key)
+      in
+      let span =
+        {
+          id = fr.f_id;
+          parent;
+          name = fr.f_name;
+          attrs;
+          counters = fr.f_counters;
+          start = fr.f_start;
+          duration;
+          domain = (Domain.self () :> int);
+        }
+      in
+      List.iter
+        (fun s -> try s.on_span span with _ -> ())
+        (Atomic.get sinks)
+    in
+    match f () with
+    | v ->
+      finish true;
+      v
+    | exception e ->
+      finish false;
+      raise e
+  end

@@ -1,0 +1,60 @@
+(** Hierarchical spans with pluggable sinks.
+
+    A span is one timed region of one domain ([Span.with_ ~name f]);
+    nesting is tracked with a domain-local stack, so concurrent
+    domains trace independently.  Finished spans are delivered to
+    every installed sink (see {!Chrome} and {!Agg}).
+
+    With no sink installed, [with_] degenerates to a single atomic
+    load and a closure call — tracing left compiled-in costs nothing
+    measurable — and counters still accumulate process-wide so that
+    Prometheus exposition works without tracing. *)
+
+(** A finished span. *)
+type t = {
+  id : int;  (** unique per process *)
+  parent : int option;  (** enclosing span's id, same domain *)
+  name : string;  (** the phase: "parse", "bet_build", "eval", … *)
+  attrs : (string * string) list;
+      (** own attributes, then ambient context ([with_context]) *)
+  counters : (string * float) list;
+      (** counter increments attributed to this span *)
+  start : float;  (** {!Clock.now} seconds *)
+  duration : float;  (** seconds, never negative *)
+  domain : int;  (** id of the domain that ran the span *)
+}
+
+(** A sink consumes finished spans.  [on_span] must be thread-safe
+    and must not raise (exceptions are swallowed). *)
+type sink = { sink_name : string; on_span : t -> unit }
+
+val add_sink : sink -> unit
+val remove_sink : sink -> unit
+(** Removal is by physical equality on the record. *)
+
+val clear_sinks : unit -> unit
+val enabled : unit -> bool
+(** True when at least one sink is installed. *)
+
+val with_ : name:string -> ?attrs:(string * string) list -> (unit -> 'a) -> 'a
+(** Run [f] in a span.  The span is emitted even when [f] raises
+    (with an ["error"="true"] attribute); the exception propagates. *)
+
+val with_context :
+  attrs:(string * string) list -> (unit -> 'a) -> 'a
+(** Attach [attrs] (e.g. a request trace id) to every span this
+    domain opens while [f] runs. *)
+
+val set_attr : string -> string -> unit
+(** Set an attribute on the innermost open span of this domain, e.g.
+    the request kind once it is known.  No-op outside any span. *)
+
+val count : string -> float -> unit
+(** Add to the process-wide counter [name] and, when inside a span,
+    to that span's counter map.  Counters survive span boundaries;
+    use {!counters} to read and {!reset_counters} between tests. *)
+
+val counters : unit -> (string * float) list
+(** Process-wide counter totals, sorted by name. *)
+
+val reset_counters : unit -> unit

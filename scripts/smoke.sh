@@ -34,6 +34,20 @@ fi
     | grep -q '"code":"L002"' || { rm -f "$BROKEN"; fail "lint json missing L002"; }
 rm -f "$BROKEN"
 
+echo "smoke: version"
+"$SKOPE" --version | grep -q '^1\.' || fail "skope --version"
+
+echo "smoke: traced analyze produces a loadable Chrome trace"
+TRACE=$(mktemp /tmp/skoped-smoke.XXXXXX.trace.json)
+"$SKOPE" analyze -w sord --trace "$TRACE" >/dev/null 2>&1 \
+    || { rm -f "$TRACE"; fail "traced analyze"; }
+"$SKOPE" json-check "$TRACE" >/dev/null \
+    || { rm -f "$TRACE"; fail "trace is not valid JSON"; }
+grep -q '"ph":"X"' "$TRACE" || { rm -f "$TRACE"; fail "trace has no complete events"; }
+grep -q '"name":"bet_build"' "$TRACE" \
+    || { rm -f "$TRACE"; fail "trace missing bet_build span"; }
+rm -f "$TRACE"
+
 PORT=$(( (RANDOM % 20000) + 20000 ))
 LOG=$(mktemp /tmp/skoped-smoke.XXXXXX.log)
 
@@ -75,6 +89,8 @@ q --kind sweep -w sord -m bgq --axis bw --values 7,14,28,56 >/dev/null \
 
 echo "smoke: lint request kind"
 q --kind lint -w sord >/dev/null || fail "lint request"
+q --body '{"kind":"lint","source":"skeleton p { fn main() { flops(1); } }"}' \
+    >/dev/null || fail "lint source request"
 
 echo "smoke: error paths return structured errors (and nonzero exit)"
 q -w no-such-workload >/dev/null 2>&1 && fail "unknown workload accepted"
@@ -84,6 +100,30 @@ echo "smoke: load burst"
 q -w srad -m bgq --repeat 200 --concurrency 4 || fail "load burst"
 
 q --kind stats | grep -q '"cache_hits"' || fail "stats request"
+q --stats | grep -q 'Per-phase latency' || fail "stats table"
+
+echo "smoke: version request"
+q --kind version | grep -q '"version"' || fail "version request"
+
+echo "smoke: Prometheus exposition"
+PROM=$(mktemp /tmp/skoped-smoke.XXXXXX.prom)
+q --kind metrics_prom >"$PROM" || { rm -f "$PROM"; fail "metrics_prom request"; }
+for family in \
+    'skope_requests_total{' \
+    'skope_request_latency_seconds_bucket{le="+Inf"}' \
+    'skope_phase_duration_seconds_bucket{phase="parse"' \
+    'skope_phase_duration_seconds_bucket{phase="bet_build"' \
+    'skope_phase_duration_seconds_bucket{phase="eval"' \
+    'skope_phase_duration_seconds_bucket{phase="lint"' \
+    'skope_phase_duration_seconds_bucket{phase="report"' \
+    'skope_lru_entries' \
+    'skope_queue_depth' \
+    'skope_build_info{'
+do
+    grep -qF "$family" "$PROM" \
+        || { rm -f "$PROM"; fail "exposition missing $family"; }
+done
+rm -f "$PROM"
 
 echo "smoke: shutting down (SIGINT)"
 kill -INT "$SERVER_PID" || fail "server already gone"

@@ -19,4 +19,5 @@ let () =
          Test_shapes.suite;
          Test_props.suite;
          Test_service.suite;
+         Test_telemetry.suite;
        ])

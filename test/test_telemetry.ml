@@ -1,0 +1,424 @@
+(* Telemetry: histograms, spans, the Chrome trace exporter, the
+   Prometheus renderer, and their integration with the service
+   metrics registry. *)
+
+module T = Core.Telemetry
+module Hist = T.Hist
+module Span = T.Span
+module Chrome = T.Chrome
+module Agg = T.Agg
+module Prom = T.Prom
+module Json = Core.Report.Json
+module Metrics = Skope_service.Metrics
+module Dispatch = Skope_service.Dispatch
+
+let feq = Alcotest.(check (float 1e-12))
+
+(* --- histogram ----------------------------------------------------- *)
+
+let test_hist_single_sample () =
+  let h = Hist.create () in
+  Hist.observe h 0.5;
+  let s = Hist.snapshot h in
+  (* The satellite fix: at n=1 every percentile IS that sample, not a
+     bucket approximation of it. *)
+  feq "p50 of one sample" 0.5 s.Hist.p50;
+  feq "p95 of one sample" 0.5 s.Hist.p95;
+  feq "p99 of one sample" 0.5 s.Hist.p99;
+  Alcotest.(check int) "count" 1 s.Hist.count;
+  feq "sum" 0.5 s.Hist.sum;
+  feq "min" 0.5 s.Hist.min;
+  feq "max" 0.5 s.Hist.max
+
+let test_hist_small_samples () =
+  let h = Hist.create () in
+  List.iter (Hist.observe h) [ 0.010; 0.020; 0.030 ];
+  let s = Hist.snapshot h in
+  feq "p50 of 3" 0.020 s.Hist.p50;
+  feq "p99 of 3" 0.030 s.Hist.p99;
+  feq "quantile 0" 0.010 (Hist.quantile s 0.0);
+  feq "quantile 1" 0.030 (Hist.quantile s 1.0)
+
+let test_hist_percentiles_100 () =
+  let h = Hist.create () in
+  for i = 1 to 100 do
+    Hist.observe h (float_of_int i /. 1e3)
+  done;
+  let s = Hist.snapshot h in
+  feq "p50" 0.050 s.Hist.p50;
+  feq "p95" 0.095 s.Hist.p95;
+  feq "p99" 0.099 s.Hist.p99
+
+let test_hist_cumulative_and_reset () =
+  let h = Hist.create ~bounds:[| 0.001; 0.01; 0.1 |] () in
+  List.iter (Hist.observe h) [ 0.0005; 0.005; 0.05; 0.5 ];
+  let s = Hist.snapshot h in
+  (match Hist.cumulative s with
+  | [ (b1, c1); (b2, c2); (b3, c3); (binf, cinf) ] ->
+    feq "bound 1" 0.001 b1;
+    Alcotest.(check int) "cum 1" 1 c1;
+    feq "bound 2" 0.01 b2;
+    Alcotest.(check int) "cum 2" 2 c2;
+    feq "bound 3" 0.1 b3;
+    Alcotest.(check int) "cum 3" 3 c3;
+    Alcotest.(check bool) "last bound +Inf" true (binf = infinity);
+    Alcotest.(check int) "cum inf = count" 4 cinf
+  | l ->
+    Alcotest.failf "expected 4 cumulative buckets, got %d" (List.length l));
+  Hist.reset h;
+  let s = Hist.snapshot h in
+  Alcotest.(check int) "count after reset" 0 s.Hist.count;
+  feq "p99 after reset" 0. s.Hist.p99
+
+let test_hist_negative_clamped () =
+  let h = Hist.create () in
+  Hist.observe h (-1.0);
+  let s = Hist.snapshot h in
+  feq "negative clamped to 0" 0. s.Hist.max
+
+(* --- span counters ------------------------------------------------- *)
+
+let test_counters () =
+  Span.reset_counters ();
+  Span.count "widgets" 2.;
+  Span.count "widgets" 3.;
+  Span.count "gadgets" 1.;
+  (match List.assoc_opt "widgets" (Span.counters ()) with
+  | Some v -> feq "widgets total" 5. v
+  | None -> Alcotest.fail "widgets counter missing");
+  Span.reset_counters ();
+  Alcotest.(check (list (pair string (float 0.))))
+    "reset clears" [] (Span.counters ())
+
+(* --- chrome exporter ----------------------------------------------- *)
+
+(* Run [f] with a private Chrome collector installed. *)
+let with_chrome f =
+  let c = Chrome.create () in
+  let sink = Chrome.sink c in
+  Span.add_sink sink;
+  Fun.protect ~finally:(fun () -> Span.remove_sink sink) (fun () -> f ());
+  c
+
+let events_of_trace c =
+  match Json.of_string (Chrome.to_json c) with
+  | Error msg -> Alcotest.failf "trace is not valid JSON: %s" msg
+  | Ok json -> (
+    match Json.member "traceEvents" json with
+    | Some (Json.List evs) -> evs
+    | _ -> Alcotest.fail "traceEvents missing")
+
+let str_field ev key =
+  Option.bind (Json.member key ev) Json.to_string_opt
+  |> Option.value ~default:"?"
+
+let num_field ev key =
+  Option.bind (Json.member key ev) Json.to_float_opt
+  |> Option.value ~default:Float.nan
+
+let test_chrome_roundtrip () =
+  let c =
+    with_chrome (fun () ->
+        Span.with_ ~name:"outer" ~attrs:[ ("k", "v\"quoted\"") ] (fun () ->
+            Span.with_ ~name:"inner" (fun () -> Span.count "steps" 3.)))
+  in
+  Alcotest.(check int) "two spans collected" 2 (Chrome.length c);
+  let evs = events_of_trace c in
+  Alcotest.(check int) "two events" 2 (List.length evs);
+  let names = List.map (fun e -> str_field e "name") evs in
+  Alcotest.(check bool) "outer present" true (List.mem "outer" names);
+  Alcotest.(check bool) "inner present" true (List.mem "inner" names);
+  List.iter
+    (fun e ->
+      Alcotest.(check string) "complete event" "X" (str_field e "ph");
+      Alcotest.(check string) "category" "skope" (str_field e "cat"))
+    evs;
+  (* Nesting: the inner event's [ts, ts+dur] interval sits inside the
+     outer's, and its parent_id args entry names the outer span. *)
+  let find name = List.find (fun e -> str_field e "name" = name) evs in
+  let outer = find "outer" and inner = find "inner" in
+  let lo e = num_field e "ts" and hi e = num_field e "ts" +. num_field e "dur" in
+  Alcotest.(check bool) "inner starts after outer" true (lo inner >= lo outer);
+  Alcotest.(check bool) "inner ends before outer" true (hi inner <= hi outer +. 1e-6);
+  let args e = Option.get (Json.member "args" e) in
+  Alcotest.(check (option (float 0.)))
+    "parent_id links inner to outer"
+    (Json.to_float_opt (Option.get (Json.member "span_id" (args outer))))
+    (Json.to_float_opt (Option.get (Json.member "parent_id" (args inner))));
+  (* Attrs and span counters land in args. *)
+  Alcotest.(check string) "attr escaped+recovered" "v\"quoted\""
+    (str_field (args outer) "k");
+  feq "counter in args" 3. (num_field (args inner) "steps")
+
+let test_chrome_error_span () =
+  let c =
+    with_chrome (fun () ->
+        try Span.with_ ~name:"boom" (fun () -> failwith "no") with
+        | Failure _ -> ())
+  in
+  let evs = events_of_trace c in
+  let ev = List.find (fun e -> str_field e "name" = "boom") evs in
+  let args = Option.get (Json.member "args" ev) in
+  Alcotest.(check string) "error attribute" "true" (str_field args "error")
+
+let test_chrome_stable_names () =
+  let run () =
+    with_chrome (fun () ->
+        let w = Core.Workloads.Registry.find_exn "pedagogical" in
+        ignore
+          (Core.Pipeline.analyze ~machine:Core.Hw.Machines.bgq ~workload:w
+             ~scale:w.Core.Workloads.Registry.default_scale ()))
+  in
+  let names c =
+    events_of_trace c
+    |> List.map (fun e -> str_field e "name")
+    |> List.sort_uniq compare
+  in
+  let a = names (run ()) and b = names (run ()) in
+  Alcotest.(check (list string)) "span names stable across runs" a b;
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " expected") true (List.mem n a))
+    [ "workload_make"; "validate"; "lint"; "bet_build"; "eval"; "hotspot" ]
+
+let test_noop_overhead () =
+  (* With no sink installed, with_ must be no more than a closure
+     call: run a million of them and insist on a very generous bound
+     so the test never flakes on loaded CI.  Earlier suites may have
+     installed process-global sinks (every Dispatch.create does);
+     drop them so we measure the disabled fast path. *)
+  Span.clear_sinks ();
+  Alcotest.(check bool) "no sinks installed" false (Span.enabled ());
+  let t0 = Unix.gettimeofday () in
+  let acc = ref 0 in
+  for i = 1 to 1_000_000 do
+    acc := Span.with_ ~name:"noop" (fun () -> !acc + i)
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "1e6 disabled spans in %.3fs (< 2s)" dt)
+    true (dt < 2.0)
+
+(* --- aggregator ---------------------------------------------------- *)
+
+let test_agg_folds_phases () =
+  let agg = Agg.create () in
+  let sink = Agg.sink agg in
+  Span.add_sink sink;
+  Fun.protect
+    ~finally:(fun () -> Span.remove_sink sink)
+    (fun () ->
+      Span.with_ ~name:"phase_a" (fun () -> ());
+      Span.with_ ~name:"phase_a" (fun () -> ());
+      Span.with_ ~name:"phase_b" (fun () -> ()));
+  let snap = Agg.snapshot agg in
+  let count name =
+    match List.assoc_opt name snap with
+    | Some s -> s.Hist.count
+    | None -> 0
+  in
+  Alcotest.(check int) "phase_a twice" 2 (count "phase_a");
+  Alcotest.(check int) "phase_b once" 1 (count "phase_b");
+  Agg.reset agg;
+  Alcotest.(check int) "reset drops phases" 0 (List.length (Agg.snapshot agg))
+
+(* --- prometheus renderer ------------------------------------------- *)
+
+let test_prom_render () =
+  let h = Hist.create ~bounds:[| 0.01; 0.1 |] () in
+  Hist.observe h 0.005;
+  Hist.observe h 0.05;
+  let text =
+    Prom.render
+      [
+        Prom.Counter
+          {
+            name = "skope_requests_total";
+            help = "Requests.";
+            values = [ ([ ("kind", "analyze"); ("outcome", "ok") ], 3.) ];
+          };
+        Prom.Gauge
+          { name = "skope_queue_depth"; help = "Depth."; values = [ ([], 0.) ] };
+        Prom.Histogram
+          {
+            name = "skope_phase_duration_seconds";
+            help = "Phases.";
+            series = [ ([ ("phase", "eval") ], Hist.snapshot h) ];
+          };
+      ]
+  in
+  let has needle =
+    Alcotest.(check bool)
+      (Printf.sprintf "exposition contains %S" needle)
+      true
+      (let nl = String.length needle and tl = String.length text in
+       let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+       go 0)
+  in
+  has "# TYPE skope_requests_total counter";
+  has "skope_requests_total{kind=\"analyze\",outcome=\"ok\"} 3\n";
+  has "# TYPE skope_queue_depth gauge";
+  has "skope_queue_depth 0\n";
+  has "# TYPE skope_phase_duration_seconds histogram";
+  has "skope_phase_duration_seconds_bucket{phase=\"eval\",le=\"0.01\"} 1\n";
+  has "skope_phase_duration_seconds_bucket{phase=\"eval\",le=\"+Inf\"} 2\n";
+  has "skope_phase_duration_seconds_count{phase=\"eval\"} 2\n"
+
+(* --- metrics registry ---------------------------------------------- *)
+
+let test_metrics_small_n () =
+  let m = Metrics.create () in
+  Metrics.observe_latency m 0.042;
+  let v = Metrics.view m in
+  Alcotest.(check int) "one sample" 1 v.Metrics.latency_count;
+  feq "p50 of one" 0.042 v.Metrics.p50;
+  feq "p99 of one is the sample" 0.042 v.Metrics.p99;
+  Metrics.reset m;
+  let v = Metrics.view m in
+  Alcotest.(check int) "reset zeroes samples" 0 v.Metrics.latency_count;
+  Alcotest.(check int) "reset zeroes requests" 0 v.Metrics.total_requests
+
+let test_metrics_gauges () =
+  let m = Metrics.create () in
+  let depth = ref 7. in
+  Metrics.register_gauge m ~name:"skope_queue_depth" ~help:"Depth." (fun () ->
+      !depth);
+  let v = Metrics.view m in
+  (match List.assoc_opt "skope_queue_depth" v.Metrics.gauges with
+  | Some g -> feq "gauge sampled" 7. g
+  | None -> Alcotest.fail "gauge missing from view");
+  depth := 9.;
+  let text = Metrics.prom_metrics m in
+  Alcotest.(check bool) "gauge resampled in exposition" true
+    (let needle = "skope_queue_depth 9\n" in
+     let nl = String.length needle and tl = String.length text in
+     let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+     go 0)
+
+(* --- dispatch integration ------------------------------------------ *)
+
+let decode body =
+  match Json.of_string body with
+  | Ok j -> j
+  | Error m -> Alcotest.failf "bad response JSON: %s" m
+
+let contains text needle =
+  let nl = String.length needle and tl = String.length text in
+  let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+  go 0
+
+let test_dispatch_metrics_prom () =
+  let d = Dispatch.create () in
+  ignore
+    (Dispatch.handle d
+       {|{"kind":"analyze","workload":"pedagogical","machine":"bgq"}|});
+  ignore
+    (Dispatch.handle d
+       {|{"kind":"lint","source":"skeleton p { fn main() { flops(1); } }"}|});
+  let resp = decode (Dispatch.handle d {|{"kind":"metrics_prom"}|}) in
+  Alcotest.(check (option Alcotest.bool))
+    "ok" (Some true)
+    (Option.bind (Json.member "ok" resp) (function
+      | Json.Bool b -> Some b
+      | _ -> None));
+  let body =
+    Option.bind (Json.member "result" resp) (Json.member "body")
+    |> Fun.flip Option.bind Json.to_string_opt
+    |> Option.get
+  in
+  (* The acceptance families: per-phase histograms for at least parse,
+     lint, bet_build, eval and report. *)
+  List.iter
+    (fun phase ->
+      Alcotest.(check bool)
+        (Printf.sprintf "phase %S exposed" phase)
+        true
+        (contains body
+           (Printf.sprintf "skope_phase_duration_seconds_bucket{phase=\"%s\""
+              phase)))
+    [ "parse"; "lint"; "bet_build"; "eval"; "report"; "request" ];
+  Alcotest.(check bool) "requests counter" true
+    (contains body "skope_requests_total{kind=\"analyze\",outcome=\"ok\"} 1");
+  Alcotest.(check bool) "build info" true (contains body "skope_build_info{");
+  Alcotest.(check bool) "lru gauge" true (contains body "skope_lru_entries");
+  Alcotest.(check bool) "latency histogram" true
+    (contains body "skope_request_latency_seconds_bucket")
+
+let test_dispatch_version () =
+  let d = Dispatch.create () in
+  let resp = decode (Dispatch.handle d {|{"kind":"version"}|}) in
+  let field key =
+    Option.bind (Json.member "result" resp) (Json.member key)
+    |> Fun.flip Option.bind Json.to_string_opt
+  in
+  Alcotest.(check (option string))
+    "version" (Some Core.Version.version) (field "version");
+  Alcotest.(check bool) "git present" true (field "git" <> None);
+  Alcotest.(check bool) "describe present" true (field "describe" <> None)
+
+let test_dispatch_phase_stats () =
+  let d = Dispatch.create () in
+  Metrics.reset d.Dispatch.metrics;
+  ignore
+    (Dispatch.handle d
+       {|{"kind":"analyze","workload":"pedagogical","machine":"bgq"}|});
+  let v = Metrics.view d.Dispatch.metrics in
+  let phase name =
+    match List.assoc_opt name v.Metrics.phases with
+    | Some s -> s
+    | None -> Alcotest.failf "phase %S missing from metrics view" name
+  in
+  List.iter
+    (fun name ->
+      let s = phase name in
+      Alcotest.(check bool)
+        (name ^ " observed at least once")
+        true (s.Hist.count >= 1);
+      (* Exact small-n percentile: with one sample p99 = p50. *)
+      if s.Hist.count = 1 then feq (name ^ " p99=p50 at n=1") s.Hist.p50 s.Hist.p99)
+    [ "bet_build"; "eval"; "report"; "request" ]
+
+let suite =
+  [
+    ( "telemetry.hist",
+      [
+        Alcotest.test_case "single sample percentiles" `Quick
+          test_hist_single_sample;
+        Alcotest.test_case "small sample percentiles" `Quick
+          test_hist_small_samples;
+        Alcotest.test_case "100-sample percentiles" `Quick
+          test_hist_percentiles_100;
+        Alcotest.test_case "cumulative buckets + reset" `Quick
+          test_hist_cumulative_and_reset;
+        Alcotest.test_case "negative clamped" `Quick test_hist_negative_clamped;
+      ] );
+    ( "telemetry.span",
+      [
+        Alcotest.test_case "counters" `Quick test_counters;
+        Alcotest.test_case "no-op overhead" `Quick test_noop_overhead;
+      ] );
+    ( "telemetry.chrome",
+      [
+        Alcotest.test_case "round-trip + nesting" `Quick test_chrome_roundtrip;
+        Alcotest.test_case "error span" `Quick test_chrome_error_span;
+        Alcotest.test_case "stable pipeline span names" `Quick
+          test_chrome_stable_names;
+      ] );
+    ( "telemetry.agg",
+      [ Alcotest.test_case "folds phases" `Quick test_agg_folds_phases ] );
+    ( "telemetry.prom",
+      [ Alcotest.test_case "exposition format" `Quick test_prom_render ] );
+    ( "telemetry.metrics",
+      [
+        Alcotest.test_case "small-n percentiles + reset" `Quick
+          test_metrics_small_n;
+        Alcotest.test_case "gauges" `Quick test_metrics_gauges;
+      ] );
+    ( "telemetry.dispatch",
+      [
+        Alcotest.test_case "metrics_prom exposition" `Quick
+          test_dispatch_metrics_prom;
+        Alcotest.test_case "version request" `Quick test_dispatch_version;
+        Alcotest.test_case "per-phase stats" `Quick test_dispatch_phase_stats;
+      ] );
+  ]
