@@ -734,6 +734,83 @@ let service_section () =
     (v.Skope_service.Metrics.cache_hits + v.Skope_service.Metrics.cache_misses)
 
 (* ------------------------------------------------------------------ *)
+(* Design-space exploration: a grid shares one BET, so the marginal
+   cost per point is a projection, not a pipeline run.  The acceptance
+   bar for lib/explore is >= 3x over independent analyzes on a
+   16-point grid. *)
+
+let explore_section () =
+  section "explore_reuse"
+    "skope explore: shared-BET grid evaluation vs independent analyzes \
+     (16-point bw x freq grid)";
+  let module Explore = Skope_explore.Explore in
+  let w = Workloads.Registry.find_exn "sord" in
+  let scale = 0.25 in
+  let axes =
+    [
+      Hw.Designspace.Mem_bandwidth [ 7.; 14.; 28.; 56. ];
+      Hw.Designspace.Frequency [ 0.8; 1.2; 1.6; 3.2 ];
+    ]
+  in
+  let pts = Explore.grid_points bgq axes in
+  let n = List.length pts in
+  (* Independent path: the full pipeline (make, validate, lint, hints,
+     BET build, projection) once per grid point. *)
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun (p : Hw.Designspace.point) ->
+      ignore
+        (P.analyze ~machine:p.Hw.Designspace.p_machine ~workload:w ~scale ()))
+    pts;
+  let indep = Unix.gettimeofday () -. t0 in
+  (* Shared path: prepare once, project per point (timed including the
+     one-time prepare, so the comparison is end to end). *)
+  let t1 = Unix.gettimeofday () in
+  let prepared = P.prepare ~workload:w ~scale () in
+  let r1 = Explore.evaluate ~jobs:1 prepared pts in
+  let shared1 = Unix.gettimeofday () -. t1 in
+  let jobs = min (Domain.recommended_domain_count ()) n in
+  let t2 = Unix.gettimeofday () in
+  let prepared2 = P.prepare ~workload:w ~scale () in
+  let rn = Explore.evaluate ~jobs prepared2 pts in
+  let sharedn = Unix.gettimeofday () -. t2 in
+  Fmt.pr "%d-point grid of SORD (scale %.2f) around BG/Q:@." n scale;
+  Fmt.pr "  %d independent analyzes (BET per point)  %8.1f ms@." n
+    (indep *. 1e3);
+  Fmt.pr "  shared BET, 1 domain                     %8.1f ms  -> %.1fx@."
+    (shared1 *. 1e3) (indep /. shared1);
+  Fmt.pr "  shared BET, %d domains                    %8.1f ms  -> %.1fx@."
+    jobs (sharedn *. 1e3) (indep /. sharedn);
+  if indep /. shared1 < 3. then
+    Fmt.pr "  WARNING: shared-BET speedup below the 3x acceptance bar@.";
+  emit_table ~file:"explore_pareto.csv"
+    (Table.make
+       ~title:
+         (Fmt.str
+            "Pareto frontier over (projected time, hardware cost proxy): %d \
+             of %d points"
+            (List.length r1.Explore.pareto) n)
+       ~headers:[ "point"; "projected ms"; "cost proxy" ]
+       ~aligns:Table.[ Left; Right; Right ]
+       (List.map
+          (fun (p : Explore.point) ->
+            [
+              p.Explore.tag;
+              Fmt.str "%.2f" (p.Explore.time *. 1e3);
+              Fmt.str "%.1f" (p.Explore.cost);
+            ])
+          r1.Explore.pareto));
+  (* Parallel evaluation must price the grid identically. *)
+  let same =
+    List.for_all2
+      (fun (a : Explore.point) (b : Explore.point) ->
+        Float.equal a.Explore.time b.Explore.time)
+      r1.Explore.points rn.Explore.points
+  in
+  Fmt.pr "@.parallel evaluation matches sequential: %s@."
+    (if same then "yes" else "NO")
+
+(* ------------------------------------------------------------------ *)
 (* Lint throughput: the interval-domain pass runs before every
    projection, so it must be cheap relative to a BET evaluation. *)
 
@@ -850,6 +927,7 @@ let () =
   machine_microbench ();
   bechamel_section ();
   service_section ();
+  explore_section ();
   lint_section ();
   telemetry_section ();
   Fmt.pr "@.[bench] total wall time %.1fs@." (Unix.gettimeofday () -. t0)

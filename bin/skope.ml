@@ -13,50 +13,19 @@
     - [hints]: show the branch/trip statistics one profiling run yields;
     - [miniapp]: generate a mini-application from the hot path;
     - [sweep]: explore one hardware design axis;
+    - [explore]: multi-axis design-space grid against one shared BET;
     - [nodes]: multi-node strong-scaling projection;
     - [serve]: run `skoped`, the concurrent projection service;
     - [query]: query a running `skoped` (and generate load). *)
 
 open Cmdliner
+open Args
 module P = Core.Pipeline
 module Hotspot = Core.Analysis.Hotspot
 module Blockstat = Core.Analysis.Blockstat
 module Quality = Core.Analysis.Quality
 module Table = Core.Report.Table
 module Span = Core.Telemetry.Span
-module Chrome = Core.Telemetry.Chrome
-
-let trace_arg =
-  let doc =
-    "Write a Chrome trace_event JSON trace of this run to $(docv) \
-     (load it in chrome://tracing or Perfetto)."
-  in
-  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
-
-(* Collect spans for the duration of [f] and write them out.  The root
-   span is named after the subcommand so nested phase spans have a
-   common ancestor in the trace view. *)
-let with_trace trace ~root f =
-  match trace with
-  | None -> f ()
-  | Some file ->
-    let collector = Chrome.create () in
-    let sink = Chrome.sink collector in
-    Span.add_sink sink;
-    Fun.protect
-      ~finally:(fun () ->
-        Span.remove_sink sink;
-        Chrome.write_file collector file;
-        Fmt.epr "wrote %d spans to %s@." (Chrome.length collector) file)
-      (fun () -> Span.with_ ~name:root f)
-
-let machine_arg =
-  let doc = "Target machine (bgq, xeon, future)." in
-  Arg.(value & opt string "bgq" & info [ "m"; "machine" ] ~docv:"MACHINE" ~doc)
-
-let workload_arg =
-  let doc = "Workload name (see `skope workloads')." in
-  Arg.(value & opt string "sord" & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
 
 let file_arg =
   let doc = "Analyze this .skope file instead of a bundled workload." in
@@ -65,56 +34,6 @@ let file_arg =
 let inputs_arg =
   let doc = "Input binding NAME=INT for --file skeletons (repeatable)." in
   Arg.(value & opt_all string [] & info [ "i"; "input" ] ~docv:"NAME=INT" ~doc)
-
-let scale_arg =
-  let doc = "Input scale factor (defaults to the workload's default)." in
-  Arg.(value & opt (some float) None & info [ "s"; "scale" ] ~docv:"S" ~doc)
-
-let top_arg =
-  let doc = "Number of hot spots to display." in
-  Arg.(value & opt int 10 & info [ "k"; "top" ] ~docv:"K" ~doc)
-
-let coverage_arg =
-  let doc = "Time-coverage criterion for hot spot selection." in
-  Arg.(value & opt float 0.90 & info [ "coverage" ] ~docv:"FRAC" ~doc)
-
-let leanness_arg =
-  let doc = "Code-leanness criterion for hot spot selection." in
-  Arg.(value & opt float 0.10 & info [ "leanness" ] ~docv:"FRAC" ~doc)
-
-let lookup_workload name =
-  match Core.Workloads.Registry.find name with
-  | Some w -> w
-  | None ->
-    Fmt.epr "unknown workload %S; try `skope workloads'@." name;
-    exit 2
-
-let lookup_machine name =
-  match Core.Hw.Machines.find name with
-  | Some m -> m
-  | None ->
-    Fmt.epr "unknown machine %S; try `skope machines'@." name;
-    exit 2
-
-let parse_inputs specs =
-  List.map
-    (fun spec ->
-      match String.index_opt spec '=' with
-      | Some i ->
-        let name = String.sub spec 0 i in
-        let v = String.sub spec (i + 1) (String.length spec - i - 1) in
-        (match int_of_string_opt v with
-        | Some n -> (name, Core.Bet.Value.int n)
-        | None -> (
-          match float_of_string_opt v with
-          | Some f -> (name, Core.Bet.Value.float f)
-          | None ->
-            Fmt.epr "invalid input %S (expected NAME=NUMBER)@." spec;
-            exit 2))
-      | None ->
-        Fmt.epr "invalid input %S (expected NAME=NUMBER)@." spec;
-        exit 2)
-    specs
 
 let read_source file =
   let ic = open_in_bin file in
@@ -228,13 +147,6 @@ let cmd_show =
   in
   Cmd.v (Cmd.info "show" ~doc:"Print a workload's skeleton (DSL syntax)")
     Term.(const run $ workload_arg $ scale_arg)
-
-let format_arg =
-  let doc = "Output format." in
-  Arg.(
-    value
-    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
-    & info [ "format" ] ~docv:"text|json" ~doc)
 
 let cmd_parse =
   let module J = Core.Report.Json in
@@ -772,24 +684,7 @@ let cmd_sweep =
     with_trace trace ~root:"sweep" @@ fun () ->
     let w = lookup_workload workload in
     let base = lookup_machine machine in
-    let floats =
-      String.split_on_char ',' values
-      |> List.filter_map float_of_string_opt
-    in
-    let ints = List.map int_of_float floats in
-    let axis =
-      match axis with
-      | "bw" -> Core.Hw.Designspace.Mem_bandwidth floats
-      | "lat" -> Core.Hw.Designspace.Mem_latency floats
-      | "vec" -> Core.Hw.Designspace.Vector_width ints
-      | "issue" -> Core.Hw.Designspace.Issue_width floats
-      | "freq" -> Core.Hw.Designspace.Frequency floats
-      | "l2" -> Core.Hw.Designspace.L2_size ints
-      | "div" -> Core.Hw.Designspace.Div_latency floats
-      | other ->
-        Fmt.epr "unknown axis %S@." other;
-        exit 2
-    in
+    let axis = axis_of_parts axis values in
     Fmt.pr "Sweeping %s of %s for %s:@."
       (Core.Hw.Designspace.axis_name axis)
       base.name w.name;
@@ -815,6 +710,147 @@ let cmd_sweep =
     Term.(
       const run $ workload_arg $ machine_arg $ axis_arg $ values_arg
       $ trace_arg)
+
+let cmd_explore =
+  let module J = Core.Report.Json in
+  let module Explore = Skope_explore.Explore in
+  let sample_arg =
+    let doc = "Latin-hypercube sample this many grid points instead of the \
+               full cartesian product." in
+    Arg.(value & opt (some int) None & info [ "sample" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "Sampling seed (with --sample)." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let jobs_arg =
+    let doc = "Worker domains for grid evaluation (0: one per core)." in
+    Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"J" ~doc)
+  in
+  let json_of_point (p : Explore.point) =
+    let tc, tm, ov = Explore.split p.Explore.analysis in
+    J.Obj
+      [
+        ("tag", J.String p.Explore.tag);
+        ( "values",
+          J.Obj (List.map (fun (k, v) -> (k, J.Float v)) p.Explore.values) );
+        ("total_ms", J.Float (p.Explore.time *. 1e3));
+        ( "split",
+          J.Obj
+            [
+              ("tc_ms", J.Float (tc *. 1e3));
+              ("tm_ms", J.Float (tm *. 1e3));
+              ("to_ms", J.Float (ov *. 1e3));
+            ] );
+        ("cost", J.Float p.Explore.cost);
+      ]
+  in
+  let run workload machine scale axes sample seed jobs coverage leanness
+      format trace =
+    with_trace trace ~root:"explore" @@ fun () ->
+    if axes = [] then begin
+      Fmt.epr "nothing to explore: give at least one --axis KEY=V1,V2,...@.";
+      exit 2
+    end;
+    let axes = List.map parse_axis_spec axes in
+    let w = lookup_workload workload in
+    let base = lookup_machine machine in
+    let scale = Option.value ~default:w.default_scale scale in
+    let criteria =
+      { Hotspot.time_coverage = coverage; code_leanness = leanness }
+    in
+    let pts = Explore.grid_points ?sample ~seed base axes in
+    let jobs =
+      if jobs > 0 then jobs
+      else min (Domain.recommended_domain_count ()) (List.length pts)
+    in
+    (* The machine-independent prefix runs exactly once; every grid
+       point below only re-prices the shared BET. *)
+    let prepared = P.prepare ~workload:w ~scale () in
+    let on_point =
+      match format with
+      | `Ndjson ->
+        Some
+          (fun p ->
+            print_endline (J.to_string (json_of_point p));
+            flush stdout)
+      | `Text | `Json -> None
+    in
+    let r = Explore.evaluate ~jobs ~criteria ?on_point prepared pts in
+    let pareto_tags =
+      List.map (fun (p : Explore.point) -> p.Explore.tag) r.Explore.pareto
+    in
+    match format with
+    | `Ndjson ->
+      print_endline
+        (J.to_string
+           (J.Obj
+              [
+                ("points", J.Int (List.length r.Explore.points));
+                ("pareto", J.List (List.map (fun t -> J.String t) pareto_tags));
+                ("elapsed_ms", J.Float (r.Explore.elapsed *. 1e3));
+              ]))
+    | `Json ->
+      print_endline
+        (J.to_string
+           (J.Obj
+              [
+                ("workload", J.String w.name);
+                ("machine", J.String base.name);
+                ( "axes",
+                  J.List
+                    (List.map
+                       (fun a ->
+                         J.String (Core.Hw.Designspace.axis_key a))
+                       axes) );
+                ( "points",
+                  J.List (List.map json_of_point r.Explore.points) );
+                ("pareto", J.List (List.map (fun t -> J.String t) pareto_tags));
+                ("elapsed_ms", J.Float (r.Explore.elapsed *. 1e3));
+              ]))
+    | `Text ->
+      let rows =
+        List.map
+          (fun (p : Explore.point) ->
+            let tc, tm, ov = Explore.split p.Explore.analysis in
+            [
+              p.Explore.tag;
+              Fmt.str "%.4g" (p.Explore.time *. 1e3);
+              Fmt.str "%.4g" (tc *. 1e3);
+              Fmt.str "%.4g" (tm *. 1e3);
+              Fmt.str "%.4g" (ov *. 1e3);
+              Fmt.str "%.1f" p.Explore.cost;
+              (if List.mem p.Explore.tag pareto_tags then "*" else "");
+            ])
+          r.Explore.points
+      in
+      Table.print
+        (Table.make
+           ~title:
+             (Fmt.str "%s on %s: %d-point design space" w.name base.name
+                (List.length r.Explore.points))
+           ~headers:[ "point"; "ms"; "Tc"; "Tm"; "To"; "cost"; "pareto" ]
+           ~aligns:Table.[ Left; Right; Right; Right; Right; Right; Left ]
+           rows);
+      Fmt.pr
+        "@.%d points priced against one BET (%d nodes) with %d domain%s in \
+         %.0f ms; pareto: %s@."
+        (List.length r.Explore.points)
+        prepared.P.pre_built.Core.Bet.Build.node_count jobs
+        (if jobs = 1 then "" else "s")
+        (r.Explore.elapsed *. 1e3)
+        (String.concat ", " pareto_tags)
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Explore a multi-axis hardware design space against one shared BET \
+          (build once, price per point) and report the Pareto frontier over \
+          projected time and a hardware cost proxy")
+    Term.(
+      const run $ workload_arg $ machine_arg $ scale_arg $ axes_arg
+      $ sample_arg $ seed_arg $ jobs_arg $ coverage_arg
+      $ leanness_arg $ format_stream_arg $ trace_arg)
 
 let cmd_nodes =
   let ranks_arg =
@@ -927,8 +963,8 @@ let cmd_query =
   in
   let kind_arg =
     let doc =
-      "Request kind: analyze, sweep, lint, workloads, machines, stats, \
-       metrics_prom, version."
+      "Request kind: analyze, sweep, explore, lint, workloads, machines, \
+       stats, metrics_prom, version, capabilities."
     in
     Arg.(value & opt string "analyze" & info [ "kind" ] ~docv:"KIND" ~doc)
   in
@@ -946,6 +982,20 @@ let cmd_query =
   let values_arg =
     let doc = "Comma-separated sweep values." in
     Arg.(value & opt string "1,2,4,8" & info [ "values" ] ~docv:"V1,V2,.." ~doc)
+  in
+  let axes_arg =
+    let doc =
+      "Explore axis as KEY=V1,V2,... (repeatable; for --kind explore)."
+    in
+    Arg.(value & opt_all string [] & info [ "axes" ] ~docv:"KEY=V1,V2,.." ~doc)
+  in
+  let sample_arg =
+    let doc = "Latin-hypercube sample size for --kind explore." in
+    Arg.(value & opt (some int) None & info [ "sample" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "Sampling seed for --kind explore." in
+    Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc)
   in
   let override_arg =
     let doc = "Machine-parameter override KEY=VALUE (repeatable)." in
@@ -967,8 +1017,12 @@ let cmd_query =
     let doc = "Client threads for load-generator mode." in
     Arg.(value & opt int 1 & info [ "concurrency" ] ~docv:"K" ~doc)
   in
+  (* Typed request construction: a missing or misspelled field is
+     caught here instead of coming back as a server error.  The --body
+     flag below remains the raw-JSON escape hatch. *)
   let build_body kind workload machine scale top coverage leanness axis values
-      overrides timeout_ms =
+      axes sample seed overrides timeout_ms =
+    let module A = Skope_service.Service_api in
     let overrides =
       List.map
         (fun spec ->
@@ -977,7 +1031,7 @@ let cmd_query =
             let k = String.sub spec 0 i in
             let v = String.sub spec (i + 1) (String.length spec - i - 1) in
             match float_of_string_opt v with
-            | Some f -> (k, J.Float f)
+            | Some f -> (k, f)
             | None ->
               Fmt.epr "invalid override %S (expected KEY=NUMBER)@." spec;
               exit 2)
@@ -986,36 +1040,41 @@ let cmd_query =
             exit 2)
         overrides
     in
-    let base =
-      [ ("kind", J.String kind) ]
-      @ (match timeout_ms with
-        | Some t -> [ ("timeout_ms", J.Float t) ]
-        | None -> [])
+    let opts = { A.scale; top; coverage; leanness; overrides } in
+    let axis_spec spec =
+      match String.index_opt spec '=' with
+      | Some i ->
+        ( String.sub spec 0 i,
+          parse_values (String.sub spec (i + 1) (String.length spec - i - 1))
+        )
+      | None ->
+        Fmt.epr "invalid axis %S (expected KEY=V1,V2,...)@." spec;
+        exit 2
     in
-    let query =
-      [ ("workload", J.String workload); ("machine", J.String machine) ]
-      @ (match scale with Some s -> [ ("scale", J.Float s) ] | None -> [])
-      @ [
-          ("top", J.Int top);
-          ("coverage", J.Float coverage);
-          ("leanness", J.Float leanness);
-        ]
-      @ if overrides = [] then [] else [ ("overrides", J.Obj overrides) ]
-    in
-    let fields =
+    let request =
       match kind with
-      | "analyze" -> base @ query
-      | "lint" -> base @ [ ("workload", J.String workload) ]
+      | "analyze" -> A.analyze ~opts ~workload ~machine ()
       | "sweep" ->
-        let vs =
-          String.split_on_char ',' values
-          |> List.filter_map float_of_string_opt
-          |> List.map (fun f -> J.Float f)
-        in
-        base @ query @ [ ("axis", J.String axis); ("values", J.List vs) ]
-      | _ -> base
+        A.sweep ~opts ~workload ~machine ~axis ~values:(parse_values values) ()
+      | "explore" ->
+        if axes = [] then begin
+          Fmt.epr "--kind explore needs at least one --axes KEY=V1,V2,...@.";
+          exit 2
+        end;
+        A.explore ~opts ?sample ?seed ~workload ~machine
+          ~axes:(List.map axis_spec axes) ()
+      | "lint" -> A.lint_workload workload
+      | "workloads" -> A.Workloads
+      | "machines" -> A.Machines
+      | "stats" -> A.Stats
+      | "metrics_prom" -> A.Metrics_prom
+      | "version" -> A.Version
+      | "capabilities" -> A.Capabilities
+      | other ->
+        Fmt.epr "unknown request kind %S@." other;
+        exit 2
     in
-    J.to_string (J.Obj fields)
+    A.to_body ?timeout_ms request
   in
   (* Render the stats response's per-phase histograms as a table. *)
   let print_stats response =
@@ -1080,14 +1139,15 @@ let cmd_query =
       exit 1
   in
   let run host port kind workload machine scale top coverage leanness axis
-      values overrides timeout_ms body repeat concurrency stats =
+      values axes sample seed overrides timeout_ms body repeat concurrency
+      stats =
     let kind = if stats then "stats" else kind in
     let body =
       match body with
       | Some b -> b
       | None ->
         build_body kind workload machine scale top coverage leanness axis
-          values overrides timeout_ms
+          values axes sample seed overrides timeout_ms
     in
     let module C = Skope_service.Client in
     if repeat <= 1 then
@@ -1116,8 +1176,8 @@ let cmd_query =
     Term.(
       const run $ host_arg $ port_arg $ kind_arg $ workload_arg $ machine_arg
       $ scale_arg $ top_arg $ coverage_arg $ leanness_arg $ axis_arg
-      $ values_arg $ override_arg $ timeout_arg $ body_arg $ repeat_arg
-      $ concurrency_arg $ stats_flag)
+      $ values_arg $ axes_arg $ sample_arg $ seed_arg $ override_arg
+      $ timeout_arg $ body_arg $ repeat_arg $ concurrency_arg $ stats_flag)
 
 let cmd_json_check =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
@@ -1147,6 +1207,7 @@ let () =
           [
             cmd_workloads; cmd_machines; cmd_show; cmd_parse; cmd_lint;
             cmd_analyze; cmd_validate; cmd_hints; cmd_miniapp; cmd_sweep;
+            cmd_explore;
             cmd_nodes; cmd_roofline; cmd_json; cmd_import; cmd_spots;
             cmd_path; cmd_compare; cmd_serve; cmd_query; cmd_json_check;
           ]))

@@ -57,41 +57,25 @@ let profile ?(seed = 42L) ~libmix ~inputs program : Hints.t =
       in
       (Interp.run ~config ~inputs program).Interp.hints)
 
-(** Analytic projection only — no execution on [machine] at all. *)
-let analyze ?(criteria = Hotspot.default_criteria)
-    ?(opts = Roofline.default_opts) ?(cache = Perf.Constant)
-    ?(hints = Hints.empty) ~machine ~(workload : Registry.t) ~scale () :
-    analysis =
-  let program, inputs =
-    Span.with_ ~name:"workload_make"
-      ~attrs:[ ("workload", workload.Registry.name) ]
-      (fun () -> workload.Registry.make ~scale)
-  in
-  Span.with_ ~name:"validate" (fun () ->
-      Validate.check_exn ~inputs:(List.map fst inputs) program);
-  Span.with_ ~name:"lint" (fun () ->
-      Skope_lint.Engine.check_exn ~inputs program);
-  let built =
-    Build.build ~hints ~lib_work:(Libmix.work_fn workload.Registry.libmix)
-      ~inputs program
-  in
-  let projection = Perf.project ~opts ~cache machine built in
-  let selection =
-    Span.with_ ~name:"hotspot" (fun () ->
-        Hotspot.select ~criteria
-          ~total_instructions:(Bst.total_instructions built.Build.bst)
-          projection.Perf.blocks)
-  in
-  { a_program = program; a_built = built; a_projection = projection;
-    a_selection = selection }
+(** The machine-independent prefix of the pipeline: everything that
+    does not depend on the target machine, so a design-space explorer
+    can run it once and re-price the same BET on every grid point. *)
+type prepared = {
+  pre_workload : Registry.t;
+  pre_scale : float;
+  pre_program : Ast.program;
+  pre_inputs : (string * Value.t) list;
+  pre_hints : Hints.t;
+  pre_built : Build.result;  (** the BET, priced by nothing yet *)
+}
 
-(** Full validation run: profile locally, project analytically, and
-    simulate on the target as ground truth. *)
-let run ?(criteria = Hotspot.default_criteria) ?(opts = Roofline.default_opts)
-    ?(seed = 42L) ?scale ~machine (workload : Registry.t) : run =
-  let scale =
-    match scale with Some s -> s | None -> workload.Registry.default_scale
-  in
+(** Build the machine-independent artifact: workload make -> validate
+    -> lint -> (optional local profiling) -> BET construction.
+    [profile_hints] replaces the caller-supplied [hints] with one
+    local profiling run (the [run] path); [hints] defaults to empty
+    (the [analyze] path). *)
+let prepare ?(hints = Hints.empty) ?(profile_hints = false) ?(seed = 42L)
+    ~(workload : Registry.t) ~scale () : prepared =
   let program, inputs =
     Span.with_ ~name:"workload_make"
       ~attrs:[ ("workload", workload.Registry.name) ]
@@ -102,13 +86,63 @@ let run ?(criteria = Hotspot.default_criteria) ?(opts = Roofline.default_opts)
   Span.with_ ~name:"lint" (fun () ->
       Skope_lint.Engine.check_exn ~inputs program);
   let libmix = workload.Registry.libmix in
-  let hints = profile ~seed ~libmix ~inputs program in
+  let hints =
+    if profile_hints then profile ~seed ~libmix ~inputs program else hints
+  in
   let built =
     Build.build ~hints ~lib_work:(Libmix.work_fn libmix) ~inputs program
   in
+  {
+    pre_workload = workload;
+    pre_scale = scale;
+    pre_program = program;
+    pre_inputs = inputs;
+    pre_hints = hints;
+    pre_built = built;
+  }
+
+(** Price a prepared BET on one target machine: projection plus hot
+    spot selection, nothing machine-independent recomputed.  Safe to
+    call concurrently from several domains on the same [prepared]
+    (the BET is read-only here). *)
+let project_onto ?(criteria = Hotspot.default_criteria)
+    ?(opts = Roofline.default_opts) ?(cache = Perf.Constant) (p : prepared)
+    (machine : Machine.t) : analysis =
+  let projection = Perf.project ~opts ~cache machine p.pre_built in
+  let selection =
+    Span.with_ ~name:"hotspot" (fun () ->
+        Hotspot.select ~criteria
+          ~total_instructions:(Bst.total_instructions p.pre_built.Build.bst)
+          projection.Perf.blocks)
+  in
+  {
+    a_program = p.pre_program;
+    a_built = p.pre_built;
+    a_projection = projection;
+    a_selection = selection;
+  }
+
+(** Analytic projection only — no execution on [machine] at all. *)
+let analyze ?(criteria = Hotspot.default_criteria)
+    ?(opts = Roofline.default_opts) ?(cache = Perf.Constant)
+    ?(hints = Hints.empty) ~machine ~(workload : Registry.t) ~scale () :
+    analysis =
+  let prepared = prepare ~hints ~workload ~scale () in
+  project_onto ~criteria ~opts ~cache prepared machine
+
+(** Full validation run: profile locally, project analytically, and
+    simulate on the target as ground truth. *)
+let run ?(criteria = Hotspot.default_criteria) ?(opts = Roofline.default_opts)
+    ?(seed = 42L) ?scale ~machine (workload : Registry.t) : run =
+  let scale =
+    match scale with Some s -> s | None -> workload.Registry.default_scale
+  in
+  let p = prepare ~profile_hints:true ~seed ~workload ~scale () in
+  let built = p.pre_built in
   let projection = Perf.project ~opts machine built in
+  let libmix = workload.Registry.libmix in
   let config = Interp.default_config ~machine ~libmix ~seed () in
-  let measured = Interp.run ~config ~inputs program in
+  let measured = Interp.run ~config ~inputs:p.pre_inputs p.pre_program in
   let total_instructions = Bst.total_instructions built.Build.bst in
   let model_sel, measured_sel =
     Span.with_ ~name:"hotspot" (fun () ->
@@ -120,9 +154,9 @@ let run ?(criteria = Hotspot.default_criteria) ?(opts = Roofline.default_opts)
     workload;
     machine;
     scale;
-    program;
-    inputs;
-    hints;
+    program = p.pre_program;
+    inputs = p.pre_inputs;
+    hints = p.pre_hints;
     built;
     projection;
     measured;

@@ -46,7 +46,44 @@ val profile :
   Ast.program ->
   Hints.t
 
-(** Analytic projection only — nothing executes on [machine]. *)
+(** The machine-independent prefix of the pipeline (workload make,
+    validation, lint, optional profiling, BET construction): build it
+    once and price it on any number of target machines. *)
+type prepared = {
+  pre_workload : Registry.t;
+  pre_scale : float;
+  pre_program : Ast.program;
+  pre_inputs : (string * Value.t) list;
+  pre_hints : Hints.t;
+  pre_built : Build.result;  (** the BET *)
+}
+
+(** Build the machine-independent artifact.  [profile_hints] runs one
+    local profiling pass and uses its hints (the {!run} path);
+    otherwise [hints] (default empty) feeds BET construction directly
+    (the {!analyze} path). *)
+val prepare :
+  ?hints:Hints.t ->
+  ?profile_hints:bool ->
+  ?seed:int64 ->
+  workload:Registry.t ->
+  scale:float ->
+  unit ->
+  prepared
+
+(** Price a prepared BET on one target machine.  Read-only on
+    [prepared]: concurrent calls from several domains are safe, which
+    is what makes grid exploration embarrassingly parallel. *)
+val project_onto :
+  ?criteria:Hotspot.criteria ->
+  ?opts:Roofline.opts ->
+  ?cache:Perf.cache_model ->
+  prepared ->
+  Machine.t ->
+  analysis
+
+(** Analytic projection only — nothing executes on [machine].
+    Equivalent to {!prepare} followed by {!project_onto}. *)
 val analyze :
   ?criteria:Hotspot.criteria ->
   ?opts:Roofline.opts ->

@@ -1,0 +1,82 @@
+(** Multi-axis design-space exploration.
+
+    Runs the machine-independent prefix of the pipeline once
+    ({!Core.Pipeline.prepare}) and prices the shared BET on every
+    machine of a {!Core.Hw.Designspace} grid
+    ({!Core.Pipeline.project_onto}) — O(1 build + points x projection)
+    instead of O(points x full pipeline).  Evaluation runs on an OCaml
+    5 domain pool with chunked work distribution; projection is
+    read-only on the prepared artifact, so concurrent pricing is
+    safe. *)
+
+module P = Core.Pipeline
+module Machine = Core.Hw.Machine
+module Designspace = Core.Hw.Designspace
+module Hotspot = Core.Analysis.Hotspot
+module Roofline = Core.Hw.Roofline
+module Perf = Core.Analysis.Perf
+
+(** One evaluated grid point. *)
+type point = {
+  index : int;  (** position in grid order *)
+  tag : string;  (** {!Designspace.point} tag, e.g. ["bw=7.0,vec=4"] *)
+  values : (string * float) list;  (** axis key -> swept value *)
+  machine : Machine.t;
+  analysis : P.analysis;
+  time : float;  (** projected seconds (the analysis total) *)
+  cost : float;  (** {!cost_proxy} of [machine] *)
+}
+
+type result = {
+  prepared : P.prepared;  (** the shared machine-independent artifact *)
+  points : point list;  (** grid order *)
+  pareto : point list;  (** non-dominated points, by increasing time *)
+  elapsed : float;  (** wall seconds for the grid evaluation *)
+}
+
+(** Dimensionless hardware-budget proxy: grows with issue width x
+    clock, SIMD datapath width (doubled under FMA), memory bandwidth
+    and L2 capacity.  Only comparisons within one grid are
+    meaningful. *)
+val cost_proxy : Machine.t -> float
+
+(** Aggregate (compute, memory, overlapped) seconds over all blocks —
+    the Tc/Tm/To split of one grid point. *)
+val split : P.analysis -> float * float * float
+
+(** Minimizing Pareto frontier under [metrics] (both objectives
+    smaller-is-better), sorted by increasing first objective. *)
+val pareto_by : metrics:('a -> float * float) -> 'a list -> 'a list
+
+(** {!pareto_by} over [(time, cost)]. *)
+val pareto_points : point list -> point list
+
+(** The grid to evaluate: cartesian product of [axes] around the base
+    machine, or [sample] latin-hypercube points of it.  Each point's
+    machine keeps the base's name so results (and service cache
+    fingerprints) match an equivalent override query. *)
+val grid_points :
+  ?sample:int ->
+  ?seed:int ->
+  Machine.t ->
+  Designspace.axis list ->
+  Designspace.point list
+
+(** Evaluate the points against a shared prepared BET.
+
+    [jobs] sizes the domain pool (default 1: run in the caller's
+    domain — the service path, whose worker domains are the pool).
+    [check_deadline] runs before each point and may raise to abort:
+    the first exception wins, the pool drains, and it is re-raised.
+    [on_point] observes points as they complete (calls are
+    serialized; order follows completion, not grid order). *)
+val evaluate :
+  ?jobs:int ->
+  ?criteria:Hotspot.criteria ->
+  ?opts:Roofline.opts ->
+  ?cache:Perf.cache_model ->
+  ?check_deadline:(unit -> unit) ->
+  ?on_point:(point -> unit) ->
+  P.prepared ->
+  Designspace.point list ->
+  result

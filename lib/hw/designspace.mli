@@ -1,6 +1,7 @@
 (** Hardware design-space exploration: machine variants along one
-    design axis, for sweeping conceptual architectures without any
-    target execution (the point of the paper's title). *)
+    design axis — or a multi-axis grid — for sweeping conceptual
+    architectures without any target execution (the point of the
+    paper's title). *)
 
 type axis =
   | Mem_bandwidth of float list  (** GB/s per core *)
@@ -13,8 +14,47 @@ type axis =
 
 val axis_name : axis -> string
 
+(** The short protocol/CLI key of an axis: ["bw"], ["lat"], ["vec"],
+    ["issue"], ["freq"], ["l2"], ["div"]. *)
+val axis_key : axis -> string
+
+(** Every recognized short key, in canonical order (the capabilities
+    response advertises these). *)
+val axis_keys : string list
+
+(** Build an axis from its short key and swept values (integral axes
+    truncate).  [Error] carries a human-readable message listing the
+    recognized keys. *)
+val axis_of_key : string -> float list -> (axis, string) result
+
+(** The swept values of an axis, as floats. *)
+val axis_values : axis -> float list
+
 (** Machine variants along [axis], tagged with the swept value. *)
 val variants : Machine.t -> axis -> (string * Machine.t) list
 
 (** Quarter to quadruple the base machine's memory bandwidth. *)
 val default_bandwidth_sweep : Machine.t -> (string * Machine.t) list
+
+(** One grid point: a machine with every axis value applied.  On a
+    single axis the tag is the bare [variants] tag (["7.0"]); with
+    more axes, comma-joined [key=tag] pairs (["bw=7.0,vec=4"]). *)
+type point = {
+  p_tag : string;
+  p_values : (string * float) list;  (** axis key -> swept value *)
+  p_machine : Machine.t;
+}
+
+(** Full cartesian product of [axes] around [base]; the first axis
+    varies slowest, so a one-axis grid lists points in [variants]
+    order. *)
+val grid : Machine.t -> axis list -> point list
+
+(** Number of points {!grid} would produce, without building them. *)
+val grid_size : axis list -> int
+
+(** [n] points of the grid chosen by a seeded discrete latin-hypercube
+    (each axis's levels are covered as evenly as [n] allows).
+    Deterministic for a given [seed] (default 42); duplicates are
+    dropped, so fewer than [n] points may return. *)
+val sample : ?seed:int -> n:int -> Machine.t -> axis list -> point list

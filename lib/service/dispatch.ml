@@ -8,6 +8,7 @@ module Designspace = Core.Hw.Designspace
 module Hotspot = Core.Analysis.Hotspot
 module Blockstat = Core.Analysis.Blockstat
 module Roofline = Core.Hw.Roofline
+module Explore = Skope_explore.Explore
 
 type config = { max_request_bytes : int; cache_capacity : int }
 
@@ -48,9 +49,11 @@ let json_of_spot rank total (b : Blockstat.t) =
       ("bound", Json.String (Fmt.str "%a" Roofline.pp_bound b.bound));
     ]
 
-let analysis_result ~(workload : Registry.t) ~(machine : Machine.t) ~scale
-    ~criteria ~top =
-  let a = P.analyze ~criteria ~machine ~workload ~scale () in
+(* Shared analysis renderer: analyze, sweep points and explore points
+   all serialize through here, so a cache entry written by any of them
+   is byte-identical for the others. *)
+let render_analysis ~(workload : Registry.t) ~(machine : Machine.t) ~scale ~top
+    (a : P.analysis) =
   Span.with_ ~name:"report" (fun () ->
   let total = a.P.a_projection.total_time in
   let spots =
@@ -58,12 +61,20 @@ let analysis_result ~(workload : Registry.t) ~(machine : Machine.t) ~scale
     |> List.mapi (fun i b -> json_of_spot (i + 1) total b)
   in
   let sel = a.P.a_selection in
+  let tc, tm, ov = Explore.split a in
   Json.Obj
     [
       ("workload", Json.String workload.Registry.name);
       ("machine", Json.String machine.Machine.name);
       ("scale", Json.Float scale);
       ("total_ms", Json.Float (total *. 1e3));
+      ( "split",
+        Json.Obj
+          [
+            ("tc_ms", Json.Float (tc *. 1e3));
+            ("tm_ms", Json.Float (tm *. 1e3));
+            ("to_ms", Json.Float (ov *. 1e3));
+          ] );
       ("bet_nodes", Json.Int a.P.a_built.node_count);
       ("spots", Json.List spots);
       ( "selection",
@@ -74,6 +85,11 @@ let analysis_result ~(workload : Registry.t) ~(machine : Machine.t) ~scale
             ("leanness", Json.Float sel.Hotspot.leanness);
           ] );
     ])
+
+let analysis_result ~(workload : Registry.t) ~(machine : Machine.t) ~scale
+    ~criteria ~top =
+  let a = P.analyze ~criteria ~machine ~workload ~scale () in
+  render_analysis ~workload ~machine ~scale ~top a
 
 (* --- cached projection --------------------------------------------- *)
 
@@ -151,6 +167,121 @@ let run_sweep t (q : Protocol.query) axis ~check_deadline =
       ("machine", Json.String base.Machine.name);
       ("axis", Json.String (Designspace.axis_name axis));
       ("points", Json.List points);
+    ]
+
+(* One explore point, through the cache.  Unlike [cached_analysis] a
+   miss does NOT rerun the full pipeline: it re-prices the shared
+   prepared BET, which is the whole point of explore. *)
+let cached_point t ~prepared ~(workload : Registry.t) ~(machine : Machine.t)
+    ~scale ~criteria ~top =
+  let key =
+    Fingerprint.of_query ~workload:workload.Registry.name ~machine ~scale
+      ~criteria ~top
+  in
+  match Lru.find t.cache key with
+  | Some json ->
+    Metrics.cache_hit t.metrics;
+    json
+  | None ->
+    Metrics.cache_miss t.metrics;
+    let a = P.project_onto ~criteria (Lazy.force prepared) machine in
+    Span.count "explore_bet_reuse_hits" 1.;
+    let json = render_analysis ~workload ~machine ~scale ~top a in
+    Lru.add t.cache key json;
+    json
+
+let total_ms_of_analysis json =
+  match Json.member "total_ms" json with
+  | Some (Json.Float f) -> f
+  | Some (Json.Int i) -> float_of_int i
+  | _ -> 0.
+
+let run_explore t (q : Protocol.query) (spec : Protocol.explore_spec)
+    ~check_deadline =
+  let workload, base, scale, criteria = query_parts q in
+  let pts =
+    Explore.grid_points ?sample:spec.Protocol.e_sample ~seed:spec.Protocol.e_seed
+      base spec.Protocol.e_axes
+  in
+  let n = List.length pts in
+  (* The machine-independent prefix, built at most once per request —
+     and not at all when every point is served from the cache. *)
+  let prepared =
+    lazy (Span.with_ ~name:"prepare" (fun () -> P.prepare ~workload ~scale ()))
+  in
+  let completed = ref 0 in
+  let points =
+    List.map
+      (fun (pt : Designspace.point) ->
+        (* Cooperative cancellation between grid points: a deadline
+           mid-grid reports partial progress instead of hanging. *)
+        (try check_deadline ()
+         with Reject (code, msg) ->
+           reject code
+             (Printf.sprintf "%s after %d of %d points" msg !completed n));
+        let machine = pt.Designspace.p_machine in
+        let analysis =
+          cached_point t ~prepared ~workload ~machine ~scale ~criteria
+            ~top:q.Protocol.top
+        in
+        Span.count "explore_points_evaluated" 1.;
+        incr completed;
+        ( pt,
+          total_ms_of_analysis analysis,
+          Explore.cost_proxy machine,
+          Json.Obj
+            [ ("tag", Json.String pt.Designspace.p_tag); ("analysis", analysis) ]
+        ))
+      pts
+  in
+  let pareto =
+    Explore.pareto_by ~metrics:(fun (_, t_ms, cost, _) -> (t_ms, cost)) points
+    |> List.map (fun ((pt : Designspace.point), t_ms, cost, _) ->
+           Json.Obj
+             [
+               ("tag", Json.String pt.Designspace.p_tag);
+               ("total_ms", Json.Float t_ms);
+               ("cost", Json.Float cost);
+             ])
+  in
+  let axes =
+    List.map
+      (fun axis ->
+        Json.Obj
+          [
+            ("axis", Json.String (Designspace.axis_key axis));
+            ( "values",
+              Json.List
+                (List.map (fun v -> Json.Float v) (Designspace.axis_values axis))
+            );
+          ])
+      spec.Protocol.e_axes
+  in
+  Json.Obj
+    ([
+       ("workload", Json.String workload.Registry.name);
+       ("machine", Json.String base.Machine.name);
+       ("axes", Json.List axes);
+       ("grid", Json.Int (Designspace.grid_size spec.Protocol.e_axes));
+     ]
+    @ (match spec.Protocol.e_sample with
+      | Some s ->
+        [ ("sample", Json.Int s); ("seed", Json.Int spec.Protocol.e_seed) ]
+      | None -> [])
+    @ [
+        ("points", Json.List (List.map (fun (_, _, _, j) -> j) points));
+        ("pareto", Json.List pareto);
+      ])
+
+let run_capabilities () =
+  let strings ss = Json.List (List.map (fun s -> Json.String s) ss) in
+  Json.Obj
+    [
+      ("protocol", Json.Int Protocol.protocol_version);
+      ("kinds", strings Protocol.request_kinds);
+      ("axes", strings Designspace.axis_keys);
+      ("max_grid_points", Json.Int Protocol.max_grid_points);
+      ("version", Json.String Core.Version.version);
     ]
 
 (* Lint requests are cheap (no projection) and parameterized by
@@ -308,12 +439,14 @@ let handle ?received_at t body =
         match request with
         | Protocol.Analyze q -> run_analyze t q
         | Protocol.Sweep (q, axis) -> run_sweep t q axis ~check_deadline
+        | Protocol.Explore (q, spec) -> run_explore t q spec ~check_deadline
         | Protocol.Lint q -> run_lint q
         | Protocol.Workloads -> run_workloads ()
         | Protocol.Machines -> run_machines ()
         | Protocol.Stats -> run_stats t
         | Protocol.Metrics_prom -> run_metrics_prom t
         | Protocol.Version -> run_version ()
+        | Protocol.Capabilities -> run_capabilities ()
       in
       Protocol.ok_response result
     with

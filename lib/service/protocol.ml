@@ -21,15 +21,25 @@ type lint_query = {
   l_disabled : string list;
 }
 
+(** Multi-axis exploration: the cartesian grid of [e_axes] (optionally
+    latin-hypercube sampled down to [e_sample] points). *)
+type explore_spec = {
+  e_axes : Designspace.axis list;
+  e_sample : int option;
+  e_seed : int;
+}
+
 type request =
   | Analyze of query
   | Sweep of query * Designspace.axis
+  | Explore of query * explore_spec
   | Lint of lint_query
   | Workloads
   | Machines
   | Stats
   | Metrics_prom
   | Version
+  | Capabilities
 
 type error_code =
   | Parse_error
@@ -52,12 +62,32 @@ let error_code_to_string = function
 let kind_label = function
   | Analyze _ -> "analyze"
   | Sweep _ -> "sweep"
+  | Explore _ -> "explore"
   | Lint _ -> "lint"
   | Workloads -> "workloads"
   | Machines -> "machines"
   | Stats -> "stats"
   | Metrics_prom -> "metrics_prom"
   | Version -> "version"
+  | Capabilities -> "capabilities"
+
+(* Bump on any change a v1 client could not safely ignore; see the
+   compatibility rules in protocol.mli. *)
+let protocol_version = 1
+
+let request_kinds =
+  [
+    "analyze";
+    "sweep";
+    "explore";
+    "lint";
+    "workloads";
+    "machines";
+    "stats";
+    "metrics_prom";
+    "version";
+    "capabilities";
+  ]
 
 (* --- request parsing ---------------------------------------------- *)
 
@@ -179,7 +209,9 @@ let parse_query json =
   in
   Ok { workload; machine; overrides; scale; coverage; leanness; top }
 
-let parse_axis json =
+(* One axis from a {"axis":KEY,"values":[...]} object; the axis keys
+   themselves live in Designspace so every layer agrees. *)
+let parse_one_axis json =
   let* name = string_field json "axis" in
   let* values =
     match Json.member "values" json with
@@ -201,19 +233,68 @@ let parse_axis json =
       invalid "field \"values\" is limited to 256 points"
     else Ok ()
   in
-  let ints () = List.map int_of_float values in
-  match String.lowercase_ascii name with
-  | "bw" -> Ok (Designspace.Mem_bandwidth values)
-  | "lat" -> Ok (Designspace.Mem_latency values)
-  | "vec" -> Ok (Designspace.Vector_width (ints ()))
-  | "issue" -> Ok (Designspace.Issue_width values)
-  | "freq" -> Ok (Designspace.Frequency values)
-  | "l2" -> Ok (Designspace.L2_size (ints ()))
-  | "div" -> Ok (Designspace.Div_latency values)
-  | other ->
-    invalid
-      (Printf.sprintf
-         "unknown axis %S (expected bw|lat|vec|issue|freq|l2|div)" other)
+  Result.map_error
+    (fun msg -> (Invalid_request, msg))
+    (Designspace.axis_of_key name values)
+
+let parse_axis json = parse_one_axis json
+
+(* Explore carries {"axes":[{"axis":..,"values":..}, ...]} plus
+   optional "sample" and "seed"; the full grid is capped so one
+   request cannot monopolize a worker domain forever. *)
+let max_grid_points = 4096
+
+let parse_explore json =
+  let* axes =
+    match Json.member "axes" json with
+    | Some (Json.List objs) ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | (Json.Obj _ as o) :: rest ->
+          let* a = parse_one_axis o in
+          go (a :: acc) rest
+        | _ ->
+          invalid "field \"axes\" must be a list of {axis, values} objects"
+      in
+      go [] objs
+    | Some _ -> invalid "field \"axes\" must be a list of {axis, values} objects"
+    | None -> invalid "missing required field \"axes\""
+  in
+  let* () = if axes = [] then invalid "field \"axes\" must be non-empty" else Ok () in
+  let* () =
+    let dup =
+      List.find_opt
+        (fun k ->
+          List.length
+            (List.filter (fun a -> Designspace.axis_key a = k)
+               axes)
+          > 1)
+        (List.map Designspace.axis_key axes)
+    in
+    match dup with
+    | Some k -> invalid (Printf.sprintf "axis %S appears more than once" k)
+    | None -> Ok ()
+  in
+  let* e_sample =
+    let* s = opt_int json "sample" ~default:0 in
+    if s < 0 then invalid "field \"sample\" must be non-negative"
+    else Ok (if s = 0 then None else Some s)
+  in
+  let* e_seed = opt_int json "seed" ~default:42 in
+  let points =
+    match e_sample with
+    | Some n -> min n (Designspace.grid_size axes)
+    | None -> Designspace.grid_size axes
+  in
+  let* () =
+    if points > max_grid_points then
+      invalid
+        (Printf.sprintf
+           "grid of %d points exceeds the limit of %d (use \"sample\")" points
+           max_grid_points)
+    else Ok ()
+  in
+  Ok { e_axes = axes; e_sample; e_seed }
 
 let parse_request body =
   match Json.of_string body with
@@ -241,6 +322,10 @@ let parse_request body =
         let* q = parse_query json in
         let* axis = parse_axis json in
         Ok (Sweep (q, axis))
+      | "explore" ->
+        let* q = parse_query json in
+        let* spec = parse_explore json in
+        Ok (Explore (q, spec))
       | "lint" ->
         let* q = parse_lint json in
         Ok (Lint q)
@@ -249,6 +334,7 @@ let parse_request body =
       | "stats" -> Ok Stats
       | "metrics_prom" -> Ok Metrics_prom
       | "version" -> Ok Version
+      | "capabilities" -> Ok Capabilities
       | other -> invalid (Printf.sprintf "unknown request kind %S" other)
     in
     Ok (request, timeout_ms)
@@ -314,13 +400,22 @@ let resolve_machine (q : query) =
 
 (* --- responses ----------------------------------------------------- *)
 
+(* Every response leads with the protocol version stamp so clients
+   can detect incompatible servers before touching the payload. *)
 let ok_response result =
-  Json.to_string (Json.Obj [ ("ok", Json.Bool true); ("result", result) ])
+  Json.to_string
+    (Json.Obj
+       [
+         ("v", Json.Int protocol_version);
+         ("ok", Json.Bool true);
+         ("result", result);
+       ])
 
 let error_response code message =
   Json.to_string
     (Json.Obj
        [
+         ("v", Json.Int protocol_version);
          ("ok", Json.Bool false);
          ( "error",
            Json.Obj

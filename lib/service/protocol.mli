@@ -10,6 +10,12 @@
     - [{"kind":"sweep", ...,"axis":A,"values":[...]}] — the same
       query fanned out server-side along one design axis
       (bw | lat | vec | issue | freq | l2 | div);
+    - [{"kind":"explore", ...,"axes":[{"axis":A,"values":[...]}, ...]}]
+      — a multi-axis grid (cartesian product of the axes) priced
+      against one shared BET; optional ["sample"] (latin-hypercube
+      sample size) and ["seed"].  The result carries the point list,
+      the Pareto frontier over (projected time, cost proxy) and the
+      per-point Tc/Tm/To split;
     - [{"kind":"lint","workload":W}] or
       [{"kind":"lint","source":"skeleton p { ... }"}] — run the
       interval-domain linter; optional ["scale"],
@@ -18,13 +24,34 @@
     - [{"kind":"stats"}] — metrics snapshot;
     - [{"kind":"metrics_prom"}] — Prometheus text exposition (the
       result is [{"content_type":...,"body":...}]);
-    - [{"kind":"version"}] — server version and git revision.
+    - [{"kind":"version"}] — server version and git revision;
+    - [{"kind":"capabilities"}] — protocol version, supported request
+      kinds and design axes (feature discovery).
 
     Any request may carry ["timeout_ms"]: the server refuses to start
     (or continue fanning out) work past the deadline.
 
-    Responses are [{"ok":true,"result":...}] or
-    [{"ok":false,"error":{"code":C,"message":M}}]. *)
+    Responses are [{"v":1,"ok":true,"result":...}] or
+    [{"v":1,"ok":false,"error":{"code":C,"message":M}}].
+
+    {2 Compatibility rules}
+
+    - ["v"] is the protocol major version, stamped on every response.
+      It only changes when an existing client could misread a
+      response: a field is removed or renamed, a field's type or
+      meaning changes, or an error code is repurposed.
+    - {e Additions} are not breaking and do not bump ["v"]: servers
+      may add response fields, request kinds, axes and error codes at
+      any time.  Clients must ignore unknown response fields and
+      treat unknown error codes as [Internal].
+    - Clients should reject responses whose ["v"] is greater than the
+      version they were built against, and may use
+      [{"kind":"capabilities"}] to discover what a server supports
+      before issuing requests.
+    - Servers answer requests with unknown fields by ignoring them
+      (so old servers tolerate new optional fields); an unknown
+      ["kind"] is an [Invalid_request] error, which is what a client
+      probing for a feature on an old server will see. *)
 
 open Skope_hw
 module Json = Skope_report.Json
@@ -47,15 +74,26 @@ type lint_query = {
   l_disabled : string list;  (** rule codes to suppress *)
 }
 
+(** Multi-axis exploration: the cartesian grid of [e_axes], optionally
+    latin-hypercube sampled down to [e_sample] points with [e_seed].
+    The parsed grid is capped at 4096 points. *)
+type explore_spec = {
+  e_axes : Designspace.axis list;
+  e_sample : int option;
+  e_seed : int;
+}
+
 type request =
   | Analyze of query
   | Sweep of query * Designspace.axis
+  | Explore of query * explore_spec
   | Lint of lint_query
   | Workloads
   | Machines
   | Stats
   | Metrics_prom
   | Version
+  | Capabilities
 
 type error_code =
   | Parse_error  (** body is not valid JSON *)
@@ -71,6 +109,16 @@ val error_code_to_string : error_code -> string
 (** Kind label for metrics, even for invalid requests ("?" when the
     kind cannot be determined). *)
 val kind_label : request -> string
+
+(** The protocol major version stamped as ["v"] on every response. *)
+val protocol_version : int
+
+(** Every request kind this server parses, as advertised by
+    [{"kind":"capabilities"}]. *)
+val request_kinds : string list
+
+(** Upper bound on the (possibly sampled) explore grid size. *)
+val max_grid_points : int
 
 (** Parse and validate a request body.  Returns the request plus its
     optional [timeout_ms].  Catalog existence of workload/machine

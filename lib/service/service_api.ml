@@ -1,0 +1,154 @@
+(** Typed builders for skoped request bodies.
+
+    The client-side counterpart of {!Protocol}: every request the
+    server parses can be built here without hand-assembling JSON, so
+    [skope query], the tests and the load generator all speak the same
+    dialect.  A raw-JSON escape hatch remains available (pass any
+    string straight to {!Client.roundtrip}); these builders are for
+    the common path where a typo should be a type error. *)
+
+module Json = Skope_report.Json
+
+type query_opts = {
+  scale : float option;  (** [None]: the workload's default scale *)
+  top : int;
+  coverage : float;
+  leanness : float;
+  overrides : (string * float) list;
+}
+
+let default_query_opts =
+  { scale = None; top = 10; coverage = 0.90; leanness = 0.10; overrides = [] }
+
+type request =
+  | Analyze of { workload : string; machine : string; opts : query_opts }
+  | Sweep of {
+      workload : string;
+      machine : string;
+      opts : query_opts;
+      axis : string;
+      values : float list;
+    }
+  | Explore of {
+      workload : string;
+      machine : string;
+      opts : query_opts;
+      axes : (string * float list) list;
+      sample : int option;
+      seed : int option;
+    }
+  | Lint of {
+      workload : string option;
+      source : string option;
+      scale : float option;
+      deny_warnings : bool;
+      disable : string list;
+    }
+  | Workloads
+  | Machines
+  | Stats
+  | Metrics_prom
+  | Version
+  | Capabilities
+
+let analyze ?(opts = default_query_opts) ~workload ~machine () =
+  Analyze { workload; machine; opts }
+
+let sweep ?(opts = default_query_opts) ~workload ~machine ~axis ~values () =
+  Sweep { workload; machine; opts; axis; values }
+
+let explore ?(opts = default_query_opts) ?sample ?seed ~workload ~machine ~axes
+    () =
+  Explore { workload; machine; opts; axes; sample; seed }
+
+let lint_workload ?scale ?(deny_warnings = false) ?(disable = []) workload =
+  Lint { workload = Some workload; source = None; scale; deny_warnings; disable }
+
+let lint_source ?(deny_warnings = false) ?(disable = []) source =
+  Lint
+    {
+      workload = None;
+      source = Some source;
+      scale = None;
+      deny_warnings;
+      disable;
+    }
+
+let kind = function
+  | Analyze _ -> "analyze"
+  | Sweep _ -> "sweep"
+  | Explore _ -> "explore"
+  | Lint _ -> "lint"
+  | Workloads -> "workloads"
+  | Machines -> "machines"
+  | Stats -> "stats"
+  | Metrics_prom -> "metrics_prom"
+  | Version -> "version"
+  | Capabilities -> "capabilities"
+
+let query_fields ~workload ~machine (o : query_opts) =
+  [ ("workload", Json.String workload); ("machine", Json.String machine) ]
+  @ (match o.scale with Some s -> [ ("scale", Json.Float s) ] | None -> [])
+  @ [
+      ("top", Json.Int o.top);
+      ("coverage", Json.Float o.coverage);
+      ("leanness", Json.Float o.leanness);
+    ]
+  @
+  if o.overrides = [] then []
+  else
+    [
+      ( "overrides",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) o.overrides) );
+    ]
+
+let axis_obj (axis, values) =
+  Json.Obj
+    [
+      ("axis", Json.String axis);
+      ("values", Json.List (List.map (fun v -> Json.Float v) values));
+    ]
+
+let to_json ?timeout_ms request =
+  let base =
+    [ ("kind", Json.String (kind request)) ]
+    @
+    match timeout_ms with
+    | Some t -> [ ("timeout_ms", Json.Float t) ]
+    | None -> []
+  in
+  let fields =
+    match request with
+    | Analyze { workload; machine; opts } ->
+      query_fields ~workload ~machine opts
+    | Sweep { workload; machine; opts; axis; values } ->
+      query_fields ~workload ~machine opts
+      @ [
+          ("axis", Json.String axis);
+          ("values", Json.List (List.map (fun v -> Json.Float v) values));
+        ]
+    | Explore { workload; machine; opts; axes; sample; seed } ->
+      query_fields ~workload ~machine opts
+      @ [ ("axes", Json.List (List.map axis_obj axes)) ]
+      @ (match sample with
+        | Some n -> [ ("sample", Json.Int n) ]
+        | None -> [])
+      @ (match seed with Some s -> [ ("seed", Json.Int s) ] | None -> [])
+    | Lint { workload; source; scale; deny_warnings; disable } ->
+      (match workload with
+      | Some w -> [ ("workload", Json.String w) ]
+      | None -> [])
+      @ (match source with
+        | Some s -> [ ("source", Json.String s) ]
+        | None -> [])
+      @ (match scale with Some s -> [ ("scale", Json.Float s) ] | None -> [])
+      @ (if deny_warnings then [ ("deny_warnings", Json.Bool true) ] else [])
+      @
+      if disable = [] then []
+      else
+        [ ("disable", Json.List (List.map (fun c -> Json.String c) disable)) ]
+    | Workloads | Machines | Stats | Metrics_prom | Version | Capabilities -> []
+  in
+  Json.Obj (base @ fields)
+
+let to_body ?timeout_ms request = Json.to_string (to_json ?timeout_ms request)

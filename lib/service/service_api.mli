@@ -1,0 +1,92 @@
+(** Typed builders for skoped request bodies.
+
+    The client-side counterpart of {!Protocol}: [skope query], the
+    tests and the load generator build their request bodies here
+    instead of hand-assembling JSON.  Raw JSON remains a first-class
+    escape hatch — {!Client.roundtrip} takes any string — but with
+    these builders a typo is a type error and every built body parses
+    back through {!Protocol.parse_request}. *)
+
+module Json = Skope_report.Json
+
+type query_opts = {
+  scale : float option;  (** [None]: the workload's default scale *)
+  top : int;
+  coverage : float;
+  leanness : float;
+  overrides : (string * float) list;  (** machine-parameter overrides *)
+}
+
+(** top 10, coverage 0.90, leanness 0.10, no scale, no overrides —
+    the server-side defaults. *)
+val default_query_opts : query_opts
+
+type request =
+  | Analyze of { workload : string; machine : string; opts : query_opts }
+  | Sweep of {
+      workload : string;
+      machine : string;
+      opts : query_opts;
+      axis : string;  (** short axis key: bw, lat, vec, ... *)
+      values : float list;
+    }
+  | Explore of {
+      workload : string;
+      machine : string;
+      opts : query_opts;
+      axes : (string * float list) list;  (** (short key, values) per axis *)
+      sample : int option;
+      seed : int option;
+    }
+  | Lint of {
+      workload : string option;
+      source : string option;
+      scale : float option;
+      deny_warnings : bool;
+      disable : string list;
+    }
+  | Workloads
+  | Machines
+  | Stats
+  | Metrics_prom
+  | Version
+  | Capabilities
+
+(** Constructor helpers with server-side defaults. *)
+
+val analyze :
+  ?opts:query_opts -> workload:string -> machine:string -> unit -> request
+
+val sweep :
+  ?opts:query_opts ->
+  workload:string ->
+  machine:string ->
+  axis:string ->
+  values:float list ->
+  unit ->
+  request
+
+val explore :
+  ?opts:query_opts ->
+  ?sample:int ->
+  ?seed:int ->
+  workload:string ->
+  machine:string ->
+  axes:(string * float list) list ->
+  unit ->
+  request
+
+val lint_workload :
+  ?scale:float -> ?deny_warnings:bool -> ?disable:string list -> string ->
+  request
+
+val lint_source : ?deny_warnings:bool -> ?disable:string list -> string -> request
+
+(** The wire ["kind"] of a request. *)
+val kind : request -> string
+
+(** The request as JSON; [timeout_ms] adds the per-request deadline. *)
+val to_json : ?timeout_ms:float -> request -> Json.t
+
+(** The request as a one-line body ready for {!Client.roundtrip}. *)
+val to_body : ?timeout_ms:float -> request -> string

@@ -48,6 +48,15 @@ grep -q '"name":"bet_build"' "$TRACE" \
     || { rm -f "$TRACE"; fail "trace missing bet_build span"; }
 rm -f "$TRACE"
 
+echo "smoke: explore (multi-axis grid, text + ndjson)"
+"$SKOPE" explore -w sord -m bgq --axis bw=7,14 --axis freq=0.8,1.6 \
+    | grep -q 'pareto' || fail "explore text"
+NDJSON=$("$SKOPE" explore -w sord -m bgq --axis bw=7,14 --axis freq=0.8,1.6 \
+    --format ndjson) || fail "explore ndjson"
+echo "$NDJSON" | grep -q '"tag":"bw=7.0,freq=0.8"' \
+    || fail "explore ndjson missing grid point"
+echo "$NDJSON" | grep -q '"pareto"' || fail "explore ndjson missing summary"
+
 PORT=$(( (RANDOM % 20000) + 20000 ))
 LOG=$(mktemp /tmp/skoped-smoke.XXXXXX.log)
 
@@ -86,6 +95,18 @@ q --kind sweep -w sord -m bgq --axis bw --values 7,14,28,56 >/dev/null \
     || fail "sweep"
 q --kind sweep -w sord -m bgq --axis bw --values 7,14,28,56 >/dev/null \
     || fail "re-sweep"
+
+echo "smoke: explore request (grid + cache-warm repeat)"
+q --kind explore -w sord -m bgq --axes bw=7,14 --axes freq=0.8,1.6 \
+    | grep -q '"pareto"' || fail "explore request"
+q --kind explore -w sord -m bgq --axes bw=7,14 --axes freq=0.8,1.6 \
+    >/dev/null || fail "explore repeat"
+
+echo "smoke: capabilities + protocol version stamp"
+CAPS=$(q --kind capabilities) || fail "capabilities request"
+echo "$CAPS" | grep -q '"protocol":1' || fail "capabilities missing protocol"
+echo "$CAPS" | grep -q '"explore"'    || fail "capabilities missing explore kind"
+q --kind version | grep -q '"v":1' || fail "response not version-stamped"
 
 echo "smoke: lint request kind"
 q --kind lint -w sord >/dev/null || fail "lint request"

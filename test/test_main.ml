@@ -19,5 +19,6 @@ let () =
          Test_shapes.suite;
          Test_props.suite;
          Test_service.suite;
+         Test_explore.suite;
          Test_telemetry.suite;
        ])
