@@ -898,10 +898,119 @@ let telemetry_section () =
     (100. *. ((traced /. Float.max 1e-12 untraced) -. 1.))
     (Chrome.length c2)
 
+(* ------------------------------------------------------------------ *)
+(* Quick mode: a seconds-long subset for CI — dispatcher throughput,
+   lint throughput, telemetry overhead and a small shared-BET explore
+   grid; no paper-scale simulations.  `--json FILE` writes the
+   headline numbers as a machine-readable artifact so runs can be
+   compared across commits. *)
+
+let quick_run json_file =
+  let module J = Report.Json in
+  let module D = Skope_service.Dispatch in
+  let metrics = ref [] in
+  let record key v = metrics := (key, v) :: !metrics in
+  let t_start = Unix.gettimeofday () in
+  section "quick" "CI quick benchmark (seconds-long subset)";
+  (* dispatcher: cache-warm request throughput *)
+  let dispatch = D.create () in
+  let analyze_body = {|{"kind":"analyze","workload":"sord","machine":"bgq"}|} in
+  let sweep_body =
+    {|{"kind":"sweep","workload":"sord","machine":"bgq","axis":"bw","values":[7,14,28,56]}|}
+  in
+  ignore (D.handle dispatch analyze_body);
+  ignore (D.handle dispatch sweep_body);
+  let time_reps reps f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps
+  in
+  let a_warm = time_reps 200 (fun () -> ignore (D.handle dispatch analyze_body)) in
+  let s_warm = time_reps 100 (fun () -> ignore (D.handle dispatch sweep_body)) in
+  Fmt.pr "  dispatcher, cache-warm analyze   %8.0f req/s@." (1. /. a_warm);
+  Fmt.pr "  dispatcher, cache-warm sweep     %8.0f req/s@." (1. /. s_warm);
+  record "dispatch_analyze_warm_req_per_s" (1. /. a_warm);
+  record "dispatch_sweep_warm_req_per_s" (1. /. s_warm);
+  (* lint: one representative workload *)
+  let w = Workloads.Registry.find_exn "sord" in
+  let program, inputs = w.make ~scale:w.default_scale in
+  let lint_per = time_reps 50 (fun () -> ignore (Lint.Engine.run ~inputs program)) in
+  Fmt.pr "  lint sord                        %8.0f runs/s@." (1. /. lint_per);
+  record "lint_sord_runs_per_s" (1. /. lint_per);
+  (* telemetry: the disabled fast path *)
+  Telemetry.Span.clear_sinks ();
+  let span_per =
+    time_reps 200_000 (fun () ->
+        ignore (Telemetry.Span.with_ ~name:"noop" (fun () -> 0)))
+  in
+  Fmt.pr "  span, no sink                    %8.1f ns@." (span_per *. 1e9);
+  record "span_disabled_ns" (span_per *. 1e9);
+  (* explore: shared-BET reuse on a small grid *)
+  let module Explore = Skope_explore.Explore in
+  let scale = 0.1 in
+  let axes =
+    [ Hw.Designspace.Mem_bandwidth [ 7.; 28. ];
+      Hw.Designspace.Frequency [ 0.8; 1.6 ] ]
+  in
+  let pts = Explore.grid_points bgq axes in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun (p : Hw.Designspace.point) ->
+      ignore (P.analyze ~machine:p.Hw.Designspace.p_machine ~workload:w ~scale ()))
+    pts;
+  let indep = Unix.gettimeofday () -. t0 in
+  let t1 = Unix.gettimeofday () in
+  let prepared = P.prepare ~workload:w ~scale () in
+  ignore (Explore.evaluate ~jobs:1 prepared pts);
+  let shared = Unix.gettimeofday () -. t1 in
+  Fmt.pr "  explore shared-BET speedup       %8.1fx (%d-point grid)@."
+    (indep /. shared) (List.length pts);
+  record "explore_shared_speedup_x" (indep /. shared);
+  let elapsed = Unix.gettimeofday () -. t_start in
+  record "elapsed_s" elapsed;
+  Fmt.pr "@.quick bench done in %.1fs@." elapsed;
+  match json_file with
+  | None -> ()
+  | Some file ->
+    let json =
+      J.Obj
+        [
+          ("schema", J.String "skope-bench-quick/1");
+          ("version", J.String Version.version);
+          ("git", J.String Version.git);
+          ( "metrics",
+            J.Obj (List.rev_map (fun (k, v) -> (k, J.Float v)) !metrics) );
+        ]
+    in
+    let oc = open_out file in
+    output_string oc (J.to_string json);
+    output_string oc "\n";
+    close_out oc;
+    Fmt.pr "wrote %s@." file
+
 let () =
-  (match Array.to_list Sys.argv with
-  | _ :: "--csv" :: dir :: _ -> csv_dir := Some dir
-  | _ -> ());
+  let quick = ref false in
+  let json_file : string option ref = ref None in
+  let rec parse_args = function
+    | [] -> ()
+    | "--csv" :: dir :: rest ->
+      csv_dir := Some dir;
+      parse_args rest
+    | "--quick" :: rest ->
+      quick := true;
+      parse_args rest
+    | "--json" :: file :: rest ->
+      json_file := Some file;
+      parse_args rest
+    | arg :: _ ->
+      Fmt.epr "bench: unknown argument %S (expected --quick, --csv DIR, --json FILE)@." arg;
+      exit 2
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  if !quick then quick_run !json_file
+  else begin
   let t0 = Unix.gettimeofday () in
   Fmt.pr
     "Reproduction harness: 'Analytically Modeling Application Execution for \
@@ -931,3 +1040,4 @@ let () =
   lint_section ();
   telemetry_section ();
   Fmt.pr "@.[bench] total wall time %.1fs@." (Unix.gettimeofday () -. t0)
+  end

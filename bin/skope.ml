@@ -926,14 +926,45 @@ let cmd_serve =
     let doc = "Projection-cache capacity (LRU entries)." in
     Arg.(value & opt int 4096 & info [ "cache" ] ~docv:"N" ~doc)
   in
-  let run port host pool queue cache =
+  let sock_timeout_arg =
+    let doc = "Per-connection socket read/write deadline, seconds." in
+    Arg.(value & opt float 10. & info [ "sock-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let fault_inject_arg =
+    let doc =
+      "Arm fault injection, e.g. \
+       $(b,drop=0.3,delay_p=0.2,delay_ms=50,overload=0.1,truncate=0.05) \
+       (probabilities per connection).  For resilience testing only."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "fault-inject" ] ~docv:"SPEC" ~doc)
+  in
+  let fault_seed_arg =
+    let doc = "Seed for the fault-injection decision stream." in
+    Arg.(value & opt int 42 & info [ "fault-seed" ] ~docv:"N" ~doc)
+  in
+  let run port host pool queue cache sock_timeout fault_spec fault_seed =
     let module S = Skope_service.Server in
+    let module F = Skope_service.Faults in
+    let faults =
+      match fault_spec with
+      | None -> None
+      | Some spec -> (
+        match F.spec_of_string spec with
+        | Ok s -> Some (F.create ~seed:fault_seed s)
+        | Error msg ->
+          Fmt.epr "skope serve: bad --fault-inject: %s@." msg;
+          exit 2)
+    in
     let config =
       {
         S.port;
         host;
         queue_capacity = queue;
         pool = Option.value ~default:S.default_config.S.pool pool;
+        read_timeout_s = sock_timeout;
+        write_timeout_s = sock_timeout;
+        faults;
         dispatch =
           { Skope_service.Dispatch.default_config with cache_capacity = cache };
       }
@@ -948,8 +979,11 @@ let cmd_serve =
     (Cmd.info "serve"
        ~doc:
          "Run skoped: serve analyze/sweep/catalog/stats queries over \
-          JSON-over-TCP with a domain worker pool and a projection cache")
-    Term.(const run $ port_arg $ host_arg $ pool_arg $ queue_arg $ cache_arg)
+          JSON-over-TCP with a domain worker pool, a projection cache, load \
+          shedding and optional fault injection")
+    Term.(
+      const run $ port_arg $ host_arg $ pool_arg $ queue_arg $ cache_arg
+      $ sock_timeout_arg $ fault_inject_arg $ fault_seed_arg)
 
 let cmd_query =
   let module J = Core.Report.Json in
@@ -1016,6 +1050,35 @@ let cmd_query =
   let concurrency_arg =
     let doc = "Client threads for load-generator mode." in
     Arg.(value & opt int 1 & info [ "concurrency" ] ~docv:"K" ~doc)
+  in
+  let retries_arg =
+    let doc =
+      "Retry budget per request (0 disables retries).  Retries use capped \
+       exponential backoff with seeded jitter and honor the server's \
+       retry_after_ms hint on overloaded responses."
+    in
+    Arg.(value & opt int 3 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let retry_base_arg =
+    let doc = "First backoff step, milliseconds." in
+    Arg.(value & opt float 50. & info [ "retry-base-ms" ] ~docv:"MS" ~doc)
+  in
+  let retry_max_arg =
+    let doc = "Backoff cap, milliseconds." in
+    Arg.(value & opt float 2000. & info [ "retry-max-ms" ] ~docv:"MS" ~doc)
+  in
+  let retry_seed_arg =
+    let doc = "Backoff jitter seed (same seed, same schedule)." in
+    Arg.(value & opt int 42 & info [ "retry-seed" ] ~docv:"N" ~doc)
+  in
+  let connect_timeout_arg =
+    let doc = "TCP connect deadline, milliseconds." in
+    Arg.(
+      value & opt float 5000. & info [ "connect-timeout-ms" ] ~docv:"MS" ~doc)
+  in
+  let io_timeout_arg =
+    let doc = "Socket read/write deadline, milliseconds." in
+    Arg.(value & opt float 30000. & info [ "io-timeout-ms" ] ~docv:"MS" ~doc)
   in
   (* Typed request construction: a missing or misspelled field is
      caught here instead of coming back as a server error.  The --body
@@ -1116,7 +1179,18 @@ let cmd_query =
       Fmt.pr "@.requests: %d | cache hit rate: %.1f%% | request p95: %.3f ms@."
         (int_of "total_requests" metrics)
         (100. *. num_of "cache_hit_rate" metrics)
-        (num_of "latency_p95_ms" metrics)
+        (num_of "latency_p95_ms" metrics);
+      (* Reliability counters (shed, timed out, injected faults, ...)
+         ride the same stats response. *)
+      (match J.member "counters" metrics with
+      | Some (J.Obj ((_ :: _) as counters)) ->
+        Fmt.pr "counters: %a@."
+          Fmt.(
+            list ~sep:(any " | ") (fun ppf (k, v) ->
+                pf ppf "%s: %.0f" k
+                  (Option.value ~default:0. (J.to_float_opt v))))
+          counters
+      | _ -> ())
     | _ ->
       Fmt.pr "%s@." response;
       exit 1
@@ -1140,7 +1214,8 @@ let cmd_query =
   in
   let run host port kind workload machine scale top coverage leanness axis
       values axes sample seed overrides timeout_ms body repeat concurrency
-      stats =
+      stats retries retry_base_ms retry_max_ms retry_seed connect_timeout_ms
+      io_timeout_ms =
     let kind = if stats then "stats" else kind in
     let body =
       match body with
@@ -1150,10 +1225,25 @@ let cmd_query =
           values axes sample seed overrides timeout_ms
     in
     let module C = Skope_service.Client in
+    let timeouts =
+      {
+        C.connect_s = connect_timeout_ms /. 1e3;
+        read_s = io_timeout_ms /. 1e3;
+        write_s = io_timeout_ms /. 1e3;
+      }
+    in
+    let retry =
+      {
+        C.attempts = max 0 retries;
+        base_ms = retry_base_ms;
+        max_ms = retry_max_ms;
+        seed = retry_seed;
+      }
+    in
     if repeat <= 1 then
-      match C.roundtrip ~host ~port body with
-      | Error msg ->
-        Fmt.epr "skope query: %s@." msg;
+      match C.request ~timeouts ~retry ~host ~port body with
+      | Error e ->
+        Fmt.epr "skope query: %a@." C.pp_error e;
         exit 1
       | Ok response when stats -> print_stats response
       | Ok response when kind = "metrics_prom" -> print_metrics_prom response
@@ -1163,7 +1253,7 @@ let cmd_query =
         | Ok r when J.member "ok" r = Some (J.Bool true) -> ()
         | _ -> exit 1)
     else begin
-      let report = C.load ~host ~port ~repeat ~concurrency body in
+      let report = C.load ~timeouts ~retry ~host ~port ~repeat ~concurrency body in
       Fmt.pr "%a@." C.pp_load_report report;
       if report.C.failures > 0 then exit 1
     end
@@ -1171,13 +1261,16 @@ let cmd_query =
   Cmd.v
     (Cmd.info "query"
        ~doc:
-         "Query a running skoped; with --repeat N --concurrency K, act as a \
-          load generator and report throughput and latency percentiles")
+         "Query a running skoped with retries and deadlines; with --repeat N \
+          --concurrency K, act as a load generator and report throughput, \
+          retry volume and latency percentiles")
     Term.(
       const run $ host_arg $ port_arg $ kind_arg $ workload_arg $ machine_arg
       $ scale_arg $ top_arg $ coverage_arg $ leanness_arg $ axis_arg
       $ values_arg $ axes_arg $ sample_arg $ seed_arg $ override_arg
-      $ timeout_arg $ body_arg $ repeat_arg $ concurrency_arg $ stats_flag)
+      $ timeout_arg $ body_arg $ repeat_arg $ concurrency_arg $ stats_flag
+      $ retries_arg $ retry_base_arg $ retry_max_arg $ retry_seed_arg
+      $ connect_timeout_arg $ io_timeout_arg)
 
 let cmd_json_check =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in

@@ -1,13 +1,109 @@
-let connect ~host ~port =
+module Span = Skope_telemetry.Span
+
+(* --- structured errors ---------------------------------------------- *)
+
+type error =
+  | Timeout of string
+  | Refused of string
+  | Overloaded of { retry_after_ms : float option; message : string }
+  | Protocol of string
+
+let error_label = function
+  | Timeout _ -> "timeout"
+  | Refused _ -> "refused"
+  | Overloaded _ -> "overloaded"
+  | Protocol _ -> "protocol"
+
+let error_message = function
+  | Timeout m | Refused m | Protocol m -> m
+  | Overloaded { message; _ } -> message
+
+let pp_error ppf e = Fmt.pf ppf "%s: %s" (error_label e) (error_message e)
+
+(* The stage at which an attempt failed decides whether a retry is
+   safe for non-idempotent requests: a connect-stage failure means the
+   request was never sent. *)
+type stage = Connecting | Exchanging
+
+let errno_message e fn = Printf.sprintf "%s (%s)" (Unix.error_message e) fn
+
+let classify_unix stage e fn =
+  match (stage, e) with
+  | _, (Unix.ETIMEDOUT | Unix.EAGAIN | Unix.EWOULDBLOCK) ->
+    Timeout (errno_message e fn)
+  | Connecting, _ -> Refused (errno_message e fn)
+  | Exchanging, _ -> Protocol (errno_message e fn)
+
+(* --- timeouts ------------------------------------------------------- *)
+
+type timeouts = { connect_s : float; read_s : float; write_s : float }
+
+let default_timeouts = { connect_s = 5.; read_s = 30.; write_s = 30. }
+
+(* --- retry policy --------------------------------------------------- *)
+
+type retry = { attempts : int; base_ms : float; max_ms : float; seed : int }
+
+let default_retry = { attempts = 3; base_ms = 50.; max_ms = 2000.; seed = 42 }
+let no_retry = { default_retry with attempts = 0 }
+
+(* Stateless SplitMix64 finalizer: hash (seed, attempt) to a uniform
+   in [0, 1).  Deterministic across runs and platforms, so a backoff
+   schedule can be asserted byte-for-byte in tests. *)
+let u01 ~seed k =
+  let z =
+    Int64.mul
+      (Int64.add (Int64.of_int seed) (Int64.of_int (k + 1)))
+      0x9E3779B97F4A7C15L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_float (Int64.shift_right_logical z 11) /. 9007199254740992.
+
+let backoff_ms retry k =
+  let uncapped = retry.base_ms *. (2. ** float_of_int k) in
+  let capped = Float.min retry.max_ms uncapped in
+  (* Jitter scales into [0.5, 1.0]x so the cap stays a hard ceiling
+     while concurrent clients still decorrelate. *)
+  capped *. (0.5 +. (0.5 *. u01 ~seed:retry.seed k))
+
+(* --- one attempt ---------------------------------------------------- *)
+
+let close_quietly sock = try Unix.close sock with Unix.Unix_error _ -> ()
+
+(* Non-blocking connect bounded by [connect_s]: a black-holed SYN must
+   not pin the client for the kernel's minutes-long default. *)
+let connect ~timeouts ~host ~port =
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   try
-    Unix.setsockopt_float sock Unix.SO_RCVTIMEO 30.;
-    Unix.setsockopt_float sock Unix.SO_SNDTIMEO 30.;
-    Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+    let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+    Unix.set_nonblock sock;
+    (try Unix.connect sock addr with
+    | Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _) -> (
+      match Unix.select [] [ sock ] [] timeouts.connect_s with
+      | _, [], _ ->
+        close_quietly sock;
+        raise
+          (Unix.Unix_error
+             (Unix.ETIMEDOUT, Printf.sprintf "connect to %s:%d" host port, ""))
+      | _, _ :: _, _ -> (
+        match Unix.getsockopt_error sock with
+        | Some e -> raise (Unix.Unix_error (e, "connect", ""))
+        | None -> ())));
+    Unix.clear_nonblock sock;
+    Unix.setsockopt_float sock Unix.SO_RCVTIMEO timeouts.read_s;
+    Unix.setsockopt_float sock Unix.SO_SNDTIMEO timeouts.write_s;
     Ok sock
-  with Unix.Unix_error (e, _, _) ->
-    (try Unix.close sock with Unix.Unix_error _ -> ());
-    Error (Unix.error_message e)
+  with Unix.Unix_error (e, fn, _) ->
+    close_quietly sock;
+    Error (classify_unix Connecting e fn)
 
 let rec write_all fd bytes pos len =
   if len > 0 then begin
@@ -15,41 +111,112 @@ let rec write_all fd bytes pos len =
     write_all fd bytes (pos + n) (len - n)
   end
 
+(* Read one newline-terminated response.  EOF before the newline is a
+   distinct, structured outcome: an empty buffer means the server
+   closed without answering (or dropped us), a non-empty one means the
+   response was truncated mid-flight. *)
 let read_response fd =
   let buf = Buffer.create 1024 in
   let chunk = Bytes.create 4096 in
   let rec go () =
     match Unix.read fd chunk 0 (Bytes.length chunk) with
-    | 0 -> Buffer.contents buf
+    | 0 ->
+      if Buffer.length buf = 0 then
+        Error (Protocol "server closed the connection without a response")
+      else
+        Error
+          (Protocol
+             (Printf.sprintf
+                "truncated response (%d bytes, no terminating newline)"
+                (Buffer.length buf)))
     | n -> (
       match Bytes.index_from_opt chunk 0 '\n' with
       | Some i when i < n ->
         Buffer.add_subbytes buf chunk 0 i;
-        Buffer.contents buf
+        Ok (Buffer.contents buf)
       | _ ->
         Buffer.add_subbytes buf chunk 0 n;
         go ())
   in
   go ()
 
-let roundtrip ~host ~port body =
-  match connect ~host ~port with
-  | Error _ as e -> e
+(* A complete response that decodes to an [overloaded] envelope is a
+   transient, retryable failure — surface it as a structured error so
+   the retry loop (and the caller) can honor the backoff hint. *)
+let classify_body response =
+  match Service_api.parse_response response with
+  | Ok { r_ok = false; r_error_code = Some "overloaded"; r_error_message;
+         r_retry_after_ms; _ } ->
+    Error
+      (Overloaded
+         {
+           retry_after_ms = r_retry_after_ms;
+           message =
+             Option.value ~default:"server overloaded" r_error_message;
+         })
+  | Ok _ -> Ok response
+  | Error msg -> Error (Protocol msg)
+
+let attempt ~timeouts ~host ~port body =
+  match connect ~timeouts ~host ~port with
+  | Error e -> Error (Connecting, e)
   | Ok sock ->
-    Fun.protect
-      ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
-      (fun () ->
-        try
-          let line = Bytes.of_string (body ^ "\n") in
-          write_all sock line 0 (Bytes.length line);
-          match read_response sock with
-          | "" -> Error "empty response (server closed the connection)"
-          | r -> Ok r
-        with Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
+    (* [close] failures must not mask the exchange's result: the
+       socket is closed outside the result computation, and a close
+       error on an already-failed connection is deliberately dropped. *)
+    let result =
+      try
+        let line = Bytes.of_string (body ^ "\n") in
+        write_all sock line 0 (Bytes.length line);
+        read_response sock
+      with Unix.Unix_error (e, fn, _) ->
+        Error (classify_unix Exchanging e fn)
+    in
+    close_quietly sock;
+    (match result with
+    | Ok response -> Result.map_error (fun e -> (Exchanging, e)) (classify_body response)
+    | Error e -> Error (Exchanging, e))
+
+let roundtrip ?(timeouts = default_timeouts) ~host ~port body =
+  Result.map_error snd (attempt ~timeouts ~host ~port body)
+
+(* --- retry loop ----------------------------------------------------- *)
+
+let retryable ~idempotent stage = function
+  | Overloaded _ -> true
+  | Timeout _ | Refused _ | Protocol _ -> idempotent || stage = Connecting
+
+let request ?(timeouts = default_timeouts) ?(retry = default_retry)
+    ?(idempotent = true) ?on_retry ~host ~port body =
+  let rec go k =
+    match attempt ~timeouts ~host ~port body with
+    | Ok response -> Ok response
+    | Error (stage, e) ->
+      if k >= retry.attempts || not (retryable ~idempotent stage e) then
+        Error e
+      else begin
+        Span.count "client_retries" 1.;
+        (match on_retry with Some f -> f k e | None -> ());
+        let wait = backoff_ms retry k in
+        (* An explicit server hint dominates the local schedule: the
+           server knows how long its queue needs to drain. *)
+        let wait =
+          match e with
+          | Overloaded { retry_after_ms = Some hint; _ } -> Float.max wait hint
+          | _ -> wait
+        in
+        Thread.delay (wait /. 1e3);
+        go (k + 1)
+      end
+  in
+  go 0
+
+(* --- load generator ------------------------------------------------- *)
 
 type load_report = {
   requests : int;
   failures : int;
+  retries : int;
   elapsed : float;
   throughput : float;
   p50 : float;
@@ -65,22 +232,32 @@ let percentile sorted q =
     sorted.(min (n - 1) (max 0 (rank - 1)))
   end
 
-let load ~host ~port ~repeat ~concurrency body =
+let load ?(timeouts = default_timeouts) ?(retry = default_retry) ~host ~port
+    ~repeat ~concurrency body =
   let repeat = max 1 repeat and concurrency = max 1 concurrency in
   let lock = Mutex.create () in
-  let latencies = ref [] and failures = ref 0 in
+  let latencies = ref [] and failures = ref 0 and retries = ref 0 in
   let record dt ok =
     Mutex.lock lock;
     if ok then latencies := dt :: !latencies else incr failures;
     Mutex.unlock lock
   in
+  let on_retry _ _ =
+    Mutex.lock lock;
+    incr retries;
+    Mutex.unlock lock
+  in
   (* Thread [i] owns requests i, i+K, i+2K, ... so shares sum to
      [repeat] exactly. *)
   let share i = (repeat - i + concurrency - 1) / concurrency in
+  (* Decorrelate the threads' jitter streams while keeping the whole
+     run reproducible for a given policy seed. *)
+  let thread_retry i = { retry with seed = retry.seed + i } in
   let run_thread i () =
+    let retry = thread_retry i in
     for _ = 1 to share i do
       let t0 = Unix.gettimeofday () in
-      match roundtrip ~host ~port body with
+      match request ~timeouts ~retry ~on_retry ~host ~port body with
       | Ok _ -> record (Unix.gettimeofday () -. t0) true
       | Error _ -> record 0. false
     done
@@ -97,6 +274,7 @@ let load ~host ~port ~repeat ~concurrency body =
   {
     requests;
     failures = !failures;
+    retries = !retries;
     elapsed;
     throughput = (if elapsed > 0. then float_of_int requests /. elapsed else 0.);
     p50 = percentile sorted 0.50;
@@ -106,7 +284,7 @@ let load ~host ~port ~repeat ~concurrency body =
 
 let pp_load_report ppf r =
   Fmt.pf ppf
-    "%d requests (%d failed) in %.2fs: %.0f req/s; latency p50 %.3f ms, p95 \
-     %.3f ms, p99 %.3f ms"
-    r.requests r.failures r.elapsed r.throughput (r.p50 *. 1e3) (r.p95 *. 1e3)
-    (r.p99 *. 1e3)
+    "%d requests (%d failed, %d retries) in %.2fs: %.0f req/s; latency p50 \
+     %.3f ms, p95 %.3f ms, p99 %.3f ms"
+    r.requests r.failures r.retries r.elapsed r.throughput (r.p50 *. 1e3)
+    (r.p95 *. 1e3) (r.p99 *. 1e3)

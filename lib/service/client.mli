@@ -1,15 +1,102 @@
-(** `skope query` — client for a running `skoped`, doubling as a load
-    generator. *)
+(** `skope query` — fault-tolerant client for a running `skoped`,
+    doubling as a load generator.
+
+    Every transport failure is a structured {!error}; {!request} wraps
+    one-shot {!roundtrip} in a bounded, capped-exponential-backoff
+    retry loop with seeded deterministic jitter.  Server [overloaded]
+    responses are decoded into {!Overloaded} (with the server's
+    [retry_after_ms] hint) so load shedding composes with client
+    backoff instead of fighting it. *)
+
+(** Terminal request outcomes:
+
+    - [Timeout]: connect, read or write exceeded its deadline;
+    - [Refused]: the connection could not be established (connection
+      refused, unreachable network, ... — the errno is in the
+      message);
+    - [Overloaded]: the server shed the request (full work queue or
+      injected fault) and hinted when to retry;
+    - [Protocol]: the transport broke mid-exchange — unexpected EOF,
+      truncated or non-JSON response, reset connection.
+
+    Protocol-level failures of a well-delivered request (unknown
+    workload, lint findings, ...) are NOT errors here: they come back
+    as [Ok] response bodies with ["ok":false]. *)
+type error =
+  | Timeout of string
+  | Refused of string
+  | Overloaded of { retry_after_ms : float option; message : string }
+  | Protocol of string
+
+(** ["timeout" | "refused" | "overloaded" | "protocol"] — stable
+    labels for scripts and metrics. *)
+val error_label : error -> string
+
+val error_message : error -> string
+val pp_error : error Fmt.t
+
+type timeouts = {
+  connect_s : float;  (** TCP connect deadline, seconds *)
+  read_s : float;  (** per-[read(2)] deadline ([SO_RCVTIMEO]) *)
+  write_s : float;  (** per-[write(2)] deadline ([SO_SNDTIMEO]) *)
+}
+
+(** connect 5 s, read 30 s, write 30 s. *)
+val default_timeouts : timeouts
+
+(** Retry budget: up to [attempts] retries after the initial attempt,
+    sleeping [backoff_ms] between tries. *)
+type retry = {
+  attempts : int;
+  base_ms : float;  (** first backoff step *)
+  max_ms : float;  (** hard cap on any single backoff *)
+  seed : int;  (** jitter seed — same seed, same schedule *)
+}
+
+(** 3 retries, 50 ms base, 2 s cap, seed 42. *)
+val default_retry : retry
+
+(** Zero retries (single attempt). *)
+val no_retry : retry
+
+(** The backoff before retry [k] (0-based):
+    [min max_ms (base_ms * 2^k)] scaled by a deterministic jitter in
+    [0.5, 1.0] drawn from [(seed, k)].  Pure — tests can assert the
+    exact schedule. *)
+val backoff_ms : retry -> int -> float
 
 (** One request/response round trip (a fresh connection per request,
     mirroring the server's one-request-per-connection protocol).
-    [Error] carries a transport-level message; protocol-level errors
-    come back as [Ok] response bodies with ["ok":false]. *)
-val roundtrip : host:string -> port:int -> string -> (string, string) result
+    No retries. *)
+val roundtrip :
+  ?timeouts:timeouts ->
+  host:string ->
+  port:int ->
+  string ->
+  (string, error) result
+
+(** [roundtrip] plus the retry loop.  Retries only failures that are
+    safe to repeat: [Overloaded] always; [Timeout]/[Refused]/
+    [Protocol] when [idempotent] (the default — every kind in the
+    current protocol is) or when the attempt failed before the request
+    was sent.  Each retry bumps the [client_retries] telemetry counter
+    and calls [on_retry] with the 0-based retry index and the error
+    being retried.  An [Overloaded] hint extends the backoff when it
+    is longer. *)
+val request :
+  ?timeouts:timeouts ->
+  ?retry:retry ->
+  ?idempotent:bool ->
+  ?on_retry:(int -> error -> unit) ->
+  host:string ->
+  port:int ->
+  string ->
+  (string, error) result
 
 type load_report = {
   requests : int;  (** completed *)
-  failures : int;  (** transport errors *)
+  failures : int;  (** terminally failed after retries *)
+  retries : int;  (** total retries across all requests *)
   elapsed : float;  (** wall seconds *)
   throughput : float;  (** completed requests per second *)
   p50 : float;  (** seconds *)
@@ -18,8 +105,12 @@ type load_report = {
 }
 
 (** Fire [repeat] copies of [body] from [concurrency] client threads
-    and report throughput plus client-observed latency percentiles. *)
+    (each thread jitters with [retry.seed + thread index]) and report
+    throughput, retry volume and client-observed latency
+    percentiles. *)
 val load :
+  ?timeouts:timeouts ->
+  ?retry:retry ->
   host:string ->
   port:int ->
   repeat:int ->

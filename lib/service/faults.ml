@@ -1,0 +1,113 @@
+type spec = {
+  drop : float;
+  overload : float;
+  truncate : float;
+  delay_p : float;
+  delay_ms : float;
+}
+
+let no_faults =
+  { drop = 0.; overload = 0.; truncate = 0.; delay_p = 0.; delay_ms = 0. }
+
+let spec_of_string s =
+  let ( let* ) = Result.bind in
+  let parse_field acc field =
+    let* acc = acc in
+    match String.index_opt field '=' with
+    | None -> Error (Printf.sprintf "invalid fault %S (expected KEY=VALUE)" field)
+    | Some i -> (
+      let key = String.sub field 0 i in
+      let raw = String.sub field (i + 1) (String.length field - i - 1) in
+      match float_of_string_opt raw with
+      | None -> Error (Printf.sprintf "fault %S: %S is not a number" key raw)
+      | Some v ->
+        let* p =
+          (* delay_ms is a duration; everything else is a probability. *)
+          if key = "delay_ms" then
+            if v < 0. || not (Float.is_finite v) then
+              Error "fault \"delay_ms\" must be a non-negative duration"
+            else Ok v
+          else if v < 0. || v > 1. then
+            Error (Printf.sprintf "fault %S must be a probability in [0, 1]" key)
+          else Ok v
+        in
+        (match key with
+        | "drop" -> Ok { acc with drop = p }
+        | "overload" -> Ok { acc with overload = p }
+        | "truncate" -> Ok { acc with truncate = p }
+        | "delay_p" -> Ok { acc with delay_p = p }
+        | "delay_ms" -> Ok { acc with delay_ms = p }
+        | other ->
+          Error
+            (Printf.sprintf
+               "unknown fault %S (drop, overload, truncate, delay_p, delay_ms)"
+               other)))
+  in
+  String.split_on_char ',' s
+  |> List.filter (fun f -> String.trim f <> "")
+  |> List.map String.trim
+  |> List.fold_left parse_field (Ok no_faults)
+
+let spec_to_string s =
+  [
+    ("drop", s.drop);
+    ("overload", s.overload);
+    ("truncate", s.truncate);
+    ("delay_p", s.delay_p);
+    ("delay_ms", s.delay_ms);
+  ]
+  |> List.filter (fun (_, v) -> v > 0.)
+  |> List.map (fun (k, v) -> Printf.sprintf "%s=%g" k v)
+  |> String.concat ","
+
+(* SplitMix64 — tiny, seedable, and identical on every platform, so a
+   fault schedule in a test or the smoke script replays exactly. *)
+type t = { s : spec; state : int64 ref; lock : Mutex.t }
+
+let create ?(seed = 42) s =
+  { s; state = ref (Int64.of_int seed); lock = Mutex.create () }
+
+let spec t = t.s
+
+let next_u01 t =
+  Mutex.lock t.lock;
+  let z = Int64.add !(t.state) 0x9E3779B97F4A7C15L in
+  t.state := z;
+  Mutex.unlock t.lock;
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  (* 53 random bits -> [0, 1) *)
+  Int64.to_float (Int64.shift_right_logical z 11) /. 9007199254740992.
+
+type decision = {
+  d_drop : bool;
+  d_overload : bool;
+  d_truncate : bool;
+  d_delay_ms : float option;
+}
+
+let clean =
+  { d_drop = false; d_overload = false; d_truncate = false; d_delay_ms = None }
+
+let decide t =
+  (* Always draw all four so the stream position does not depend on
+     which faults are enabled or fire. *)
+  let drop = next_u01 t < t.s.drop in
+  let overload = next_u01 t < t.s.overload in
+  let truncate = next_u01 t < t.s.truncate in
+  let delay = next_u01 t < t.s.delay_p in
+  {
+    d_drop = drop;
+    d_overload = (not drop) && overload;
+    d_truncate = (not drop) && (not overload) && truncate;
+    d_delay_ms = (if (not drop) && delay then Some t.s.delay_ms else None);
+  }
+
+let injected d =
+  (if d.d_drop then 1 else 0)
+  + (if d.d_overload then 1 else 0)
+  + (if d.d_truncate then 1 else 0)
+  + match d.d_delay_ms with Some _ -> 1 | None -> 0

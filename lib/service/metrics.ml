@@ -69,6 +69,7 @@ type view = {
   p95 : float;
   p99 : float;
   gauges : (string * float) list;
+  counters : (string * float) list;
   phases : (string * Hist.snapshot) list;
 }
 
@@ -80,6 +81,7 @@ let sample_gauges t =
 let view t =
   let lat = Hist.snapshot t.latency in
   let gauges = sample_gauges t in
+  let counters = List.sort compare (Span.counters ()) in
   let phases = Agg.snapshot t.agg in
   with_lock t (fun () ->
       let requests =
@@ -103,6 +105,7 @@ let view t =
         p95 = lat.Hist.p95;
         p99 = lat.Hist.p99;
         gauges;
+        counters;
         phases;
       })
 
@@ -130,6 +133,8 @@ let to_json (v : view) =
       ("latency_p99_ms", Json.Float (v.p99 *. 1e3));
       ( "gauges",
         Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) v.gauges) );
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) v.counters) );
       ( "phases",
         Json.List
           (List.map

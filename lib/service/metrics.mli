@@ -48,6 +48,10 @@ type view = {
   p95 : float;
   p99 : float;
   gauges : (string * float) list;  (** sampled at snapshot time *)
+  counters : (string * float) list;
+      (** process-wide telemetry counters ([client_retries],
+          [requests_shed], [connections_timed_out], [faults_injected],
+          ...), sorted by name *)
   phases : (string * Skope_telemetry.Hist.snapshot) list;
       (** per-phase duration histograms, sorted by phase name *)
 }

@@ -48,6 +48,7 @@ type error_code =
   | Unknown_machine
   | Oversized
   | Deadline_exceeded
+  | Overloaded
   | Internal
 
 let error_code_to_string = function
@@ -57,6 +58,7 @@ let error_code_to_string = function
   | Unknown_machine -> "unknown_machine"
   | Oversized -> "oversized"
   | Deadline_exceeded -> "deadline_exceeded"
+  | Overloaded -> "overloaded"
   | Internal -> "internal"
 
 let kind_label = function
@@ -411,7 +413,7 @@ let ok_response result =
          ("result", result);
        ])
 
-let error_response code message =
+let error_response ?retry_after_ms code message =
   Json.to_string
     (Json.Obj
        [
@@ -419,8 +421,12 @@ let error_response code message =
          ("ok", Json.Bool false);
          ( "error",
            Json.Obj
-             [
-               ("code", Json.String (error_code_to_string code));
-               ("message", Json.String message);
-             ] );
+             ([
+                ("code", Json.String (error_code_to_string code));
+                ("message", Json.String message);
+              ]
+             @
+             match retry_after_ms with
+             | Some ms -> [ ("retry_after_ms", Json.Float ms) ]
+             | None -> []) );
        ])

@@ -32,7 +32,9 @@
     (or continue fanning out) work past the deadline.
 
     Responses are [{"v":1,"ok":true,"result":...}] or
-    [{"v":1,"ok":false,"error":{"code":C,"message":M}}].
+    [{"v":1,"ok":false,"error":{"code":C,"message":M}}].  An
+    [overloaded] error additionally carries ["retry_after_ms"], the
+    server's backoff hint for the retrying client.
 
     {2 Compatibility rules}
 
@@ -102,6 +104,12 @@ type error_code =
   | Unknown_machine
   | Oversized
   | Deadline_exceeded
+  | Overloaded
+      (** transient: the work queue is full (admission control) or a
+          fault-injection layer simulated saturation.  The error object
+          carries a ["retry_after_ms"] hint; retrying after a backoff
+          is expected to succeed.  Every other code is terminal for
+          the request as written. *)
   | Internal
 
 val error_code_to_string : error_code -> string
@@ -134,4 +142,7 @@ val resolve_machine :
   query -> (Machine.t, error_code * string) result
 
 val ok_response : Json.t -> string
-val error_response : error_code -> string -> string
+
+(** [retry_after_ms] adds the client backoff hint — meaningful only
+    with {!Overloaded}. *)
+val error_response : ?retry_after_ms:float -> error_code -> string -> string

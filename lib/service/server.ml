@@ -1,8 +1,13 @@
+module Span = Skope_telemetry.Span
+
 type config = {
   host : string;
   port : int;
   pool : int;
   queue_capacity : int;
+  read_timeout_s : float;
+  write_timeout_s : float;
+  faults : Faults.t option;
   dispatch : Dispatch.config;
 }
 
@@ -12,6 +17,9 @@ let default_config =
     port = 7777;
     pool = max 2 (Domain.recommended_domain_count () - 1);
     queue_capacity = 128;
+    read_timeout_s = 10.;
+    write_timeout_s = 10.;
+    faults = None;
     dispatch = Dispatch.default_config;
   }
 
@@ -48,34 +56,103 @@ let read_line fd ~limit =
   in
   go ()
 
-let handle_connection dispatch fd accepted_at =
+(* The backoff hint sent with every shed or fault-injected overloaded
+   response: roughly how long one queue slot takes to free up, scaled
+   by how full the queue is.  Clamped so a misconfigured server never
+   tells clients to hammer it or to go away for minutes. *)
+let retry_after_ms ~queue_depth ~pool =
+  let per_slot_ms = 25. in
+  let slots_ahead = float_of_int (max 1 queue_depth) /. float_of_int (max 1 pool) in
+  Float.max 25. (Float.min 1000. (per_slot_ms *. slots_ahead))
+
+let overloaded_response ~queue ~pool message =
+  Protocol.error_response
+    ~retry_after_ms:(retry_after_ms ~queue_depth:(Workqueue.length queue) ~pool)
+    Protocol.Overloaded message
+
+let count_fault () = Span.count "faults_injected" 1.
+
+let handle_connection config dispatch queue fd accepted_at =
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
       try
-        (* A dead or stalled client must not pin a worker forever. *)
-        Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.;
-        Unix.setsockopt_float fd Unix.SO_SNDTIMEO 10.;
-        let body =
-          read_line fd ~limit:dispatch.Dispatch.config.max_request_bytes
+        (* A dead or stalled client must not pin a worker forever:
+           every read/write on this socket carries its own deadline
+           (slow-loris stalls surface as EAGAIN below). *)
+        Unix.setsockopt_float fd Unix.SO_RCVTIMEO config.read_timeout_s;
+        Unix.setsockopt_float fd Unix.SO_SNDTIMEO config.write_timeout_s;
+        let decision =
+          match config.faults with
+          | Some faults -> Faults.decide faults
+          | None -> Faults.clean
         in
-        let response = Dispatch.handle ~received_at:accepted_at dispatch body in
-        let line = Bytes.of_string (response ^ "\n") in
-        write_all fd line 0 (Bytes.length line)
-      with Unix.Unix_error _ -> ())
+        if decision.Faults.d_drop then count_fault ()
+          (* connection silently closed by [finally] — the client sees
+             an unexpected EOF and retries *)
+        else begin
+          let body =
+            read_line fd ~limit:dispatch.Dispatch.config.max_request_bytes
+          in
+          let response =
+            if decision.Faults.d_overload then begin
+              count_fault ();
+              overloaded_response ~queue ~pool:config.pool
+                "injected transient overload (fault injection)"
+            end
+            else Dispatch.handle ~received_at:accepted_at dispatch body
+          in
+          (match decision.Faults.d_delay_ms with
+          | Some ms ->
+            count_fault ();
+            Thread.delay (ms /. 1e3)
+          | None -> ());
+          let line = Bytes.of_string (response ^ "\n") in
+          if decision.Faults.d_truncate then begin
+            count_fault ();
+            (* Half the payload, no newline: the client must detect
+               the torn frame rather than parse garbage. *)
+            write_all fd line 0 (Bytes.length line / 2)
+          end
+          else write_all fd line 0 (Bytes.length line)
+        end
+      with
+      | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _)
+        ->
+        Span.count "connections_timed_out" 1.
+      | Unix.Unix_error _ -> ())
 
-let worker dispatch queue =
+let worker config dispatch queue =
   let rec loop () =
     match Workqueue.pop queue with
     | Quit -> ()
     | Conn (fd, accepted_at) ->
-      handle_connection dispatch fd accepted_at;
+      handle_connection config dispatch queue fd accepted_at;
       loop ()
   in
   loop ()
 
-let run ?on_ready config =
-  let stop = Atomic.make false in
+(* Admission control: a full queue answers immediately with a
+   structured overloaded error instead of blocking the accept loop
+   (which would let the kernel backlog and client timeouts absorb the
+   overload invisibly).  The response is a few hundred bytes into a
+   fresh socket buffer, so the write cannot stall the accept loop. *)
+let shed config queue fd =
+  Span.count "requests_shed" 1.;
+  (try
+     Unix.setsockopt_float fd Unix.SO_SNDTIMEO 1.;
+     let response =
+       overloaded_response ~queue ~pool:config.pool
+         "work queue is full; retry after the hinted backoff"
+       ^ "\n"
+     in
+     let line = Bytes.of_string response in
+     write_all fd line 0 (Bytes.length line)
+   with Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let run ?stop ?on_ready config =
+  let stop = match stop with Some s -> s | None -> Atomic.make false in
   let request_stop _ = Atomic.set stop true in
   let prev_int = Sys.signal Sys.sigint (Sys.Signal_handle request_stop) in
   let prev_term = Sys.signal Sys.sigterm (Sys.Signal_handle request_stop) in
@@ -109,10 +186,16 @@ let run ?on_ready config =
   | None ->
     Fmt.pr "skoped listening on %s:%d (%d workers, cache %d)@." config.host
       port config.pool dispatch.Dispatch.config.cache_capacity;
+    (match config.faults with
+    | Some f ->
+      Fmt.pr "skoped fault injection armed: %s@."
+        (Faults.spec_to_string (Faults.spec f))
+    | None -> ());
     (* Scripts wait for this line before issuing queries. *)
     Format.pp_print_flush Format.std_formatter ());
   let workers =
-    List.init config.pool (fun _ -> Domain.spawn (fun () -> worker dispatch queue))
+    List.init config.pool (fun _ ->
+        Domain.spawn (fun () -> worker config dispatch queue))
   in
   let rec accept_loop () =
     if not (Atomic.get stop) then begin
@@ -120,15 +203,18 @@ let run ?on_ready config =
       | [], _, _ -> ()
       | _ :: _, _, _ -> (
         match Unix.accept sock with
-        | fd, _ -> Workqueue.push queue (Conn (fd, Unix.gettimeofday ()))
+        | fd, _ ->
+          if not (Workqueue.try_push queue (Conn (fd, Unix.gettimeofday ())))
+          then shed config queue fd
         | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> ())
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
       accept_loop ()
     end
   in
   accept_loop ();
-  (* Graceful shutdown: no new connections; queued requests drain,
-     then each worker sees one Quit and exits. *)
+  (* Graceful shutdown: no new connections; queued requests drain in
+     FIFO order, then each worker sees one Quit and exits — in-flight
+     work always finishes before the process does. *)
   List.iter (fun _ -> Workqueue.push queue Quit) workers;
   List.iter Domain.join workers;
   let v = Metrics.view dispatch.Dispatch.metrics in

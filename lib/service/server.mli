@@ -2,22 +2,42 @@
 
     One accept loop feeds a bounded {!Workqueue} drained by a fixed
     pool of OCaml 5 [Domain] workers; each worker reads one
-    newline-terminated JSON request from its connection, runs it
-    through {!Dispatch} (shared cache + metrics), writes the response
-    line and closes.  SIGINT/SIGTERM stop the accept loop, drain the
-    queue, join every worker and print a final stats line. *)
+    newline-terminated JSON request from its connection, writes the
+    response line and closes.
+
+    Reliability posture:
+    - {b Admission control}: when the work queue is full, the accept
+      loop does not block or let the kernel backlog absorb the load —
+      it immediately writes a structured [overloaded] error (with a
+      [retry_after_ms] hint derived from queue depth) and closes,
+      bumping the [requests_shed] counter.
+    - {b Per-connection deadlines}: every worker socket carries
+      [SO_RCVTIMEO]/[SO_SNDTIMEO] from the config, so a stalled client
+      costs one deadline, not a worker; expiries bump
+      [connections_timed_out].
+    - {b Graceful shutdown}: SIGINT/SIGTERM (or the [stop] flag) stop
+      the accept loop; queued requests drain, workers join, and only
+      then does [run] return.
+    - {b Fault injection}: an optional {!Faults.t} perturbs
+      connections (drop / delay / truncate / injected overload) for
+      testing client resilience; every injection bumps
+      [faults_injected]. *)
 
 type config = {
   host : string;
   port : int;  (** 0 picks an ephemeral port *)
   pool : int;  (** worker domains *)
   queue_capacity : int;
+  read_timeout_s : float;  (** per-connection [SO_RCVTIMEO] *)
+  write_timeout_s : float;  (** per-connection [SO_SNDTIMEO] *)
+  faults : Faults.t option;  (** [None] in production *)
   dispatch : Dispatch.config;
 }
 
 val default_config : config
 
-(** Serve until SIGINT/SIGTERM.  [on_ready] (default: prints a
-    "listening" line) receives the bound port — useful with
-    [port = 0]. *)
-val run : ?on_ready:(int -> unit) -> config -> unit
+(** Serve until SIGINT/SIGTERM, or until [stop] (checked a few times a
+    second) becomes [true] — the embedding hook for in-process tests.
+    [on_ready] (default: prints a "listening" line) receives the bound
+    port — useful with [port = 0]. *)
+val run : ?stop:bool Atomic.t -> ?on_ready:(int -> unit) -> config -> unit

@@ -152,3 +152,38 @@ let to_json ?timeout_ms request =
   Json.Obj (base @ fields)
 
 let to_body ?timeout_ms request = Json.to_string (to_json ?timeout_ms request)
+
+(* --- response decoding ---------------------------------------------- *)
+
+type response = {
+  r_v : int option;
+  r_ok : bool;
+  r_result : Json.t option;
+  r_error_code : string option;
+  r_error_message : string option;
+  r_retry_after_ms : float option;
+}
+
+let parse_response body =
+  match Json.of_string body with
+  | Error e -> Error (Printf.sprintf "response is not JSON: %s" e)
+  | Ok json -> (
+    match json with
+    | Json.Obj _ ->
+      let error = Json.member "error" json in
+      let str key =
+        Option.bind (Option.bind error (Json.member key)) Json.to_string_opt
+      in
+      Ok
+        {
+          r_v = Option.bind (Json.member "v" json) Json.to_int_opt;
+          r_ok = Json.member "ok" json = Some (Json.Bool true);
+          r_result = Json.member "result" json;
+          r_error_code = str "code";
+          r_error_message = str "message";
+          r_retry_after_ms =
+            Option.bind
+              (Option.bind error (Json.member "retry_after_ms"))
+              Json.to_float_opt;
+        }
+    | _ -> Error "response is not a JSON object")

@@ -90,3 +90,20 @@ val to_json : ?timeout_ms:float -> request -> Json.t
 
 (** The request as a one-line body ready for {!Client.roundtrip}. *)
 val to_body : ?timeout_ms:float -> request -> string
+
+(** A decoded response envelope: the protocol version stamp, the
+    [ok] verdict, and either the result or the error triple.  The
+    client's retry loop uses this to recognize transient [overloaded]
+    errors and their [retry_after_ms] backoff hint. *)
+type response = {
+  r_v : int option;  (** the ["v"] protocol stamp *)
+  r_ok : bool;
+  r_result : Json.t option;
+  r_error_code : string option;  (** e.g. ["overloaded"] *)
+  r_error_message : string option;
+  r_retry_after_ms : float option;  (** overloaded backoff hint *)
+}
+
+(** Decode one response line.  [Error] means the body was not a JSON
+    object at all (a truncated or foreign payload). *)
+val parse_response : string -> (response, string) result

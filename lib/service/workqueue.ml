@@ -49,3 +49,5 @@ let length t =
   let n = Queue.length t.items in
   Mutex.unlock t.lock;
   n
+
+let capacity t = t.capacity

@@ -16,3 +16,4 @@ val try_push : 'a t -> 'a -> bool
 val pop : 'a t -> 'a
 
 val length : 'a t -> int
+val capacity : 'a t -> int

@@ -1,18 +1,54 @@
 #!/usr/bin/env bash
 # Pre-PR smoke check for the skoped service layer: build, start the
-# server on a random port, run a client query against every registered
-# workload (plus the catalogs, a sweep, and a small load burst), check
-# exit codes, and shut the server down with SIGINT.
-set -u
+# server on an ephemeral port, run a client query against every
+# registered workload (plus the catalogs, a sweep, and a small load
+# burst), then exercise the reliability layer end to end: structured
+# errors against a dead port, retries riding through injected
+# connection drops, client deadlines against a stalled server, and
+# load shedding on a saturated queue.  All servers are torn down by an
+# EXIT trap, pass or fail.
+set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 fail() { echo "smoke: FAIL: $*" >&2; exit 1; }
 
+# --- teardown ---------------------------------------------------------
+
+SERVER_PIDS=()
+TEMP_FILES=()
+
+cleanup() {
+    local pid
+    for pid in ${SERVER_PIDS[@]+"${SERVER_PIDS[@]}"}; do
+        kill -INT "$pid" 2>/dev/null || true
+    done
+    for pid in ${SERVER_PIDS[@]+"${SERVER_PIDS[@]}"}; do
+        for _ in $(seq 1 50); do
+            kill -0 "$pid" 2>/dev/null || break
+            sleep 0.1
+        done
+        kill -9 "$pid" 2>/dev/null || true
+    done
+    rm -f ${TEMP_FILES[@]+"${TEMP_FILES[@]}"}
+}
+trap cleanup EXIT
+
+mktmp() {
+    local f
+    f=$(mktemp "/tmp/skoped-smoke.XXXXXX$1")
+    TEMP_FILES+=("$f")
+    echo "$f"
+}
+
+# --- build ------------------------------------------------------------
+
 echo "smoke: building..."
 dune build bin test || fail "dune build"
 
 SKOPE=_build/default/bin/skope.exe
+
+# --- offline checks ---------------------------------------------------
 
 echo "smoke: lint gate (all bundled workloads + examples, deny warnings)"
 "$SKOPE" lint --workloads --deny warnings >/dev/null \
@@ -23,57 +59,85 @@ echo "smoke: lint gate (all bundled workloads + examples, deny warnings)"
     --deny warnings >/dev/null || fail "nbody.skope does not lint clean"
 
 echo "smoke: lint failure path exits nonzero with structured output"
-BROKEN=$(mktemp /tmp/skoped-smoke.XXXXXX.skope)
+BROKEN=$(mktmp .skope)
 printf 'program broken\ndef main()\n{\n  let z = 2 - 2\n  comp flops=1/z\n}\n' \
     >"$BROKEN"
 if "$SKOPE" lint "$BROKEN" >/dev/null 2>&1; then
-    rm -f "$BROKEN"
     fail "lint accepted a division by zero"
 fi
-"$SKOPE" lint "$BROKEN" --format json 2>/dev/null \
-    | grep -q '"code":"L002"' || { rm -f "$BROKEN"; fail "lint json missing L002"; }
-rm -f "$BROKEN"
+("$SKOPE" lint "$BROKEN" --format json 2>/dev/null || true) \
+    | grep -q '"code":"L002"' || fail "lint json missing L002"
 
 echo "smoke: version"
 "$SKOPE" --version | grep -q '^1\.' || fail "skope --version"
 
 echo "smoke: traced analyze produces a loadable Chrome trace"
-TRACE=$(mktemp /tmp/skoped-smoke.XXXXXX.trace.json)
+TRACE=$(mktmp .trace.json)
 "$SKOPE" analyze -w sord --trace "$TRACE" >/dev/null 2>&1 \
-    || { rm -f "$TRACE"; fail "traced analyze"; }
-"$SKOPE" json-check "$TRACE" >/dev/null \
-    || { rm -f "$TRACE"; fail "trace is not valid JSON"; }
-grep -q '"ph":"X"' "$TRACE" || { rm -f "$TRACE"; fail "trace has no complete events"; }
-grep -q '"name":"bet_build"' "$TRACE" \
-    || { rm -f "$TRACE"; fail "trace missing bet_build span"; }
-rm -f "$TRACE"
+    || fail "traced analyze"
+"$SKOPE" json-check "$TRACE" >/dev/null || fail "trace is not valid JSON"
+grep -q '"ph":"X"' "$TRACE" || fail "trace has no complete events"
+grep -q '"name":"bet_build"' "$TRACE" || fail "trace missing bet_build span"
 
 echo "smoke: explore (multi-axis grid, text + ndjson)"
-"$SKOPE" explore -w sord -m bgq --axis bw=7,14 --axis freq=0.8,1.6 \
-    | grep -q 'pareto' || fail "explore text"
+# Capture instead of piping into grep -q: with pipefail, grep's early
+# exit would SIGPIPE the producer and fail the gate spuriously.
+EXPLORE=$("$SKOPE" explore -w sord -m bgq --axis bw=7,14 --axis freq=0.8,1.6) \
+    || fail "explore"
+echo "$EXPLORE" | grep -q 'pareto' || fail "explore text"
 NDJSON=$("$SKOPE" explore -w sord -m bgq --axis bw=7,14 --axis freq=0.8,1.6 \
     --format ndjson) || fail "explore ndjson"
 echo "$NDJSON" | grep -q '"tag":"bw=7.0,freq=0.8"' \
     || fail "explore ndjson missing grid point"
 echo "$NDJSON" | grep -q '"pareto"' || fail "explore ndjson missing summary"
 
-PORT=$(( (RANDOM % 20000) + 20000 ))
-LOG=$(mktemp /tmp/skoped-smoke.XXXXXX.log)
+# --- server lifecycle -------------------------------------------------
 
-echo "smoke: starting skoped on port $PORT"
-"$SKOPE" serve --port "$PORT" >"$LOG" 2>&1 &
-SERVER_PID=$!
-trap 'kill -9 $SERVER_PID 2>/dev/null; rm -f "$LOG"' EXIT
+# start_server LOGFILE [serve flags...] -> SERVER_PID, SERVER_PORT.
+# Binds port 0 (the kernel hands out a free port, so there is nothing
+# to race) and parses the bound port from the listening line; retries
+# a couple of times anyway in case the server dies on startup.
+start_server() {
+    local log=$1; shift
+    local attempt
+    for attempt in 1 2 3; do
+        : >"$log"
+        "$SKOPE" serve --port 0 "$@" >"$log" 2>&1 &
+        SERVER_PID=$!
+        SERVER_PIDS+=("$SERVER_PID")
+        for _ in $(seq 1 50); do
+            grep -q "listening" "$log" 2>/dev/null && break
+            kill -0 "$SERVER_PID" 2>/dev/null || break
+            sleep 0.1
+        done
+        SERVER_PORT=$(sed -n 's/.*listening on [^:]*:\([0-9]*\).*/\1/p' "$log")
+        if [ -n "$SERVER_PORT" ]; then
+            return 0
+        fi
+        echo "smoke: server start attempt $attempt failed; retrying" >&2
+        kill -9 "$SERVER_PID" 2>/dev/null || true
+    done
+    cat "$log" >&2
+    fail "server never became ready"
+}
 
-# Wait for the listening line.
-for _ in $(seq 1 50); do
-    grep -q "listening" "$LOG" 2>/dev/null && break
-    kill -0 "$SERVER_PID" 2>/dev/null || { cat "$LOG" >&2; fail "server died on startup"; }
-    sleep 0.1
-done
-grep -q "listening" "$LOG" || fail "server never became ready"
+# stop_server PID: graceful SIGINT shutdown, bounded wait.
+stop_server() {
+    local pid=$1
+    kill -INT "$pid" || fail "server $pid already gone"
+    for _ in $(seq 1 50); do
+        kill -0 "$pid" 2>/dev/null || return 0
+        sleep 0.1
+    done
+    fail "server $pid did not exit on SIGINT"
+}
 
-q() { "$SKOPE" query --port "$PORT" "$@"; }
+LOG=$(mktmp .log)
+start_server "$LOG"
+MAIN_PID=$SERVER_PID
+echo "smoke: skoped up on port $SERVER_PORT"
+
+q() { "$SKOPE" query --port "$SERVER_PORT" "$@"; }
 
 echo "smoke: catalogs"
 q --kind workloads >/dev/null || fail "workloads request"
@@ -97,8 +161,9 @@ q --kind sweep -w sord -m bgq --axis bw --values 7,14,28,56 >/dev/null \
     || fail "re-sweep"
 
 echo "smoke: explore request (grid + cache-warm repeat)"
-q --kind explore -w sord -m bgq --axes bw=7,14 --axes freq=0.8,1.6 \
-    | grep -q '"pareto"' || fail "explore request"
+EXPLORE=$(q --kind explore -w sord -m bgq --axes bw=7,14 --axes freq=0.8,1.6) \
+    || fail "explore request"
+echo "$EXPLORE" | grep -q '"pareto"' || fail "explore request result"
 q --kind explore -w sord -m bgq --axes bw=7,14 --axes freq=0.8,1.6 \
     >/dev/null || fail "explore repeat"
 
@@ -114,21 +179,24 @@ q --body '{"kind":"lint","source":"skeleton p { fn main() { flops(1); } }"}' \
     >/dev/null || fail "lint source request"
 
 echo "smoke: error paths return structured errors (and nonzero exit)"
-q -w no-such-workload >/dev/null 2>&1 && fail "unknown workload accepted"
-q --body 'not json'   >/dev/null 2>&1 && fail "malformed body accepted"
+if q -w no-such-workload >/dev/null 2>&1; then fail "unknown workload accepted"; fi
+if q --body 'not json' >/dev/null 2>&1; then fail "malformed body accepted"; fi
 
 echo "smoke: load burst"
 q -w srad -m bgq --repeat 200 --concurrency 4 || fail "load burst"
 
-q --kind stats | grep -q '"cache_hits"' || fail "stats request"
-q --stats | grep -q 'Per-phase latency' || fail "stats table"
+STATS=$(q --kind stats) || fail "stats request"
+echo "$STATS" | grep -q '"cache_hits"' || fail "stats missing cache_hits"
+echo "$STATS" | grep -q '"counters"'   || fail "stats missing counters object"
+STATS=$(q --stats) || fail "stats table request"
+echo "$STATS" | grep -q 'Per-phase latency' || fail "stats table"
 
 echo "smoke: version request"
 q --kind version | grep -q '"version"' || fail "version request"
 
 echo "smoke: Prometheus exposition"
-PROM=$(mktemp /tmp/skoped-smoke.XXXXXX.prom)
-q --kind metrics_prom >"$PROM" || { rm -f "$PROM"; fail "metrics_prom request"; }
+PROM=$(mktmp .prom)
+q --kind metrics_prom >"$PROM" || fail "metrics_prom request"
 for family in \
     'skope_requests_total{' \
     'skope_request_latency_seconds_bucket{le="+Inf"}' \
@@ -141,19 +209,93 @@ for family in \
     'skope_queue_depth' \
     'skope_build_info{'
 do
-    grep -qF "$family" "$PROM" \
-        || { rm -f "$PROM"; fail "exposition missing $family"; }
+    grep -qF "$family" "$PROM" || fail "exposition missing $family"
 done
-rm -f "$PROM"
 
-echo "smoke: shutting down (SIGINT)"
-kill -INT "$SERVER_PID" || fail "server already gone"
-for _ in $(seq 1 50); do
-    kill -0 "$SERVER_PID" 2>/dev/null || break
-    sleep 0.1
-done
-kill -0 "$SERVER_PID" 2>/dev/null && fail "server did not exit on SIGINT"
-trap 'rm -f "$LOG"' EXIT
-
+echo "smoke: shutting down main server (SIGINT)"
+stop_server "$MAIN_PID"
 grep -q "bye" "$LOG" || fail "missing shutdown stats line"
+
+# --- reliability gates ------------------------------------------------
+
+echo "smoke: dead port yields a structured refused error"
+# The just-stopped server's port is free again: nothing is listening.
+ERR=$(mktmp .err)
+if "$SKOPE" query --port "$SERVER_PORT" --kind version --retries 0 \
+    >/dev/null 2>"$ERR"; then
+    fail "query against a dead port succeeded"
+fi
+grep -q 'refused' "$ERR" || { cat "$ERR" >&2; fail "dead-port error not structured (want 'refused')"; }
+
+echo "smoke: 30% connection drops, fixed seed: 50 requests all recover via retries"
+DROP_LOG=$(mktmp .log)
+start_server "$DROP_LOG" --fault-inject drop=0.3 --fault-seed 7
+DROP_PID=$SERVER_PID
+DROP_PORT=$SERVER_PORT
+REPORT=$("$SKOPE" query --port "$DROP_PORT" --kind version \
+    --repeat 50 --concurrency 2 --retries 8 --retry-base-ms 5 --retry-max-ms 40) \
+    || { echo "$REPORT" >&2; fail "load under 30% drops did not fully recover"; }
+echo "$REPORT"
+echo "$REPORT" | grep -q '(0 failed' || fail "drop run reported failures"
+echo "$REPORT" | grep -Eq '[1-9][0-9]* retries' \
+    || fail "drop run reported no retries (faults not injected?)"
+STATS=$("$SKOPE" query --port "$DROP_PORT" --kind stats) \
+    || fail "drop-server stats request"
+echo "$STATS" | grep -q '"faults_injected"' \
+    || fail "stats missing faults_injected counter"
+stop_server "$DROP_PID"
+
+echo "smoke: stalled server trips the client read deadline"
+SLOW_LOG=$(mktmp .log)
+start_server "$SLOW_LOG" --pool 1 --queue 1 \
+    --fault-inject delay_p=1,delay_ms=800 --fault-seed 1
+SLOW_PID=$SERVER_PID
+SLOW_PORT=$SERVER_PORT
+if "$SKOPE" query --port "$SLOW_PORT" --kind version \
+    --retries 0 --io-timeout-ms 200 >/dev/null 2>"$ERR"; then
+    fail "query against a stalled server succeeded"
+fi
+grep -q 'timeout' "$ERR" || { cat "$ERR" >&2; fail "stall error not structured (want 'timeout')"; }
+sleep 1  # let the delayed response drain so the worker is idle again
+
+echo "smoke: saturated queue sheds with a structured overloaded error, fast"
+# Worker pinned for 800 ms by one request, queue slot held by a
+# second: the third must be shed from the accept loop immediately.
+shed_once() {
+    "$SKOPE" query --port "$SLOW_PORT" --kind version --retries 0 \
+        >/dev/null 2>&1 &
+    BG1=$!
+    sleep 0.2
+    "$SKOPE" query --port "$SLOW_PORT" --kind version --retries 0 \
+        >/dev/null 2>&1 &
+    BG2=$!
+    sleep 0.2
+    local t0 t1 status=0
+    t0=$(date +%s%N)
+    "$SKOPE" query --port "$SLOW_PORT" --kind version --retries 0 \
+        >/dev/null 2>"$ERR" || status=$?
+    t1=$(date +%s%N)
+    SHED_MS=$(( (t1 - t0) / 1000000 ))
+    wait "$BG1" "$BG2" 2>/dev/null || true
+    [ "$status" -ne 0 ] && grep -q 'overloaded' "$ERR"
+}
+# Timing gate with a couple of attempts so a cold page cache or a busy
+# CI host cannot flake the run; the sub-100ms bound must hold once.
+SHED_OK=0
+for attempt in 1 2 3; do
+    if shed_once && [ "$SHED_MS" -lt 100 ]; then
+        echo "smoke: shed response in ${SHED_MS} ms"
+        SHED_OK=1
+        break
+    fi
+    echo "smoke: shed attempt $attempt: ${SHED_MS:-?} ms; retrying" >&2
+    sleep 1
+done
+[ "$SHED_OK" -eq 1 ] || fail "saturated queue did not shed in under 100 ms"
+STATS=$("$SKOPE" query --port "$SLOW_PORT" --kind stats --retries 6) \
+    || fail "slow-server stats request"
+echo "$STATS" | grep -q '"requests_shed"' \
+    || fail "stats missing requests_shed counter"
+stop_server "$SLOW_PID"
+
 echo "smoke: OK"

@@ -459,6 +459,267 @@ let test_workqueue_threads () =
   Alcotest.(check (list int)) "all values in order" (List.init n (fun i -> i + 1))
     (List.rev !received)
 
+(* --- reliability: faults, backoff, and real sockets ---------------- *)
+
+module Faults = Service.Faults
+module Client = Service.Client
+module Server = Service.Server
+
+let test_faults_spec () =
+  (match Faults.spec_of_string "drop=0.3,delay_p=0.2,delay_ms=50,overload=0.1" with
+  | Error e -> Alcotest.failf "spec rejected: %s" e
+  | Ok s ->
+    Alcotest.(check (float 1e-9)) "drop" 0.3 s.Faults.drop;
+    Alcotest.(check (float 1e-9)) "overload" 0.1 s.Faults.overload;
+    Alcotest.(check (float 1e-9)) "truncate" 0. s.Faults.truncate;
+    Alcotest.(check (float 1e-9)) "delay_p" 0.2 s.Faults.delay_p;
+    Alcotest.(check (float 1e-9)) "delay_ms" 50. s.Faults.delay_ms);
+  let rejected spec =
+    match Faults.spec_of_string spec with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "spec %S unexpectedly accepted" spec
+  in
+  rejected "drop=1.5";
+  rejected "drop=-0.1";
+  rejected "drop=abc";
+  rejected "unknown_key=0.5";
+  rejected "delay_ms=-5";
+  (* round trip through the printer *)
+  let s = { Faults.drop = 0.25; overload = 0.; truncate = 0.5; delay_p = 1.;
+            delay_ms = 10. } in
+  Alcotest.(check bool) "spec_to_string round trips" true
+    (Faults.spec_of_string (Faults.spec_to_string s) = Ok s)
+
+let test_faults_determinism () =
+  let spec =
+    { Faults.drop = 0.3; overload = 0.2; truncate = 0.1; delay_p = 0.5;
+      delay_ms = 10. }
+  in
+  let stream seed =
+    let t = Faults.create ~seed spec in
+    List.init 200 (fun _ -> Faults.decide t)
+  in
+  Alcotest.(check bool) "same seed, same stream" true
+    (stream 42 = stream 42);
+  Alcotest.(check bool) "different seed, different stream" true
+    (stream 42 <> stream 43);
+  (* the stream actually exercises every enabled class *)
+  let ds = stream 42 in
+  Alcotest.(check bool) "some drops" true
+    (List.exists (fun d -> d.Faults.d_drop) ds);
+  Alcotest.(check bool) "some clean" true
+    (List.exists (fun d -> Faults.injected d = 0) ds)
+
+let test_backoff_deterministic () =
+  let retry = { Client.default_retry with base_ms = 100.; max_ms = 1000. } in
+  for k = 0 to 9 do
+    Alcotest.(check (float 1e-9))
+      (Printf.sprintf "retry %d reproducible" k)
+      (Client.backoff_ms retry k) (Client.backoff_ms retry k);
+    let step = Float.min retry.Client.max_ms (100. *. (2. ** float_of_int k)) in
+    let b = Client.backoff_ms retry k in
+    Alcotest.(check bool)
+      (Printf.sprintf "retry %d within [step/2, step]" k)
+      true
+      (b >= (step /. 2.) -. 1e-9 && b <= step +. 1e-9)
+  done;
+  (* the cap is a hard ceiling even far down the schedule *)
+  Alcotest.(check bool) "capped" true (Client.backoff_ms retry 40 <= 1000.);
+  (* different seeds decorrelate the jitter *)
+  Alcotest.(check bool) "seed changes jitter" true
+    (Client.backoff_ms retry 0
+    <> Client.backoff_ms { retry with seed = retry.Client.seed + 1 } 0)
+
+let test_parse_overloaded_response () =
+  let body =
+    Service.Protocol.error_response ~retry_after_ms:75.
+      Service.Protocol.Overloaded "queue full"
+  in
+  match Service.Service_api.parse_response body with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok r ->
+    Alcotest.(check bool) "not ok" false r.Service.Service_api.r_ok;
+    Alcotest.(check (option string)) "code" (Some "overloaded")
+      r.Service.Service_api.r_error_code;
+    Alcotest.(check (option (float 1e-9))) "hint" (Some 75.)
+      r.Service.Service_api.r_retry_after_ms
+
+(* Run a real server on an ephemeral port for the duration of [f].
+   The [stop] flag (not a signal) ends the accept loop so the server
+   drains and joins deterministically inside the test process. *)
+let with_server ?faults ?(pool = 2) ?(queue = 8) f =
+  let stop = Atomic.make false in
+  let port = ref 0 in
+  let config =
+    {
+      Server.default_config with
+      port = 0;
+      pool;
+      queue_capacity = queue;
+      faults;
+      dispatch =
+        { Service.Dispatch.default_config with cache_capacity = 64 };
+    }
+  in
+  let server =
+    Thread.create
+      (fun () -> Server.run ~stop ~on_ready:(fun p -> port := p) config)
+      ()
+  in
+  let deadline = Unix.gettimeofday () +. 5. in
+  while !port = 0 && Unix.gettimeofday () < deadline do
+    Thread.delay 0.01
+  done;
+  if !port = 0 then Alcotest.fail "server did not come up";
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Thread.join server)
+    (fun () -> f !port)
+
+let version_body = Service.Service_api.to_body Service.Service_api.Version
+
+let test_server_roundtrip_and_drain () =
+  (* In-flight requests finish during graceful shutdown: start a
+     delayed request, stop the server while it is being served, and
+     the response must still arrive complete. *)
+  let faults =
+    Faults.create ~seed:1
+      { Faults.no_faults with delay_p = 1.; delay_ms = 300. }
+  in
+  let result = ref (Error (Client.Protocol "never ran")) in
+  with_server ~faults ~pool:1 (fun port ->
+      let t =
+        Thread.create
+          (fun () ->
+            result := Client.roundtrip ~host:"127.0.0.1" ~port version_body)
+          ()
+      in
+      Thread.delay 0.1;
+      (* exiting [with_server] now sets [stop] while the request is
+         still sleeping in the worker *)
+      ignore t);
+  (* server has joined: the delayed request must have completed *)
+  Thread.delay 0.1;
+  match !result with
+  | Ok response ->
+    Alcotest.(check bool) "response is ok:true" true
+      (match Json.of_string response with
+      | Ok r -> Json.member "ok" r = Some (Json.Bool true)
+      | Error _ -> false)
+  | Error e -> Alcotest.failf "drained request failed: %a" Client.pp_error e
+
+let test_server_sheds_when_saturated () =
+  (* pool=1, queue=1, every response delayed 400 ms: one request pins
+     the worker, one fills the queue, and the third must come back as
+     a structured overloaded error immediately — not after a delay. *)
+  let faults =
+    Faults.create ~seed:1
+      { Faults.no_faults with delay_p = 1.; delay_ms = 400. }
+  in
+  with_server ~faults ~pool:1 ~queue:1 (fun port ->
+      let fire () =
+        Thread.create
+          (fun () ->
+            ignore (Client.roundtrip ~host:"127.0.0.1" ~port version_body))
+          ()
+      in
+      let a = fire () in
+      Thread.delay 0.1;
+      let b = fire () in
+      Thread.delay 0.1;
+      let t0 = Unix.gettimeofday () in
+      (match
+         Client.request ~retry:Client.no_retry ~host:"127.0.0.1" ~port
+           version_body
+       with
+      | Error (Client.Overloaded { retry_after_ms; _ }) ->
+        Alcotest.(check bool) "shed response is immediate" true
+          (Unix.gettimeofday () -. t0 < 0.1);
+        Alcotest.(check bool) "carries a retry hint" true
+          (retry_after_ms <> None)
+      | Error e -> Alcotest.failf "expected overloaded, got %a" Client.pp_error e
+      | Ok _ -> Alcotest.fail "expected overloaded, got a response");
+      Thread.join a;
+      Thread.join b)
+
+let test_client_times_out_on_slow_server () =
+  let faults =
+    Faults.create ~seed:1
+      { Faults.no_faults with delay_p = 1.; delay_ms = 1500. }
+  in
+  with_server ~faults ~pool:1 (fun port ->
+      let timeouts =
+        { Client.default_timeouts with read_s = 0.2 }
+      in
+      match
+        Client.request ~timeouts ~retry:Client.no_retry ~host:"127.0.0.1"
+          ~port version_body
+      with
+      | Error (Client.Timeout _) -> ()
+      | Error e -> Alcotest.failf "expected timeout, got %a" Client.pp_error e
+      | Ok _ -> Alcotest.fail "expected timeout, got a response")
+
+let test_client_detects_truncation () =
+  let faults =
+    Faults.create ~seed:1 { Faults.no_faults with truncate = 1. }
+  in
+  with_server ~faults ~pool:1 (fun port ->
+      match
+        Client.request ~retry:Client.no_retry ~host:"127.0.0.1" ~port
+          version_body
+      with
+      | Error (Client.Protocol msg) ->
+        Alcotest.(check bool) "mentions truncation" true
+          (let lower = String.lowercase_ascii msg in
+           String.length lower >= 9 && String.sub lower 0 9 = "truncated")
+      | Error e ->
+        Alcotest.failf "expected protocol error, got %a" Client.pp_error e
+      | Ok _ -> Alcotest.fail "expected protocol error, got a response")
+
+let test_client_refused_is_structured () =
+  (* A freshly bound-then-closed ephemeral port is not listening:
+     connect must come back as a structured Refused, not a timeout or
+     an opaque string. *)
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  let port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> Alcotest.fail "no port"
+  in
+  Unix.close sock;
+  match
+    Client.request ~retry:Client.no_retry ~host:"127.0.0.1" ~port version_body
+  with
+  | Error (Client.Refused _) -> ()
+  | Error e -> Alcotest.failf "expected refused, got %a" Client.pp_error e
+  | Ok _ -> Alcotest.fail "expected refused, got a response"
+
+let test_retries_ride_through_drops () =
+  (* 30% connection drops under a fixed fault seed: every one of 50
+     sequential requests must still succeed through the retry loop,
+     and the drops must actually have forced retries. *)
+  let faults =
+    Faults.create ~seed:7 { Faults.no_faults with drop = 0.3 }
+  in
+  with_server ~faults ~pool:2 (fun port ->
+      let retries = ref 0 in
+      let on_retry _ _ = incr retries in
+      for i = 1 to 50 do
+        let retry =
+          { Client.attempts = 6; base_ms = 5.; max_ms = 20.; seed = i }
+        in
+        match
+          Client.request ~retry ~on_retry ~host:"127.0.0.1" ~port version_body
+        with
+        | Ok _ -> ()
+        | Error e ->
+          Alcotest.failf "request %d failed after retries: %a" i
+            Client.pp_error e
+      done;
+      Alcotest.(check bool) "drops forced retries" true (!retries > 0))
+
 let suite =
   [
     ( "service.json",
@@ -502,5 +763,27 @@ let suite =
         Alcotest.test_case "metrics counters" `Quick test_metrics_counters;
         Alcotest.test_case "workqueue fifo" `Quick test_workqueue_fifo;
         Alcotest.test_case "workqueue threads" `Quick test_workqueue_threads;
+      ] );
+    ( "service.reliability",
+      [
+        Alcotest.test_case "fault spec parsing" `Quick test_faults_spec;
+        Alcotest.test_case "fault stream determinism" `Quick
+          test_faults_determinism;
+        Alcotest.test_case "backoff determinism and cap" `Quick
+          test_backoff_deterministic;
+        Alcotest.test_case "overloaded response decoding" `Quick
+          test_parse_overloaded_response;
+        Alcotest.test_case "drain on shutdown" `Quick
+          test_server_roundtrip_and_drain;
+        Alcotest.test_case "saturated queue sheds" `Quick
+          test_server_sheds_when_saturated;
+        Alcotest.test_case "client timeout" `Quick
+          test_client_times_out_on_slow_server;
+        Alcotest.test_case "truncated response detected" `Quick
+          test_client_detects_truncation;
+        Alcotest.test_case "refused is structured" `Quick
+          test_client_refused_is_structured;
+        Alcotest.test_case "retries ride through drops" `Quick
+          test_retries_ride_through_drops;
       ] );
   ]
