@@ -811,6 +811,135 @@ let explore_section () =
     (if same then "yes" else "NO")
 
 (* ------------------------------------------------------------------ *)
+(* Cluster routing: cache-affinity scaling across shard counts.  The
+   resource sharding multiplies is cache capacity: the working set (24
+   distinct analyze fingerprints, cycled round-robin) overflows one
+   shard's 12-entry LRU — cyclic access against a smaller LRU evicts
+   every entry before its reuse, so every request pays a full BET
+   projection — while 4 shards hold ~6 fingerprints each and serve
+   every repeat from cache.  Requests go through a real router over
+   TCP, so the numbers include routing and transport. *)
+
+let cluster_working_set = 24
+let cluster_cache_capacity = 12
+let cluster_rounds = 4
+
+let cluster_measure shards =
+  let module Local = Skope_cluster.Local in
+  let module C = Skope_service.Client in
+  let module A = Skope_service.Service_api in
+  let module J = Report.Json in
+  let bodies =
+    Array.init cluster_working_set (fun i ->
+        A.to_body
+          (A.analyze
+             ~opts:
+               {
+                 A.default_query_opts with
+                 A.scale = Some (0.2 +. (0.002 *. float_of_int i));
+               }
+             ~workload:"sord" ~machine:"bgq" ()))
+  in
+  let c =
+    Local.start ~shards ~cache_capacity:cluster_cache_capacity ~shard_pool:2
+      ~probe_interval_s:1.0 ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Local.stop c)
+    (fun () ->
+      let port = Local.router_port c in
+      let issue body =
+        match C.request ~host:"127.0.0.1" ~port body with
+        | Ok _ -> ()
+        | Error e -> failwith ("cluster bench: " ^ C.error_message e)
+      in
+      (* Warm round: populate whatever fits each shard's LRU. *)
+      Array.iter issue bodies;
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to cluster_rounds do
+        Array.iter issue bodies
+      done;
+      let dt = Unix.gettimeofday () -. t0 in
+      let rps =
+        float_of_int (cluster_rounds * cluster_working_set) /. dt
+      in
+      (* Cluster-wide cache counters out of cluster_stats: with
+         disjoint per-shard caches every fingerprint is built (missed)
+         on exactly one shard. *)
+      let hits, misses =
+        match C.request ~host:"127.0.0.1" ~port (A.to_body A.Cluster_stats) with
+        | Error e -> failwith ("cluster bench: " ^ C.error_message e)
+        | Ok resp -> (
+          match J.of_string resp with
+          | Error e -> failwith ("cluster bench: " ^ e)
+          | Ok j -> (
+            match
+              Option.bind (J.member "result" j) (J.member "members")
+            with
+            | Some (J.List members) ->
+              List.fold_left
+                (fun (h, m) mem ->
+                  let metric key =
+                    match
+                      Option.bind
+                        (Option.bind (J.member "stats" mem)
+                           (J.member "metrics"))
+                        (J.member key)
+                    with
+                    | Some (J.Int n) -> n
+                    | _ -> 0
+                  in
+                  (h + metric "cache_hits", m + metric "cache_misses"))
+                (0, 0) members
+            | _ -> failwith "cluster bench: cluster_stats has no members"))
+      in
+      (rps, hits, misses))
+
+let cluster_section ?(record = fun _ _ -> ()) () =
+  section "cluster_scaling"
+    (Fmt.str
+       "cluster router: cached throughput vs shard count (working set %d \
+        fingerprints, per-shard LRU capacity %d)"
+       cluster_working_set cluster_cache_capacity)
+  ;
+  let results =
+    List.map (fun shards -> (shards, cluster_measure shards)) [ 1; 2; 4 ]
+  in
+  let rps1, _, _ = List.assoc 1 results in
+  emit_table ~file:"cluster_scaling.csv"
+    (Table.make
+       ~title:
+         (Fmt.str "%d requests per run through the router, after one warm \
+                   round" (cluster_rounds * cluster_working_set))
+       ~headers:[ "shards"; "req/s"; "hits"; "misses"; "vs 1 shard" ]
+       ~aligns:Table.[ Right; Right; Right; Right; Right ]
+       (List.map
+          (fun (shards, (rps, hits, misses)) ->
+            [
+              string_of_int shards;
+              Fmt.str "%.0f" rps;
+              string_of_int hits;
+              string_of_int misses;
+              Fmt.str "%.1fx" (rps /. rps1);
+            ])
+          results));
+  List.iter
+    (fun (shards, (rps, _, _)) ->
+      record (Fmt.str "cluster_cached_rps_%d" shards) rps)
+    results;
+  let rps4, _, misses4 = List.assoc 4 results in
+  record "cluster_scaling_4x_over_1x" (rps4 /. rps1);
+  Fmt.pr "@.4-shard vs 1-shard cached throughput: %.1fx (acceptance: >= 3x)@."
+    (rps4 /. rps1);
+  if rps4 /. rps1 < 3. then
+    Fmt.pr "  WARNING: cluster scaling below the 3x acceptance bar@.";
+  Fmt.pr
+    "4-shard cluster-wide misses: %d for a %d-fingerprint working set — each \
+     fingerprint was built on exactly one shard (disjoint caches)@."
+    misses4 cluster_working_set;
+  results
+
+(* ------------------------------------------------------------------ *)
 (* Lint throughput: the interval-domain pass runs before every
    projection, so it must be cheap relative to a BET evaluation. *)
 
@@ -968,6 +1097,8 @@ let quick_run json_file =
   Fmt.pr "  explore shared-BET speedup       %8.1fx (%d-point grid)@."
     (indep /. shared) (List.length pts);
   record "explore_shared_speedup_x" (indep /. shared);
+  (* cluster: cache-affinity scaling over 1/2/4 shards *)
+  let cluster_results = cluster_section ~record () in
   let elapsed = Unix.gettimeofday () -. t_start in
   record "elapsed_s" elapsed;
   Fmt.pr "@.quick bench done in %.1fs@." elapsed;
@@ -988,7 +1119,42 @@ let quick_run json_file =
     output_string oc (J.to_string json);
     output_string oc "\n";
     close_out oc;
-    Fmt.pr "wrote %s@." file
+    Fmt.pr "wrote %s@." file;
+    (* The cluster numbers also ship as their own artifact, keyed by
+       shard count, so scaling regressions diff cleanly across runs. *)
+    let cluster_file = "BENCH_cluster.json" in
+    let cluster_json =
+      J.Obj
+        [
+          ("schema", J.String "skope-bench-cluster/1");
+          ("version", J.String Version.version);
+          ("git", J.String Version.git);
+          ("working_set", J.Int cluster_working_set);
+          ("cache_capacity", J.Int cluster_cache_capacity);
+          ( "shards",
+            J.List
+              (List.map
+                 (fun (shards, (rps, hits, misses)) ->
+                   J.Obj
+                     [
+                       ("shards", J.Int shards);
+                       ("cached_rps", J.Float rps);
+                       ("cache_hits", J.Int hits);
+                       ("cache_misses", J.Int misses);
+                     ])
+                 cluster_results) );
+          ( "scaling_4x_over_1x",
+            J.Float
+              (let rps1, _, _ = List.assoc 1 cluster_results in
+               let rps4, _, _ = List.assoc 4 cluster_results in
+               rps4 /. rps1) );
+        ]
+    in
+    let oc = open_out cluster_file in
+    output_string oc (J.to_string cluster_json);
+    output_string oc "\n";
+    close_out oc;
+    Fmt.pr "wrote %s@." cluster_file
 
 let () =
   let quick = ref false in
@@ -1037,6 +1203,7 @@ let () =
   bechamel_section ();
   service_section ();
   explore_section ();
+  ignore (cluster_section ());
   lint_section ();
   telemetry_section ();
   Fmt.pr "@.[bench] total wall time %.1fs@." (Unix.gettimeofday () -. t0)

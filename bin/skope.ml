@@ -943,7 +943,14 @@ let cmd_serve =
     let doc = "Seed for the fault-injection decision stream." in
     Arg.(value & opt int 42 & info [ "fault-seed" ] ~docv:"N" ~doc)
   in
-  let run port host pool queue cache sock_timeout fault_spec fault_seed =
+  let cluster_arg =
+    let doc =
+      "Run an in-process cluster: N skoped shards on ephemeral ports plus a \
+       cache-affinity router on --port."
+    in
+    Arg.(value & opt int 0 & info [ "cluster" ] ~docv:"N" ~doc)
+  in
+  let run port host pool queue cache sock_timeout fault_spec fault_seed cluster =
     let module S = Skope_service.Server in
     let module F = Skope_service.Faults in
     let faults =
@@ -956,6 +963,39 @@ let cmd_serve =
           Fmt.epr "skope serve: bad --fault-inject: %s@." msg;
           exit 2)
     in
+    if cluster > 0 then begin
+      if faults <> None then begin
+        Fmt.epr
+          "skope serve: --fault-inject only applies to a single skoped; fault \
+           a shard directly instead@.";
+        exit 2
+      end;
+      let module Local = Skope_cluster.Local in
+      let stop = Atomic.make false in
+      let on_signal = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
+      ignore (Sys.signal Sys.sigint on_signal);
+      ignore (Sys.signal Sys.sigterm on_signal);
+      match
+        Local.start ~stop ~host ~router_port:port ~shards:cluster
+          ?shard_pool:pool ~shard_queue:queue ~cache_capacity:cache ()
+      with
+      | exception Failure msg ->
+        Fmt.epr "skope serve: %s@." msg;
+        exit 1
+      | exception Unix.Unix_error (e, fn, _) ->
+        Fmt.epr "skope serve: %s (%s %s:%d)@." (Unix.error_message e) fn host
+          port;
+        exit 1
+      | c ->
+        let ids = Local.shard_ids c and ports = Local.shard_ports c in
+        Array.iteri
+          (fun i id -> Fmt.pr "shard %s on %s:%d@." id host ports.(i))
+          ids;
+        Fmt.pr "skoped cluster router listening on %s:%d (%d shards)@." host
+          (Local.router_port c) cluster;
+        Local.join c;
+        exit 0
+    end;
     let config =
       {
         S.port;
@@ -983,7 +1023,127 @@ let cmd_serve =
           shedding and optional fault injection")
     Term.(
       const run $ port_arg $ host_arg $ pool_arg $ queue_arg $ cache_arg
-      $ sock_timeout_arg $ fault_inject_arg $ fault_seed_arg)
+      $ sock_timeout_arg $ fault_inject_arg $ fault_seed_arg $ cluster_arg)
+
+let cmd_route =
+  let module Router = Skope_cluster.Router in
+  let shards_arg =
+    let doc =
+      "A shard to route to, as HOST:PORT, PORT, or ID=HOST:PORT (repeatable; \
+       ids default to s0, s1, ... in flag order)."
+    in
+    Arg.(value & opt_all string [] & info [ "shard" ] ~docv:"SPEC" ~doc)
+  in
+  let port_arg =
+    let doc = "TCP port the router listens on (0 picks an ephemeral port)." in
+    Arg.(value & opt int 7878 & info [ "p"; "port" ] ~docv:"PORT" ~doc)
+  in
+  let host_arg =
+    let doc = "Address to bind." in
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc)
+  in
+  let pool_arg =
+    let doc = "Router worker domains." in
+    Arg.(value & opt int 4 & info [ "pool" ] ~docv:"N" ~doc)
+  in
+  let queue_arg =
+    let doc = "Bounded work-queue capacity." in
+    Arg.(value & opt int 128 & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let vnodes_arg =
+    let doc = "Virtual nodes per shard on the hash ring." in
+    Arg.(value & opt int 128 & info [ "vnodes" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "Ring placement seed (same seed, same placement)." in
+    Arg.(value & opt int 42 & info [ "ring-seed" ] ~docv:"SEED" ~doc)
+  in
+  let probe_arg =
+    let doc = "Health-probe interval, milliseconds." in
+    Arg.(value & opt float 2000. & info [ "probe-interval-ms" ] ~docv:"MS" ~doc)
+  in
+  let fall_arg =
+    let doc = "Consecutive failures before a shard is ejected." in
+    Arg.(value & opt int 3 & info [ "fall" ] ~docv:"N" ~doc)
+  in
+  let rise_arg =
+    let doc = "Consecutive probe successes before readmission." in
+    Arg.(value & opt int 2 & info [ "rise" ] ~docv:"N" ~doc)
+  in
+  let load_factor_arg =
+    let doc =
+      "Bounded-load factor: divert a key when its owner carries more than \
+       FACTOR times the mean in-flight load (0 disables)."
+    in
+    Arg.(value & opt float 1.25 & info [ "load-factor" ] ~docv:"FACTOR" ~doc)
+  in
+  let parse_member i spec =
+    let fail () =
+      Fmt.epr "skope route: invalid --shard %S (expected HOST:PORT, PORT or \
+               ID=HOST:PORT)@." spec;
+      exit 2
+    in
+    let id, addr =
+      match String.index_opt spec '=' with
+      | Some j ->
+        ( String.sub spec 0 j,
+          String.sub spec (j + 1) (String.length spec - j - 1) )
+      | None -> (Printf.sprintf "s%d" i, spec)
+    in
+    let host, port_s =
+      match String.rindex_opt addr ':' with
+      | Some j ->
+        ( String.sub addr 0 j,
+          String.sub addr (j + 1) (String.length addr - j - 1) )
+      | None -> ("127.0.0.1", addr)
+    in
+    match int_of_string_opt port_s with
+    | Some port when port > 0 && id <> "" && host <> "" ->
+      { Router.m_id = id; m_host = host; m_port = port }
+    | _ -> fail ()
+  in
+  let run shards port host pool queue vnodes ring_seed probe_ms fall rise
+      load_factor =
+    if shards = [] then begin
+      Fmt.epr "skope route: no shards (give at least one --shard HOST:PORT)@.";
+      exit 2
+    end;
+    let members = List.mapi parse_member shards in
+    let config =
+      {
+        Router.default_config with
+        Router.host;
+        port;
+        pool;
+        queue_capacity = queue;
+        members;
+        vnodes;
+        ring_seed;
+        probe_interval_s = probe_ms /. 1e3;
+        health = { Skope_cluster.Health.fall; rise };
+        load_factor;
+      }
+    in
+    match Router.run config with
+    | () -> ()
+    | exception Invalid_argument msg ->
+      Fmt.epr "skope route: %s@." msg;
+      exit 2
+    | exception Unix.Unix_error (e, fn, _) ->
+      Fmt.epr "skope route: %s (%s %s:%d)@." (Unix.error_message e) fn host
+        port;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "route"
+       ~doc:
+         "Run the cluster router: forward queries to skoped shards by \
+          projection fingerprint over a consistent-hash ring, with health \
+          probes, ejection and failover")
+    Term.(
+      const run $ shards_arg $ port_arg $ host_arg $ pool_arg $ queue_arg
+      $ vnodes_arg $ seed_arg $ probe_arg $ fall_arg $ rise_arg
+      $ load_factor_arg)
 
 let cmd_query =
   let module J = Core.Report.Json in
@@ -998,7 +1158,8 @@ let cmd_query =
   let kind_arg =
     let doc =
       "Request kind: analyze, sweep, explore, lint, workloads, machines, \
-       stats, metrics_prom, version, capabilities."
+       stats, metrics_prom, version, capabilities, cluster_stats (router \
+       only)."
     in
     Arg.(value & opt string "analyze" & info [ "kind" ] ~docv:"KIND" ~doc)
   in
@@ -1133,6 +1294,7 @@ let cmd_query =
       | "metrics_prom" -> A.Metrics_prom
       | "version" -> A.Version
       | "capabilities" -> A.Capabilities
+      | "cluster_stats" -> A.Cluster_stats
       | other ->
         Fmt.epr "unknown request kind %S@." other;
         exit 2
@@ -1253,8 +1415,37 @@ let cmd_query =
         | Ok r when J.member "ok" r = Some (J.Bool true) -> ()
         | _ -> exit 1)
     else begin
-      let report = C.load ~timeouts ~retry ~host ~port ~repeat ~concurrency body in
+      (* Against a cluster router every response names its shard; tally
+         them so affinity (and failover drift) is visible per target. *)
+      let shard_counts = Hashtbl.create 8 in
+      let shard_lock = Mutex.create () in
+      let on_response resp =
+        match Skope_cluster.Router.shard_of_response resp with
+        | None -> ()
+        | Some shard ->
+          Mutex.lock shard_lock;
+          Hashtbl.replace shard_counts shard
+            (1 + Option.value ~default:0 (Hashtbl.find_opt shard_counts shard));
+          Mutex.unlock shard_lock
+      in
+      let report =
+        C.load ~timeouts ~retry ~on_response ~host ~port ~repeat ~concurrency
+          body
+      in
       Fmt.pr "%a@." C.pp_load_report report;
+      if Hashtbl.length shard_counts > 0 then begin
+        let rows =
+          Hashtbl.fold (fun s n acc -> (s, n) :: acc) shard_counts []
+          |> List.sort compare
+        in
+        let total = List.fold_left (fun acc (_, n) -> acc + n) 0 rows in
+        Fmt.pr "shard hits:@.";
+        List.iter
+          (fun (shard, n) ->
+            Fmt.pr "  %-8s %6d  %5.1f%%@." shard n
+              (100. *. float_of_int n /. float_of_int total))
+          rows
+      end;
       if report.C.failures > 0 then exit 1
     end
   in
@@ -1302,5 +1493,6 @@ let () =
             cmd_analyze; cmd_validate; cmd_hints; cmd_miniapp; cmd_sweep;
             cmd_explore;
             cmd_nodes; cmd_roofline; cmd_json; cmd_import; cmd_spots;
-            cmd_path; cmd_compare; cmd_serve; cmd_query; cmd_json_check;
+            cmd_path; cmd_compare; cmd_serve; cmd_route; cmd_query;
+            cmd_json_check;
           ]))

@@ -1,0 +1,109 @@
+let is_comment line = String.length line > 0 && line.[0] = '#'
+
+(* "# HELP name ..." / "# TYPE name ...". *)
+let family_of_comment line =
+  match String.split_on_char ' ' line with
+  | "#" :: ("HELP" | "TYPE") :: name :: _ when name <> "" -> Some name
+  | _ -> None
+
+(* The metric name of a sample line: everything before '{' or ' '. *)
+let name_of_sample line =
+  let n = String.length line in
+  let stop = ref n in
+  (try
+     for i = 0 to n - 1 do
+       match line.[i] with
+       | '{' | ' ' ->
+         stop := i;
+         raise Exit
+       | _ -> ()
+     done
+   with Exit -> ());
+  String.sub line 0 !stop
+
+let inject_label ~shard line =
+  let label = Printf.sprintf "shard=%S" shard in
+  match String.index_opt line '{' with
+  | Some i ->
+    let rest = String.sub line (i + 1) (String.length line - i - 1) in
+    let sep = if String.length rest > 0 && rest.[0] = '}' then "" else "," in
+    String.sub line 0 (i + 1) ^ label ^ sep ^ rest
+  | None -> (
+    match String.index_opt line ' ' with
+    | Some i ->
+      String.sub line 0 i ^ "{" ^ label ^ "}"
+      ^ String.sub line i (String.length line - i)
+    | None -> line)
+
+let merge parts =
+  let order = ref [] in
+  let seen = Hashtbl.create 16 in
+  (* family -> (owning shard, comment lines rev) — headers come from
+     the first shard to mention the family, once. *)
+  let comments : (string, string * string list) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let samples : (string, string list) Hashtbl.t = Hashtbl.create 16 in
+  let touch fam =
+    if not (Hashtbl.mem seen fam) then begin
+      Hashtbl.add seen fam ();
+      order := fam :: !order
+    end
+  in
+  List.iter
+    (fun (shard, text) ->
+      (* Block family context: samples like [foo_bucket]/[foo_sum]
+         following a [# TYPE foo histogram] belong to [foo]. *)
+      let current = ref None in
+      String.split_on_char '\n' text
+      |> List.iter (fun line ->
+             let line = String.trim line in
+             if line = "" then ()
+             else if is_comment line then (
+               match family_of_comment line with
+               | Some fam -> (
+                 touch fam;
+                 current := Some fam;
+                 match Hashtbl.find_opt comments fam with
+                 | None -> Hashtbl.replace comments fam (shard, [ line ])
+                 | Some (owner, lines) when owner = shard ->
+                   Hashtbl.replace comments fam (owner, line :: lines)
+                 | Some _ -> ())
+               | None -> ())
+             else begin
+               let name = name_of_sample line in
+               let fam =
+                 match !current with
+                 | Some c when String.starts_with ~prefix:c name -> c
+                 | _ ->
+                   current := Some name;
+                   name
+               in
+               touch fam;
+               let prev =
+                 Option.value ~default:[] (Hashtbl.find_opt samples fam)
+               in
+               Hashtbl.replace samples fam (inject_label ~shard line :: prev)
+             end))
+    parts;
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun fam ->
+      (match Hashtbl.find_opt comments fam with
+      | Some (_, lines) ->
+        List.iter
+          (fun l ->
+            Buffer.add_string buf l;
+            Buffer.add_char buf '\n')
+          (List.rev lines)
+      | None -> ());
+      match Hashtbl.find_opt samples fam with
+      | Some lines ->
+        List.iter
+          (fun l ->
+            Buffer.add_string buf l;
+            Buffer.add_char buf '\n')
+          (List.rev lines)
+      | None -> ())
+    (List.rev !order);
+  Buffer.contents buf

@@ -1,0 +1,15 @@
+(** Merge per-shard Prometheus text expositions (format 0.0.4) into
+    one cluster-level exposition.
+
+    Families keep first-seen order; each family's [# HELP]/[# TYPE]
+    header appears once (taken from the first shard that emitted it);
+    every sample line gains a [shard="<id>"] label so per-shard series
+    stay distinguishable after the merge. *)
+
+(** [merge [(shard_id, exposition); ...]]. *)
+val merge : (string * string) list -> string
+
+(** Add [shard="<id>"] to one sample line — inserted first into an
+    existing label set, or as a fresh [{...}] on a bare name.  Exposed
+    for tests. *)
+val inject_label : shard:string -> string -> string

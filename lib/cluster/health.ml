@@ -1,0 +1,34 @@
+type config = { fall : int; rise : int }
+
+let default_config = { fall = 3; rise = 2 }
+
+type state = Healthy | Suspect of int | Ejected of int
+type event = Ejection | Readmission
+
+let initial = Healthy
+let available = function Healthy | Suspect _ -> true | Ejected _ -> false
+
+let observe config state ~ok =
+  let fall = max 1 config.fall and rise = max 1 config.rise in
+  match (state, ok) with
+  | Healthy, true -> (Healthy, None)
+  | Healthy, false ->
+    if fall <= 1 then (Ejected 0, Some Ejection) else (Suspect 1, None)
+  | Suspect _, true -> (Healthy, None)
+  | Suspect n, false ->
+    if n + 1 >= fall then (Ejected 0, Some Ejection)
+    else (Suspect (n + 1), None)
+  | Ejected n, true ->
+    if n + 1 >= rise then (Healthy, Some Readmission)
+    else (Ejected (n + 1), None)
+  | Ejected _, false -> (Ejected 0, None)
+
+let label = function
+  | Healthy -> "healthy"
+  | Suspect _ -> "suspect"
+  | Ejected _ -> "ejected"
+
+let to_string = function
+  | Healthy -> "healthy"
+  | Suspect n -> Printf.sprintf "suspect(%d)" n
+  | Ejected n -> Printf.sprintf "ejected(%d)" n

@@ -1,0 +1,46 @@
+(** The per-member health state machine, pure so every transition is
+    unit-testable.
+
+    {v
+      Healthy --fail--> Suspect(1) --fail--> ... --fail--> Ejected
+         ^                  |  (any success resets)            |
+         |                  v                                  |
+         +<-------------- Healthy <---- rise consecutive ------+
+                                        probe successes
+    v}
+
+    [Suspect] members are still routable (one blip must not dump a
+    shard's hot cache on the floor); [Ejected] members leave the ring
+    until [rise] consecutive probe successes readmit them. *)
+
+type config = {
+  fall : int;  (** consecutive failures before ejection *)
+  rise : int;  (** consecutive successes before readmission *)
+}
+
+(** fall 3, rise 2. *)
+val default_config : config
+
+type state =
+  | Healthy
+  | Suspect of int  (** consecutive failures so far, < fall *)
+  | Ejected of int  (** consecutive successes so far, < rise *)
+
+type event = Ejection | Readmission
+
+val initial : state
+
+(** Routable? [Healthy] and [Suspect] yes, [Ejected] no. *)
+val available : state -> bool
+
+(** Feed one observation (data-path outcome or probe result) through
+    the state machine; the event, when present, is the edge the caller
+    reacts to (rebuild the ring). *)
+val observe : config -> state -> ok:bool -> state * event option
+
+(** ["healthy" | "suspect" | "ejected"] — stable labels for JSON and
+    metrics. *)
+val label : state -> string
+
+(** [label] plus the internal counter, for humans. *)
+val to_string : state -> string

@@ -1,0 +1,48 @@
+(** One shard as the router sees it: address, health, and the
+    counters behind [cluster_stats] and the cluster Prometheus
+    families.  All mutation is behind a per-member mutex — the data
+    path (worker domains) and the prober thread race on these. *)
+
+type t
+
+val create : id:string -> host:string -> port:int -> t
+val id : t -> string
+val host : t -> string
+val port : t -> int
+
+(** Current health, and whether the member is routable. *)
+val health : t -> Health.state
+
+val available : t -> bool
+
+(** Requests currently forwarded to (and not yet answered by) this
+    member — the bounded-load signal. *)
+val in_flight : t -> int
+
+(** Feed a data-path or probe outcome through {!Health.observe};
+    returns the transition event, if any, so the caller can rebuild
+    the ring. *)
+val observe : Health.config -> t -> ok:bool -> Health.event option
+
+val begin_request : t -> unit
+
+(** [ok] decides between the [forwarded] and [errors] counters. *)
+val end_request : t -> ok:bool -> unit
+
+(** This member failed and the request moved on to its successor. *)
+val skip : t -> unit
+
+val probe_result : t -> ok:bool -> unit
+
+type snapshot = {
+  s_health : Health.state;
+  s_in_flight : int;
+  s_forwarded : int;  (** responses obtained from this shard *)
+  s_failovers : int;  (** requests that failed over past it *)
+  s_errors : int;  (** transport failures talking to it *)
+  s_probes_ok : int;
+  s_probes_failed : int;
+}
+
+(** A consistent copy of the counters (one lock acquisition). *)
+val snapshot : t -> snapshot

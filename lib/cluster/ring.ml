@@ -1,0 +1,115 @@
+type t = {
+  seed : int;
+  vnodes : int;
+  members : string list;  (* sorted, distinct *)
+  points : (int64 * string) array;  (* sorted by unsigned point *)
+}
+
+(* FNV-1a over the bytes, then a SplitMix64 finalizer: FNV alone
+   clusters nearby keys ("s0#1" vs "s0#2"), the finalizer's avalanche
+   spreads them uniformly around the ring.  The seed perturbs the
+   initial basis so distinct deployments get distinct placements. *)
+let hash64 ~seed key =
+  let h =
+    ref
+      (Int64.logxor 0xCBF29CE484222325L
+         (Int64.mul (Int64.of_int seed) 0x9E3779B97F4A7C15L))
+  in
+  String.iter
+    (fun c ->
+      h :=
+        Int64.mul
+          (Int64.logxor !h (Int64.of_int (Char.code c)))
+          0x100000001B3L)
+    key;
+  let z = !h in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ?(vnodes = 128) ?(seed = 42) members =
+  let vnodes = max 1 vnodes in
+  let members = List.sort_uniq String.compare members in
+  let points =
+    List.concat_map
+      (fun m ->
+        List.init vnodes (fun i ->
+            (hash64 ~seed (Printf.sprintf "%s#%d" m i), m)))
+      members
+    |> Array.of_list
+  in
+  Array.sort
+    (fun (a, ma) (b, mb) ->
+      match Int64.unsigned_compare a b with
+      | 0 -> String.compare ma mb
+      | c -> c)
+    points;
+  { seed; vnodes; members; points }
+
+let members t = t.members
+let size t = List.length t.members
+let is_empty t = t.members = []
+let seed t = t.seed
+let vnodes t = t.vnodes
+let add t m = create ~vnodes:t.vnodes ~seed:t.seed (m :: t.members)
+
+let remove t m =
+  create ~vnodes:t.vnodes ~seed:t.seed
+    (List.filter (fun x -> x <> m) t.members)
+
+(* Index of the first point clockwise of [h] (wrapping past the top). *)
+let first_at_or_after t h =
+  let n = Array.length t.points in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let p, _ = t.points.(mid) in
+    if Int64.unsigned_compare p h < 0 then lo := mid + 1 else hi := mid
+  done;
+  if !lo = n then 0 else !lo
+
+let successors t key =
+  if is_empty t then []
+  else begin
+    let n = Array.length t.points in
+    let start = first_at_or_after t (hash64 ~seed:t.seed key) in
+    let total = size t in
+    let seen = Hashtbl.create total in
+    let order = ref [] in
+    let i = ref 0 in
+    while Hashtbl.length seen < total && !i < n do
+      let _, m = t.points.((start + !i) mod n) in
+      if not (Hashtbl.mem seen m) then begin
+        Hashtbl.add seen m ();
+        order := m :: !order
+      end;
+      incr i
+    done;
+    List.rev !order
+  end
+
+let owner t key =
+  match successors t key with [] -> None | m :: _ -> Some m
+
+let route ?load ?(factor = 1.25) t key =
+  let order = successors t key in
+  match load with
+  | None -> order
+  | Some load_of ->
+    let n = List.length order in
+    if n = 0 || factor <= 0. then order
+    else begin
+      (* Capacity counts the incoming request, so a single-member ring
+         or an all-idle ring never rejects its own owner. *)
+      let total = List.fold_left (fun acc m -> acc + load_of m) 0 order in
+      let mean = float_of_int (total + 1) /. float_of_int n in
+      let cap = max 1 (int_of_float (Float.ceil (factor *. mean))) in
+      let under, over = List.partition (fun m -> load_of m < cap) order in
+      under @ over
+    end

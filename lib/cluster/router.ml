@@ -1,0 +1,557 @@
+module Json = Skope_report.Json
+module Span = Skope_telemetry.Span
+module Client = Skope_service.Client
+module Protocol = Skope_service.Protocol
+module Service_api = Skope_service.Service_api
+module Fingerprint = Skope_service.Fingerprint
+module Server = Skope_service.Server
+module Dispatch = Skope_service.Dispatch
+module Registry = Core.Workloads.Registry
+module Hotspot = Core.Analysis.Hotspot
+
+type member_spec = { m_id : string; m_host : string; m_port : int }
+
+type config = {
+  host : string;
+  port : int;
+  pool : int;
+  queue_capacity : int;
+  read_timeout_s : float;
+  write_timeout_s : float;
+  members : member_spec list;
+  vnodes : int;
+  ring_seed : int;
+  health : Health.config;
+  probe_interval_s : float;
+  probe_timeouts : Client.timeouts;
+  forward_timeouts : Client.timeouts;
+  forward_retry : Client.retry;
+  load_factor : float;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 7878;
+    pool = 4;
+    queue_capacity = 128;
+    read_timeout_s = 10.;
+    write_timeout_s = 10.;
+    members = [];
+    vnodes = 128;
+    ring_seed = 42;
+    health = Health.default_config;
+    probe_interval_s = 2.;
+    probe_timeouts = { Client.connect_s = 1.; read_s = 2.; write_s = 2. };
+    forward_timeouts = Client.default_timeouts;
+    forward_retry = { Client.default_retry with Client.attempts = 1; base_ms = 25. };
+    load_factor = 1.25;
+  }
+
+type t = {
+  config : config;
+  members : Member.t array;
+  mutable ring : Ring.t;
+  ring_lock : Mutex.t;
+  requests : int Atomic.t;
+  forwards : int Atomic.t;
+  failovers : int Atomic.t;
+  rejects : int Atomic.t;
+  spread : int Atomic.t;  (* rotating key for unkeyed kinds *)
+}
+
+let create (config : config) =
+  if config.members = [] then
+    invalid_arg "Router.create: at least one member is required";
+  let ids = List.map (fun m -> m.m_id) config.members in
+  if List.length (List.sort_uniq String.compare ids) <> List.length ids then
+    invalid_arg "Router.create: member ids must be distinct";
+  let members =
+    Array.of_list
+      (List.map
+         (fun m -> Member.create ~id:m.m_id ~host:m.m_host ~port:m.m_port)
+         config.members)
+  in
+  {
+    config;
+    members;
+    ring = Ring.create ~vnodes:config.vnodes ~seed:config.ring_seed ids;
+    ring_lock = Mutex.create ();
+    requests = Atomic.make 0;
+    forwards = Atomic.make 0;
+    failovers = Atomic.make 0;
+    rejects = Atomic.make 0;
+    spread = Atomic.make 0;
+  }
+
+let current_ring t =
+  Mutex.lock t.ring_lock;
+  let ring = t.ring in
+  Mutex.unlock t.ring_lock;
+  ring
+
+(* Membership changed (ejection or readmission): the ring is rebuilt
+   over the currently-routable members.  Seeded placement means
+   survivors keep their keys — only the ejected member's share moves,
+   and it moves back on readmission. *)
+let rebuild_ring t =
+  let ids =
+    Array.to_list t.members
+    |> List.filter Member.available
+    |> List.map Member.id
+  in
+  Mutex.lock t.ring_lock;
+  t.ring <- Ring.create ~vnodes:t.config.vnodes ~seed:t.config.ring_seed ids;
+  Mutex.unlock t.ring_lock
+
+let member_by_id t id =
+  Array.to_seq t.members |> Seq.find (fun m -> Member.id m = id)
+
+let observe_health t m ~ok =
+  match Member.observe t.config.health m ~ok with
+  | None -> ()
+  | Some Health.Ejection ->
+    Span.count "cluster_ejections" 1.;
+    rebuild_ring t
+  | Some Health.Readmission ->
+    Span.count "cluster_readmissions" 1.;
+    rebuild_ring t
+
+(* --- affinity -------------------------------------------------------- *)
+
+let body_key body = Digest.to_hex (Digest.string body)
+
+(* The same fingerprint the shard's cache will use, computed without
+   running anything: resolve the machine (catalog + overrides) and the
+   workload's default scale exactly as Dispatch.query_parts does.  A
+   query that fails to resolve still routes deterministically (by body
+   hash) — the owning shard then returns the structured error. *)
+let query_fingerprint (q : Protocol.query) =
+  match Protocol.resolve_machine q with
+  | Error _ -> None
+  | Ok machine -> (
+    match Registry.find q.Protocol.workload with
+    | None -> None
+    | Some w ->
+      let scale =
+        Option.value ~default:w.Registry.default_scale q.Protocol.scale
+      in
+      let criteria =
+        {
+          Hotspot.time_coverage = q.Protocol.coverage;
+          code_leanness = q.Protocol.leanness;
+        }
+      in
+      Some
+        (Fingerprint.of_query ~workload:q.Protocol.workload ~machine ~scale
+           ~criteria ~top:q.Protocol.top))
+
+(* Sweep and explore key on their base query: the whole fan-out lands
+   on one shard, where its points share the LRU (and explore its
+   prepared BET).  Spreading the points instead would defeat both. *)
+let affinity_key t request body =
+  match request with
+  | Protocol.Analyze q | Protocol.Sweep (q, _) | Protocol.Explore (q, _) -> (
+    match query_fingerprint q with
+    | Some fp -> fp
+    | None -> body_key body)
+  | Protocol.Lint _ -> body_key body
+  | Protocol.Workloads | Protocol.Machines | Protocol.Stats
+  | Protocol.Metrics_prom | Protocol.Version | Protocol.Capabilities
+  | Protocol.Cluster_stats ->
+    Printf.sprintf "spread-%d" (Atomic.fetch_and_add t.spread 1)
+
+let route_order t key =
+  let ring = current_ring t in
+  let ids =
+    if t.config.load_factor > 0. then
+      Ring.route
+        ~load:(fun id ->
+          match member_by_id t id with
+          | Some m -> Member.in_flight m
+          | None -> 0)
+        ~factor:t.config.load_factor ring key
+    else Ring.route ring key
+  in
+  List.filter_map (member_by_id t) ids
+  |> List.filter Member.available
+
+(* --- forwarding ------------------------------------------------------ *)
+
+type forward_outcome =
+  | Forwarded of Member.t * string
+  | Shard_overloaded of { retry_after_ms : float option; message : string }
+  | No_shard
+
+let forward t ~key body =
+  let rec go = function
+    | [] -> No_shard
+    | m :: rest -> (
+      Member.begin_request m;
+      let result =
+        Client.request ~timeouts:t.config.forward_timeouts
+          ~retry:t.config.forward_retry ~idempotent:true
+          ~host:(Member.host m) ~port:(Member.port m) body
+      in
+      match result with
+      | Ok resp ->
+        Member.end_request m ~ok:true;
+        observe_health t m ~ok:true;
+        Atomic.incr t.forwards;
+        Forwarded (m, resp)
+      | Error (Client.Overloaded { retry_after_ms; message }) ->
+        (* The shard answered: it is alive, just shedding.  Surface its
+           backoff hint instead of stampeding the successor (whose
+           cache is cold for this key anyway). *)
+        Member.end_request m ~ok:true;
+        observe_health t m ~ok:true;
+        Shard_overloaded { retry_after_ms; message }
+      | Error e ->
+        Member.end_request m ~ok:false;
+        (match e with
+        | Client.Refused _ | Client.Timeout _ -> observe_health t m ~ok:false
+        | _ -> ());
+        Member.skip m;
+        Atomic.incr t.failovers;
+        Span.count "cluster_failovers" 1.;
+        go rest)
+  in
+  go (route_order t key)
+
+let splice_shard ~shard resp =
+  let n = String.length resp in
+  if n >= 2 && resp.[n - 1] = '}' then
+    let sep = if resp.[n - 2] = '{' then "" else "," in
+    String.sub resp 0 (n - 1) ^ Printf.sprintf "%s\"shard\":%S}" sep shard
+  else resp
+
+let shard_of_response resp =
+  let marker = "\"shard\":\"" in
+  let mlen = String.length marker in
+  let n = String.length resp in
+  (* The router appends the field, so scan backwards from the tail. *)
+  let rec find i =
+    if i < 0 then None
+    else if String.sub resp i mlen = marker then Some i
+    else find (i - 1)
+  in
+  match find (n - mlen) with
+  | None -> None
+  | Some i -> (
+    let start = i + mlen in
+    match String.index_from_opt resp start '"' with
+    | Some j -> Some (String.sub resp start (j - start))
+    | None -> None)
+
+(* --- router-local kinds ---------------------------------------------- *)
+
+let stats_body = Service_api.to_body Service_api.Stats
+let version_body = Service_api.to_body Service_api.Version
+let capabilities_body = Service_api.to_body Service_api.Capabilities
+let metrics_prom_body = Service_api.to_body Service_api.Metrics_prom
+
+(* A side request to one shard (stats / capabilities / metrics
+   scrapes): probe timeouts, no retries — a slow shard must not stall
+   a cluster_stats answer for long. *)
+let side_request t m body =
+  match
+    Client.request ~timeouts:t.config.probe_timeouts ~retry:Client.no_retry
+      ~host:(Member.host m) ~port:(Member.port m) body
+  with
+  | Error _ -> None
+  | Ok resp -> (
+    match Service_api.parse_response resp with
+    | Ok { Service_api.r_ok = true; r_result = Some r; _ } -> Some r
+    | _ -> None)
+
+let ring_json t =
+  let ring = current_ring t in
+  Json.Obj
+    [
+      ("seed", Json.Int (Ring.seed ring));
+      ("vnodes", Json.Int (Ring.vnodes ring));
+      ( "members",
+        Json.List (List.map (fun m -> Json.String m) (Ring.members ring)) );
+    ]
+
+let member_json ?stats m =
+  let s = Member.snapshot m in
+  Json.Obj
+    ([
+       ("id", Json.String (Member.id m));
+       ("host", Json.String (Member.host m));
+       ("port", Json.Int (Member.port m));
+       ("state", Json.String (Health.label s.Member.s_health));
+       ("in_flight", Json.Int s.Member.s_in_flight);
+       ("forwarded", Json.Int s.Member.s_forwarded);
+       ("failovers", Json.Int s.Member.s_failovers);
+       ("errors", Json.Int s.Member.s_errors);
+       ("probes_ok", Json.Int s.Member.s_probes_ok);
+       ("probes_failed", Json.Int s.Member.s_probes_failed);
+     ]
+    @ match stats with Some j -> [ ("stats", j) ] | None -> [])
+
+let healthy_count t =
+  Array.fold_left
+    (fun acc m -> if Member.available m then acc + 1 else acc)
+    0 t.members
+
+let run_cluster_stats t =
+  let members =
+    Array.to_list t.members
+    |> List.map (fun m ->
+           let stats =
+             if Member.available m then side_request t m stats_body else None
+           in
+           member_json ?stats m)
+  in
+  Json.Obj
+    [
+      ("shards", Json.Int (Array.length t.members));
+      ("healthy", Json.Int (healthy_count t));
+      ("ring", ring_json t);
+      ("members", Json.List members);
+      ( "router",
+        Json.Obj
+          [
+            ("requests", Json.Int (Atomic.get t.requests));
+            ("forwards", Json.Int (Atomic.get t.forwards));
+            ("failovers", Json.Int (Atomic.get t.failovers));
+            ("rejects", Json.Int (Atomic.get t.rejects));
+          ] );
+    ]
+
+let cluster_topology t =
+  Json.Obj
+    [
+      ("shards", Json.Int (Array.length t.members));
+      ("healthy", Json.Int (healthy_count t));
+      ("ring", ring_json t);
+      ( "members",
+        Json.List
+          (Array.to_list t.members
+          |> List.map (fun m ->
+                 Json.Obj
+                   [
+                     ("id", Json.String (Member.id m));
+                     ("state", Json.String (Health.label (Member.health m)));
+                   ])) );
+    ]
+
+(* Capabilities: a shard's own answer (protocol version, kinds, axes)
+   extended with the kind only the router serves and the cluster
+   topology.  With every shard down, fall back to what Protocol
+   guarantees statically. *)
+let run_capabilities t =
+  let add_cluster_stats = function
+    | Json.List kinds
+      when not (List.mem (Json.String "cluster_stats") kinds) ->
+      Json.List (kinds @ [ Json.String "cluster_stats" ])
+    | v -> v
+  in
+  let base =
+    Array.to_list t.members
+    |> List.filter Member.available
+    |> List.find_map (fun m -> side_request t m capabilities_body)
+  in
+  let fields =
+    match base with
+    | Some (Json.Obj fields) ->
+      List.map
+        (fun (k, v) ->
+          if k = "kinds" then (k, add_cluster_stats v) else (k, v))
+        fields
+    | _ ->
+      [
+        ("protocol", Json.Int Protocol.protocol_version);
+        ( "kinds",
+          Json.List
+            (List.map
+               (fun s -> Json.String s)
+               (Protocol.request_kinds @ [ "cluster_stats" ])) );
+        ("version", Json.String Core.Version.version);
+      ]
+  in
+  Json.Obj (fields @ [ ("cluster", cluster_topology t) ])
+
+let router_exposition t =
+  let buf = Buffer.create 1024 in
+  let family name typ help emit =
+    Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name typ);
+    emit (fun line -> Buffer.add_string buf (line ^ "\n"))
+  in
+  let per_member emit_line value =
+    Array.iter
+      (fun m ->
+        let s = Member.snapshot m in
+        emit_line (Member.id m) (value s))
+      t.members
+  in
+  family "skope_cluster_shards" "gauge" "Configured cluster shards."
+    (fun out ->
+      out (Printf.sprintf "skope_cluster_shards %d" (Array.length t.members)));
+  family "skope_cluster_healthy" "gauge" "Routable (non-ejected) shards."
+    (fun out ->
+      out (Printf.sprintf "skope_cluster_healthy %d" (healthy_count t)));
+  family "skope_cluster_requests_total" "counter"
+    "Requests handled by the router." (fun out ->
+      out
+        (Printf.sprintf "skope_cluster_requests_total %d"
+           (Atomic.get t.requests)));
+  family "skope_cluster_member_available" "gauge"
+    "Per-shard availability (1 = routable)." (fun out ->
+      per_member
+        (fun id v -> out (Printf.sprintf
+             "skope_cluster_member_available{shard=%S} %d" id v))
+        (fun s -> if Health.available s.Member.s_health then 1 else 0));
+  family "skope_cluster_forwards_total" "counter"
+    "Responses obtained from each shard." (fun out ->
+      per_member
+        (fun id v ->
+          out (Printf.sprintf "skope_cluster_forwards_total{shard=%S} %d" id v))
+        (fun s -> s.Member.s_forwarded));
+  family "skope_cluster_failovers_total" "counter"
+    "Requests that failed over past each shard." (fun out ->
+      per_member
+        (fun id v ->
+          out
+            (Printf.sprintf "skope_cluster_failovers_total{shard=%S} %d" id v))
+        (fun s -> s.Member.s_failovers));
+  family "skope_cluster_probe_failures_total" "counter"
+    "Failed health probes per shard." (fun out ->
+      per_member
+        (fun id v ->
+          out
+            (Printf.sprintf "skope_cluster_probe_failures_total{shard=%S} %d"
+               id v))
+        (fun s -> s.Member.s_probes_failed));
+  Buffer.contents buf
+
+let run_metrics_prom t =
+  let parts =
+    Array.to_list t.members
+    |> List.filter Member.available
+    |> List.filter_map (fun m ->
+           match side_request t m metrics_prom_body with
+           | Some r -> (
+             match Json.member "body" r with
+             | Some (Json.String text) -> Some (Member.id m, text)
+             | _ -> None)
+           | None -> None)
+  in
+  Json.Obj
+    [
+      ("content_type", Json.String "text/plain; version=0.0.4");
+      ("body", Json.String (router_exposition t ^ Aggregate.merge parts));
+    ]
+
+(* --- entry points ---------------------------------------------------- *)
+
+let handle ?received_at t body =
+  ignore received_at;
+  Atomic.incr t.requests;
+  match Protocol.parse_request body with
+  | Error (code, msg) -> Protocol.error_response code msg
+  | Ok (request, _timeout_ms) -> (
+    (* The shard enforces timeout_ms itself — the body is forwarded
+       verbatim, queue wait included via the forward timeouts. *)
+    try
+      match request with
+      | Protocol.Cluster_stats -> Protocol.ok_response (run_cluster_stats t)
+      | Protocol.Capabilities -> Protocol.ok_response (run_capabilities t)
+      | Protocol.Metrics_prom -> Protocol.ok_response (run_metrics_prom t)
+      | _ -> (
+        let key = affinity_key t request body in
+        match forward t ~key body with
+        | Forwarded (m, resp) -> splice_shard ~shard:(Member.id m) resp
+        | Shard_overloaded { retry_after_ms; message } ->
+          Protocol.error_response ?retry_after_ms Protocol.Overloaded message
+        | No_shard ->
+          Atomic.incr t.rejects;
+          Protocol.error_response
+            ~retry_after_ms:(1000. *. t.config.probe_interval_s)
+            Protocol.Overloaded
+            "no healthy shard available; retry after the next probe cycle")
+    with exn ->
+      Protocol.error_response Protocol.Internal (Printexc.to_string exn))
+
+(* Routable members get a cheap [version] probe; ejected ones must
+   answer [capabilities] with a matching protocol version before
+   readmission — a shard restarted with an incompatible binary stays
+   out of the ring. *)
+let probe_member t m =
+  let ejected = not (Member.available m) in
+  let body = if ejected then capabilities_body else version_body in
+  let ok =
+    match
+      Client.request ~timeouts:t.config.probe_timeouts ~retry:Client.no_retry
+        ~host:(Member.host m) ~port:(Member.port m) body
+    with
+    | Error _ -> false
+    | Ok resp -> (
+      match Service_api.parse_response resp with
+      | Ok { Service_api.r_ok = true; r_result; _ } ->
+        if not ejected then true
+        else (
+          match Option.bind r_result (Json.member "protocol") with
+          | Some (Json.Int p) -> p = Protocol.protocol_version
+          | _ -> false)
+      | _ -> false)
+  in
+  Member.probe_result m ~ok;
+  observe_health t m ~ok
+
+let probe_once t = Array.iter (probe_member t) t.members
+
+let run ?stop ?on_ready ?handle_signals (config : config) =
+  let t = create config in
+  let stop = match stop with Some s -> s | None -> Atomic.make false in
+  let prober =
+    Thread.create
+      (fun () ->
+        while not (Atomic.get stop) do
+          probe_once t;
+          (* Sleep in slices so shutdown stays prompt. *)
+          let slices =
+            max 1 (int_of_float (Float.ceil (config.probe_interval_s /. 0.05)))
+          in
+          let i = ref 0 in
+          while !i < slices && not (Atomic.get stop) do
+            Thread.delay 0.05;
+            incr i
+          done
+        done)
+      ()
+  in
+  let on_ready =
+    match on_ready with
+    | Some f -> f
+    | None ->
+      fun port ->
+        Fmt.pr
+          "skope router listening on %s:%d (%d shards, %d vnodes, seed %d)@."
+          config.host port
+          (List.length config.members)
+          config.vnodes config.ring_seed;
+        (* Scripts wait for this line before issuing queries. *)
+        Format.pp_print_flush Format.std_formatter ()
+  in
+  let net =
+    {
+      Server.default_net with
+      Server.n_host = config.host;
+      n_port = config.port;
+      n_pool = config.pool;
+      n_queue_capacity = config.queue_capacity;
+      n_read_timeout_s = config.read_timeout_s;
+      n_write_timeout_s = config.write_timeout_s;
+    }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Thread.join prober)
+  @@ fun () ->
+  Server.serve ~stop ~on_ready ?handle_signals net
+    ~handler:(fun ~received_at body -> handle ~received_at t body)

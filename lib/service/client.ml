@@ -232,8 +232,8 @@ let percentile sorted q =
     sorted.(min (n - 1) (max 0 (rank - 1)))
   end
 
-let load ?(timeouts = default_timeouts) ?(retry = default_retry) ~host ~port
-    ~repeat ~concurrency body =
+let load ?(timeouts = default_timeouts) ?(retry = default_retry) ?on_response
+    ~host ~port ~repeat ~concurrency body =
   let repeat = max 1 repeat and concurrency = max 1 concurrency in
   let lock = Mutex.create () in
   let latencies = ref [] and failures = ref 0 and retries = ref 0 in
@@ -258,7 +258,9 @@ let load ?(timeouts = default_timeouts) ?(retry = default_retry) ~host ~port
     for _ = 1 to share i do
       let t0 = Unix.gettimeofday () in
       match request ~timeouts ~retry ~on_retry ~host ~port body with
-      | Ok _ -> record (Unix.gettimeofday () -. t0) true
+      | Ok response ->
+        (match on_response with Some f -> f response | None -> ());
+        record (Unix.gettimeofday () -. t0) true
       | Error _ -> record 0. false
     done
   in

@@ -106,11 +106,14 @@ type load_report = {
 
 (** Fire [repeat] copies of [body] from [concurrency] client threads
     (each thread jitters with [retry.seed + thread index]) and report
-    throughput, retry volume and client-observed latency
-    percentiles. *)
+    throughput, retry volume and client-observed latency percentiles.
+    [on_response] sees every successful response body, called from the
+    issuing thread — the hook for per-shard accounting against a
+    cluster router; the callback must synchronize its own state. *)
 val load :
   ?timeouts:timeouts ->
   ?retry:retry ->
+  ?on_response:(string -> unit) ->
   host:string ->
   port:int ->
   repeat:int ->

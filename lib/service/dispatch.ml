@@ -447,6 +447,10 @@ let handle ?received_at t body =
         | Protocol.Metrics_prom -> run_metrics_prom t
         | Protocol.Version -> run_version ()
         | Protocol.Capabilities -> run_capabilities ()
+        | Protocol.Cluster_stats ->
+          reject Protocol.Invalid_request
+            "cluster_stats is served by the cluster router (skope route), \
+             not by a single skoped"
       in
       Protocol.ok_response result
     with

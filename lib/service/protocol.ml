@@ -40,6 +40,7 @@ type request =
   | Metrics_prom
   | Version
   | Capabilities
+  | Cluster_stats
 
 type error_code =
   | Parse_error
@@ -72,10 +73,16 @@ let kind_label = function
   | Metrics_prom -> "metrics_prom"
   | Version -> "version"
   | Capabilities -> "capabilities"
+  | Cluster_stats -> "cluster_stats"
 
 (* Bump on any change a v1 client could not safely ignore; see the
    compatibility rules in protocol.mli. *)
 let protocol_version = 1
+
+(* [cluster_stats] is deliberately absent: every server parses it, but
+   only the cluster router serves it — a plain skoped answers with
+   [invalid_request], and the router appends the kind to the
+   capabilities it proxies. *)
 
 let request_kinds =
   [
@@ -337,6 +344,7 @@ let parse_request body =
       | "metrics_prom" -> Ok Metrics_prom
       | "version" -> Ok Version
       | "capabilities" -> Ok Capabilities
+      | "cluster_stats" -> Ok Cluster_stats
       | other -> invalid (Printf.sprintf "unknown request kind %S" other)
     in
     Ok (request, timeout_ms)

@@ -26,7 +26,14 @@
       result is [{"content_type":...,"body":...}]);
     - [{"kind":"version"}] — server version and git revision;
     - [{"kind":"capabilities"}] — protocol version, supported request
-      kinds and design axes (feature discovery).
+      kinds and design axes (feature discovery);
+    - [{"kind":"cluster_stats"}] — cluster topology and per-shard
+      health/cache statistics.  Served only by the cluster router
+      ([skope route]); a plain skoped answers [invalid_request].
+
+    Responses proxied through the cluster router additionally carry a
+    top-level ["shard"] field naming the member that produced them —
+    an additive field that single-process clients ignore.
 
     Any request may carry ["timeout_ms"]: the server refuses to start
     (or continue fanning out) work past the deadline.
@@ -96,6 +103,8 @@ type request =
   | Metrics_prom
   | Version
   | Capabilities
+  | Cluster_stats
+      (** parsed everywhere, served only by the cluster router *)
 
 type error_code =
   | Parse_error  (** body is not valid JSON *)
@@ -121,8 +130,9 @@ val kind_label : request -> string
 (** The protocol major version stamped as ["v"] on every response. *)
 val protocol_version : int
 
-(** Every request kind this server parses, as advertised by
-    [{"kind":"capabilities"}]. *)
+(** Every request kind a single-process skoped serves, as advertised
+    by [{"kind":"capabilities"}].  [cluster_stats] is excluded: the
+    router appends it to the capabilities it proxies. *)
 val request_kinds : string list
 
 (** Upper bound on the (possibly sampled) explore grid size. *)

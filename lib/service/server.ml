@@ -1,5 +1,26 @@
 module Span = Skope_telemetry.Span
 
+type net = {
+  n_host : string;
+  n_port : int;
+  n_pool : int;
+  n_queue_capacity : int;
+  n_read_timeout_s : float;
+  n_write_timeout_s : float;
+  n_max_request_bytes : int;
+}
+
+let default_net =
+  {
+    n_host = "127.0.0.1";
+    n_port = 0;
+    n_pool = max 2 (Domain.recommended_domain_count () - 1);
+    n_queue_capacity = 128;
+    n_read_timeout_s = 10.;
+    n_write_timeout_s = 10.;
+    n_max_request_bytes = 1 lsl 20;
+  }
+
 type config = {
   host : string;
   port : int;
@@ -72,7 +93,7 @@ let overloaded_response ~queue ~pool message =
 
 let count_fault () = Span.count "faults_injected" 1.
 
-let handle_connection config dispatch queue fd accepted_at =
+let handle_connection net faults handler queue fd accepted_at =
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
@@ -80,10 +101,10 @@ let handle_connection config dispatch queue fd accepted_at =
         (* A dead or stalled client must not pin a worker forever:
            every read/write on this socket carries its own deadline
            (slow-loris stalls surface as EAGAIN below). *)
-        Unix.setsockopt_float fd Unix.SO_RCVTIMEO config.read_timeout_s;
-        Unix.setsockopt_float fd Unix.SO_SNDTIMEO config.write_timeout_s;
+        Unix.setsockopt_float fd Unix.SO_RCVTIMEO net.n_read_timeout_s;
+        Unix.setsockopt_float fd Unix.SO_SNDTIMEO net.n_write_timeout_s;
         let decision =
-          match config.faults with
+          match faults with
           | Some faults -> Faults.decide faults
           | None -> Faults.clean
         in
@@ -91,16 +112,14 @@ let handle_connection config dispatch queue fd accepted_at =
           (* connection silently closed by [finally] — the client sees
              an unexpected EOF and retries *)
         else begin
-          let body =
-            read_line fd ~limit:dispatch.Dispatch.config.max_request_bytes
-          in
+          let body = read_line fd ~limit:net.n_max_request_bytes in
           let response =
             if decision.Faults.d_overload then begin
               count_fault ();
-              overloaded_response ~queue ~pool:config.pool
+              overloaded_response ~queue ~pool:net.n_pool
                 "injected transient overload (fault injection)"
             end
-            else Dispatch.handle ~received_at:accepted_at dispatch body
+            else handler ~received_at:accepted_at body
           in
           (match decision.Faults.d_delay_ms with
           | Some ms ->
@@ -122,12 +141,12 @@ let handle_connection config dispatch queue fd accepted_at =
         Span.count "connections_timed_out" 1.
       | Unix.Unix_error _ -> ())
 
-let worker config dispatch queue =
+let worker net faults handler queue =
   let rec loop () =
     match Workqueue.pop queue with
     | Quit -> ()
     | Conn (fd, accepted_at) ->
-      handle_connection config dispatch queue fd accepted_at;
+      handle_connection net faults handler queue fd accepted_at;
       loop ()
   in
   loop ()
@@ -137,12 +156,12 @@ let worker config dispatch queue =
    (which would let the kernel backlog and client timeouts absorb the
    overload invisibly).  The response is a few hundred bytes into a
    fresh socket buffer, so the write cannot stall the accept loop. *)
-let shed config queue fd =
+let shed net queue fd =
   Span.count "requests_shed" 1.;
   (try
      Unix.setsockopt_float fd Unix.SO_SNDTIMEO 1.;
      let response =
-       overloaded_response ~queue ~pool:config.pool
+       overloaded_response ~queue ~pool:net.n_pool
          "work queue is full; retry after the hinted backoff"
        ^ "\n"
      in
@@ -151,51 +170,54 @@ let shed config queue fd =
    with Unix.Unix_error _ -> ());
   try Unix.close fd with Unix.Unix_error _ -> ()
 
-let run ?stop ?on_ready config =
+(* The generic accept-loop/worker-pool server: everything skoped
+   except request execution, which is the [handler]'s business.  Both
+   the single-process skoped ([run], handler = Dispatch.handle) and
+   the cluster router (handler = Router.handle) are instances. *)
+let serve ?stop ?on_ready ?(handle_signals = true) ?faults ?on_queue
+    ?on_shutdown net ~handler =
   let stop = match stop with Some s -> s | None -> Atomic.make false in
-  let request_stop _ = Atomic.set stop true in
-  let prev_int = Sys.signal Sys.sigint (Sys.Signal_handle request_stop) in
-  let prev_term = Sys.signal Sys.sigterm (Sys.Signal_handle request_stop) in
-  let prev_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
-  let restore_signals () =
-    Sys.set_signal Sys.sigint prev_int;
-    Sys.set_signal Sys.sigterm prev_term;
-    Sys.set_signal Sys.sigpipe prev_pipe
+  let restore_signals =
+    if handle_signals then begin
+      let request_stop _ = Atomic.set stop true in
+      let prev_int = Sys.signal Sys.sigint (Sys.Signal_handle request_stop) in
+      let prev_term = Sys.signal Sys.sigterm (Sys.Signal_handle request_stop) in
+      let prev_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+      fun () ->
+        Sys.set_signal Sys.sigint prev_int;
+        Sys.set_signal Sys.sigterm prev_term;
+        Sys.set_signal Sys.sigpipe prev_pipe
+    end
+    else Fun.id
   in
-  let dispatch = Dispatch.create ~config:config.dispatch () in
-  let queue = Workqueue.create ~capacity:config.queue_capacity in
-  Metrics.register_gauge dispatch.Dispatch.metrics ~name:"skope_queue_depth"
-    ~help:"Accepted connections waiting for a worker." (fun () ->
-      float_of_int (Workqueue.length queue));
+  let queue = Workqueue.create ~capacity:net.n_queue_capacity in
+  (match on_queue with
+  | Some f -> f (fun () -> Workqueue.length queue)
+  | None -> ());
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Fun.protect ~finally:restore_signals @@ fun () ->
   Fun.protect
     ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
   @@ fun () ->
   Unix.setsockopt sock Unix.SO_REUSEADDR true;
-  let addr = Unix.inet_addr_of_string config.host in
-  Unix.bind sock (Unix.ADDR_INET (addr, config.port));
+  let addr = Unix.inet_addr_of_string net.n_host in
+  Unix.bind sock (Unix.ADDR_INET (addr, net.n_port));
   Unix.listen sock 64;
   let port =
     match Unix.getsockname sock with
     | Unix.ADDR_INET (_, p) -> p
-    | _ -> config.port
+    | _ -> net.n_port
   in
   (match on_ready with
   | Some f -> f port
   | None ->
-    Fmt.pr "skoped listening on %s:%d (%d workers, cache %d)@." config.host
-      port config.pool dispatch.Dispatch.config.cache_capacity;
-    (match config.faults with
-    | Some f ->
-      Fmt.pr "skoped fault injection armed: %s@."
-        (Faults.spec_to_string (Faults.spec f))
-    | None -> ());
+    Fmt.pr "skoped listening on %s:%d (%d workers)@." net.n_host port
+      net.n_pool;
     (* Scripts wait for this line before issuing queries. *)
     Format.pp_print_flush Format.std_formatter ());
   let workers =
-    List.init config.pool (fun _ ->
-        Domain.spawn (fun () -> worker config dispatch queue))
+    List.init net.n_pool (fun _ ->
+        Domain.spawn (fun () -> worker net faults handler queue))
   in
   let rec accept_loop () =
     if not (Atomic.get stop) then begin
@@ -205,7 +227,7 @@ let run ?stop ?on_ready config =
         match Unix.accept sock with
         | fd, _ ->
           if not (Workqueue.try_push queue (Conn (fd, Unix.gettimeofday ())))
-          then shed config queue fd
+          then shed net queue fd
         | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> ())
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
       accept_loop ()
@@ -217,9 +239,49 @@ let run ?stop ?on_ready config =
      work always finishes before the process does. *)
   List.iter (fun _ -> Workqueue.push queue Quit) workers;
   List.iter Domain.join workers;
-  let v = Metrics.view dispatch.Dispatch.metrics in
-  Fmt.epr
-    "skoped: served %d requests (cache hit rate %.1f%%, p50 %.2f ms); bye@."
-    v.Metrics.total_requests
-    (100. *. v.Metrics.hit_rate)
-    (v.Metrics.p50 *. 1e3)
+  match on_shutdown with Some f -> f () | None -> ()
+
+let run ?stop ?on_ready ?handle_signals config =
+  let dispatch = Dispatch.create ~config:config.dispatch () in
+  let net =
+    {
+      n_host = config.host;
+      n_port = config.port;
+      n_pool = config.pool;
+      n_queue_capacity = config.queue_capacity;
+      n_read_timeout_s = config.read_timeout_s;
+      n_write_timeout_s = config.write_timeout_s;
+      n_max_request_bytes = config.dispatch.Dispatch.max_request_bytes;
+    }
+  in
+  let on_ready =
+    match on_ready with
+    | Some f -> f
+    | None ->
+      fun port ->
+        Fmt.pr "skoped listening on %s:%d (%d workers, cache %d)@." config.host
+          port config.pool dispatch.Dispatch.config.cache_capacity;
+        (match config.faults with
+        | Some f ->
+          Fmt.pr "skoped fault injection armed: %s@."
+            (Faults.spec_to_string (Faults.spec f))
+        | None -> ());
+        (* Scripts wait for this line before issuing queries. *)
+        Format.pp_print_flush Format.std_formatter ()
+  in
+  serve ?stop ~on_ready ?handle_signals ?faults:config.faults
+    ~on_queue:(fun depth ->
+      Metrics.register_gauge dispatch.Dispatch.metrics
+        ~name:"skope_queue_depth"
+        ~help:"Accepted connections waiting for a worker." (fun () ->
+          float_of_int (depth ())))
+    ~on_shutdown:(fun () ->
+      let v = Metrics.view dispatch.Dispatch.metrics in
+      Fmt.epr
+        "skoped: served %d requests (cache hit rate %.1f%%, p50 %.2f ms); bye@."
+        v.Metrics.total_requests
+        (100. *. v.Metrics.hit_rate)
+        (v.Metrics.p50 *. 1e3))
+    net
+    ~handler:(fun ~received_at body ->
+      Dispatch.handle ~received_at dispatch body)

@@ -23,6 +23,19 @@
       testing client resilience; every injection bumps
       [faults_injected]. *)
 
+(** Transport-level knobs, independent of what the handler does. *)
+type net = {
+  n_host : string;
+  n_port : int;  (** 0 picks an ephemeral port *)
+  n_pool : int;  (** worker domains *)
+  n_queue_capacity : int;
+  n_read_timeout_s : float;  (** per-connection [SO_RCVTIMEO] *)
+  n_write_timeout_s : float;  (** per-connection [SO_SNDTIMEO] *)
+  n_max_request_bytes : int;  (** read cap; larger bodies arrive torn *)
+}
+
+val default_net : net
+
 type config = {
   host : string;
   port : int;  (** 0 picks an ephemeral port *)
@@ -36,8 +49,35 @@ type config = {
 
 val default_config : config
 
+(** The generic accept-loop/worker-pool server: [handler] receives one
+    request body per connection (with the accept timestamp, so queue
+    wait counts toward deadlines) and returns the response line.  All
+    the reliability posture above — admission control, per-connection
+    deadlines, graceful drain, optional fault injection — applies to
+    any handler.  [handle_signals] (default [true]) installs the
+    SIGINT/SIGTERM/SIGPIPE handlers; pass [false] when embedding
+    several servers in one process and let the host own its signals.
+    [on_queue] receives a queue-depth thunk once, before accepting
+    (the hook for a gauge); [on_shutdown] runs after the drain. *)
+val serve :
+  ?stop:bool Atomic.t ->
+  ?on_ready:(int -> unit) ->
+  ?handle_signals:bool ->
+  ?faults:Faults.t ->
+  ?on_queue:((unit -> int) -> unit) ->
+  ?on_shutdown:(unit -> unit) ->
+  net ->
+  handler:(received_at:float -> string -> string) ->
+  unit
+
 (** Serve until SIGINT/SIGTERM, or until [stop] (checked a few times a
     second) becomes [true] — the embedding hook for in-process tests.
     [on_ready] (default: prints a "listening" line) receives the bound
-    port — useful with [port = 0]. *)
-val run : ?stop:bool Atomic.t -> ?on_ready:(int -> unit) -> config -> unit
+    port — useful with [port = 0].  [serve] specialised to a fresh
+    {!Dispatch.t}. *)
+val run :
+  ?stop:bool Atomic.t ->
+  ?on_ready:(int -> unit) ->
+  ?handle_signals:bool ->
+  config ->
+  unit

@@ -50,6 +50,7 @@ type request =
   | Metrics_prom
   | Version
   | Capabilities
+  | Cluster_stats
 
 let analyze ?(opts = default_query_opts) ~workload ~machine () =
   Analyze { workload; machine; opts }
@@ -85,6 +86,7 @@ let kind = function
   | Metrics_prom -> "metrics_prom"
   | Version -> "version"
   | Capabilities -> "capabilities"
+  | Cluster_stats -> "cluster_stats"
 
 let query_fields ~workload ~machine (o : query_opts) =
   [ ("workload", Json.String workload); ("machine", Json.String machine) ]
@@ -147,7 +149,8 @@ let to_json ?timeout_ms request =
       if disable = [] then []
       else
         [ ("disable", Json.List (List.map (fun c -> Json.String c) disable)) ]
-    | Workloads | Machines | Stats | Metrics_prom | Version | Capabilities -> []
+    | Workloads | Machines | Stats | Metrics_prom | Version | Capabilities
+    | Cluster_stats -> []
   in
   Json.Obj (base @ fields)
 

@@ -51,6 +51,8 @@ type request =
   | Metrics_prom
   | Version
   | Capabilities
+  | Cluster_stats
+      (** cluster topology + per-shard stats; router ([skope route]) only *)
 
 (** Constructor helpers with server-side defaults. *)
 

@@ -298,4 +298,9 @@ echo "$STATS" | grep -q '"requests_shed"' \
     || fail "stats missing requests_shed counter"
 stop_server "$SLOW_PID"
 
+# --- cluster gates ----------------------------------------------------
+
+echo "smoke: cluster router gates (health, affinity, failover)"
+bash scripts/cluster_smoke.sh || fail "cluster smoke"
+
 echo "smoke: OK"

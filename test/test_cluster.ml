@@ -1,0 +1,472 @@
+(* Tests for the cluster layer: the consistent-hash ring (determinism,
+   balance, minimal disruption, failover order, bounded load), the
+   health state machine, Prometheus aggregation, and an in-process
+   router + shards end-to-end (affinity, disjoint caches, failover,
+   topology reporting). *)
+
+module Json = Core.Report.Json
+module Service = Skope_service
+module Client = Skope_service.Client
+module Api = Skope_service.Service_api
+module Ring = Skope_cluster.Ring
+module Health = Skope_cluster.Health
+module Aggregate = Skope_cluster.Aggregate
+module Router = Skope_cluster.Router
+module Local = Skope_cluster.Local
+
+(* Fingerprint-shaped keys (32 hex chars), deterministic. *)
+let keys n = List.init n (fun i -> Digest.to_hex (Digest.string (string_of_int i)))
+
+let owners ring ks =
+  List.map (fun k -> (k, Option.get (Ring.owner ring k))) ks
+
+(* --- ring ----------------------------------------------------------- *)
+
+let test_ring_determinism () =
+  let members = [ "s0"; "s1"; "s2"; "s3" ] in
+  let a = Ring.create ~vnodes:128 ~seed:42 members in
+  let b = Ring.create ~vnodes:128 ~seed:42 (List.rev members) in
+  let ks = keys 200 in
+  List.iter
+    (fun k ->
+      Alcotest.(check string)
+        (Printf.sprintf "same owner for %s" k)
+        (Option.get (Ring.owner a k))
+        (Option.get (Ring.owner b k)))
+    ks;
+  let c = Ring.create ~vnodes:128 ~seed:43 members in
+  let differs =
+    List.exists (fun k -> Ring.owner a k <> Ring.owner c k) ks
+  in
+  Alcotest.(check bool) "different seed reshuffles" true differs
+
+let test_ring_balance () =
+  let members = [ "s0"; "s1"; "s2"; "s3" ] in
+  let ring = Ring.create ~vnodes:128 ~seed:42 members in
+  let counts = Hashtbl.create 4 in
+  List.iter
+    (fun k ->
+      let o = Option.get (Ring.owner ring k) in
+      Hashtbl.replace counts o
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts o)))
+    (keys 1000);
+  let max_share =
+    List.fold_left
+      (fun acc m ->
+        max acc (Option.value ~default:0 (Hashtbl.find_opt counts m)))
+      0 members
+  in
+  let mean = 1000. /. 4. in
+  Alcotest.(check bool)
+    (Printf.sprintf "max/mean = %.3f <= 1.25" (float_of_int max_share /. mean))
+    true
+    (float_of_int max_share /. mean <= 1.25);
+  (* every member owns something at 128 vnodes *)
+  Alcotest.(check int) "all members used" 4 (Hashtbl.length counts)
+
+let test_ring_minimal_disruption () =
+  let ring = Ring.create ~vnodes:128 ~seed:42 [ "s0"; "s1"; "s2"; "s3" ] in
+  let ks = keys 1000 in
+  let before = owners ring ks in
+  let after = owners (Ring.remove ring "s2") ks in
+  List.iter2
+    (fun (k, o1) (_, o2) ->
+      if o1 = "s2" then
+        Alcotest.(check bool) "dead shard's key moved" true (o2 <> "s2")
+      else
+        Alcotest.(check string)
+          (Printf.sprintf "surviving key %s stays put" k)
+          o1 o2)
+    before after;
+  (* readmission restores the original placement exactly *)
+  let restored = owners (Ring.add (Ring.remove ring "s2") "s2") ks in
+  List.iter2
+    (fun (_, o1) (_, o2) -> Alcotest.(check string) "restored" o1 o2)
+    before restored
+
+let test_ring_successors () =
+  let ring = Ring.create ~vnodes:128 ~seed:42 [ "s0"; "s1"; "s2"; "s3" ] in
+  let key = "a-fingerprint" in
+  let order = Ring.successors ring key in
+  Alcotest.(check int) "covers every member" 4 (List.length order);
+  Alcotest.(check int) "distinct" 4
+    (List.length (List.sort_uniq String.compare order));
+  let o = Option.get (Ring.owner ring key) in
+  Alcotest.(check string) "head is the owner" o (List.hd order);
+  (* killing the owner hands the key to the ring successor *)
+  let next = List.nth order 1 in
+  Alcotest.(check string) "failover target is the successor" next
+    (Option.get (Ring.owner (Ring.remove ring o) key))
+
+let test_ring_bounded_load () =
+  let ring = Ring.create ~vnodes:128 ~seed:7 [ "a"; "b"; "c" ] in
+  let key = "hot-key" in
+  let order = Ring.successors ring key in
+  let owner = List.hd order and next = List.nth order 1 in
+  (* all idle: the owner keeps its key *)
+  let idle = Ring.route ~load:(fun _ -> 0) ~factor:1.25 ring key in
+  Alcotest.(check string) "idle ring routes to owner" owner (List.hd idle);
+  (* the owner far over capacity spills to the successor, but stays in
+     the failover order *)
+  let load m = if m = owner then 10 else 0 in
+  let routed = Ring.route ~load ~factor:1.25 ring key in
+  Alcotest.(check string) "overloaded owner spills" next (List.hd routed);
+  Alcotest.(check bool) "owner still routable" true (List.mem owner routed);
+  Alcotest.(check int) "nobody dropped" 3 (List.length routed)
+
+(* --- health --------------------------------------------------------- *)
+
+let test_health_state_machine () =
+  let cfg = { Health.fall = 3; rise = 2 } in
+  let step state ok = Health.observe cfg state ~ok in
+  (* two failures stay routable, a success resets *)
+  let s, e = step Health.Healthy false in
+  Alcotest.(check bool) "no event" true (e = None);
+  let s, _ = step s false in
+  Alcotest.(check bool) "suspect still available" true (Health.available s);
+  let s, _ = step s true in
+  Alcotest.(check bool) "success resets" true (s = Health.Healthy);
+  (* fall consecutive failures eject *)
+  let s, _ = step Health.Healthy false in
+  let s, _ = step s false in
+  let s, e = step s false in
+  Alcotest.(check bool) "ejection event" true (e = Some Health.Ejection);
+  Alcotest.(check bool) "ejected unavailable" false (Health.available s);
+  (* a lone success does not readmit; rise consecutive ones do *)
+  let s, e = step s true in
+  Alcotest.(check bool) "not yet readmitted" true
+    (e = None && not (Health.available s));
+  (* an intervening failure resets the rise count *)
+  let s2, _ = step s false in
+  let s2, e2 = step s2 true in
+  Alcotest.(check bool) "failure reset the streak" true
+    (e2 = None && not (Health.available s2));
+  let s, e = step s true in
+  Alcotest.(check bool) "readmission event" true (e = Some Health.Readmission);
+  Alcotest.(check bool) "healthy again" true (s = Health.Healthy)
+
+(* --- aggregate ------------------------------------------------------ *)
+
+let count_substring hay needle =
+  let n = String.length needle in
+  let rec go i acc =
+    if i + n > String.length hay then acc
+    else if String.sub hay i n = needle then go (i + 1) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let test_aggregate_merge () =
+  let shard v =
+    Printf.sprintf
+      "# HELP skope_requests_total Total requests.\n\
+       # TYPE skope_requests_total counter\n\
+       skope_requests_total{kind=\"analyze\"} %d\n\
+       skope_requests_total %d\n\
+       # HELP skope_request_seconds Latency.\n\
+       # TYPE skope_request_seconds histogram\n\
+       skope_request_seconds_bucket{le=\"0.1\"} %d\n\
+       skope_request_seconds_sum %d.5\n\
+       # HELP skope_lru_entries Cache entries.\n\
+       # TYPE skope_lru_entries gauge\n\
+       skope_lru_entries %d\n"
+      v (v * 2) v v (v * 3)
+  in
+  let merged = Aggregate.merge [ ("s0", shard 5); ("s1", shard 9) ] in
+  (* one header per family, regardless of shard count *)
+  List.iter
+    (fun fam ->
+      Alcotest.(check int)
+        (Printf.sprintf "one HELP for %s" fam)
+        1
+        (count_substring merged (Printf.sprintf "# HELP %s " fam));
+      Alcotest.(check int)
+        (Printf.sprintf "one TYPE for %s" fam)
+        1
+        (count_substring merged (Printf.sprintf "# TYPE %s " fam)))
+    [ "skope_requests_total"; "skope_request_seconds"; "skope_lru_entries" ];
+  (* labels injected first into existing sets, fresh sets on bare names *)
+  Alcotest.(check int) "labelled sample kept labels" 1
+    (count_substring merged
+       "skope_requests_total{shard=\"s0\",kind=\"analyze\"} 5");
+  Alcotest.(check int) "bare sample got a label set" 1
+    (count_substring merged "skope_lru_entries{shard=\"s1\"} 27");
+  (* histogram samples stayed inside their family block *)
+  Alcotest.(check int) "bucket samples labelled" 1
+    (count_substring merged
+       "skope_request_seconds_bucket{shard=\"s1\",le=\"0.1\"} 9");
+  (* every sample of both shards survived *)
+  Alcotest.(check int) "all s0 samples" 5 (count_substring merged "{shard=\"s0\"");
+  Alcotest.(check int) "all s1 samples" 5 (count_substring merged "{shard=\"s1\"")
+
+let test_inject_label_edge_cases () =
+  Alcotest.(check string) "empty label set"
+    "foo{shard=\"s0\"} 1"
+    (Aggregate.inject_label ~shard:"s0" "foo{} 1");
+  Alcotest.(check string) "bare counter"
+    "foo_total{shard=\"s0\"} 2"
+    (Aggregate.inject_label ~shard:"s0" "foo_total 2")
+
+(* --- protocol plumbing ---------------------------------------------- *)
+
+let test_cluster_stats_kind () =
+  let body = Api.to_body Api.Cluster_stats in
+  (match Service.Protocol.parse_request body with
+  | Ok (Service.Protocol.Cluster_stats, None) -> ()
+  | Ok _ -> Alcotest.fail "parsed to the wrong request"
+  | Error (_, m) -> Alcotest.failf "parse failed: %s" m);
+  (* a single-process skoped refuses it, pointing at the router *)
+  let d = Service.Dispatch.create () in
+  let resp = Service.Dispatch.handle d body in
+  match Api.parse_response resp with
+  | Ok r ->
+    Alcotest.(check bool) "rejected" false r.Api.r_ok;
+    Alcotest.(check (option string)) "code" (Some "invalid_request")
+      r.Api.r_error_code;
+    Alcotest.(check bool) "mentions the router" true
+      (match r.Api.r_error_message with
+      | Some m -> count_substring m "skope route" = 1
+      | None -> false)
+  | Error e -> Alcotest.failf "undecodable response: %s" e
+
+(* --- end-to-end: in-process cluster --------------------------------- *)
+
+let with_cluster ?(shards = 2) ?(cache = 64) ?health f =
+  let c =
+    Local.start ~shards ~cache_capacity:cache ?health ~probe_interval_s:0.1
+      ~shard_pool:1 ~router_pool:2 ()
+  in
+  Fun.protect ~finally:(fun () -> Local.stop c) (fun () -> f c)
+
+let request ?(retry = Client.default_retry) port body =
+  match Client.request ~retry ~host:"127.0.0.1" ~port body with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "request failed: %a" Client.pp_error e
+
+let analyze_body scale =
+  Api.to_body
+    (Api.analyze
+       ~opts:{ Api.default_query_opts with Api.scale = Some scale }
+       ~workload:"sord" ~machine:"bgq" ())
+
+let response_result resp =
+  match Json.of_string resp with
+  | Ok j ->
+    Alcotest.(check bool) "response ok" true
+      (Json.member "ok" j = Some (Json.Bool true));
+    Option.get (Json.member "result" j)
+  | Error e -> Alcotest.failf "bad response json: %s" e
+
+let shard_of resp =
+  match Router.shard_of_response resp with
+  | Some s -> s
+  | None -> Alcotest.failf "response has no shard field: %s" resp
+
+let cluster_stats port =
+  response_result (request port (Api.to_body Api.Cluster_stats))
+
+(* (id, state, cache_hits, cache_misses) per member. *)
+let member_cache_stats stats =
+  match Json.member "members" stats with
+  | Some (Json.List ms) ->
+    List.map
+      (fun m ->
+        let str key =
+          match Json.member key m with Some (Json.String s) -> s | _ -> "?"
+        in
+        let metric key =
+          match
+            Option.bind
+              (Option.bind (Json.member "stats" m) (Json.member "metrics"))
+              (Json.member key)
+          with
+          | Some (Json.Int n) -> n
+          | _ -> 0
+        in
+        (str "id", str "state", metric "cache_hits", metric "cache_misses"))
+      ms
+  | _ -> Alcotest.fail "cluster_stats has no members list"
+
+let int_at path json =
+  let rec go json = function
+    | [] -> ( match json with Json.Int n -> n | _ -> -1)
+    | k :: rest -> (
+      match Json.member k json with Some j -> go j rest | None -> -1)
+  in
+  go json path
+
+let test_e2e_affinity_disjoint_caches () =
+  with_cluster ~shards:2 (fun c ->
+      let port = Local.router_port c in
+      let scales = List.init 6 (fun i -> 0.2 +. (0.01 *. float_of_int i)) in
+      (* round 1: six distinct fingerprints, one build each *)
+      let placed =
+        List.map (fun s -> (s, shard_of (request port (analyze_body s)))) scales
+      in
+      (* round 2: every repeat lands on the same shard and is a hit *)
+      List.iter
+        (fun (s, shard) ->
+          Alcotest.(check string)
+            (Printf.sprintf "scale %.2f sticks to its shard" s)
+            shard
+            (shard_of (request port (analyze_body s))))
+        placed;
+      let stats = member_cache_stats (cluster_stats port) in
+      let hits = List.fold_left (fun a (_, _, h, _) -> a + h) 0 stats in
+      let misses = List.fold_left (fun a (_, _, _, m) -> a + m) 0 stats in
+      (* disjoint: each fingerprint was built exactly once cluster-wide
+         and was a hit exactly once (its repeat), on its owning shard *)
+      Alcotest.(check int) "6 builds cluster-wide" 6 misses;
+      Alcotest.(check int) "6 hits cluster-wide" 6 hits;
+      Alcotest.(check int) "all shards healthy" 2
+        (int_at [ "healthy" ] (cluster_stats port)))
+
+let test_e2e_capabilities_topology () =
+  with_cluster ~shards:2 (fun c ->
+      let port = Local.router_port c in
+      let result = response_result (request port (Api.to_body Api.Capabilities)) in
+      (match Json.member "kinds" result with
+      | Some (Json.List kinds) ->
+        Alcotest.(check bool) "advertises cluster_stats" true
+          (List.mem (Json.String "cluster_stats") kinds);
+        Alcotest.(check bool) "still advertises analyze" true
+          (List.mem (Json.String "analyze") kinds)
+      | _ -> Alcotest.fail "no kinds in capabilities");
+      Alcotest.(check int) "cluster.shards" 2
+        (int_at [ "cluster"; "shards" ] result);
+      match Json.member "cluster" result with
+      | Some cl -> (
+        match Json.member "ring" cl with
+        | Some ring ->
+          Alcotest.(check int) "ring seed" 42 (int_at [ "seed" ] ring);
+          (match Json.member "members" ring with
+          | Some (Json.List ms) ->
+            Alcotest.(check int) "ring members" 2 (List.length ms)
+          | _ -> Alcotest.fail "no ring members")
+        | None -> Alcotest.fail "no ring in cluster topology")
+      | None -> Alcotest.fail "no cluster object in capabilities")
+
+let test_e2e_metrics_aggregation () =
+  with_cluster ~shards:2 (fun c ->
+      let port = Local.router_port c in
+      ignore (request port (analyze_body 0.25));
+      let result =
+        response_result (request port (Api.to_body Api.Metrics_prom))
+      in
+      let body =
+        match Json.member "body" result with
+        | Some (Json.String s) -> s
+        | _ -> Alcotest.fail "no exposition body"
+      in
+      Alcotest.(check int) "router family present" 1
+        (count_substring body "skope_cluster_shards 2");
+      List.iter
+        (fun id ->
+          Alcotest.(check bool)
+            (Printf.sprintf "per-shard series for %s" id)
+            true
+            (count_substring body (Printf.sprintf "{shard=\"%s\"" id) > 0))
+        [ "s0"; "s1" ];
+      (* shard families are deduplicated to one header *)
+      Alcotest.(check int) "one HELP for shard requests" 1
+        (count_substring body "# HELP skope_requests_total "))
+
+let test_e2e_failover_and_ejection () =
+  with_cluster ~shards:2 ~health:{ Health.fall = 2; rise = 2 } (fun c ->
+      let port = Local.router_port c in
+      let body = analyze_body 0.3 in
+      let owner = shard_of (request port body) in
+      let owner_index =
+        match Array.to_list (Local.shard_ids c) |> List.mapi (fun i x -> (i, x))
+              |> List.find_opt (fun (_, x) -> x = owner) with
+        | Some (i, _) -> i
+        | None -> Alcotest.failf "unknown shard id %s" owner
+      in
+      (* kill the owning shard: the very next request must still be
+         answered, by the ring successor *)
+      Local.stop_shard c owner_index;
+      let survivor = shard_of (request port body) in
+      Alcotest.(check bool) "failed over off the dead shard" true
+        (survivor <> owner);
+      (* probes (every 0.1 s, fall 2) eject the dead member *)
+      let deadline = Unix.gettimeofday () +. 5. in
+      let rec wait_ejected () =
+        let stats = cluster_stats port in
+        if int_at [ "healthy" ] stats = 1 then stats
+        else if Unix.gettimeofday () > deadline then
+          Alcotest.fail "dead shard never ejected"
+        else begin
+          Thread.delay 0.05;
+          wait_ejected ()
+        end
+      in
+      let stats = wait_ejected () in
+      List.iter
+        (fun (id, state, _, _) ->
+          if id = owner then
+            Alcotest.(check string) "dead member ejected" "ejected" state)
+        (member_cache_stats stats);
+      Alcotest.(check bool) "router recorded failovers" true
+        (int_at [ "router"; "failovers" ] stats >= 1);
+      (* post-ejection the cluster answers without failover latency *)
+      for _ = 1 to 5 do
+        Alcotest.(check string) "steady state on survivor" survivor
+          (shard_of (request port body))
+      done)
+
+let test_e2e_no_shard_is_structured () =
+  with_cluster ~shards:1 (fun c ->
+      let port = Local.router_port c in
+      Local.stop_shard c 0;
+      match
+        Client.request ~retry:Client.no_retry ~host:"127.0.0.1" ~port
+          (analyze_body 0.25)
+      with
+      | Ok resp -> Alcotest.failf "expected overloaded, got: %s" resp
+      | Error (Client.Overloaded { retry_after_ms; _ }) ->
+        Alcotest.(check bool) "carries a backoff hint" true
+          (retry_after_ms <> None)
+      | Error e -> Alcotest.failf "expected overloaded, got %a" Client.pp_error e)
+
+let suite =
+  [
+    ( "cluster.ring",
+      [
+        Alcotest.test_case "seeded determinism" `Quick test_ring_determinism;
+        Alcotest.test_case "balance bound" `Quick test_ring_balance;
+        Alcotest.test_case "minimal disruption" `Quick
+          test_ring_minimal_disruption;
+        Alcotest.test_case "successor failover order" `Quick
+          test_ring_successors;
+        Alcotest.test_case "bounded load" `Quick test_ring_bounded_load;
+      ] );
+    ( "cluster.health",
+      [
+        Alcotest.test_case "ejection and readmission" `Quick
+          test_health_state_machine;
+      ] );
+    ( "cluster.aggregate",
+      [
+        Alcotest.test_case "merge with shard labels" `Quick
+          test_aggregate_merge;
+        Alcotest.test_case "label injection edges" `Quick
+          test_inject_label_edge_cases;
+      ] );
+    ( "cluster.protocol",
+      [
+        Alcotest.test_case "cluster_stats kind" `Quick test_cluster_stats_kind;
+      ] );
+    ( "cluster.e2e",
+      [
+        Alcotest.test_case "affinity and disjoint caches" `Quick
+          test_e2e_affinity_disjoint_caches;
+        Alcotest.test_case "capabilities topology" `Quick
+          test_e2e_capabilities_topology;
+        Alcotest.test_case "metrics aggregation" `Quick
+          test_e2e_metrics_aggregation;
+        Alcotest.test_case "failover and ejection" `Quick
+          test_e2e_failover_and_ejection;
+        Alcotest.test_case "no shard left" `Quick
+          test_e2e_no_shard_is_structured;
+      ] );
+  ]

@@ -21,4 +21,5 @@ let () =
          Test_service.suite;
          Test_explore.suite;
          Test_telemetry.suite;
+         Test_cluster.suite;
        ])
