@@ -963,6 +963,32 @@ let lint_section () =
     Workloads.Registry.all
 
 (* ------------------------------------------------------------------ *)
+(* Audit throughput: symbolic derivation plus all eight A rules (the
+   scale-sweep probes re-derive the tree several times), so it is the
+   most expensive static pass; it runs once per `skope audit` target
+   and has to stay within interactive latency. *)
+
+let audit_section () =
+  section "audit_throughput"
+    "skope audit: symbolic derivation + scaling/deadlock rules";
+  let reps = 20 in
+  List.iter
+    (fun (w : Workloads.Registry.t) ->
+      let scale = w.default_scale in
+      let run () = Pipeline.audit ~workload:w ~scale () in
+      let n_diags = List.length (run ()).Lint.Audit.diags in
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to reps do
+        ignore (run ())
+      done;
+      let per = (Unix.gettimeofday () -. t0) /. float_of_int reps in
+      Fmt.pr "  %-12s %8.3f ms/run  %6.0f runs/s  (%d diagnostics)@." w.name
+        (per *. 1e3)
+        (1. /. per)
+        n_diags)
+    Workloads.Registry.all
+
+(* ------------------------------------------------------------------ *)
 (* Telemetry overhead: the tracer must be free when disabled and
    cheap when collecting — instrumented phases run once per request,
    so even the enabled cost only has to beat a projection (~ms). *)
@@ -1205,6 +1231,7 @@ let () =
   explore_section ();
   ignore (cluster_section ());
   lint_section ();
+  audit_section ();
   telemetry_section ();
   Fmt.pr "@.[bench] total wall time %.1fs@." (Unix.gettimeofday () -. t0)
   end

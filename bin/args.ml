@@ -143,3 +143,50 @@ let axes_arg =
      freq, l2, div (repeatable; the grid is their cartesian product)."
   in
   Arg.(value & opt_all string [] & info [ "axis" ] ~docv:"KEY=V1,V2,.." ~doc)
+
+(* --- rule gating (lint + audit) ------------------------------------- *)
+
+(** The diagnostic-gating flags are shared verbatim between [skope
+    lint] and [skope audit]; one definition keeps their names,
+    semantics and exit codes identical. *)
+
+let deny_arg =
+  let doc = "Fail on this class of findings; only `warnings' is recognized." in
+  Arg.(value & opt_all string [] & info [ "deny" ] ~docv:"WHAT" ~doc)
+
+let disable_arg =
+  let doc = "Disable a rule by code, e.g. L008 or A003 (repeatable)." in
+  Arg.(value & opt_all string [] & info [ "disable" ] ~docv:"CODE" ~doc)
+
+let only_arg =
+  let doc = "Enable only these rule codes (repeatable)." in
+  Arg.(value & opt_all string [] & info [ "only" ] ~docv:"CODE" ~doc)
+
+let rules_flag =
+  let doc = "List the rules and exit." in
+  Arg.(value & flag & info [ "rules" ] ~doc)
+
+(** Validate the repeatable [--deny] values (only ["warnings"] is
+    recognized; anything else exits 2) and fold them to a flag. *)
+let deny_warnings_of deny =
+  List.iter
+    (fun d ->
+      if d <> "warnings" then begin
+        Fmt.epr "unknown --deny %S (only `warnings' is recognized)@." d;
+        exit 2
+      end)
+    deny;
+  List.mem "warnings" deny
+
+(** Resolve [--disable]/[--only] against a rule registry: [--only]
+    disables the complement of the named codes. *)
+let resolve_disabled ~rules ~disable ~only =
+  if only = [] then disable
+  else
+    disable
+    @ (rules
+      |> List.filter (fun (c, _) -> not (List.mem c only))
+      |> List.map fst)
+
+(** Print a rule registry as aligned [CODE  summary] lines. *)
+let print_rules rules = List.iter (fun (c, d) -> Fmt.pr "%s  %s@." c d) rules

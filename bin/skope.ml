@@ -211,44 +211,16 @@ let cmd_lint =
     let doc = "Lint every bundled workload." in
     Arg.(value & flag & info [ "workloads" ] ~doc)
   in
-  let deny_arg =
-    let doc = "Fail on this class of findings; only `warnings' is recognized." in
-    Arg.(value & opt_all string [] & info [ "deny" ] ~docv:"WHAT" ~doc)
-  in
-  let disable_arg =
-    let doc = "Disable a rule by code, e.g. L008 (repeatable)." in
-    Arg.(value & opt_all string [] & info [ "disable" ] ~docv:"CODE" ~doc)
-  in
-  let only_arg =
-    let doc = "Enable only these rule codes (repeatable)." in
-    Arg.(value & opt_all string [] & info [ "only" ] ~docv:"CODE" ~doc)
-  in
-  let rules_flag =
-    let doc = "List the lint rules and exit." in
-    Arg.(value & flag & info [ "rules" ] ~doc)
-  in
   let run files workloads all_workloads scale inputs format deny disable only
       rules trace =
     with_trace trace ~root:"lint" @@ fun () ->
     if rules then begin
-      List.iter (fun (c, d) -> Fmt.pr "%s  %s@." c d) Core.Lint.Engine.rules;
+      print_rules Core.Lint.Engine.rules;
       exit 0
     end;
-    List.iter
-      (fun d ->
-        if d <> "warnings" then begin
-          Fmt.epr "unknown --deny %S (only `warnings' is recognized)@." d;
-          exit 2
-        end)
-      deny;
-    let deny_warnings = List.mem "warnings" deny in
+    let deny_warnings = deny_warnings_of deny in
     let disabled =
-      if only = [] then disable
-      else
-        disable
-        @ (Core.Lint.Engine.rules
-          |> List.filter (fun (c, _) -> not (List.mem c only))
-          |> List.map fst)
+      resolve_disabled ~rules:Core.Lint.Engine.rules ~disable ~only
     in
     let config = { Core.Lint.Engine.disabled; hints = [] } in
     let workloads =
@@ -336,6 +308,122 @@ let cmd_lint =
       const run $ files_arg $ lint_workloads_arg $ all_workloads_arg
       $ scale_arg $ inputs_arg $ format_arg $ deny_arg $ disable_arg
       $ only_arg $ rules_flag $ trace_arg)
+
+let cmd_audit =
+  let module J = Core.Report.Json in
+  let module Audit = Core.Lint.Audit in
+  let files_arg =
+    let doc = "Skeleton files to audit." in
+    Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc)
+  in
+  let audit_workloads_arg =
+    let doc = "Audit this bundled workload (repeatable)." in
+    Arg.(value & opt_all string [] & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
+  in
+  let all_workloads_arg =
+    let doc = "Audit every bundled workload." in
+    Arg.(value & flag & info [ "workloads" ] ~doc)
+  in
+  let ranks_arg =
+    let doc =
+      "Rank-space size for the load-imbalance and deadlock checks when the \
+       program has no process-count input."
+    in
+    Arg.(value & opt int 4 & info [ "ranks" ] ~docv:"N" ~doc)
+  in
+  let run files workloads all_workloads scale inputs format deny disable only
+      rules machine ranks trace =
+    with_trace trace ~root:"audit" @@ fun () ->
+    if rules then begin
+      print_rules Audit.rules;
+      exit 0
+    end;
+    let deny_warnings = deny_warnings_of deny in
+    let disabled = resolve_disabled ~rules:Audit.rules ~disable ~only in
+    if ranks < 1 || ranks > 1024 then begin
+      Fmt.epr "--ranks must be in [1, 1024]@.";
+      exit 2
+    end;
+    let config =
+      { Audit.default_config with disabled; machine = lookup_machine machine;
+        ranks }
+    in
+    let workloads =
+      if all_workloads then
+        List.map
+          (fun (w : Core.Workloads.Registry.t) -> w.name)
+          Core.Workloads.Registry.all
+      else workloads
+    in
+    if files = [] && workloads = [] then begin
+      Fmt.epr "nothing to audit: give FILEs, --workload or --workloads@.";
+      exit 2
+    end;
+    let cli_inputs = parse_inputs inputs in
+    let file_targets =
+      List.map
+        (fun file ->
+          let program, source, diags =
+            parse_with_diagnostics ~inputs:(List.map fst cli_inputs) file
+          in
+          match program with
+          | Some p when diags = [] ->
+            let report = Audit.run ~config ~inputs:cli_inputs p in
+            ( file,
+              Some source,
+              report.Audit.diags,
+              Audit.result_json ~target:file ~deny_warnings config report )
+          | _ ->
+            let diags = Diag.normalize diags in
+            ( file,
+              Some source,
+              diags,
+              Audit.diags_json ~target:file ~deny_warnings diags ))
+        files
+    in
+    let workload_targets =
+      List.map
+        (fun name ->
+          let w = lookup_workload name in
+          let scale = Option.value ~default:w.default_scale scale in
+          let report = Core.Pipeline.audit ~config ~workload:w ~scale () in
+          ( name,
+            None,
+            report.Audit.diags,
+            Audit.result_json ~target:name ~scale ~deny_warnings config report
+          ))
+        workloads
+    in
+    let targets = file_targets @ workload_targets in
+    let all_diags = List.concat_map (fun (_, _, ds, _) -> ds) targets in
+    (match format with
+    | `Json ->
+      print_endline
+        (J.to_string
+           (J.Obj
+              [
+                ("ok", J.Bool (not (Diag.fails ~deny_warnings all_diags)));
+                ("targets", J.List (List.map (fun (_, _, _, j) -> j) targets));
+              ]))
+    | `Text ->
+      List.iter
+        (fun (target, source, ds, _) ->
+          List.iter (fun d -> Fmt.pr "%a@." (Diag.render ?source ()) d) ds;
+          Fmt.pr "%s: %s@." target
+            (if ds = [] then "clean" else Diag.summary ds))
+        targets);
+    if Diag.fails ~deny_warnings all_diags then exit 1
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Statically audit skeletons with the symbolic cost model: scaling, \
+          working-set and communication-deadlock rules (A001..A008; see \
+          --rules)")
+    Term.(
+      const run $ files_arg $ audit_workloads_arg $ all_workloads_arg
+      $ scale_arg $ inputs_arg $ format_arg $ deny_arg $ disable_arg
+      $ only_arg $ rules_flag $ machine_arg $ ranks_arg $ trace_arg)
 
 let print_analysis machine program inputs criteria k =
   let built =
@@ -1490,6 +1578,7 @@ let () =
        (Cmd.group ~default info
           [
             cmd_workloads; cmd_machines; cmd_show; cmd_parse; cmd_lint;
+            cmd_audit;
             cmd_analyze; cmd_validate; cmd_hints; cmd_miniapp; cmd_sweep;
             cmd_explore;
             cmd_nodes; cmd_roofline; cmd_json; cmd_import; cmd_spots;

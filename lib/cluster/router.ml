@@ -155,7 +155,7 @@ let affinity_key t request body =
     match query_fingerprint q with
     | Some fp -> fp
     | None -> body_key body)
-  | Protocol.Lint _ -> body_key body
+  | Protocol.Lint _ | Protocol.Audit _ -> body_key body
   | Protocol.Workloads | Protocol.Machines | Protocol.Stats
   | Protocol.Metrics_prom | Protocol.Version | Protocol.Capabilities
   | Protocol.Cluster_stats ->

@@ -130,6 +130,26 @@ let analyze ?(criteria = Hotspot.default_criteria)
   let prepared = prepare ~hints ~workload ~scale () in
   project_onto ~criteria ~opts ~cache prepared machine
 
+(** Static performance audit of a bundled workload: symbolic scaling /
+    working-set / communication diagnostics at [scale], with the
+    workload's own [make] as the scale-sweep [vary] hook so growth
+    probes rebind every input consistently. *)
+let audit ?(config = Skope_lint.Audit.default_config)
+    ~(workload : Registry.t) ~scale () : Skope_lint.Audit.report =
+  let program, inputs =
+    Span.with_ ~name:"workload_make"
+      ~attrs:[ ("workload", workload.Registry.name) ]
+      (fun () -> workload.Registry.make ~scale)
+  in
+  let config =
+    {
+      config with
+      Skope_lint.Audit.vary =
+        Some (fun m -> snd (workload.Registry.make ~scale:(scale *. m)));
+    }
+  in
+  Skope_lint.Audit.run ~config ~inputs program
+
 (** Full validation run: profile locally, project analytically, and
     simulate on the target as ground truth. *)
 let run ?(criteria = Hotspot.default_criteria) ?(opts = Roofline.default_opts)

@@ -95,6 +95,17 @@ val analyze :
   unit ->
   analysis
 
+(** Static performance audit of a bundled workload: symbolic scaling /
+    working-set / communication diagnostics (A001..A008) at [scale].
+    The workload's own [make] becomes the audit's scale-sweep hook, so
+    growth probes rebind every input consistently. *)
+val audit :
+  ?config:Skope_lint.Audit.config ->
+  workload:Registry.t ->
+  scale:float ->
+  unit ->
+  Skope_lint.Audit.report
+
 (** Full validation run: profile locally, project analytically,
     simulate on the target as ground truth. *)
 val run :

@@ -1,0 +1,45 @@
+(** `skope audit`: scaling, working-set and communication diagnostics
+    (rules A001..A008) over the symbolic cost model.
+
+    Complements lint: lint checks what is {e wrong} at one concrete
+    scale (intervals); audit checks what {e goes wrong as the scale
+    grows} (closed forms from {!Symbolic}, probed along parameter
+    sweeps, plus a synchronous-rendezvous deadlock check). *)
+
+open Skope_skeleton
+module Value = Skope_bet.Value
+module Machine = Skope_hw.Machine
+
+(** [(code, summary)] pairs for every audit rule, in code order. *)
+val rules : (string * string) list
+
+type config = {
+  disabled : string list;  (** rule codes to skip *)
+  machine : Machine.t;  (** cache geometry + balance for A003..A005 *)
+  ranks : int;  (** rank-space size for A006/A007 when no [p] input *)
+  vary : (float -> (string * Value.t) list) option;
+      (** full input rebinding at scale multiplier [m]; defaults to
+          multiplying every non-rank numeric input that is [>= 2] *)
+}
+
+val default_config : config
+
+type report = { diags : Diagnostic.t list; sym : Symbolic.result }
+
+val run :
+  ?config:config -> ?inputs:(string * Value.t) list -> Ast.program -> report
+
+(** Shared per-target JSON rendering, used verbatim by the CLI and the
+    skoped [audit] kind so the two paths stay at parity. *)
+val result_json :
+  target:string ->
+  ?scale:float ->
+  deny_warnings:bool ->
+  config ->
+  report ->
+  Skope_report.Json.t
+
+(** Reduced form for targets that failed before audit could run
+    (parse/validate errors): same envelope, no [sym] block. *)
+val diags_json :
+  target:string -> deny_warnings:bool -> Diagnostic.t list -> Skope_report.Json.t

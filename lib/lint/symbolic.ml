@@ -1,0 +1,1062 @@
+(** Symbolic cost model over skeleton ASTs (the core of `skope audit`).
+
+    [derive] walks the program exactly like [Bet.Build.build] does —
+    same context threading, same mass arithmetic, in the same order —
+    but alongside every concrete quantity it carries a reified
+    [Ast.expr] over the workload's input parameters (n, p, ...).  The
+    result is a tree shaped like the BET whose per-node trip counts and
+    work vectors are closed-form expressions: evaluating them with
+    [Bet.Eval] at the reference inputs reproduces the BET's concrete
+    counts bit for bit, and evaluating them at other bindings predicts
+    how each block scales.
+
+    Two approximations are inherent and documented here once:
+
+    - {e frozen control flow}: context masses and branch/exit
+      probabilities are embedded as float literals taken from the
+      reference scale, so a branch decided differently at another scale
+      is not re-decided symbolically;
+    - {e reconciliation}: every derived expression is checked by
+      evaluating it at the reference inputs against the concrete
+      mirror, and again against an independently built BET.  Any
+      divergence (non-evaluable substitution, float-path corner,
+      oversized expression) demotes that expression to a literal of the
+      concrete value and bumps [fallbacks] — so soundness of the
+      evaluated-at-reference counts is unconditional, and [fallbacks]
+      measures how much genuine symbolic structure survived. *)
+
+open Skope_skeleton
+module Value = Skope_bet.Value
+module Eval = Skope_bet.Eval
+module Hints = Skope_bet.Hints
+module Work = Skope_bet.Work
+module Bnode = Skope_bet.Node
+module Block_id = Skope_bet.Block_id
+module Smap = Eval.Smap
+
+(* --- expression construction ---------------------------------------- *)
+
+let const_v : Value.t -> Ast.expr = function
+  | Value.I i -> Ast.Int i
+  | Value.F f -> Ast.Float f
+  | Value.B b -> Ast.Bool b
+
+let cf f : Ast.expr = Ast.Float f
+
+let is_zero = function Ast.Float 0. | Ast.Int 0 -> true | _ -> false
+let is_one = function Ast.Float 1. | Ast.Int 1 -> true | _ -> false
+
+(* Only identities that are exact in float arithmetic are folded, so a
+   simplified expression still evaluates to the bit-identical value. *)
+let add a b = if is_zero a then b else if is_zero b then a else Ast.Binop (Ast.Add, a, b)
+let sub a b = if is_zero b then a else Ast.Binop (Ast.Sub, a, b)
+
+let mul a b =
+  if is_one a then b
+  else if is_one b then a
+  else if is_zero a || is_zero b then cf 0.
+  else Ast.Binop (Ast.Mul, a, b)
+
+let div a b = if is_one b then a else Ast.Binop (Ast.Div, a, b)
+let min_ a b = if a = b then a else Ast.Binop (Ast.Min, a, b)
+let max_ a b = if a = b then a else Ast.Binop (Ast.Max, a, b)
+let pow a b = Ast.Binop (Ast.Pow, a, b)
+let floor_ a = Ast.Unop (Ast.Floor, a)
+
+(* Integer floor division for b > 0: (a - (((a mod b) + b) mod b)) / b.
+   All-integer operands make this evaluate exactly like Build's
+   [Float.floor (a /. b)] on the same values. *)
+let fdiv a b =
+  let r = Ast.Binop (Ast.Mod, Ast.Binop (Ast.Add, Ast.Binop (Ast.Mod, a, b), b), b) in
+  Ast.Binop (Ast.Div, Ast.Binop (Ast.Sub, a, r), b)
+
+let rec size = function
+  | Ast.Int _ | Ast.Float _ | Ast.Bool _ | Ast.Var _ -> 1
+  | Ast.Binop (_, a, b) | Ast.Cmp (_, a, b) | Ast.And (a, b) | Ast.Or (a, b) ->
+    1 + size a + size b
+  | Ast.Unop (_, a) -> 1 + size a
+
+exception Cut
+
+let max_expr_size = 4096
+
+(* Substitute the symbolic environment into [e]; [None] when a variable
+   has no symbolic binding or the result would blow past the size cap. *)
+let subst (senv : Ast.expr Smap.t) (e : Ast.expr) : Ast.expr option =
+  let budget = ref max_expr_size in
+  let spend n =
+    budget := !budget - n;
+    if !budget < 0 then raise Cut
+  in
+  let rec go e =
+    match e with
+    | Ast.Int _ | Ast.Float _ | Ast.Bool _ ->
+      spend 1;
+      e
+    | Ast.Var v -> (
+      match Smap.find_opt v senv with
+      | Some se ->
+        spend (size se);
+        se
+      | None -> raise Cut)
+    | Ast.Binop (op, a, b) ->
+      spend 1;
+      let a = go a in
+      let b = go b in
+      Ast.Binop (op, a, b)
+    | Ast.Cmp (op, a, b) ->
+      spend 1;
+      let a = go a in
+      let b = go b in
+      Ast.Cmp (op, a, b)
+    | Ast.And (a, b) ->
+      spend 1;
+      let a = go a in
+      let b = go b in
+      Ast.And (a, b)
+    | Ast.Or (a, b) ->
+      spend 1;
+      let a = go a in
+      let b = go b in
+      Ast.Or (a, b)
+    | Ast.Unop (op, a) ->
+      spend 1;
+      Ast.Unop (op, go a)
+  in
+  match go e with x -> Some x | exception Cut -> None
+
+(* --- contexts: (concrete env, symbolic env, mass) -------------------- *)
+
+type sctx = { env : Eval.env; senv : Ast.expr Smap.t; mass : float }
+
+let mass_of cs = List.fold_left (fun acc (c : sctx) -> acc +. c.mass) 0. cs
+let cscale c f = { c with mass = c.mass *. f }
+let env_equal (a : Eval.env) b = Smap.equal Value.equal a b
+
+(* Mirrors [Bet.Context.normalize] so masses stay bit-identical.  When
+   two contexts merge, the first one's symbolic environment is kept:
+   both evaluate to the same concrete values at the reference inputs,
+   so the per-context invariant survives the merge. *)
+let normalize ?(cap = 64) (cs : sctx list) : sctx list =
+  let cs = List.filter (fun c -> c.mass > 1e-12) cs in
+  let groups : sctx list ref = ref [] in
+  List.iter
+    (fun c ->
+      let rec insert = function
+        | [] -> [ c ]
+        | g :: rest when env_equal g.env c.env ->
+          { g with mass = g.mass +. c.mass } :: rest
+        | g :: rest -> g :: insert rest
+      in
+      groups := insert !groups)
+    cs;
+  let sorted = List.sort (fun a b -> Float.compare b.mass a.mass) !groups in
+  if List.length sorted <= cap then sorted
+  else
+    match sorted with
+    | [] -> []
+    | heaviest :: _ ->
+      let kept = List.filteri (fun i _ -> i < cap) sorted in
+      let dropped =
+        List.fold_left
+          (fun acc (c : sctx) -> acc +. c.mass)
+          0.
+          (List.filteri (fun i _ -> i >= cap) sorted)
+      in
+      List.map
+        (fun c ->
+          if env_equal c.env heaviest.env then { c with mass = c.mass +. dropped }
+          else c)
+        kept
+
+(* = Context.expect / expect_prob over sctx. *)
+let expect_conc ?(default = 0.) cs e =
+  let total, weighted =
+    List.fold_left
+      (fun (t, w) (c : sctx) ->
+        (t +. c.mass, w +. (c.mass *. Eval.eval_float ~default c.env e)))
+      (0., 0.) cs
+  in
+  if total <= 0. then default else weighted /. total
+
+let expect_prob ?(default = 0.5) cs e =
+  let total, weighted =
+    List.fold_left
+      (fun (t, w) (c : sctx) ->
+        (t +. c.mass, w +. (c.mass *. Eval.eval_prob ~default c.env e)))
+      (0., 0.) cs
+  in
+  if total <= 0. then default else weighted /. total
+
+let expect_sym ~default cs e =
+  let total = mass_of cs in
+  if total <= 0. then cf default
+  else
+    let sum =
+      List.fold_left
+        (fun acc (c : sctx) ->
+          let term =
+            match (Eval.eval c.env e, subst c.senv e) with
+            | Some _, Some se -> se
+            | _ -> cf default
+          in
+          add acc (mul (cf c.mass) term))
+        (cf 0.) cs
+    in
+    div sum (cf total)
+
+(* --- symbolic work vectors ------------------------------------------- *)
+
+type swork = {
+  s_flops : Ast.expr;
+  s_iops : Ast.expr;
+  s_divs : Ast.expr;
+  s_vec_flops : Ast.expr;
+  s_vec_issue : Ast.expr;
+  s_loads : Ast.expr;
+  s_stores : Ast.expr;
+  s_lbytes : Ast.expr;
+  s_sbytes : Ast.expr;
+}
+
+let swork_zero =
+  {
+    s_flops = cf 0.;
+    s_iops = cf 0.;
+    s_divs = cf 0.;
+    s_vec_flops = cf 0.;
+    s_vec_issue = cf 0.;
+    s_loads = cf 0.;
+    s_stores = cf 0.;
+    s_lbytes = cf 0.;
+    s_sbytes = cf 0.;
+  }
+
+let swork_add a b =
+  {
+    s_flops = add a.s_flops b.s_flops;
+    s_iops = add a.s_iops b.s_iops;
+    s_divs = add a.s_divs b.s_divs;
+    s_vec_flops = add a.s_vec_flops b.s_vec_flops;
+    s_vec_issue = add a.s_vec_issue b.s_vec_issue;
+    s_loads = add a.s_loads b.s_loads;
+    s_stores = add a.s_stores b.s_stores;
+    s_lbytes = add a.s_lbytes b.s_lbytes;
+    s_sbytes = add a.s_sbytes b.s_sbytes;
+  }
+
+let swork_of_comp ~flops ~iops ~divs ~vec =
+  let vec = max 1 vec in
+  {
+    swork_zero with
+    s_flops = flops;
+    s_iops = iops;
+    s_divs = divs;
+    s_vec_flops = (if vec > 1 then flops else cf 0.);
+    s_vec_issue = (if vec > 1 then div flops (cf (float_of_int vec)) else cf 0.);
+  }
+
+let swork_of_mem ~loads ~stores ~lbytes ~sbytes =
+  { swork_zero with s_loads = loads; s_stores = stores; s_lbytes = lbytes; s_sbytes = sbytes }
+
+(* Mirrors Work.scale: k *. field. *)
+let swork_of_lib scale_s (w : Work.t) =
+  let f x = mul scale_s (cf x) in
+  {
+    s_flops = f w.Work.flops;
+    s_iops = f w.Work.iops;
+    s_divs = f w.Work.divs;
+    s_vec_flops = f w.Work.vec_flops;
+    s_vec_issue = f w.Work.vec_issue;
+    s_loads = f w.Work.loads;
+    s_stores = f w.Work.stores;
+    s_lbytes = f w.Work.lbytes;
+    s_sbytes = f w.Work.sbytes;
+  }
+
+(* --- the symbolic tree ----------------------------------------------- *)
+
+type node = {
+  id : int;
+  block : Block_id.t;
+  kind : Bnode.kind;
+  prob : float;
+  trips_ref : float;  (** concrete trips at the reference inputs *)
+  trips : Ast.expr;  (** symbolic trips *)
+  work_ref : Work.t;
+  work : swork;
+  touched : (string * float) list;
+      (** bytes moved per array by one execution of the node's direct
+          statements; scale dependence enters through [trips] *)
+  lib_scale : Ast.expr option;  (** symbolic call volume for lib nodes *)
+  note : string;
+  children : node list;
+}
+
+type result = {
+  sroot : node;
+  bet : Skope_bet.Build.result;
+      (** the independently built BET the tree was reconciled against *)
+  checked : int;  (** expressions verified at the reference inputs *)
+  fallbacks : int;  (** expressions demoted to concrete literals *)
+  shape_mismatches : int;  (** subtrees where the mirror diverged *)
+}
+
+type state = {
+  program : Ast.program;
+  hints : Hints.t;
+  lib_work : string -> Work.t option;
+  cap : int;
+  root_env : Eval.env;
+  mutable next_id : int;
+  global_bindings : (string * Value.t) list;
+  global_sbindings : (string * Ast.expr) list;
+  global_abytes : int Smap.t;
+  mutable checked : int;
+  mutable fallbacks : int;
+}
+
+let fresh st =
+  let id = st.next_id in
+  st.next_id <- id + 1;
+  id
+
+let abytes_of st (arrays : Ast.array_decl list) =
+  List.fold_left
+    (fun m (a : Ast.array_decl) -> Smap.add a.Ast.aname a.Ast.elem_bytes m)
+    st.global_abytes arrays
+
+(* Representation-strict equality: [Value.equal] calls I 2 and F 2.
+   equal, but downstream Div/Mod behave differently on the two, so a
+   symbolic binding must reproduce the exact representative. *)
+let strict_equal a b =
+  match (a, b) with
+  | Value.I a, Value.I b -> a = b
+  | Value.F a, Value.F b -> Float.equal a b
+  | Value.B a, Value.B b -> a = b
+  | _ -> false
+
+let recon_f st conc e =
+  st.checked <- st.checked + 1;
+  match Eval.eval st.root_env e with
+  | Some v when Float.equal (Value.to_float v) conc -> e
+  | _ ->
+    st.fallbacks <- st.fallbacks + 1;
+    cf conc
+
+let recon_v st conc e =
+  match Eval.eval st.root_env e with
+  | Some v when strict_equal v conc -> e
+  | _ ->
+    st.fallbacks <- st.fallbacks + 1;
+    const_v conc
+
+let sym_or_const st (c : sctx) (e : Ast.expr) (conc : Value.t) =
+  match subst c.senv e with
+  | Some se -> recon_v st conc se
+  | None ->
+    st.fallbacks <- st.fallbacks + 1;
+    const_v conc
+
+let recon_swork st (w : Work.t) (sw : swork) =
+  {
+    s_flops = recon_f st w.Work.flops sw.s_flops;
+    s_iops = recon_f st w.Work.iops sw.s_iops;
+    s_divs = recon_f st w.Work.divs sw.s_divs;
+    s_vec_flops = recon_f st w.Work.vec_flops sw.s_vec_flops;
+    s_vec_issue = recon_f st w.Work.vec_issue sw.s_vec_issue;
+    s_loads = recon_f st w.Work.loads sw.s_loads;
+    s_stores = recon_f st w.Work.stores sw.s_stores;
+    s_lbytes = recon_f st w.Work.lbytes sw.s_lbytes;
+    s_sbytes = recon_f st w.Work.sbytes sw.s_sbytes;
+  }
+
+(* Mirrors Build.weighted_count, returning the concrete expectation and
+   its symbolic form. *)
+let sym_weighted_count _st entry_mass (ctxs : sctx list) (e : Ast.expr) =
+  let per = List.map (fun (c : sctx) -> (c, Eval.eval c.env e)) ctxs in
+  let conc =
+    List.fold_left
+      (fun acc ((c : sctx), v) ->
+        match v with
+        | Some v -> acc +. (c.mass *. Float.max 0. (Value.to_float v))
+        | None -> acc)
+      0. per
+    /. entry_mass
+  in
+  let sum =
+    List.fold_left
+      (fun acc ((c : sctx), v) ->
+        match v with
+        | None -> acc
+        | Some value ->
+          let se =
+            match subst c.senv e with Some se -> se | None -> const_v value
+          in
+          add acc (mul (cf c.mass) (max_ (cf 0.) se)))
+      (cf 0.) per
+  in
+  (conc, div sum (cf entry_mass))
+
+(* Truncated-geometric / while-loop expectations: concrete mirrors of
+   Build's closed forms plus symbolic counterparts branching on the
+   same concrete probabilities (frozen control flow). *)
+let tg_conc ~p ~n =
+  if n <= 0. then 0.
+  else if p <= 1e-12 then n
+  else if p >= 1. then 1.
+  else Float.min n ((1. -. ((1. -. p) ** n)) /. p)
+
+let wt_conc ~p ~n =
+  if n <= 0. then 0.
+  else if p >= 1. then n
+  else if p <= 0. then 1.
+  else Float.min n ((1. -. (p ** n)) /. (1. -. p))
+
+let tg_sym ~p ~n_conc ~n_sym =
+  if n_conc <= 0. then cf 0.
+  else if p <= 1e-12 then n_sym
+  else if p >= 1. then cf 1.
+  else min_ n_sym (div (sub (cf 1.) (pow (cf (1. -. p)) n_sym)) (cf p))
+
+let wt_sym ~p ~n_conc ~n_sym =
+  if n_conc <= 0. then cf 0.
+  else if p >= 1. then n_sym
+  else if p <= 0. then cf 1.
+  else min_ n_sym (div (sub (cf 1.) (pow (cf p) n_sym)) (cf (1. -. p)))
+
+type flow = {
+  live : sctx list;
+  returned : float;
+  broke : float;
+  continued : float;
+}
+
+let rec build_region st ~kind ~block ~prob ~trips_ref ~strips ~note ~abytes ~ctxs
+    ~stmts : node * flow =
+  let entry_mass = mass_of ctxs in
+  let cwork = ref Work.zero in
+  let swork = ref swork_zero in
+  let touched = ref Smap.empty in
+  let children = ref [] in
+  let add_child c = children := c :: !children in
+  let flow =
+    if entry_mass <= 0. then { live = ctxs; returned = 0.; broke = 0.; continued = 0. }
+    else
+      List.fold_left
+        (fun flow stmt ->
+          if mass_of flow.live <= 0. then flow
+          else build_stmt st ~entry_mass ~abytes ~cwork ~swork ~touched ~add_child flow stmt)
+        { live = ctxs; returned = 0.; broke = 0.; continued = 0. }
+        stmts
+  in
+  let node =
+    {
+      id = fresh st;
+      block;
+      kind;
+      prob;
+      trips_ref;
+      trips = strips;
+      work_ref = !cwork;
+      work = recon_swork st !cwork !swork;
+      touched = Smap.bindings !touched;
+      lib_scale = None;
+      note;
+      children = List.rev !children;
+    }
+  in
+  (node, flow)
+
+and build_stmt st ~entry_mass ~abytes ~cwork ~swork ~touched ~add_child flow
+    (s : Ast.stmt) : flow =
+  let live = flow.live in
+  let live_mass = mass_of live in
+  match s.Ast.kind with
+  | Ast.Comp { flops; iops; divs; vec } ->
+    let wf, sf = sym_weighted_count st entry_mass live flops in
+    let wi, si = sym_weighted_count st entry_mass live iops in
+    let wd, sd = sym_weighted_count st entry_mass live divs in
+    cwork := Work.add !cwork (Work.of_comp ~flops:wf ~iops:wi ~divs:wd ~vec);
+    swork := swork_add !swork (swork_of_comp ~flops:sf ~iops:si ~divs:sd ~vec);
+    flow
+  | Ast.Mem { loads; stores } ->
+    let frac = live_mass /. entry_mass in
+    let eb_of (a : Ast.access) =
+      match Smap.find_opt a.Ast.array abytes with Some eb -> eb | None -> 8
+    in
+    let count_side accesses =
+      let n = float_of_int (List.length accesses) *. frac in
+      let bytes =
+        List.fold_left (fun acc a -> acc +. float_of_int (eb_of a)) 0. accesses
+        *. frac
+      in
+      (n, bytes)
+    in
+    let nl, lb = count_side loads in
+    let ns, sb = count_side stores in
+    List.iter
+      (fun (a : Ast.access) ->
+        let b = float_of_int (eb_of a) *. frac in
+        touched :=
+          Smap.update a.Ast.array
+            (function None -> Some b | Some x -> Some (x +. b))
+            !touched)
+      (loads @ stores);
+    cwork := Work.add !cwork (Work.of_mem ~loads:nl ~stores:ns ~lbytes:lb ~sbytes:sb);
+    swork :=
+      swork_add !swork
+        (swork_of_mem ~loads:(cf nl) ~stores:(cf ns) ~lbytes:(cf lb) ~sbytes:(cf sb));
+    flow
+  | Ast.Let (v, e) ->
+    let k = live_mass /. entry_mass in
+    cwork := Work.add !cwork { Work.zero with Work.iops = k };
+    swork := swork_add !swork { swork_zero with s_iops = cf k };
+    let live =
+      List.map
+        (fun (c : sctx) ->
+          match Eval.eval c.env e with
+          | Some value ->
+            let se = sym_or_const st c e value in
+            { c with env = Smap.add v value c.env; senv = Smap.add v se c.senv }
+          | None ->
+            { c with env = Smap.remove v c.env; senv = Smap.remove v c.senv })
+        live
+    in
+    { flow with live = normalize ~cap:st.cap live }
+  | Ast.If { cond; then_; else_ } ->
+    let t_ctxs, f_ctxs = split_cond st live cond in
+    let arm which ctxs stmts =
+      if stmts = [] then { live = ctxs; returned = 0.; broke = 0.; continued = 0. }
+      else begin
+        let prob = mass_of ctxs /. entry_mass in
+        if prob <= 0. then { live = []; returned = 0.; broke = 0.; continued = 0. }
+        else begin
+          let node, aflow =
+            build_region st ~kind:(Bnode.Arm which)
+              ~block:(Block_id.Arm (s.Ast.sid, which))
+              ~prob ~trips_ref:1. ~strips:(Ast.Int 1) ~note:"" ~abytes ~ctxs ~stmts
+          in
+          add_child node;
+          aflow
+        end
+      end
+    in
+    let tf = arm true t_ctxs then_ in
+    let ff = arm false f_ctxs else_ in
+    {
+      live = normalize ~cap:st.cap (tf.live @ ff.live);
+      returned = flow.returned +. tf.returned +. ff.returned;
+      broke = flow.broke +. tf.broke +. ff.broke;
+      continued = flow.continued +. tf.continued +. ff.continued;
+    }
+  | Ast.For { var; lo; hi; step; body } ->
+    let prob = live_mass /. entry_mass in
+    let trips_of (c : sctx) =
+      match (Eval.eval c.env lo, Eval.eval c.env hi, Eval.eval c.env step) with
+      | Some lov, Some hiv, Some stv ->
+        let lof = Value.to_float lov
+        and hif = Value.to_float hiv
+        and stf = Value.to_float stv in
+        if stf <= 0. then ((0., cf 0.), (lov, const_v lov))
+        else begin
+          let n = Float.max 0. (Float.floor ((hif -. lof) /. stf) +. 1.) in
+          let mid = Value.of_float (lof +. (stf *. Float.floor ((n -. 1.) /. 2.))) in
+          let subst_or ex v =
+            match subst c.senv ex with
+            | Some se -> se
+            | None ->
+              st.fallbacks <- st.fallbacks + 1;
+              const_v v
+          in
+          let lo_s = subst_or lo lov
+          and hi_s = subst_or hi hiv
+          and st_s = subst_or step stv in
+          let all_int =
+            match (lov, hiv, stv) with
+            | Value.I _, Value.I _, Value.I _ -> true
+            | _ -> false
+          in
+          let n_s, mid_s =
+            if all_int then
+              let n_s = max_ (Ast.Int 0) (add (fdiv (sub hi_s lo_s) st_s) (Ast.Int 1)) in
+              let mid_s = add lo_s (mul st_s (fdiv (sub n_s (Ast.Int 1)) (Ast.Int 2))) in
+              (n_s, mid_s)
+            else
+              ( max_ (cf 0.) (add (floor_ (div (sub hi_s lo_s) st_s)) (cf 1.)),
+                const_v mid )
+          in
+          ((n, recon_f st n n_s), (mid, recon_v st mid mid_s))
+        end
+      | _ -> ((1., cf 1.), (Value.I 0, Ast.Int 0))
+    in
+    let per_ctx = List.map (fun c -> (c, trips_of c)) live in
+    let n_expected =
+      List.fold_left
+        (fun acc ((c : sctx), ((n, _), _)) -> acc +. (c.mass *. n))
+        0. per_ctx
+      /. live_mass
+    in
+    let n_expected_s =
+      div
+        (List.fold_left
+           (fun acc ((c : sctx), ((_, n_s), _)) -> add acc (mul (cf c.mass) n_s))
+           (cf 0.) per_ctx)
+        (cf live_mass)
+    in
+    let body_ctxs =
+      List.filter_map
+        (fun ((c : sctx), ((n, _), (mid, mid_s))) ->
+          if n <= 0. then None
+          else
+            Some
+              { c with env = Smap.add var mid c.env; senv = Smap.add var mid_s c.senv })
+        per_ctx
+    in
+    let note =
+      Fmt.str "%s=%a..%a x%.6g" var Pretty.pp_expr lo Pretty.pp_expr hi n_expected
+    in
+    if n_expected <= 0. || body_ctxs = [] then begin
+      let node, _ =
+        build_region st ~kind:Bnode.Loop ~block:(Block_id.Loop s.Ast.sid) ~prob
+          ~trips_ref:0. ~strips:(cf 0.) ~note ~abytes ~ctxs:[] ~stmts:[]
+      in
+      add_child node;
+      flow
+    end
+    else begin
+      let node, bflow =
+        build_region st ~kind:Bnode.Loop ~block:(Block_id.Loop s.Ast.sid) ~prob
+          ~trips_ref:n_expected ~strips:n_expected_s ~note ~abytes
+          ~ctxs:(normalize ~cap:st.cap body_ctxs)
+          ~stmts:body
+      in
+      let body_mass = mass_of body_ctxs in
+      let p_exit = (bflow.broke +. bflow.returned) /. body_mass in
+      let trips_eff = Float.min n_expected (tg_conc ~p:p_exit ~n:n_expected) in
+      let trips_eff_s =
+        min_ n_expected_s (tg_sym ~p:p_exit ~n_conc:n_expected ~n_sym:n_expected_s)
+      in
+      let node =
+        { node with trips_ref = trips_eff; trips = recon_f st trips_eff trips_eff_s }
+      in
+      add_child node;
+      let p_ret_iter = bflow.returned /. body_mass in
+      let surv = (1. -. p_ret_iter) ** trips_eff in
+      let live =
+        if surv >= 1. then live else List.map (fun c -> cscale c surv) live
+      in
+      {
+        live;
+        returned = flow.returned +. (live_mass *. (1. -. surv));
+        broke = flow.broke;
+        continued = flow.continued;
+      }
+    end
+  | Ast.While { name; p_continue; max_iter; body } ->
+    let prob = live_mass /. entry_mass in
+    let p_declared = expect_prob live p_continue in
+    let nmax = Float.max 0. (expect_conc live max_iter) in
+    let nmax_s = max_ (cf 0.) (expect_sym ~default:0. live max_iter) in
+    let trips_declared = wt_conc ~p:p_declared ~n:nmax in
+    let trips = Hints.loop_trips st.hints name ~default:trips_declared in
+    let trips_s =
+      if Float.equal trips trips_declared then
+        wt_sym ~p:p_declared ~n_conc:nmax ~n_sym:nmax_s
+      else cf trips
+    in
+    let note = Fmt.str "while %s x%.6g" name trips in
+    let node, bflow =
+      build_region st ~kind:Bnode.Loop ~block:(Block_id.Loop s.Ast.sid) ~prob
+        ~trips_ref:trips ~strips:trips_s ~note ~abytes ~ctxs:live ~stmts:body
+    in
+    let body_mass = Float.max live_mass 1e-300 in
+    let p_exit = (bflow.broke +. bflow.returned) /. body_mass in
+    let trips_eff = Float.min trips (tg_conc ~p:p_exit ~n:trips) in
+    let trips_eff_s = min_ trips_s (tg_sym ~p:p_exit ~n_conc:trips ~n_sym:trips_s) in
+    let node =
+      { node with trips_ref = trips_eff; trips = recon_f st trips_eff trips_eff_s }
+    in
+    add_child node;
+    let p_ret_iter = bflow.returned /. body_mass in
+    let surv = (1. -. p_ret_iter) ** trips_eff in
+    let live = if surv >= 1. then live else List.map (fun c -> cscale c surv) live in
+    {
+      live;
+      returned = flow.returned +. (live_mass *. (1. -. surv));
+      broke = flow.broke;
+      continued = flow.continued;
+    }
+  | Ast.Call (fname, args) -> (
+    match Ast.find_func st.program fname with
+    | exception Not_found -> flow
+    | callee ->
+      let prob = live_mass /. entry_mass in
+      let params = callee.Ast.params in
+      let args' =
+        if List.length args = List.length params then args
+        else List.init (List.length params) (fun _ -> Ast.Int 0)
+      in
+      let callee_ctxs =
+        List.map
+          (fun (c : sctx) ->
+            let bindings =
+              List.filter_map
+                (fun (param, arg) ->
+                  match Eval.eval c.env arg with
+                  | Some v -> Some (param, v, sym_or_const st c arg v)
+                  | None -> None)
+                (List.combine params args')
+            in
+            let env =
+              Eval.env_of_list
+                (st.global_bindings @ List.map (fun (k, v, _) -> (k, v)) bindings)
+            in
+            let senv =
+              List.fold_left
+                (fun m (k, se) -> Smap.add k se m)
+                Smap.empty
+                (st.global_sbindings @ List.map (fun (k, _, se) -> (k, se)) bindings)
+            in
+            { env; senv; mass = c.mass })
+          live
+      in
+      let note =
+        Fmt.str "%s(%s)" fname
+          (String.concat ","
+             (List.map (fun a -> Fmt.str "%a" Pretty.pp_expr a) args))
+      in
+      let node, _callee_flow =
+        build_region st ~kind:(Bnode.Func fname) ~block:(Block_id.Fn fname) ~prob
+          ~trips_ref:1. ~strips:(Ast.Int 1) ~note
+          ~abytes:(abytes_of st callee.Ast.arrays)
+          ~ctxs:(normalize ~cap:st.cap callee_ctxs)
+          ~stmts:callee.Ast.body
+      in
+      add_child node;
+      flow)
+  | Ast.Lib { name; args = _; scale } ->
+    let prob = live_mass /. entry_mass in
+    let scale_v = Float.max 0. (expect_conc ~default:1. live scale) in
+    let scale_s = recon_f st scale_v (max_ (cf 0.) (expect_sym ~default:1. live scale)) in
+    let cw, sw =
+      match st.lib_work name with
+      | Some w -> (Work.scale scale_v w, swork_of_lib scale_s w)
+      | None -> (Work.zero, swork_zero)
+    in
+    let node =
+      {
+        id = fresh st;
+        block = Block_id.Libc s.Ast.sid;
+        kind = Bnode.Libcall name;
+        prob;
+        trips_ref = 1.;
+        trips = Ast.Int 1;
+        work_ref = cw;
+        work = recon_swork st cw sw;
+        touched = [];
+        lib_scale = Some scale_s;
+        note = Fmt.str "scale=%.6g" scale_v;
+        children = [];
+      }
+    in
+    add_child node;
+    flow
+  | Ast.Return -> { flow with live = []; returned = flow.returned +. live_mass }
+  | Ast.Break { name; p } ->
+    let p_v = Hints.branch_prob st.hints name ~default:(expect_prob live p) in
+    {
+      flow with
+      live = List.map (fun c -> cscale c (1. -. p_v)) live;
+      broke = flow.broke +. (live_mass *. p_v);
+    }
+  | Ast.Continue { name; p } ->
+    let p_v = Hints.branch_prob st.hints name ~default:(expect_prob live p) in
+    {
+      flow with
+      live = List.map (fun c -> cscale c (1. -. p_v)) live;
+      continued = flow.continued +. (live_mass *. p_v);
+    }
+
+and split_cond st (live : sctx list) (cond : Ast.cond) : sctx list * sctx list =
+  match cond with
+  | Ast.Cexpr e ->
+    List.fold_left
+      (fun (ts, fs) (c : sctx) ->
+        match Eval.eval c.env e with
+        | Some v -> if Value.truthy v then (c :: ts, fs) else (ts, c :: fs)
+        | None -> (cscale c 0.5 :: ts, cscale c 0.5 :: fs))
+      ([], []) live
+    |> fun (ts, fs) -> (List.rev ts, List.rev fs)
+  | Ast.Cdata { name; p } ->
+    let p_v = Hints.branch_prob st.hints name ~default:(expect_prob live p) in
+    ( List.filter_map
+        (fun c -> if p_v > 0. then Some (cscale c p_v) else None)
+        live,
+      List.filter_map
+        (fun c -> if p_v < 1. then Some (cscale c (1. -. p_v)) else None)
+        live )
+
+(* --- reconciliation against the real BET ----------------------------- *)
+
+let rec constify (b : Bnode.t) : node =
+  let w = b.Bnode.work in
+  {
+    id = b.Bnode.id;
+    block = b.Bnode.block;
+    kind = b.Bnode.kind;
+    prob = b.Bnode.prob;
+    trips_ref = b.Bnode.trips;
+    trips = cf b.Bnode.trips;
+    work_ref = w;
+    work =
+      {
+        s_flops = cf w.Work.flops;
+        s_iops = cf w.Work.iops;
+        s_divs = cf w.Work.divs;
+        s_vec_flops = cf w.Work.vec_flops;
+        s_vec_issue = cf w.Work.vec_issue;
+        s_loads = cf w.Work.loads;
+        s_stores = cf w.Work.stores;
+        s_lbytes = cf w.Work.lbytes;
+        s_sbytes = cf w.Work.sbytes;
+      };
+    touched = [];
+    lib_scale = None;
+    note = b.Bnode.note;
+    children = List.map constify b.Bnode.children;
+  }
+
+let derive ?(hints = Hints.empty) ?(lib_work = fun _ -> None) ?(max_contexts = 64)
+    ?(inputs = []) (program : Ast.program) : result =
+  let bet =
+    Skope_bet.Build.build ~hints ~lib_work ~max_contexts ~inputs program
+  in
+  let global_abytes =
+    List.fold_left
+      (fun m (a : Ast.array_decl) -> Smap.add a.Ast.aname a.Ast.elem_bytes m)
+      Smap.empty program.Ast.globals
+  in
+  let st =
+    {
+      program;
+      hints;
+      lib_work;
+      cap = max_contexts;
+      root_env = Eval.env_of_list inputs;
+      next_id = 0;
+      global_bindings = inputs;
+      global_sbindings = List.map (fun (k, _) -> (k, Ast.Var k)) inputs;
+      global_abytes;
+      checked = 0;
+      fallbacks = 0;
+    }
+  in
+  let entry = Ast.entry_func program in
+  let senv0 =
+    List.fold_left (fun m (k, _) -> Smap.add k (Ast.Var k) m) Smap.empty inputs
+  in
+  let root, _flow =
+    build_region st ~kind:(Bnode.Func entry.Ast.fname)
+      ~block:(Block_id.Fn entry.Ast.fname) ~prob:1. ~trips_ref:1.
+      ~strips:(Ast.Int 1) ~note:"entry"
+      ~abytes:(abytes_of st entry.Ast.arrays)
+      ~ctxs:[ { env = st.root_env; senv = senv0; mass = 1.0 } ]
+      ~stmts:entry.Ast.body
+  in
+  (* Safety net: any expression that fails to reproduce the real BET's
+     number at the reference inputs is demoted to that number, so the
+     evaluated-at-reference tree always byte-matches the BET. *)
+  let mismatches = ref 0 in
+  let against conc e =
+    st.checked <- st.checked + 1;
+    match Eval.eval st.root_env e with
+    | Some v when Float.equal (Value.to_float v) conc -> e
+    | _ ->
+      st.fallbacks <- st.fallbacks + 1;
+      cf conc
+  in
+  let rec zip (sn : node) (b : Bnode.t) : node =
+    if
+      (not (Block_id.equal sn.block b.Bnode.block))
+      || List.length sn.children <> List.length b.Bnode.children
+    then begin
+      incr mismatches;
+      constify b
+    end
+    else
+      let w = b.Bnode.work in
+      {
+        sn with
+        prob = b.Bnode.prob;
+        trips_ref = b.Bnode.trips;
+        trips = against b.Bnode.trips sn.trips;
+        work_ref = w;
+        work =
+          {
+            s_flops = against w.Work.flops sn.work.s_flops;
+            s_iops = against w.Work.iops sn.work.s_iops;
+            s_divs = against w.Work.divs sn.work.s_divs;
+            s_vec_flops = against w.Work.vec_flops sn.work.s_vec_flops;
+            s_vec_issue = against w.Work.vec_issue sn.work.s_vec_issue;
+            s_loads = against w.Work.loads sn.work.s_loads;
+            s_stores = against w.Work.stores sn.work.s_stores;
+            s_lbytes = against w.Work.lbytes sn.work.s_lbytes;
+            s_sbytes = against w.Work.sbytes sn.work.s_sbytes;
+          };
+        children = List.map2 zip sn.children b.Bnode.children;
+      }
+  in
+  let sroot = zip root bet.Skope_bet.Build.root in
+  {
+    sroot;
+    bet;
+    checked = st.checked;
+    fallbacks = st.fallbacks;
+    shape_mismatches = !mismatches;
+  }
+
+(* --- aggregation and growth probing ---------------------------------- *)
+
+(** Pre-order fold with both the concrete expected number of
+    repetitions (ENR) and its symbolic form, mirroring
+    [Bet.Node.fold_enr]. *)
+let fold_enr f acc root =
+  let rec go acc n ~enr_ref ~enr_sym =
+    let enr_ref = n.trips_ref *. n.prob *. enr_ref in
+    let enr_sym = mul (mul n.trips (cf n.prob)) enr_sym in
+    let acc = f acc n ~enr_ref ~enr_sym in
+    List.fold_left (fun acc c -> go acc c ~enr_ref ~enr_sym) acc n.children
+  in
+  go acc root ~enr_ref:1. ~enr_sym:(cf 1.)
+
+let rec node_count n = List.fold_left (fun a c -> a + node_count c) 1 n.children
+
+(** Empirical growth order of [e] along a parameter sweep: evaluate at
+    multipliers 1/2/4 via [eval_at] and average the log2 ratios.  [Some
+    0.] for expressions that stay (near) zero, [None] when evaluation
+    fails or values are not positive. *)
+let growth_order ~eval_at (e : Ast.expr) : float option =
+  let v m = Option.map Value.to_float (Eval.eval (eval_at m) e) in
+  match (v 1., v 2., v 4.) with
+  | Some a, Some b, Some c ->
+    if Float.abs a <= 1e-9 && Float.abs b <= 1e-9 && Float.abs c <= 1e-9 then
+      Some 0.
+    else if a > 1e-9 && b > 1e-9 && c > 1e-9 then
+      Some ((Float.log (b /. a) +. Float.log (c /. b)) /. (2. *. Float.log 2.))
+    else None
+  | _ -> None
+
+(* --- approximate Laurent-polynomial display form ---------------------- *)
+
+type mono = { coef : float; pows : (string * int) list }
+
+type poly = mono list
+
+let mono_mul a b =
+  let pows =
+    List.fold_left
+      (fun acc (v, k) ->
+        match List.assoc_opt v acc with
+        | Some k0 -> (v, k0 + k) :: List.remove_assoc v acc
+        | None -> (v, k) :: acc)
+      a.pows b.pows
+  in
+  {
+    coef = a.coef *. b.coef;
+    pows = List.sort compare (List.filter (fun (_, k) -> k <> 0) pows);
+  }
+
+let poly_norm (p : poly) : poly =
+  let merged =
+    List.fold_left
+      (fun acc m ->
+        match List.partition (fun m' -> m'.pows = m.pows) acc with
+        | [ m' ], rest -> { m with coef = m.coef +. m'.coef } :: rest
+        | _ -> m :: acc)
+      [] p
+  in
+  List.filter (fun m -> Float.abs m.coef > 1e-12) merged
+  |> List.sort (fun a b -> compare b.pows a.pows)
+
+(* Display-only extraction: Min/Max/Floor and the integer floor-div
+   pattern are passed through as their real-valued approximations, so
+   the result is printed with an "approximately" sign. *)
+let rec poly_of (e : Ast.expr) : poly option =
+  let ( let* ) = Option.bind in
+  match e with
+  | Ast.Int i -> Some [ { coef = float_of_int i; pows = [] } ]
+  | Ast.Float f -> Some [ { coef = f; pows = [] } ]
+  | Ast.Bool _ -> None
+  | Ast.Var v -> Some [ { coef = 1.; pows = [ (v, 1) ] } ]
+  | Ast.Binop (Ast.Add, a, b) ->
+    let* a = poly_of a in
+    let* b = poly_of b in
+    Some (poly_norm (a @ b))
+  | Ast.Binop (Ast.Sub, a, b) ->
+    let* a = poly_of a in
+    let* b = poly_of b in
+    Some (poly_norm (a @ List.map (fun m -> { m with coef = -.m.coef }) b))
+  | Ast.Binop (Ast.Mul, a, b) ->
+    let* a = poly_of a in
+    let* b = poly_of b in
+    if List.length a * List.length b > 64 then None
+    else Some (poly_norm (List.concat_map (fun ma -> List.map (mono_mul ma) b) a))
+  | Ast.Binop (Ast.Div, Ast.Binop (Ast.Sub, a, Ast.Binop (Ast.Mod, _, _)), b) ->
+    (* the sfdiv shape: a/b up to the remainder correction *)
+    poly_of (Ast.Binop (Ast.Div, a, b))
+  | Ast.Binop (Ast.Div, a, b) -> (
+    let* a = poly_of a in
+    let* b = poly_of b in
+    match b with
+    | [ m ] when Float.abs m.coef > 1e-300 ->
+      let inv = { coef = 1. /. m.coef; pows = List.map (fun (v, k) -> (v, -k)) m.pows } in
+      Some (poly_norm (List.map (mono_mul inv) a))
+    | _ -> None)
+  | Ast.Binop (Ast.Pow, a, Ast.Int k) when k >= 0 && k <= 8 ->
+    let* a = poly_of a in
+    let rec go acc i =
+      if i = 0 then Some acc
+      else if List.length acc * List.length a > 64 then None
+      else
+        go (poly_norm (List.concat_map (fun ma -> List.map (mono_mul ma) a) acc)) (i - 1)
+    in
+    go [ { coef = 1.; pows = [] } ] k
+  | Ast.Binop ((Ast.Min | Ast.Max), a, b) -> (
+    (* display approximation: prefer the non-constant side *)
+    match (poly_of a, poly_of b) with
+    | Some [ { pows = []; _ } ], Some p -> Some p
+    | Some p, Some [ { pows = []; _ } ] -> Some p
+    | Some p, None | None, Some p -> Some p
+    | Some p, Some _ -> Some p
+    | None, None -> None)
+  | Ast.Unop (Ast.Floor, a) | Ast.Unop (Ast.Ceil, a) -> poly_of a
+  | Ast.Unop (Ast.Neg, a) ->
+    let* a = poly_of a in
+    Some (List.map (fun m -> { m with coef = -.m.coef }) a)
+  | _ -> None
+
+let pp_mono ppf (m : mono) =
+  let num = List.filter (fun (_, k) -> k > 0) m.pows in
+  let den = List.filter (fun (_, k) -> k < 0) m.pows in
+  let pp_v ppf (v, k) =
+    if abs k = 1 then Fmt.string ppf v else Fmt.pf ppf "%s^%d" v (abs k)
+  in
+  (if num = [] then Fmt.pf ppf "%.4g" m.coef
+   else begin
+     if not (Float.equal m.coef 1.) then Fmt.pf ppf "%.4g " m.coef;
+     Fmt.(list ~sep:(any " ") pp_v) ppf num
+   end);
+  if den <> [] then Fmt.pf ppf "/%a" Fmt.(list ~sep:(any "/") pp_v) den
+
+let pp_poly ppf (p : poly) =
+  match p with
+  | [] -> Fmt.string ppf "0"
+  | p -> Fmt.(list ~sep:(any " + ") pp_mono) ppf p
+
+(** Human-readable closed form: the polynomial approximation when one
+    exists, otherwise the raw expression. *)
+let pp_closed_form ppf e =
+  match poly_of e with
+  | Some p when List.length p <= 6 -> Fmt.pf ppf "~ %a" pp_poly p
+  | _ -> Pretty.pp_expr ppf e

@@ -1,0 +1,24 @@
+(** Synchronous-rendezvous communication simulator for static deadlock
+    detection (audit rule A007).
+
+    Each rank's program is a straight-line list of blocking operations;
+    a send completes only when its peer is simultaneously at the
+    matching receive.  Matched pairs advance to a fixpoint; leftover
+    pending operations mean deadlock.  Detection is sound under
+    per-rank program truncation: a stuck prefix cannot be unstuck by
+    operations that come after it. *)
+
+type op = Send of int | Recv of int
+
+type stuck = { rank : int; index : int; op : op }
+
+type verdict =
+  | Clean
+  | Deadlock of { stuck : stuck list; cycle : int list }
+      (** [stuck] lists every blocked rank with its pending operation;
+          [cycle] is a wait-for cycle among them when one exists
+          (empty for chains ending at a terminated rank). *)
+
+val simulate : op list array -> verdict
+
+val pp_op : op Fmt.t

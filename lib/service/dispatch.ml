@@ -339,6 +339,61 @@ let run_lint (q : Protocol.lint_query) =
       );
     ]
 
+(* Audit requests follow the lint shape (free-form source, no
+   projection cache); the per-target JSON comes from
+   [Audit.result_json], the same renderer the CLI uses, so the two
+   paths stay at parity. *)
+let run_audit (q : Protocol.audit_query) =
+  let module L = Core.Lint in
+  let machine =
+    match Machines.find q.Protocol.a_machine with
+    | Some m -> m
+    | None ->
+      reject Protocol.Unknown_machine
+        (Printf.sprintf "unknown machine %S" q.Protocol.a_machine)
+  in
+  let config =
+    {
+      L.Audit.default_config with
+      L.Audit.disabled = q.Protocol.a_disabled;
+      machine;
+      ranks = q.Protocol.a_ranks;
+    }
+  in
+  let deny_warnings = q.Protocol.a_deny_warnings in
+  match (q.Protocol.a_workload, q.Protocol.a_source) with
+  | Some name, _ ->
+    let w = lookup_workload name in
+    let scale =
+      Option.value ~default:w.Registry.default_scale q.Protocol.a_scale
+    in
+    let report = P.audit ~config ~workload:w ~scale () in
+    L.Audit.result_json ~target:w.Registry.name ~scale ~deny_warnings config report
+  | None, Some source -> (
+    let file = "<request>" in
+    match
+      Span.with_ ~name:"parse" (fun () -> Core.Skeleton.Parser.parse ~file source)
+    with
+    | exception Core.Skeleton.Lexer.Error (loc, m) ->
+      L.Audit.diags_json ~target:file ~deny_warnings
+        [ L.Diagnostic.of_lex_error loc m ]
+    | exception Core.Skeleton.Parser.Error (loc, m) ->
+      L.Audit.diags_json ~target:file ~deny_warnings
+        [ L.Diagnostic.of_parse_error loc m ]
+    | program -> (
+      match
+        List.map L.Diagnostic.of_validate (Core.Skeleton.Validate.check program)
+      with
+      | [] ->
+        let report = L.Audit.run ~config program in
+        L.Audit.result_json ~target:file ~deny_warnings config report
+      | validation ->
+        L.Audit.diags_json ~target:file ~deny_warnings
+          (L.Diagnostic.normalize validation)))
+  | None, None ->
+    (* unreachable: Protocol.parse_audit requires one of the two *)
+    reject Protocol.Invalid_request "audit request has no target"
+
 let run_workloads () =
   Json.List
     (List.map
@@ -441,6 +496,7 @@ let handle ?received_at t body =
         | Protocol.Sweep (q, axis) -> run_sweep t q axis ~check_deadline
         | Protocol.Explore (q, spec) -> run_explore t q spec ~check_deadline
         | Protocol.Lint q -> run_lint q
+        | Protocol.Audit q -> run_audit q
         | Protocol.Workloads -> run_workloads ()
         | Protocol.Machines -> run_machines ()
         | Protocol.Stats -> run_stats t

@@ -21,6 +21,21 @@ type lint_query = {
   l_disabled : string list;
 }
 
+(** Audit either a bundled workload (by name) or an inline DSL source
+    string — exactly one of the two.  [a_machine] selects the cache
+    geometry/balance for the working-set rules; [a_ranks] sizes the
+    rank space for imbalance/deadlock checks when the workload has no
+    rank-count input. *)
+type audit_query = {
+  a_workload : string option;
+  a_source : string option;
+  a_scale : float option;
+  a_machine : string;
+  a_ranks : int;
+  a_deny_warnings : bool;
+  a_disabled : string list;
+}
+
 (** Multi-axis exploration: the cartesian grid of [e_axes] (optionally
     latin-hypercube sampled down to [e_sample] points). *)
 type explore_spec = {
@@ -34,6 +49,7 @@ type request =
   | Sweep of query * Designspace.axis
   | Explore of query * explore_spec
   | Lint of lint_query
+  | Audit of audit_query
   | Workloads
   | Machines
   | Stats
@@ -67,6 +83,7 @@ let kind_label = function
   | Sweep _ -> "sweep"
   | Explore _ -> "explore"
   | Lint _ -> "lint"
+  | Audit _ -> "audit"
   | Workloads -> "workloads"
   | Machines -> "machines"
   | Stats -> "stats"
@@ -90,6 +107,7 @@ let request_kinds =
     "sweep";
     "explore";
     "lint";
+    "audit";
     "workloads";
     "machines";
     "stats";
@@ -185,6 +203,35 @@ let parse_lint json =
   let* l_deny_warnings = opt_bool json "deny_warnings" ~default:false in
   let* l_disabled = opt_string_list json "disable" in
   Ok { l_workload; l_source; l_scale; l_deny_warnings; l_disabled }
+
+let parse_audit json =
+  let* a_workload = opt_string json "workload" in
+  let* a_source = opt_string json "source" in
+  let* () =
+    match (a_workload, a_source) with
+    | Some _, Some _ ->
+      invalid "fields \"workload\" and \"source\" are mutually exclusive"
+    | None, None -> invalid "one of \"workload\" or \"source\" is required"
+    | _ -> Ok ()
+  in
+  let* a_scale = opt_number json "scale" in
+  let* () =
+    match a_scale with
+    | Some s when s <= 0. || not (Float.is_finite s) ->
+      invalid "field \"scale\" must be positive and finite"
+    | _ -> Ok ()
+  in
+  let* a_machine = opt_string json "machine" in
+  let a_machine = Option.value ~default:"bgq" a_machine in
+  let* a_ranks = opt_int json "ranks" ~default:4 in
+  let* () =
+    if a_ranks < 1 || a_ranks > 1024 then
+      invalid "field \"ranks\" must be in [1, 1024]"
+    else Ok ()
+  in
+  let* a_deny_warnings = opt_bool json "deny_warnings" ~default:false in
+  let* a_disabled = opt_string_list json "disable" in
+  Ok { a_workload; a_source; a_scale; a_machine; a_ranks; a_deny_warnings; a_disabled }
 
 let parse_query json =
   let* workload = string_field json "workload" in
@@ -338,6 +385,9 @@ let parse_request body =
       | "lint" ->
         let* q = parse_lint json in
         Ok (Lint q)
+      | "audit" ->
+        let* q = parse_audit json in
+        Ok (Audit q)
       | "workloads" -> Ok Workloads
       | "machines" -> Ok Machines
       | "stats" -> Ok Stats

@@ -83,6 +83,16 @@ type lint_query = {
   l_disabled : string list;  (** rule codes to suppress *)
 }
 
+type audit_query = {
+  a_workload : string option;  (** bundled workload name … *)
+  a_source : string option;  (** … or inline DSL source (exactly one) *)
+  a_scale : float option;  (** workload scale; [None]: its default *)
+  a_machine : string;  (** cache geometry/balance; default ["bgq"] *)
+  a_ranks : int;  (** rank space when no rank-count input; default 4 *)
+  a_deny_warnings : bool;
+  a_disabled : string list;  (** rule codes to suppress *)
+}
+
 (** Multi-axis exploration: the cartesian grid of [e_axes], optionally
     latin-hypercube sampled down to [e_sample] points with [e_seed].
     The parsed grid is capped at 4096 points. *)
@@ -97,6 +107,7 @@ type request =
   | Sweep of query * Designspace.axis
   | Explore of query * explore_spec
   | Lint of lint_query
+  | Audit of audit_query
   | Workloads
   | Machines
   | Stats

@@ -44,6 +44,15 @@ type request =
       deny_warnings : bool;
       disable : string list;
     }
+  | Audit of {
+      workload : string option;
+      source : string option;
+      scale : float option;
+      machine : string option;
+      ranks : int option;
+      deny_warnings : bool;
+      disable : string list;
+    }
   | Workloads
   | Machines
   | Stats
@@ -75,11 +84,38 @@ let lint_source ?(deny_warnings = false) ?(disable = []) source =
       disable;
     }
 
+let audit_workload ?scale ?machine ?ranks ?(deny_warnings = false)
+    ?(disable = []) workload =
+  Audit
+    {
+      workload = Some workload;
+      source = None;
+      scale;
+      machine;
+      ranks;
+      deny_warnings;
+      disable;
+    }
+
+let audit_source ?machine ?ranks ?(deny_warnings = false) ?(disable = []) source
+    =
+  Audit
+    {
+      workload = None;
+      source = Some source;
+      scale = None;
+      machine;
+      ranks;
+      deny_warnings;
+      disable;
+    }
+
 let kind = function
   | Analyze _ -> "analyze"
   | Sweep _ -> "sweep"
   | Explore _ -> "explore"
   | Lint _ -> "lint"
+  | Audit _ -> "audit"
   | Workloads -> "workloads"
   | Machines -> "machines"
   | Stats -> "stats"
@@ -144,6 +180,24 @@ let to_json ?timeout_ms request =
         | Some s -> [ ("source", Json.String s) ]
         | None -> [])
       @ (match scale with Some s -> [ ("scale", Json.Float s) ] | None -> [])
+      @ (if deny_warnings then [ ("deny_warnings", Json.Bool true) ] else [])
+      @
+      if disable = [] then []
+      else
+        [ ("disable", Json.List (List.map (fun c -> Json.String c) disable)) ]
+    | Audit { workload; source; scale; machine; ranks; deny_warnings; disable }
+      ->
+      (match workload with
+      | Some w -> [ ("workload", Json.String w) ]
+      | None -> [])
+      @ (match source with
+        | Some s -> [ ("source", Json.String s) ]
+        | None -> [])
+      @ (match scale with Some s -> [ ("scale", Json.Float s) ] | None -> [])
+      @ (match machine with
+        | Some m -> [ ("machine", Json.String m) ]
+        | None -> [])
+      @ (match ranks with Some r -> [ ("ranks", Json.Int r) ] | None -> [])
       @ (if deny_warnings then [ ("deny_warnings", Json.Bool true) ] else [])
       @
       if disable = [] then []

@@ -45,6 +45,15 @@ type request =
       deny_warnings : bool;
       disable : string list;
     }
+  | Audit of {
+      workload : string option;
+      source : string option;
+      scale : float option;
+      machine : string option;  (** [None]: server default ("bgq") *)
+      ranks : int option;  (** [None]: server default (4) *)
+      deny_warnings : bool;
+      disable : string list;
+    }
   | Workloads
   | Machines
   | Stats
@@ -83,6 +92,23 @@ val lint_workload :
   request
 
 val lint_source : ?deny_warnings:bool -> ?disable:string list -> string -> request
+
+val audit_workload :
+  ?scale:float ->
+  ?machine:string ->
+  ?ranks:int ->
+  ?deny_warnings:bool ->
+  ?disable:string list ->
+  string ->
+  request
+
+val audit_source :
+  ?machine:string ->
+  ?ranks:int ->
+  ?deny_warnings:bool ->
+  ?disable:string list ->
+  string ->
+  request
 
 (** The wire ["kind"] of a request. *)
 val kind : request -> string

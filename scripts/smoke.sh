@@ -68,6 +68,30 @@ fi
 ("$SKOPE" lint "$BROKEN" --format json 2>/dev/null || true) \
     | grep -q '"code":"L002"' || fail "lint json missing L002"
 
+echo "smoke: audit gate (all bundled workloads, deny warnings)"
+"$SKOPE" audit --workloads --deny warnings >/dev/null \
+    || fail "bundled workloads do not audit clean of warnings"
+
+echo "smoke: audit flags a static send/recv deadlock as an error"
+RING=$(mktmp .skope)
+printf 'program ring\ndef main(p, rank) {\n  lib recv_left scale 64\n  lib send_right scale 64\n}\n' \
+    >"$RING"
+if "$SKOPE" audit "$RING" -i p=4 -i rank=0 >/dev/null 2>&1; then
+    fail "audit accepted a recv-first ring"
+fi
+("$SKOPE" audit "$RING" -i p=4 -i rank=0 --format json 2>/dev/null || true) \
+    | grep -q '"code":"A007"' || fail "audit json missing A007"
+
+echo "smoke: audit --deny warnings escalates an Amdahl finding"
+SERIAL=$(mktmp .skope)
+printf 'program serial\ndef main(n, p) {\n  @par: for i = 1 to n / p {\n    comp flops=8\n  }\n  @ser: for j = 1 to n {\n    comp flops=4\n  }\n}\n' \
+    >"$SERIAL"
+"$SKOPE" audit "$SERIAL" -i n=65536 -i p=8 >/dev/null \
+    || fail "warnings alone must not fail the default audit"
+if "$SKOPE" audit "$SERIAL" -i n=65536 -i p=8 --deny warnings >/dev/null 2>&1; then
+    fail "audit --deny warnings accepted a serial bottleneck"
+fi
+
 echo "smoke: version"
 "$SKOPE" --version | grep -q '^1\.' || fail "skope --version"
 

@@ -16,6 +16,7 @@ let () =
          Test_report.suite;
          Test_more.suite;
          Test_lint.suite;
+         Test_audit.suite;
          Test_shapes.suite;
          Test_props.suite;
          Test_service.suite;
