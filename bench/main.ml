@@ -1054,6 +1054,52 @@ let telemetry_section () =
     (Chrome.length c2)
 
 (* ------------------------------------------------------------------ *)
+(* Flight recorder overhead: the recorder rides the span-sink bus and
+   is always on in the server, so its marginal cost on the hot path —
+   a cache-warm analyze request — is the number that matters.  We
+   compare the same dispatcher loop with the sink bus silenced
+   (begin/commit bookkeeping still runs) against a fresh dispatcher
+   whose recorder sink is the only subscriber. *)
+
+let recorder_section ?(record = fun _ _ -> ()) () =
+  section "recorder_overhead"
+    "flight recorder: marginal cost on the cached-hit dispatch path";
+  let module Span = Telemetry.Span in
+  let module D = Skope_service.Dispatch in
+  (* A fixed trace id keeps the cache-hit responses byte-identical so
+     both loops serialize exactly the same bytes. *)
+  let body =
+    {|{"kind":"analyze","workload":"sord","machine":"bgq","trace":{"id":"bench-rec"}}|}
+  in
+  let reps = 2_000 in
+  let time d =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (D.handle d body)
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps
+  in
+  Span.clear_sinks ();
+  let d_off = D.create () in
+  (* Drop the recorder sink that [create] just installed: the baseline
+     keeps the per-request begin/commit bookkeeping but no span
+     grouping and no ring writes. *)
+  Span.clear_sinks ();
+  ignore (D.handle d_off body);
+  let off = time d_off in
+  Span.clear_sinks ();
+  let d_on = D.create () in
+  ignore (D.handle d_on body);
+  let on = time d_on in
+  let pct = 100. *. ((on /. Float.max 1e-12 off) -. 1.) in
+  Fmt.pr "  cached hit, recorder off %8.1f us/req@." (off *. 1e6);
+  Fmt.pr "  cached hit, recorder on  %8.1f us/req  (+%.1f%%)@." (on *. 1e6) pct;
+  record "recorder_off_us" (off *. 1e6);
+  record "recorder_on_us" (on *. 1e6);
+  record "recorder_hit_overhead_pct" pct;
+  (off *. 1e6, on *. 1e6, pct)
+
+(* ------------------------------------------------------------------ *)
 (* Quick mode: a seconds-long subset for CI — dispatcher throughput,
    lint throughput, telemetry overhead and a small shared-BET explore
    grid; no paper-scale simulations.  `--json FILE` writes the
@@ -1123,6 +1169,8 @@ let quick_run json_file =
   Fmt.pr "  explore shared-BET speedup       %8.1fx (%d-point grid)@."
     (indep /. shared) (List.length pts);
   record "explore_shared_speedup_x" (indep /. shared);
+  (* flight recorder: marginal cost on the cached-hit path *)
+  let rec_off_us, rec_on_us, rec_pct = recorder_section ~record () in
   (* cluster: cache-affinity scaling over 1/2/4 shards *)
   let cluster_results = cluster_section ~record () in
   let elapsed = Unix.gettimeofday () -. t_start in
@@ -1180,7 +1228,28 @@ let quick_run json_file =
     output_string oc (J.to_string cluster_json);
     output_string oc "\n";
     close_out oc;
-    Fmt.pr "wrote %s@." cluster_file
+    Fmt.pr "wrote %s@." cluster_file;
+    (* Tracing cost ships as its own artifact too: the flight recorder
+       is always on in production, so its hot-path overhead is a
+       budget (<= 5%) that diffs should be able to flag. *)
+    let trace_file = "BENCH_trace.json" in
+    let trace_json =
+      J.Obj
+        [
+          ("schema", J.String "skope-bench-trace/1");
+          ("version", J.String Version.version);
+          ("git", J.String Version.git);
+          ("recorder_off_us", J.Float rec_off_us);
+          ("recorder_on_us", J.Float rec_on_us);
+          ("recorder_hit_overhead_pct", J.Float rec_pct);
+          ("budget_pct", J.Float 5.);
+        ]
+    in
+    let oc = open_out trace_file in
+    output_string oc (J.to_string trace_json);
+    output_string oc "\n";
+    close_out oc;
+    Fmt.pr "wrote %s@." trace_file
 
 let () =
   let quick = ref false in
@@ -1233,5 +1302,6 @@ let () =
   lint_section ();
   audit_section ();
   telemetry_section ();
+  ignore (recorder_section ());
   Fmt.pr "@.[bench] total wall time %.1fs@." (Unix.gettimeofday () -. t0)
   end

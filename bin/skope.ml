@@ -16,7 +16,8 @@
     - [explore]: multi-axis design-space grid against one shared BET;
     - [nodes]: multi-node strong-scaling projection;
     - [serve]: run `skoped`, the concurrent projection service;
-    - [query]: query a running `skoped` (and generate load). *)
+    - [query]: query a running `skoped` (and generate load);
+    - [top]: live dashboard over a running `skoped` or cluster router. *)
 
 open Cmdliner
 open Args
@@ -1247,7 +1248,8 @@ let cmd_query =
     let doc =
       "Request kind: analyze, sweep, explore, lint, workloads, machines, \
        stats, metrics_prom, version, capabilities, cluster_stats (router \
-       only)."
+       only), recent (flight-recorder readback), trace (one request's span \
+       tree; needs --trace-id)."
     in
     Arg.(value & opt string "analyze" & info [ "kind" ] ~docv:"KIND" ~doc)
   in
@@ -1292,6 +1294,34 @@ let cmd_query =
     let doc = "Send this raw JSON body instead of building one from flags." in
     Arg.(value & opt (some string) None & info [ "body" ] ~docv:"JSON" ~doc)
   in
+  let trace_id_arg =
+    let doc =
+      "Propagate this trace id with the request (the server adopts it \
+       instead of minting one, and echoes it in the response); with --kind \
+       trace, the id to look up in the flight recorder."
+    in
+    Arg.(value & opt (some string) None & info [ "trace-id" ] ~docv:"ID" ~doc)
+  in
+  let chrome_arg =
+    let doc =
+      "With --kind trace: also write the merged result as Chrome \
+       trace_event JSON to $(docv) (load it in chrome://tracing or \
+       Perfetto)."
+    in
+    Arg.(value & opt (some string) None & info [ "chrome" ] ~docv:"FILE" ~doc)
+  in
+  let last_arg =
+    let doc = "With --kind recent: how many records to return." in
+    Arg.(value & opt int 20 & info [ "last" ] ~docv:"N" ~doc)
+  in
+  let errors_only_arg =
+    let doc = "With --kind recent: only failed requests." in
+    Arg.(value & flag & info [ "errors-only" ] ~doc)
+  in
+  let min_ms_arg =
+    let doc = "With --kind recent: only requests at least this slow." in
+    Arg.(value & opt (some float) None & info [ "min-ms" ] ~docv:"MS" ~doc)
+  in
   let repeat_arg =
     let doc = "Send the request N times (load-generator mode when > 1)." in
     Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N" ~doc)
@@ -1333,7 +1363,7 @@ let cmd_query =
      caught here instead of coming back as a server error.  The --body
      flag below remains the raw-JSON escape hatch. *)
   let build_body kind workload machine scale top coverage leanness axis values
-      axes sample seed overrides timeout_ms =
+      axes sample seed overrides timeout_ms trace_id last errors_only min_ms =
     let module A = Skope_service.Service_api in
     let overrides =
       List.map
@@ -1383,11 +1413,21 @@ let cmd_query =
       | "version" -> A.Version
       | "capabilities" -> A.Capabilities
       | "cluster_stats" -> A.Cluster_stats
+      | "recent" -> A.recent ~n:last ~errors_only ?min_ms ()
+      | "trace" -> (
+        match trace_id with
+        | Some id -> A.trace ~id ()
+        | None ->
+          Fmt.epr "--kind trace needs --trace-id ID@.";
+          exit 2)
       | other ->
         Fmt.epr "unknown request kind %S@." other;
         exit 2
     in
-    A.to_body ?timeout_ms request
+    (* A trace *lookup* must not adopt the id it is looking up: the
+       lookup's own record would shadow the target in the recorder. *)
+    let trace_id = if kind = "trace" then None else trace_id in
+    A.to_body ?timeout_ms ?trace_id request
   in
   (* Render the stats response's per-phase histograms as a table. *)
   let print_stats response =
@@ -1462,17 +1502,39 @@ let cmd_query =
       Fmt.pr "%s@." response;
       exit 1
   in
+  (* With --kind trace --chrome FILE, convert the merged trace result
+     into a Chrome trace_event file spanning every process. *)
+  let write_chrome file response =
+    let fail msg =
+      Fmt.epr "skope query: %s@." msg;
+      exit 1
+    in
+    match J.of_string response with
+    | Ok r -> (
+      match J.member "result" r with
+      | Some result -> (
+        match Skope_service.Traceview.chrome_of_trace result with
+        | Ok text ->
+          let oc = open_out file in
+          output_string oc text;
+          close_out oc;
+          Fmt.epr "wrote Chrome trace to %s@." file
+        | Error msg -> fail msg)
+      | None -> fail "trace response has no result to export")
+    | Error msg -> fail msg
+  in
   let run host port kind workload machine scale top coverage leanness axis
       values axes sample seed overrides timeout_ms body repeat concurrency
       stats retries retry_base_ms retry_max_ms retry_seed connect_timeout_ms
-      io_timeout_ms =
+      io_timeout_ms trace_id chrome last errors_only min_ms =
     let kind = if stats then "stats" else kind in
     let body =
       match body with
       | Some b -> b
       | None ->
         build_body kind workload machine scale top coverage leanness axis
-          values axes sample seed overrides timeout_ms
+          values axes sample seed overrides timeout_ms trace_id last
+          errors_only min_ms
     in
     let module C = Skope_service.Client in
     let timeouts =
@@ -1500,39 +1562,79 @@ let cmd_query =
       | Ok response ->
         Fmt.pr "%s@." response;
         (match J.of_string response with
-        | Ok r when J.member "ok" r = Some (J.Bool true) -> ()
+        | Ok r when J.member "ok" r = Some (J.Bool true) ->
+          if kind = "trace" then Option.iter (fun f -> write_chrome f response) chrome
         | _ -> exit 1)
     else begin
       (* Against a cluster router every response names its shard; tally
-         them so affinity (and failover drift) is visible per target. *)
-      let shard_counts = Hashtbl.create 8 in
+         latency and retries per shard so affinity (and failover drift,
+         and a slow shard) are visible per target. *)
+      let shard_stats = Hashtbl.create 8 in
       let shard_lock = Mutex.create () in
-      let on_response resp =
-        match Skope_cluster.Router.shard_of_response resp with
-        | None -> ()
-        | Some shard ->
-          Mutex.lock shard_lock;
-          Hashtbl.replace shard_counts shard
-            (1 + Option.value ~default:0 (Hashtbl.find_opt shard_counts shard));
-          Mutex.unlock shard_lock
+      let on_result ~result ~latency_s ~retries =
+        match result with
+        | Error _ -> ()
+        | Ok resp -> (
+          match Skope_cluster.Router.shard_of_response resp with
+          | None -> ()
+          | Some shard ->
+            Mutex.lock shard_lock;
+            let lats, rets =
+              match Hashtbl.find_opt shard_stats shard with
+              | Some cell -> cell
+              | None ->
+                let cell = (ref [], ref 0) in
+                Hashtbl.add shard_stats shard cell;
+                cell
+            in
+            lats := latency_s :: !lats;
+            rets := !rets + retries;
+            Mutex.unlock shard_lock)
       in
       let report =
-        C.load ~timeouts ~retry ~on_response ~host ~port ~repeat ~concurrency
+        C.load ~timeouts ~retry ~on_result ~host ~port ~repeat ~concurrency
           body
       in
       Fmt.pr "%a@." C.pp_load_report report;
-      if Hashtbl.length shard_counts > 0 then begin
-        let rows =
-          Hashtbl.fold (fun s n acc -> (s, n) :: acc) shard_counts []
+      if Hashtbl.length shard_stats > 0 then begin
+        let percentile sorted q =
+          let n = Array.length sorted in
+          if n = 0 then 0.
+          else begin
+            let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+            sorted.(min (n - 1) (max 0 (rank - 1)))
+          end
+        in
+        let shards =
+          Hashtbl.fold (fun s cell acc -> (s, cell) :: acc) shard_stats []
           |> List.sort compare
         in
-        let total = List.fold_left (fun acc (_, n) -> acc + n) 0 rows in
-        Fmt.pr "shard hits:@.";
-        List.iter
-          (fun (shard, n) ->
-            Fmt.pr "  %-8s %6d  %5.1f%%@." shard n
-              (100. *. float_of_int n /. float_of_int total))
-          rows
+        let total =
+          List.fold_left
+            (fun acc (_, (lats, _)) -> acc + List.length !lats)
+            0 shards
+        in
+        let rows =
+          List.map
+            (fun (shard, (lats, rets)) ->
+              let sorted = Array.of_list !lats in
+              Array.sort Float.compare sorted;
+              let n = Array.length sorted in
+              [
+                shard;
+                string_of_int n;
+                Fmt.str "%.1f%%" (100. *. float_of_int n /. float_of_int total);
+                Fmt.str "%.3f" (percentile sorted 0.50 *. 1e3);
+                Fmt.str "%.3f" (percentile sorted 0.95 *. 1e3);
+                string_of_int !rets;
+              ])
+            shards
+        in
+        Table.print
+          (Table.make ~title:"Per-shard latency (client-observed, ms)"
+             ~headers:[ "shard"; "hits"; "share"; "p50"; "p95"; "retries" ]
+             ~aligns:Table.[ Left; Right; Right; Right; Right; Right ]
+             rows)
       end;
       if report.C.failures > 0 then exit 1
     end
@@ -1549,7 +1651,221 @@ let cmd_query =
       $ values_arg $ axes_arg $ sample_arg $ seed_arg $ override_arg
       $ timeout_arg $ body_arg $ repeat_arg $ concurrency_arg $ stats_flag
       $ retries_arg $ retry_base_arg $ retry_max_arg $ retry_seed_arg
-      $ connect_timeout_arg $ io_timeout_arg)
+      $ connect_timeout_arg $ io_timeout_arg $ trace_id_arg $ chrome_arg
+      $ last_arg $ errors_only_arg $ min_ms_arg)
+
+let cmd_top =
+  let module J = Core.Report.Json in
+  let module C = Skope_service.Client in
+  let module A = Skope_service.Service_api in
+  let port_arg =
+    let doc = "Server (or router) port." in
+    Arg.(value & opt int 7777 & info [ "p"; "port" ] ~docv:"PORT" ~doc)
+  in
+  let host_arg =
+    let doc = "Server address." in
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc)
+  in
+  let interval_arg =
+    let doc = "Refresh interval, milliseconds." in
+    Arg.(value & opt float 2000. & info [ "interval-ms" ] ~docv:"MS" ~doc)
+  in
+  let iterations_arg =
+    let doc = "Stop after N frames (0: run until interrupted)." in
+    Arg.(value & opt int 0 & info [ "n"; "iterations" ] ~docv:"N" ~doc)
+  in
+  let recent_arg =
+    let doc = "How many recent slow/errored traces to show." in
+    Arg.(value & opt int 8 & info [ "recent" ] ~docv:"N" ~doc)
+  in
+  let min_ms_arg =
+    let doc =
+      "Slow threshold for the recent-traces pane: show errors plus requests \
+       at least this slow (0 shows everything)."
+    in
+    Arg.(value & opt float 0. & info [ "min-ms" ] ~docv:"MS" ~doc)
+  in
+  let int_of key json =
+    Option.bind (J.member key json) J.to_int_opt |> Option.value ~default:0
+  in
+  let num_of key json =
+    Option.bind (J.member key json) J.to_float_opt |> Option.value ~default:0.
+  in
+  let str_of key json =
+    Option.bind (J.member key json) J.to_string_opt |> Option.value ~default:"?"
+  in
+  let run host port interval_ms iterations recent_n min_ms =
+    let interval_s = Float.max 0.1 (interval_ms /. 1e3) in
+    let timeouts =
+      { C.connect_s = 2.; read_s = interval_s +. 5.; write_s = 5. }
+    in
+    (* One fetch per pane per frame; a missing pane (shard down, plain
+       skoped without cluster_stats) renders as absent, not an error. *)
+    let fetch body =
+      match C.request ~timeouts ~retry:C.no_retry ~host ~port body with
+      | Error _ -> None
+      | Ok resp -> (
+        match J.of_string resp with
+        | Ok r when J.member "ok" r = Some (J.Bool true) -> J.member "result" r
+        | _ -> None)
+    in
+    let stats_body = A.to_body A.Stats in
+    let cluster_body = A.to_body A.Cluster_stats in
+    let recent_body =
+      A.to_body
+        (A.recent ~n:recent_n
+           ?min_ms:(if min_ms > 0. then Some min_ms else None)
+           ())
+    in
+    (* QPS needs a delta: remember the last frame's request counters. *)
+    let prev_total = ref None in
+    let prev_forwarded : (string, int) Hashtbl.t = Hashtbl.create 8 in
+    let qps_cell prev now =
+      match prev with
+      | Some p when now >= p ->
+        Fmt.str "%.1f" (float_of_int (now - p) /. interval_s)
+      | _ -> "-"
+    in
+    let render_server stats =
+      match stats with
+      | None -> Fmt.pr "server: (stats unavailable)@."
+      | Some result ->
+        let metrics =
+          Option.value ~default:(J.Obj []) (J.member "metrics" result)
+        in
+        let total = int_of "total_requests" metrics in
+        Fmt.pr
+          "server: %d requests | %s req/s | cache hit %.1f%% | p95 %.3f ms@."
+          total
+          (qps_cell !prev_total total)
+          (100. *. num_of "cache_hit_rate" metrics)
+          (num_of "latency_p95_ms" metrics);
+        prev_total := Some total;
+        (match J.member "counters" metrics with
+        | Some (J.Obj ((_ :: _) as counters)) ->
+          Fmt.pr "counters: %a@."
+            Fmt.(
+              list ~sep:(any " | ") (fun ppf (k, v) ->
+                  pf ppf "%s: %.0f" k
+                    (Option.value ~default:0. (J.to_float_opt v))))
+            counters
+        | _ -> ())
+    in
+    let render_cluster cluster =
+      match cluster with
+      | None -> ()
+      | Some result ->
+        Fmt.pr "@.cluster: %d/%d shards healthy@." (int_of "healthy" result)
+          (int_of "shards" result);
+        let members =
+          match J.member "members" result with
+          | Some (J.List ms) -> ms
+          | _ -> []
+        in
+        let rows =
+          List.map
+            (fun m ->
+              let id = str_of "id" m in
+              let fwd = int_of "forwarded" m in
+              let qps = qps_cell (Hashtbl.find_opt prev_forwarded id) fwd in
+              Hashtbl.replace prev_forwarded id fwd;
+              (* Per-shard hit rate and p95 come from the shard's own
+                 stats, forwarded inside the cluster_stats answer. *)
+              let hit, p95 =
+                match
+                  Option.bind (J.member "stats" m) (J.member "metrics")
+                with
+                | Some sm ->
+                  ( Fmt.str "%.1f%%" (100. *. num_of "cache_hit_rate" sm),
+                    Fmt.str "%.3f" (num_of "latency_p95_ms" sm) )
+                | None -> ("-", "-")
+              in
+              [
+                id; str_of "state" m; string_of_int (int_of "in_flight" m);
+                string_of_int fwd; qps; hit; p95;
+                string_of_int (int_of "failovers" m);
+                string_of_int (int_of "errors" m);
+              ])
+            members
+        in
+        Table.print
+          (Table.make ~title:""
+             ~headers:
+               [
+                 "shard"; "state"; "inflight"; "fwd"; "qps"; "hit"; "p95 ms";
+                 "failover"; "errors";
+               ]
+             ~aligns:
+               Table.
+                 [
+                   Left; Left; Right; Right; Right; Right; Right; Right; Right;
+                 ]
+             rows)
+    in
+    let render_recent recent =
+      match recent with
+      | None -> ()
+      | Some result ->
+        let records =
+          match J.member "records" result with
+          | Some (J.List rs) -> rs
+          | _ -> []
+        in
+        Fmt.pr "@.recent (%d of last %d):@." (List.length records)
+          (int_of "capacity" result);
+        let rows =
+          List.map
+            (fun r ->
+              [
+                str_of "trace_id" r; str_of "kind" r; str_of "outcome" r;
+                Fmt.str "%.3f" (num_of "duration_ms" r);
+                (match J.member "shard" r with
+                | Some (J.String s) -> s
+                | _ -> "-");
+                string_of_int (int_of "retries" r);
+              ])
+            records
+        in
+        Table.print
+          (Table.make ~title:""
+             ~headers:
+               [ "trace_id"; "kind"; "outcome"; "ms"; "shard"; "retries" ]
+             ~aligns:Table.[ Left; Left; Left; Right; Left; Right ]
+             rows)
+    in
+    let rec loop frame =
+      (* Clear from the second frame on: single-shot output (smoke, CI)
+         stays pipeable, a live session repaints in place. *)
+      if frame > 1 then Fmt.pr "\027[2J\027[H";
+      let stats = fetch stats_body in
+      let cluster = fetch cluster_body in
+      let recent = fetch recent_body in
+      Fmt.pr "skope top — %s:%d — frame %d@." host port frame;
+      (match (stats, cluster, recent) with
+      | None, None, None ->
+        Fmt.epr "skope top: no response from %s:%d@." host port;
+        exit 1
+      | _ -> ());
+      render_server stats;
+      render_cluster cluster;
+      render_recent recent;
+      Fmt.pr "@?";
+      if iterations = 0 || frame < iterations then begin
+        Thread.delay interval_s;
+        loop (frame + 1)
+      end
+    in
+    loop 1
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live dashboard over a running skoped or cluster router: polls \
+          stats, cluster_stats and the flight recorder to show per-shard \
+          QPS, hit rate, p95, health state and the last slow/errored traces")
+    Term.(
+      const run $ host_arg $ port_arg $ interval_arg $ iterations_arg
+      $ recent_arg $ min_ms_arg)
 
 let cmd_json_check =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
@@ -1582,6 +1898,6 @@ let () =
             cmd_analyze; cmd_validate; cmd_hints; cmd_miniapp; cmd_sweep;
             cmd_explore;
             cmd_nodes; cmd_roofline; cmd_json; cmd_import; cmd_spots;
-            cmd_path; cmd_compare; cmd_serve; cmd_route; cmd_query;
+            cmd_path; cmd_compare; cmd_serve; cmd_route; cmd_query; cmd_top;
             cmd_json_check;
           ]))

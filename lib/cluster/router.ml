@@ -1,5 +1,8 @@
 module Json = Skope_report.Json
 module Span = Skope_telemetry.Span
+module Log = Skope_telemetry.Log
+module Recorder = Skope_telemetry.Recorder
+module Traceview = Skope_service.Traceview
 module Client = Skope_service.Client
 module Protocol = Skope_service.Protocol
 module Service_api = Skope_service.Service_api
@@ -58,6 +61,7 @@ type t = {
   failovers : int Atomic.t;
   rejects : int Atomic.t;
   spread : int Atomic.t;  (* rotating key for unkeyed kinds *)
+  recorder : Recorder.t;  (* router-side flight recorder *)
 }
 
 let create (config : config) =
@@ -72,6 +76,8 @@ let create (config : config) =
          (fun m -> Member.create ~id:m.m_id ~host:m.m_host ~port:m.m_port)
          config.members)
   in
+  let recorder = Recorder.create () in
+  Span.add_sink (Recorder.sink recorder);
   {
     config;
     members;
@@ -82,6 +88,7 @@ let create (config : config) =
     failovers = Atomic.make 0;
     rejects = Atomic.make 0;
     spread = Atomic.make 0;
+    recorder;
   }
 
 let current_ring t =
@@ -107,14 +114,22 @@ let rebuild_ring t =
 let member_by_id t id =
   Array.to_seq t.members |> Seq.find (fun m -> Member.id m = id)
 
+let healthy_count t =
+  Array.fold_left
+    (fun acc m -> if Member.available m then acc + 1 else acc)
+    0 t.members
+
 let observe_health t m ~ok =
   match Member.observe t.config.health m ~ok with
   | None -> ()
   | Some Health.Ejection ->
     Span.count "cluster_ejections" 1.;
+    Log.emit ~level:Log.Warn "shard_ejected"
+      [ ("shard", Log.Str (Member.id m)); ("healthy", Log.I (healthy_count t)) ];
     rebuild_ring t
   | Some Health.Readmission ->
     Span.count "cluster_readmissions" 1.;
+    Log.emit "shard_readmitted" [ ("shard", Log.Str (Member.id m)) ];
     rebuild_ring t
 
 (* --- affinity -------------------------------------------------------- *)
@@ -158,7 +173,9 @@ let affinity_key t request body =
   | Protocol.Lint _ | Protocol.Audit _ -> body_key body
   | Protocol.Workloads | Protocol.Machines | Protocol.Stats
   | Protocol.Metrics_prom | Protocol.Version | Protocol.Capabilities
-  | Protocol.Cluster_stats ->
+  | Protocol.Cluster_stats | Protocol.Recent _ | Protocol.Trace _ ->
+    (* Recent/Trace are served router-locally before routing; the
+       spread key is only a fallback should that ever change. *)
     Printf.sprintf "spread-%d" (Atomic.fetch_and_add t.spread 1)
 
 let route_order t key =
@@ -183,29 +200,57 @@ type forward_outcome =
   | Shard_overloaded of { retry_after_ms : float option; message : string }
   | No_shard
 
-let forward t ~key body =
+(* Inject the router's trace context into the forwarded body, so the
+   shard adopts the router's id instead of minting its own — the one
+   id then follows query → route → shard → pipeline phases.  A body
+   that does not re-serialize (it parsed once already, so this is
+   defensive) is forwarded untouched. *)
+let with_trace_context ~trace_id body =
+  match Json.of_string body with
+  | Ok (Json.Obj fields) ->
+    let fields = List.filter (fun (k, _) -> k <> "trace") fields in
+    Json.to_string
+      (Json.Obj
+         (fields
+         @ [
+             ( "trace",
+               Json.Obj
+                 [
+                   ("id", Json.String trace_id);
+                   ("parent", Json.String "router");
+                 ] );
+           ]))
+  | Ok _ | Error _ -> body
+
+(* Returns the outcome plus how many shards this request failed over
+   past (the record's retries column).  Each attempt runs in its own
+   child span, so a failover chain is visible in the trace tree. *)
+let forward t ~trace_id ~key body =
+  let failovers = ref 0 in
   let rec go = function
-    | [] -> No_shard
+    | [] -> (No_shard, !failovers)
     | m :: rest -> (
       Member.begin_request m;
       let result =
-        Client.request ~timeouts:t.config.forward_timeouts
-          ~retry:t.config.forward_retry ~idempotent:true
-          ~host:(Member.host m) ~port:(Member.port m) body
+        Span.with_ ~name:"forward" ~attrs:[ ("shard", Member.id m) ]
+          (fun () ->
+            Client.request ~timeouts:t.config.forward_timeouts
+              ~retry:t.config.forward_retry ~idempotent:true
+              ~host:(Member.host m) ~port:(Member.port m) body)
       in
       match result with
       | Ok resp ->
         Member.end_request m ~ok:true;
         observe_health t m ~ok:true;
         Atomic.incr t.forwards;
-        Forwarded (m, resp)
+        (Forwarded (m, resp), !failovers)
       | Error (Client.Overloaded { retry_after_ms; message }) ->
         (* The shard answered: it is alive, just shedding.  Surface its
            backoff hint instead of stampeding the successor (whose
            cache is cold for this key anyway). *)
         Member.end_request m ~ok:true;
         observe_health t m ~ok:true;
-        Shard_overloaded { retry_after_ms; message }
+        (Shard_overloaded { retry_after_ms; message }, !failovers)
       | Error e ->
         Member.end_request m ~ok:false;
         (match e with
@@ -213,17 +258,42 @@ let forward t ~key body =
         | _ -> ());
         Member.skip m;
         Atomic.incr t.failovers;
+        incr failovers;
         Span.count "cluster_failovers" 1.;
+        Log.emit ~level:Log.Warn ~trace_id "failover"
+          [
+            ("shard", Log.Str (Member.id m));
+            ("error", Log.Str (Client.error_label e));
+            ("remaining", Log.I (List.length rest));
+          ];
         go rest)
   in
   go (route_order t key)
 
-let splice_shard ~shard resp =
+(* Append a field to a response's top-level object without a full
+   re-serialization (proxied bodies can be large). *)
+let splice_field ~key ~value resp =
   let n = String.length resp in
   if n >= 2 && resp.[n - 1] = '}' then
     let sep = if resp.[n - 2] = '{' then "" else "," in
-    String.sub resp 0 (n - 1) ^ Printf.sprintf "%s\"shard\":%S}" sep shard
+    String.sub resp 0 (n - 1) ^ Printf.sprintf "%s%S:%S}" sep key value
   else resp
+
+let splice_shard ~shard resp = splice_field ~key:"shard" ~value:shard resp
+
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
+  in
+  go 0
+
+(* A shard that adopted the forwarded trace context already echoes
+   ["trace_id"]; splice it only when absent so proxied responses
+   always carry the router's id exactly once. *)
+let splice_trace ~trace_id resp =
+  if contains_substring resp "\"trace_id\":" then resp
+  else splice_field ~key:"trace_id" ~value:trace_id resp
 
 let shard_of_response resp =
   let marker = "\"shard\":\"" in
@@ -290,11 +360,6 @@ let member_json ?stats m =
        ("probes_failed", Json.Int s.Member.s_probes_failed);
      ]
     @ match stats with Some j -> [ ("stats", j) ] | None -> [])
-
-let healthy_count t =
-  Array.fold_left
-    (fun acc m -> if Member.available m then acc + 1 else acc)
-    0 t.members
 
 let run_cluster_stats t =
   let members =
@@ -446,35 +511,157 @@ let run_metrics_prom t =
       ("body", Json.String (router_exposition t ^ Aggregate.merge parts));
     ]
 
+(* --- flight recorder: router-side recent + merged traces ------------ *)
+
+let run_recent t (q : Protocol.recent_query) =
+  let records =
+    Recorder.recent ~n:q.Protocol.rc_n ~errors_only:q.Protocol.rc_errors_only
+      ?min_duration_ms:q.Protocol.rc_min_ms t.recorder
+  in
+  Json.Obj
+    [
+      ("count", Json.Int (List.length records));
+      ("capacity", Json.Int (Recorder.capacity t.recorder));
+      ("records", Json.List (List.map Traceview.record_summary_json records));
+    ]
+
+(* Fetch one shard's record of [id], relabelling its generic process
+   name ("skoped") with the member id so a merged trace names both
+   sides of the hop. *)
+let shard_trace t m id =
+  match side_request t m (Service_api.to_body (Service_api.trace ~id ())) with
+  | None -> []
+  | Some result ->
+    Traceview.processes_of_trace
+      (Traceview.relabel_processes ~process:(Member.id m) result)
+
+(* The merged trace: the router's own record (which knows the owning
+   shard) plus that shard's span tree.  When the router's ring entry
+   has already rotated out, every routable shard is asked in turn. *)
+let run_trace t id =
+  let own = Recorder.find t.recorder id in
+  let shard_processes =
+    match Option.bind own (fun r -> r.Recorder.shard) with
+    | Some sid -> (
+      match member_by_id t sid with
+      | Some m -> shard_trace t m id
+      | None -> [])
+    | None ->
+      Array.to_list t.members
+      |> List.filter Member.available
+      |> List.fold_left
+           (fun acc m -> if acc <> [] then acc else shard_trace t m id)
+           []
+  in
+  let own_processes =
+    match own with
+    | Some r ->
+      [
+        Json.Obj
+          [
+            ("process", Json.String "router");
+            ("record", Traceview.record_to_json r);
+          ];
+      ]
+    | None -> []
+  in
+  match own_processes @ shard_processes with
+  | [] -> None
+  | processes ->
+    Some
+      (Json.Obj
+         [
+           ("trace_id", Json.String id); ("processes", Json.List processes);
+         ])
+
 (* --- entry points ---------------------------------------------------- *)
 
+(* Router-minted ids (used only when the client sent no trace context)
+   carry a distinct prefix so a log line names the process that minted
+   them. *)
+let next_trace = Atomic.make 1
+
+let mint_trace () =
+  Printf.sprintf "rtr-%06d" (Atomic.fetch_and_add next_trace 1)
+
 let handle ?received_at t body =
-  ignore received_at;
+  let received_at =
+    match received_at with Some x -> x | None -> Unix.gettimeofday ()
+  in
+  let queue_wait_ms =
+    Float.max 0. ((Unix.gettimeofday () -. received_at) *. 1e3)
+  in
   Atomic.incr t.requests;
   match Protocol.parse_request body with
   | Error (code, msg) -> Protocol.error_response code msg
-  | Ok (request, _timeout_ms) -> (
-    (* The shard enforces timeout_ms itself — the body is forwarded
-       verbatim, queue wait included via the forward timeouts. *)
-    try
-      match request with
-      | Protocol.Cluster_stats -> Protocol.ok_response (run_cluster_stats t)
-      | Protocol.Capabilities -> Protocol.ok_response (run_capabilities t)
-      | Protocol.Metrics_prom -> Protocol.ok_response (run_metrics_prom t)
-      | _ -> (
-        let key = affinity_key t request body in
-        match forward t ~key body with
-        | Forwarded (m, resp) -> splice_shard ~shard:(Member.id m) resp
-        | Shard_overloaded { retry_after_ms; message } ->
-          Protocol.error_response ?retry_after_ms Protocol.Overloaded message
-        | No_shard ->
-          Atomic.incr t.rejects;
-          Protocol.error_response
-            ~retry_after_ms:(1000. *. t.config.probe_interval_s)
-            Protocol.Overloaded
-            "no healthy shard available; retry after the next probe cycle")
-    with exn ->
-      Protocol.error_response Protocol.Internal (Printexc.to_string exn))
+  | Ok (request, envelope) ->
+    let trace_id =
+      match envelope.Protocol.trace with
+      | Some tc -> tc.Protocol.t_id
+      | None -> mint_trace ()
+    in
+    Recorder.begin_request t.recorder trace_id;
+    let kind = Protocol.kind_label request in
+    let outcome = ref "ok" in
+    let shard = ref None in
+    let retries = ref 0 in
+    let response =
+      Span.with_context ~attrs:[ ("trace_id", trace_id) ] @@ fun () ->
+      Span.with_ ~name:"route" @@ fun () ->
+      Span.set_attr "kind" kind;
+      try
+        match request with
+        | Protocol.Cluster_stats ->
+          Protocol.ok_response ~trace_id (run_cluster_stats t)
+        | Protocol.Capabilities ->
+          Protocol.ok_response ~trace_id (run_capabilities t)
+        | Protocol.Metrics_prom ->
+          Protocol.ok_response ~trace_id (run_metrics_prom t)
+        | Protocol.Recent q -> Protocol.ok_response ~trace_id (run_recent t q)
+        | Protocol.Trace id -> (
+          match run_trace t id with
+          | Some result -> Protocol.ok_response ~trace_id result
+          | None ->
+            outcome := Protocol.error_code_to_string Protocol.Invalid_request;
+            Protocol.error_response ~trace_id Protocol.Invalid_request
+              (Printf.sprintf
+                 "no record of trace %S on the router or any routable shard" id))
+        | _ -> (
+          (* The shard enforces timeout_ms itself — queue wait is
+             included via the forward timeouts.  The forwarded body
+             carries the router's trace context. *)
+          let key = affinity_key t request body in
+          let outcome_, fails =
+            forward t ~trace_id ~key (with_trace_context ~trace_id body)
+          in
+          retries := fails;
+          match outcome_ with
+          | Forwarded (m, resp) ->
+            shard := Some (Member.id m);
+            splice_shard ~shard:(Member.id m) (splice_trace ~trace_id resp)
+          | Shard_overloaded { retry_after_ms; message } ->
+            outcome := Protocol.error_code_to_string Protocol.Overloaded;
+            Protocol.error_response ?retry_after_ms ~trace_id
+              Protocol.Overloaded message
+          | No_shard ->
+            Atomic.incr t.rejects;
+            outcome := Protocol.error_code_to_string Protocol.Overloaded;
+            Log.emit ~level:Log.Error ~trace_id "no_shard"
+              [ ("kind", Log.Str kind) ];
+            Protocol.error_response
+              ~retry_after_ms:(1000. *. t.config.probe_interval_s) ~trace_id
+              Protocol.Overloaded
+              "no healthy shard available; retry after the next probe cycle")
+      with exn ->
+        outcome := Protocol.error_code_to_string Protocol.Internal;
+        Protocol.error_response ~trace_id Protocol.Internal
+          (Printexc.to_string exn)
+    in
+    let finished_at = Unix.gettimeofday () in
+    Recorder.commit t.recorder ~trace_id ~kind ?shard:!shard ~outcome:!outcome
+      ~retries:!retries ~queue_wait_ms ~start:received_at
+      ~duration_ms:((finished_at -. received_at) *. 1e3) ();
+    response
 
 (* Routable members get a cheap [version] probe; ejected ones must
    answer [capabilities] with a matching protocol version before
@@ -553,5 +740,5 @@ let run ?stop ?on_ready ?handle_signals (config : config) =
       Atomic.set stop true;
       Thread.join prober)
   @@ fun () ->
-  Server.serve ~stop ~on_ready ?handle_signals net
+  Server.serve ~stop ~on_ready ?handle_signals ~recorder:t.recorder net
     ~handler:(fun ~received_at body -> handle ~received_at t body)

@@ -233,18 +233,14 @@ let percentile sorted q =
   end
 
 let load ?(timeouts = default_timeouts) ?(retry = default_retry) ?on_response
-    ~host ~port ~repeat ~concurrency body =
+    ?on_result ~host ~port ~repeat ~concurrency body =
   let repeat = max 1 repeat and concurrency = max 1 concurrency in
   let lock = Mutex.create () in
   let latencies = ref [] and failures = ref 0 and retries = ref 0 in
-  let record dt ok =
+  let record dt ok my_retries =
     Mutex.lock lock;
     if ok then latencies := dt :: !latencies else incr failures;
-    Mutex.unlock lock
-  in
-  let on_retry _ _ =
-    Mutex.lock lock;
-    incr retries;
+    retries := !retries + my_retries;
     Mutex.unlock lock
   in
   (* Thread [i] owns requests i, i+K, i+2K, ... so shares sum to
@@ -256,12 +252,21 @@ let load ?(timeouts = default_timeouts) ?(retry = default_retry) ?on_response
   let run_thread i () =
     let retry = thread_retry i in
     for _ = 1 to share i do
+      (* Retries are counted per request so [on_result] can attribute
+         them (the per-shard retries column in loadgen stats). *)
+      let my_retries = ref 0 in
+      let on_retry k _ = if k >= !my_retries then my_retries := k + 1 in
       let t0 = Unix.gettimeofday () in
-      match request ~timeouts ~retry ~on_retry ~host ~port body with
+      let result = request ~timeouts ~retry ~on_retry ~host ~port body in
+      let dt = Unix.gettimeofday () -. t0 in
+      (match result with
       | Ok response ->
         (match on_response with Some f -> f response | None -> ());
-        record (Unix.gettimeofday () -. t0) true
-      | Error _ -> record 0. false
+        record dt true !my_retries
+      | Error _ -> record 0. false !my_retries);
+      match on_result with
+      | Some f -> f ~result ~latency_s:dt ~retries:!my_retries
+      | None -> ()
     done
   in
   let t0 = Unix.gettimeofday () in

@@ -109,11 +109,19 @@ type load_report = {
     throughput, retry volume and client-observed latency percentiles.
     [on_response] sees every successful response body, called from the
     issuing thread — the hook for per-shard accounting against a
-    cluster router; the callback must synchronize its own state. *)
+    cluster router; the callback must synchronize its own state.
+    [on_result] additionally sees every terminal outcome (success or
+    failure) with its client-observed latency and per-request retry
+    count — the hook for per-shard latency/retry breakdowns. *)
 val load :
   ?timeouts:timeouts ->
   ?retry:retry ->
   ?on_response:(string -> unit) ->
+  ?on_result:
+    (result:(string, error) result ->
+    latency_s:float ->
+    retries:int ->
+    unit) ->
   host:string ->
   port:int ->
   repeat:int ->

@@ -1,5 +1,7 @@
 module Json = Skope_report.Json
 module Span = Skope_telemetry.Span
+module Log = Skope_telemetry.Log
+module Recorder = Skope_telemetry.Recorder
 module P = Core.Pipeline
 module Registry = Core.Workloads.Registry
 module Machine = Core.Hw.Machine
@@ -14,23 +16,32 @@ type config = { max_request_bytes : int; cache_capacity : int }
 
 let default_config = { max_request_bytes = 1 lsl 20; cache_capacity = 4096 }
 
-type t = { config : config; cache : Json.t Lru.t; metrics : Metrics.t }
+type t = {
+  config : config;
+  cache : Json.t Lru.t;
+  metrics : Metrics.t;
+  recorder : Recorder.t;
+}
 
 let create ?(config = default_config) () =
   let cache = Lru.create ~capacity:config.cache_capacity in
   let metrics = Metrics.create () in
+  let recorder = Recorder.create () in
   (* Fold pipeline spans into this dispatcher's per-phase histograms.
      The sink is process-global, so spans opened by CLI-embedded
      pipelines also land here — harmless, and it keeps the service
      path allocation-free when no dispatcher exists. *)
   Span.add_sink (Metrics.sink metrics);
+  (* The flight recorder rides the same sink bus: spans carrying a
+     ["trace_id"] context attribute land in that request's record. *)
+  Span.add_sink (Recorder.sink recorder);
   Metrics.register_gauge metrics ~name:"skope_lru_entries"
     ~help:"Projection cache occupancy." (fun () ->
       float_of_int (Lru.length cache));
   Metrics.register_gauge metrics ~name:"skope_lru_capacity"
     ~help:"Projection cache capacity." (fun () ->
       float_of_int (Lru.capacity cache));
-  { config; cache; metrics }
+  { config; cache; metrics; recorder }
 
 exception Reject of Protocol.error_code * string
 
@@ -454,34 +465,107 @@ let run_stats t =
           ] );
     ]
 
+(* --- flight recorder readback -------------------------------------- *)
+
+let run_recent t (q : Protocol.recent_query) =
+  let records =
+    Recorder.recent ~n:q.Protocol.rc_n ~errors_only:q.Protocol.rc_errors_only
+      ?min_duration_ms:q.Protocol.rc_min_ms t.recorder
+  in
+  Json.Obj
+    [
+      ("count", Json.Int (List.length records));
+      ("capacity", Json.Int (Recorder.capacity t.recorder));
+      ("records", Json.List (List.map Traceview.record_summary_json records));
+    ]
+
+let run_trace t id =
+  match Recorder.find t.recorder id with
+  | Some r -> Traceview.trace_result ~trace_id:id [ ("skoped", r) ]
+  | None ->
+    reject Protocol.Invalid_request
+      (Printf.sprintf
+         "no record of trace %S (the flight recorder keeps the last %d \
+          requests)"
+         id
+         (Recorder.capacity t.recorder))
+
+(* The same cache key the LRU will use, recorded so a flight-recorder
+   entry can be correlated with cache hits/misses and with the
+   router's affinity decision for the same query. *)
+let request_fingerprint = function
+  | Protocol.Analyze q | Protocol.Sweep (q, _) | Protocol.Explore (q, _) -> (
+    match Protocol.resolve_machine q with
+    | Error _ -> None
+    | Ok machine -> (
+      match Registry.find q.Protocol.workload with
+      | None -> None
+      | Some w ->
+        let scale =
+          Option.value ~default:w.Registry.default_scale q.Protocol.scale
+        in
+        let criteria =
+          {
+            Hotspot.time_coverage = q.Protocol.coverage;
+            code_leanness = q.Protocol.leanness;
+          }
+        in
+        Some
+          (Fingerprint.of_query ~workload:q.Protocol.workload ~machine ~scale
+             ~criteria ~top:q.Protocol.top)))
+  | _ -> None
+
 (* --- entry point --------------------------------------------------- *)
 
 (* Per-request trace ids, process-wide so concurrent worker domains
-   never collide. *)
+   never collide.  Minted only when the caller did not send a trace
+   context of its own: a request arriving through the cluster router
+   (or from a client that wants to follow its query) already carries
+   the id, and adopting it is what makes the id span processes. *)
 let next_trace = Atomic.make 1
+
+let mint_trace () =
+  Printf.sprintf "req-%06d" (Atomic.fetch_and_add next_trace 1)
 
 let handle ?received_at t body =
   let received_at =
     match received_at with Some x -> x | None -> Unix.gettimeofday ()
   in
-  let trace_id = Printf.sprintf "req-%06d" (Atomic.fetch_and_add next_trace 1) in
+  let queue_wait_ms =
+    Float.max 0. ((Unix.gettimeofday () -. received_at) *. 1e3)
+  in
+  let parsed =
+    if String.length body > t.config.max_request_bytes then
+      Error
+        ( Protocol.Oversized,
+          Printf.sprintf "request body exceeds %d bytes"
+            t.config.max_request_bytes )
+    else Protocol.parse_request body
+  in
+  let trace_id, trace_parent =
+    match parsed with
+    | Ok (_, { Protocol.trace = Some tc; _ }) ->
+      (tc.Protocol.t_id, tc.Protocol.t_parent)
+    | _ -> (mint_trace (), None)
+  in
+  Recorder.begin_request t.recorder trace_id;
   let kind = ref "?" in
   let outcome = ref "ok" in
+  let fingerprint = ref None in
   let response =
     Span.with_context ~attrs:[ ("trace_id", trace_id) ] @@ fun () ->
     Span.with_ ~name:"request" @@ fun () ->
+    (match trace_parent with
+    | Some p -> Span.set_attr "trace_parent" p
+    | None -> ());
     try
-      if String.length body > t.config.max_request_bytes then
-        reject Protocol.Oversized
-          (Printf.sprintf "request body exceeds %d bytes"
-             t.config.max_request_bytes);
-      let request, timeout_ms =
-        match Protocol.parse_request body with
-        | Ok x -> x
-        | Error (code, msg) -> reject code msg
+      let request, envelope =
+        match parsed with Ok x -> x | Error (code, msg) -> reject code msg
       in
+      let timeout_ms = envelope.Protocol.timeout_ms in
       kind := Protocol.kind_label request;
       Span.set_attr "kind" !kind;
+      fingerprint := request_fingerprint request;
       let check_deadline () =
         match timeout_ms with
         | Some ms when Unix.gettimeofday () -. received_at > ms /. 1e3 ->
@@ -503,20 +587,34 @@ let handle ?received_at t body =
         | Protocol.Metrics_prom -> run_metrics_prom t
         | Protocol.Version -> run_version ()
         | Protocol.Capabilities -> run_capabilities ()
+        | Protocol.Recent q -> run_recent t q
+        | Protocol.Trace id -> run_trace t id
         | Protocol.Cluster_stats ->
           reject Protocol.Invalid_request
             "cluster_stats is served by the cluster router (skope route), \
              not by a single skoped"
       in
-      Protocol.ok_response result
+      Protocol.ok_response ~trace_id result
     with
     | Reject (code, msg) ->
       outcome := Protocol.error_code_to_string code;
-      Protocol.error_response code msg
+      (match code with
+      | Protocol.Deadline_exceeded ->
+        Log.emit ~level:Log.Warn ~trace_id "deadline_exceeded"
+          [ ("kind", Log.Str !kind); ("message", Log.Str msg) ]
+      | _ -> ());
+      Protocol.error_response ~trace_id code msg
     | exn ->
       outcome := Protocol.error_code_to_string Protocol.Internal;
-      Protocol.error_response Protocol.Internal (Printexc.to_string exn)
+      Log.emit ~level:Log.Error ~trace_id "internal_error"
+        [ ("kind", Log.Str !kind); ("exn", Log.Str (Printexc.to_string exn)) ];
+      Protocol.error_response ~trace_id Protocol.Internal
+        (Printexc.to_string exn)
   in
+  let finished_at = Unix.gettimeofday () in
   Metrics.incr_request t.metrics ~kind:!kind ~outcome:!outcome;
-  Metrics.observe_latency t.metrics (Unix.gettimeofday () -. received_at);
+  Metrics.observe_latency t.metrics (finished_at -. received_at);
+  Recorder.commit t.recorder ~trace_id ~kind:!kind ?fingerprint:!fingerprint
+    ~outcome:!outcome ~queue_wait_ms ~start:received_at
+    ~duration_ms:((finished_at -. received_at) *. 1e3) ();
   response

@@ -16,6 +16,8 @@ type t = {
   config : config;
   cache : Json.t Lru.t;  (** fingerprint -> analyze result object *)
   metrics : Metrics.t;
+  recorder : Skope_telemetry.Recorder.t;
+      (** flight recorder behind [{"kind":"recent"}] / [{"kind":"trace"}] *)
 }
 
 val create : ?config:config -> unit -> t
@@ -24,5 +26,7 @@ val create : ?config:config -> unit -> t
     single-line JSON string, never raising).  [received_at] is when
     the request entered the system (defaults to now): queue wait
     counts toward both the request's [timeout_ms] deadline and its
-    recorded latency. *)
+    recorded latency.  A caller-supplied [{"trace":{"id":…}}] context
+    is adopted (and echoed as ["trace_id"]); otherwise an id is
+    minted. *)
 val handle : ?received_at:float -> t -> string -> string

@@ -62,12 +62,13 @@ let spec_to_string s =
 
 (* SplitMix64 — tiny, seedable, and identical on every platform, so a
    fault schedule in a test or the smoke script replays exactly. *)
-type t = { s : spec; state : int64 ref; lock : Mutex.t }
+type t = { s : spec; seed : int; state : int64 ref; lock : Mutex.t }
 
 let create ?(seed = 42) s =
-  { s; state = ref (Int64.of_int seed); lock = Mutex.create () }
+  { s; seed; state = ref (Int64.of_int seed); lock = Mutex.create () }
 
 let spec t = t.s
+let seed t = t.seed
 
 let next_u01 t =
   Mutex.lock t.lock;

@@ -45,6 +45,11 @@ val create : ?seed:int -> spec -> t
 
 val spec : t -> spec
 
+val seed : t -> int
+(** The seed this stream was created with — stamped on the structured
+    log event each injected fault emits, so a logged fault names the
+    schedule that produced it. *)
+
 (** What to do with one connection.  Fault classes draw independently
     (in the fixed order drop, overload, truncate, delay) so a given
     seed yields the same decision sequence regardless of which faults

@@ -44,6 +44,14 @@ type explore_spec = {
   e_seed : int;
 }
 
+(** Flight-recorder readback: the last requests the server handled,
+    newest first, optionally filtered to errors or slow requests. *)
+type recent_query = {
+  rc_n : int;
+  rc_errors_only : bool;
+  rc_min_ms : float option;
+}
+
 type request =
   | Analyze of query
   | Sweep of query * Designspace.axis
@@ -57,6 +65,14 @@ type request =
   | Version
   | Capabilities
   | Cluster_stats
+  | Recent of recent_query
+  | Trace of string
+
+(* Cross-process trace context: the id the caller minted (and wants
+   echoed back) plus an opaque parent hop label for the span tree. *)
+type trace_context = { t_id : string; t_parent : string option }
+
+type envelope = { timeout_ms : float option; trace : trace_context option }
 
 type error_code =
   | Parse_error
@@ -91,6 +107,8 @@ let kind_label = function
   | Version -> "version"
   | Capabilities -> "capabilities"
   | Cluster_stats -> "cluster_stats"
+  | Recent _ -> "recent"
+  | Trace _ -> "trace"
 
 (* Bump on any change a v1 client could not safely ignore; see the
    compatibility rules in protocol.mli. *)
@@ -114,6 +132,8 @@ let request_kinds =
     "metrics_prom";
     "version";
     "capabilities";
+    "recent";
+    "trace";
   ]
 
 (* --- request parsing ---------------------------------------------- *)
@@ -352,6 +372,42 @@ let parse_explore json =
   in
   Ok { e_axes = axes; e_sample; e_seed }
 
+let parse_recent json =
+  let* rc_n = opt_int json "n" ~default:20 in
+  let* () =
+    if rc_n < 1 || rc_n > 1000 then invalid "field \"n\" must be in [1, 1000]"
+    else Ok ()
+  in
+  let* rc_errors_only = opt_bool json "errors_only" ~default:false in
+  let* rc_min_ms = opt_number json "min_ms" in
+  let* () =
+    match rc_min_ms with
+    | Some v when v < 0. || not (Float.is_finite v) ->
+      invalid "field \"min_ms\" must be non-negative and finite"
+    | _ -> Ok ()
+  in
+  Ok { rc_n; rc_errors_only; rc_min_ms }
+
+let max_trace_id_bytes = 128
+
+let parse_trace json =
+  match Json.member "trace" json with
+  | None | Some Json.Null -> Ok None
+  | Some (Json.Obj _ as obj) ->
+    let* t_id = string_field obj "id" in
+    let* () =
+      if t_id = "" || String.length t_id > max_trace_id_bytes then
+        invalid
+          (Printf.sprintf
+             "field \"trace\".\"id\" must be a non-empty string of at most %d \
+              bytes"
+             max_trace_id_bytes)
+      else Ok ()
+    in
+    let* t_parent = opt_string obj "parent" in
+    Ok (Some { t_id; t_parent })
+  | Some _ -> invalid "field \"trace\" must be an object"
+
 let parse_request body =
   match Json.of_string body with
   | Error msg -> Error (Parse_error, msg)
@@ -361,6 +417,7 @@ let parse_request body =
       | Json.Obj _ -> Ok ()
       | _ -> invalid "request must be a JSON object"
     in
+    let* trace = parse_trace json in
     let* timeout_ms = opt_number json "timeout_ms" in
     let* () =
       match timeout_ms with
@@ -395,9 +452,19 @@ let parse_request body =
       | "version" -> Ok Version
       | "capabilities" -> Ok Capabilities
       | "cluster_stats" -> Ok Cluster_stats
+      | "recent" ->
+        let* q = parse_recent json in
+        Ok (Recent q)
+      | "trace" ->
+        let* id = string_field json "id" in
+        let* () =
+          if id = "" then invalid "field \"id\" must be a non-empty string"
+          else Ok ()
+        in
+        Ok (Trace id)
       | other -> invalid (Printf.sprintf "unknown request kind %S" other)
     in
-    Ok (request, timeout_ms)
+    Ok (request, { timeout_ms; trace })
 
 (* --- machine resolution ------------------------------------------- *)
 
@@ -461,30 +528,34 @@ let resolve_machine (q : query) =
 (* --- responses ----------------------------------------------------- *)
 
 (* Every response leads with the protocol version stamp so clients
-   can detect incompatible servers before touching the payload. *)
-let ok_response result =
-  Json.to_string
-    (Json.Obj
-       [
-         ("v", Json.Int protocol_version);
-         ("ok", Json.Bool true);
-         ("result", result);
-       ])
+   can detect incompatible servers before touching the payload.
+   [trace_id] (when the handler knows it) is echoed on success and
+   failure alike — an additive field, so v stays 1. *)
+let trace_field = function
+  | Some id -> [ ("trace_id", Json.String id) ]
+  | None -> []
 
-let error_response ?retry_after_ms code message =
+let ok_response ?trace_id result =
   Json.to_string
     (Json.Obj
-       [
-         ("v", Json.Int protocol_version);
-         ("ok", Json.Bool false);
-         ( "error",
-           Json.Obj
-             ([
-                ("code", Json.String (error_code_to_string code));
-                ("message", Json.String message);
-              ]
-             @
-             match retry_after_ms with
-             | Some ms -> [ ("retry_after_ms", Json.Float ms) ]
-             | None -> []) );
-       ])
+       ([ ("v", Json.Int protocol_version); ("ok", Json.Bool true) ]
+       @ trace_field trace_id
+       @ [ ("result", result) ]))
+
+let error_response ?retry_after_ms ?trace_id code message =
+  Json.to_string
+    (Json.Obj
+       ([ ("v", Json.Int protocol_version); ("ok", Json.Bool false) ]
+       @ trace_field trace_id
+       @ [
+           ( "error",
+             Json.Obj
+               ([
+                  ("code", Json.String (error_code_to_string code));
+                  ("message", Json.String message);
+                ]
+               @
+               match retry_after_ms with
+               | Some ms -> [ ("retry_after_ms", Json.Float ms) ]
+               | None -> []) );
+         ]))

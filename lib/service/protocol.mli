@@ -102,6 +102,16 @@ type explore_spec = {
   e_seed : int;
 }
 
+(** Flight-recorder readback ([{"kind":"recent"}]): the last [rc_n]
+    requests (default 20), newest first; [rc_errors_only] keeps only
+    non-ok outcomes and [rc_min_ms] only requests at least that
+    slow. *)
+type recent_query = {
+  rc_n : int;
+  rc_errors_only : bool;
+  rc_min_ms : float option;
+}
+
 type request =
   | Analyze of query
   | Sweep of query * Designspace.axis
@@ -116,6 +126,19 @@ type request =
   | Capabilities
   | Cluster_stats
       (** parsed everywhere, served only by the cluster router *)
+  | Recent of recent_query
+  | Trace of string
+      (** [{"kind":"trace","id":ID}] — one request's span tree from
+          the flight recorder *)
+
+(** Cross-process trace context, from the request's optional
+    [{"trace":{"id":ID,"parent":P}}] object: handlers adopt [t_id]
+    instead of minting one, so a single id follows a query through
+    client → router → shard; [t_parent] labels the forwarding hop. *)
+type trace_context = { t_id : string; t_parent : string option }
+
+(** Request fields that ride alongside every [kind]. *)
+type envelope = { timeout_ms : float option; trace : trace_context option }
 
 type error_code =
   | Parse_error  (** body is not valid JSON *)
@@ -150,10 +173,10 @@ val request_kinds : string list
 val max_grid_points : int
 
 (** Parse and validate a request body.  Returns the request plus its
-    optional [timeout_ms].  Catalog existence of workload/machine
-    names is NOT checked here (the dispatcher owns the catalogs). *)
-val parse_request :
-  string -> (request * float option, error_code * string) result
+    envelope (optional [timeout_ms] and trace context).  Catalog
+    existence of workload/machine names is NOT checked here (the
+    dispatcher owns the catalogs). *)
+val parse_request : string -> (request * envelope, error_code * string) result
 
 (** Build the machine for [q]: catalog lookup plus overrides.
     Recognized override keys: freq_ghz, issue_width, vector_width,
@@ -162,8 +185,11 @@ val parse_request :
 val resolve_machine :
   query -> (Machine.t, error_code * string) result
 
-val ok_response : Json.t -> string
+(** [trace_id] is echoed as a top-level ["trace_id"] field so callers
+    can correlate responses with the flight recorder and logs. *)
+val ok_response : ?trace_id:string -> Json.t -> string
 
 (** [retry_after_ms] adds the client backoff hint — meaningful only
-    with {!Overloaded}. *)
-val error_response : ?retry_after_ms:float -> error_code -> string -> string
+    with {!Overloaded}.  [trace_id] as in {!ok_response}. *)
+val error_response :
+  ?retry_after_ms:float -> ?trace_id:string -> error_code -> string -> string

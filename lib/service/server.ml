@@ -1,4 +1,7 @@
 module Span = Skope_telemetry.Span
+module Log = Skope_telemetry.Log
+module Recorder = Skope_telemetry.Recorder
+module Json = Skope_report.Json
 
 type net = {
   n_host : string;
@@ -86,12 +89,45 @@ let retry_after_ms ~queue_depth ~pool =
   let slots_ahead = float_of_int (max 1 queue_depth) /. float_of_int (max 1 pool) in
   Float.max 25. (Float.min 1000. (per_slot_ms *. slots_ahead))
 
-let overloaded_response ~queue ~pool message =
+let overloaded_response ?trace_id ~queue ~pool message =
   Protocol.error_response
     ~retry_after_ms:(retry_after_ms ~queue_depth:(Workqueue.length queue) ~pool)
-    Protocol.Overloaded message
+    ?trace_id Protocol.Overloaded message
 
-let count_fault () = Span.count "faults_injected" 1.
+let peer_label fd =
+  match Unix.getpeername fd with
+  | Unix.ADDR_INET (a, p) ->
+    Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+  | Unix.ADDR_UNIX s -> s
+  | exception Unix.Unix_error _ -> "?"
+
+(* Best-effort trace id extraction for fault log events.  Only runs
+   when a fault actually fires (or a connection times out), so the
+   happy path never parses the body twice.  A dropped connection's
+   body is never read — its event carries no trace id. *)
+let trace_id_of_body body =
+  match Json.of_string body with
+  | Error _ -> None
+  | Ok json -> (
+    match Option.bind (Json.member "trace" json) (Json.member "id") with
+    | Some (Json.String s) -> Some s
+    | _ -> None)
+
+(* Every injected fault is attributable: the structured event names
+   the fault class, the seed (so the schedule that produced it can be
+   replayed), the peer, and the trace id when the body was read. *)
+let count_fault ?trace_id ~faults ~fd fault =
+  Span.count "faults_injected" 1.;
+  Log.emit ~level:Log.Warn ?trace_id "fault_injected"
+    ([ ("fault", Log.Str fault); ("peer", Log.Str (peer_label fd)) ]
+    @
+    match faults with
+    | Some f ->
+      [
+        ("seed", Log.I (Faults.seed f));
+        ("spec", Log.Str (Faults.spec_to_string (Faults.spec f)));
+      ]
+    | None -> [])
 
 let handle_connection net faults handler queue fd accepted_at =
   Fun.protect
@@ -108,27 +144,31 @@ let handle_connection net faults handler queue fd accepted_at =
           | Some faults -> Faults.decide faults
           | None -> Faults.clean
         in
-        if decision.Faults.d_drop then count_fault ()
+        if decision.Faults.d_drop then count_fault ~faults ~fd "drop"
           (* connection silently closed by [finally] — the client sees
              an unexpected EOF and retries *)
         else begin
           let body = read_line fd ~limit:net.n_max_request_bytes in
+          let trace_id =
+            if Faults.injected decision > 0 then trace_id_of_body body
+            else None
+          in
           let response =
             if decision.Faults.d_overload then begin
-              count_fault ();
-              overloaded_response ~queue ~pool:net.n_pool
+              count_fault ?trace_id ~faults ~fd "overload";
+              overloaded_response ?trace_id ~queue ~pool:net.n_pool
                 "injected transient overload (fault injection)"
             end
             else handler ~received_at:accepted_at body
           in
           (match decision.Faults.d_delay_ms with
           | Some ms ->
-            count_fault ();
+            count_fault ?trace_id ~faults ~fd "delay";
             Thread.delay (ms /. 1e3)
           | None -> ());
           let line = Bytes.of_string (response ^ "\n") in
           if decision.Faults.d_truncate then begin
-            count_fault ();
+            count_fault ?trace_id ~faults ~fd "truncate";
             (* Half the payload, no newline: the client must detect
                the torn frame rather than parse garbage. *)
             write_all fd line 0 (Bytes.length line / 2)
@@ -138,7 +178,9 @@ let handle_connection net faults handler queue fd accepted_at =
       with
       | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _)
         ->
-        Span.count "connections_timed_out" 1.
+        Span.count "connections_timed_out" 1.;
+        Log.emit ~level:Log.Warn "connection_timeout"
+          [ ("peer", Log.Str (peer_label fd)) ]
       | Unix.Unix_error _ -> ())
 
 let worker net faults handler queue =
@@ -156,12 +198,28 @@ let worker net faults handler queue =
    (which would let the kernel backlog and client timeouts absorb the
    overload invisibly).  The response is a few hundred bytes into a
    fresh socket buffer, so the write cannot stall the accept loop. *)
-let shed net queue fd =
+(* Shed responses are minted before the body is read, so the caller's
+   trace id is unknown; a synthetic "shed-N" id ties the response,
+   the log event and the flight-recorder entry together. *)
+let next_shed = Atomic.make 1
+
+let shed ?recorder net queue fd =
   Span.count "requests_shed" 1.;
+  let trace_id = Printf.sprintf "shed-%06d" (Atomic.fetch_and_add next_shed 1) in
+  let depth = Workqueue.length queue in
+  Log.emit ~level:Log.Warn ~trace_id "request_shed"
+    [ ("queue_depth", Log.I depth); ("peer", Log.Str (peer_label fd)) ];
+  (match recorder with
+  | Some r ->
+    let now = Unix.gettimeofday () in
+    Recorder.commit r ~trace_id ~kind:"?"
+      ~outcome:(Protocol.error_code_to_string Protocol.Overloaded)
+      ~queue_wait_ms:0. ~start:now ~duration_ms:0. ()
+  | None -> ());
   (try
      Unix.setsockopt_float fd Unix.SO_SNDTIMEO 1.;
      let response =
-       overloaded_response ~queue ~pool:net.n_pool
+       overloaded_response ~trace_id ~queue ~pool:net.n_pool
          "work queue is full; retry after the hinted backoff"
        ^ "\n"
      in
@@ -174,7 +232,7 @@ let shed net queue fd =
    except request execution, which is the [handler]'s business.  Both
    the single-process skoped ([run], handler = Dispatch.handle) and
    the cluster router (handler = Router.handle) are instances. *)
-let serve ?stop ?on_ready ?(handle_signals = true) ?faults ?on_queue
+let serve ?stop ?on_ready ?(handle_signals = true) ?faults ?recorder ?on_queue
     ?on_shutdown net ~handler =
   let stop = match stop with Some s -> s | None -> Atomic.make false in
   let restore_signals =
@@ -227,7 +285,7 @@ let serve ?stop ?on_ready ?(handle_signals = true) ?faults ?on_queue
         match Unix.accept sock with
         | fd, _ ->
           if not (Workqueue.try_push queue (Conn (fd, Unix.gettimeofday ())))
-          then shed net queue fd
+          then shed ?recorder net queue fd
         | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> ())
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
       accept_loop ()
@@ -270,6 +328,7 @@ let run ?stop ?on_ready ?handle_signals config =
         Format.pp_print_flush Format.std_formatter ()
   in
   serve ?stop ~on_ready ?handle_signals ?faults:config.faults
+    ~recorder:dispatch.Dispatch.recorder
     ~on_queue:(fun depth ->
       Metrics.register_gauge dispatch.Dispatch.metrics
         ~name:"skope_queue_depth"

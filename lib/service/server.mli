@@ -58,12 +58,16 @@ val default_config : config
     SIGINT/SIGTERM/SIGPIPE handlers; pass [false] when embedding
     several servers in one process and let the host own its signals.
     [on_queue] receives a queue-depth thunk once, before accepting
-    (the hook for a gauge); [on_shutdown] runs after the drain. *)
+    (the hook for a gauge); [on_shutdown] runs after the drain.
+    [recorder] receives a flight-recorder entry for every shed
+    request (sheds never reach the handler, so without it they would
+    be invisible to [{"kind":"recent"}]). *)
 val serve :
   ?stop:bool Atomic.t ->
   ?on_ready:(int -> unit) ->
   ?handle_signals:bool ->
   ?faults:Faults.t ->
+  ?recorder:Skope_telemetry.Recorder.t ->
   ?on_queue:((unit -> int) -> unit) ->
   ?on_shutdown:(unit -> unit) ->
   net ->

@@ -60,6 +60,11 @@ type request =
   | Version
   | Capabilities
   | Cluster_stats
+  | Recent of { n : int option; errors_only : bool; min_ms : float option }
+  | Trace of { id : string }
+
+let recent ?n ?(errors_only = false) ?min_ms () = Recent { n; errors_only; min_ms }
+let trace ~id () = Trace { id }
 
 let analyze ?(opts = default_query_opts) ~workload ~machine () =
   Analyze { workload; machine; opts }
@@ -123,6 +128,8 @@ let kind = function
   | Version -> "version"
   | Capabilities -> "capabilities"
   | Cluster_stats -> "cluster_stats"
+  | Recent _ -> "recent"
+  | Trace _ -> "trace"
 
 let query_fields ~workload ~machine (o : query_opts) =
   [ ("workload", Json.String workload); ("machine", Json.String machine) ]
@@ -147,12 +154,24 @@ let axis_obj (axis, values) =
       ("values", Json.List (List.map (fun v -> Json.Float v) values));
     ]
 
-let to_json ?timeout_ms request =
+let to_json ?timeout_ms ?trace_id ?trace_parent request =
   let base =
     [ ("kind", Json.String (kind request)) ]
+    @ (match timeout_ms with
+      | Some t -> [ ("timeout_ms", Json.Float t) ]
+      | None -> [])
     @
-    match timeout_ms with
-    | Some t -> [ ("timeout_ms", Json.Float t) ]
+    match trace_id with
+    | Some id ->
+      [
+        ( "trace",
+          Json.Obj
+            ([ ("id", Json.String id) ]
+            @
+            match trace_parent with
+            | Some p -> [ ("parent", Json.String p) ]
+            | None -> []) );
+      ]
     | None -> []
   in
   let fields =
@@ -203,18 +222,27 @@ let to_json ?timeout_ms request =
       if disable = [] then []
       else
         [ ("disable", Json.List (List.map (fun c -> Json.String c) disable)) ]
+    | Recent { n; errors_only; min_ms } ->
+      (match n with Some n -> [ ("n", Json.Int n) ] | None -> [])
+      @ (if errors_only then [ ("errors_only", Json.Bool true) ] else [])
+      @ (match min_ms with
+        | Some ms -> [ ("min_ms", Json.Float ms) ]
+        | None -> [])
+    | Trace { id } -> [ ("id", Json.String id) ]
     | Workloads | Machines | Stats | Metrics_prom | Version | Capabilities
     | Cluster_stats -> []
   in
   Json.Obj (base @ fields)
 
-let to_body ?timeout_ms request = Json.to_string (to_json ?timeout_ms request)
+let to_body ?timeout_ms ?trace_id ?trace_parent request =
+  Json.to_string (to_json ?timeout_ms ?trace_id ?trace_parent request)
 
 (* --- response decoding ---------------------------------------------- *)
 
 type response = {
   r_v : int option;
   r_ok : bool;
+  r_trace_id : string option;
   r_result : Json.t option;
   r_error_code : string option;
   r_error_message : string option;
@@ -235,6 +263,8 @@ let parse_response body =
         {
           r_v = Option.bind (Json.member "v" json) Json.to_int_opt;
           r_ok = Json.member "ok" json = Some (Json.Bool true);
+          r_trace_id =
+            Option.bind (Json.member "trace_id" json) Json.to_string_opt;
           r_result = Json.member "result" json;
           r_error_code = str "code";
           r_error_message = str "message";

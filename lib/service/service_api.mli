@@ -62,8 +62,17 @@ type request =
   | Capabilities
   | Cluster_stats
       (** cluster topology + per-shard stats; router ([skope route]) only *)
+  | Recent of { n : int option; errors_only : bool; min_ms : float option }
+      (** flight-recorder readback: the last requests, newest first *)
+  | Trace of { id : string }
+      (** one request's span tree from the flight recorder *)
 
 (** Constructor helpers with server-side defaults. *)
+
+val recent :
+  ?n:int -> ?errors_only:bool -> ?min_ms:float -> unit -> request
+
+val trace : id:string -> unit -> request
 
 val analyze :
   ?opts:query_opts -> workload:string -> machine:string -> unit -> request
@@ -113,11 +122,17 @@ val audit_source :
 (** The wire ["kind"] of a request. *)
 val kind : request -> string
 
-(** The request as JSON; [timeout_ms] adds the per-request deadline. *)
-val to_json : ?timeout_ms:float -> request -> Json.t
+(** The request as JSON; [timeout_ms] adds the per-request deadline,
+    [trace_id]/[trace_parent] the [{"trace":{"id","parent"}}] context
+    the server adopts instead of minting its own id. *)
+val to_json :
+  ?timeout_ms:float -> ?trace_id:string -> ?trace_parent:string -> request ->
+  Json.t
 
 (** The request as a one-line body ready for {!Client.roundtrip}. *)
-val to_body : ?timeout_ms:float -> request -> string
+val to_body :
+  ?timeout_ms:float -> ?trace_id:string -> ?trace_parent:string -> request ->
+  string
 
 (** A decoded response envelope: the protocol version stamp, the
     [ok] verdict, and either the result or the error triple.  The
@@ -126,6 +141,7 @@ val to_body : ?timeout_ms:float -> request -> string
 type response = {
   r_v : int option;  (** the ["v"] protocol stamp *)
   r_ok : bool;
+  r_trace_id : string option;  (** the echoed request trace id *)
   r_result : Json.t option;
   r_error_code : string option;  (** e.g. ["overloaded"] *)
   r_error_message : string option;

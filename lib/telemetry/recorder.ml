@@ -1,0 +1,144 @@
+type record = {
+  trace_id : string;
+  kind : string;
+  fingerprint : string option;
+  shard : string option;
+  outcome : string;
+  retries : int;
+  queue_wait_ms : float;
+  start : float;
+  duration_ms : float;
+  spans : Span.t list;
+}
+
+(* Spans for one in-flight request, newest first. *)
+type pending = { mutable p_spans : Span.t list; mutable p_count : int }
+
+type t = {
+  lock : Mutex.t;
+  ring : record option array;
+  mutable head : int;  (* next slot to write *)
+  mutable count : int;  (* total commits, for length *)
+  open_ : (string, pending) Hashtbl.t;
+  max_spans : int;
+  max_pending : int;
+}
+
+let create ?(capacity = 512) ?(max_spans = 128) ?(max_pending = 1024) () =
+  let capacity = max 1 capacity in
+  {
+    lock = Mutex.create ();
+    ring = Array.make capacity None;
+    head = 0;
+    count = 0;
+    open_ = Hashtbl.create 64;
+    max_spans;
+    max_pending;
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let begin_request t trace_id =
+  with_lock t (fun () ->
+      if
+        (not (Hashtbl.mem t.open_ trace_id))
+        && Hashtbl.length t.open_ < t.max_pending
+      then Hashtbl.replace t.open_ trace_id { p_spans = []; p_count = 0 })
+
+let sink t =
+  {
+    Span.sink_name = "recorder";
+    on_span =
+      (fun s ->
+        match List.assoc_opt "trace_id" s.Span.attrs with
+        | None -> ()
+        | Some id ->
+          with_lock t (fun () ->
+              match Hashtbl.find_opt t.open_ id with
+              | Some p when p.p_count < t.max_spans ->
+                p.p_spans <- s :: p.p_spans;
+                p.p_count <- p.p_count + 1
+              | _ -> ()));
+  }
+
+let discard t trace_id = with_lock t (fun () -> Hashtbl.remove t.open_ trace_id)
+
+let commit t ~trace_id ~kind ?fingerprint ?shard ~outcome ?(retries = 0)
+    ?(queue_wait_ms = 0.) ~start ~duration_ms () =
+  with_lock t (fun () ->
+      let spans =
+        match Hashtbl.find_opt t.open_ trace_id with
+        | Some p ->
+          Hashtbl.remove t.open_ trace_id;
+          p.p_spans
+        | None -> []
+      in
+      let r =
+        {
+          trace_id;
+          kind;
+          fingerprint;
+          shard;
+          outcome;
+          retries;
+          queue_wait_ms;
+          start;
+          duration_ms;
+          spans;
+        }
+      in
+      t.ring.(t.head) <- Some r;
+      t.head <- (t.head + 1) mod Array.length t.ring;
+      t.count <- t.count + 1)
+
+let capacity t = Array.length t.ring
+let length t = with_lock t (fun () -> min t.count (Array.length t.ring))
+
+let clear t =
+  with_lock t (fun () ->
+      Array.fill t.ring 0 (Array.length t.ring) None;
+      t.head <- 0;
+      t.count <- 0;
+      Hashtbl.reset t.open_)
+
+(* Iterate newest first.  [f] returns [true] to keep going. *)
+let iter_newest t f =
+  let n = Array.length t.ring in
+  let rec go i steps =
+    if steps < n then
+      match t.ring.(((i mod n) + n) mod n) with
+      | Some r -> if f r then go (i - 1) (steps + 1)
+      | None -> ()
+  in
+  go (t.head - 1) 0
+
+let recent ?(n = 20) ?(errors_only = false) ?min_duration_ms t =
+  with_lock t (fun () ->
+      let out = ref [] and kept = ref 0 in
+      iter_newest t (fun r ->
+          let keep =
+            ((not errors_only) || r.outcome <> "ok")
+            &&
+            match min_duration_ms with
+            | Some ms -> r.duration_ms >= ms
+            | None -> true
+          in
+          if keep then begin
+            out := r :: !out;
+            incr kept
+          end;
+          !kept < n);
+      List.rev !out)
+
+let find t trace_id =
+  with_lock t (fun () ->
+      let found = ref None in
+      iter_newest t (fun r ->
+          if r.trace_id = trace_id then begin
+            found := Some r;
+            false
+          end
+          else true);
+      !found)

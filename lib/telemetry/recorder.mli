@@ -1,0 +1,73 @@
+(** The flight recorder: a bounded ring of per-request records.
+
+    Always on in the server and the cluster router, cheap enough to
+    leave on: committing a record is one mutex-protected array store,
+    and span collection only touches requests that were explicitly
+    begun ({!begin_request}), so unrelated spans cost a hashtable
+    probe.
+
+    Life of a record: the request loop calls [begin_request] with the
+    trace id, runs the request under
+    [Span.with_context ~attrs:[("trace_id", id)]] (so every span the
+    request opens carries the id the {!sink} groups by), then
+    [commit]s the outcome.  The ring keeps the last [capacity]
+    records; [recent] and [find] read them back for the
+    [{"kind":"recent"}] and [{"kind":"trace"}] request kinds. *)
+
+type record = {
+  trace_id : string;
+  kind : string;  (** request kind, "?" when undeterminable *)
+  fingerprint : string option;  (** projection cache key, when keyed *)
+  shard : string option;  (** owning shard (router-side records) *)
+  outcome : string;  (** "ok" or the error code *)
+  retries : int;  (** router: failovers; server: always 0 *)
+  queue_wait_ms : float;  (** accept-to-dispatch wait *)
+  start : float;  (** epoch seconds at accept *)
+  duration_ms : float;
+  spans : Span.t list;  (** completion order (parents last) *)
+}
+
+type t
+
+val create : ?capacity:int -> ?max_spans:int -> ?max_pending:int -> unit -> t
+(** Ring of [capacity] records (default 512), keeping at most
+    [max_spans] spans per request (default 128) across at most
+    [max_pending] concurrently-open requests (default 1024). *)
+
+val sink : t -> Span.sink
+(** Routes finished spans into the open request named by their
+    ["trace_id"] attribute.  Spans with no such attribute, or for a
+    trace id that was never begun, are ignored. *)
+
+val begin_request : t -> string -> unit
+(** Open span collection for [trace_id].  Idempotent. *)
+
+val commit :
+  t ->
+  trace_id:string ->
+  kind:string ->
+  ?fingerprint:string ->
+  ?shard:string ->
+  outcome:string ->
+  ?retries:int ->
+  ?queue_wait_ms:float ->
+  start:float ->
+  duration_ms:float ->
+  unit ->
+  unit
+(** Close [trace_id] and push its record onto the ring. *)
+
+val discard : t -> string -> unit
+(** Close [trace_id] without recording (collection cap reached, …). *)
+
+val recent :
+  ?n:int -> ?errors_only:bool -> ?min_duration_ms:float -> t -> record list
+(** Newest first; at most [n] (default 20) records matching the
+    filters. *)
+
+val find : t -> string -> record option
+(** The newest record for this trace id, if still in the ring. *)
+
+val length : t -> int
+val capacity : t -> int
+val clear : t -> unit

@@ -118,13 +118,56 @@ done
 [ "$HOT" -eq 1 ] || fail "expected a cache hit on exactly 1 shard, got $HOT"
 
 # Concurrent repeat traffic through the router must come back clean
-# and report the per-shard hit histogram (the loadgen's scaling lens).
+# and report the per-shard latency/retries table (the loadgen's
+# scaling lens).
 echo "cluster_smoke: load burst through the router"
 LOAD=$(q -w sord -m bgq --repeat 100 --concurrency 4) \
     || fail "load burst via router"
 echo "$LOAD"
 echo "$LOAD" | grep -q '(0 failed' || fail "load burst reported failures"
-echo "$LOAD" | grep -q 'shard hits:' || fail "load burst missing shard histogram"
+echo "$LOAD" | grep -q 'Per-shard latency' \
+    || fail "load burst missing per-shard latency table"
+echo "$LOAD" | grep -q 'retries' || fail "load burst missing retries column"
+
+# --- gate 2b: one trace id spans the router and the owning shard ------
+
+echo "cluster_smoke: gate 2b: trace id propagates router -> shard"
+RT=$(q -w sord -m bgq --trace-id cluster-trace-1) || fail "traced analyze"
+echo "$RT" | grep -q '"trace_id":"cluster-trace-1"' \
+    || fail "router response does not echo the caller's trace id"
+TOWNER=$(echo "$RT" | grep -o '"shard":"[^"]*"' | sed 's/.*:"\(.*\)"/\1/')
+[ -n "$TOWNER" ] || fail "traced response carries no shard field"
+
+CHROME=$(mktmp .chrome.json)
+TRACED=$(q --kind trace --trace-id cluster-trace-1 --chrome "$CHROME" \
+    2>/dev/null) || fail "trace lookup via router"
+echo "$TRACED" | grep -q '"router"' \
+    || fail "merged trace missing the router's spans"
+echo "$TRACED" | grep -q "\"$TOWNER\"" \
+    || fail "merged trace missing the owning shard's spans"
+"$SKOPE" json-check "$CHROME" >/dev/null \
+    || fail "merged Chrome trace is not valid JSON"
+grep -q '"ph":"X"' "$CHROME" || fail "Chrome trace has no complete events"
+grep -q "\"name\":\"$TOWNER\"" "$CHROME" \
+    || fail "Chrome trace missing the shard process"
+grep -q '"name":"router"' "$CHROME" \
+    || fail "Chrome trace missing the router process"
+
+# The owning shard's own flight recorder must hold the same id.
+OWNER_PORT=${SHARD_PORTS[${TOWNER#s}]}
+RECENT=$("$SKOPE" query --port "$OWNER_PORT" --kind recent --last 50) \
+    || fail "recent on owning shard"
+echo "$RECENT" | grep -q '"trace_id":"cluster-trace-1"' \
+    || fail "owning shard's recent missing the propagated trace id"
+
+# A single dashboard frame against the router must render all three
+# panes and exit cleanly (single-shot mode never clears the screen, so
+# it stays pipeable).
+echo "cluster_smoke: single-shot skope top frame"
+TOP=$("$SKOPE" top --port "$ROUTER_PORT" -n 1) || fail "skope top frame"
+echo "$TOP" | grep -q 'shards healthy' || fail "top frame missing cluster pane"
+echo "$TOP" | grep -q 'cluster-trace-1' \
+    || fail "top frame missing the traced request in its recent pane"
 
 # --- gate 3: SIGKILL the owner; failover keeps answering --------------
 

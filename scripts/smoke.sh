@@ -218,6 +218,26 @@ echo "$STATS" | grep -q 'Per-phase latency' || fail "stats table"
 echo "smoke: version request"
 q --kind version | grep -q '"version"' || fail "version request"
 
+echo "smoke: trace id propagates end to end and exports a Chrome trace"
+R=$(q -w sord -m bgq --trace-id smoke-trace-1) || fail "traced analyze request"
+echo "$R" | grep -q '"trace_id":"smoke-trace-1"' \
+    || fail "response does not echo the caller's trace id"
+CHROME=$(mktmp .chrome.json)
+TRACED=$(q --kind trace --trace-id smoke-trace-1 --chrome "$CHROME" \
+    2>/dev/null) || fail "trace lookup"
+echo "$TRACED" | grep -q '"trace_id":"smoke-trace-1"' \
+    || fail "trace record missing the id"
+echo "$TRACED" | grep -q '"spans"' || fail "trace record has no spans"
+"$SKOPE" json-check "$CHROME" >/dev/null \
+    || fail "exported Chrome trace is not valid JSON"
+grep -q '"ph":"X"' "$CHROME" || fail "Chrome trace has no complete events"
+
+echo "smoke: flight recorder lists recent requests"
+RECENT=$(q --kind recent --last 10) || fail "recent request"
+echo "$RECENT" | grep -q '"trace_id":"smoke-trace-1"' \
+    || fail "recent does not list the traced request"
+echo "$RECENT" | grep -q '"records"' || fail "recent missing records array"
+
 echo "smoke: Prometheus exposition"
 PROM=$(mktmp .prom)
 q --kind metrics_prom >"$PROM" || fail "metrics_prom request"
@@ -267,6 +287,13 @@ STATS=$("$SKOPE" query --port "$DROP_PORT" --kind stats) \
     || fail "drop-server stats request"
 echo "$STATS" | grep -q '"faults_injected"' \
     || fail "stats missing faults_injected counter"
+echo "smoke: injected faults leave attributable structured log events"
+grep -q '"event":"fault_injected"' "$DROP_LOG" \
+    || fail "server log missing fault_injected events"
+grep '"event":"fault_injected"' "$DROP_LOG" | head -n 1 \
+    | grep -q '"seed":7' || fail "fault_injected event missing the seed"
+grep '"event":"fault_injected"' "$DROP_LOG" | head -n 1 \
+    | grep -q '"fault":' || fail "fault_injected event missing the fault kind"
 stop_server "$DROP_PID"
 
 echo "smoke: stalled server trips the client read deadline"
@@ -320,6 +347,16 @@ STATS=$("$SKOPE" query --port "$SLOW_PORT" --kind stats --retries 6) \
     || fail "slow-server stats request"
 echo "$STATS" | grep -q '"requests_shed"' \
     || fail "stats missing requests_shed counter"
+
+echo "smoke: the shed request is visible in the flight recorder"
+RECENT=$("$SKOPE" query --port "$SLOW_PORT" --kind recent --last 20 \
+    --retries 6) || fail "slow-server recent request"
+echo "$RECENT" | grep -q '"trace_id":"shed-' \
+    || fail "recent missing the shed request's synthetic trace id"
+echo "$RECENT" | grep -q '"outcome":"overloaded"' \
+    || fail "shed record not marked overloaded"
+grep -q '"event":"request_shed"' "$SLOW_LOG" \
+    || fail "server log missing request_shed event"
 stop_server "$SLOW_PID"
 
 # --- cluster gates ----------------------------------------------------

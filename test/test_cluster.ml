@@ -207,12 +207,103 @@ let test_inject_label_edge_cases () =
     "foo_total{shard=\"s0\"} 2"
     (Aggregate.inject_label ~shard:"s0" "foo_total 2")
 
+let test_inject_label_escaping () =
+  (* Prometheus label values escape backslash and double-quote; a
+     hostile shard id must not break the exposition syntax. *)
+  Alcotest.(check string) "quote escaped"
+    "foo{shard=\"s\\\"0\"} 1"
+    (Aggregate.inject_label ~shard:"s\"0" "foo 1");
+  Alcotest.(check string) "backslash escaped"
+    "foo{shard=\"s\\\\0\"} 1"
+    (Aggregate.inject_label ~shard:"s\\0" "foo 1");
+  Alcotest.(check string) "newline escaped"
+    "foo{shard=\"s\\n0\"} 1"
+    (Aggregate.inject_label ~shard:"s\n0" "foo 1")
+
+let test_aggregate_histogram_family () =
+  (* A full histogram family from two shards, with the second shard
+     emitting its families in a different order: bucket/sum/count
+     samples must stay grouped under one header block. *)
+  let shard ?(flip = false) v =
+    let hist =
+      Printf.sprintf
+        "# HELP skope_phase_duration_seconds Phase latency.\n\
+         # TYPE skope_phase_duration_seconds histogram\n\
+         skope_phase_duration_seconds_bucket{phase=\"eval\",le=\"0.01\"} %d\n\
+         skope_phase_duration_seconds_bucket{phase=\"eval\",le=\"+Inf\"} %d\n\
+         skope_phase_duration_seconds_sum{phase=\"eval\"} %d.25\n\
+         skope_phase_duration_seconds_count{phase=\"eval\"} %d\n"
+        v (v + 1) v (v + 1)
+    in
+    let gauge =
+      Printf.sprintf
+        "# HELP skope_lru_entries Cache entries.\n\
+         # TYPE skope_lru_entries gauge\n\
+         skope_lru_entries %d\n"
+        v
+    in
+    if flip then gauge ^ hist else hist ^ gauge
+  in
+  let merged =
+    Aggregate.merge [ ("s0", shard 3); ("s1", shard ~flip:true 7) ]
+  in
+  Alcotest.(check int) "one histogram header" 1
+    (count_substring merged "# TYPE skope_phase_duration_seconds histogram");
+  (* all eight histogram samples survived, each with its shard label *)
+  List.iter
+    (fun (shard, v) ->
+      List.iter
+        (fun line -> Alcotest.(check int) line 1 (count_substring merged line))
+        [
+          Printf.sprintf
+            "skope_phase_duration_seconds_bucket{shard=%S,phase=\"eval\",le=\"0.01\"} %d"
+            shard v;
+          Printf.sprintf
+            "skope_phase_duration_seconds_bucket{shard=%S,phase=\"eval\",le=\"+Inf\"} %d"
+            shard (v + 1);
+          Printf.sprintf
+            "skope_phase_duration_seconds_sum{shard=%S,phase=\"eval\"} %d.25"
+            shard v;
+          Printf.sprintf
+            "skope_phase_duration_seconds_count{shard=%S,phase=\"eval\"} %d"
+            shard (v + 1);
+        ])
+    [ ("s0", 3); ("s1", 7) ];
+  (* the family block is contiguous: every histogram sample sits
+     between the family header and the next family header *)
+  let find hay needle =
+    let n = String.length needle in
+    let rec go i =
+      if i + n > String.length hay then -1
+      else if String.sub hay i n = needle then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let rfind hay needle =
+    let n = String.length needle in
+    let rec go i best =
+      if i + n > String.length hay then best
+      else if String.sub hay i n = needle then go (i + 1) i
+      else go (i + 1) best
+    in
+    go 0 (-1)
+  in
+  let header_at = find merged "# TYPE skope_phase_duration_seconds" in
+  let gauge_header_at = find merged "# TYPE skope_lru_entries" in
+  let last_sample_at = rfind merged "skope_phase_duration_seconds_count" in
+  Alcotest.(check bool) "samples follow their header" true
+    (header_at < last_sample_at);
+  Alcotest.(check bool) "family blocks do not interleave" true
+    (last_sample_at < gauge_header_at || gauge_header_at < header_at)
+
 (* --- protocol plumbing ---------------------------------------------- *)
 
 let test_cluster_stats_kind () =
   let body = Api.to_body Api.Cluster_stats in
   (match Service.Protocol.parse_request body with
-  | Ok (Service.Protocol.Cluster_stats, None) -> ()
+  | Ok (Service.Protocol.Cluster_stats, { Service.Protocol.timeout_ms = None; _ })
+    -> ()
   | Ok _ -> Alcotest.fail "parsed to the wrong request"
   | Error (_, m) -> Alcotest.failf "parse failed: %s" m);
   (* a single-process skoped refuses it, pointing at the router *)
@@ -428,6 +519,88 @@ let test_e2e_no_shard_is_structured () =
           (retry_after_ms <> None)
       | Error e -> Alcotest.failf "expected overloaded, got %a" Client.pp_error e)
 
+let test_e2e_trace_propagation () =
+  with_cluster ~shards:3 (fun c ->
+      let port = Local.router_port c in
+      let tid = "e2e-trace-1" in
+      (* One id rides the whole path: client -> router -> owning shard. *)
+      let resp =
+        request port
+          (Api.to_body ~trace_id:tid
+             (Api.analyze
+                ~opts:{ Api.default_query_opts with Api.scale = Some 0.21 }
+                ~workload:"sord" ~machine:"bgq" ()))
+      in
+      (match Api.parse_response resp with
+      | Ok r ->
+        Alcotest.(check (option string))
+          "router echoes the caller id" (Some tid) r.Api.r_trace_id
+      | Error e -> Alcotest.failf "undecodable response: %s" e);
+      let owner = shard_of resp in
+      (* The merged trace has the router's AND the owning shard's
+         record, under the same id. *)
+      let trace =
+        response_result (request port (Api.to_body (Api.trace ~id:tid ())))
+      in
+      let processes =
+        match Json.member "processes" trace with
+        | Some (Json.List ps) -> ps
+        | _ -> Alcotest.fail "trace result has no processes"
+      in
+      let names =
+        List.filter_map
+          (fun p -> Option.bind (Json.member "process" p) Json.to_string_opt)
+          processes
+      in
+      Alcotest.(check bool) "router process present" true
+        (List.mem "router" names);
+      Alcotest.(check bool)
+        (Printf.sprintf "owning shard %s present" owner)
+        true (List.mem owner names);
+      List.iter
+        (fun p ->
+          match Option.bind (Json.member "record" p) (Json.member "spans") with
+          | Some (Json.List spans) ->
+            Alcotest.(check bool) "process contributed spans" true
+              (List.length spans >= 1)
+          | _ -> Alcotest.fail "process record has no spans")
+        processes;
+      (* The merged result converts to Chrome trace_event JSON that
+         round-trips through the JSON parser. *)
+      (match Service.Traceview.chrome_of_trace trace with
+      | Ok text -> (
+        match Json.of_string text with
+        | Ok chrome -> (
+          match Json.member "traceEvents" chrome with
+          | Some (Json.List evs) ->
+            (* one process_name metadata event per process, plus spans *)
+            Alcotest.(check bool) "chrome events cover both processes" true
+              (List.length evs > List.length processes)
+          | _ -> Alcotest.fail "no traceEvents")
+        | Error e -> Alcotest.failf "chrome output is not JSON: %s" e)
+      | Error e -> Alcotest.failf "chrome conversion failed: %s" e);
+      (* The owning shard's own flight recorder shows the request. *)
+      let shard_port =
+        let ids = Local.shard_ids c and ports = Local.shard_ports c in
+        let found = ref None in
+        Array.iteri (fun i id -> if id = owner then found := Some ports.(i)) ids;
+        Option.get !found
+      in
+      let recent =
+        response_result
+          (request shard_port (Api.to_body (Api.recent ~n:50 ())))
+      in
+      let recent_ids =
+        match Json.member "records" recent with
+        | Some (Json.List records) ->
+          List.filter_map
+            (fun r -> Option.bind (Json.member "trace_id" r) Json.to_string_opt)
+            records
+        | _ -> Alcotest.fail "recent has no records"
+      in
+      Alcotest.(check bool) "request visible on owning shard" true
+        (List.mem tid recent_ids))
+
 let suite =
   [
     ( "cluster.ring",
@@ -451,6 +624,10 @@ let suite =
           test_aggregate_merge;
         Alcotest.test_case "label injection edges" `Quick
           test_inject_label_edge_cases;
+        Alcotest.test_case "label value escaping" `Quick
+          test_inject_label_escaping;
+        Alcotest.test_case "histogram family merge" `Quick
+          test_aggregate_histogram_family;
       ] );
     ( "cluster.protocol",
       [
@@ -468,5 +645,7 @@ let suite =
           test_e2e_failover_and_ejection;
         Alcotest.test_case "no shard left" `Quick
           test_e2e_no_shard_is_structured;
+        Alcotest.test_case "trace propagation" `Quick
+          test_e2e_trace_propagation;
       ] );
   ]

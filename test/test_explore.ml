@@ -351,7 +351,7 @@ let test_version_stamp () =
 
 let parse_ok body =
   match Service.Protocol.parse_request body with
-  | Ok (req, timeout) -> (req, timeout)
+  | Ok (req, envelope) -> (req, envelope.Service.Protocol.timeout_ms)
   | Error (_, msg) -> Alcotest.failf "parse of %s failed: %s" body msg
 
 let test_service_api_roundtrip () =

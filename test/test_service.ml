@@ -300,11 +300,13 @@ let test_lint_request_validation () =
 
 (* --- cache behaviour ----------------------------------------------- *)
 
+(* A fixed trace id keeps repeated responses byte-identical: the
+   dispatcher adopts the caller's id instead of minting a fresh one. *)
 let analyze_body =
-  {|{"kind":"analyze","workload":"pedagogical","machine":"bgq","top":5}|}
+  {|{"kind":"analyze","workload":"pedagogical","machine":"bgq","top":5,"trace":{"id":"t-cache"}}|}
 
 let sweep_body =
-  {|{"kind":"sweep","workload":"pedagogical","machine":"bgq","axis":"bw","values":[1,2,4]}|}
+  {|{"kind":"sweep","workload":"pedagogical","machine":"bgq","axis":"bw","values":[1,2,4],"trace":{"id":"t-sweep"}}|}
 
 let view d = Service.Metrics.view d.Service.Dispatch.metrics
 
@@ -720,6 +722,157 @@ let test_retries_ride_through_drops () =
       done;
       Alcotest.(check bool) "drops forced retries" true (!retries > 0))
 
+(* --- trace propagation + flight recorder --------------------------- *)
+
+let trace_id_of resp =
+  match Json.of_string resp with
+  | Ok r -> Option.bind (Json.member "trace_id" r) Json.to_string_opt
+  | Error e -> Alcotest.failf "response is not JSON (%s): %s" e resp
+
+let test_trace_id_echoed () =
+  let dispatch = Service.Dispatch.create () in
+  (* Caller-supplied ids are adopted verbatim... *)
+  Alcotest.(check (option string))
+    "ok response echoes caller id" (Some "caller-1")
+    (trace_id_of
+       (handle ~dispatch
+          {|{"kind":"analyze","workload":"pedagogical","machine":"bgq","trace":{"id":"caller-1"}}|}));
+  (* ...errors carry the id too... *)
+  Alcotest.(check (option string))
+    "error response echoes caller id" (Some "caller-2")
+    (trace_id_of
+       (handle ~dispatch
+          {|{"kind":"analyze","workload":"nope","machine":"bgq","trace":{"id":"caller-2"}}|}));
+  (* ...and without a caller id the server mints one. *)
+  (match
+     trace_id_of
+       (handle ~dispatch {|{"kind":"analyze","workload":"sord","machine":"bgq"}|})
+   with
+  | Some id ->
+    Alcotest.(check bool)
+      (Printf.sprintf "minted id %S has req- prefix" id)
+      true
+      (String.length id > 4 && String.sub id 0 4 = "req-")
+  | None -> Alcotest.fail "no trace_id on minted response");
+  (* Even a parse error gets a (minted) id: the envelope invariant
+     holds on every response. *)
+  Alcotest.(check bool) "parse error carries trace_id" true
+    (trace_id_of (handle ~dispatch "{\"kind\":") <> None)
+
+let test_trace_validation () =
+  check_error "empty trace id" "invalid_request"
+    {|{"kind":"stats","trace":{"id":""}}|};
+  check_error "oversized trace id" "invalid_request"
+    (Printf.sprintf {|{"kind":"stats","trace":{"id":%S}}|}
+       (String.make 200 'x'));
+  check_error "non-object trace" "invalid_request"
+    {|{"kind":"stats","trace":"t-1"}|}
+
+let test_recent_roundtrip () =
+  let module A = Service.Service_api in
+  let dispatch = Service.Dispatch.create () in
+  ignore
+    (handle ~dispatch
+       {|{"kind":"analyze","workload":"pedagogical","machine":"bgq","trace":{"id":"seen-1"}}|});
+  ignore
+    (handle ~dispatch
+       {|{"kind":"analyze","workload":"nope","machine":"bgq","trace":{"id":"seen-2"}}|});
+  (* The builder's body round-trips through the wire parser... *)
+  let body = A.to_body (A.recent ~n:10 ()) in
+  (match Service.Protocol.parse_request body with
+  | Ok (Service.Protocol.Recent q, _) ->
+    Alcotest.(check int) "n" 10 q.Service.Protocol.rc_n
+  | _ -> Alcotest.failf "recent body did not parse: %s" body);
+  (* ...and the dispatcher answers it with the recorded requests,
+     newest first. *)
+  let r = result_of (handle ~dispatch body) in
+  let ids =
+    match Json.member "records" r with
+    | Some (Json.List records) ->
+      List.filter_map
+        (fun rec_ ->
+          Option.bind (Json.member "trace_id" rec_) Json.to_string_opt)
+        records
+    | _ -> Alcotest.fail "records missing"
+  in
+  Alcotest.(check (list string)) "both recorded, newest first"
+    [ "seen-2"; "seen-1" ] ids;
+  (* errors_only keeps just the failed request *)
+  let r =
+    result_of (handle ~dispatch (A.to_body (A.recent ~errors_only:true ())))
+  in
+  (match Json.member "records" r with
+  | Some (Json.List [ rec_ ]) ->
+    Alcotest.(check (option string))
+      "the error" (Some "seen-2")
+      (Option.bind (Json.member "trace_id" rec_) Json.to_string_opt);
+    Alcotest.(check (option string))
+      "outcome" (Some "unknown_workload")
+      (Option.bind (Json.member "outcome" rec_) Json.to_string_opt)
+  | _ -> Alcotest.fail "expected exactly the failed record")
+
+let test_trace_kind_roundtrip () =
+  let module A = Service.Service_api in
+  let dispatch = Service.Dispatch.create () in
+  ignore
+    (handle ~dispatch
+       {|{"kind":"analyze","workload":"pedagogical","machine":"bgq","trace":{"id":"deep-1"}}|});
+  let body = A.to_body (A.trace ~id:"deep-1" ()) in
+  (match Service.Protocol.parse_request body with
+  | Ok (Service.Protocol.Trace id, _) ->
+    Alcotest.(check string) "id" "deep-1" id
+  | _ -> Alcotest.failf "trace body did not parse: %s" body);
+  let resp = handle ~dispatch body in
+  let r = result_of resp in
+  Alcotest.(check (option string))
+    "trace_id in result" (Some "deep-1")
+    (Option.bind (Json.member "trace_id" r) Json.to_string_opt);
+  (match Json.member "processes" r with
+  | Some (Json.List [ p ]) ->
+    Alcotest.(check (option string))
+      "process label" (Some "skoped")
+      (Option.bind (Json.member "process" p) Json.to_string_opt);
+    let spans =
+      match Option.bind (Json.member "record" p) (Json.member "spans") with
+      | Some (Json.List spans) -> spans
+      | _ -> Alcotest.fail "spans missing"
+    in
+    Alcotest.(check bool) "pipeline spans captured" true
+      (List.length spans >= 3);
+    (* Every span carries the trace id attribute the recorder grouped
+       it by. *)
+    List.iter
+      (fun s ->
+        Alcotest.(check (option string))
+          "span trace_id attr" (Some "deep-1")
+          (Option.bind (Json.member "attrs" s) (Json.member "trace_id")
+          |> Fun.flip Option.bind Json.to_string_opt))
+      spans;
+    (* The merged result converts to a loadable Chrome trace. *)
+    (match Service.Traceview.chrome_of_trace r with
+    | Ok text -> (
+      match Json.of_string text with
+      | Ok chrome ->
+        (match Json.member "traceEvents" chrome with
+        | Some (Json.List evs) ->
+          Alcotest.(check bool) "chrome has events" true
+            (List.length evs >= List.length spans)
+        | _ -> Alcotest.fail "traceEvents missing")
+      | Error e -> Alcotest.failf "chrome output not JSON: %s" e)
+    | Error e -> Alcotest.failf "chrome_of_trace failed: %s" e)
+  | _ -> Alcotest.fail "expected one process");
+  (* An unknown id is a structured miss. *)
+  Alcotest.(check string) "unknown trace" "invalid_request"
+    (error_code (handle ~dispatch (A.to_body (A.trace ~id:"never" ()))))
+
+let test_parse_response_trace_id () =
+  let module A = Service.Service_api in
+  match A.parse_response {|{"v":1,"ok":true,"trace_id":"t-9","result":{}}|} with
+  | Ok r ->
+    Alcotest.(check (option string)) "r_trace_id" (Some "t-9") r.A.r_trace_id;
+    Alcotest.(check bool) "r_ok" true r.A.r_ok
+  | Error e -> Alcotest.failf "parse_response failed: %s" e
+
 let suite =
   [
     ( "service.json",
@@ -763,6 +916,16 @@ let suite =
         Alcotest.test_case "metrics counters" `Quick test_metrics_counters;
         Alcotest.test_case "workqueue fifo" `Quick test_workqueue_fifo;
         Alcotest.test_case "workqueue threads" `Quick test_workqueue_threads;
+      ] );
+    ( "service.trace",
+      [
+        Alcotest.test_case "trace id echoed" `Quick test_trace_id_echoed;
+        Alcotest.test_case "trace validation" `Quick test_trace_validation;
+        Alcotest.test_case "recent round-trip" `Quick test_recent_roundtrip;
+        Alcotest.test_case "trace kind round-trip" `Quick
+          test_trace_kind_roundtrip;
+        Alcotest.test_case "response trace id parsed" `Quick
+          test_parse_response_trace_id;
       ] );
     ( "service.reliability",
       [

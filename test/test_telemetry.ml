@@ -295,6 +295,181 @@ let test_metrics_gauges () =
      let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
      go 0)
 
+(* --- structured log ------------------------------------------------ *)
+
+module Log = T.Log
+
+(* Capture log lines for the duration of [f]; restores stderr output
+   and the default rate limit afterwards. *)
+let with_log_capture f =
+  let lines = ref [] in
+  Log.set_output (fun l -> lines := l :: !lines);
+  Log.set_rate ~burst:0 ~per_s:0.;
+  Fun.protect
+    ~finally:(fun () ->
+      Log.use_stderr ();
+      Log.set_rate ~burst:50 ~per_s:10.;
+      Log.set_level Log.Info)
+    (fun () -> f ());
+  List.rev !lines
+
+let test_log_json_valid () =
+  let lines =
+    with_log_capture (fun () ->
+        Log.emit ~level:Log.Warn ~trace_id:"t-1" "fault_injected"
+          [
+            ("fault", Log.Str "drop\"quoted\"\nline");
+            ("seed", Log.I 42);
+            ("p", Log.F 0.5);
+            ("armed", Log.B true);
+          ])
+  in
+  match lines with
+  | [ line ] -> (
+    (* The telemetry layer does its own JSON escaping; the report
+       layer's parser is the schema referee. *)
+    match Json.of_string line with
+    | Error msg -> Alcotest.failf "log line is not valid JSON: %s" msg
+    | Ok j ->
+      Alcotest.(check (option string))
+        "level" (Some "warn")
+        (Option.bind (Json.member "level" j) Json.to_string_opt);
+      Alcotest.(check (option string))
+        "event" (Some "fault_injected")
+        (Option.bind (Json.member "event" j) Json.to_string_opt);
+      Alcotest.(check (option string))
+        "trace_id" (Some "t-1")
+        (Option.bind (Json.member "trace_id" j) Json.to_string_opt);
+      Alcotest.(check bool) "ts present" true (Json.member "ts" j <> None);
+      let attrs = Option.get (Json.member "attrs" j) in
+      Alcotest.(check (option string))
+        "escaped attr survives" (Some "drop\"quoted\"\nline")
+        (Option.bind (Json.member "fault" attrs) Json.to_string_opt);
+      Alcotest.(check (option int))
+        "int attr stays a number" (Some 42)
+        (Option.bind (Json.member "seed" attrs) Json.to_int_opt);
+      Alcotest.(check bool)
+        "bool attr" true
+        (Json.member "armed" attrs = Some (Json.Bool true)))
+  | l -> Alcotest.failf "expected 1 line, got %d" (List.length l)
+
+let test_log_level_filter () =
+  let lines =
+    with_log_capture (fun () ->
+        Log.set_level Log.Warn;
+        Log.emit ~level:Log.Debug "dropped_debug" [];
+        Log.emit ~level:Log.Info "dropped_info" [];
+        Log.emit ~level:Log.Warn "kept_warn" [];
+        Log.emit ~level:Log.Error "kept_error" [])
+  in
+  Alcotest.(check int) "only warn+error pass" 2 (List.length lines)
+
+let test_log_rate_limit () =
+  let lines = ref [] in
+  Log.set_output (fun l -> lines := l :: !lines);
+  Fun.protect
+    ~finally:(fun () ->
+      Log.use_stderr ();
+      Log.set_rate ~burst:50 ~per_s:10.)
+    (fun () ->
+      (* Tiny bucket, no refill to speak of: a 100-event storm must
+         collapse to ~3 lines, and the next passing line must carry
+         the suppressed count. *)
+      Log.set_rate ~burst:3 ~per_s:1e-9;
+      for _ = 1 to 100 do
+        Log.emit "storm" []
+      done);
+  let n = List.length !lines in
+  Alcotest.(check bool) (Printf.sprintf "storm capped (%d lines)" n) true (n <= 4);
+  Alcotest.(check bool) "some suppressed counted" true
+    (Log.suppressed_total () > 0)
+
+let test_log_levels_roundtrip () =
+  List.iter
+    (fun l ->
+      Alcotest.(check bool)
+        (Log.level_label l ^ " round-trips")
+        true
+        (Log.level_of_string (Log.level_label l) = Some l))
+    [ Log.Debug; Log.Info; Log.Warn; Log.Error ]
+
+(* --- flight recorder ----------------------------------------------- *)
+
+module Recorder = T.Recorder
+
+let commit_simple r ?(kind = "analyze") ?(outcome = "ok") ?(duration_ms = 1.)
+    trace_id =
+  Recorder.begin_request r trace_id;
+  Recorder.commit r ~trace_id ~kind ~outcome ~start:0. ~duration_ms ()
+
+let test_recorder_ring_wraps () =
+  let r = Recorder.create ~capacity:4 () in
+  for i = 1 to 10 do
+    commit_simple r (Printf.sprintf "t-%d" i)
+  done;
+  Alcotest.(check int) "length capped" 4 (Recorder.length r);
+  Alcotest.(check int) "capacity" 4 (Recorder.capacity r);
+  let ids =
+    Recorder.recent ~n:10 r |> List.map (fun x -> x.Recorder.trace_id)
+  in
+  Alcotest.(check (list string))
+    "newest first, oldest evicted"
+    [ "t-10"; "t-9"; "t-8"; "t-7" ]
+    ids;
+  Alcotest.(check bool) "evicted not findable" true
+    (Recorder.find r "t-1" = None);
+  Alcotest.(check bool) "survivor findable" true
+    (Recorder.find r "t-9" <> None);
+  Recorder.clear r;
+  Alcotest.(check int) "clear empties" 0 (Recorder.length r)
+
+let test_recorder_filters () =
+  let r = Recorder.create ~capacity:16 () in
+  commit_simple r ~outcome:"ok" ~duration_ms:1. "fast-ok";
+  commit_simple r ~outcome:"internal_error" ~duration_ms:2. "slow-err";
+  commit_simple r ~outcome:"ok" ~duration_ms:50. "slow-ok";
+  let ids sel = List.map (fun x -> x.Recorder.trace_id) sel in
+  Alcotest.(check (list string))
+    "errors only" [ "slow-err" ]
+    (ids (Recorder.recent ~errors_only:true r));
+  Alcotest.(check (list string))
+    "min duration" [ "slow-ok" ]
+    (ids (Recorder.recent ~min_duration_ms:10. r));
+  Alcotest.(check (list string))
+    "n truncates newest-first" [ "slow-ok"; "slow-err" ]
+    (ids (Recorder.recent ~n:2 r))
+
+let test_recorder_sink_groups_spans () =
+  let r = Recorder.create () in
+  let sink = Recorder.sink r in
+  Span.add_sink sink;
+  Fun.protect
+    ~finally:(fun () -> Span.remove_sink sink)
+    (fun () ->
+      Recorder.begin_request r "grouped";
+      Span.with_context ~attrs:[ ("trace_id", "grouped") ] (fun () ->
+          Span.with_ ~name:"outer" (fun () ->
+              Span.with_ ~name:"inner" (fun () -> ())));
+      (* No begin_request, no collection: unrelated spans (or spans
+         for a request that was never begun) are dropped. *)
+      Span.with_context ~attrs:[ ("trace_id", "never-begun") ] (fun () ->
+          Span.with_ ~name:"stray" (fun () -> ()));
+      Recorder.commit r ~trace_id:"grouped" ~kind:"analyze" ~outcome:"ok"
+        ~start:0. ~duration_ms:1. ());
+  match Recorder.find r "grouped" with
+  | None -> Alcotest.fail "committed record not found"
+  | Some rec_ ->
+    let names = List.map (fun s -> s.Span.name) rec_.Recorder.spans in
+    Alcotest.(check bool) "outer collected" true (List.mem "outer" names);
+    Alcotest.(check bool) "inner collected" true (List.mem "inner" names);
+    Alcotest.(check bool) "stray not collected" false (List.mem "stray" names)
+
+let test_recorder_discard () =
+  let r = Recorder.create () in
+  Recorder.begin_request r "doomed";
+  Recorder.discard r "doomed";
+  Alcotest.(check int) "nothing recorded" 0 (Recorder.length r)
+
 (* --- dispatch integration ------------------------------------------ *)
 
 let decode body =
@@ -413,6 +588,22 @@ let suite =
         Alcotest.test_case "small-n percentiles + reset" `Quick
           test_metrics_small_n;
         Alcotest.test_case "gauges" `Quick test_metrics_gauges;
+      ] );
+    ( "telemetry.log",
+      [
+        Alcotest.test_case "line is valid JSON" `Quick test_log_json_valid;
+        Alcotest.test_case "level filter" `Quick test_log_level_filter;
+        Alcotest.test_case "rate limit" `Quick test_log_rate_limit;
+        Alcotest.test_case "level labels round-trip" `Quick
+          test_log_levels_roundtrip;
+      ] );
+    ( "telemetry.recorder",
+      [
+        Alcotest.test_case "ring wraps" `Quick test_recorder_ring_wraps;
+        Alcotest.test_case "recent filters" `Quick test_recorder_filters;
+        Alcotest.test_case "sink groups spans" `Quick
+          test_recorder_sink_groups_spans;
+        Alcotest.test_case "discard" `Quick test_recorder_discard;
       ] );
     ( "telemetry.dispatch",
       [
