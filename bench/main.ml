@@ -766,12 +766,12 @@ let explore_section () =
   (* Shared path: prepare once, project per point (timed including the
      one-time prepare, so the comparison is end to end). *)
   let t1 = Unix.gettimeofday () in
-  let prepared = P.prepare ~workload:w ~scale () in
+  let prepared = P.Prepared.create ~workload:w ~scale () in
   let r1 = Explore.evaluate ~jobs:1 prepared pts in
   let shared1 = Unix.gettimeofday () -. t1 in
   let jobs = min (Domain.recommended_domain_count ()) n in
   let t2 = Unix.gettimeofday () in
-  let prepared2 = P.prepare ~workload:w ~scale () in
+  let prepared2 = P.Prepared.create ~workload:w ~scale () in
   let rn = Explore.evaluate ~jobs prepared2 pts in
   let sharedn = Unix.gettimeofday () -. t2 in
   Fmt.pr "%d-point grid of SORD (scale %.2f) around BG/Q:@." n scale;
@@ -809,6 +809,120 @@ let explore_section () =
   in
   Fmt.pr "@.parallel evaluation matches sequential: %s@."
     (if same then "yes" else "NO")
+
+(* ------------------------------------------------------------------ *)
+(* Arena engine: per-point re-pricing cost on a 1024-point grid.  The
+   acceptance bar for the arena is >= 5x under the PR 4 shared-BET
+   tree walk per point, with bit-identical results (the differential
+   suite gates the identity; this section reports the cost). *)
+
+let arena_section ?(record = fun _ _ -> ()) ?(scale = 0.25) () =
+  section "arena_projection"
+    "arena BET engine: per-point re-pricing on a 1024-point grid (tree \
+     walk vs arena full pass vs arena delta chain)";
+  let module Explore = Skope_explore.Explore in
+  let module AP = Analysis.Arena_price in
+  let w = Workloads.Registry.find_exn "sord" in
+  (* Five 4-level axes = 4^5 = 1024 points.  The last axis varies
+     fastest in grid order, so most consecutive points are single-axis
+     moves — the case the delta chain exists for. *)
+  let axes =
+    [
+      Hw.Designspace.Frequency [ 0.8; 1.2; 1.6; 3.2 ];
+      Hw.Designspace.Issue_width [ 1.; 2.; 4.; 8. ];
+      Hw.Designspace.Mem_bandwidth [ 7.; 14.; 28.; 56. ];
+      Hw.Designspace.Mem_latency [ 40.; 80.; 160.; 320. ];
+      Hw.Designspace.Vector_width [ 1; 2; 4; 8 ];
+    ]
+  in
+  let pts = Explore.grid_points bgq axes in
+  let n = List.length pts in
+  let machines =
+    Array.of_list
+      (List.map (fun (p : Hw.Designspace.point) -> p.Hw.Designspace.p_machine) pts)
+  in
+  (* The one-time prepare/flatten is excluded: the bar is the marginal
+     pricing cost per grid point.  Hot-spot selection is excluded from
+     all three rows alike — it is the same downstream stage whichever
+     engine priced the point. *)
+  let tree_prep = P.Prepared.create ~workload:w ~scale () in
+  let arena_prep = P.Prepared.create ~engine:P.Arena ~workload:w ~scale () in
+  let built = P.Prepared.built tree_prep in
+  let arena = Bet.Arena.of_build built in
+  let best f =
+    ignore (f ());
+    let b = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !b then b := dt
+    done;
+    !b
+  in
+  (* PR 4 baseline: the recursive tree walk, once per point. *)
+  let tree_s =
+    best (fun () ->
+        Array.iter (fun m -> ignore (Analysis.Perf.project m built)) machines)
+  in
+  (* Full arena pass per point: flat loops, no delta reuse. *)
+  let full_s =
+    best (fun () -> Array.iter (fun m -> ignore (AP.price arena m)) machines)
+  in
+  (* Delta chain: consecutive grid points re-price dependent nodes
+     only. *)
+  let delta_s =
+    best (fun () ->
+        let prev = ref None in
+        Array.iter
+          (fun m ->
+            let pr =
+              match !prev with
+              | None -> AP.price arena m
+              | Some pr -> AP.price_delta ~prev:pr arena m
+            in
+            prev := Some pr)
+          machines)
+  in
+  let us x = x /. float_of_int n *. 1e6 in
+  Fmt.pr "%d-point grid of SORD (scale %.2f) around BG/Q, per point:@." n scale;
+  Fmt.pr "  tree walk (PR 4 shared BET)          %8.2f us@." (us tree_s);
+  Fmt.pr "  arena, full pass                     %8.2f us  -> %.1fx@."
+    (us full_s) (tree_s /. full_s);
+  Fmt.pr "  arena, delta chain                   %8.2f us  -> %.1fx@."
+    (us delta_s) (tree_s /. delta_s);
+  if tree_s /. delta_s < 5. then
+    Fmt.pr "  WARNING: arena delta speedup below the 5x acceptance bar@.";
+  (* Bit-for-bit identity through the full projection API (selection
+     included), on every grid point. *)
+  let rt = Explore.evaluate ~jobs:1 tree_prep pts in
+  let ra = Explore.evaluate ~jobs:1 arena_prep pts in
+  let same =
+    List.for_all2
+      (fun (a : Explore.point) (b : Explore.point) ->
+        Float.equal a.Explore.time b.Explore.time
+        && a.Explore.outcome.P.Prepared.o_blocks
+           = b.Explore.outcome.P.Prepared.o_blocks)
+      rt.Explore.points ra.Explore.points
+  in
+  Fmt.pr "@.arena matches tree on all %d points: %s@." n
+    (if same then "yes" else "NO");
+  record "arena_tree_us_per_point" (us tree_s);
+  record "arena_full_us_per_point" (us full_s);
+  record "arena_delta_us_per_point" (us delta_s);
+  record "arena_delta_speedup_x" (tree_s /. delta_s);
+  emit_table ~file:"arena_projection.csv"
+    (Table.make
+       ~title:(Fmt.str "arena engine, %d-point grid, per-point cost" n)
+       ~headers:[ "engine"; "us/point"; "speedup" ]
+       ~aligns:Table.[ Left; Right; Right ]
+       [
+         [ "tree"; Fmt.str "%.2f" (us tree_s); "1.0" ];
+         [ "arena"; Fmt.str "%.2f" (us full_s); Fmt.str "%.1f" (tree_s /. full_s) ];
+         [ "arena+delta"; Fmt.str "%.2f" (us delta_s);
+           Fmt.str "%.1f" (tree_s /. delta_s) ];
+       ]);
+  (us tree_s, us full_s, us delta_s, tree_s /. delta_s, same, n)
 
 (* ------------------------------------------------------------------ *)
 (* Cluster routing: cache-affinity scaling across shard counts.  The
@@ -1163,12 +1277,17 @@ let quick_run json_file =
     pts;
   let indep = Unix.gettimeofday () -. t0 in
   let t1 = Unix.gettimeofday () in
-  let prepared = P.prepare ~workload:w ~scale () in
+  let prepared = P.Prepared.create ~workload:w ~scale () in
   ignore (Explore.evaluate ~jobs:1 prepared pts);
   let shared = Unix.gettimeofday () -. t1 in
   Fmt.pr "  explore shared-BET speedup       %8.1fx (%d-point grid)@."
     (indep /. shared) (List.length pts);
   record "explore_shared_speedup_x" (indep /. shared);
+  (* arena engine: per-point cost on the 1024-point grid *)
+  let arena_tree_us, arena_full_us, arena_delta_us, arena_speedup,
+      arena_identical, arena_points =
+    arena_section ~record ~scale:0.1 ()
+  in
   (* flight recorder: marginal cost on the cached-hit path *)
   let rec_off_us, rec_on_us, rec_pct = recorder_section ~record () in
   (* cluster: cache-affinity scaling over 1/2/4 shards *)
@@ -1249,7 +1368,31 @@ let quick_run json_file =
     output_string oc (J.to_string trace_json);
     output_string oc "\n";
     close_out oc;
-    Fmt.pr "wrote %s@." trace_file
+    Fmt.pr "wrote %s@." trace_file;
+    (* Arena-engine numbers ship as their own artifact: the >= 5x
+       per-point bar (and the tree/arena identity) should diff
+       cleanly across runs. *)
+    let arena_file = "BENCH_arena.json" in
+    let arena_json =
+      J.Obj
+        [
+          ("schema", J.String "skope-bench-arena/1");
+          ("version", J.String Version.version);
+          ("git", J.String Version.git);
+          ("grid_points", J.Int arena_points);
+          ("tree_us_per_point", J.Float arena_tree_us);
+          ("arena_us_per_point", J.Float arena_full_us);
+          ("arena_delta_us_per_point", J.Float arena_delta_us);
+          ("arena_delta_speedup_x", J.Float arena_speedup);
+          ("bar_x", J.Float 5.);
+          ("identical_to_tree", J.Bool arena_identical);
+        ]
+    in
+    let oc = open_out arena_file in
+    output_string oc (J.to_string arena_json);
+    output_string oc "\n";
+    close_out oc;
+    Fmt.pr "wrote %s@." arena_file
 
 let () =
   let quick = ref false in
@@ -1298,6 +1441,7 @@ let () =
   bechamel_section ();
   service_section ();
   explore_section ();
+  ignore (arena_section ());
   ignore (cluster_section ());
   lint_section ();
   audit_section ();

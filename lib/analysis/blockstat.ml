@@ -29,15 +29,15 @@ let make ?(tc = 0.) ?(tm = 0.) ?(t_overlap = 0.) ?(enr = 0.)
     ~time ~static_size () =
   { block; name; time; tc; tm; t_overlap; enr; static_size; bound; work; note }
 
-(** Sort by decreasing time; ties broken by block id for
-    determinism. *)
-let rank (l : t list) : t list =
-  List.sort
-    (fun a b ->
-      match Float.compare b.time a.time with
-      | 0 -> Block_id.compare a.block b.block
-      | c -> c)
-    l
+(** Rank order: decreasing time, ties broken by block id.  A strict
+    total order over any set of distinct blocks, so every correct sort
+    produces the same sequence. *)
+let compare_rank (a : t) (b : t) =
+  match Float.compare b.time a.time with
+  | 0 -> Block_id.compare a.block b.block
+  | c -> c
+
+let rank (l : t list) : t list = List.sort compare_rank l
 
 let total_time (l : t list) = List.fold_left (fun acc b -> acc +. b.time) 0. l
 

@@ -44,10 +44,16 @@ let spot_set sel = Block_id.Set.of_list (spot_blocks sel)
 
     [total_instructions] is the program's static instruction count (the
     leanness denominator).  Blocks with negligible time are not
-    candidates. *)
-let select ?(criteria = default_criteria) ~total_instructions
-    (blocks : Blockstat.t list) : selection =
-  let ranked = Blockstat.rank blocks in
+    candidates.
+
+    [assume_ranked] promises that [blocks] is already in
+    {!Blockstat.rank} order, skipping the re-sort.  This is safe —
+    and bit-identical, since the rank order is strict (unique block-id
+    tiebreak) — whenever the caller got the list from a ranking
+    producer such as {!Perf.project} or [Arena_price]. *)
+let select ?(criteria = default_criteria) ?(assume_ranked = false)
+    ~total_instructions (blocks : Blockstat.t list) : selection =
+  let ranked = if assume_ranked then blocks else Blockstat.rank blocks in
   let total_time = Blockstat.total_time ranked in
   let budget =
     criteria.code_leanness *. float_of_int (max 1 total_instructions)

@@ -31,9 +31,16 @@ val spot_blocks : selection -> Block_id.t list
 val spot_set : selection -> Block_id.Set.t
 
 (** Select hot spots; [total_instructions] is the static instruction
-    weight of the whole program (the leanness denominator). *)
+    weight of the whole program (the leanness denominator).
+    [assume_ranked] promises the input is already in {!Blockstat.rank}
+    order (a strict total order, so skipping the re-sort is
+    bit-identical). *)
 val select :
-  ?criteria:criteria -> total_instructions:int -> Blockstat.t list -> selection
+  ?criteria:criteria ->
+  ?assume_ranked:bool ->
+  total_instructions:int ->
+  Blockstat.t list ->
+  selection
 
 (** Cumulative-coverage curve of the first [k] ranked blocks (the
     y-values of the paper's Figs. 5, 10-13). *)

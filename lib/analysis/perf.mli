@@ -27,6 +27,13 @@ type cache_model = Constant | Footprint
     included, no cross-iteration reuse assumed). *)
 val bytes_per_exec : Node.t -> float
 
+(** Hit ratios under the [Footprint] model: per cache level, 0.95 if
+    the working set fits, else only spatial (within-line) reuse.
+    Shared by the tree walk and the arena engine so the two price
+    identically. *)
+val footprint_hits :
+  Machine.t -> footprint:float -> base:Roofline.opts -> Roofline.opts
+
 (** Project [built] onto [machine]; [opts] selects roofline
     refinements and [cache] the hit-ratio model (default: the paper's
     baseline). *)

@@ -1,0 +1,85 @@
+(** Flat post-order BET arena.
+
+    A built BET flattened into contiguous int-indexed arrays by a
+    single [of_build] pass: children occupy lower slots than their
+    parent, the root is the last slot, and every machine-independent
+    quantity — ENR, loop working-set footprint, and a per-node
+    machine-dependency bitmask — is frozen at construction.  Pricing a
+    machine point (lib/analysis [Arena_price]) is then a tight forward
+    loop over these arrays instead of a pointer-chasing tree walk, and
+    a point that differs from the previous one on a single machine
+    axis re-prices only the slots whose dependency mask intersects the
+    changed axes. *)
+
+(** {1 Machine-dependency bits}
+
+    Shape-based and conservative: a set bit means the node's priced
+    Tc/Tm/To terms {e may} read machine fields in that group; a clear
+    bit proves they cannot. *)
+
+val dep_freq : int  (** [freq_ghz] *)
+
+val dep_cpu : int  (** [fma], [flop_issue_per_cycle] *)
+
+val dep_issue : int  (** [issue_width] *)
+
+val dep_vec : int  (** [vector_width] *)
+
+val dep_div : int  (** [div_latency] *)
+
+val dep_mem : int  (** [mem_bw_gbs], latencies, [mlp], L2 line *)
+
+val dep_geom : int  (** cache sizes/lines (footprint hit model) *)
+
+val dep_all : int
+
+val deps_of_work : Work.t -> int
+
+(** {1 The arena} *)
+
+type t = {
+  n : int;  (** number of nodes *)
+  root : int;  (** slot of the BET root (always [n - 1]) *)
+  ids : int array;  (** slot -> original BET node id *)
+  kinds : Node.kind array;
+  probs : float array;
+  trips : float array;
+  notes : string array;
+  works : Work.t array;  (** shared with the tree nodes, not copied *)
+  enrs : float array;  (** frozen ENR: trips * prob * ENR(parent) *)
+  footprints : float array;
+      (** frozen working set of the innermost enclosing loop, bytes *)
+  deps : int array;  (** machine-dependency bitmask per slot *)
+  parents : int array;  (** slot of parent; -1 for the root *)
+  children : int array array;  (** child slots, in execution order *)
+  pre_order : int array;
+      (** depth-first visit sequence of slots (root first); replaying
+          accumulation in this order reproduces the tree walk's float
+          rounding bit-for-bit *)
+  block_ix : int array;  (** slot -> dense block index *)
+  block_ids : Block_id.t array;  (** dense block index -> static block *)
+  block_names : string array;
+  block_sizes : int array;
+  block_slots : int array array;
+      (** dense block index -> its slots in [pre_order] visit order;
+          per-block accumulation over this sequence reproduces the
+          tree walk's per-block float rounding exactly *)
+  block_deps : int array;  (** OR of the block's slot dependency masks *)
+  block_enrs : float array;  (** frozen per-block ENR sum *)
+  block_works : Work.t array;  (** frozen per-block ENR-scaled work *)
+  block_notes : string array;
+      (** first non-empty invocation note, in visit order *)
+  total_instructions : int;  (** static weight (leanness denominator) *)
+}
+
+val node_count : t -> int
+val block_count : t -> int
+
+(** Flatten a built BET.  One pass; ENRs, footprints and dependency
+    masks are frozen here. *)
+val of_build : Build.result -> t
+
+(** Structural invariants (post-order child < parent, index bounds,
+    [pre_order] a root-first permutation respecting parent order).
+    [Error msg] describes the first violation. *)
+val check : t -> (unit, string) result

@@ -157,9 +157,13 @@ let query_fingerprint (q : Protocol.query) =
           code_leanness = q.Protocol.leanness;
         }
       in
+      let engine =
+        Option.value ~default:Core.Pipeline.Tree q.Protocol.engine
+      in
       Some
         (Fingerprint.of_query ~workload:q.Protocol.workload ~machine ~scale
-           ~criteria ~top:q.Protocol.top))
+           ~criteria ~top:q.Protocol.top
+           ~engine:(Core.Pipeline.engine_to_string engine)))
 
 (* Sweep and explore key on their base query: the whole fan-out lands
    on one shard, where its points share the LRU (and explore its

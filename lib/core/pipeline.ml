@@ -111,7 +111,7 @@ let project_onto ?(criteria = Hotspot.default_criteria)
   let projection = Perf.project ~opts ~cache machine p.pre_built in
   let selection =
     Span.with_ ~name:"hotspot" (fun () ->
-        Hotspot.select ~criteria
+        Hotspot.select ~criteria ~assume_ranked:true
           ~total_instructions:(Bst.total_instructions p.pre_built.Build.bst)
           projection.Perf.blocks)
   in
@@ -121,6 +121,138 @@ let project_onto ?(criteria = Hotspot.default_criteria)
     a_projection = projection;
     a_selection = selection;
   }
+
+(** BET pricing engines.  [Tree] is the recursive walk of
+    {!Perf.project}; [Arena] flattens the BET once into a post-order
+    arena ({!Skope_bet.Arena}) and re-prices it with flat forward
+    loops and per-axis incrementality ({!Arena_price}).  The two are
+    bit-for-bit identical on blocks and totals. *)
+type engine = Tree | Arena
+
+let engine_to_string = function Tree -> "tree" | Arena -> "arena"
+
+let engine_of_string s =
+  match String.lowercase_ascii s with
+  | "tree" -> Some Tree
+  | "arena" -> Some Arena
+  | _ -> None
+
+let engine_names = [ "tree"; "arena" ]
+
+(** The redesigned projection API: an abstract handle over the
+    machine-independent artifact plus the pricing engine chosen for
+    it.  {!prepare}/{!project_onto} remain as thin wrappers over the
+    tree engine for existing callers and are deprecated in favor of
+    this module. *)
+module Prepared = struct
+  type handle = {
+    pre : prepared;
+    h_engine : engine;
+    h_arena : Arena.t option;  (** [Some] iff [h_engine = Arena] *)
+  }
+
+  type t = handle
+
+  (** Result of pricing one machine point, engine-independent.
+      [o_state] (arena engine only) carries the pricing state that
+      {!project_delta} continues from; [strip_state] drops it when a
+      caller retains many outcomes. *)
+  type outcome = {
+    o_machine : Machine.t;
+    o_blocks : Blockstat.t list;  (** ranked by decreasing time *)
+    o_total_time : float;
+    o_selection : Hotspot.selection;
+    o_state : Arena_price.priced option;
+  }
+
+  (* The arena is built eagerly: OCaml's [Lazy.force] is not safe to
+     race from the explorer's domain pool. *)
+  let of_prepared ?(engine = Tree) (pre : prepared) : t =
+    {
+      pre;
+      h_engine = engine;
+      h_arena =
+        (match engine with
+        | Tree -> None
+        | Arena ->
+          Some
+            (Span.with_ ~name:"arena_build" (fun () ->
+                 Arena.of_build pre.pre_built)));
+    }
+
+  let create ?hints ?profile_hints ?seed ?engine ~workload ~scale () : t =
+    of_prepared ?engine (prepare ?hints ?profile_hints ?seed ~workload ~scale ())
+
+  let prepared t = t.pre
+  let built t = t.pre.pre_built
+  let workload t = t.pre.pre_workload
+  let scale t = t.pre.pre_scale
+  let engine t = t.h_engine
+  let strip_state o = { o with o_state = None }
+
+  (* Both engines rank before we get here ([Perf.project] and
+     [Arena_price.aggregate]), so the selection re-sort is skipped. *)
+  let select ~criteria t blocks =
+    Span.with_ ~name:"hotspot" (fun () ->
+        Hotspot.select ~criteria ~assume_ranked:true
+          ~total_instructions:(Bst.total_instructions t.pre.pre_built.Build.bst)
+          blocks)
+
+  let of_priced ~criteria t (p : Arena_price.priced) : outcome =
+    let blocks = Arena_price.blocks p in
+    {
+      o_machine = Arena_price.machine p;
+      o_blocks = blocks;
+      o_total_time = Arena_price.total_time p;
+      o_selection = select ~criteria t blocks;
+      o_state = Some p;
+    }
+
+  (** Repackage a tree-engine [analysis] (for callers bridging the two
+      APIs, e.g. cached render paths). *)
+  let of_analysis (a : analysis) : outcome =
+    {
+      o_machine = a.a_projection.Perf.machine;
+      o_blocks = a.a_projection.Perf.blocks;
+      o_total_time = a.a_projection.Perf.total_time;
+      o_selection = a.a_selection;
+      o_state = None;
+    }
+
+  let project ?(criteria = Hotspot.default_criteria)
+      ?(opts = Roofline.default_opts) ?(cache = Perf.Constant) (t : t)
+      (machine : Machine.t) : outcome =
+    match t.h_arena with
+    | Some arena ->
+      of_priced ~criteria t (Arena_price.price ~opts ~cache arena machine)
+    | None ->
+      let projection = Perf.project ~opts ~cache machine t.pre.pre_built in
+      {
+        o_machine = machine;
+        o_blocks = projection.Perf.blocks;
+        o_total_time = projection.Perf.total_time;
+        o_selection = select ~criteria t projection.Perf.blocks;
+        o_state = None;
+      }
+
+  let project_delta ?(criteria = Hotspot.default_criteria)
+      ?(opts = Roofline.default_opts) ?(cache = Perf.Constant) ~prev (t : t)
+      (machine : Machine.t) : outcome =
+    match (t.h_arena, prev.o_state) with
+    | Some arena, Some p ->
+      of_priced ~criteria t
+        (Arena_price.price_delta ~opts ~cache ~prev:p arena machine)
+    | _ -> project ~criteria ~opts ~cache t machine
+
+  let project_batch ?(criteria = Hotspot.default_criteria)
+      ?(opts = Roofline.default_opts) ?(cache = Perf.Constant) (t : t)
+      (machines : Machine.t array) : outcome array =
+    match t.h_arena with
+    | Some arena ->
+      Array.map (of_priced ~criteria t)
+        (Arena_price.price_batch ~opts ~cache arena machines)
+    | None -> Array.map (project ~criteria ~opts ~cache t) machines
+end
 
 (** Analytic projection only — no execution on [machine] at all. *)
 let analyze ?(criteria = Hotspot.default_criteria)

@@ -61,7 +61,11 @@ type prepared = {
 (** Build the machine-independent artifact.  [profile_hints] runs one
     local profiling pass and uses its hints (the {!run} path);
     otherwise [hints] (default empty) feeds BET construction directly
-    (the {!analyze} path). *)
+    (the {!analyze} path).
+
+    @deprecated New code should use {!Prepared.create}, which also
+    fixes the pricing engine; [prepare] remains as a wrapper
+    (equivalent to the tree engine) for existing callers. *)
 val prepare :
   ?hints:Hints.t ->
   ?profile_hints:bool ->
@@ -73,7 +77,12 @@ val prepare :
 
 (** Price a prepared BET on one target machine.  Read-only on
     [prepared]: concurrent calls from several domains are safe, which
-    is what makes grid exploration embarrassingly parallel. *)
+    is what makes grid exploration embarrassingly parallel.
+
+    @deprecated Use {!Prepared.project}: it prices through the engine
+    chosen at {!Prepared.create} time and supports batch and delta
+    re-pricing.  This wrapper remains for source compatibility and
+    always uses the tree engine. *)
 val project_onto :
   ?criteria:Hotspot.criteria ->
   ?opts:Roofline.opts ->
@@ -81,6 +90,97 @@ val project_onto :
   prepared ->
   Machine.t ->
   analysis
+
+(** BET pricing engines.  [Tree] is the recursive walk of
+    {!Perf.project}; [Arena] flattens the BET once into a post-order
+    arena ({!Skope_bet.Arena}) and re-prices it with flat forward
+    loops and per-axis incrementality ({!Arena_price}).  Both produce
+    bit-for-bit identical blocks and totals. *)
+type engine = Tree | Arena
+
+val engine_to_string : engine -> string
+val engine_of_string : string -> engine option
+
+(** Wire names, in advertisement order: [["tree"; "arena"]]. *)
+val engine_names : string list
+
+(** The projection API: an abstract handle over the
+    machine-independent pipeline prefix plus a pricing engine.
+    Replaces the exposed {!prepare}/{!project_onto} pair. *)
+module Prepared : sig
+  type t
+
+  (** Result of pricing one machine point, engine-independent. *)
+  type outcome = {
+    o_machine : Machine.t;
+    o_blocks : Blockstat.t list;  (** ranked by decreasing time *)
+    o_total_time : float;
+    o_selection : Hotspot.selection;
+    o_state : Arena_price.priced option;
+        (** arena engine only: pricing state {!project_delta}
+            continues from *)
+  }
+
+  (** Build the machine-independent artifact once and fix the pricing
+      engine (default [Tree]).  For [Arena] the BET is flattened
+      eagerly, so the handle is safe to share across domains. *)
+  val create :
+    ?hints:Hints.t ->
+    ?profile_hints:bool ->
+    ?seed:int64 ->
+    ?engine:engine ->
+    workload:Registry.t ->
+    scale:float ->
+    unit ->
+    t
+
+  (** Upgrade an existing {!type-prepared} artifact to a handle. *)
+  val of_prepared : ?engine:engine -> prepared -> t
+
+  val prepared : t -> prepared
+  val built : t -> Build.result
+  val workload : t -> Registry.t
+  val scale : t -> float
+  val engine : t -> engine
+
+  (** Drop the delta-pricing state (callers retaining many outcomes
+      should store them stripped). *)
+  val strip_state : outcome -> outcome
+
+  (** Repackage a tree-engine {!type-analysis}. *)
+  val of_analysis : analysis -> outcome
+
+  (** Price one machine point. *)
+  val project :
+    ?criteria:Hotspot.criteria ->
+    ?opts:Roofline.opts ->
+    ?cache:Perf.cache_model ->
+    t ->
+    Machine.t ->
+    outcome
+
+  (** Price one machine point, re-using [prev] where the machine diff
+      permits (arena engine; the tree engine falls back to a full
+      {!project}).  Bit-for-bit identical to {!project}. *)
+  val project_delta :
+    ?criteria:Hotspot.criteria ->
+    ?opts:Roofline.opts ->
+    ?cache:Perf.cache_model ->
+    prev:outcome ->
+    t ->
+    Machine.t ->
+    outcome
+
+  (** Price a machine sweep; the arena engine delta-chains consecutive
+      points.  Equivalent to mapping {!project}. *)
+  val project_batch :
+    ?criteria:Hotspot.criteria ->
+    ?opts:Roofline.opts ->
+    ?cache:Perf.cache_model ->
+    t ->
+    Machine.t array ->
+    outcome array
+end
 
 (** Analytic projection only — nothing executes on [machine].
     Equivalent to {!prepare} followed by {!project_onto}. *)

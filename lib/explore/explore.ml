@@ -7,9 +7,13 @@
     workload construction, validation, lint, BET build — for every
     machine point even though only the roofline pricing depends on the
     machine.  This engine runs the machine-independent prefix once
-    ({!Core.Pipeline.prepare}) and re-prices the shared BET per grid
-    point ({!Core.Pipeline.project_onto}), turning
+    ({!Core.Pipeline.Prepared.create}) and re-prices the shared BET
+    per grid point ({!Core.Pipeline.Prepared.project}), turning
     O(points x full pipeline) into O(1 build + points x projection).
+    Under the arena engine consecutive points within a worker's chunk
+    are additionally delta-chained ({!Core.Pipeline.Prepared.project_delta}),
+    so a point differing from its neighbour on one axis re-prices only
+    the dependent BET nodes.
 
     Evaluation is embarrassingly parallel: the BET is read-only during
     pricing, so a pool of OCaml 5 domains walks the grid with chunked
@@ -31,13 +35,13 @@ type point = {
   tag : string;  (** {!Designspace.point} tag, e.g. ["bw=7.0,vec=4"] *)
   values : (string * float) list;  (** axis key -> swept value *)
   machine : Machine.t;
-  analysis : P.analysis;
-  time : float;  (** projected seconds (the analysis total) *)
+  outcome : P.Prepared.outcome;  (** pricing result (state stripped) *)
+  time : float;  (** projected seconds (the outcome total) *)
   cost : float;  (** {!cost_proxy} of [machine] *)
 }
 
 type result = {
-  prepared : P.prepared;
+  prepared : P.Prepared.t;
   points : point list;  (** grid order *)
   pareto : point list;  (** non-dominated points, by increasing time *)
   elapsed : float;  (** wall seconds for the grid evaluation *)
@@ -57,12 +61,12 @@ let cost_proxy (m : Machine.t) =
   +. (float_of_int m.Machine.l2.Machine.size_bytes /. (1024. *. 1024.) *. 2.)
 
 (** Aggregate (compute, memory, overlapped) seconds over all blocks of
-    an analysis — the Tc/Tm/To split of one grid point. *)
-let split (a : P.analysis) =
+    an outcome — the Tc/Tm/To split of one grid point. *)
+let split (o : P.Prepared.outcome) =
   List.fold_left
     (fun (tc, tm, ov) (b : Blockstat.t) ->
       (tc +. b.Blockstat.tc, tm +. b.Blockstat.tm, ov +. b.Blockstat.t_overlap))
-    (0., 0., 0.) a.P.a_projection.Perf.blocks
+    (0., 0., 0.) o.P.Prepared.o_blocks
 
 (** Minimizing Pareto frontier of [items] under [metrics] (both
     objectives smaller-is-better), in increasing order of the first
@@ -108,7 +112,7 @@ let grid_points ?sample ?seed (base : Machine.t)
     complete (serialized, any domain's points). *)
 let evaluate ?(jobs = 1) ?(criteria = Hotspot.default_criteria)
     ?(opts = Roofline.default_opts) ?(cache = Perf.Constant)
-    ?check_deadline ?on_point (prepared : P.prepared)
+    ?check_deadline ?on_point (prepared : P.Prepared.t)
     (pts : Designspace.point list) : result =
   let t0 = Unix.gettimeofday () in
   let arr = Array.of_list pts in
@@ -117,11 +121,20 @@ let evaluate ?(jobs = 1) ?(criteria = Hotspot.default_criteria)
   let next = Atomic.make 0 in
   let failure : exn option Atomic.t = Atomic.make None in
   let out_lock = Mutex.create () in
-  let eval_one i =
+  (* [prev] delta-chains consecutive points of one worker's chunk
+     (arena engine; a [None] or tree-engine prev is a full pricing).
+     Chains never cross chunks, so workers share nothing mutable. *)
+  let eval_one ~prev i =
     (match check_deadline with Some f -> f () | None -> ());
     let pt = arr.(i) in
-    let analysis =
-      P.project_onto ~criteria ~opts ~cache prepared pt.Designspace.p_machine
+    let outcome =
+      match prev with
+      | Some prev ->
+        P.Prepared.project_delta ~criteria ~opts ~cache ~prev prepared
+          pt.Designspace.p_machine
+      | None ->
+        P.Prepared.project ~criteria ~opts ~cache prepared
+          pt.Designspace.p_machine
     in
     Span.count "explore_points_evaluated" 1.;
     (* Every priced point reuses the shared BET instead of rebuilding
@@ -133,17 +146,18 @@ let evaluate ?(jobs = 1) ?(criteria = Hotspot.default_criteria)
         tag = pt.Designspace.p_tag;
         values = pt.Designspace.p_values;
         machine = pt.Designspace.p_machine;
-        analysis;
-        time = analysis.P.a_projection.Perf.total_time;
+        outcome = P.Prepared.strip_state outcome;
+        time = outcome.P.Prepared.o_total_time;
         cost = cost_proxy pt.Designspace.p_machine;
       }
     in
     results.(i) <- Some point;
-    match on_point with
+    (match on_point with
     | None -> ()
     | Some f ->
       Mutex.lock out_lock;
-      Fun.protect ~finally:(fun () -> Mutex.unlock out_lock) (fun () -> f point)
+      Fun.protect ~finally:(fun () -> Mutex.unlock out_lock) (fun () -> f point));
+    outcome
   in
   let jobs = max 1 (min jobs (max 1 n)) in
   (* Chunked distribution: cheap points amortize the atomic fetch,
@@ -155,8 +169,10 @@ let evaluate ?(jobs = 1) ?(criteria = Hotspot.default_criteria)
         let start = Atomic.fetch_and_add next chunk in
         if start < n then begin
           (try
+             let prev = ref None in
              for i = start to min (start + chunk) n - 1 do
-               if Atomic.get failure = None then eval_one i
+               if Atomic.get failure = None then
+                 prev := Some (eval_one ~prev:!prev i)
              done
            with e -> ignore (Atomic.compare_and_set failure None (Some e)));
           loop ()
@@ -168,7 +184,8 @@ let evaluate ?(jobs = 1) ?(criteria = Hotspot.default_criteria)
   Span.with_ ~name:"explore"
     ~attrs:
       [
-        ("workload", prepared.P.pre_workload.Core.Workloads.Registry.name);
+        ( "workload",
+          (P.Prepared.workload prepared).Core.Workloads.Registry.name );
         ("points", string_of_int n);
         ("jobs", string_of_int jobs);
       ]

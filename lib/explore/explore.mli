@@ -1,13 +1,15 @@
 (** Multi-axis design-space exploration.
 
     Runs the machine-independent prefix of the pipeline once
-    ({!Core.Pipeline.prepare}) and prices the shared BET on every
-    machine of a {!Core.Hw.Designspace} grid
-    ({!Core.Pipeline.project_onto}) — O(1 build + points x projection)
-    instead of O(points x full pipeline).  Evaluation runs on an OCaml
-    5 domain pool with chunked work distribution; projection is
-    read-only on the prepared artifact, so concurrent pricing is
-    safe. *)
+    ({!Core.Pipeline.Prepared.create}) and prices the shared BET on
+    every machine of a {!Core.Hw.Designspace} grid
+    ({!Core.Pipeline.Prepared.project}) — O(1 build + points x
+    projection) instead of O(points x full pipeline).  Evaluation runs
+    on an OCaml 5 domain pool with chunked work distribution;
+    projection is read-only on the prepared artifact, so concurrent
+    pricing is safe.  Under the arena engine, consecutive points of a
+    worker's chunk are delta-chained so single-axis moves re-price
+    only dependent BET nodes. *)
 
 module P = Core.Pipeline
 module Machine = Core.Hw.Machine
@@ -22,13 +24,13 @@ type point = {
   tag : string;  (** {!Designspace.point} tag, e.g. ["bw=7.0,vec=4"] *)
   values : (string * float) list;  (** axis key -> swept value *)
   machine : Machine.t;
-  analysis : P.analysis;
-  time : float;  (** projected seconds (the analysis total) *)
+  outcome : P.Prepared.outcome;  (** pricing result (state stripped) *)
+  time : float;  (** projected seconds (the outcome total) *)
   cost : float;  (** {!cost_proxy} of [machine] *)
 }
 
 type result = {
-  prepared : P.prepared;  (** the shared machine-independent artifact *)
+  prepared : P.Prepared.t;  (** the shared machine-independent handle *)
   points : point list;  (** grid order *)
   pareto : point list;  (** non-dominated points, by increasing time *)
   elapsed : float;  (** wall seconds for the grid evaluation *)
@@ -42,7 +44,7 @@ val cost_proxy : Machine.t -> float
 
 (** Aggregate (compute, memory, overlapped) seconds over all blocks —
     the Tc/Tm/To split of one grid point. *)
-val split : P.analysis -> float * float * float
+val split : P.Prepared.outcome -> float * float * float
 
 (** Minimizing Pareto frontier under [metrics] (both objectives
     smaller-is-better), sorted by increasing first objective. *)
@@ -77,6 +79,6 @@ val evaluate :
   ?cache:Perf.cache_model ->
   ?check_deadline:(unit -> unit) ->
   ?on_point:(point -> unit) ->
-  P.prepared ->
+  P.Prepared.t ->
   Designspace.point list ->
   result

@@ -60,19 +60,22 @@ let json_of_spot rank total (b : Blockstat.t) =
       ("bound", Json.String (Fmt.str "%a" Roofline.pp_bound b.bound));
     ]
 
-(* Shared analysis renderer: analyze, sweep points and explore points
-   all serialize through here, so a cache entry written by any of them
-   is byte-identical for the others. *)
-let render_analysis ~(workload : Registry.t) ~(machine : Machine.t) ~scale ~top
-    (a : P.analysis) =
+(* Shared outcome renderer: analyze, sweep points and explore points
+   all serialize through here — whichever engine priced them — so a
+   cache entry written by any of them is byte-identical for the
+   others.  The engine is deliberately NOT part of a point's JSON
+   (the two engines agree bit-for-bit, and differential gates diff
+   these bytes); responses echo it at the top level instead. *)
+let render_outcome ~(workload : Registry.t) ~(machine : Machine.t) ~scale ~top
+    ~bet_nodes (o : P.Prepared.outcome) =
   Span.with_ ~name:"report" (fun () ->
-  let total = a.P.a_projection.total_time in
+  let total = o.P.Prepared.o_total_time in
   let spots =
-    List.filteri (fun i _ -> i < top) a.P.a_projection.blocks
+    List.filteri (fun i _ -> i < top) o.P.Prepared.o_blocks
     |> List.mapi (fun i b -> json_of_spot (i + 1) total b)
   in
-  let sel = a.P.a_selection in
-  let tc, tm, ov = Explore.split a in
+  let sel = o.P.Prepared.o_selection in
+  let tc, tm, ov = Explore.split o in
   Json.Obj
     [
       ("workload", Json.String workload.Registry.name);
@@ -86,7 +89,7 @@ let render_analysis ~(workload : Registry.t) ~(machine : Machine.t) ~scale ~top
             ("tm_ms", Json.Float (tm *. 1e3));
             ("to_ms", Json.Float (ov *. 1e3));
           ] );
-      ("bet_nodes", Json.Int a.P.a_built.node_count);
+      ("bet_nodes", Json.Int bet_nodes);
       ("spots", Json.List spots);
       ( "selection",
         Json.Obj
@@ -97,10 +100,22 @@ let render_analysis ~(workload : Registry.t) ~(machine : Machine.t) ~scale ~top
           ] );
     ])
 
+let render_analysis ~(workload : Registry.t) ~(machine : Machine.t) ~scale ~top
+    (a : P.analysis) =
+  render_outcome ~workload ~machine ~scale ~top ~bet_nodes:a.P.a_built.node_count
+    (P.Prepared.of_analysis a)
+
 let analysis_result ~(workload : Registry.t) ~(machine : Machine.t) ~scale
-    ~criteria ~top =
-  let a = P.analyze ~criteria ~machine ~workload ~scale () in
-  render_analysis ~workload ~machine ~scale ~top a
+    ~criteria ~top ~engine =
+  match engine with
+  | P.Tree ->
+    let a = P.analyze ~criteria ~machine ~workload ~scale () in
+    render_analysis ~workload ~machine ~scale ~top a
+  | P.Arena ->
+    let prep = P.Prepared.create ~engine ~workload ~scale () in
+    let o = P.Prepared.project ~criteria prep machine in
+    render_outcome ~workload ~machine ~scale ~top
+      ~bet_nodes:(P.Prepared.built prep).node_count o
 
 (* --- cached projection --------------------------------------------- *)
 
@@ -116,10 +131,10 @@ let lookup_workload name =
    name), so an [analyze] with overrides and a [sweep] variant with
    the same parameters share a slot. *)
 let cached_analysis t ~(workload : Registry.t) ~(machine : Machine.t) ~scale
-    ~criteria ~top =
+    ~criteria ~top ~engine =
   let key =
     Fingerprint.of_query ~workload:workload.Registry.name ~machine ~scale
-      ~criteria ~top
+      ~criteria ~top ~engine:(P.engine_to_string engine)
   in
   match Lru.find t.cache key with
   | Some json ->
@@ -127,7 +142,9 @@ let cached_analysis t ~(workload : Registry.t) ~(machine : Machine.t) ~scale
     json
   | None ->
     Metrics.cache_miss t.metrics;
-    let json = analysis_result ~workload ~machine ~scale ~criteria ~top in
+    let json =
+      analysis_result ~workload ~machine ~scale ~criteria ~top ~engine
+    in
     Lru.add t.cache key json;
     json
 
@@ -148,16 +165,60 @@ let query_parts (q : Protocol.query) =
       code_leanness = q.Protocol.leanness;
     }
   in
-  (workload, machine, scale, criteria)
+  let engine = Option.value ~default:P.Tree q.Protocol.engine in
+  (workload, machine, scale, criteria, engine)
 
 (* --- request kinds ------------------------------------------------- *)
 
 let run_analyze t (q : Protocol.query) =
-  let workload, machine, scale, criteria = query_parts q in
+  let workload, machine, scale, criteria, engine = query_parts q in
   cached_analysis t ~workload ~machine ~scale ~criteria ~top:q.Protocol.top
+    ~engine
+
+(* One fan-out point (sweep variant or explore grid point), through
+   the cache.  Unlike [cached_analysis] a miss does NOT rerun the full
+   pipeline: it re-prices the shared prepared BET, which is the whole
+   point — and under the arena engine, consecutive misses delta-chain
+   through [prev] so a single-axis step re-prices only dependent
+   nodes. *)
+let cached_point t ~prepared ~prev ~(workload : Registry.t)
+    ~(machine : Machine.t) ~scale ~criteria ~top ~engine =
+  let key =
+    Fingerprint.of_query ~workload:workload.Registry.name ~machine ~scale
+      ~criteria ~top ~engine:(P.engine_to_string engine)
+  in
+  match Lru.find t.cache key with
+  | Some json ->
+    Metrics.cache_hit t.metrics;
+    json
+  | None ->
+    Metrics.cache_miss t.metrics;
+    let prep = Lazy.force prepared in
+    let o =
+      match !prev with
+      | Some p -> P.Prepared.project_delta ~criteria ~prev:p prep machine
+      | None -> P.Prepared.project ~criteria prep machine
+    in
+    prev := Some o;
+    Span.count "explore_bet_reuse_hits" 1.;
+    let json =
+      render_outcome ~workload ~machine ~scale ~top
+        ~bet_nodes:(P.Prepared.built prep).node_count o
+    in
+    Lru.add t.cache key json;
+    json
 
 let run_sweep t (q : Protocol.query) axis ~check_deadline =
-  let workload, base, scale, criteria = query_parts q in
+  let workload, base, scale, criteria, engine = query_parts q in
+  (* Arena sweeps share one prepared handle across all variants (and
+     delta-chain them); the tree engine keeps the historical
+     one-pipeline-per-variant path.  Both render identical points. *)
+  let prepared =
+    lazy
+      (Span.with_ ~name:"prepare" (fun () ->
+           P.Prepared.create ~engine ~workload ~scale ()))
+  in
+  let prev = ref None in
   let points =
     Designspace.variants base axis
     |> List.map (fun (tag, variant) ->
@@ -167,8 +228,13 @@ let run_sweep t (q : Protocol.query) axis ~check_deadline =
               rendered result) match an equivalent override query. *)
            let machine = { variant with Machine.name = base.Machine.name } in
            let analysis =
-             cached_analysis t ~workload ~machine ~scale ~criteria
-               ~top:q.Protocol.top
+             match engine with
+             | P.Tree ->
+               cached_analysis t ~workload ~machine ~scale ~criteria
+                 ~top:q.Protocol.top ~engine
+             | P.Arena ->
+               cached_point t ~prepared ~prev ~workload ~machine ~scale
+                 ~criteria ~top:q.Protocol.top ~engine
            in
            Json.Obj [ ("tag", Json.String tag); ("analysis", analysis) ])
   in
@@ -176,30 +242,10 @@ let run_sweep t (q : Protocol.query) axis ~check_deadline =
     [
       ("workload", Json.String workload.Registry.name);
       ("machine", Json.String base.Machine.name);
+      ("engine", Json.String (P.engine_to_string engine));
       ("axis", Json.String (Designspace.axis_name axis));
       ("points", Json.List points);
     ]
-
-(* One explore point, through the cache.  Unlike [cached_analysis] a
-   miss does NOT rerun the full pipeline: it re-prices the shared
-   prepared BET, which is the whole point of explore. *)
-let cached_point t ~prepared ~(workload : Registry.t) ~(machine : Machine.t)
-    ~scale ~criteria ~top =
-  let key =
-    Fingerprint.of_query ~workload:workload.Registry.name ~machine ~scale
-      ~criteria ~top
-  in
-  match Lru.find t.cache key with
-  | Some json ->
-    Metrics.cache_hit t.metrics;
-    json
-  | None ->
-    Metrics.cache_miss t.metrics;
-    let a = P.project_onto ~criteria (Lazy.force prepared) machine in
-    Span.count "explore_bet_reuse_hits" 1.;
-    let json = render_analysis ~workload ~machine ~scale ~top a in
-    Lru.add t.cache key json;
-    json
 
 let total_ms_of_analysis json =
   match Json.member "total_ms" json with
@@ -209,7 +255,7 @@ let total_ms_of_analysis json =
 
 let run_explore t (q : Protocol.query) (spec : Protocol.explore_spec)
     ~check_deadline =
-  let workload, base, scale, criteria = query_parts q in
+  let workload, base, scale, criteria, engine = query_parts q in
   let pts =
     Explore.grid_points ?sample:spec.Protocol.e_sample ~seed:spec.Protocol.e_seed
       base spec.Protocol.e_axes
@@ -218,8 +264,11 @@ let run_explore t (q : Protocol.query) (spec : Protocol.explore_spec)
   (* The machine-independent prefix, built at most once per request —
      and not at all when every point is served from the cache. *)
   let prepared =
-    lazy (Span.with_ ~name:"prepare" (fun () -> P.prepare ~workload ~scale ()))
+    lazy
+      (Span.with_ ~name:"prepare" (fun () ->
+           P.Prepared.create ~engine ~workload ~scale ()))
   in
+  let prev = ref None in
   let completed = ref 0 in
   let points =
     List.map
@@ -232,8 +281,8 @@ let run_explore t (q : Protocol.query) (spec : Protocol.explore_spec)
              (Printf.sprintf "%s after %d of %d points" msg !completed n));
         let machine = pt.Designspace.p_machine in
         let analysis =
-          cached_point t ~prepared ~workload ~machine ~scale ~criteria
-            ~top:q.Protocol.top
+          cached_point t ~prepared ~prev ~workload ~machine ~scale ~criteria
+            ~top:q.Protocol.top ~engine
         in
         Span.count "explore_points_evaluated" 1.;
         incr completed;
@@ -272,6 +321,7 @@ let run_explore t (q : Protocol.query) (spec : Protocol.explore_spec)
     ([
        ("workload", Json.String workload.Registry.name);
        ("machine", Json.String base.Machine.name);
+       ("engine", Json.String (P.engine_to_string engine));
        ("axes", Json.List axes);
        ("grid", Json.Int (Designspace.grid_size spec.Protocol.e_axes));
      ]
@@ -291,6 +341,7 @@ let run_capabilities () =
       ("protocol", Json.Int Protocol.protocol_version);
       ("kinds", strings Protocol.request_kinds);
       ("axes", strings Designspace.axis_keys);
+      ("bet_engines", strings P.engine_names);
       ("max_grid_points", Json.Int Protocol.max_grid_points);
       ("version", Json.String Core.Version.version);
     ]
@@ -510,9 +561,11 @@ let request_fingerprint = function
             code_leanness = q.Protocol.leanness;
           }
         in
+        let engine = Option.value ~default:P.Tree q.Protocol.engine in
         Some
           (Fingerprint.of_query ~workload:q.Protocol.workload ~machine ~scale
-             ~criteria ~top:q.Protocol.top)))
+             ~criteria ~top:q.Protocol.top
+             ~engine:(P.engine_to_string engine))))
   | _ -> None
 
 (* --- entry point --------------------------------------------------- *)

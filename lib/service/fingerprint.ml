@@ -10,11 +10,12 @@ let cache_level (c : Machine.cache_level) =
     (f c.latency_cycles)
 
 let canonical ~workload ~(machine : Machine.t) ~scale
-    ~(criteria : Hotspot.criteria) ~top =
+    ~(criteria : Hotspot.criteria) ~top ~engine =
   String.concat ";"
     [
-      "v1";
+      "v2";
       "workload=" ^ workload;
+      "engine=" ^ engine;
       "machine=" ^ machine.name;
       "freq=" ^ f machine.freq_ghz;
       "issue=" ^ f machine.issue_width;
@@ -34,6 +35,6 @@ let canonical ~workload ~(machine : Machine.t) ~scale
       "top=" ^ string_of_int top;
     ]
 
-let of_query ~workload ~machine ~scale ~criteria ~top =
+let of_query ~workload ~machine ~scale ~criteria ~top ~engine =
   Digest.to_hex
-    (Digest.string (canonical ~workload ~machine ~scale ~criteria ~top))
+    (Digest.string (canonical ~workload ~machine ~scale ~criteria ~top ~engine))

@@ -73,6 +73,11 @@ type query = {
   coverage : float;
   leanness : float;
   top : int;  (** hot spots to return *)
+  engine : Core.Pipeline.engine option;
+      (** optional ["engine"] field ("tree"/"arena"); [None] means the
+          server default (tree).  Unknown names are an
+          [Invalid_request].  Advertised via [capabilities] as
+          ["bet_engines"]. *)
 }
 
 type lint_query = {

@@ -15,10 +15,19 @@ type query_opts = {
   coverage : float;
   leanness : float;
   overrides : (string * float) list;
+  engine : string option;
+      (** BET pricing engine ("tree"/"arena"); [None]: server default *)
 }
 
 let default_query_opts =
-  { scale = None; top = 10; coverage = 0.90; leanness = 0.10; overrides = [] }
+  {
+    scale = None;
+    top = 10;
+    coverage = 0.90;
+    leanness = 0.10;
+    overrides = [];
+    engine = None;
+  }
 
 type request =
   | Analyze of { workload : string; machine : string; opts : query_opts }
@@ -139,6 +148,9 @@ let query_fields ~workload ~machine (o : query_opts) =
       ("coverage", Json.Float o.coverage);
       ("leanness", Json.Float o.leanness);
     ]
+  @ (match o.engine with
+    | Some e -> [ ("engine", Json.String e) ]
+    | None -> [])
   @
   if o.overrides = [] then []
   else

@@ -110,7 +110,7 @@ let test_reuse_equivalence () =
     [ Designspace.Frequency [ 0.8; 1.6 ]; Designspace.Mem_bandwidth [ 7.; 28. ] ]
   in
   let pts = Explore.grid_points base axes in
-  let prepared = P.prepare ~workload:w ~scale () in
+  let prepared = P.Prepared.create ~workload:w ~scale () in
   let r = Explore.evaluate prepared pts in
   Alcotest.(check int) "every point evaluated" 4 (List.length r.Explore.points);
   List.iter
@@ -124,7 +124,8 @@ let test_reuse_equivalence () =
       Alcotest.(check int)
         (p.Explore.tag ^ " same selection")
         (List.length fresh.P.a_selection.Core.Analysis.Hotspot.spots)
-        (List.length p.Explore.analysis.P.a_selection.Core.Analysis.Hotspot.spots))
+        (List.length
+           p.Explore.outcome.P.Prepared.o_selection.Core.Analysis.Hotspot.spots))
     r.Explore.points
 
 let test_parallel_matches_sequential () =
@@ -138,7 +139,7 @@ let test_parallel_matches_sequential () =
     ]
   in
   let pts = Explore.grid_points base axes in
-  let prepared = P.prepare ~workload:w ~scale () in
+  let prepared = P.Prepared.create ~workload:w ~scale () in
   let streamed = Atomic.make 0 in
   let seq = Explore.evaluate ~jobs:1 prepared pts in
   let par =
@@ -164,7 +165,7 @@ let test_explore_counters () =
   let w = sord () in
   let base = bgq () in
   let pts = Explore.grid_points base [ Designspace.Frequency [ 0.8; 1.6 ] ] in
-  let prepared = P.prepare ~workload:w ~scale:w.Registry.default_scale () in
+  let prepared = P.Prepared.create ~workload:w ~scale:w.Registry.default_scale () in
   let before name =
     Option.value ~default:0. (List.assoc_opt name (Span.counters ()))
   in

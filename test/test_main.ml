@@ -21,6 +21,7 @@ let () =
          Test_props.suite;
          Test_service.suite;
          Test_explore.suite;
+         Test_arena.suite;
          Test_telemetry.suite;
          Test_cluster.suite;
        ])

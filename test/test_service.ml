@@ -366,16 +366,17 @@ let test_different_queries_different_results () =
 
 (* --- fingerprint --------------------------------------------------- *)
 
-let fp ?(scale = 1.0) ?(bw = 28.5) () =
+let fp ?(scale = 1.0) ?(bw = 28.5) ?(engine = "tree") () =
   let machine = { Core.Hw.Machines.bgq with Core.Hw.Machine.mem_bw_gbs = bw } in
   Service.Fingerprint.of_query ~workload:"sord" ~machine ~scale
-    ~criteria:Core.Analysis.Hotspot.default_criteria ~top:10
+    ~criteria:Core.Analysis.Hotspot.default_criteria ~top:10 ~engine
 
 let test_fingerprint () =
   Alcotest.(check string) "deterministic" (fp ()) (fp ());
   Alcotest.(check bool) "scale matters" true (fp () <> fp ~scale:2.0 ());
   Alcotest.(check bool) "machine parameter matters" true
     (fp () <> fp ~bw:28.6 ());
+  Alcotest.(check bool) "engine matters" true (fp () <> fp ~engine:"arena" ());
   Alcotest.(check int) "hex digest" 32 (String.length (fp ()))
 
 (* --- lru ----------------------------------------------------------- *)
