@@ -1328,6 +1328,15 @@ let cmd_query =
     let doc = "Send the request N times (load-generator mode when > 1)." in
     Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N" ~doc)
   in
+  let corpus_arg =
+    let doc =
+      "Replay a generated corpus (a directory written by $(b,skope gen \
+       --out)) as load-generator traffic: one --kind lint or audit request \
+       per skeleton, cycled round-robin.  --repeat defaults to one pass \
+       over the corpus."
+    in
+    Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"DIR" ~doc)
+  in
   let concurrency_arg =
     let doc = "Client threads for load-generator mode." in
     Arg.(value & opt int 1 & info [ "concurrency" ] ~docv:"K" ~doc)
@@ -1529,15 +1538,55 @@ let cmd_query =
   let run host port kind workload machine scale top coverage leanness engine
       axis values axes sample seed overrides timeout_ms body repeat concurrency
       stats retries retry_base_ms retry_max_ms retry_seed connect_timeout_ms
-      io_timeout_ms trace_id chrome last errors_only min_ms =
+      io_timeout_ms trace_id chrome last errors_only min_ms corpus =
     let kind = if stats then "stats" else kind in
-    let body =
+    (* Built lazily: in --corpus mode the flag-derived single body is
+       never sent (and may not even be constructible, e.g. no
+       --workload). *)
+    let body () =
       match body with
       | Some b -> b
       | None ->
         build_body kind workload machine scale top coverage leanness engine
           axis values axes sample seed overrides timeout_ms trace_id last
           errors_only min_ms
+    in
+    (* A corpus replays every generated skeleton as an inline-source
+       request — the server has never seen these workloads, so only
+       the source-carrying kinds make sense. *)
+    let corpus_bodies =
+      match corpus with
+      | None -> None
+      | Some dir -> (
+        let module A = Skope_service.Service_api in
+        let request_of_source src =
+          match kind with
+          | "lint" -> A.lint_source src
+          | "audit" -> A.audit_source src
+          | other ->
+            Fmt.epr
+              "--corpus replays inline sources; use --kind lint or audit \
+               (got %S)@."
+              other;
+            exit 2
+        in
+        match Skope_gen.Corpus.read_manifest ~dir with
+        | Error msg ->
+          Fmt.epr "skope query: %s@." msg;
+          exit 2
+        | Ok [] ->
+          Fmt.epr "skope query: corpus %s is empty@." dir;
+          exit 2
+        | Ok cases ->
+          let body_of (file, _, _) =
+            let path = Filename.concat dir file in
+            match In_channel.with_open_bin path In_channel.input_all with
+            | src -> A.to_body ?timeout_ms (request_of_source src)
+            | exception Sys_error msg ->
+              Fmt.epr "skope query: %s@." msg;
+              exit 2
+          in
+          Some (Array.of_list (List.map body_of cases)))
     in
     let module C = Skope_service.Client in
     let timeouts =
@@ -1555,8 +1604,8 @@ let cmd_query =
         seed = retry_seed;
       }
     in
-    if repeat <= 1 then
-      match C.request ~timeouts ~retry ~host ~port body with
+    if corpus_bodies = None && repeat <= 1 then
+      match C.request ~timeouts ~retry ~host ~port (body ()) with
       | Error e ->
         Fmt.epr "skope query: %a@." C.pp_error e;
         exit 1
@@ -1595,8 +1644,15 @@ let cmd_query =
             Mutex.unlock shard_lock)
       in
       let report =
-        C.load ~timeouts ~retry ~on_result ~host ~port ~repeat ~concurrency
-          body
+        match corpus_bodies with
+        | Some bodies ->
+          (* Default --repeat to one full pass over the corpus. *)
+          let repeat = if repeat <= 1 then Array.length bodies else repeat in
+          C.load_multi ~timeouts ~retry ~on_result ~host ~port ~repeat
+            ~concurrency bodies
+        | None ->
+          C.load ~timeouts ~retry ~on_result ~host ~port ~repeat ~concurrency
+            (body ())
       in
       Fmt.pr "%a@." C.pp_load_report report;
       if Hashtbl.length shard_stats > 0 then begin
@@ -1655,7 +1711,7 @@ let cmd_query =
       $ timeout_arg $ body_arg $ repeat_arg $ concurrency_arg $ stats_flag
       $ retries_arg $ retry_base_arg $ retry_max_arg $ retry_seed_arg
       $ connect_timeout_arg $ io_timeout_arg $ trace_id_arg $ chrome_arg
-      $ last_arg $ errors_only_arg $ min_ms_arg)
+      $ last_arg $ errors_only_arg $ min_ms_arg $ corpus_arg)
 
 let cmd_top =
   let module J = Core.Report.Json in
@@ -1870,6 +1926,237 @@ let cmd_top =
       const run $ host_arg $ port_arg $ interval_arg $ iterations_arg
       $ recent_arg $ min_ms_arg)
 
+(* --- gen + fuzz ------------------------------------------------------ *)
+
+module G = Skope_gen.Gen
+module GA = Skope_gen.Archetype
+module GC = Skope_gen.Corpus
+module GF = Skope_gen.Fuzzcheck
+
+let gen_seed_arg =
+  let doc = "Generator master seed (SplitMix64); same seed, same corpus." in
+  Arg.(value & opt int64 42L & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let gen_count_arg default =
+  let doc = "Number of skeletons to generate." in
+  Arg.(value & opt int default & info [ "n"; "count" ] ~docv:"N" ~doc)
+
+let gen_jobs_arg =
+  let doc =
+    "Worker domains.  Output is byte-identical for every value: each case \
+     derives its own stream from (seed, index)."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"K" ~doc)
+
+let archetype_conv =
+  Arg.conv
+    ( (fun s ->
+        match GA.of_string s with Ok a -> Ok a | Error e -> Error (`Msg e)),
+      fun ppf a -> Fmt.string ppf (GA.to_string a) )
+
+let gen_archetype_arg =
+  let doc =
+    "Force one archetype (compute, memory, branchy, comm) instead of \
+     drawing from --mix.  Note the forced stream differs from a mixed \
+     corpus that happened to draw the same archetype."
+  in
+  Arg.(
+    value & opt (some archetype_conv) None & info [ "archetype" ] ~docv:"NAME" ~doc)
+
+let range_conv what =
+  Arg.conv
+    ( (fun s ->
+        let bad () = Error (`Msg (what ^ ": expected LO:HI integers, LO <= HI")) in
+        match String.split_on_char ':' s with
+        | [ lo; hi ] -> (
+          match (int_of_string_opt lo, int_of_string_opt hi) with
+          | Some lo, Some hi when lo <= hi -> Ok (lo, hi)
+          | _ -> bad ())
+        | _ -> bad ()),
+      fun ppf (lo, hi) -> Fmt.pf ppf "%d:%d" lo hi )
+
+let mix_conv =
+  Arg.conv
+    ( (fun s ->
+        match GA.mix_of_string s with Ok m -> Ok m | Error e -> Error (`Msg e)),
+      GA.pp_mix )
+
+let gen_config_term =
+  let d = G.default in
+  let depth_arg =
+    let doc = "Max loop/branch nesting below a function body." in
+    Arg.(value & opt int d.G.depth & info [ "depth" ] ~docv:"D" ~doc)
+  in
+  let stmts_arg =
+    let doc = "Max statements drawn per block." in
+    Arg.(value & opt int d.G.max_stmts & info [ "stmts" ] ~docv:"N" ~doc)
+  in
+  let funcs_arg =
+    let doc = "Max helper functions per program." in
+    Arg.(value & opt int d.G.funcs & info [ "funcs" ] ~docv:"N" ~doc)
+  in
+  let ranks_arg =
+    let doc = "Max rank count for comm skeletons (rounded up to even)." in
+    Arg.(value & opt int d.G.ranks & info [ "ranks" ] ~docv:"P" ~doc)
+  in
+  let trips_arg =
+    let doc = "Literal loop-trip range." in
+    Arg.(
+      value
+      & opt (range_conv "--trips") (d.G.trip_lo, d.G.trip_hi)
+      & info [ "trips" ] ~docv:"LO:HI" ~doc)
+  in
+  let sizes_arg =
+    let doc = "Range of the $(b,n) input (array extents)." in
+    Arg.(
+      value
+      & opt (range_conv "--sizes") (d.G.size_lo, d.G.size_hi)
+      & info [ "sizes" ] ~docv:"LO:HI" ~doc)
+  in
+  let mix_arg =
+    let doc =
+      "Archetype weights for mixed corpora, e.g. \
+       $(b,compute=4,memory=3,branchy=2,comm=1)."
+    in
+    Arg.(value & opt mix_conv d.G.mix & info [ "mix" ] ~docv:"A=W,.." ~doc)
+  in
+  let make depth max_stmts funcs ranks (trip_lo, trip_hi) (size_lo, size_hi)
+      mix =
+    G.clamp
+      { d with G.depth; max_stmts; funcs; ranks; trip_lo; trip_hi; size_lo;
+        size_hi; mix }
+  in
+  Term.(
+    const make $ depth_arg $ stmts_arg $ funcs_arg $ ranks_arg $ trips_arg
+    $ sizes_arg $ mix_arg)
+
+let cmd_gen =
+  let out_arg =
+    let doc =
+      "Write skeletons plus a corpus.json manifest into this directory \
+       (created when missing); without it, sources print to stdout."
+    in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"DIR" ~doc)
+  in
+  let run config archetype seed count jobs out =
+    if count <= 0 then begin
+      Fmt.epr "skope gen: --count must be positive@.";
+      exit 2
+    end;
+    let cases = GC.generate ~config ?archetype ~jobs ~seed ~count () in
+    match out with
+    | None ->
+      List.iter (fun c -> print_string (G.to_source c)) cases
+    | Some dir ->
+      let files = GC.write ?archetype ~config ~seed ~dir cases in
+      let per_arch =
+        List.map
+          (fun a ->
+            ( a,
+              List.length
+                (List.filter (fun c -> c.G.archetype = a) cases) ))
+          GA.all
+        |> List.filter (fun (_, n) -> n > 0)
+      in
+      Fmt.pr "wrote %d skeletons + corpus.json to %s (%s)@."
+        (List.length files) dir
+        (String.concat ", "
+           (List.map
+              (fun (a, n) -> Fmt.str "%s %d" (GA.to_string a) n)
+              per_arch))
+  in
+  Cmd.v
+    (Cmd.info "gen"
+       ~doc:
+         "Generate seeded random skeleton workloads (compute, memory, \
+          branchy, comm archetypes); deterministic per (seed, index, \
+          config)")
+    Term.(
+      const run $ gen_config_term $ gen_archetype_arg $ gen_seed_arg
+      $ gen_count_arg 10 $ gen_jobs_arg $ out_arg)
+
+let cmd_fuzz =
+  let index_arg =
+    let doc =
+      "Re-run exactly one case by corpus index (the reproducer form \
+       printed on failure) and show its source plus gate verdicts."
+    in
+    Arg.(value & opt (some int) None & info [ "index" ] ~docv:"I" ~doc)
+  in
+  let sim_bound_arg =
+    let doc =
+      "Allowed analyze/sim total-time ratio (either direction) for the \
+       sanity gate."
+    in
+    Arg.(value & opt float 1e4 & info [ "sim-bound" ] ~docv:"R" ~doc)
+  in
+  let json_flag =
+    let doc = "Emit the fuzz report as JSON." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let print_failure f =
+    Fmt.pr "FAIL case %d (%s) [%s]: %s@.  repro: %s@." f.GF.index
+      (GA.to_string f.GF.archetype)
+      (GF.gate_name f.GF.gate)
+      f.GF.detail f.GF.repro
+  in
+  let run config archetype seed count jobs sim_bound index json =
+    match index with
+    | Some index ->
+      let case = G.generate ~config ?archetype ~seed ~index () in
+      let repro = GF.repro_command ~config ?archetype ~seed ~index () in
+      let fails = GF.check_case ~sim_bound ~repro case in
+      Fmt.pr "# case %d: %s (%s), inputs %s@." index case.G.name
+        (GA.to_string case.G.archetype)
+        (String.concat ", "
+           (List.map
+              (fun (k, v) -> Fmt.str "%s=%s" k (Core.Bet.Value.to_string v))
+              case.G.inputs));
+      print_string (Core.Skeleton.Pretty.to_string case.G.program);
+      if fails = [] then Fmt.pr "all %d gates pass@." GF.n_gates
+      else begin
+        List.iter print_failure fails;
+        exit 1
+      end
+    | None ->
+      if count <= 0 then begin
+        Fmt.epr "skope fuzz: --count must be positive@.";
+        exit 2
+      end;
+      let report = GF.run ~config ?archetype ~jobs ~sim_bound ~seed ~count () in
+      let failed = report.GF.failures <> [] in
+      if json then
+        print_endline
+          (Core.Report.Json.to_string (GF.report_json ~seed report))
+      else begin
+        Fmt.pr "fuzz: %d cases x %d gates, seed %Ld (%s)@." report.GF.total
+          report.GF.gates_per_case seed
+          (String.concat ", "
+             (List.map
+                (fun (a, n) -> Fmt.str "%s %d" (GA.to_string a) n)
+                report.GF.by_archetype));
+        match report.GF.failures with
+        | [] -> Fmt.pr "all gates pass@."
+        | fs ->
+          List.iter print_failure fs;
+          Fmt.pr "%d gate failure(s) across %d case(s)@." (List.length fs)
+            (List.length
+               (List.sort_uniq compare (List.map (fun f -> f.GF.index) fs)))
+      end;
+      if failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: generate seeded skeletons and gate each on \
+          pretty/parse round-trip, lint and audit health, tree vs arena \
+          engine bit-parity, and analyze-vs-simulate sanity bounds; \
+          failures print a one-line reproducer")
+    Term.(
+      const run $ gen_config_term $ gen_archetype_arg $ gen_seed_arg
+      $ gen_count_arg 100 $ gen_jobs_arg $ sim_bound_arg $ index_arg
+      $ json_flag)
+
 let cmd_json_check =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   let run file =
@@ -1901,6 +2188,6 @@ let () =
             cmd_analyze; cmd_validate; cmd_hints; cmd_miniapp; cmd_sweep;
             cmd_explore;
             cmd_nodes; cmd_roofline; cmd_json; cmd_import; cmd_spots;
-            cmd_path; cmd_compare; cmd_serve; cmd_route; cmd_query; cmd_top;
-            cmd_json_check;
+            cmd_path; cmd_compare; cmd_gen; cmd_fuzz; cmd_serve; cmd_route;
+            cmd_query; cmd_top; cmd_json_check;
           ]))

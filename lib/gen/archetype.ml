@@ -1,0 +1,48 @@
+type t = Compute | Memory | Branchy | Comm
+
+let all = [ Compute; Memory; Branchy; Comm ]
+
+let to_string = function
+  | Compute -> "compute"
+  | Memory -> "memory"
+  | Branchy -> "branchy"
+  | Comm -> "comm"
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "compute" -> Ok Compute
+  | "memory" | "mem" -> Ok Memory
+  | "branchy" -> Ok Branchy
+  | "comm" | "comm-heavy" -> Ok Comm
+  | other ->
+    Error
+      (Fmt.str "unknown archetype %S (expected compute|memory|branchy|comm)"
+         other)
+
+let default_mix = [ (Compute, 0.3); (Memory, 0.3); (Branchy, 0.25); (Comm, 0.15) ]
+
+let mix_of_string s =
+  let parts = String.split_on_char ',' s |> List.filter (fun p -> String.trim p <> "") in
+  let rec go acc = function
+    | [] ->
+      let acc = List.rev acc in
+      if List.exists (fun (_, w) -> w > 0.) acc then Ok acc
+      else Error "archetype mix needs at least one positive weight"
+    | p :: rest -> (
+      match String.index_opt p '=' with
+      | None -> Error (Fmt.str "bad mix entry %S (expected name=weight)" p)
+      | Some i -> (
+        let name = String.sub p 0 i in
+        let w = String.sub p (i + 1) (String.length p - i - 1) in
+        match (of_string name, float_of_string_opt (String.trim w)) with
+        | Error e, _ -> Error e
+        | _, None -> Error (Fmt.str "bad mix weight %S" w)
+        | Ok _, Some f when f < 0. || not (Float.is_finite f) ->
+          Error (Fmt.str "mix weight %g out of range" f)
+        | Ok a, Some f -> go ((a, f) :: acc) rest))
+  in
+  go [] parts
+
+let pp_mix ppf mix =
+  Fmt.(list ~sep:(any ",") (fun ppf (a, w) -> pf ppf "%s=%g" (to_string a) w))
+    ppf mix

@@ -1,0 +1,25 @@
+(** Workload archetypes for the skeleton generator.
+
+    Mirrors the synthetic workload families co-design studies sweep:
+    compute-bound kernels, memory-bound streaming/stencil code,
+    branch-dominated control flow, and communication-heavy SPMD
+    exchanges.  Each archetype biases the generator's statement mix,
+    nesting, and input set. *)
+
+type t = Compute | Memory | Branchy | Comm
+
+val all : t list
+val to_string : t -> string
+
+(** Case-insensitive; accepts the canonical names plus the aliases
+    [mem] and [comm-heavy]. *)
+val of_string : string -> (t, string) result
+
+(** Default corpus mix (weights; normalized by the picker). *)
+val default_mix : (t * float) list
+
+(** Parse a mix spec like ["compute=4,memory=3,branchy=2,comm=1"].
+    Weights are non-negative floats; at least one must be positive. *)
+val mix_of_string : string -> ((t * float) list, string) result
+
+val pp_mix : (t * float) list Fmt.t

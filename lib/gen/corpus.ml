@@ -1,0 +1,147 @@
+module Json = Skope_report.Json
+module Value = Skope_bet.Value
+
+let parmap ~jobs f n =
+  let jobs = max 1 (min jobs n) in
+  if jobs <= 1 then List.init n f
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (f i);
+          go ()
+        end
+      in
+      go ()
+    in
+    let doms = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join doms;
+    Array.to_list results
+    |> List.map (function Some x -> x | None -> assert false)
+  end
+
+let generate ?config ?archetype ?(jobs = 1) ~seed ~count () =
+  parmap ~jobs (fun index -> Gen.generate ?config ?archetype ~seed ~index ()) count
+
+let file_of_case (c : Gen.case) = c.Gen.name ^ ".skope"
+
+let value_json = function
+  | Value.I i -> Json.Int i
+  | Value.F f -> Json.Float f
+  | Value.B b -> Json.Bool b
+
+let config_json (c : Gen.config) =
+  Json.Obj
+    [
+      ("depth", Json.Int c.Gen.depth);
+      ("max_stmts", Json.Int c.Gen.max_stmts);
+      ("stmt_budget", Json.Int c.Gen.stmt_budget);
+      ("trip_lo", Json.Int c.Gen.trip_lo);
+      ("trip_hi", Json.Int c.Gen.trip_hi);
+      ("size_lo", Json.Int c.Gen.size_lo);
+      ("size_hi", Json.Int c.Gen.size_hi);
+      ("ranks", Json.Int c.Gen.ranks);
+      ("funcs", Json.Int c.Gen.funcs);
+      ("sim_iters", Json.Int c.Gen.sim_iters);
+      ("mix", Json.String (Fmt.str "%a" Archetype.pp_mix c.Gen.mix));
+    ]
+
+let case_json (c : Gen.case) =
+  Json.Obj
+    [
+      ("file", Json.String (file_of_case c));
+      ("index", Json.Int c.Gen.index);
+      ("archetype", Json.String (Archetype.to_string c.Gen.archetype));
+      ("case_seed", Json.String (Fmt.str "0x%Lx" c.Gen.case_seed));
+      ("program", Json.String c.Gen.name);
+      ("inputs", Json.Obj (List.map (fun (k, v) -> (k, value_json v)) c.Gen.inputs));
+    ]
+
+let manifest_json ?archetype ~config ~seed cases =
+  Json.Obj
+    (List.concat
+       [
+         [
+           ("schema", Json.String "skope-corpus/1");
+           ("seed", Json.String (Fmt.str "%Ld" seed));
+           ("count", Json.Int (List.length cases));
+         ];
+         (match archetype with
+         | Some a -> [ ("archetype", Json.String (Archetype.to_string a)) ]
+         | None -> []);
+         [ ("config", config_json (Gen.clamp config)) ];
+         [ ("cases", Json.List (List.map case_json cases)) ];
+       ])
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+  end
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc contents)
+
+let write ?archetype ~config ~seed ~dir cases =
+  mkdir_p dir;
+  let files =
+    List.map
+      (fun c ->
+        let file = file_of_case c in
+        write_file (Filename.concat dir file) (Gen.to_source c);
+        file)
+      cases
+  in
+  write_file
+    (Filename.concat dir "corpus.json")
+    (Json.to_string (manifest_json ?archetype ~config ~seed cases) ^ "\n");
+  files
+
+let read_manifest ~dir =
+  let path = Filename.concat dir "corpus.json" in
+  if not (Sys.file_exists path) then
+    Error (Fmt.str "no corpus manifest at %s (generate one with `skope gen`)" path)
+  else
+    let contents =
+      let ic = open_in_bin path in
+      Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+          really_input_string ic (in_channel_length ic))
+    in
+    match Json.of_string contents with
+    | Error e -> Error (Fmt.str "%s: invalid JSON: %s" path e)
+    | Ok j -> (
+      match Json.member "cases" j with
+      | Some (Json.List cases) -> (
+        try
+          Ok
+            (List.map
+               (fun cj ->
+                 let str k =
+                   match Option.bind (Json.member k cj) Json.to_string_opt with
+                   | Some s -> s
+                   | None -> failwith (Fmt.str "case without %S" k)
+                 in
+                 let inputs =
+                   match Json.member "inputs" cj with
+                   | Some (Json.Obj kvs) ->
+                     List.map
+                       (fun (k, v) ->
+                         match v with
+                         | Json.Int i -> (k, Value.I i)
+                         | Json.Float f -> (k, Value.F f)
+                         | Json.Bool b -> (k, Value.B b)
+                         | _ -> failwith (Fmt.str "bad input %S" k))
+                       kvs
+                   | _ -> []
+                 in
+                 (str "file", str "program", inputs))
+               cases)
+        with Failure m -> Error (Fmt.str "%s: %s" path m))
+      | _ -> Error (Fmt.str "%s: no cases array" path))

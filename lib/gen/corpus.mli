@@ -1,0 +1,49 @@
+(** Deterministic corpus batches: generate [count] cases for a seed,
+    optionally in parallel, and write them to a directory with a
+    manifest.
+
+    Parallelism never changes the result: each case derives its own
+    stream from [(seed, index)] ({!Gen.case_seed}), so the corpus is
+    byte-identical for every [jobs] value — a property the test suite
+    pins. *)
+
+(** [generate ?config ?archetype ?jobs ~seed ~count ()] builds cases
+    [0 .. count-1] in index order. *)
+val generate :
+  ?config:Gen.config ->
+  ?archetype:Archetype.t ->
+  ?jobs:int ->
+  seed:int64 ->
+  count:int ->
+  unit ->
+  Gen.case list
+
+(** Run [f] over [0 .. n-1] on [jobs] domains (work-stealing by
+    atomic counter); results are returned in index order.  Exposed
+    for {!Fuzzcheck}. *)
+val parmap : jobs:int -> (int -> 'a) -> int -> 'a list
+
+(** File name of a case inside a corpus directory,
+    [<name>.skope]. *)
+val file_of_case : Gen.case -> string
+
+(** JSON manifest: schema tag, seed, count, config echo, and one
+    entry per case (file, index, archetype, case seed, program name,
+    inputs). *)
+val manifest_json :
+  ?archetype:Archetype.t -> config:Gen.config -> seed:int64 -> Gen.case list ->
+  Skope_report.Json.t
+
+(** Write every case plus [corpus.json] into [dir] (created,
+    including parents, when missing).  Returns the written case file
+    names in index order. *)
+val write :
+  ?archetype:Archetype.t -> config:Gen.config -> seed:int64 -> dir:string ->
+  Gen.case list -> string list
+
+(** Load a corpus manifest back: [(file, program name, inputs)] per
+    case, for loadgen replay.  Errors with a readable message when
+    the manifest is missing or malformed. *)
+val read_manifest :
+  dir:string ->
+  ((string * string * (string * Skope_bet.Value.t) list) list, string) result

@@ -1,0 +1,445 @@
+(** Seeded random skeleton generator.  See the mli for the
+    determinism and lint-cleanliness contracts; the shape choices
+    below are all drawn from one SplitMix64 stream per case. *)
+
+open Skope_skeleton
+module Rng = Skope_sim.Rng
+module Value = Skope_bet.Value
+module B = Builder
+
+type config = {
+  depth : int;
+  max_stmts : int;
+  stmt_budget : int;
+  trip_lo : int;
+  trip_hi : int;
+  size_lo : int;
+  size_hi : int;
+  ranks : int;
+  funcs : int;
+  sim_iters : int;
+  mix : (Archetype.t * float) list;
+}
+
+let default =
+  {
+    depth = 3;
+    max_stmts = 4;
+    stmt_budget = 96;
+    trip_lo = 2;
+    trip_hi = 24;
+    size_lo = 8;
+    size_hi = 64;
+    ranks = 4;
+    funcs = 2;
+    sim_iters = 100_000;
+    mix = Archetype.default_mix;
+  }
+
+let clamp c =
+  let depth = max 1 (min 6 c.depth) in
+  let max_stmts = max 1 (min 8 c.max_stmts) in
+  let stmt_budget = max 8 c.stmt_budget in
+  (* trip >= 2 keeps loop-variable intervals wide enough that branch
+     conditions on them stay undecidable (no L005). *)
+  let trip_lo = max 2 c.trip_lo in
+  let trip_hi = max trip_lo c.trip_hi in
+  (* size >= 4 leaves room for stencil bounds and n/2 sub-ranges. *)
+  let size_lo = max 4 c.size_lo in
+  let size_hi = max size_lo c.size_hi in
+  let ranks = max 2 (c.ranks + (c.ranks land 1)) in
+  let funcs = max 0 (min 4 c.funcs) in
+  let sim_iters = max 100 c.sim_iters in
+  { c with depth; max_stmts; stmt_budget; trip_lo; trip_hi; size_lo; size_hi;
+    ranks; funcs; sim_iters }
+
+type case = {
+  index : int;
+  master_seed : int64;
+  case_seed : int64;
+  archetype : Archetype.t;
+  name : string;
+  program : Ast.program;
+  inputs : (string * Value.t) list;
+}
+
+let golden = 0x9E3779B97F4A7C15L
+
+let case_seed master index =
+  let r =
+    Rng.create Int64.(add master (mul golden (of_int (index + 1))))
+  in
+  ignore (Rng.next_int64 r);
+  Rng.next_int64 r
+
+(* --- draw helpers ----------------------------------------------------- *)
+
+type st = {
+  rng : Rng.t;
+  cfg : config;
+  n_val : int;  (** concrete value of the [n] input *)
+  mutable fresh : int;
+  mutable budget : int;  (** remaining statement allowance *)
+}
+
+let fresh st prefix =
+  let i = st.fresh in
+  st.fresh <- i + 1;
+  Fmt.str "%s%d" prefix i
+
+let pick st xs = List.nth xs (Rng.int st.rng (List.length xs))
+let range st lo hi = lo + Rng.int st.rng (hi - lo + 1)
+let chance st p = Rng.bernoulli st.rng p
+
+(* Probabilities on a 0.05 grid: short to print, exact to reparse. *)
+let prob st lo hi =
+  let k = range st (int_of_float (Float.ceil (lo /. 0.05)))
+      (int_of_float (Float.floor (hi /. 0.05))) in
+  float_of_string (Fmt.str "%.2f" (float_of_int k *. 0.05))
+
+(* --- leaves ----------------------------------------------------------- *)
+
+let comp_stmt st ~(arch : Archetype.t) =
+  let heavy = match arch with Compute -> chance st 0.8 | _ -> chance st 0.25 in
+  let flops =
+    if heavy then
+      if chance st 0.2 then B.(var "n" * int (range st 1 4))
+      else B.int (range st 8 64)
+    else B.int (range st 1 8)
+  in
+  let iops = if chance st 0.5 then B.int (range st 1 16) else B.int 0 in
+  let divs =
+    if heavy && chance st 0.15 then B.int (range st 1 2) else B.int 0
+  in
+  let vec = pick st [ 1; 1; 1; 2; 4; 8 ] in
+  B.comp ~flops ~iops ~divs ~vec ()
+
+(* [idxs] are expressions provably in [0, n-1] in the current scope;
+   every array extent is n, so any of them indexes any dimension. *)
+let access st ~arrays ~idxs =
+  let aname, ndims = pick st arrays in
+  B.a_ aname (List.init ndims (fun _ -> pick st idxs))
+
+let mem_stmt st ~arch ~arrays ~idxs =
+  if arrays = [] then comp_stmt st ~arch
+  else
+    let accs n = List.init n (fun _ -> access st ~arrays ~idxs) in
+    let r = Rng.float st.rng in
+    if r < 0.45 then B.load (accs (range st 1 2))
+    else if r < 0.75 then B.store (accs 1)
+    else
+      (* Combined load+store: the pretty-printer fissions this into
+         two lines, exercising the round-trip normalization. *)
+      let label = if chance st 0.3 then Some (fresh st "m") else None in
+      B.stmt ?label (Ast.Mem { loads = accs (range st 1 2); stores = accs 1 })
+
+let lib_stmt st ~(arch : Archetype.t) =
+  let name =
+    match arch with
+    | Memory -> pick st [ "memcpy_elem"; "memcpy_elem"; "rand" ]
+    | _ -> pick st [ "sqrt"; "exp"; "log"; "sincos"; "rand" ]
+  in
+  let scale =
+    if chance st 0.4 then B.var "n" else B.int (range st st.cfg.trip_lo st.cfg.trip_hi)
+  in
+  B.lib ~scale name
+
+let leaf st ~arch ~arrays ~idxs =
+  let open Archetype in
+  let r = Rng.float st.rng in
+  match arch with
+  | Compute ->
+    if r < 0.6 then comp_stmt st ~arch
+    else if r < 0.8 then lib_stmt st ~arch
+    else mem_stmt st ~arch ~arrays ~idxs
+  | Memory ->
+    if r < 0.6 then mem_stmt st ~arch ~arrays ~idxs
+    else if r < 0.8 then lib_stmt st ~arch
+    else comp_stmt st ~arch
+  | Branchy | Comm ->
+    if r < 0.6 then comp_stmt st ~arch else mem_stmt st ~arch ~arrays ~idxs
+
+(* --- structure -------------------------------------------------------- *)
+
+(* [iters] is the product of concrete trip counts enclosing the
+   current block: the simulator executes real iterations, so loops are
+   only opened while the product stays under [sim_iters].
+   [cond_vars] are loop variables whose interval spans >= 2 values —
+   safe to branch on without the condition becoming statically
+   decidable. *)
+type ctx = {
+  arch : Archetype.t;
+  arrays : (string * int) list;
+  depth : int;
+  idxs : Ast.expr list;
+  cond_vars : string list;
+  in_for : bool;
+  iters : int;
+}
+
+let rec gen_block st (c : ctx) =
+  let k = range st 1 st.cfg.max_stmts in
+  let stmts =
+    List.concat (List.init k (fun _ -> gen_stmt st c))
+  in
+  if stmts = [] then [ leaf st ~arch:c.arch ~arrays:c.arrays ~idxs:c.idxs ]
+  else stmts
+
+and gen_stmt st (c : ctx) =
+  st.budget <- st.budget - 1;
+  let structural_p =
+    if c.depth <= 0 || st.budget <= 0 then 0.
+    else match c.arch with Archetype.Branchy -> 0.55 | _ -> 0.45
+  in
+  if chance st structural_p then gen_structural st c
+  else
+    let l = leaf st ~arch:c.arch ~arrays:c.arrays ~idxs:c.idxs in
+    (* Occasional probabilistic early exit inside for loops. *)
+    if c.in_for && chance st 0.08 then
+      let p = prob st 0.05 0.2 in
+      let exit_ =
+        if chance st 0.5 then B.break_ (fresh st "b") (B.float p)
+        else B.continue_ (fresh st "c") (B.float p)
+      in
+      [ l; exit_ ]
+    else [ l ]
+
+and gen_structural st (c : ctx) =
+  let fits trips = c.iters * trips <= st.cfg.sim_iters in
+  let deeper = { c with depth = c.depth - 1 } in
+  let choices =
+    List.concat
+      [
+        (if fits st.n_val && c.arrays <> [] then [ `Loop_plain; `Loop_plain ] else []);
+        (if fits st.n_val && c.arrays <> [] then [ `Loop_stencil ] else []);
+        (if fits (st.n_val / 2) && c.arrays <> [] then [ `Loop_half ] else []);
+        (if fits st.cfg.trip_hi then [ `Loop_trip; `Loop_trip ] else []);
+        (if c.cond_vars <> [] then [ `If_cexpr; `If_cexpr ] else []);
+        (* Stochastic constructs only where the enclosing loops sample
+           them enough times for the simulated mean to converge on the
+           model's expectation: a one-shot [if data prob 0.7] whose
+           heavy arm isn't taken makes the model/sim ratio unbounded
+           (first fuzz campaign, seed 42 case 71). *)
+        (if c.iters >= 8 then
+           match c.arch with
+           | Archetype.Branchy -> [ `If_data; `If_data; `While ]
+           | _ -> [ `If_data ]
+         else []);
+      ]
+  in
+  if choices = [] then
+    (* Nothing structural fits here (no arrays, tight iteration
+       budget, too few samples for stochastic constructs): degrade to
+       a leaf rather than break the [sim_iters]/variance promises. *)
+    [ leaf st ~arch:c.arch ~arrays:c.arrays ~idxs:c.idxs ]
+  else
+  match pick st choices with
+  | `Loop_plain ->
+    let v = fresh st "i" in
+    let body =
+      gen_block st
+        { deeper with
+          idxs = B.var v :: c.idxs;
+          cond_vars = v :: c.cond_vars;
+          in_for = true;
+          iters = c.iters * st.n_val;
+        }
+    in
+    [ B.for_ v (B.int 0) B.(var "n" - int 1) body ]
+  | `Loop_stencil ->
+    let v = fresh st "i" in
+    let body =
+      gen_block st
+        { deeper with
+          idxs = B.(var v + int 1) :: B.var v :: c.idxs;
+          cond_vars = v :: c.cond_vars;
+          in_for = true;
+          iters = c.iters * st.n_val;
+        }
+    in
+    [ B.for_ v (B.int 0) B.(var "n" - int 2) body ]
+  | `Loop_half ->
+    (* let h = n / 2; for v = 0 to h - 1: exercises Let-bound loop
+       limits; v stays within [0, n/2-1], in bounds for extent n. *)
+    let h = fresh st "h" in
+    let v = fresh st "i" in
+    let body =
+      gen_block st
+        { deeper with
+          idxs = B.var v :: c.idxs;
+          cond_vars = v :: c.cond_vars;
+          in_for = true;
+          iters = c.iters * max 1 (st.n_val / 2);
+        }
+    in
+    [ B.let_ h B.(var "n" / int 2); B.for_ v (B.int 0) B.(var h - int 1) body ]
+  | `Loop_trip ->
+    let v = fresh st "t" in
+    let trips = range st st.cfg.trip_lo st.cfg.trip_hi in
+    let body =
+      gen_block st
+        { deeper with
+          cond_vars = v :: c.cond_vars;
+          in_for = true;
+          iters = c.iters * trips;
+        }
+    in
+    [ B.for_ v (B.int 1) (B.int trips) body ]
+  | `If_cexpr ->
+    let v = B.var (pick st c.cond_vars) in
+    let cond =
+      match Rng.int st.rng 4 with
+      | 0 -> B.(v % int 2 == int 0)
+      | 1 -> B.(v % int 3 != int 0)
+      | 2 -> B.(v < var "n" / int 2)
+      | _ -> B.(v > int 1)
+    in
+    let then_ = gen_block st deeper in
+    let else_ = if chance st 0.5 then gen_block st deeper else [] in
+    [ B.if_ cond then_ else_ ]
+  | `If_data ->
+    let s = fresh st "d" in
+    let p = prob st 0.1 0.9 in
+    let then_ = gen_block st deeper in
+    let else_ = if chance st 0.4 then gen_block st deeper else [] in
+    [ B.if_data s (B.float p) then_ else_ ]
+  | `While ->
+    let s = fresh st "w" in
+    let p = prob st 0.3 0.85 in
+    let cap = range st 4 16 in
+    let body =
+      gen_block st { deeper with in_for = false; iters = c.iters * cap }
+    in
+    [ B.while_ s ~p_continue:(B.float p) ~max_iter:(B.int cap) body ]
+
+(* --- comm exchange ---------------------------------------------------- *)
+
+(* Phased even/odd ring exchange: in phase [ph], ranks with
+   [(rank + ph) mod 2 = 0] exchange send-first with their right
+   neighbor while the others exchange recv-first with their left —
+   deadlock-free over an even ring (A007-clean) and volume-balanced
+   (L010-clean: each arm posts one send and one recv of equal size).
+   The phase variable keeps the parity condition undecidable for the
+   linter (rank is a concrete input, ph spans [0,1]). *)
+let exchange_block st =
+  let vol = B.(var "n" * int (pick st [ 4; 8 ])) in
+  let right = B.((var "rank" + int 1) % var "nranks") in
+  let left = B.((var "rank" - int 1 + var "nranks") % var "nranks") in
+  let ph = fresh st "ph" in
+  B.for_ ph (B.int 0) (B.int 1)
+    [
+      B.if_
+        B.((var "rank" + var ph) % int 2 == int 0)
+        [ B.lib ~args:[ right ] ~scale:vol "send";
+          B.lib ~args:[ right ] ~scale:vol "recv" ]
+        [ B.lib ~args:[ left ] ~scale:vol "recv";
+          B.lib ~args:[ left ] ~scale:vol "send" ];
+    ]
+
+(* --- program assembly ------------------------------------------------- *)
+
+let gen_arrays st ~(arch : Archetype.t) =
+  let count =
+    match arch with Memory -> range st 2 3 | Comm -> 1 | _ -> range st 1 2
+  in
+  List.init count (fun i ->
+      let name = String.make 1 (Char.chr (Char.code 'A' + i)) in
+      let ndims =
+        match arch with Memory -> (if chance st 0.3 then 2 else 1) | _ -> 1
+      in
+      let elem_bytes =
+        (* mostly f64/f32; occasionally a 2-byte width to exercise the
+           generic f16 element-type round-trip *)
+        pick st [ 8; 8; 8; 4; 4; (if chance st 0.5 then 2 else 8) ]
+      in
+      (name, ndims, elem_bytes))
+
+let generate ?(config = default) ?archetype ~seed ~index () =
+  let cfg = clamp config in
+  let cs = case_seed seed index in
+  let rng = Rng.create cs in
+  let arch =
+    match archetype with
+    | Some a -> a
+    | None ->
+      let total = List.fold_left (fun a (_, w) -> a +. w) 0. cfg.mix in
+      let x = Rng.float rng *. total in
+      let rec go acc = function
+        | [] -> fst (List.hd cfg.mix)
+        | (a, w) :: rest -> if x < acc +. w || rest = [] then a else go (acc +. w) rest
+      in
+      go 0. (List.filter (fun (_, w) -> w > 0.) cfg.mix)
+  in
+  let n_val = 0 in
+  let st = { rng; cfg; n_val; fresh = 0; budget = cfg.stmt_budget } in
+  let n_val = range st cfg.size_lo cfg.size_hi in
+  let st = { st with n_val } in
+  let arrays3 = gen_arrays st ~arch in
+  let arrays = List.map (fun (a, nd, _) -> (a, nd)) arrays3 in
+  let globals =
+    List.map
+      (fun (a, nd, eb) ->
+        B.array ~elem_bytes:eb a (List.init nd (fun _ -> B.var "n")))
+      arrays3
+  in
+  let is_comm = arch = Archetype.Comm in
+  let params = if is_comm then [ "n"; "nranks"; "rank" ] else [ "n" ] in
+  let nranks =
+    if is_comm then 2 * range st 1 (cfg.ranks / 2) else 0
+  in
+  (* helper functions, each called exactly once from main (L007) *)
+  let n_helpers = range st 0 cfg.funcs in
+  let base_ctx =
+    {
+      arch;
+      arrays;
+      depth = cfg.depth;
+      idxs = [ B.int 0 ];
+      cond_vars = [];
+      in_for = false;
+      iters = 1;
+    }
+  in
+  let helpers =
+    List.init n_helpers (fun i ->
+        let name = Fmt.str "kern%d" i in
+        let body =
+          comp_stmt st ~arch :: gen_block st { base_ctx with depth = cfg.depth - 1 }
+        in
+        let body = if chance st 0.2 then body @ [ B.return_ () ] else body in
+        B.func ~params:[ "n" ] name body)
+  in
+  let calls =
+    List.init n_helpers (fun i -> B.call (Fmt.str "kern%d" i) [ B.var "n" ])
+  in
+  let segments = gen_block st base_ctx in
+  let body =
+    (* leading comp guarantees nonzero modeled and simulated work *)
+    (comp_stmt st ~arch:Archetype.Compute :: calls)
+    @ segments
+    @ (if is_comm then [ exchange_block st ] else [])
+  in
+  let main = B.func ~params "main" body in
+  let name = Fmt.str "gen_%s_%04d" (Archetype.to_string arch) index in
+  let program = B.program ~globals name (main :: helpers) in
+  let inputs =
+    (("n", Value.I n_val)
+     :: (if is_comm then [ ("nranks", Value.I nranks); ("rank", Value.I 0) ] else []))
+  in
+  { index; master_seed = seed; case_seed = cs; archetype = arch; name; program;
+    inputs }
+
+let to_source case =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Fmt.str "# generated: skope gen --seed %Ld --count %d (case %d, %s)\n"
+       case.master_seed (case.index + 1) case.index
+       (Archetype.to_string case.archetype));
+  Buffer.add_string b
+    (Fmt.str "# inputs: %s\n\n"
+       (String.concat ", "
+          (List.map
+             (fun (k, v) -> Fmt.str "%s=%s" k (Value.to_string v))
+             case.inputs)));
+  Buffer.add_string b (Pretty.to_string case.program);
+  Buffer.contents b

@@ -1,0 +1,64 @@
+(** Seeded random skeleton generator.
+
+    Fully deterministic: a [(master seed, index, config)] triple maps
+    to exactly one generated case, independent of generation order or
+    parallelism — each case derives its own SplitMix64 stream with
+    {!case_seed}.  Generated programs are constructed to pass the
+    linter (no [Error]- or [Warning]-severity findings at the recorded
+    inputs): loop bounds guarantee at least one trip, array indices
+    stay provably in bounds under interval analysis, branch conditions
+    inside loops remain undecidable, data-dependent constructs carry
+    declared probabilities, comm exchanges are phased (deadlock-free)
+    and volume-balanced.  The differential fuzz harness
+    ({!Fuzzcheck}) then checks the *analysis stack* against this
+    corpus, not the generator. *)
+
+type config = {
+  depth : int;  (** max loop/branch nesting below a function body *)
+  max_stmts : int;  (** max statements drawn per block *)
+  stmt_budget : int;  (** soft cap on statements per program *)
+  trip_lo : int;  (** literal-trip loop range (inclusive) *)
+  trip_hi : int;
+  size_lo : int;  (** range of the [n] input (array extents) *)
+  size_hi : int;
+  ranks : int;  (** max rank count for comm skeletons (rounded even) *)
+  funcs : int;  (** max helper functions *)
+  sim_iters : int;  (** cap on the concrete iteration-space product,
+                        so {!Skope_sim.Interp} stays fast *)
+  mix : (Archetype.t * float) list;  (** corpus archetype weights *)
+}
+
+val default : config
+
+(** Clamp every field into its documented range (e.g. [ranks] rounded
+    up to an even value >= 2). *)
+val clamp : config -> config
+
+type case = {
+  index : int;
+  master_seed : int64;
+  case_seed : int64;
+  archetype : Archetype.t;
+  name : string;  (** program name, [gen_<archetype>_<index>] *)
+  program : Skope_skeleton.Ast.program;
+  inputs : (string * Skope_bet.Value.t) list;
+      (** concrete bindings for every entry parameter *)
+}
+
+(** Per-case stream derivation: two SplitMix64 steps over
+    [master + golden * (index+1)], so neighboring indices are
+    decorrelated and cases can be generated in any order or in
+    parallel. *)
+val case_seed : int64 -> int -> int64
+
+(** Generate case [index] of the corpus for [seed].  [archetype]
+    forces the family; otherwise it is drawn from [config.mix] (note
+    the forced and mixed streams differ — a reproducer must record
+    whether the archetype was forced). *)
+val generate :
+  ?config:config -> ?archetype:Archetype.t -> seed:int64 -> index:int -> unit -> case
+
+(** The source text emitted for a case: a provenance comment header
+    (seed, index, archetype, inputs) followed by the pretty-printed
+    program. *)
+val to_source : case -> string

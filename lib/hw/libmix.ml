@@ -59,6 +59,17 @@ let defaults =
       ~divs:0. ~loads:4. ~stores:2. ~lbytes:32. ~sbytes:16. ();
     mk "memcpy_elem" ~description:"per-element bulk copy" ~flops:0. ~iops:1.
       ~divs:0. ~loads:1. ~stores:1. ~lbytes:8. ~sbytes:8. ();
+    (* Point-to-point message endpoints: the per-byte local cost of a
+       rendezvous send/recv (header packing, copy through the NIC
+       staging buffer).  Network latency/bandwidth is the multinode
+       model's job; these mixes only keep generated comm skeletons
+       priceable without unknown-library warnings. *)
+    mk "send"
+      ~description:"rendezvous send endpoint: per-byte staging copy + header"
+      ~flops:0. ~iops:2. ~divs:0. ~loads:1. ~stores:1. ~lbytes:1. ~sbytes:1. ();
+    mk "recv"
+      ~description:"rendezvous recv endpoint: per-byte staging copy + header"
+      ~flops:0. ~iops:2. ~divs:0. ~loads:1. ~stores:1. ~lbytes:1. ~sbytes:1. ();
   ]
 
 type t = profile Smap.t

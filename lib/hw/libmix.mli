@@ -25,8 +25,9 @@ val mk :
 type t
 
 (** Profiles for the math-library calls the paper's benchmarks
-    exercise: [exp], [log], [rand], [sqrt], [sincos],
-    [memcpy_elem]. *)
+    exercise ([exp], [log], [rand], [sqrt], [sincos], [memcpy_elem])
+    plus the [send]/[recv] point-to-point endpoints generated comm
+    skeletons price their exchanges with. *)
 val default : t
 
 val register : t -> profile -> t

@@ -232,8 +232,9 @@ let percentile sorted q =
     sorted.(min (n - 1) (max 0 (rank - 1)))
   end
 
-let load ?(timeouts = default_timeouts) ?(retry = default_retry) ?on_response
-    ?on_result ~host ~port ~repeat ~concurrency body =
+let load_multi ?(timeouts = default_timeouts) ?(retry = default_retry)
+    ?on_response ?on_result ~host ~port ~repeat ~concurrency bodies =
+  if Array.length bodies = 0 then invalid_arg "Client.load_multi: no bodies";
   let repeat = max 1 repeat and concurrency = max 1 concurrency in
   let lock = Mutex.create () in
   let latencies = ref [] and failures = ref 0 and retries = ref 0 in
@@ -251,11 +252,17 @@ let load ?(timeouts = default_timeouts) ?(retry = default_retry) ?on_response
   let thread_retry i = { retry with seed = retry.seed + i } in
   let run_thread i () =
     let retry = thread_retry i in
-    for _ = 1 to share i do
+    for k = 1 to share i do
       (* Retries are counted per request so [on_result] can attribute
          them (the per-shard retries column in loadgen stats). *)
       let my_retries = ref 0 in
       let on_retry k _ = if k >= !my_retries then my_retries := k + 1 in
+      (* Thread [i] owns global request indices i, i+K, ...; cycling
+         bodies by that index spreads a corpus round-robin across the
+         whole run regardless of concurrency. *)
+      let body =
+        bodies.((i + ((k - 1) * concurrency)) mod Array.length bodies)
+      in
       let t0 = Unix.gettimeofday () in
       let result = request ~timeouts ~retry ~on_retry ~host ~port body in
       let dt = Unix.gettimeofday () -. t0 in
@@ -288,6 +295,11 @@ let load ?(timeouts = default_timeouts) ?(retry = default_retry) ?on_response
     p95 = percentile sorted 0.95;
     p99 = percentile sorted 0.99;
   }
+
+let load ?timeouts ?retry ?on_response ?on_result ~host ~port ~repeat
+    ~concurrency body =
+  load_multi ?timeouts ?retry ?on_response ?on_result ~host ~port ~repeat
+    ~concurrency [| body |]
 
 let pp_load_report ppf r =
   Fmt.pf ppf

@@ -129,4 +129,25 @@ val load :
   string ->
   load_report
 
+(** Like {!load}, but cycling over [bodies] round-robin by global
+    request index — diverse-traffic load generation from a generated
+    corpus.  The body schedule is a pure function of [(repeat,
+    concurrency)], so a run is reproducible.
+    @raise Invalid_argument when [bodies] is empty. *)
+val load_multi :
+  ?timeouts:timeouts ->
+  ?retry:retry ->
+  ?on_response:(string -> unit) ->
+  ?on_result:
+    (result:(string, error) result ->
+    latency_s:float ->
+    retries:int ->
+    unit) ->
+  host:string ->
+  port:int ->
+  repeat:int ->
+  concurrency:int ->
+  string array ->
+  load_report
+
 val pp_load_report : load_report Fmt.t

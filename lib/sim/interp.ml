@@ -640,7 +640,19 @@ let run ?(config = default_config ()) ~inputs (program : Ast.program) : result
   let nslots, run_entry = compile_func st entry_fn in
   let e = Counters.entry st.counters (Block_id.Fn entry_fn.Ast.fname) in
   e.Counters.execs <- e.Counters.execs + 1;
-  (try run_entry (Array.make nslots (Value.I 0)) with Ret -> ());
+  let entry_frame = Array.make nslots (Value.I 0) in
+  (* Entry parameters have no call site: bind them from the input
+     bindings by name (they occupy the first slots — [local_vars] lists
+     parameters before loop/let variables), matching the analytic
+     model, which resolves them against the same inputs.  A parameter
+     with no matching input stays 0, like any uninitialized local. *)
+  List.iteri
+    (fun i v ->
+      match Hashtbl.find_opt global_index v with
+      | Some gi when i < nslots -> entry_frame.(i) <- globals.(gi)
+      | _ -> ())
+    entry_fn.Ast.params;
+  (try run_entry entry_frame with Ret -> ());
   let bst = Bst.build program in
   let total_cycles = Counters.total_cycles st.counters in
   let module Span = Skope_telemetry.Span in

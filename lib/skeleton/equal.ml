@@ -1,0 +1,224 @@
+(** Structural program equality modulo statement identity (sid/loc),
+    with optional load/store fission normalization.  See the mli. *)
+
+open Ast
+
+(* Rewrite a program into a canonical form: sids zeroed, locations
+   erased, negated literals folded ([Unop (Neg, Int 5)] and
+   [Int (-5)] both print as "-5", so the parse of a pretty-print can
+   differ from the source AST by exactly this), and (optionally) every
+   combined Mem statement split into a load-only statement followed by
+   a store-only one, exactly the way the pretty-printer serializes
+   it. *)
+let rec norm_expr e =
+  match e with
+  | Int _ | Float _ | Bool _ | Var _ -> e
+  | Binop (op, a, b) -> Binop (op, norm_expr a, norm_expr b)
+  | Cmp (op, a, b) -> Cmp (op, norm_expr a, norm_expr b)
+  | And (a, b) -> And (norm_expr a, norm_expr b)
+  | Or (a, b) -> Or (norm_expr a, norm_expr b)
+  | Unop (op, a) -> (
+    match (op, norm_expr a) with
+    | Neg, Int n -> Int (-n)
+    | Neg, Float f -> Float (-.f)
+    | _, a -> Unop (op, a))
+
+let norm_access a = { a with index = List.map norm_expr a.index }
+
+let norm_cond = function
+  | Cexpr e -> Cexpr (norm_expr e)
+  | Cdata { name; p } -> Cdata { name; p = norm_expr p }
+
+let norm_decl d = { d with dims = List.map norm_expr d.dims }
+
+let rec norm_block ~fission b = List.concat_map (norm_stmt ~fission) b
+
+and norm_stmt ~fission s =
+  let s = { s with sid = 0; loc = Loc.none } in
+  match s.kind with
+  | Mem { loads; stores } when fission && loads <> [] && stores <> [] ->
+    [
+      { s with kind = Mem { loads = List.map norm_access loads; stores = [] } };
+      {
+        s with
+        label = None;
+        kind = Mem { loads = []; stores = List.map norm_access stores };
+      };
+    ]
+  | Mem { loads; stores } ->
+    [
+      {
+        s with
+        kind =
+          Mem
+            {
+              loads = List.map norm_access loads;
+              stores = List.map norm_access stores;
+            };
+      };
+    ]
+  | Comp c ->
+    [
+      {
+        s with
+        kind =
+          Comp
+            {
+              c with
+              flops = norm_expr c.flops;
+              iops = norm_expr c.iops;
+              divs = norm_expr c.divs;
+            };
+      };
+    ]
+  | Let (v, e) -> [ { s with kind = Let (v, norm_expr e) } ]
+  | If r ->
+    [
+      {
+        s with
+        kind =
+          If
+            {
+              cond = norm_cond r.cond;
+              then_ = norm_block ~fission r.then_;
+              else_ = norm_block ~fission r.else_;
+            };
+      };
+    ]
+  | For r ->
+    [
+      {
+        s with
+        kind =
+          For
+            {
+              r with
+              lo = norm_expr r.lo;
+              hi = norm_expr r.hi;
+              step = norm_expr r.step;
+              body = norm_block ~fission r.body;
+            };
+      };
+    ]
+  | While r ->
+    [
+      {
+        s with
+        kind =
+          While
+            {
+              r with
+              p_continue = norm_expr r.p_continue;
+              max_iter = norm_expr r.max_iter;
+              body = norm_block ~fission r.body;
+            };
+      };
+    ]
+  | Call (f, args) -> [ { s with kind = Call (f, List.map norm_expr args) } ]
+  | Lib r ->
+    [
+      {
+        s with
+        kind =
+          Lib
+            { r with args = List.map norm_expr r.args; scale = norm_expr r.scale };
+      };
+    ]
+  | Break { name; p } -> [ { s with kind = Break { name; p = norm_expr p } } ]
+  | Continue { name; p } ->
+    [ { s with kind = Continue { name; p = norm_expr p } } ]
+  | Return -> [ s ]
+
+let norm_func ~fission f =
+  {
+    f with
+    arrays = List.map norm_decl f.arrays;
+    body = norm_block ~fission f.body;
+  }
+
+let norm_program ~fission p =
+  {
+    p with
+    globals = List.map norm_decl p.globals;
+    funcs = List.map (norm_func ~fission) p.funcs;
+  }
+
+let program ?(fission_mem = false) a b =
+  norm_program ~fission:fission_mem a = norm_program ~fission:fission_mem b
+
+(* --- first difference ------------------------------------------------ *)
+
+let pp_stmt_line s =
+  Fmt.str "@[<v>%a@]" (Pretty.pp_stmt 0) s
+  |> String.split_on_char '\n' |> List.hd |> String.trim
+
+let rec diff_blocks path a b =
+  match (a, b) with
+  | [], [] -> None
+  | s :: _, [] -> Some (Fmt.str "%s: extra statement `%s`" path (pp_stmt_line s))
+  | [], s :: _ -> Some (Fmt.str "%s: missing statement `%s`" path (pp_stmt_line s))
+  | sa :: ra, sb :: rb -> (
+    match diff_stmts path sa sb with
+    | Some _ as d -> d
+    | None -> diff_blocks path ra rb)
+
+and diff_stmts path sa sb =
+  if sa.label <> sb.label then
+    Some
+      (Fmt.str "%s: label %a <> %a on `%s`" path
+         Fmt.(option ~none:(any "<none>") string)
+         sa.label
+         Fmt.(option ~none:(any "<none>") string)
+         sb.label (pp_stmt_line sa))
+  else
+    match (sa.kind, sb.kind) with
+    | If ra, If rb when ra.cond = rb.cond -> (
+      match diff_blocks (path ^ "/if") ra.then_ rb.then_ with
+      | Some _ as d -> d
+      | None -> diff_blocks (path ^ "/else") ra.else_ rb.else_)
+    | For ra, For rb
+      when ra.var = rb.var && ra.lo = rb.lo && ra.hi = rb.hi && ra.step = rb.step
+      ->
+      diff_blocks (Fmt.str "%s/for %s" path ra.var) ra.body rb.body
+    | While ra, While rb
+      when ra.name = rb.name
+           && ra.p_continue = rb.p_continue
+           && ra.max_iter = rb.max_iter ->
+      diff_blocks (Fmt.str "%s/while %s" path ra.name) ra.body rb.body
+    | ka, kb ->
+      if ka = kb then None
+      else
+        Some
+          (Fmt.str "%s: `%s` <> `%s`" path (pp_stmt_line sa) (pp_stmt_line sb))
+
+let diff_funcs fa fb =
+  if fa.fname <> fb.fname then
+    Some (Fmt.str "function name %s <> %s" fa.fname fb.fname)
+  else if fa.params <> fb.params then
+    Some (Fmt.str "%s: params (%s) <> (%s)" fa.fname
+            (String.concat ", " fa.params)
+            (String.concat ", " fb.params))
+  else if fa.arrays <> fb.arrays then
+    Some (Fmt.str "%s: local array declarations differ" fa.fname)
+  else diff_blocks fa.fname fa.body fb.body
+
+let first_diff ?(fission_mem = false) a b =
+  let a = norm_program ~fission:fission_mem a
+  and b = norm_program ~fission:fission_mem b in
+  if a = b then None
+  else if a.pname <> b.pname then
+    Some (Fmt.str "program name %s <> %s" a.pname b.pname)
+  else if a.entry <> b.entry then
+    Some (Fmt.str "entry %s <> %s" a.entry b.entry)
+  else if a.globals <> b.globals then Some "global array declarations differ"
+  else if List.length a.funcs <> List.length b.funcs then
+    Some
+      (Fmt.str "%d functions <> %d functions" (List.length a.funcs)
+         (List.length b.funcs))
+  else
+    List.fold_left2
+      (fun acc fa fb -> match acc with Some _ -> acc | None -> diff_funcs fa fb)
+      None a.funcs b.funcs
+    |> function
+    | Some _ as d -> d
+    | None -> Some "programs differ (unlocalized)"

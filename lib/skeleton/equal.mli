@@ -1,0 +1,24 @@
+(** Structural program equality modulo statement identity.
+
+    The round-trip oracle (generate, pretty-print, reparse) needs to
+    compare two programs for semantic identity while ignoring the
+    bookkeeping the parser attaches: statement ids are assigned in
+    pre-order by {!Ast.renumber} and source locations obviously differ
+    between a built program and its reparsed text.
+
+    One genuine representational gap is normalized away on request:
+    the grammar has no single statement carrying both loads and
+    stores, so the pretty-printer fissions a combined [Mem] into a
+    [load] line followed by a [store] line.  With [~fission_mem:true]
+    both sides are rewritten into that fissioned normal form before
+    comparison, making the oracle exact over the full AST. *)
+
+(** [program ?fission_mem a b] is [true] when [a] and [b] are
+    structurally identical ignoring [sid] and [loc] (and, with
+    [fission_mem], modulo load/store fission). *)
+val program : ?fission_mem:bool -> Ast.program -> Ast.program -> bool
+
+(** [first_diff ?fission_mem a b] describes the first structural
+    difference found, or [None] when the programs are equal.  Used to
+    build actionable fuzz-failure reports. *)
+val first_diff : ?fission_mem:bool -> Ast.program -> Ast.program -> string option

@@ -364,7 +364,23 @@ let elem_bytes_of_type loc = function
   | "i64" -> 8
   | "i32" -> 4
   | "i8" -> 1
-  | other -> error loc "unknown element type %S (use f64|f32|i64|i32|i8)" other
+  | other -> (
+    (* Generic f<bits>/i<bits> widths: the pretty-printer emits these
+       for element sizes outside the named set (e.g. "f16" for 2-byte
+       elements), so the parser must accept them for round-tripping. *)
+    let generic =
+      let n = String.length other in
+      if n >= 2 && (other.[0] = 'f' || other.[0] = 'i') then
+        match int_of_string_opt (String.sub other 1 (n - 1)) with
+        | Some bits when bits > 0 && bits mod 8 = 0 -> Some (bits / 8)
+        | _ -> None
+      else None
+    in
+    match generic with
+    | Some bytes -> bytes
+    | None ->
+      error loc "unknown element type %S (use f64|f32|i64|i32|i8 or f<bits>/i<bits>)"
+        other)
 
 let parse_array_decl st =
   let aname, loc = expect_ident st in

@@ -135,7 +135,10 @@ let rec pp_stmt indent ppf (s : stmt) =
   | Mem { loads; stores } ->
     if loads <> [] then
       Fmt.pf ppf "load %a" (Fmt.list ~sep:(Fmt.any ", ") pp_access) loads;
-    if loads <> [] && stores <> [] then Fmt.pf ppf "@,%s%s" pad lbl;
+    (* A combined load/store statement prints as two lines; the label
+       must not repeat on the second or it would reparse as two
+       identically-labelled statements. *)
+    if loads <> [] && stores <> [] then Fmt.pf ppf "@,%s" pad;
     if stores <> [] then
       Fmt.pf ppf "store %a" (Fmt.list ~sep:(Fmt.any ", ") pp_access) stores;
     if loads = [] && stores = [] then Fmt.pf ppf "comp flops=0";

@@ -7,5 +7,10 @@
 val pp_expr : Ast.expr Fmt.t
 val pp_access : Ast.access Fmt.t
 val pp_cond : Ast.cond Fmt.t
+
+(** [pp_stmt indent] prints one statement (and its sub-block) at the
+    given indentation; the caller must provide an enclosing vertical
+    box.  Exposed for diff rendering in {!Equal}. *)
+val pp_stmt : int -> Ast.stmt Fmt.t
 val pp_program : Ast.program Fmt.t
 val to_string : Ast.program -> string

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Compare a fresh `skope bench --quick --json` run against the
+# committed baseline and flag metrics that drifted beyond a tolerance.
+#
+#   scripts/bench_check.sh [BASELINE] [CURRENT]
+#
+# defaults: BASELINE=BENCH.json, CURRENT=bench-quick.json.  TOL is the
+# allowed drift in percent (default 25; override via the environment).
+# A markdown delta table goes to $GITHUB_STEP_SUMMARY when set (and
+# always to stdout).  Exit status 1 when any metric drifts beyond TOL
+# — callers decide whether that blocks (CI runs this warn-only:
+# timing on shared runners is too noisy to gate merges on).
+#
+# No jq dependency: both files are the flat one-line
+# {"metrics":{"name":number,...}} shape skope emits, parsed with awk.
+set -euo pipefail
+
+BASELINE=${1:-BENCH.json}
+CURRENT=${2:-bench-quick.json}
+TOL=${TOL:-25}
+
+for f in "$BASELINE" "$CURRENT"; do
+  if [ ! -f "$f" ]; then
+    echo "bench_check: missing $f" >&2
+    exit 2
+  fi
+done
+
+# Emit "name value" per numeric metric inside the "metrics" object.
+extract_metrics() {
+  awk '
+    match($0, /"metrics":[ \t]*\{[^}]*\}/) {
+      s = substr($0, RSTART, RLENGTH)
+      sub(/^"metrics":[ \t]*\{/, "", s)
+      sub(/\}$/, "", s)
+      n = split(s, kv, ",")
+      for (i = 1; i <= n; i++) {
+        if (split(kv[i], p, ":") != 2) continue
+        key = p[1]; gsub(/[" \t]/, "", key)
+        val = p[2]; gsub(/[ \t]/, "", val)
+        if (val ~ /^-?[0-9][0-9.eE+-]*$/) print key, val
+      }
+    }' "$1"
+}
+
+base_tmp=$(mktemp) && cur_tmp=$(mktemp)
+trap 'rm -f "$base_tmp" "$cur_tmp"' EXIT
+extract_metrics "$BASELINE" > "$base_tmp"
+extract_metrics "$CURRENT" > "$cur_tmp"
+
+# elapsed_s measures the benchmark harness itself, not the code under
+# test — always informational.
+report=$(awk -v tol="$TOL" '
+  NR == FNR { base[$1] = $2; next }
+  {
+    cur[$1] = $2
+    if (!($1 in base)) { new_metrics = new_metrics " " $1; next }
+    b = base[$1] + 0; c = $2 + 0
+    delta = (b == 0) ? 0 : (c - b) * 100.0 / b
+    mark = "ok"
+    if ($1 != "elapsed_s" && (delta > tol || delta < -tol)) {
+      mark = "DRIFT"
+      bad++
+    }
+    printf "| %s | %.4g | %.4g | %+.1f%% | %s |\n", $1, b, c, delta, mark
+  }
+  END {
+    for (k in base) if (!(k in cur)) missing = missing " " k
+    if (new_metrics != "") printf "| _new:%s_ | - | - | - | note |\n", new_metrics
+    if (missing != "") { printf "| _missing:%s_ | - | - | - | DRIFT |\n", missing; bad++ }
+    exit (bad > 0) ? 1 : 0
+  }' "$base_tmp" "$cur_tmp") && status=0 || status=$?
+
+{
+  echo "### Bench regression check (tolerance ±${TOL}%)"
+  echo ""
+  echo "| metric | baseline | current | delta | status |"
+  echo "| --- | ---: | ---: | ---: | --- |"
+  echo "$report"
+  echo ""
+  if [ "$status" -ne 0 ]; then
+    echo "**Some metrics drifted beyond ±${TOL}%** (warn-only; shared-runner timing is noisy)."
+  else
+    echo "All metrics within ±${TOL}% of the committed baseline."
+  fi
+} | tee -a "${GITHUB_STEP_SUMMARY:-/dev/null}"
+
+exit "$status"

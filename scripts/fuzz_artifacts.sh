@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Turn a failed `skope fuzz` run into an uploadable artifact: for each
+# `repro: skope fuzz --seed S --index I ...` line in the captured
+# output, re-run the reproducer to dump that case's source and gate
+# verdicts.
+#
+#   scripts/fuzz_artifacts.sh FUZZ_OUTPUT OUT_DIR
+set -euo pipefail
+
+OUT=${1:-fuzz-out.txt}
+DIR=${2:-fuzz-failures}
+
+if [ ! -f "$OUT" ]; then
+  echo "fuzz_artifacts: missing $OUT" >&2
+  exit 2
+fi
+
+mkdir -p "$DIR"
+cp "$OUT" "$DIR/fuzz-output.txt"
+
+n=0
+# Reproducer flags are machine-generated (seed/index/config numbers
+# and archetype names only), safe to splice back into a command line.
+grep -oE 'repro: skope fuzz .*' "$OUT" | sed 's/^repro: skope //' | sort -u |
+  while read -r args; do
+    idx=$(printf '%s\n' "$args" | grep -oE -- '--index [0-9]+' | awk '{print $2}')
+    # shellcheck disable=SC2086  # args is a flat flag list by construction
+    dune exec bin/skope.exe -- $args > "$DIR/case-${idx:-$n}.txt" 2>&1 || true
+    n=$((n + 1))
+  done
+
+count=$(find "$DIR" -name 'case-*.txt' | wc -l)
+echo "fuzz_artifacts: wrote $count failing case dump(s) to $DIR"

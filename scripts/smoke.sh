@@ -221,6 +221,25 @@ if q --body 'not json' >/dev/null 2>&1; then fail "malformed body accepted"; fi
 echo "smoke: load burst"
 q -w srad -m bgq --repeat 200 --concurrency 4 || fail "load burst"
 
+echo "smoke: generated corpus is deterministic and replays as loadgen traffic"
+CORPUS_DIR=$(mktemp -d /tmp/skoped-smoke-corpus.XXXXXX)
+"$SKOPE" gen --seed 42 --count 20 --out "$CORPUS_DIR" >/dev/null \
+    || fail "skope gen"
+SUM1=$(cat "$CORPUS_DIR"/*.skope "$CORPUS_DIR"/corpus.json | cksum)
+rm -rf "$CORPUS_DIR"
+# Same seed, different worker count: the corpus must be byte-identical.
+"$SKOPE" gen --seed 42 --count 20 --jobs 4 --out "$CORPUS_DIR" >/dev/null \
+    || fail "skope gen --jobs 4"
+SUM2=$(cat "$CORPUS_DIR"/*.skope "$CORPUS_DIR"/corpus.json | cksum)
+[ "$SUM1" = "$SUM2" ] || fail "corpus differs across --jobs (seed 42)"
+q --kind lint --corpus "$CORPUS_DIR" --concurrency 4 \
+    || fail "corpus lint replay"
+q --kind audit --corpus "$CORPUS_DIR" || fail "corpus audit replay"
+if q --kind analyze --corpus "$CORPUS_DIR" >/dev/null 2>&1; then
+    fail "corpus replay accepted a non-source kind"
+fi
+rm -rf "$CORPUS_DIR"
+
 STATS=$(q --kind stats) || fail "stats request"
 echo "$STATS" | grep -q '"cache_hits"' || fail "stats missing cache_hits"
 echo "$STATS" | grep -q '"counters"'   || fail "stats missing counters object"

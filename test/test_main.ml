@@ -24,4 +24,5 @@ let () =
          Test_arena.suite;
          Test_telemetry.suite;
          Test_cluster.suite;
+         Test_gen.suite;
        ])
